@@ -1,0 +1,94 @@
+//===- AppendixCommon.h - Full per-processor sweeps (Appendix B) ---------===//
+//
+// The appendix figures (B.1–B.18) run the complete BLAC set of §5.1.1 per
+// processor. One helper drives all four appendix binaries; sweeps are
+// sampled more coarsely than the main-text figures to keep runtimes sane.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_BENCH_APPENDIXCOMMON_H
+#define LGEN_BENCH_APPENDIXCOMMON_H
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+namespace lgen {
+namespace bench {
+
+inline void runAppendixSet(machine::UArch Target, const std::string &Tag) {
+  Runner R(Target);
+  R.addLGenVariants();
+  R.addCompetitors();
+  std::vector<int64_t> Panel = {4, 8, 16, 17, 64, 256, 1190};
+  std::vector<int64_t> Square = {2, 4, 8, 14, 20, 50, 86};
+  std::vector<int64_t> Micro = {2, 3, 4, 5, 6, 7, 8, 9, 10};
+
+  // Simple BLACs (Figs B.x.1).
+  R.run(Tag + ".simple.1", "y = A*x, A is nx4",
+        [](int64_t N) { return blacs::mvm(N, 4); }, Panel)
+      .print(std::cout);
+  R.run(Tag + ".simple.2", "y = A*x, A is 4xn",
+        [](int64_t N) { return blacs::mvm(4, N); }, Panel)
+      .print(std::cout);
+  R.run(Tag + ".simple.3", "C = A*B, A is 4xn, B is nx4",
+        [](int64_t N) { return blacs::mmm(4, N, 4); }, Panel)
+      .print(std::cout);
+  R.run(Tag + ".simple.4", "C = A*B, A is nx4, B is 4xn",
+        [](int64_t N) { return blacs::mmm(N, 4, N); }, Square)
+      .print(std::cout);
+
+  // BLACs that closely match BLAS (Figs B.x.2).
+  R.run(Tag + ".blas.1", "y = alpha*x + y",
+        [](int64_t N) { return blacs::axpy(N); },
+        {16, 64, 256, 1024, 3782})
+      .print(std::cout);
+  R.run(Tag + ".blas.2", "y = alpha*A*x + beta*y, A is nx4",
+        [](int64_t N) { return blacs::gemv(N, 4); }, Panel)
+      .print(std::cout);
+  R.run(Tag + ".blas.3", "y = alpha*A*x + beta*y, A is 4xn",
+        [](int64_t N) { return blacs::gemv(4, N); }, Panel)
+      .print(std::cout);
+  R.run(Tag + ".blas.4", "y = alpha*A*x + beta*y, A is 30xn",
+        [](int64_t N) { return blacs::gemv(30, N); },
+        {2, 8, 16, 30, 58, 100})
+      .print(std::cout);
+  R.run(Tag + ".blas.5", "C = alpha*A*B + beta*C, A is 4xn, B is nx4",
+        [](int64_t N) { return blacs::gemm(4, N, 4); }, Panel)
+      .print(std::cout);
+  R.run(Tag + ".blas.6", "C = alpha*A*B + beta*C, A is 30xn, B is nx30",
+        [](int64_t N) { return blacs::gemm(30, N, 30); },
+        {2, 8, 14, 20, 44, 62})
+      .print(std::cout);
+
+  // BLACs that require more than one BLAS call (Figs B.x.3).
+  R.run(Tag + ".multi.1", "y = alpha*A*x + beta*B*x, A, B are nx4",
+        [](int64_t N) { return blacs::twoMvm(N, 4); }, Panel)
+      .print(std::cout);
+  R.run(Tag + ".multi.2", "y = alpha*A*x + beta*B*x, A, B are 4xn",
+        [](int64_t N) { return blacs::twoMvm(4, N); }, Panel)
+      .print(std::cout);
+  R.run(Tag + ".multi.3", "alpha = x'*A*y, A is 4xn",
+        [](int64_t N) { return blacs::bilinear(4, N); }, Panel)
+      .print(std::cout);
+  R.run(Tag + ".multi.4", "C = alpha*(A0+A1)'*B + beta*C",
+        [](int64_t N) { return blacs::addTransGemm(N, 4, N); }, Square)
+      .print(std::cout);
+
+  // Micro-BLACs (Figs B.x.4).
+  R.run(Tag + ".micro.1", "y = A*x (micro)",
+        [](int64_t N) { return blacs::mvm(N, N); }, Micro)
+      .print(std::cout);
+  R.run(Tag + ".micro.2", "C = A*B (micro)",
+        [](int64_t N) { return blacs::mmm(N, N, N); }, Micro)
+      .print(std::cout);
+  R.run(Tag + ".micro.3", "alpha = x'*A*y (micro)",
+        [](int64_t N) { return blacs::bilinear(N, N); }, Micro)
+      .print(std::cout);
+}
+
+} // namespace bench
+} // namespace lgen
+
+#endif // LGEN_BENCH_APPENDIXCOMMON_H

@@ -1,0 +1,75 @@
+//===- Blacs.h - BLAC source builders shared by the benches ----*- C++ -*-===//
+//
+// Part of the LGen reproduction benchmark suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The BLACs of the thesis evaluation (§5.1.1) as source-string builders:
+/// simple BLACs, BLAS-matching BLACs, multi-BLAS BLACs, and micro-BLACs,
+/// over panels (4×n / n×4), blocks, and varying-shape (30×n) matrices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_BENCH_BLACS_H
+#define LGEN_BENCH_BLACS_H
+
+#include <cstdint>
+#include <string>
+
+namespace lgen {
+namespace bench {
+namespace blacs {
+
+inline std::string n(int64_t V) { return std::to_string(V); }
+
+// --- Simple BLACs -------------------------------------------------------
+inline std::string mvm(int64_t M, int64_t N) {
+  return "Matrix A(" + n(M) + ", " + n(N) + "); Vector x(" + n(N) +
+         "); Vector y(" + n(M) + "); y = A*x;";
+}
+inline std::string mmm(int64_t M, int64_t K, int64_t N) {
+  return "Matrix A(" + n(M) + ", " + n(K) + "); Matrix B(" + n(K) + ", " +
+         n(N) + "); Matrix C(" + n(M) + ", " + n(N) + "); C = A*B;";
+}
+
+// --- BLACs that closely match BLAS ---------------------------------------
+inline std::string axpy(int64_t N) {
+  return "Vector x(" + n(N) + "); Vector y(" + n(N) +
+         "); Scalar alpha; y = alpha*x + y;";
+}
+inline std::string gemv(int64_t M, int64_t N) {
+  return "Matrix A(" + n(M) + ", " + n(N) + "); Vector x(" + n(N) +
+         "); Vector y(" + n(M) +
+         "); Scalar alpha; Scalar beta; y = alpha*(A*x) + beta*y;";
+}
+inline std::string gemm(int64_t M, int64_t K, int64_t N) {
+  return "Matrix A(" + n(M) + ", " + n(K) + "); Matrix B(" + n(K) + ", " +
+         n(N) + "); Matrix C(" + n(M) + ", " + n(N) +
+         "); Scalar alpha; Scalar beta; C = alpha*(A*B) + beta*C;";
+}
+
+// --- BLACs that require more than one BLAS call --------------------------
+inline std::string twoMvm(int64_t M, int64_t N) {
+  return "Matrix A(" + n(M) + ", " + n(N) + "); Matrix B(" + n(M) + ", " +
+         n(N) + "); Vector x(" + n(N) + "); Vector y(" + n(M) +
+         "); Scalar alpha; Scalar beta; y = alpha*(A*x) + beta*(B*x);";
+}
+inline std::string bilinear(int64_t M, int64_t N) {
+  // alpha = x' * A * y with A M×N.
+  return "Vector x(" + n(M) + "); Matrix A(" + n(M) + ", " + n(N) +
+         "); Vector y(" + n(N) + "); Scalar alpha; alpha = x' * A * y;";
+}
+inline std::string addTransGemm(int64_t M, int64_t K, int64_t N) {
+  // C = alpha*(A0 + A1)' * B + beta*C with A0, A1 K×M and B K×N.
+  return "Matrix A0(" + n(K) + ", " + n(M) + "); Matrix A1(" + n(K) + ", " +
+         n(M) + "); Matrix B(" + n(K) + ", " + n(N) + "); Matrix C(" + n(M) +
+         ", " + n(N) +
+         "); Scalar alpha; Scalar beta; C = alpha*((A0 + A1)' * B) + beta*C;";
+}
+
+} // namespace blacs
+} // namespace bench
+} // namespace lgen
+
+#endif // LGEN_BENCH_BLACS_H

@@ -1,0 +1,317 @@
+//===- Harness.cpp - Benchmark harness for the Chapter 5 plots -----------===//
+
+#include "Harness.h"
+
+#include "ll/Parser.h"
+#include "ll/Reference.h"
+#include "machine/Executor.h"
+#include "mediator/Mediator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+//===----------------------------------------------------------------------===//
+// Sweep
+//===----------------------------------------------------------------------===//
+
+void Sweep::print(std::ostream &OS) const {
+  OS << "== " << Id << ": " << Title << " [" << machine::uarchName(Target)
+     << "] ==\n";
+  OS << "# y-axis: performance [flops/cycle]; x-axis: " << XLabel << "\n";
+  OS << XLabel;
+  for (const Series &S : SeriesList)
+    OS << "\t" << S.Name;
+  OS << "\n";
+  for (size_t I = 0; I != Xs.size(); ++I) {
+    OS << Xs[I];
+    for (const Series &S : SeriesList) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.3f",
+                    I < S.Values.size() ? S.Values[I] : 0.0);
+      OS << "\t" << Buf;
+    }
+    OS << "\n";
+  }
+  // Shape summary.
+  std::string Best = bestCompetitor();
+  if (!Best.empty()) {
+    for (const Series &S : SeriesList) {
+      if (S.Name.rfind("LGen", 0) != 0)
+        continue;
+      double Sp = speedup(S.Name, Best);
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.2fx", Sp);
+      OS << "shape: " << S.Name << " vs best competitor (" << Best
+         << "): " << Buf << " geomean\n";
+    }
+  }
+  OS << "\n";
+}
+
+double Sweep::valueOf(const std::string &Name, size_t XIdx) const {
+  for (const Series &S : SeriesList)
+    if (S.Name == Name && XIdx < S.Values.size())
+      return S.Values[XIdx];
+  return 0.0;
+}
+
+double Sweep::speedup(const std::string &A, const std::string &B) const {
+  const Series *SA = nullptr, *SB = nullptr;
+  for (const Series &S : SeriesList) {
+    if (S.Name == A)
+      SA = &S;
+    if (S.Name == B)
+      SB = &S;
+  }
+  if (!SA || !SB)
+    return 0.0;
+  double LogSum = 0.0;
+  unsigned Count = 0;
+  for (size_t I = 0; I != std::min(SA->Values.size(), SB->Values.size());
+       ++I) {
+    if (SA->Values[I] <= 0 || SB->Values[I] <= 0)
+      continue;
+    LogSum += std::log(SA->Values[I] / SB->Values[I]);
+    ++Count;
+  }
+  return Count ? std::exp(LogSum / Count) : 0.0;
+}
+
+std::string Sweep::bestCompetitor() const {
+  std::string Best;
+  double BestScore = -1.0;
+  for (const Series &S : SeriesList) {
+    if (S.Name.rfind("LGen", 0) == 0)
+      continue;
+    double LogSum = 0.0;
+    unsigned Count = 0;
+    for (double V : S.Values)
+      if (V > 0) {
+        LogSum += std::log(V);
+        ++Count;
+      }
+    double Score = Count ? std::exp(LogSum / Count) : 0.0;
+    if (Score > BestScore) {
+      BestScore = Score;
+      Best = S.Name;
+    }
+  }
+  return Best;
+}
+
+//===----------------------------------------------------------------------===//
+// Measurement (§5.1.4)
+//===----------------------------------------------------------------------===//
+
+Measurement bench::measure(const std::function<double()> &Once,
+                           unsigned Reps) {
+  std::vector<double> Samples;
+  Samples.reserve(Reps);
+  for (unsigned I = 0; I != std::max(1u, Reps); ++I)
+    Samples.push_back(Once());
+  std::sort(Samples.begin(), Samples.end());
+  auto At = [&](double Q) {
+    double Pos = Q * (Samples.size() - 1);
+    size_t Lo = static_cast<size_t>(Pos);
+    size_t Hi = std::min(Lo + 1, Samples.size() - 1);
+    double Frac = Pos - Lo;
+    return Samples[Lo] * (1 - Frac) + Samples[Hi] * Frac;
+  };
+  return {At(0.5), At(0.25), At(0.75)};
+}
+
+std::vector<int64_t> bench::sweepRange(int64_t Start, int64_t End,
+                                       int64_t Step) {
+  std::vector<int64_t> Xs;
+  for (int64_t X = Start; X <= End; X += Step)
+    Xs.push_back(X);
+  return Xs;
+}
+
+//===----------------------------------------------------------------------===//
+// Runner
+//===----------------------------------------------------------------------===//
+
+Runner::Runner(machine::UArch Target, std::map<std::string, unsigned> Offsets)
+    : Target(Target), Arch(machine::Microarch::get(Target)),
+      Offsets(std::move(Offsets)) {}
+
+void Runner::addLGen(const std::string &Label, compiler::Options Opts) {
+  SeriesGen G;
+  G.Name = Label;
+  G.IsLGen = true;
+  G.LGenOpts = Opts;
+  Gens.push_back(std::move(G));
+}
+
+void Runner::addLGenVariants() {
+  using compiler::Options;
+  // §5.1.5: LGen uses a random search over the tiling space, sample size 10.
+  auto Tuned = [](Options O) {
+    O.SearchSamples = 10;
+    return O;
+  };
+  addLGen("LGen-Full", Tuned(Options::lgenFull(Target)));
+  if (Target == machine::UArch::Atom) {
+    Options Align = Options::lgenBase(Target);
+    Align.AlignmentDetection = true;
+    addLGen("LGen-Align", Tuned(Align));
+    Options MVM = Options::lgenBase(Target);
+    MVM.NewMVM = true;
+    addLGen("LGen-MVM", Tuned(MVM));
+  }
+  addLGen("LGen", Tuned(Options::lgenBase(Target)));
+}
+
+void Runner::addCompetitors() {
+  for (auto &G : baselines::competitorsFor(Target)) {
+    SeriesGen SG;
+    SG.Name = G->name();
+    SG.Baseline = std::move(G);
+    Gens.push_back(std::move(SG));
+  }
+  // The Eigen series must see the offsets the sweep runs with (its runtime
+  // peeling decisions, §5.2.4).
+  if (!Offsets.empty())
+    for (SeriesGen &SG : Gens)
+      if (SG.Baseline && SG.Name == "Eigen-like")
+        SG.Baseline = baselines::makeEigenLike(Target, Offsets);
+}
+
+double Runner::evalPoint(const std::string &SeriesName,
+                         const std::string &Source, unsigned Reps) const {
+  const SeriesGen *Gen = nullptr;
+  for (const SeriesGen &G : Gens)
+    if (G.Name == SeriesName)
+      Gen = &G;
+  assert(Gen && "unknown series");
+
+  ll::Program P = ll::parseProgramOrDie(Source);
+  compiler::CompiledKernel CK;
+  if (Gen->IsLGen) {
+    compiler::Compiler C(Gen->LGenOpts);
+    CK = C.compile(P);
+  } else {
+    CK = Gen->Baseline->compile(P);
+  }
+
+  // Alignment offsets by parameter array id (declaration order).
+  std::map<cir::ArrayId, int64_t> IdOffsets;
+  for (size_t I = 0; I != P.Operands.size(); ++I) {
+    auto It = Offsets.find(P.Operands[I].Name);
+    if (It != Offsets.end())
+      IdOffsets[static_cast<cir::ArrayId>(I)] = It->second;
+  }
+
+  if (Validate) {
+    // §5.1.4: compare against the naive implementation.
+    Rng R(0x5eed + P.Operands.size());
+    ll::Bindings In;
+    for (const ll::Operand &O : P.Operands) {
+      ll::MatrixValue V(O.Rows, O.Cols);
+      ll::fillRandom(V, R);
+      In[O.Name] = V;
+    }
+    ll::MatrixValue Expected = ll::evaluate(P, In);
+    std::vector<machine::Buffer> Storage(P.Operands.size());
+    std::vector<machine::Buffer *> Params;
+    size_t OutIdx = 0;
+    for (size_t I = 0; I != P.Operands.size(); ++I) {
+      const ll::Operand &O = P.Operands[I];
+      auto It = Offsets.find(O.Name);
+      Storage[I] = machine::Buffer(O.numElements(), 0.0f,
+                                   It == Offsets.end() ? 0 : It->second);
+      Storage[I].Data = In[O.Name].Data;
+      if (O.Name == P.OutputName)
+        OutIdx = I;
+      Params.push_back(&Storage[I]);
+    }
+    CK.execute(Params);
+    ll::MatrixValue Actual(Expected.Rows, Expected.Cols);
+    Actual.Data = Storage[OutIdx].Data;
+    float Eps = static_cast<float>(
+        1e-4 * std::max(1.0, std::sqrt(ll::flopCount(P))));
+    if (ll::maxAbsDiff(Expected, Actual) > Eps)
+      reportFatalError("bench validation failed for series '" + SeriesName +
+                       "' on BLAC: " + Source);
+  }
+
+  Measurement M = measure(
+      [&] { return CK.time(Arch, IdOffsets).Cycles; }, Reps);
+  return M.Median > 0 ? CK.Flops / M.Median : 0.0;
+}
+
+Sweep Runner::run(const std::string &Id, const std::string &Title,
+                  SourceFn Src, std::vector<int64_t> Xs, unsigned Reps) {
+  Sweep S;
+  S.Id = Id;
+  S.Title = Title;
+  S.Target = Target;
+  S.Xs = Xs;
+  for (const SeriesGen &G : Gens)
+    S.SeriesList.push_back({G.Name, std::vector<double>(Xs.size(), 0.0)});
+
+  // Run every (series, x) point as one Mediator experiment over a
+  // simulated device farm (the thesis' §5.1.4 setup, minus the SSH).
+  unsigned Cores = std::max(1u, std::thread::hardware_concurrency());
+  struct Point {
+    size_t SeriesIdx;
+    size_t XIdx;
+  };
+  std::vector<Point> Points;
+  for (size_t SI = 0; SI != Gens.size(); ++SI)
+    for (size_t XI = 0; XI != Xs.size(); ++XI)
+      Points.push_back({SI, XI});
+
+  mediator::Mediator Med;
+  Med.registerDevice(
+      "simfarm", Cores, [&](const json::Value &Exp, unsigned) {
+        size_t Idx = static_cast<size_t>(Exp.getNumber("pointIndex"));
+        const Point &Pt = Points[Idx];
+        double FPC =
+            evalPoint(Gens[Pt.SeriesIdx].Name, Src(Xs[Pt.XIdx]), Reps);
+        json::Object R;
+        R["pointIndex"] = static_cast<int64_t>(Idx);
+        R["flopsPerCycle"] = FPC;
+        return json::Value(std::move(R));
+      });
+
+  json::Array Exps;
+  json::Array Affinity;
+  for (unsigned C = 0; C != Cores; ++C)
+    Affinity.push_back(json::Value(static_cast<int64_t>(C)));
+  for (size_t I = 0; I != Points.size(); ++I) {
+    json::Object Dev;
+    Dev["hostname"] = "simfarm";
+    Dev["affinity"] = json::Value(Affinity);
+    json::Object Exp;
+    Exp["device"] = json::Value(std::move(Dev));
+    Exp["pointIndex"] = static_cast<int64_t>(I);
+    Exps.push_back(json::Value(std::move(Exp)));
+  }
+  json::Object Req;
+  Req["apiVersion"] = "1.0";
+  Req["async"] = false;
+  Req["experiments"] = json::Value(std::move(Exps));
+
+  std::string RespText =
+      Med.handleNewJobRequest(json::Value(std::move(Req)).serialize());
+  json::Value Resp;
+  std::string Err;
+  if (!json::parse(RespText, Resp, Err))
+    reportFatalError("mediator returned malformed response: " + Err);
+  if (!Resp["data"].isArray())
+    reportFatalError("mediator job failed: " + RespText);
+  for (const json::Value &R : Resp["data"].asArray()) {
+    size_t Idx = static_cast<size_t>(R.getNumber("pointIndex"));
+    const Point &Pt = Points[Idx];
+    S.SeriesList[Pt.SeriesIdx].Values[Pt.XIdx] = R.getNumber("flopsPerCycle");
+  }
+  return S;
+}

@@ -1,0 +1,122 @@
+//===- Harness.h - Benchmark harness for the Chapter 5 plots ---*- C++ -*-===//
+//
+// Part of the LGen reproduction benchmark suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experimental setup of thesis §5.1 as a reusable harness. A bench
+/// binary describes one figure: the target processor, the BLAC as a
+/// function of the sweep parameter n, and the series to compare (LGen
+/// configurations and the competitor set). The harness:
+///
+///  * compiles every (series, n) point and validates it against the naive
+///    reference (§5.1.4's correctness check);
+///  * measures flops/cycle with the target's timing model, through the
+///    repetition/median machinery of §5.1.4;
+///  * executes the sweep as a Mediator job spread over the cores of a
+///    simulated device farm, exactly how the thesis ran its experiments;
+///  * prints the series as a table plus a "shape" summary (who wins, by
+///    what factor) that EXPERIMENTS.md quotes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_BENCH_HARNESS_H
+#define LGEN_BENCH_HARNESS_H
+
+#include "baselines/Baselines.h"
+#include "compiler/Compiler.h"
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lgen {
+namespace bench {
+
+struct Series {
+  std::string Name;
+  std::vector<double> Values;
+};
+
+struct Sweep {
+  std::string Id;
+  std::string Title;
+  machine::UArch Target = machine::UArch::Atom;
+  std::string XLabel = "n";
+  std::vector<int64_t> Xs;
+  std::vector<Series> SeriesList;
+
+  void print(std::ostream &OS) const;
+
+  /// Value of a named series at index \p XIdx (tests/summaries).
+  double valueOf(const std::string &Name, size_t XIdx) const;
+  /// Geometric-mean speedup of series \p A over series \p B across the
+  /// sweep (points where either is zero are skipped).
+  double speedup(const std::string &A, const std::string &B) const;
+  /// Name of the best non-LGen series by geometric mean.
+  std::string bestCompetitor() const;
+};
+
+/// Median/quartile measurement of §5.1.4. The timing model is
+/// deterministic, so by default one repetition suffices; the machinery is
+/// exercised with injected jitter in the tests.
+struct Measurement {
+  double Median = 0;
+  double Q1 = 0;
+  double Q3 = 0;
+};
+Measurement measure(const std::function<double()> &Once, unsigned Reps = 1);
+
+/// {Start, Start+Step, ...} up to and including at most End.
+std::vector<int64_t> sweepRange(int64_t Start, int64_t End, int64_t Step);
+
+/// BLAC source as a function of the sweep parameter.
+using SourceFn = std::function<std::string(int64_t)>;
+
+class Runner {
+public:
+  /// \p Offsets misaligns operand buffers by name (Fig 5.9); the Eigen
+  /// baseline also receives them as its peeling assumption.
+  explicit Runner(machine::UArch Target,
+                  std::map<std::string, unsigned> Offsets = {});
+
+  /// Adds an LGen configuration series.
+  void addLGen(const std::string &Label, compiler::Options Opts);
+  /// Adds the four thesis configurations LGen/-Align/-MVM/-Full (Atom) or
+  /// LGen/LGen-Full (others).
+  void addLGenVariants();
+  /// Adds the §5.1.2 competitor set for the target.
+  void addCompetitors();
+
+  /// Runs the sweep, dispatching points through Mediator.
+  Sweep run(const std::string &Id, const std::string &Title, SourceFn Src,
+            std::vector<int64_t> Xs, unsigned Reps = 1);
+
+  /// Disables per-point validation (for very large sweeps).
+  void setValidate(bool V) { Validate = V; }
+
+private:
+  double evalPoint(const std::string &SeriesName, const std::string &Source,
+                   unsigned Reps) const;
+
+  machine::UArch Target;
+  machine::Microarch Arch;
+  std::map<std::string, unsigned> Offsets;
+  bool Validate = true;
+  struct SeriesGen {
+    std::string Name;
+    compiler::Options LGenOpts;
+    bool IsLGen = false;
+    std::shared_ptr<baselines::Generator> Baseline;
+  };
+  std::vector<SeriesGen> Gens;
+};
+
+} // namespace bench
+} // namespace lgen
+
+#endif // LGEN_BENCH_HARNESS_H

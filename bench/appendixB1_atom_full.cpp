@@ -1,0 +1,12 @@
+//===- appendixB1_atom_full.cpp - Appendix B1 full sweep -------------------*- C++ -*-===//
+//
+// Appendix B1: the complete experiment set on Atom.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AppendixCommon.h"
+
+int main() {
+  lgen::bench::runAppendixSet(lgen::machine::UArch::Atom, "B1");
+  return 0;
+}

@@ -1,0 +1,12 @@
+//===- appendixB2_a8_full.cpp - Appendix B2 full sweep -------------------*- C++ -*-===//
+//
+// Appendix B2: the complete experiment set on CortexA8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AppendixCommon.h"
+
+int main() {
+  lgen::bench::runAppendixSet(lgen::machine::UArch::CortexA8, "B2");
+  return 0;
+}

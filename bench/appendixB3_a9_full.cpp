@@ -1,0 +1,12 @@
+//===- appendixB3_a9_full.cpp - Appendix B3 full sweep -------------------*- C++ -*-===//
+//
+// Appendix B3: the complete experiment set on CortexA9.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AppendixCommon.h"
+
+int main() {
+  lgen::bench::runAppendixSet(lgen::machine::UArch::CortexA9, "B3");
+  return 0;
+}

@@ -1,0 +1,12 @@
+//===- appendixB4_arm1176_full.cpp - Appendix B4 full sweep -------------------*- C++ -*-===//
+//
+// Appendix B4: the complete experiment set on ARM1176.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AppendixCommon.h"
+
+int main() {
+  lgen::bench::runAppendixSet(lgen::machine::UArch::ARM1176, "B4");
+  return 0;
+}

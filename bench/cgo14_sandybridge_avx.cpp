@@ -1,0 +1,60 @@
+//===- cgo14_sandybridge_avx.cpp - The CGO'14 desktop setting ------------===//
+//
+// The original CGO'14 "A Basic Linear Algebra Compiler" evaluates LGen on a
+// desktop Core i7 with AVX (ν = 8). This bench runs the flagship BLAC set
+// on the Sandy Bridge model: LGen (with the MVH/RR MVM) against the same
+// competitor families. Expected shape: LGen ahead on small/odd sizes while
+// the library baselines close in at larger n (their home turf).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::SandyBridge);
+  R.addLGenVariants();
+  R.addCompetitors();
+  R.run("cgo14.a", "y = A*x, A is 8xn",
+        [](int64_t N) { return blacs::mvm(8, N); },
+        {8, 16, 24, 25, 64, 256, 1024})
+      .print(std::cout);
+  R.run("cgo14.b", "y = alpha*A*x + beta*y, A is 8xn",
+        [](int64_t N) { return blacs::gemv(8, N); },
+        {8, 16, 24, 25, 64, 256, 1024})
+      .print(std::cout);
+  R.run("cgo14.c", "C = alpha*A*B + beta*C, A is nx8, B is 8xn",
+        [](int64_t N) { return blacs::gemm(N, 8, N); },
+        {4, 8, 16, 24, 32, 48, 64})
+      .print(std::cout);
+  R.run("cgo14.d", "C = A*B (micro)",
+        [](int64_t N) { return blacs::mmm(N, N, N); },
+        {2, 3, 4, 6, 8, 10, 12, 14, 16})
+      .print(std::cout);
+
+  // CGO'14 also compares LGen's own ISAs on the same machine: SSSE3 vs
+  // SSE4.1 (dpps) vs AVX, all on the Sandy Bridge model.
+  {
+    Runner RI(machine::UArch::SandyBridge);
+    compiler::Options Avx =
+        compiler::Options::lgenBase(machine::UArch::SandyBridge);
+    Avx.SearchSamples = 10;
+    compiler::Options Ssse3 = Avx;
+    Ssse3.ISA = isa::ISAKind::SSSE3;
+    compiler::Options Sse41 = Avx;
+    Sse41.ISA = isa::ISAKind::SSE41;
+    RI.addLGen("LGen (AVX)", Avx);
+    RI.addLGen("LGen (SSE4.1)", Sse41);
+    RI.addLGen("LGen (SSSE3)", Ssse3);
+    RI.run("cgo14.e", "y = A*x, A is 8xn: LGen ISA comparison",
+           [](int64_t N) { return blacs::mvm(8, N); },
+           {8, 16, 64, 256, 1024})
+        .print(std::cout);
+  }
+  return 0;
+}

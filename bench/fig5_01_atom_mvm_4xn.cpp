@@ -1,0 +1,41 @@
+//===- fig5_01_atom_mvm_4xn.cpp - Fig 5.1 (Intel Atom) ---------*- C++ -*-===//
+//
+// Part of the LGen reproduction benchmark suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 5.1: BLACs containing matrix-vector multiplications, where the
+/// matrices have size 4×n, on Intel Atom. Three subplots: (a) y = Ax,
+/// (b) y = αAx + βBx, (c) α = xᵀAy. Expected shape: LGen-Full above every
+/// competitor (speedups up to ~5×); LGen-MVM ≈1.5× and LGen-Align ≈1.2–2×
+/// over base LGen; curves jagged in n mod 4 (the fraction of aligned rows).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::Atom);
+  R.addLGenVariants();
+  R.addCompetitors();
+
+  std::vector<int64_t> Xs = {2,  4,  6,  8,  12, 16,  24,  40,  64,
+                             96, 97, 98, 99, 100, 256, 512, 1024, 1190};
+
+  R.run("fig5.1a", "y = A*x, A is 4xn",
+        [](int64_t N) { return blacs::mvm(4, N); }, Xs)
+      .print(std::cout);
+  R.run("fig5.1b", "y = alpha*A*x + beta*B*x, A and B are 4xn",
+        [](int64_t N) { return blacs::twoMvm(4, N); }, Xs)
+      .print(std::cout);
+  R.run("fig5.1c", "alpha = x'*A*y, A is 4xn",
+        [](int64_t N) { return blacs::bilinear(4, N); }, Xs)
+      .print(std::cout);
+  return 0;
+}

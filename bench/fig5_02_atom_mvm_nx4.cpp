@@ -1,0 +1,34 @@
+//===- fig5_02_atom_mvm_nx4.cpp - Fig 5.2 (Intel Atom) ---------*- C++ -*-===//
+//
+// Figure 5.2: MVM-based BLACs on n×4 vertical panels (Atom). Expected
+// shape: the new MVM approach degenerates to the old one (a single tile
+// per row), so LGen-MVM ≈ LGen; steep dips at n = 695 and n = 893 where
+// ⌊n/4⌋ is prime and no outer tiling is legal (§2.1.2, §5.2.1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::Atom);
+  R.addLGenVariants();
+  R.addCompetitors();
+  std::vector<int64_t> Xs = {4,  8,  16,  32,  64,  128, 256,
+                             512, 692, 695, 700, 890, 893, 900, 1190};
+  R.run("fig5.2a", "y = alpha*A*x + beta*y, A is nx4",
+        [](int64_t N) { return blacs::gemv(N, 4); }, Xs)
+      .print(std::cout);
+  R.run("fig5.2b", "y = alpha*A*x + beta*B*x, A and B are nx4",
+        [](int64_t N) { return blacs::twoMvm(N, 4); }, Xs)
+      .print(std::cout);
+  R.run("fig5.2c", "alpha = x'*A*y, A is nx4",
+        [](int64_t N) { return blacs::bilinear(N, 4); }, Xs)
+      .print(std::cout);
+  return 0;
+}

@@ -1,0 +1,33 @@
+//===- fig5_04_atom_mmm_right4xn.cpp - Fig 5.4 (Intel Atom) ----*- C++ -*-===//
+//
+// Figure 5.4: MMM-based BLACs where the right operand is 4×n (Atom).
+// Expected shape: LGen-Full above all; MKL the best competitor on the
+// gemm-like variants; alignment percentage follows n mod 4.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::Atom);
+  R.addLGenVariants();
+  R.addCompetitors();
+  std::vector<int64_t> Xs = {2, 4, 8, 16, 32, 33, 34, 64, 128, 256, 512, 946};
+  R.run("fig5.4a", "C = A*B, A is 4x4, B is 4xn",
+        [](int64_t N) { return blacs::mmm(4, 4, N); }, Xs)
+      .print(std::cout);
+  R.run("fig5.4b", "C = alpha*A*B + beta*C, A is 4x4, B is 4xn",
+        [](int64_t N) { return blacs::gemm(4, 4, N); }, Xs)
+      .print(std::cout);
+  R.run("fig5.4c", "C = alpha*(A0+A1)'*B + beta*C, A0, A1, B are 4xn",
+        [](int64_t N) { return blacs::addTransGemm(N, 4, N); },
+        {2, 4, 8, 16, 24, 32, 48, 64, 86})
+      .print(std::cout);
+  return 0;
+}

@@ -1,0 +1,30 @@
+//===- fig5_05_atom_mmm_rightnx4.cpp - Fig 5.5 (Intel Atom) ----*- C++ -*-===//
+//
+// Figure 5.5: MMM-based BLACs where the right operand has 4 columns
+// (Atom). Expected shape: flat LGen-Full curves (every access aligned);
+// smaller LGen-Full vs LGen gap than in the MVM figures because MMM has a
+// higher compute-to-memory ratio (§5.2.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::Atom);
+  R.addLGenVariants();
+  R.addCompetitors();
+  std::vector<int64_t> Xs = {4, 8, 16, 32, 64, 128, 256, 512, 946};
+  R.run("fig5.5a", "C = A*B, A is nx4, B is 4x4",
+        [](int64_t N) { return blacs::mmm(N, 4, 4); }, Xs)
+      .print(std::cout);
+  R.run("fig5.5b", "C = alpha*A*B + beta*C, A is nx4, B is 4x4",
+        [](int64_t N) { return blacs::gemm(N, 4, 4); }, Xs)
+      .print(std::cout);
+  return 0;
+}

@@ -1,0 +1,26 @@
+//===- fig5_06_atom_micro_mmm.cpp - Fig 5.6 (Intel Atom) -------*- C++ -*-===//
+//
+// Figure 5.6: C = AB micro-BLAC on n×n matrices, n in [2, 10] (Atom).
+// Expected shape: LGen-Full to ~1.3 f/c; IPP the runner-up peaking around
+// n = 6-8; peaks at n = 4, 8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::Atom);
+  R.addLGenVariants();
+  R.addCompetitors();
+  R.run("fig5.6", "C = A*B, A and B are nxn (micro)",
+        [](int64_t N) { return blacs::mmm(N, N, N); },
+        {2, 3, 4, 5, 6, 7, 8, 9, 10})
+      .print(std::cout);
+  return 0;
+}

@@ -1,0 +1,33 @@
+//===- fig5_07_atom_varying_shapes.cpp - Fig 5.7 (Intel Atom) --*- C++ -*-===//
+//
+// Figure 5.7: BLACs on 30×n matrices whose shape varies between vertical
+// and horizontal panels (Atom). Expected shape: LGen best everywhere; the
+// library competitors approach it as matrices get wider (§5.2.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::Atom);
+  R.addLGenVariants();
+  R.addCompetitors();
+  std::vector<int64_t> Xs = {2, 4, 8, 16, 30, 44, 58, 72, 86, 100};
+  R.run("fig5.7a", "y = alpha*A*x + beta*y, A is 30xn",
+        [](int64_t N) { return blacs::gemv(30, N); }, Xs)
+      .print(std::cout);
+  std::vector<int64_t> Xs2 = {2, 4, 8, 14, 20, 26, 32, 44, 62};
+  R.run("fig5.7b", "C = alpha*A*B + beta*C, A is 30xn, B is nx30",
+        [](int64_t N) { return blacs::gemm(30, N, 30); }, Xs2)
+      .print(std::cout);
+  R.run("fig5.7c", "C = alpha*(A0+A1)'*B + beta*C, A0, A1, B are nx30",
+        [](int64_t N) { return blacs::addTransGemm(30, N, 30); }, Xs2)
+      .print(std::cout);
+  return 0;
+}

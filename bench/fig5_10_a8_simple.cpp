@@ -1,0 +1,35 @@
+//===- fig5_10_a8_simple.cpp - Fig 5.10 (Cortex-A8) ------------*- C++ -*-===//
+//
+// Figure 5.10: simple BLACs on Cortex-A8. Expected shape: LGen 2–9× over
+// the best competitor — scalar floating point on the A8's non-pipelined
+// VFP / high-latency NEON path makes every scalar-mixing competitor slow
+// (§5.3.1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::CortexA8);
+  R.addLGenVariants();
+  R.addCompetitors();
+  R.run("fig5.10a", "y = A*x, A is nx4",
+        [](int64_t N) { return blacs::mvm(N, 4); },
+        {4, 8, 16, 64, 256, 692, 695, 1024, 1190})
+      .print(std::cout);
+  R.run("fig5.10b", "C = A*B, A is 4xn, B is nx4",
+        [](int64_t N) { return blacs::mmm(4, N, 4); },
+        {2, 4, 8, 16, 64, 238, 474, 946})
+      .print(std::cout);
+  R.run("fig5.10c", "C = A*B, A is nx4, B is 4xn (rank-4 update)",
+        [](int64_t N) { return blacs::mmm(N, 4, N); },
+        {2, 4, 8, 14, 20, 32, 50, 86})
+      .print(std::cout);
+  return 0;
+}

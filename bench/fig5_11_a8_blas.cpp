@@ -1,0 +1,42 @@
+//===- fig5_11_a8_blas.cpp - Fig 5.11 (Cortex-A8) --------------*- C++ -*-===//
+//
+// Figure 5.11: BLACs that closely match BLAS on Cortex-A8. Expected shape:
+// LGen up to ~7× over competitors; on the easily-vectorized y = αx + y the
+// auto-vectorizing gcc-fixed and Eigen reach 0.5–0.6 f/c (§5.3.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::CortexA8);
+  R.addLGenVariants();
+  R.addCompetitors();
+  R.run("fig5.11a", "y = alpha*x + y",
+        [](int64_t N) { return blacs::axpy(N); },
+        {16, 64, 256, 1024, 2048, 3782})
+      .print(std::cout);
+  R.run("fig5.11b", "y = alpha*A*x + beta*y, A is 4xn",
+        [](int64_t N) { return blacs::gemv(4, N); },
+        {4, 8, 16, 64, 256, 1024, 1190})
+      .print(std::cout);
+  R.run("fig5.11c", "y = alpha*A*x + beta*y, A is 30xn",
+        [](int64_t N) { return blacs::gemv(30, N); },
+        {2, 4, 8, 16, 30, 58, 86, 100})
+      .print(std::cout);
+  R.run("fig5.11d", "C = alpha*A*B + beta*C, A is nx4, B is 4xn",
+        [](int64_t N) { return blacs::gemm(N, 4, N); },
+        {2, 4, 8, 14, 20, 32, 50, 86})
+      .print(std::cout);
+  R.run("fig5.11e", "C = alpha*A*B + beta*C, A is 30xn, B is nx30",
+        [](int64_t N) { return blacs::gemm(30, N, 30); },
+        {2, 4, 8, 14, 20, 32, 44, 62})
+      .print(std::cout);
+  return 0;
+}

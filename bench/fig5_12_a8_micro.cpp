@@ -1,0 +1,32 @@
+//===- fig5_12_a8_micro.cpp - Fig 5.12 (Cortex-A8) -------------*- C++ -*-===//
+//
+// Figure 5.12: micro-BLACs on n×n matrices (Cortex-A8). Expected shape:
+// competitors decent only at n = 4 and 8 (pure vector code); LGen's packed
+// leftover handling keeps it high at every size (§5.3.4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::CortexA8);
+  R.addLGenVariants();
+  R.addCompetitors();
+  std::vector<int64_t> Xs = {2, 3, 4, 5, 6, 7, 8, 9, 10};
+  R.run("fig5.12a", "y = A*x (micro)",
+        [](int64_t N) { return blacs::mvm(N, N); }, Xs)
+      .print(std::cout);
+  R.run("fig5.12b", "C = A*B (micro)",
+        [](int64_t N) { return blacs::mmm(N, N, N); }, Xs)
+      .print(std::cout);
+  R.run("fig5.12c", "alpha = x'*A*y (micro)",
+        [](int64_t N) { return blacs::bilinear(N, N); }, Xs)
+      .print(std::cout);
+  return 0;
+}

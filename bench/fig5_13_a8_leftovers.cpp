@@ -1,0 +1,62 @@
+//===- fig5_13_a8_leftovers.cpp - Fig 5.13 (Cortex-A8) ---------*- C++ -*-===//
+//
+// Figure 5.13: C = AB with a large percentage of leftovers (Cortex-A8) —
+// the specialized ν-BLAC showcase (§3.4, §5.3.5). Subplot (a) sweeps every
+// M×K×N with dimensions in [1, 4]; subplot (b) is a 100×n×n product.
+// Expected shape: specialized ν-BLACs up to ~4× over the traditional
+// padding path when n mod 4 ∈ {2, 3}, converging as n grows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+static void leftoverBench(machine::UArch Target) {
+  using compiler::Options;
+  Runner R(Target);
+  Options Spec = Options::lgenBase(Target);
+  Spec.SpecializedNuBLACs = true;
+  R.addLGen("LGen-Full", Spec); // Specialized leftover codelets.
+  R.addLGen("LGen", Options::lgenBase(Target));
+  R.addCompetitors();
+
+  // (a) All M, K, N in [1,4] with MK > 1 and KN > 1, indexed 0..N-1.
+  struct Shape {
+    int64_t M, K, N;
+  };
+  static std::vector<Shape> Shapes;
+  Shapes.clear();
+  for (int64_t M = 1; M <= 4; ++M)
+    for (int64_t K = 1; K <= 4; ++K)
+      for (int64_t N = 1; N <= 4; ++N)
+        if (M * K > 1 && K * N > 1)
+          Shapes.push_back({M, K, N});
+  std::vector<int64_t> Idx;
+  for (size_t I = 0; I != Shapes.size(); ++I)
+    Idx.push_back(static_cast<int64_t>(I));
+  Sweep A = R.run("fig.a", "C = A(MxK)*B(KxN), M,K,N in [1,4]",
+                  [](int64_t I) {
+                    const Shape &S = Shapes[I];
+                    return blacs::mmm(S.M, S.K, S.N);
+                  },
+                  Idx);
+  A.XLabel = "shape#";
+  A.print(std::cout);
+
+  // (b) 100 x n x n.
+  R.run("fig.b", "C = A*B, A is 100xn, B is nxn",
+        [](int64_t N) { return blacs::mmm(100, N, N); },
+        {2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 14, 15, 18, 22, 23, 24})
+      .print(std::cout);
+}
+
+int main() {
+  std::cout << "== fig5.13: leftover-heavy C = AB on Cortex-A8 ==\n";
+  leftoverBench(machine::UArch::CortexA8);
+  return 0;
+}

@@ -1,0 +1,34 @@
+//===- fig5_14_a9_simple.cpp - Fig 5.14 (Cortex-A9) ------------*- C++ -*-===//
+//
+// Figure 5.14: simple BLACs on Cortex-A9. Expected shape: narrower gaps
+// than on the A8 (the A9's VFP is pipelined, so scalar competitor code is
+// respectable), LGen still ahead ~2×; dips at n = 695, 893 (§5.4.1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::CortexA9);
+  R.addLGenVariants();
+  R.addCompetitors();
+  R.run("fig5.14a", "y = A*x, A is nx4",
+        [](int64_t N) { return blacs::mvm(N, 4); },
+        {4, 8, 16, 64, 256, 692, 695, 890, 893, 1190})
+      .print(std::cout);
+  R.run("fig5.14b", "C = A*B, A is 4xn, B is nx4",
+        [](int64_t N) { return blacs::mmm(4, N, 4); },
+        {2, 4, 8, 16, 64, 238, 474, 946})
+      .print(std::cout);
+  R.run("fig5.14c", "C = A*B, A is nx4, B is 4xn",
+        [](int64_t N) { return blacs::mmm(N, 4, N); },
+        {2, 4, 8, 14, 20, 32, 50, 86})
+      .print(std::cout);
+  return 0;
+}

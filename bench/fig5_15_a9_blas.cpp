@@ -1,0 +1,35 @@
+//===- fig5_15_a9_blas.cpp - Fig 5.15 (Cortex-A9) --------------*- C++ -*-===//
+//
+// Figure 5.15: BLAS-matching BLACs on Cortex-A9. Expected shape: on
+// y = αx + y LGen is capped around 0.6 f/c by the single NEON issue port
+// shared between memory and arithmetic (§5.4.2); both compilers
+// auto-vectorize the fixed-size axpy decently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::CortexA9);
+  R.addLGenVariants();
+  R.addCompetitors();
+  R.run("fig5.15a", "y = alpha*x + y",
+        [](int64_t N) { return blacs::axpy(N); },
+        {16, 64, 256, 1024, 2048, 3782})
+      .print(std::cout);
+  R.run("fig5.15b", "y = alpha*A*x + beta*y, A is 4xn",
+        [](int64_t N) { return blacs::gemv(4, N); },
+        {4, 8, 16, 64, 256, 1024, 1190})
+      .print(std::cout);
+  R.run("fig5.15c", "C = alpha*A*B + beta*C, A is nx4, B is 4xn",
+        [](int64_t N) { return blacs::gemm(N, 4, N); },
+        {2, 4, 8, 14, 20, 32, 50, 86})
+      .print(std::cout);
+  return 0;
+}

@@ -1,0 +1,35 @@
+//===- fig5_16_a9_multiblas.cpp - Fig 5.16 (Cortex-A9) ---------*- C++ -*-===//
+//
+// Figure 5.16: BLACs that require more than one BLAS call (Cortex-A9).
+// Expected shape: ~1.5× over the best competitor on the MVM-based BLACs,
+// up to ~3× on C = α(A0+A1)ᵀB + βC; the (a) curves decay past the L1
+// capacity (§5.4.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::CortexA9);
+  R.addLGenVariants();
+  R.addCompetitors();
+  R.run("fig5.16a", "y = alpha*A*x + beta*B*x, A and B are 4xn",
+        [](int64_t N) { return blacs::twoMvm(4, N); },
+        {4, 8, 16, 64, 256, 1024, 1190})
+      .print(std::cout);
+  R.run("fig5.16b", "alpha = x'*A*y, A is 4xn",
+        [](int64_t N) { return blacs::bilinear(4, N); },
+        {4, 8, 16, 64, 256, 1024, 1190})
+      .print(std::cout);
+  R.run("fig5.16c", "C = alpha*(A0+A1)'*B + beta*C, A0, A1, B are 4xn",
+        [](int64_t N) { return blacs::addTransGemm(N, 4, N); },
+        {2, 4, 8, 14, 20, 32, 50, 86})
+      .print(std::cout);
+  return 0;
+}

@@ -1,0 +1,32 @@
+//===- fig5_17_a9_micro.cpp - Fig 5.17 (Cortex-A9) -------------*- C++ -*-===//
+//
+// Figure 5.17: micro-BLACs on Cortex-A9. Expected shape: LGen well ahead
+// on y = Ax and C = AB at every size; on α = xᵀAy Eigen is comparable up
+// to n ≈ 7 and collapses afterwards (§5.4.4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::CortexA9);
+  R.addLGenVariants();
+  R.addCompetitors();
+  std::vector<int64_t> Xs = {2, 3, 4, 5, 6, 7, 8, 9, 10};
+  R.run("fig5.17a", "y = A*x (micro)",
+        [](int64_t N) { return blacs::mvm(N, N); }, Xs)
+      .print(std::cout);
+  R.run("fig5.17b", "C = A*B (micro)",
+        [](int64_t N) { return blacs::mmm(N, N, N); }, Xs)
+      .print(std::cout);
+  R.run("fig5.17c", "alpha = x'*A*y (micro)",
+        [](int64_t N) { return blacs::bilinear(N, N); }, Xs)
+      .print(std::cout);
+  return 0;
+}

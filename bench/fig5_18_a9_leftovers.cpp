@@ -1,0 +1,30 @@
+//===- fig5_18_a9_leftovers.cpp - Fig 5.18 (Cortex-A9) ---------*- C++ -*-===//
+//
+// Figure 5.18: leftover-heavy C = AB on Cortex-A9 (§5.4.5). Same setup as
+// Fig 5.13; values slightly below the A8's because the A9 NEON pipeline
+// issues a single instruction per cycle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  using compiler::Options;
+  Runner R(machine::UArch::CortexA9);
+  Options Spec = Options::lgenBase(machine::UArch::CortexA9);
+  Spec.SpecializedNuBLACs = true;
+  R.addLGen("LGen-Full", Spec);
+  R.addLGen("LGen", Options::lgenBase(machine::UArch::CortexA9));
+  R.addCompetitors();
+  R.run("fig5.18", "C = A*B, A is 100xn, B is nxn",
+        [](int64_t N) { return blacs::mmm(100, N, N); },
+        {2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 14, 15, 18, 22, 23, 24})
+      .print(std::cout);
+  return 0;
+}

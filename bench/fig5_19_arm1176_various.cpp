@@ -1,0 +1,54 @@
+//===- fig5_19_arm1176_various.cpp - Fig 5.19 (ARM1176) --------*- C++ -*-===//
+//
+// Figure 5.19: various BLACs on the scalar ARM1176 (§5.5). All series are
+// scalar code; LGen's advantage comes from tiling/unrolling plus the
+// scheduler, up to ~4× over ATLAS (the best competitor), except on
+// α = xᵀAy. L1 is only 16 KB, so the large-n decay starts early, and the
+// small random-search sample (10) over the large scalar tiling space makes
+// LGen's own curve noticeably noisy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Blacs.h"
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+int main() {
+  Runner R(machine::UArch::ARM1176);
+  R.addLGenVariants();
+  R.addCompetitors();
+  std::vector<int64_t> Panel = {4, 8, 16, 64, 256, 1024, 1190};
+  std::vector<int64_t> Square = {2, 4, 8, 14, 20, 32, 50, 86};
+  R.run("fig5.19a", "y = A*x, A is 4xn",
+        [](int64_t N) { return blacs::mvm(4, N); }, Panel)
+      .print(std::cout);
+  R.run("fig5.19b", "C = A*B, A is 4xn, B is nx4",
+        [](int64_t N) { return blacs::mmm(4, N, 4); },
+        {2, 4, 8, 16, 64, 238, 474, 946})
+      .print(std::cout);
+  R.run("fig5.19c", "y = alpha*x + y",
+        [](int64_t N) { return blacs::axpy(N); },
+        {16, 64, 256, 1024, 2048, 3782})
+      .print(std::cout);
+  R.run("fig5.19d", "y = alpha*A*x + beta*y, A is 4xn",
+        [](int64_t N) { return blacs::gemv(4, N); }, Panel)
+      .print(std::cout);
+  R.run("fig5.19e", "C = alpha*A*B + beta*C, A is 4xn, B is nx4",
+        [](int64_t N) { return blacs::gemm(4, N, 4); },
+        {2, 4, 8, 16, 64, 238, 474, 946})
+      .print(std::cout);
+  R.run("fig5.19f", "y = alpha*A*x + beta*B*x, A and B are 4xn",
+        [](int64_t N) { return blacs::twoMvm(4, N); }, Panel)
+      .print(std::cout);
+  R.run("fig5.19g", "alpha = x'*A*y, A is 4xn",
+        [](int64_t N) { return blacs::bilinear(4, N); }, Panel)
+      .print(std::cout);
+  R.run("fig5.19h", "C = alpha*(A0+A1)'*B + beta*C",
+        [](int64_t N) { return blacs::addTransGemm(N, 4, N); }, Square)
+      .print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- gbench_compile_pipeline.cpp - Host-side compiler benchmarks -------===//
+//
+// google-benchmark measurements of the *compiler itself* on the host:
+// parse → Σ-LL → C-IR → optimize throughput, the alignment analysis, and
+// the timing simulator. These are the costs a user of the library pays.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/AlignmentDetection.h"
+#include "compiler/Compiler.h"
+#include "ll/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lgen;
+
+static const char *GemvSrc =
+    "Matrix A(16, 64); Vector x(64); Vector y(16); Scalar alpha;"
+    " Scalar beta; y = alpha*(A*x) + beta*y;";
+
+static void BM_CompileGemv(benchmark::State &State) {
+  auto P = ll::parseProgramOrDie(GemvSrc);
+  compiler::Compiler C(compiler::Options::lgenBase(machine::UArch::Atom));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(C.compile(P));
+}
+BENCHMARK(BM_CompileGemv);
+
+static void BM_CompileGemvFull(benchmark::State &State) {
+  auto P = ll::parseProgramOrDie(GemvSrc);
+  compiler::Compiler C(compiler::Options::lgenFull(machine::UArch::Atom));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(C.compile(P));
+}
+BENCHMARK(BM_CompileGemvFull);
+
+static void BM_Parse(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(ll::parseProgramOrDie(GemvSrc));
+}
+BENCHMARK(BM_Parse);
+
+static void BM_AlignmentAnalysis(benchmark::State &State) {
+  auto P = ll::parseProgramOrDie(GemvSrc);
+  compiler::Compiler C(compiler::Options::lgenBase(machine::UArch::Atom));
+  tiling::TilingPlan Plan;
+  cir::Kernel K = C.generateCore(P, Plan);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(absint::detectAlignment(
+        K, 4, absint::AlignmentAssumption::allAligned(K)));
+}
+BENCHMARK(BM_AlignmentAnalysis);
+
+static void BM_TimingSimulation(benchmark::State &State) {
+  auto P = ll::parseProgramOrDie(GemvSrc);
+  compiler::Compiler C(compiler::Options::lgenBase(machine::UArch::Atom));
+  auto CK = C.compile(P);
+  machine::Microarch M = machine::Microarch::get(machine::UArch::Atom);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(CK.time(M));
+}
+BENCHMARK(BM_TimingSimulation);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+//===- mediator_farm.cpp - Driving Mediator through its JSON API ----------===//
+//
+// Part of the LGen reproduction examples.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mediator as a user sees it (thesis Ch. 4 / Appendix A): a client posts
+/// a new-job request in JSON naming devices and experiments, then either
+/// blocks for the results (synchronous, Fig. 4.2) or polls with the job id
+/// (asynchronous, Fig. 4.3). The registered device executor stands in for
+/// the SSH-reachable board: here it compiles and times a BLAC named in the
+/// experiment's execCommands.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "ll/Parser.h"
+#include "mediator/Mediator.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+using namespace lgen;
+using namespace lgen::json;
+
+int main() {
+  mediator::Mediator Med;
+
+  // A "BeagleBone" whose executor compiles for the Cortex-A8 model and
+  // reports the cycle measurement (the role of measure.h, §4.5).
+  Med.registerDevice("beaglebone.lab", 1, [](const Value &Exp, unsigned) {
+    std::string Blac = Exp["execCommands"].asArray()[0].asString();
+    compiler::Compiler C(
+        compiler::Options::lgenFull(machine::UArch::CortexA8));
+    auto CK = C.compile(ll::parseProgramOrDie(Blac));
+    auto T = CK.time(machine::Microarch::get(machine::UArch::CortexA8));
+    Object R;
+    R["cycles"] = T.Cycles;
+    R["flopsPerCycle"] = CK.Flops / T.Cycles;
+    return Value(std::move(R));
+  });
+
+  // --- Synchronous job (Fig. 4.2) ---------------------------------------
+  const char *SyncReq = R"({
+    "apiVersion": "1.0",
+    "async": "False",
+    "experiments": [
+      {"device": {"hostname": "beaglebone.lab"},
+       "execCommands": ["Matrix A(4, 16); Vector x(16); Vector y(4); y = A*x;"],
+       "repetitions": 15}
+    ]})";
+  std::printf("-- synchronous request --\n%s\n", SyncReq);
+  std::string SyncResp = Med.handleNewJobRequest(SyncReq);
+  std::printf("response: %s\n\n", SyncResp.c_str());
+
+  // --- Asynchronous job with polling (Fig. 4.3) --------------------------
+  const char *AsyncReq = R"({
+    "apiVersion": "1.0",
+    "async": "True",
+    "experiments": [
+      {"device": {"hostname": "beaglebone.lab"},
+       "execCommands": ["Vector x(64); Vector y(64); Scalar a; y = a*x + y;"]},
+      {"device": {"hostname": "beaglebone.lab"},
+       "execCommands": ["Matrix A(8, 8); Matrix B(8, 8); Matrix C(8, 8); C = A*B;"]}
+    ]})";
+  std::printf("-- asynchronous request --\n");
+  std::string Submitted = Med.handleNewJobRequest(AsyncReq);
+  std::printf("submitted: %s\n", Submitted.c_str());
+  Value SubmittedV;
+  std::string Err;
+  json::parse(Submitted, SubmittedV, Err);
+  std::string JobId = SubmittedV.getString("jobID");
+
+  Object Poll;
+  Poll["apiVersion"] = "1.0";
+  Poll["jobID"] = JobId;
+  std::string PollReq = Value(Poll).serialize();
+  for (int Attempt = 0;; ++Attempt) {
+    std::string PollResp = Med.handleJobResultsRequest(PollReq);
+    Value V;
+    json::parse(PollResp, V, Err);
+    std::printf("poll %d: jobState=%s\n", Attempt,
+                V.getString("jobState").c_str());
+    if (V.getString("jobState") == "FINISHED") {
+      std::printf("results: %s\n", V["data"].serialize().c_str());
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+//===- AlignmentDetection.cpp - Aligned-access detection (§3.2) ----------===//
+
+#include "absint/AlignmentDetection.h"
+
+using namespace lgen;
+using namespace lgen::absint;
+using namespace lgen::cir;
+
+AlignmentAssumption AlignmentAssumption::allAligned(const Kernel &K) {
+  AlignmentAssumption A;
+  for (ArrayId Id = 0; Id != K.getNumArrays(); ++Id)
+    if (K.getArray(Id).isParam())
+      A.BaseOffsets[Id] = 0;
+  return A;
+}
+
+namespace {
+
+/// True for accesses whose lowering differs between aligned and unaligned
+/// forms: full-width contiguous vector loads/stores.
+bool isAlignmentSensitive(const Kernel &K, const Inst &I) {
+  switch (I.Op) {
+  case Opcode::Load:
+    return K.lanesOf(I.Dest) > 1;
+  case Opcode::Store:
+    return K.lanesOf(I.A) > 1;
+  case Opcode::GLoad:
+  case Opcode::GStore:
+    // Partial or strided maps lower to lane accesses regardless of
+    // alignment; only the full contiguous form can use an aligned move.
+    return I.Map.isFullContiguous() && I.Map.numLanes() > 1;
+  default:
+    return false;
+  }
+}
+
+/// Abstract value of the base address of \p Id under \p Assumption, in
+/// elements modulo ν.
+AbsVal baseAbstractValue(const Kernel &K, ArrayId Id, unsigned Nu,
+                         const AlignmentAssumption &Assumption) {
+  const ArrayInfo &A = K.getArray(Id);
+  if (!A.isParam()) {
+    // Local temporaries are always allocated on an aligned boundary.
+    return AbsVal(Interval::top(), Congruence::make(0, Nu));
+  }
+  auto It = Assumption.BaseOffsets.find(Id);
+  if (It == Assumption.BaseOffsets.end())
+    return AbsVal::top();
+  return AbsVal(Interval::top(), Congruence::make(It->second, Nu));
+}
+
+} // namespace
+
+unsigned absint::detectAlignment(Kernel &K, unsigned Nu,
+                                 const AlignmentAssumption &Assumption) {
+  assert(Nu >= 1 && "vector length must be positive");
+  Environment Env = analyzeKernel(K);
+  unsigned NumAligned = 0;
+  K.forEachInst([&](Inst &I) {
+    if (!isMemoryOpcode(I.Op))
+      return;
+    if (!isAlignmentSensitive(K, I)) {
+      I.Aligned = false;
+      return;
+    }
+    AbsVal Base = baseAbstractValue(K, I.Address.Array, Nu, Assumption);
+    AbsVal AddrVal = Env.evaluate(I.Address.Offset, Base);
+    // Criterion of §3.2.2: the congruence component of the address must be
+    // ⊑ 0 + νZ. A bottom value means the access is unreachable; marking it
+    // aligned is vacuously sound.
+    bool IsAligned =
+        AddrVal.isBottom() || AddrVal.congruence().isMultipleOf(Nu);
+    I.Aligned = IsAligned;
+    if (IsAligned)
+      ++NumAligned;
+  });
+  return NumAligned;
+}
+
+unsigned absint::countAlignmentSensitiveAccesses(const Kernel &K) {
+  unsigned N = 0;
+  K.forEachInst([&](const Inst &I) {
+    if (isAlignmentSensitive(K, I))
+      ++N;
+  });
+  return N;
+}
+
+const Kernel &
+VersionedKernel::select(const std::map<ArrayId, int64_t> &Offsets) const {
+  for (unsigned V = 0; V != Versions.size(); ++V) {
+    bool Match = true;
+    for (unsigned J = 0; J != VersionedArrays.size(); ++J) {
+      auto It = Offsets.find(VersionedArrays[J]);
+      int64_t Actual = It == Offsets.end() ? 0 : floorMod(It->second, Nu);
+      if (Actual != Combos[V][J]) {
+        Match = false;
+        break;
+      }
+    }
+    if (Match)
+      return Versions[V];
+  }
+  return Fallback;
+}
+
+VersionedKernel absint::makeAlignmentVersions(const Kernel &K, unsigned Nu,
+                                              unsigned MaxCombos) {
+  VersionedKernel VK;
+  VK.Nu = Nu;
+
+  // Arrays participating in versioning: multi-element parameters.
+  for (ArrayId Id = 0; Id != K.getNumArrays(); ++Id) {
+    const ArrayInfo &A = K.getArray(Id);
+    if (A.isParam() && A.NumElements > 1)
+      VK.VersionedArrays.push_back(Id);
+  }
+  // Keep the combination count within budget, dropping trailing arrays
+  // (they fall back to "arbitrary alignment" in every version).
+  uint64_t NumCombos = 1;
+  unsigned Kept = 0;
+  for (; Kept != VK.VersionedArrays.size(); ++Kept) {
+    if (NumCombos * Nu > MaxCombos)
+      break;
+    NumCombos *= Nu;
+  }
+  VK.VersionedArrays.resize(Kept);
+
+  // Fallback: no assumptions at all.
+  VK.Fallback = K.clone();
+  detectAlignment(VK.Fallback, Nu, AlignmentAssumption());
+
+  // One version per offset combination.
+  std::vector<int64_t> Combo(Kept, 0);
+  for (uint64_t C = 0; C != NumCombos; ++C) {
+    uint64_t Rest = C;
+    AlignmentAssumption Assumption;
+    for (unsigned J = 0; J != Kept; ++J) {
+      Combo[J] = Rest % Nu;
+      Rest /= Nu;
+      Assumption.BaseOffsets[VK.VersionedArrays[J]] = Combo[J];
+    }
+    Kernel Version = K.clone();
+    detectAlignment(Version, Nu, Assumption);
+    VK.Combos.push_back(Combo);
+    VK.Versions.push_back(std::move(Version));
+  }
+  return VK;
+}

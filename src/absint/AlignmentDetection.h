@@ -1,0 +1,88 @@
+//===- AlignmentDetection.h - Aligned-access detection (§3.2) --*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alignment detection (thesis §3.2): an abstract interpretation over the
+/// reduced product of the Interval and Congruence domains decides, for each
+/// vector memory access, whether the accessed address is provably a multiple
+/// of the vector length ν (in elements, i.e. N/l in the thesis' byte-level
+/// notation). Provably aligned accesses are marked so the lowering emits
+/// aligned instructions.
+///
+/// Arbitrary argument alignment (§3.2.4) is handled by versioning: one copy
+/// of the kernel per combination of parameter-array alignments (ν^a
+/// combinations) plus one all-unaligned fallback, selected at runtime by
+/// alignment checks (Listing 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_ABSINT_ALIGNMENTDETECTION_H
+#define LGEN_ABSINT_ALIGNMENTDETECTION_H
+
+#include "absint/Engine.h"
+#include "cir/CIR.h"
+
+#include <map>
+#include <vector>
+
+namespace lgen {
+namespace absint {
+
+/// Assumed base alignment of each array, as the element offset of the base
+/// address from the previous ν-aligned boundary (0 == aligned). Arrays not
+/// present are treated as arbitrarily aligned. Kernel-local temporaries are
+/// always allocated aligned and need no entry.
+struct AlignmentAssumption {
+  std::map<cir::ArrayId, int64_t> BaseOffsets;
+
+  /// Every parameter array of \p K assumed aligned.
+  static AlignmentAssumption allAligned(const cir::Kernel &K);
+};
+
+/// Runs the analysis on \p K and sets the \c Aligned flag of every access
+/// whose address is provably ≡ 0 (mod \p Nu) under \p Assumption; clears it
+/// otherwise. Returns the number of alignment-sensitive accesses that were
+/// marked aligned.
+unsigned detectAlignment(cir::Kernel &K, unsigned Nu,
+                         const AlignmentAssumption &Assumption);
+
+/// Counts alignment-sensitive accesses (full-width contiguous vector
+/// loads/stores, generic or concrete) in \p K.
+unsigned countAlignmentSensitiveAccesses(const cir::Kernel &K);
+
+/// A kernel versioned by parameter alignment (§3.2.4, Listing 3.3).
+struct VersionedKernel {
+  unsigned Nu = 1;
+  /// Parameter arrays that participate in versioning, in dispatch order.
+  std::vector<cir::ArrayId> VersionedArrays;
+  /// One version per combination; Combos[i] holds the required base offsets
+  /// (same order as VersionedArrays) of Versions[i].
+  std::vector<std::vector<int64_t>> Combos;
+  std::vector<cir::Kernel> Versions;
+  /// The all-unaligned fallback version.
+  cir::Kernel Fallback;
+
+  /// Total number of generated code versions ((ν)^a + 1 in the thesis).
+  unsigned numVersions() const { return Versions.size() + 1; }
+
+  /// Selects the version matching the concrete base offsets (element offset
+  /// mod ν per array id); returns the fallback when no combination matches.
+  const cir::Kernel &
+  select(const std::map<cir::ArrayId, int64_t> &Offsets) const;
+};
+
+/// Builds the alignment-versioned form of \p K. Only parameter arrays with
+/// more than one element participate (scalars are alignment-insensitive).
+/// If the combination count ν^a would exceed \p MaxCombos, arrays are
+/// dropped from versioning (treated as arbitrary) until it fits — the same
+/// code-size pragmatics the thesis discusses in §5.2.4.
+VersionedKernel makeAlignmentVersions(const cir::Kernel &K, unsigned Nu,
+                                      unsigned MaxCombos = 1024);
+
+} // namespace absint
+} // namespace lgen
+
+#endif // LGEN_ABSINT_ALIGNMENTDETECTION_H

@@ -1,0 +1,111 @@
+//===- Congruence.cpp - The Congruence abstract domain ---------*- C++ -*-===//
+
+#include "absint/Congruence.h"
+
+#include "support/Support.h"
+
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::absint;
+
+namespace {
+
+/// Extended Euclid: returns g = gcd(A, B) and Bezout coefficients X, Y with
+/// A*X + B*Y == g.
+int64_t extGcd(int64_t A, int64_t B, int64_t &X, int64_t &Y) {
+  if (B == 0) {
+    X = A >= 0 ? 1 : -1;
+    Y = 0;
+    return A >= 0 ? A : -A;
+  }
+  int64_t X1, Y1;
+  int64_t G = extGcd(B, A % B, X1, Y1);
+  X = Y1;
+  Y = X1 - (A / B) * Y1;
+  return G;
+}
+
+} // namespace
+
+Congruence Congruence::make(int64_t C, int64_t M) {
+  Congruence Result;
+  Result.Bottom = false;
+  if (M < 0)
+    M = -M;
+  Result.M = M;
+  Result.C = M == 0 ? C : floorMod(C, M);
+  return Result;
+}
+
+bool Congruence::leq(const Congruence &Other) const {
+  if (Bottom)
+    return true;
+  if (Other.Bottom)
+    return false;
+  // m2 | c1 - c2 and m2 | m1. With m2 == 0 this degenerates to equality of
+  // constants (0 divides only 0).
+  int64_t Diff = C - Other.C;
+  if (Other.M == 0)
+    return Diff == 0 && M == 0;
+  return Diff % Other.M == 0 && M % Other.M == 0;
+}
+
+Congruence Congruence::join(const Congruence &Other) const {
+  if (Bottom)
+    return Other;
+  if (Other.Bottom)
+    return *this;
+  return make(C, gcd64(gcd64(M, Other.M), C - Other.C));
+}
+
+Congruence Congruence::meet(const Congruence &Other) const {
+  if (Bottom || Other.Bottom)
+    return bottom();
+  // Solve x ≡ C (mod M), x ≡ Other.C (mod Other.M) by CRT.
+  if (M == 0)
+    return Other.contains(C) ? *this : bottom();
+  if (Other.M == 0)
+    return contains(Other.C) ? Other : bottom();
+  int64_t X, Y;
+  int64_t G = extGcd(M, Other.M, X, Y);
+  int64_t Diff = Other.C - C;
+  if (Diff % G != 0)
+    return bottom();
+  int64_t L = lcm64(M, Other.M);
+  // M*X + Other.M*Y == G, so M * (X * Diff/G) ≡ Diff (mod Other.M); adding
+  // that multiple of M to C lands in both classes.
+  int64_t Solution = floorMod(C + M * floorMod(X * (Diff / G), Other.M / G), L);
+  assert(floorMod(Solution - C, M) == 0 &&
+         floorMod(Solution - Other.C, Other.M) == 0 && "CRT solution invalid");
+  return make(Solution, L);
+}
+
+Congruence Congruence::add(const Congruence &Other) const {
+  if (Bottom || Other.Bottom)
+    return bottom();
+  return make(C + Other.C, gcd64(M, Other.M));
+}
+
+Congruence Congruence::mul(const Congruence &Other) const {
+  if (Bottom || Other.Bottom)
+    return bottom();
+  int64_t NewM = gcd64(gcd64(C * Other.M, M * Other.C), M * Other.M);
+  return make(C * Other.C, NewM);
+}
+
+bool Congruence::contains(int64_t V) const {
+  if (Bottom)
+    return false;
+  if (M == 0)
+    return V == C;
+  return floorMod(V - C, M) == 0;
+}
+
+std::string Congruence::str() const {
+  if (Bottom)
+    return "⊥C";
+  std::ostringstream OS;
+  OS << C << " + " << M << "Z";
+  return OS.str();
+}

@@ -1,0 +1,78 @@
+//===- Congruence.h - The Congruence abstract domain -----------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Congruence abstract domain of thesis §2.3.4 (Granger): a set of
+/// integers is approximated by a congruence class c + mZ. m == 0 denotes
+/// the singleton {c}; m == 1 denotes the top element. Classes are kept
+/// normalized (0 ≤ c < m for m > 0). Operator definitions follow Table 2.8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_ABSINT_CONGRUENCE_H
+#define LGEN_ABSINT_CONGRUENCE_H
+
+#include <cstdint>
+#include <string>
+
+namespace lgen {
+namespace absint {
+
+class Congruence {
+public:
+  /// Constructs the bottom element.
+  Congruence() = default;
+
+  static Congruence bottom() { return Congruence(); }
+  static Congruence top() { return make(0, 1); }
+  static Congruence constant(int64_t C) { return make(C, 0); }
+  /// The class c + mZ (normalized).
+  static Congruence make(int64_t C, int64_t M);
+
+  bool isBottom() const { return Bottom; }
+  bool isTop() const { return !Bottom && M == 1; }
+  bool isConstant() const { return !Bottom && M == 0; }
+
+  int64_t remainder() const { return C; }
+  int64_t modulus() const { return M; }
+
+  /// Partial order ⊑C (Table 2.8): c1+m1Z ⊑ c2+m2Z ⟺ m2 | c1−c2 ∧ m2 | m1.
+  bool leq(const Congruence &Other) const;
+  /// ⊔C: c1 + gcd(m1, m2, c1−c2)Z.
+  Congruence join(const Congruence &Other) const;
+  /// ⊓C: bottom when gcd(m1,m2) ∤ c1−c2, else the CRT solution + lcm Z.
+  Congruence meet(const Congruence &Other) const;
+  /// +C: (c1+c2) + gcd(m1, m2)Z.
+  Congruence add(const Congruence &Other) const;
+  /// ∗C: c1c2 + gcd(c1m2, m1c2, m1m2)Z.
+  Congruence mul(const Congruence &Other) const;
+
+  bool contains(int64_t V) const;
+
+  /// True if every member of this class is divisible by \p N — the
+  /// alignment criterion of §3.2.2 (this ⊑ 0 + NZ).
+  bool isMultipleOf(int64_t N) const {
+    return leq(Congruence::make(0, N));
+  }
+
+  bool operator==(const Congruence &Other) const {
+    if (Bottom || Other.Bottom)
+      return Bottom == Other.Bottom;
+    return C == Other.C && M == Other.M;
+  }
+
+  std::string str() const;
+
+private:
+  bool Bottom = true;
+  int64_t C = 0;
+  int64_t M = 0;
+};
+
+} // namespace absint
+} // namespace lgen
+
+#endif // LGEN_ABSINT_CONGRUENCE_H

@@ -1,0 +1,62 @@
+//===- Engine.cpp - Fixpoint engine over C-IR loop nests -------*- C++ -*-===//
+
+#include "absint/Engine.h"
+
+using namespace lgen;
+using namespace lgen::absint;
+using cir::AffineExpr;
+using cir::Kernel;
+using cir::LoopId;
+using cir::Node;
+
+AbsVal Environment::evaluate(const AffineExpr &E, const AbsVal &Base) const {
+  AbsVal Result = Base.add(AbsVal::constant(E.getConstant()));
+  for (const auto &[Id, Coeff] : E.getTerms())
+    Result = Result.add(get(Id).mul(AbsVal::constant(Coeff)));
+  return Result;
+}
+
+AbsVal absint::analyzeLoopIndex(int64_t Start, int64_t End, int64_t Step) {
+  assert(Step > 0 && "loops step forward");
+  if (Start >= End)
+    return AbsVal::bottom(); // The body never executes.
+
+  // Guard of the (implicit) assume statement on the true branch: i < End.
+  const AbsVal Guard(Interval::make(Bound::NegInf, End - 1), Congruence::top());
+  const AbsVal StepVal = AbsVal::constant(Step);
+
+  AbsVal Env = AbsVal::constant(Start).reduce();
+  // Widening threshold: generous enough that short loops converge exactly
+  // without it, small enough that long loops finish instantly. Precision is
+  // restored by the guard meet plus the reduction (the congruence component
+  // tightens the widened bound back to the last reachable index).
+  constexpr int WideningThreshold = 64;
+  for (int Iter = 0;; ++Iter) {
+    AbsVal Next = Env.join(Env.add(StepVal).meet(Guard));
+    if (Iter >= WideningThreshold)
+      Next = Next.widen(Env).meet(Guard).reduce();
+    if (Next == Env)
+      return Env;
+    Env = Next;
+  }
+}
+
+namespace {
+
+void analyzeBody(const std::vector<Node> &Body, Environment &Env) {
+  for (const Node &N : Body) {
+    if (!N.isLoop())
+      continue;
+    const cir::Loop &L = N.loop();
+    Env.bind(L.Id, analyzeLoopIndex(L.Start, L.End, L.Step));
+    analyzeBody(L.Body, Env);
+  }
+}
+
+} // namespace
+
+Environment absint::analyzeKernel(const Kernel &K) {
+  Environment Env;
+  analyzeBody(K.getBody(), Env);
+  return Env;
+}

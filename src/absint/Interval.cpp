@@ -1,0 +1,117 @@
+//===- Interval.cpp - The Interval abstract domain -------------*- C++ -*-===//
+
+#include "absint/Interval.h"
+
+#include "support/Support.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::absint;
+
+namespace {
+
+bool isInf(int64_t B) { return B == Bound::NegInf || B == Bound::PosInf; }
+
+/// Saturating addition that treats the sentinels as infinities.
+int64_t addBound(int64_t A, int64_t B) {
+  if (A == Bound::NegInf || B == Bound::NegInf) {
+    assert(A != Bound::PosInf && B != Bound::PosInf &&
+           "adding opposite infinities");
+    return Bound::NegInf;
+  }
+  if (A == Bound::PosInf || B == Bound::PosInf)
+    return Bound::PosInf;
+  // Finite values in LGen kernels are tiny; plain addition cannot overflow.
+  return A + B;
+}
+
+/// Saturating multiplication with infinity semantics (0 * ±∞ = 0, matching
+/// the interval-arithmetic convention that keeps mul an overapproximation).
+int64_t mulBound(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  bool Negative = (A < 0) != (B < 0);
+  if (isInf(A) || isInf(B))
+    return Negative ? Bound::NegInf : Bound::PosInf;
+  return A * B;
+}
+
+} // namespace
+
+Interval Interval::make(int64_t Lo, int64_t Hi) {
+  if (Lo > Hi)
+    return bottom();
+  Interval I;
+  I.Bottom = false;
+  I.Lo = Lo;
+  I.Hi = Hi;
+  return I;
+}
+
+bool Interval::leq(const Interval &Other) const {
+  if (Bottom)
+    return true;
+  if (Other.Bottom)
+    return false;
+  return Lo >= Other.Lo && Hi <= Other.Hi;
+}
+
+Interval Interval::join(const Interval &Other) const {
+  if (Bottom)
+    return Other;
+  if (Other.Bottom)
+    return *this;
+  return make(std::min(Lo, Other.Lo), std::max(Hi, Other.Hi));
+}
+
+Interval Interval::meet(const Interval &Other) const {
+  if (Bottom || Other.Bottom)
+    return bottom();
+  return make(std::max(Lo, Other.Lo), std::min(Hi, Other.Hi));
+}
+
+Interval Interval::add(const Interval &Other) const {
+  if (Bottom || Other.Bottom)
+    return bottom();
+  return make(addBound(Lo, Other.Lo), addBound(Hi, Other.Hi));
+}
+
+Interval Interval::mul(const Interval &Other) const {
+  if (Bottom || Other.Bottom)
+    return bottom();
+  int64_t Products[4] = {mulBound(Lo, Other.Lo), mulBound(Lo, Other.Hi),
+                         mulBound(Hi, Other.Lo), mulBound(Hi, Other.Hi)};
+  int64_t NewLo = *std::min_element(Products, Products + 4);
+  int64_t NewHi = *std::max_element(Products, Products + 4);
+  return make(NewLo, NewHi);
+}
+
+Interval Interval::widen(const Interval &Previous) const {
+  if (Previous.Bottom)
+    return *this;
+  if (Bottom)
+    return Previous;
+  int64_t NewLo = Lo < Previous.Lo ? Bound::NegInf : Previous.Lo;
+  int64_t NewHi = Hi > Previous.Hi ? Bound::PosInf : Previous.Hi;
+  return make(NewLo, NewHi);
+}
+
+std::string Interval::str() const {
+  if (Bottom)
+    return "⊥I";
+  std::ostringstream OS;
+  OS << "[";
+  if (Lo == Bound::NegInf)
+    OS << "-inf";
+  else
+    OS << Lo;
+  OS << ", ";
+  if (Hi == Bound::PosInf)
+    OS << "+inf";
+  else
+    OS << Hi;
+  OS << "]";
+  return OS.str();
+}

@@ -1,0 +1,87 @@
+//===- Interval.h - The Interval abstract domain ---------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Interval abstract domain of thesis §2.3.4 (Cousot & Cousot): a set of
+/// integers is approximated by an interval [Lo, Hi] with bounds drawn from
+/// Z ∪ {−∞, +∞}. Operator definitions follow Table 2.7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_ABSINT_INTERVAL_H
+#define LGEN_ABSINT_INTERVAL_H
+
+#include <cstdint>
+#include <string>
+
+namespace lgen {
+namespace absint {
+
+/// An integer bound that may be −∞ or +∞. Sentinel values of int64_t are
+/// reserved for the infinities; all finite program quantities (loop bounds,
+/// array offsets) are far below them.
+struct Bound {
+  static constexpr int64_t NegInf = INT64_MIN;
+  static constexpr int64_t PosInf = INT64_MAX;
+};
+
+class Interval {
+public:
+  /// Constructs the bottom interval.
+  Interval() = default;
+
+  static Interval bottom() { return Interval(); }
+  static Interval top() { return make(Bound::NegInf, Bound::PosInf); }
+  static Interval constant(int64_t V) { return make(V, V); }
+  /// [Lo, Hi]; returns bottom when Lo > Hi.
+  static Interval make(int64_t Lo, int64_t Hi);
+
+  bool isBottom() const { return Bottom; }
+  bool isTop() const {
+    return !Bottom && Lo == Bound::NegInf && Hi == Bound::PosInf;
+  }
+  bool isConstant() const { return !Bottom && Lo == Hi; }
+
+  int64_t lower() const { return Lo; }
+  int64_t upper() const { return Hi; }
+  bool hasFiniteLower() const { return !Bottom && Lo != Bound::NegInf; }
+  bool hasFiniteUpper() const { return !Bottom && Hi != Bound::PosInf; }
+
+  /// Partial order ⊑ (Table 2.7): [a1,a2] ⊑ [b1,b2] ⟺ a1 ≥ b1 ∧ a2 ≤ b2.
+  bool leq(const Interval &Other) const;
+  /// Least upper bound ⊔.
+  Interval join(const Interval &Other) const;
+  /// Greatest lower bound ⊓.
+  Interval meet(const Interval &Other) const;
+  /// Abstract addition.
+  Interval add(const Interval &Other) const;
+  /// Abstract multiplication.
+  Interval mul(const Interval &Other) const;
+  /// Standard widening: unstable bounds jump to the infinities. Used by the
+  /// fixpoint engine to guarantee fast termination on long-running loops;
+  /// precision is recovered by meeting with the loop guard afterwards.
+  Interval widen(const Interval &Previous) const;
+
+  bool contains(int64_t V) const { return !Bottom && Lo <= V && V <= Hi; }
+
+  bool operator==(const Interval &Other) const {
+    if (Bottom || Other.Bottom)
+      return Bottom == Other.Bottom;
+    return Lo == Other.Lo && Hi == Other.Hi;
+  }
+
+  std::string str() const;
+
+private:
+  bool Bottom = true;
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+};
+
+} // namespace absint
+} // namespace lgen
+
+#endif // LGEN_ABSINT_INTERVAL_H

@@ -1,0 +1,71 @@
+//===- ReducedProduct.cpp - Reduced product Interval × Congruence --------===//
+
+#include "absint/ReducedProduct.h"
+
+#include "support/Support.h"
+
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::absint;
+
+int64_t absint::roundUpToClass(const Congruence &Con, int64_t A) {
+  assert(!Con.isBottom() && "R undefined on bottom");
+  int64_t M = Con.modulus();
+  if (M == 0)
+    return Con.remainder();
+  return A + floorMod(Con.remainder() - A, M);
+}
+
+int64_t absint::roundDownToClass(const Congruence &Con, int64_t A) {
+  assert(!Con.isBottom() && "L undefined on bottom");
+  int64_t M = Con.modulus();
+  if (M == 0)
+    return Con.remainder();
+  return A - floorMod(A - Con.remainder(), M);
+}
+
+AbsVal AbsVal::reduce() const {
+  // Case analysis follows the reduction function of thesis §2.3.4,
+  // evaluated top-down.
+  if (I.isBottom() || C.isBottom())
+    return bottom();
+
+  // con = c + 0Z (a constant congruence class).
+  if (C.isConstant()) {
+    int64_t V = C.remainder();
+    if (!I.contains(V))
+      return bottom();
+    return AbsVal(Interval::constant(V), C);
+  }
+
+  bool FiniteLo = I.hasFiniteLower();
+  bool FiniteHi = I.hasFiniteUpper();
+
+  if (FiniteLo && FiniteHi) {
+    int64_t R = roundUpToClass(C, I.lower());
+    int64_t L = roundDownToClass(C, I.upper());
+    if (R > L)
+      return bottom();
+    if (R == L)
+      return AbsVal(Interval::constant(R), Congruence::constant(R));
+    return AbsVal(Interval::make(R, L), C);
+  }
+  if (FiniteLo) {
+    int64_t R = roundUpToClass(C, I.lower());
+    return AbsVal(Interval::make(R, Bound::PosInf), C);
+  }
+  if (FiniteHi) {
+    int64_t L = roundDownToClass(C, I.upper());
+    return AbsVal(Interval::make(Bound::NegInf, L), C);
+  }
+  return *this;
+}
+
+std::string AbsVal::str() const {
+  if (isBottom())
+    return "(⊥I, ⊥C)";
+  std::ostringstream OS;
+  OS << "(" << I.str() << ", " << C.str() << ")";
+  return OS.str();
+}

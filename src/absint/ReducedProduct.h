@@ -1,0 +1,92 @@
+//===- ReducedProduct.h - Reduced product Interval × Congruence -*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reduced product of the Interval and Congruence domains (thesis
+/// §2.3.3–2.3.4), the abstract domain used by the alignment detection of
+/// §3.2. The reduction function lets the two components sharpen each other;
+/// in particular it detects loops that are taken only once (Listing 3.2),
+/// which is what makes the analysis complete on LGen-generated code
+/// (Theorem 3.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_ABSINT_REDUCEDPRODUCT_H
+#define LGEN_ABSINT_REDUCEDPRODUCT_H
+
+#include "absint/Congruence.h"
+#include "absint/Interval.h"
+
+namespace lgen {
+namespace absint {
+
+/// R(c + mZ, a): the smallest n ≥ a with n ∈ c + mZ (thesis §2.3.4).
+int64_t roundUpToClass(const Congruence &Con, int64_t A);
+/// L(c + mZ, a): the greatest n ≤ a with n ∈ c + mZ.
+int64_t roundDownToClass(const Congruence &Con, int64_t A);
+
+/// An element of the reduced product domain. All operators apply pointwise
+/// and then reduce.
+class AbsVal {
+public:
+  AbsVal() = default;
+  AbsVal(Interval I, Congruence C) : I(I), C(C) {}
+
+  static AbsVal bottom() { return AbsVal(); }
+  static AbsVal top() { return AbsVal(Interval::top(), Congruence::top()); }
+  static AbsVal constant(int64_t V) {
+    return AbsVal(Interval::constant(V), Congruence::constant(V));
+  }
+
+  const Interval &interval() const { return I; }
+  const Congruence &congruence() const { return C; }
+
+  bool isBottom() const { return I.isBottom() || C.isBottom(); }
+
+  /// The reduction function red of §2.3.4: refines each component with
+  /// information from the other without changing the concretization.
+  AbsVal reduce() const;
+
+  bool leq(const AbsVal &Other) const {
+    return I.leq(Other.I) && C.leq(Other.C);
+  }
+  AbsVal join(const AbsVal &Other) const {
+    return AbsVal(I.join(Other.I), C.join(Other.C)).reduce();
+  }
+  AbsVal meet(const AbsVal &Other) const {
+    return AbsVal(I.meet(Other.I), C.meet(Other.C)).reduce();
+  }
+  AbsVal add(const AbsVal &Other) const {
+    return AbsVal(I.add(Other.I), C.add(Other.C)).reduce();
+  }
+  AbsVal mul(const AbsVal &Other) const {
+    return AbsVal(I.mul(Other.I), C.mul(Other.C)).reduce();
+  }
+  /// Widening applies to the Interval component only; the Congruence lattice
+  /// has no infinite ascending chains on the moduli that arise here.
+  AbsVal widen(const AbsVal &Previous) const {
+    return AbsVal(I.widen(Previous.I), C);
+  }
+
+  bool contains(int64_t V) const { return I.contains(V) && C.contains(V); }
+
+  bool operator==(const AbsVal &Other) const {
+    if (isBottom() || Other.isBottom())
+      return isBottom() == Other.isBottom();
+    return I == Other.I && C == Other.C;
+  }
+
+  std::string str() const;
+
+private:
+  Interval I;
+  Congruence C;
+};
+
+} // namespace absint
+} // namespace lgen
+
+#endif // LGEN_ABSINT_REDUCEDPRODUCT_H

@@ -1,0 +1,150 @@
+//===- BaselineCommon.h - Shared driver for competitor generators --------===//
+//
+// Part of the LGen reproduction library (internal header).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the competitor generators: a recursive driver that
+/// walks an LL expression materializing one pass per operation (the way
+/// straightforward library/handwritten code computes a compound BLAC),
+/// with hooks each baseline overrides for its own loop styles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_BASELINES_BASELINECOMMON_H
+#define LGEN_BASELINES_BASELINECOMMON_H
+
+#include "baselines/Baselines.h"
+#include "cir/Builder.h"
+
+#include <map>
+
+namespace lgen {
+namespace baselines {
+
+enum class EwKind { Copy, Add, SMul };
+
+/// Base driver: array management, expression walk, finalization.
+class BaselineBase : public Generator {
+public:
+  explicit BaselineBase(machine::UArch Target) : Target(Target) {}
+
+  compiler::CompiledKernel compile(const ll::Program &P) const override;
+
+  struct Ctx {
+    cir::Kernel K;
+    cir::Builder B;
+    std::map<std::string, cir::ArrayId> OperandArray;
+    unsigned TempCounter = 0;
+
+    explicit Ctx(std::string Name) : K(std::move(Name)), B(K) {}
+    cir::ArrayId newTemp(int64_t Elems) {
+      return K.addArray("t" + std::to_string(TempCounter++), Elems,
+                        cir::ArrayKind::Temp);
+    }
+  };
+
+protected:
+
+  /// Out[i] = op(In0[i], In1[i]) over \p N contiguous elements. For SMul,
+  /// In0 is a 1-element scalar array.
+  virtual void genElementwise(Ctx &C, EwKind Kind, cir::ArrayId Out,
+                              cir::ArrayId In0, cir::ArrayId In1,
+                              int64_t N) const = 0;
+
+  /// C = A(M×K) · B(K×N), row-major, no accumulation into prior C.
+  virtual void genMMM(Ctx &C, cir::ArrayId A, int64_t M, int64_t K,
+                      cir::ArrayId B, int64_t N, cir::ArrayId Out) const = 0;
+
+  /// Out(N×M) = A(M×N)^T.
+  virtual void genTrans(Ctx &C, cir::ArrayId A, int64_t M, int64_t N,
+                        cir::ArrayId Out) const = 0;
+
+  /// Hook for generators that fuse elementwise expression trees (Eigen).
+  /// Returns true if it handled \p E writing into \p Target.
+  virtual bool tryFusedElementwise(Ctx &, const ll::Expr &, cir::ArrayId,
+                                   const ll::Program &) const {
+    return false;
+  }
+
+  /// Post-processing ("the compiler"): unrolling/scheduling per baseline.
+  virtual void finalize(cir::Kernel &K) const;
+
+  /// Per-invocation fixed overhead in cycles (library call dispatch).
+  virtual double invocationOverhead(const ll::Program &P) const {
+    (void)P;
+    return 0.0;
+  }
+
+  machine::UArch Target;
+
+private:
+  cir::ArrayId lowerNode(Ctx &C, const ll::Expr &E, const ll::Program &P,
+                         int Target) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Shared loop emission helpers
+//===----------------------------------------------------------------------===//
+
+/// Plain scalar elementwise loop (optionally fully unrolled later).
+void emitScalarElementwise(cir::Builder &B, EwKind Kind, cir::ArrayId Out,
+                           cir::ArrayId In0, cir::ArrayId In1, int64_t N);
+
+/// Vectorized elementwise loop of width \p Nu with scalar prologue of
+/// \p Peel elements (alignment peeling) and a scalar tail; the vector body
+/// uses aligned accesses iff \p AlignedBody.
+void emitVectorElementwise(cir::Builder &B, EwKind Kind, cir::ArrayId Out,
+                           cir::ArrayId In0, cir::ArrayId In1, int64_t N,
+                           unsigned Nu, int64_t Peel, bool AlignedBody);
+
+/// Naive scalar triple loop MMM, accumulator carried through a stack slot
+/// (forwardable by scalar replacement once unrolled).
+void emitScalarMMM(cir::Builder &B, cir::ArrayId A, int64_t M, int64_t K,
+                   cir::ArrayId Bm, int64_t N, cir::ArrayId Out,
+                   bool UseFMA);
+
+/// Scalar transpose loops.
+void emitScalarTrans(cir::Builder &B, cir::ArrayId A, int64_t M, int64_t N,
+                     cir::ArrayId Out);
+
+/// The SIMD extension the competitors use on \p Target (SSE family on
+/// Atom, NEON on the Cortex-A cores, none on ARM1176).
+isa::ISAKind baselineISA(machine::UArch Target);
+
+/// Emits a single fused pass evaluating the elementwise expression tree
+/// \p E (Add/SMul/Ref nodes only) into \p Out over its N contiguous
+/// elements — the loop a human (or Eigen's expression templates) writes.
+/// \p Nu == 1 emits a scalar loop; otherwise a vector loop with \p Peel
+/// leading scalar elements and aligned accesses iff \p AlignedBody, plus a
+/// scalar tail. Scalar leaves are hoisted out of the loop.
+void emitFusedElementwiseTree(BaselineBase::Ctx &C, const ll::Expr &E,
+                              cir::ArrayId Out, unsigned Nu, int64_t Peel,
+                              bool AlignedBody);
+
+/// Reduces all lanes of \p V to a scalar register: an hadd tree on the SSE
+/// family, vget/vpadd on NEON, extract+add otherwise.
+cir::RegId reduceLanes(cir::Builder &B, cir::RegId V, isa::ISAKind Kind);
+
+/// Vectorized row-wise gemv: Y[i] = α·dot(A row i, X) + β·Y[i], with the
+/// vector accumulator carried through a stack slot (runtime-size loop).
+/// \p Alpha / \p Beta are scalar array ids or -1 for the implicit 1/0.
+/// \p RowPeelOffset >= 0 enables Eigen-style per-row peeling: assuming the
+/// base of A sits at that element offset from a ν boundary and K ≡ 0 mod ν,
+/// each row is peeled to aligned accesses.
+void emitVectorGemv(cir::Builder &B, cir::ArrayId A, int64_t M, int64_t K,
+                    cir::ArrayId X, cir::ArrayId Y, int Alpha, int Beta,
+                    unsigned Nu, isa::ISAKind Kind, bool UseFMA,
+                    int RowPeelOffset = -1);
+
+/// Vectorized gemm: C = α·A·B + β·C, j-vectorized with a k-inner loop and
+/// a stack-slot accumulator; scalar tail columns.
+void emitVectorGemm(cir::Builder &B, cir::ArrayId A, int64_t M, int64_t K,
+                    cir::ArrayId Bm, int64_t N, cir::ArrayId C, int Alpha,
+                    int Beta, unsigned Nu, bool UseFMA);
+
+} // namespace baselines
+} // namespace lgen
+
+#endif // LGEN_BASELINES_BASELINECOMMON_H

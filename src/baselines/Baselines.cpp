@@ -1,0 +1,543 @@
+//===- Baselines.cpp - Shared driver for competitor generators -----------===//
+
+#include "baselines/BaselineCommon.h"
+
+#include "cir/Passes.h"
+#include "machine/Scheduler.h"
+
+using namespace lgen;
+using namespace lgen::baselines;
+using namespace lgen::cir;
+
+Generator::~Generator() = default;
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+compiler::CompiledKernel BaselineBase::compile(const ll::Program &P) const {
+  Ctx C(P.OutputName + "_" + name());
+  const ll::Operand &Out = P.outputOperand();
+  for (const ll::Operand &O : P.Operands) {
+    ArrayKind Kind;
+    if (O.Name == Out.Name)
+      Kind = P.outputIsInput() ? ArrayKind::InOut : ArrayKind::Output;
+    else
+      Kind = ArrayKind::Input;
+    C.OperandArray[O.Name] = C.K.addArray(O.Name, O.numElements(), Kind);
+  }
+  lowerNode(C, *P.Rhs, P, static_cast<int>(C.OperandArray[Out.Name]));
+
+  compiler::CompiledKernel CK;
+  CK.Blac = P.clone();
+  CK.Flops = ll::flopCount(P);
+  CK.Plain = std::move(C.K);
+  finalize(CK.Plain);
+  CK.Plain.verify();
+  CK.DispatchOverheadCycles = invocationOverhead(P);
+  return CK;
+}
+
+namespace {
+
+bool subtreeMentions(const ll::Expr &E, const std::string &Name) {
+  if (E.getKind() == ll::ExprKind::Ref)
+    return E.getRefName() == Name;
+  for (unsigned I = 0; I != E.numChildren(); ++I)
+    if (subtreeMentions(E.child(I), Name))
+      return true;
+  return false;
+}
+
+bool isElementwiseTree(const ll::Expr &E) {
+  switch (E.getKind()) {
+  case ll::ExprKind::Ref:
+    return true;
+  case ll::ExprKind::Add:
+    return isElementwiseTree(E.child(0)) && isElementwiseTree(E.child(1));
+  case ll::ExprKind::SMul:
+    return E.child(0).getKind() == ll::ExprKind::Ref &&
+           isElementwiseTree(E.child(1));
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+ArrayId BaselineBase::lowerNode(Ctx &C, const ll::Expr &E,
+                                const ll::Program &P, int Target) const {
+  using ll::ExprKind;
+  auto DestOf = [&](const ll::Expr &Node) {
+    return Target >= 0 ? static_cast<ArrayId>(Target)
+                       : C.newTemp(Node.rows() * Node.cols());
+  };
+
+  // Fusible elementwise subtree (Eigen-style expression templates).
+  if (Target >= 0 && isElementwiseTree(E) &&
+      E.getKind() != ExprKind::Ref &&
+      tryFusedElementwise(C, E, static_cast<ArrayId>(Target), P))
+    return static_cast<ArrayId>(Target);
+
+  switch (E.getKind()) {
+  case ExprKind::Ref: {
+    ArrayId Src = C.OperandArray.at(E.getRefName());
+    if (Target < 0 || static_cast<ArrayId>(Target) == Src)
+      return Src;
+    genElementwise(C, EwKind::Copy, static_cast<ArrayId>(Target), Src, Src,
+                   E.rows() * E.cols());
+    return static_cast<ArrayId>(Target);
+  }
+  case ExprKind::Add: {
+    ArrayId L = lowerNode(C, E.child(0), P, -1);
+    ArrayId R = lowerNode(C, E.child(1), P, -1);
+    ArrayId D = DestOf(E);
+    genElementwise(C, EwKind::Add, D, L, R, E.rows() * E.cols());
+    return D;
+  }
+  case ExprKind::SMul: {
+    ArrayId S = lowerNode(C, E.child(0), P, -1);
+    ArrayId M = lowerNode(C, E.child(1), P, -1);
+    ArrayId D = DestOf(E);
+    genElementwise(C, EwKind::SMul, D, S, M, E.rows() * E.cols());
+    return D;
+  }
+  case ExprKind::Mul: {
+    ArrayId A = lowerNode(C, E.child(0), P, -1);
+    ArrayId B = lowerNode(C, E.child(1), P, -1);
+    // Writing a product in place while its inputs still read the target
+    // would be wrong; detour through a temporary.
+    bool Aliased = Target >= 0 &&
+                   C.OperandArray.count(P.OutputName) &&
+                   static_cast<int>(C.OperandArray.at(P.OutputName)) ==
+                       Target &&
+                   subtreeMentions(E, P.OutputName);
+    ArrayId D = Aliased ? C.newTemp(E.rows() * E.cols()) : DestOf(E);
+    genMMM(C, A, E.child(0).rows(), E.child(0).cols(), B, E.cols(), D);
+    if (Aliased) {
+      genElementwise(C, EwKind::Copy, static_cast<ArrayId>(Target), D, D,
+                     E.rows() * E.cols());
+      return static_cast<ArrayId>(Target);
+    }
+    return D;
+  }
+  case ExprKind::Trans: {
+    ArrayId A = lowerNode(C, E.child(0), P, -1);
+    ArrayId D = DestOf(E);
+    genTrans(C, A, E.child(0).rows(), E.child(0).cols(), D);
+    return D;
+  }
+  case ExprKind::MVH:
+  case ExprKind::RR:
+    reportFatalError("baseline generators do not accept internal operators");
+  }
+  LGEN_UNREACHABLE("unknown expression kind");
+}
+
+void BaselineBase::finalize(Kernel &K) const {
+  cir::scalarReplacement(K);
+  machine::scheduleKernel(K, machine::Microarch::get(Target));
+}
+
+//===----------------------------------------------------------------------===//
+// Shared emission helpers
+//===----------------------------------------------------------------------===//
+
+void baselines::emitScalarElementwise(Builder &B, EwKind Kind, ArrayId Out,
+                                      ArrayId In0, ArrayId In1, int64_t N) {
+  RegId Scalar = NoReg;
+  if (Kind == EwKind::SMul)
+    Scalar = B.load(1, Addr{In0, AffineExpr(0)});
+  B.forLoop(0, N, 1, [&](LoopId I) {
+    AffineExpr Idx = AffineExpr::loopIndex(I);
+    if (Kind == EwKind::SMul) {
+      RegId V = B.load(1, Addr{In1, Idx});
+      B.store(B.mul(Scalar, V), Addr{Out, Idx});
+      return;
+    }
+    RegId V0 = B.load(1, Addr{In0, Idx});
+    RegId R = Kind == EwKind::Copy ? V0 : B.add(V0, B.load(1, Addr{In1, Idx}));
+    B.store(R, Addr{Out, Idx});
+  });
+}
+
+void baselines::emitVectorElementwise(Builder &B, EwKind Kind, ArrayId Out,
+                                      ArrayId In0, ArrayId In1, int64_t N,
+                                      unsigned Nu, int64_t Peel,
+                                      bool AlignedBody) {
+  assert(Nu > 1 && "vector width must exceed 1");
+  Peel = std::min<int64_t>(Peel, N);
+  RegId ScalarS = NoReg, VecS = NoReg;
+  if (Kind == EwKind::SMul) {
+    ScalarS = B.load(1, Addr{In0, AffineExpr(0)});
+    VecS = B.loadBroadcast(Nu, Addr{In0, AffineExpr(0)});
+  }
+  auto ScalarAt = [&](AffineExpr Idx) {
+    if (Kind == EwKind::SMul) {
+      RegId V = B.load(1, Addr{In1, Idx});
+      B.store(B.mul(ScalarS, V), Addr{Out, Idx});
+      return;
+    }
+    RegId V0 = B.load(1, Addr{In0, Idx});
+    RegId R = Kind == EwKind::Copy ? V0 : B.add(V0, B.load(1, Addr{In1, Idx}));
+    B.store(R, Addr{Out, Idx});
+  };
+  // Scalar alignment prologue.
+  for (int64_t I = 0; I != Peel; ++I)
+    ScalarAt(AffineExpr(I));
+  int64_t VecEnd = Peel + ((N - Peel) / Nu) * Nu;
+  if (VecEnd > Peel)
+    B.forLoop(Peel, VecEnd, Nu, [&](LoopId L) {
+      AffineExpr Idx = AffineExpr::loopIndex(L);
+      if (Kind == EwKind::SMul) {
+        RegId V = B.load(Nu, Addr{In1, Idx}, AlignedBody);
+        B.store(B.mul(VecS, V), Addr{Out, Idx}, AlignedBody);
+        return;
+      }
+      RegId V0 = B.load(Nu, Addr{In0, Idx}, AlignedBody);
+      RegId R = Kind == EwKind::Copy
+                    ? V0
+                    : B.add(V0, B.load(Nu, Addr{In1, Idx}, AlignedBody));
+      B.store(R, Addr{Out, Idx}, AlignedBody);
+    });
+  // Scalar tail.
+  for (int64_t I = VecEnd; I < N; ++I)
+    ScalarAt(AffineExpr(I));
+}
+
+void baselines::emitScalarMMM(Builder &B, ArrayId A, int64_t M, int64_t K,
+                              ArrayId Bm, int64_t N, ArrayId Out,
+                              bool UseFMA) {
+  // The accumulator lives in a stack slot; once loops are unrolled, scalar
+  // replacement forwards it exactly like a register-allocated local.
+  ArrayId Acc = B.kernel().addArray("acc", 1, ArrayKind::Temp);
+  B.forLoop(0, M, 1, [&](LoopId I) {
+    B.forLoop(0, N, 1, [&](LoopId J) {
+      AffineExpr Iv = AffineExpr::loopIndex(I);
+      AffineExpr Jv = AffineExpr::loopIndex(J);
+      {
+        RegId Av = B.load(1, Addr{A, Iv * K});
+        RegId Bv = B.load(1, Addr{Bm, Jv});
+        B.store(B.mul(Av, Bv), Addr{Acc, AffineExpr(0)});
+      }
+      B.forLoop(1, K, 1, [&](LoopId Kl) {
+        AffineExpr Kv = AffineExpr::loopIndex(Kl);
+        RegId Av = B.load(1, Addr{A, Iv * K + Kv});
+        RegId Bv = B.load(1, Addr{Bm, Kv * N + Jv});
+        RegId Cur = B.load(1, Addr{Acc, AffineExpr(0)});
+        RegId Next = UseFMA ? B.fma(Av, Bv, Cur)
+                            : B.add(Cur, B.mul(Av, Bv));
+        B.store(Next, Addr{Acc, AffineExpr(0)});
+      });
+      RegId Fin = B.load(1, Addr{Acc, AffineExpr(0)});
+      B.store(Fin, Addr{Out, Iv * N + Jv});
+    });
+  });
+}
+
+void baselines::emitScalarTrans(Builder &B, ArrayId A, int64_t M, int64_t N,
+                                ArrayId Out) {
+  B.forLoop(0, M, 1, [&](LoopId I) {
+    B.forLoop(0, N, 1, [&](LoopId J) {
+      AffineExpr Iv = AffineExpr::loopIndex(I);
+      AffineExpr Jv = AffineExpr::loopIndex(J);
+      RegId V = B.load(1, Addr{A, Iv * N + Jv});
+      B.store(V, Addr{Out, Jv * M + Iv});
+    });
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Vectorized library-style kernels shared by Eigen-like and BLAS-like
+//===----------------------------------------------------------------------===//
+
+isa::ISAKind baselines::baselineISA(machine::UArch Target) {
+  switch (Target) {
+  case machine::UArch::Atom:
+    return isa::ISAKind::SSSE3;
+  case machine::UArch::CortexA8:
+  case machine::UArch::CortexA9:
+    return isa::ISAKind::NEON;
+  case machine::UArch::ARM1176:
+    return isa::ISAKind::Scalar;
+  case machine::UArch::SandyBridge:
+    return isa::ISAKind::AVX;
+  }
+  LGEN_UNREACHABLE("unknown microarchitecture");
+}
+
+RegId baselines::reduceLanes(Builder &B, RegId V, isa::ISAKind Kind) {
+  unsigned Lanes = B.kernel().lanesOf(V);
+  if (Lanes == 1)
+    return V;
+  if (Kind == isa::ISAKind::AVX && Lanes == 8) {
+    // Fold the YMM halves, then finish like SSE.
+    RegId Folded = B.add(B.getLow(V), B.getHigh(V));
+    RegId H = B.hadd(Folded, Folded);
+    RegId H2 = B.hadd(H, H);
+    return B.extract(H2, 0);
+  }
+  if ((Kind == isa::ISAKind::SSSE3 || Kind == isa::ISAKind::SSE41 ||
+       Kind == isa::ISAKind::AVX) &&
+      Lanes == 4) {
+    RegId H = B.hadd(V, V);
+    RegId H2 = B.hadd(H, H);
+    return B.extract(H2, 0);
+  }
+  if (Kind == isa::ISAKind::NEON && Lanes == 4) {
+    RegId S = B.add(B.getLow(V), B.getHigh(V));
+    RegId P = B.hadd(S, S);
+    return B.extract(P, 0);
+  }
+  if (Lanes == 2) {
+    RegId P = B.hadd(V, V);
+    return B.extract(P, 0);
+  }
+  // Generic fallback: extract and add.
+  RegId Sum = B.extract(V, 0);
+  for (unsigned L = 1; L != Lanes; ++L)
+    Sum = B.add(Sum, B.extract(V, L));
+  return Sum;
+}
+
+namespace {
+
+/// Loads a scalar coefficient array or materializes the constant 1.
+RegId loadCoeff(Builder &B, int Arr) {
+  assert(Arr >= 0 && "coefficient array required");
+  return B.load(1, Addr{static_cast<ArrayId>(Arr), AffineExpr(0)});
+}
+
+} // namespace
+
+void baselines::emitVectorGemv(Builder &B, ArrayId A, int64_t M, int64_t K,
+                               ArrayId X, ArrayId Y, int Alpha, int Beta,
+                               unsigned Nu, isa::ISAKind Kind, bool UseFMA,
+                               int RowPeelOffset) {
+  RegId AlphaReg = Alpha >= 0 ? loadCoeff(B, Alpha) : NoReg;
+  RegId BetaReg = Beta >= 0 ? loadCoeff(B, Beta) : NoReg;
+
+  // Eigen-style peeling only helps when every row has the same alignment.
+  int64_t Peel = 0;
+  bool AlignedBody = false;
+  if (Nu > 1 && RowPeelOffset >= 0 && K % Nu == 0) {
+    Peel = (Nu - RowPeelOffset % Nu) % Nu;
+    AlignedBody = true;
+  }
+  int64_t VecEnd = Nu > 1 ? Peel + ((K - Peel) / Nu) * Nu : Peel;
+
+  ArrayId AccSlot = B.kernel().addArray("gemv_acc", Nu, ArrayKind::Temp);
+  B.forLoop(0, M, 1, [&](LoopId I) {
+    AffineExpr Iv = AffineExpr::loopIndex(I);
+    RegId Scalar = NoReg; // Scalar partial sum (peel + tail).
+    auto ScalarStep = [&](AffineExpr KExpr) {
+      RegId Av = B.load(1, Addr{A, Iv * K + KExpr});
+      RegId Xv = B.load(1, Addr{X, KExpr});
+      if (Scalar == NoReg)
+        Scalar = B.mul(Av, Xv);
+      else if (UseFMA)
+        Scalar = B.fma(Av, Xv, Scalar);
+      else
+        Scalar = B.add(Scalar, B.mul(Av, Xv));
+    };
+    for (int64_t P = 0; P != Peel; ++P)
+      ScalarStep(AffineExpr(P));
+
+    RegId RowSum;
+    if (Nu > 1 && VecEnd > Peel) {
+      // Vector loop with a stack-slot accumulator (runtime-size code
+      // cannot unroll, so the slot round-trips through memory).
+      {
+        RegId Av = B.load(Nu, Addr{A, Iv * K + AffineExpr(Peel)},
+                          AlignedBody);
+        RegId Xv = B.load(Nu, Addr{X, AffineExpr(Peel)});
+        B.store(B.mul(Av, Xv), Addr{AccSlot, AffineExpr(0)});
+      }
+      if (VecEnd > Peel + Nu)
+        B.forLoop(Peel + Nu, VecEnd, Nu, [&](LoopId KL) {
+          AffineExpr Kv = AffineExpr::loopIndex(KL);
+          RegId Av = B.load(Nu, Addr{A, Iv * K + Kv}, AlignedBody);
+          RegId Xv = B.load(Nu, Addr{X, Kv});
+          RegId Cur = B.load(Nu, Addr{AccSlot, AffineExpr(0)});
+          RegId Next = UseFMA ? B.fma(Av, Xv, Cur)
+                              : B.add(Cur, B.mul(Av, Xv));
+          B.store(Next, Addr{AccSlot, AffineExpr(0)});
+        });
+      RegId AccV = B.load(Nu, Addr{AccSlot, AffineExpr(0)});
+      RowSum = reduceLanes(B, AccV, Kind);
+      if (Scalar != NoReg)
+        RowSum = B.add(RowSum, Scalar);
+    } else {
+      if (Scalar == NoReg)
+        Scalar = B.fconst(1, 0.0);
+      RowSum = Scalar;
+    }
+    // Scalar tail continues accumulating onto the running row sum.
+    Scalar = RowSum;
+    for (int64_t T = VecEnd; T < K; ++T)
+      ScalarStep(AffineExpr(T));
+    RowSum = Scalar;
+
+    if (AlphaReg != NoReg)
+      RowSum = B.mul(AlphaReg, RowSum);
+    if (BetaReg != NoReg) {
+      RegId Old = B.load(1, Addr{Y, Iv});
+      RowSum = B.add(RowSum, B.mul(BetaReg, Old));
+    }
+    B.store(RowSum, Addr{Y, Iv});
+  });
+}
+
+void baselines::emitVectorGemm(Builder &B, ArrayId A, int64_t M, int64_t K,
+                               ArrayId Bm, int64_t N, ArrayId C, int Alpha,
+                               int Beta, unsigned Nu, bool UseFMA) {
+  RegId AlphaReg = Alpha >= 0 ? loadCoeff(B, Alpha) : NoReg;
+  RegId BetaReg = Beta >= 0 ? loadCoeff(B, Beta) : NoReg;
+  RegId AlphaVec = NoReg, BetaVec = NoReg;
+  if (Nu > 1 && Alpha >= 0)
+    AlphaVec = B.loadBroadcast(Nu, Addr{static_cast<ArrayId>(Alpha),
+                                        AffineExpr(0)});
+  if (Nu > 1 && Beta >= 0)
+    BetaVec = B.loadBroadcast(Nu, Addr{static_cast<ArrayId>(Beta),
+                                       AffineExpr(0)});
+
+  int64_t VecN = Nu > 1 ? (N / Nu) * Nu : 0;
+  ArrayId AccSlot = B.kernel().addArray("gemm_acc", std::max<unsigned>(Nu, 1),
+                                        ArrayKind::Temp);
+  B.forLoop(0, M, 1, [&](LoopId I) {
+    AffineExpr Iv = AffineExpr::loopIndex(I);
+    if (VecN > 0)
+      B.forLoop(0, VecN, Nu, [&](LoopId J) {
+        AffineExpr Jv = AffineExpr::loopIndex(J);
+        {
+          RegId Av = B.loadBroadcast(Nu, Addr{A, Iv * K});
+          RegId Bv = B.load(Nu, Addr{Bm, Jv});
+          B.store(B.mul(Av, Bv), Addr{AccSlot, AffineExpr(0)});
+        }
+        if (K > 1)
+          B.forLoop(1, K, 1, [&](LoopId KL) {
+            AffineExpr Kv = AffineExpr::loopIndex(KL);
+            RegId Av = B.loadBroadcast(Nu, Addr{A, Iv * K + Kv});
+            RegId Bv = B.load(Nu, Addr{Bm, Kv * N + Jv});
+            RegId Cur = B.load(Nu, Addr{AccSlot, AffineExpr(0)});
+            RegId Next = UseFMA ? B.fma(Av, Bv, Cur)
+                                : B.add(Cur, B.mul(Av, Bv));
+            B.store(Next, Addr{AccSlot, AffineExpr(0)});
+          });
+        RegId Acc = B.load(Nu, Addr{AccSlot, AffineExpr(0)});
+        if (AlphaVec != NoReg)
+          Acc = B.mul(AlphaVec, Acc);
+        if (BetaVec != NoReg) {
+          RegId Old = B.load(Nu, Addr{C, Iv * N + Jv});
+          Acc = B.add(Acc, B.mul(BetaVec, Old));
+        }
+        B.store(Acc, Addr{C, Iv * N + Jv});
+      });
+    // Scalar tail columns.
+    for (int64_t J = VecN; J < N; ++J) {
+      AffineExpr Jv(J);
+      RegId Acc = NoReg;
+      {
+        RegId Av = B.load(1, Addr{A, Iv * K});
+        RegId Bv = B.load(1, Addr{Bm, Jv});
+        Acc = B.mul(Av, Bv);
+        B.store(Acc, Addr{AccSlot, AffineExpr(0)});
+      }
+      if (K > 1)
+        B.forLoop(1, K, 1, [&](LoopId KL) {
+          AffineExpr Kv = AffineExpr::loopIndex(KL);
+          RegId Av = B.load(1, Addr{A, Iv * K + Kv});
+          RegId Bv = B.load(1, Addr{Bm, Kv * N + Jv});
+          RegId Cur = B.load(1, Addr{AccSlot, AffineExpr(0)});
+          RegId Next = UseFMA ? B.fma(Av, Bv, Cur)
+                              : B.add(Cur, B.mul(Av, Bv));
+          B.store(Next, Addr{AccSlot, AffineExpr(0)});
+        });
+      RegId Fin = B.load(1, Addr{AccSlot, AffineExpr(0)});
+      if (AlphaReg != NoReg)
+        Fin = B.mul(AlphaReg, Fin);
+      if (BetaReg != NoReg) {
+        RegId Old = B.load(1, Addr{C, Iv * N + Jv});
+        Fin = B.add(Fin, B.mul(BetaReg, Old));
+      }
+      B.store(Fin, Addr{C, Iv * N + Jv});
+    }
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Fused elementwise tree evaluation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using Coeffs = std::map<std::string, std::pair<RegId, RegId>>;
+
+void hoistScalarLeaves(BaselineBase::Ctx &C, const ll::Expr &E, unsigned Nu,
+                       Coeffs &Out) {
+  if (E.getKind() == ll::ExprKind::Ref) {
+    if (E.isScalarShaped() && !Out.count(E.getRefName())) {
+      ArrayId Arr = C.OperandArray.at(E.getRefName());
+      RegId S = C.B.load(1, Addr{Arr, AffineExpr(0)});
+      RegId V = Nu > 1 ? C.B.loadBroadcast(Nu, Addr{Arr, AffineExpr(0)}) : S;
+      Out[E.getRefName()] = {S, V};
+    }
+    return;
+  }
+  for (unsigned I = 0; I != E.numChildren(); ++I)
+    hoistScalarLeaves(C, E.child(I), Nu, Out);
+}
+
+RegId evalTreeAt(BaselineBase::Ctx &C, const ll::Expr &E, const Coeffs &Cs,
+                 AffineExpr Idx, unsigned Lanes, bool Aligned) {
+  switch (E.getKind()) {
+  case ll::ExprKind::Ref: {
+    if (E.isScalarShaped()) {
+      const auto &P = Cs.at(E.getRefName());
+      return Lanes > 1 ? P.second : P.first;
+    }
+    ArrayId Arr = C.OperandArray.at(E.getRefName());
+    return C.B.load(Lanes, Addr{Arr, Idx}, Aligned && Lanes > 1);
+  }
+  case ll::ExprKind::Add:
+    return C.B.add(evalTreeAt(C, E.child(0), Cs, Idx, Lanes, Aligned),
+                   evalTreeAt(C, E.child(1), Cs, Idx, Lanes, Aligned));
+  case ll::ExprKind::SMul:
+    return C.B.mul(evalTreeAt(C, E.child(0), Cs, Idx, Lanes, Aligned),
+                   evalTreeAt(C, E.child(1), Cs, Idx, Lanes, Aligned));
+  default:
+    LGEN_UNREACHABLE("non-elementwise node in fused tree");
+  }
+}
+
+} // namespace
+
+void baselines::emitFusedElementwiseTree(BaselineBase::Ctx &C,
+                                         const ll::Expr &E, ArrayId Out,
+                                         unsigned Nu, int64_t Peel,
+                                         bool AlignedBody) {
+  int64_t N = E.rows() * E.cols();
+  Coeffs Cs;
+  hoistScalarLeaves(C, E, Nu, Cs);
+  if (Nu <= 1) {
+    C.B.forLoop(0, N, 1, [&](LoopId L) {
+      AffineExpr Idx = AffineExpr::loopIndex(L);
+      C.B.store(evalTreeAt(C, E, Cs, Idx, 1, false), Addr{Out, Idx});
+    });
+    return;
+  }
+  Peel = std::min<int64_t>(Peel, N);
+  int64_t VecEnd = Peel + ((N - Peel) / Nu) * Nu;
+  for (int64_t I = 0; I != Peel; ++I)
+    C.B.store(evalTreeAt(C, E, Cs, AffineExpr(I), 1, false),
+              Addr{Out, AffineExpr(I)});
+  if (VecEnd > Peel)
+    C.B.forLoop(Peel, VecEnd, Nu, [&](LoopId L) {
+      AffineExpr Idx = AffineExpr::loopIndex(L);
+      C.B.store(evalTreeAt(C, E, Cs, Idx, Nu, AlignedBody), Addr{Out, Idx},
+                AlignedBody);
+    });
+  for (int64_t I = VecEnd; I < N; ++I)
+    C.B.store(evalTreeAt(C, E, Cs, AffineExpr(I), 1, false),
+              Addr{Out, AffineExpr(I)});
+}

@@ -1,0 +1,243 @@
+//===- BlasLike.cpp - MKL/ATLAS/IPP-style library baselines ---------------===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BLAS-library competitors (§5.1.2). The generator pattern-matches a BLAC
+/// against the BLAS surface exactly as the thesis maps its experiments
+/// (§5.1.5):
+///
+///  * `y = αx + y`                → one saxpy pass;
+///  * `y = αAx + βy` (and `Ax`)   → one sgemv call, scaling fused;
+///  * `C = αAB + βC` (and `AB`)   → one sgemm call;
+///  * anything else               → a sequence of calls with materialized
+///    temporaries (e.g. `αAx + βBx` as two sgemv calls, `xᵀAy` as
+///    sgemv + sdot, `α(A0+A1)ᵀB + βC` as add/omatadd + sgemm).
+///
+/// Kernels are generic runtime-size code (no size specialization — the
+/// thesis' point about MKL "optimized for large scale problems, providing
+/// little support for small sizes"), and every call pays a fixed dispatch
+/// overhead that differs per flavor.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/BaselineCommon.h"
+
+#include "cir/Passes.h"
+#include "machine/Scheduler.h"
+
+using namespace lgen;
+using namespace lgen::baselines;
+using namespace lgen::cir;
+
+namespace {
+
+struct FlavorTraits {
+  const char *Name;
+  double CallOverhead; ///< Cycles per BLAS call.
+};
+
+FlavorTraits flavorTraits(BlasFlavor F) {
+  switch (F) {
+  case BlasFlavor::MKL:
+    // Heavy dispatch (CPU detection, threading checks) per call.
+    return {"MKL 11.1", 140.0};
+  case BlasFlavor::ATLAS:
+    return {"ATLAS 3.10.1", 60.0};
+  case BlasFlavor::IPP:
+    // IPP's small-scale entry points are lean.
+    return {"IPP 8.0", 30.0};
+  }
+  LGEN_UNREACHABLE("unknown BLAS flavor");
+}
+
+/// Match result for the fused α·(A·B) + β·C forms.
+struct GemMatch {
+  const ll::Expr *Alpha = nullptr; ///< Scalar ref or null (α = 1).
+  const ll::Expr *A = nullptr;
+  const ll::Expr *B = nullptr;
+  const ll::Expr *Beta = nullptr;
+  bool HasC = false; ///< β·Out term present.
+};
+
+const ll::Expr *stripScalar(const ll::Expr &E, const ll::Expr *&Scalar) {
+  if (E.getKind() == ll::ExprKind::SMul &&
+      E.child(0).getKind() == ll::ExprKind::Ref) {
+    Scalar = &E.child(0);
+    return &E.child(1);
+  }
+  Scalar = nullptr;
+  return &E;
+}
+
+/// Matches E against α·(A·B) [+ β·Out]. \p OutName is the BLAC output (the
+/// C/y operand of the BLAS call).
+bool matchGem(const ll::Expr &E, const std::string &OutName, GemMatch &M) {
+  const ll::Expr *ProdTerm = &E;
+  if (E.getKind() == ll::ExprKind::Add) {
+    // One side must be (β·)Out, the other (α·)(A·B).
+    for (int Side = 0; Side != 2; ++Side) {
+      const ll::Expr *Scaled = &E.child(Side);
+      const ll::Expr *Other = &E.child(1 - Side);
+      const ll::Expr *Beta = nullptr;
+      const ll::Expr *Base = stripScalar(*Scaled, Beta);
+      if (Base->getKind() == ll::ExprKind::Ref &&
+          Base->getRefName() == OutName) {
+        M.Beta = Beta;
+        M.HasC = true;
+        ProdTerm = Other;
+        break;
+      }
+      if (Side == 1)
+        return false;
+    }
+  }
+  const ll::Expr *Alpha = nullptr;
+  const ll::Expr *Prod = stripScalar(*ProdTerm, Alpha);
+  if (Prod->getKind() != ll::ExprKind::Mul)
+    return false;
+  if (Prod->child(0).getKind() != ll::ExprKind::Ref ||
+      Prod->child(1).getKind() != ll::ExprKind::Ref)
+    return false;
+  M.Alpha = Alpha;
+  M.A = &Prod->child(0);
+  M.B = &Prod->child(1);
+  return true;
+}
+
+class BlasLike : public BaselineBase {
+public:
+  BlasLike(machine::UArch Target, BlasFlavor Flavor)
+      : BaselineBase(Target), Flavor(flavorTraits(Flavor)),
+        ISA(baselineISA(Target)), Nu(isa::traits(ISA).Nu) {}
+
+  std::string name() const override { return Flavor.Name; }
+
+  compiler::CompiledKernel compile(const ll::Program &P) const override {
+    Calls = 0;
+    // Whole-BLAC gemv/gemm fusion (the single-call mappings of §5.1.5).
+    GemMatch M;
+    if (matchGem(*P.Rhs, P.OutputName, M)) {
+      Ctx C(P.OutputName + "_blas");
+      const ll::Operand &Out = P.outputOperand();
+      for (const ll::Operand &O : P.Operands) {
+        ArrayKind Kind;
+        if (O.Name == Out.Name)
+          Kind = M.HasC ? ArrayKind::InOut : ArrayKind::Output;
+        else
+          Kind = ArrayKind::Input;
+        C.OperandArray[O.Name] = C.K.addArray(O.Name, O.numElements(), Kind);
+      }
+      auto ArrOf = [&](const ll::Expr *E) {
+        return E ? static_cast<int>(C.OperandArray.at(E->getRefName())) : -1;
+      };
+      int64_t MDim = M.A->rows(), KDim = M.A->cols(), NDim = M.B->cols();
+      ArrayId OutArr = C.OperandArray.at(Out.Name);
+      if (NDim == 1)
+        emitVectorGemv(C.B, C.OperandArray.at(M.A->getRefName()), MDim, KDim,
+                       C.OperandArray.at(M.B->getRefName()), OutArr,
+                       ArrOf(M.Alpha), M.HasC ? ArrOf(M.Beta) : -1, Nu, ISA,
+                       useFMA());
+      else
+        emitVectorGemm(C.B, C.OperandArray.at(M.A->getRefName()), MDim, KDim,
+                       C.OperandArray.at(M.B->getRefName()), NDim, OutArr,
+                       ArrOf(M.Alpha), M.HasC ? ArrOf(M.Beta) : -1, Nu,
+                       useFMA());
+      Calls = 1;
+      compiler::CompiledKernel CK;
+      CK.Blac = P.clone();
+      CK.Flops = ll::flopCount(P);
+      CK.Plain = std::move(C.K);
+      finalize(CK.Plain);
+      CK.Plain.verify();
+      CK.DispatchOverheadCycles = Flavor.CallOverhead;
+      return CK;
+    }
+    // Multi-call decomposition through the generic driver.
+    return BaselineBase::compile(P);
+  }
+
+protected:
+  void genElementwise(Ctx &C, EwKind Kind, ArrayId Out, ArrayId In0,
+                      ArrayId In1, int64_t N) const override {
+    ++Calls; // saxpy / sscal / scopy / omatadd pass.
+    if (Nu > 1 && N >= Nu)
+      emitVectorElementwise(C.B, Kind, Out, In0, In1, N, Nu, 0, false);
+    else
+      emitScalarElementwise(C.B, Kind, Out, In0, In1, N);
+  }
+
+  void genMMM(Ctx &C, ArrayId A, int64_t M, int64_t K, ArrayId B, int64_t N,
+              ArrayId Out) const override {
+    ++Calls; // sgemv / sgemm / sdot.
+    if (N == 1)
+      emitVectorGemv(C.B, A, M, K, B, Out, -1, -1, Nu, ISA, useFMA());
+    else
+      emitVectorGemm(C.B, A, M, K, B, N, Out, -1, -1, Nu, useFMA());
+  }
+
+  void genTrans(Ctx &C, ArrayId A, int64_t M, int64_t N,
+                ArrayId Out) const override {
+    ++Calls; // omatcopy-style pass.
+    emitScalarTrans(C.B, A, M, N, Out);
+  }
+
+  double invocationOverhead(const ll::Program &) const override {
+    return Flavor.CallOverhead * std::max(1u, Calls);
+  }
+
+private:
+  bool useFMA() const { return ISA == isa::ISAKind::NEON; }
+
+  FlavorTraits Flavor;
+  isa::ISAKind ISA;
+  unsigned Nu;
+  mutable unsigned Calls = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Generator> baselines::makeBlasLike(machine::UArch Target,
+                                                   BlasFlavor Flavor) {
+  return std::make_unique<BlasLike>(Target, Flavor);
+}
+
+//===----------------------------------------------------------------------===//
+// Competitor sets (§5.1.2 / §5.1.3)
+//===----------------------------------------------------------------------===//
+
+std::vector<std::unique_ptr<Generator>>
+baselines::competitorsFor(machine::UArch Target) {
+  std::vector<std::unique_ptr<Generator>> Gens;
+  switch (Target) {
+  case machine::UArch::SandyBridge:
+  case machine::UArch::Atom:
+    Gens.push_back(makeHandwritten(Target, iccModel(), /*FixedSizes=*/true));
+    Gens.push_back(makeHandwritten(Target, iccModel(), /*FixedSizes=*/false));
+    Gens.push_back(makeBlasLike(Target, BlasFlavor::MKL));
+    Gens.push_back(makeEigenLike(Target));
+    Gens.push_back(makeBlasLike(Target, BlasFlavor::IPP));
+    Gens.push_back(makeBlasLike(Target, BlasFlavor::ATLAS));
+    break;
+  case machine::UArch::CortexA8:
+  case machine::UArch::CortexA9:
+    Gens.push_back(makeHandwritten(Target, gccModel(), true));
+    Gens.push_back(makeHandwritten(Target, gccModel(), false));
+    Gens.push_back(makeHandwritten(Target, clangModel(), true));
+    Gens.push_back(makeHandwritten(Target, clangModel(), false));
+    Gens.push_back(makeEigenLike(Target));
+    Gens.push_back(makeBlasLike(Target, BlasFlavor::ATLAS));
+    break;
+  case machine::UArch::ARM1176:
+    Gens.push_back(makeHandwritten(Target, gccModel(), true));
+    Gens.push_back(makeHandwritten(Target, gccModel(), false));
+    Gens.push_back(makeHandwritten(Target, clangModel(), true));
+    Gens.push_back(makeHandwritten(Target, clangModel(), false));
+    Gens.push_back(makeEigenLike(Target));
+    Gens.push_back(makeBlasLike(Target, BlasFlavor::ATLAS));
+    break;
+  }
+  return Gens;
+}

@@ -1,0 +1,138 @@
+//===- EigenLike.cpp - Eigen-style template library baseline --------------===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generator reproducing the behaviors the thesis attributes to
+/// Eigen 3.2 (§5.1.2, §5.2.4):
+///
+///  * elementwise expression trees fuse into a single vectorized pass
+///    (expression templates);
+///  * loop peeling raises the fraction of aligned accesses — for uniformly
+///    misaligned data Eigen "peels the part of the loop that corresponds to
+///    the first 3 columns ... and uses aligned accesses for the remaining";
+///  * products materialize and use runtime-size loops, whose stack-carried
+///    accumulators leave performance on the table on the in-order cores;
+///  * leftovers are handled by scalar tails (mixing scalar and vector code,
+///    the §5.3.1 weakness on Cortex-A8).
+///
+/// The \c AssumedOffsets map models Eigen's *runtime* peeling decisions in
+/// our static IR: the bench harness passes the operand offsets it is about
+/// to run with.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/BaselineCommon.h"
+
+#include "cir/Passes.h"
+#include "machine/Scheduler.h"
+
+using namespace lgen;
+using namespace lgen::baselines;
+using namespace lgen::cir;
+
+namespace {
+
+class EigenLike : public BaselineBase {
+public:
+  EigenLike(machine::UArch Target, std::map<std::string, unsigned> Offsets)
+      : BaselineBase(Target), Offsets(std::move(Offsets)),
+        ISA(baselineISA(Target)), Nu(isa::traits(ISA).Nu) {}
+
+  std::string name() const override { return "Eigen-like"; }
+
+protected:
+  /// Base-address offset (elements mod ν) assumed for an array.
+  unsigned offsetOf(Ctx &C, ArrayId Arr) const {
+    for (const auto &[Name, Id] : C.OperandArray)
+      if (Id == Arr) {
+        auto It = Offsets.find(Name);
+        return It == Offsets.end() ? 0 : It->second % std::max(1u, Nu);
+      }
+    return 0; // Temporaries are allocated aligned.
+  }
+
+  void genElementwise(Ctx &C, EwKind Kind, ArrayId Out, ArrayId In0,
+                      ArrayId In1, int64_t N) const override {
+    if (Nu == 1 || N < Nu) {
+      emitScalarElementwise(C.B, Kind, Out, In0, In1, N);
+      return;
+    }
+    // Peel until the *output* is aligned; the body is aligned only if all
+    // participating arrays then agree.
+    unsigned OutOff = offsetOf(C, Out);
+    int64_t Peel = (Nu - OutOff) % Nu;
+    bool Aligned = true;
+    for (ArrayId Arr : {In0, In1})
+      if (Kind != EwKind::SMul || Arr != In0) // Scalar factor is lane 0.
+        Aligned &= offsetOf(C, Arr) == OutOff;
+    emitVectorElementwise(C.B, Kind, Out, In0, In1, N, Nu,
+                          Aligned ? Peel : 0, Aligned);
+  }
+
+  bool tryFusedElementwise(Ctx &C, const ll::Expr &E, ArrayId Out,
+                           const ll::Program &) const override {
+    // Aligned body only when every non-scalar leaf shares the output's
+    // base offset; Eigen then peels to the common boundary.
+    unsigned OutOff = offsetOf(C, Out);
+    bool Aligned = Nu > 1;
+    std::vector<const ll::Expr *> Stack = {&E};
+    while (!Stack.empty()) {
+      const ll::Expr *Cur = Stack.back();
+      Stack.pop_back();
+      if (Cur->getKind() == ll::ExprKind::Ref) {
+        if (!Cur->isScalarShaped())
+          Aligned &= offsetOf(C, C.OperandArray.at(Cur->getRefName())) ==
+                     OutOff;
+        continue;
+      }
+      for (unsigned I = 0; I != Cur->numChildren(); ++I)
+        Stack.push_back(&Cur->child(I));
+    }
+    int64_t Peel = (Nu > 1 && Aligned) ? (Nu - OutOff) % Nu : 0;
+    emitFusedElementwiseTree(C, E, Out, Nu, Aligned ? Peel : 0, Aligned);
+    return true;
+  }
+
+  void genMMM(Ctx &C, ArrayId A, int64_t M, int64_t K, ArrayId B, int64_t N,
+              ArrayId Out) const override {
+    if (N == 1) {
+      // Row-major gemv with per-row alignment peeling when the row stride
+      // keeps every row at the same offset (§5.2.4 discussion).
+      int RowPeel = -1;
+      if (Nu > 1 && K % Nu == 0)
+        RowPeel = static_cast<int>(offsetOf(C, A));
+      emitVectorGemv(C.B, A, M, K, B, Out, /*Alpha=*/-1, /*Beta=*/-1, Nu,
+                     ISA, useFMA(), RowPeel);
+      return;
+    }
+    emitVectorGemm(C.B, A, M, K, B, N, Out, -1, -1, Nu, useFMA());
+  }
+
+  void genTrans(Ctx &C, ArrayId A, int64_t M, int64_t N,
+                ArrayId Out) const override {
+    emitScalarTrans(C.B, A, M, N, Out);
+  }
+
+  void finalize(Kernel &K) const override {
+    cir::scalarReplacement(K);
+    machine::scheduleKernel(K, machine::Microarch::get(Target));
+  }
+
+private:
+  bool useFMA() const { return ISA == isa::ISAKind::NEON; }
+
+  std::map<std::string, unsigned> Offsets;
+  isa::ISAKind ISA;
+  unsigned Nu;
+};
+
+} // namespace
+
+std::unique_ptr<Generator>
+baselines::makeEigenLike(machine::UArch Target,
+                         std::map<std::string, unsigned> AssumedOffsets) {
+  return std::make_unique<EigenLike>(Target, std::move(AssumedOffsets));
+}

@@ -1,0 +1,112 @@
+//===- NaiveScalar.cpp - Handwritten-code-through-compiler baselines -----===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "handwritten" competitor series (§5.1.2–5.1.3): straightforward
+/// scalar loop nests, processed by a *compiler model*. The `fixed` variant
+/// assumes compile-time sizes: small loops are fully unrolled (which lets
+/// store-load forwarding register-allocate the accumulators) and, when the
+/// compiler model auto-vectorizes, simple elementwise loops become vector
+/// loops. The `gen` variant keeps the runtime-size loops untouched, whose
+/// single-accumulator dependence chains are what cap naive code on the
+/// in-order cores.
+///
+/// The compiler models encode the thesis' observations (§5.3): gcc
+/// auto-vectorizes for the NEON cores but schedules worse; clang schedules
+/// and allocates better but vectorizes less; icc does both on x86.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/BaselineCommon.h"
+
+#include "cir/Passes.h"
+#include "machine/Scheduler.h"
+
+using namespace lgen;
+using namespace lgen::baselines;
+using namespace lgen::cir;
+
+CompilerModel baselines::iccModel() { return {"icc", true, true, 8}; }
+CompilerModel baselines::gccModel() { return {"gcc", true, false, 6}; }
+CompilerModel baselines::clangModel() { return {"clang", false, true, 8}; }
+
+namespace {
+
+class Handwritten : public BaselineBase {
+public:
+  Handwritten(machine::UArch Target, CompilerModel Model, bool Fixed)
+      : BaselineBase(Target), Model(std::move(Model)), Fixed(Fixed) {}
+
+  std::string name() const override {
+    return "Handwritten " + std::string(Fixed ? "fixed" : "gen") + " (" +
+           Model.Name + ")";
+  }
+
+protected:
+  void genElementwise(Ctx &C, EwKind Kind, ArrayId Out, ArrayId In0,
+                      ArrayId In1, int64_t N) const override {
+    unsigned Nu = isa::traits(baselineISA(Target)).Nu;
+    // Auto-vectorization fires on simple, countable elementwise loops —
+    // and only with compile-time trip counts (the `fixed` series).
+    if (Fixed && Model.AutoVectorize && Nu > 1 && N >= Nu) {
+      emitVectorElementwise(C.B, Kind, Out, In0, In1, N, Nu, /*Peel=*/0,
+                            /*AlignedBody=*/false);
+      return;
+    }
+    emitScalarElementwise(C.B, Kind, Out, In0, In1, N);
+  }
+
+  void genMMM(Ctx &C, ArrayId A, int64_t M, int64_t K, ArrayId B, int64_t N,
+              ArrayId Out) const override {
+    emitScalarMMM(C.B, A, M, K, B, N, Out, useFMA());
+  }
+
+  void genTrans(Ctx &C, ArrayId A, int64_t M, int64_t N,
+                ArrayId Out) const override {
+    emitScalarTrans(C.B, A, M, N, Out);
+  }
+
+  bool tryFusedElementwise(Ctx &C, const ll::Expr &E, ArrayId Out,
+                           const ll::Program &) const override {
+    // A human writes elementwise BLACs as one loop; auto-vectorization
+    // fires for compile-time trip counts with unaligned accesses.
+    unsigned Nu = isa::traits(baselineISA(Target)).Nu;
+    bool Vectorize = Fixed && Model.AutoVectorize && Nu > 1;
+    emitFusedElementwiseTree(C, E, Out, Vectorize ? Nu : 1, /*Peel=*/0,
+                             /*AlignedBody=*/false);
+    return true;
+  }
+
+  void finalize(Kernel &K) const override {
+    if (Fixed) {
+      // Compile-time trip counts: full unrolling of small loops plus
+      // partial unrolling of the rest (-O3 behavior).
+      cir::unrollLoops(K, Model.UnrollSmall);
+      cir::unrollAllLoopsBy(K, 4);
+      cir::scalarReplacement(K);
+    }
+    cir::scalarReplacement(K);
+    if (Model.GoodScheduling)
+      machine::scheduleKernel(K, machine::Microarch::get(Target));
+  }
+
+private:
+  bool useFMA() const {
+    // Scalar FMA exists on the VFP/NEON cores; SSE has none.
+    return Target != machine::UArch::Atom;
+  }
+
+  CompilerModel Model;
+  bool Fixed;
+};
+
+} // namespace
+
+std::unique_ptr<Generator> baselines::makeHandwritten(machine::UArch Target,
+                                                      CompilerModel Model,
+                                                      bool FixedSizes) {
+  return std::make_unique<Handwritten>(Target, std::move(Model), FixedSizes);
+}

@@ -1,0 +1,250 @@
+//===- Builder.cpp - Convenience builder for C-IR kernels ------*- C++ -*-===//
+
+#include "cir/Builder.h"
+
+using namespace lgen;
+using namespace lgen::cir;
+
+LoopId Builder::forLoop(int64_t Start, int64_t End, int64_t Step,
+                        const std::function<void(LoopId)> &Body) {
+  auto L = std::make_unique<Loop>();
+  L->Id = K.newLoopId();
+  L->Start = Start;
+  L->End = End;
+  L->Step = Step;
+  Loop *Raw = L.get();
+  InsertStack.back()->push_back(Node(std::move(L)));
+  InsertStack.push_back(&Raw->Body);
+  Body(Raw->Id);
+  InsertStack.pop_back();
+  return Raw->Id;
+}
+
+RegId Builder::emit(Inst I, unsigned DestLanes) {
+  I.Dest = K.newReg(DestLanes);
+  RegId R = I.Dest;
+  InsertStack.back()->push_back(Node(std::move(I)));
+  return R;
+}
+
+void Builder::append(Inst I) { InsertStack.back()->push_back(Node(std::move(I))); }
+
+RegId Builder::fconst(unsigned Lanes, double Value) {
+  Inst I;
+  I.Op = Opcode::FConst;
+  I.Imm = Value;
+  return emit(std::move(I), Lanes);
+}
+
+RegId Builder::mov(RegId A) {
+  Inst I;
+  I.Op = Opcode::Mov;
+  I.A = A;
+  return emit(std::move(I), K.lanesOf(A));
+}
+
+static Inst binary(Opcode Op, RegId A, RegId B) {
+  Inst I;
+  I.Op = Op;
+  I.A = A;
+  I.B = B;
+  return I;
+}
+
+RegId Builder::add(RegId A, RegId B) {
+  assert(K.lanesOf(A) == K.lanesOf(B) && "lane mismatch");
+  return emit(binary(Opcode::Add, A, B), K.lanesOf(A));
+}
+
+RegId Builder::sub(RegId A, RegId B) {
+  assert(K.lanesOf(A) == K.lanesOf(B) && "lane mismatch");
+  return emit(binary(Opcode::Sub, A, B), K.lanesOf(A));
+}
+
+RegId Builder::mul(RegId A, RegId B) {
+  assert(K.lanesOf(A) == K.lanesOf(B) && "lane mismatch");
+  return emit(binary(Opcode::Mul, A, B), K.lanesOf(A));
+}
+
+RegId Builder::div(RegId A, RegId B) {
+  assert(K.lanesOf(A) == K.lanesOf(B) && "lane mismatch");
+  return emit(binary(Opcode::Div, A, B), K.lanesOf(A));
+}
+
+RegId Builder::neg(RegId A) {
+  Inst I;
+  I.Op = Opcode::Neg;
+  I.A = A;
+  return emit(std::move(I), K.lanesOf(A));
+}
+
+RegId Builder::fma(RegId A, RegId B, RegId C) {
+  assert(K.lanesOf(A) == K.lanesOf(B) && K.lanesOf(A) == K.lanesOf(C) &&
+         "lane mismatch");
+  Inst I;
+  I.Op = Opcode::FMA;
+  I.A = A;
+  I.B = B;
+  I.C = C;
+  return emit(std::move(I), K.lanesOf(A));
+}
+
+RegId Builder::hadd(RegId A, RegId B) {
+  assert(K.lanesOf(A) == K.lanesOf(B) && "lane mismatch");
+  assert((K.lanesOf(A) == 8 || K.lanesOf(A) == 4 || K.lanesOf(A) == 2) &&
+         "hadd only defined for 2, 4, or 8 lanes");
+  return emit(binary(Opcode::HAdd, A, B), K.lanesOf(A));
+}
+
+RegId Builder::dotps(RegId A, RegId B) {
+  assert(K.lanesOf(A) == K.lanesOf(B) && "lane mismatch");
+  assert(K.lanesOf(A) == 4 && "dpps is a 128-bit instruction");
+  return emit(binary(Opcode::DotPS, A, B), K.lanesOf(A));
+}
+
+RegId Builder::mulLane(RegId A, RegId B, unsigned Lane) {
+  assert(Lane < K.lanesOf(B) && "lane out of range");
+  Inst I = binary(Opcode::MulLane, A, B);
+  I.Lane = Lane;
+  return emit(std::move(I), K.lanesOf(A));
+}
+
+RegId Builder::fmaLane(RegId A, RegId B, unsigned Lane, RegId C) {
+  assert(Lane < K.lanesOf(B) && "lane out of range");
+  assert(K.lanesOf(A) == K.lanesOf(C) && "lane mismatch");
+  Inst I;
+  I.Op = Opcode::FMALane;
+  I.A = A;
+  I.B = B;
+  I.C = C;
+  I.Lane = Lane;
+  return emit(std::move(I), K.lanesOf(A));
+}
+
+RegId Builder::broadcast(RegId A, unsigned Lane, unsigned DestLanes) {
+  assert(Lane < K.lanesOf(A) && "lane out of range");
+  Inst I;
+  I.Op = Opcode::Broadcast;
+  I.A = A;
+  I.Lane = Lane;
+  return emit(std::move(I), DestLanes);
+}
+
+RegId Builder::shuffle(RegId A, RegId B, const std::vector<uint8_t> &Pattern) {
+  assert(K.lanesOf(A) == K.lanesOf(B) && "lane mismatch");
+  assert(Pattern.size() == K.lanesOf(A) && "pattern size mismatch");
+  Inst I = binary(Opcode::Shuffle, A, B);
+  for (unsigned J = 0; J != Pattern.size(); ++J) {
+    assert(Pattern[J] < 2 * K.lanesOf(A) && "pattern index out of range");
+    I.Pattern[J] = Pattern[J];
+  }
+  return emit(std::move(I), K.lanesOf(A));
+}
+
+RegId Builder::insert(RegId A, RegId ScalarB, unsigned Lane) {
+  assert(K.lanesOf(ScalarB) == 1 && "insert takes a scalar source");
+  assert(Lane < K.lanesOf(A) && "lane out of range");
+  Inst I = binary(Opcode::Insert, A, ScalarB);
+  I.Lane = Lane;
+  return emit(std::move(I), K.lanesOf(A));
+}
+
+RegId Builder::extract(RegId A, unsigned Lane) {
+  assert(Lane < K.lanesOf(A) && "lane out of range");
+  Inst I;
+  I.Op = Opcode::Extract;
+  I.A = A;
+  I.Lane = Lane;
+  return emit(std::move(I), 1);
+}
+
+RegId Builder::getLow(RegId A) {
+  assert(K.lanesOf(A) % 2 == 0 && "getLow needs an even lane count");
+  Inst I;
+  I.Op = Opcode::GetLow;
+  I.A = A;
+  return emit(std::move(I), K.lanesOf(A) / 2);
+}
+
+RegId Builder::getHigh(RegId A) {
+  assert(K.lanesOf(A) % 2 == 0 && "getHigh needs an even lane count");
+  Inst I;
+  I.Op = Opcode::GetHigh;
+  I.A = A;
+  return emit(std::move(I), K.lanesOf(A) / 2);
+}
+
+RegId Builder::combine(RegId Lo, RegId Hi) {
+  assert(K.lanesOf(Lo) == K.lanesOf(Hi) && "combine needs equal halves");
+  Inst I = binary(Opcode::Combine, Lo, Hi);
+  return emit(std::move(I), 2 * K.lanesOf(Lo));
+}
+
+RegId Builder::zero(unsigned Lanes) {
+  Inst I;
+  I.Op = Opcode::Zero;
+  return emit(std::move(I), Lanes);
+}
+
+RegId Builder::load(unsigned Lanes, Addr Address, bool Aligned) {
+  Inst I;
+  I.Op = Opcode::Load;
+  I.Address = std::move(Address);
+  I.Aligned = Aligned;
+  return emit(std::move(I), Lanes);
+}
+
+void Builder::store(RegId A, Addr Address, bool Aligned) {
+  Inst I;
+  I.Op = Opcode::Store;
+  I.A = A;
+  I.Address = std::move(Address);
+  I.Aligned = Aligned;
+  append(std::move(I));
+}
+
+RegId Builder::loadBroadcast(unsigned Lanes, Addr Address) {
+  Inst I;
+  I.Op = Opcode::LoadBroadcast;
+  I.Address = std::move(Address);
+  return emit(std::move(I), Lanes);
+}
+
+RegId Builder::loadLane(RegId Base, unsigned Lane, Addr Address) {
+  assert(Lane < K.lanesOf(Base) && "lane out of range");
+  Inst I;
+  I.Op = Opcode::LoadLane;
+  I.A = Base;
+  I.Lane = Lane;
+  I.Address = std::move(Address);
+  return emit(std::move(I), K.lanesOf(Base));
+}
+
+void Builder::storeLane(RegId A, unsigned Lane, Addr Address) {
+  assert(Lane < K.lanesOf(A) && "lane out of range");
+  Inst I;
+  I.Op = Opcode::StoreLane;
+  I.A = A;
+  I.Lane = Lane;
+  I.Address = std::move(Address);
+  append(std::move(I));
+}
+
+RegId Builder::gload(unsigned Lanes, Addr Address, MemMap Map) {
+  assert(Map.numLanes() == Lanes && "map lane count mismatch");
+  Inst I;
+  I.Op = Opcode::GLoad;
+  I.Address = std::move(Address);
+  I.Map = std::move(Map);
+  return emit(std::move(I), Lanes);
+}
+
+void Builder::gstore(RegId A, Addr Address, MemMap Map) {
+  assert(Map.numLanes() == K.lanesOf(A) && "map lane count mismatch");
+  Inst I;
+  I.Op = Opcode::GStore;
+  I.A = A;
+  I.Address = std::move(Address);
+  I.Map = std::move(Map);
+  append(std::move(I));
+}

@@ -1,0 +1,95 @@
+//===- Builder.h - Convenience builder for C-IR kernels --------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small IRBuilder-style helper that the ν-BLAC codelets, the Σ-LL
+/// lowering, and the baseline generators use to emit C-IR. It maintains an
+/// insertion-point stack so loop bodies can be populated with plain
+/// callbacks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_CIR_BUILDER_H
+#define LGEN_CIR_BUILDER_H
+
+#include "cir/CIR.h"
+
+#include <functional>
+
+namespace lgen {
+namespace cir {
+
+class Builder {
+public:
+  explicit Builder(Kernel &K) : K(K) { InsertStack.push_back(&K.getBody()); }
+
+  Kernel &kernel() { return K; }
+
+  //===--------------------------------------------------------------------===//
+  // Structure
+  //===--------------------------------------------------------------------===//
+
+  /// Emits `for (i = Start; i < End; i += Step)` and runs \p Body with the
+  /// new loop's id to populate it. Returns the loop id.
+  LoopId forLoop(int64_t Start, int64_t End, int64_t Step,
+                 const std::function<void(LoopId)> &Body);
+
+  //===--------------------------------------------------------------------===//
+  // Arithmetic
+  //===--------------------------------------------------------------------===//
+
+  RegId fconst(unsigned Lanes, double Value);
+  RegId mov(RegId A);
+  RegId add(RegId A, RegId B);
+  RegId sub(RegId A, RegId B);
+  RegId mul(RegId A, RegId B);
+  RegId div(RegId A, RegId B);
+  RegId neg(RegId A);
+  /// Dest = A * B + C.
+  RegId fma(RegId A, RegId B, RegId C);
+  RegId hadd(RegId A, RegId B);
+  /// SSE4.1 dot product: Dest[0] = Σ A[j]·B[j], other lanes zero.
+  RegId dotps(RegId A, RegId B);
+  RegId mulLane(RegId A, RegId B, unsigned Lane);
+  /// Dest = C + A * B[Lane].
+  RegId fmaLane(RegId A, RegId B, unsigned Lane, RegId C);
+  RegId broadcast(RegId A, unsigned Lane, unsigned DestLanes);
+  RegId shuffle(RegId A, RegId B, const std::vector<uint8_t> &Pattern);
+  RegId insert(RegId A, RegId ScalarB, unsigned Lane);
+  RegId extract(RegId A, unsigned Lane);
+  RegId getLow(RegId A);
+  RegId getHigh(RegId A);
+  RegId combine(RegId Lo, RegId Hi);
+  RegId zero(unsigned Lanes);
+
+  //===--------------------------------------------------------------------===//
+  // Memory
+  //===--------------------------------------------------------------------===//
+
+  RegId load(unsigned Lanes, Addr Address, bool Aligned = false);
+  void store(RegId A, Addr Address, bool Aligned = false);
+  RegId loadBroadcast(unsigned Lanes, Addr Address);
+  RegId loadLane(RegId Base, unsigned Lane, Addr Address);
+  void storeLane(RegId A, unsigned Lane, Addr Address);
+  /// Generic load (§3.1): lanes with MemMap::None are zero-filled.
+  RegId gload(unsigned Lanes, Addr Address, MemMap Map);
+  /// Generic store (§3.1): lanes with MemMap::None are skipped.
+  void gstore(RegId A, Addr Address, MemMap Map);
+
+  /// Raw instruction append, for the rare shapes without a helper.
+  void append(Inst I);
+
+private:
+  RegId emit(Inst I, unsigned DestLanes);
+
+  Kernel &K;
+  std::vector<std::vector<Node> *> InsertStack;
+};
+
+} // namespace cir
+} // namespace lgen
+
+#endif // LGEN_CIR_BUILDER_H

@@ -1,0 +1,423 @@
+//===- CIR.cpp - C-IR data structure implementation ------------*- C++ -*-===//
+
+#include "cir/CIR.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::cir;
+
+//===----------------------------------------------------------------------===//
+// AffineExpr
+//===----------------------------------------------------------------------===//
+
+int64_t AffineExpr::getCoeff(LoopId Id) const {
+  for (const auto &[L, C] : Terms)
+    if (L == Id)
+      return C;
+  return 0;
+}
+
+void AffineExpr::addTerm(LoopId Id, int64_t Coeff) {
+  if (Coeff == 0)
+    return;
+  auto It = std::lower_bound(
+      Terms.begin(), Terms.end(), Id,
+      [](const std::pair<LoopId, int64_t> &T, LoopId I) { return T.first < I; });
+  if (It != Terms.end() && It->first == Id) {
+    It->second += Coeff;
+    if (It->second == 0)
+      Terms.erase(It);
+    return;
+  }
+  Terms.insert(It, {Id, Coeff});
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr &Other) const {
+  AffineExpr Result = *this;
+  Result.Constant += Other.Constant;
+  for (const auto &[Id, Coeff] : Other.Terms)
+    Result.addTerm(Id, Coeff);
+  return Result;
+}
+
+AffineExpr AffineExpr::operator*(int64_t Factor) const {
+  AffineExpr Result;
+  if (Factor == 0)
+    return Result;
+  Result.Constant = Constant * Factor;
+  Result.Terms = Terms;
+  for (auto &[Id, Coeff] : Result.Terms)
+    Coeff *= Factor;
+  return Result;
+}
+
+AffineExpr AffineExpr::substitute(LoopId Id, int64_t Value) const {
+  AffineExpr Result;
+  Result.Constant = Constant;
+  for (const auto &[L, C] : Terms) {
+    if (L == Id)
+      Result.Constant += C * Value;
+    else
+      Result.Terms.push_back({L, C});
+  }
+  return Result;
+}
+
+AffineExpr AffineExpr::shiftIndex(LoopId Id, int64_t Delta) const {
+  AffineExpr Result = *this;
+  Result.Constant += getCoeff(Id) * Delta;
+  return Result;
+}
+
+std::string AffineExpr::str() const {
+  std::ostringstream OS;
+  OS << Constant;
+  for (const auto &[Id, Coeff] : Terms)
+    OS << " + " << Coeff << "*i" << Id;
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// MemMap
+//===----------------------------------------------------------------------===//
+
+MemMap MemMap::contiguous(unsigned Lanes, unsigned Active) {
+  if (Active == ~0u)
+    Active = Lanes;
+  assert(Active <= Lanes && "more active lanes than lanes");
+  MemMap M;
+  M.LaneOffsets.resize(Lanes, None);
+  for (unsigned I = 0; I != Active; ++I)
+    M.LaneOffsets[I] = I;
+  return M;
+}
+
+MemMap MemMap::strided(unsigned Lanes, int64_t Stride, unsigned Active) {
+  if (Active == ~0u)
+    Active = Lanes;
+  assert(Active <= Lanes && "more active lanes than lanes");
+  MemMap M;
+  M.LaneOffsets.resize(Lanes, None);
+  for (unsigned I = 0; I != Active; ++I)
+    M.LaneOffsets[I] = static_cast<int64_t>(I) * Stride;
+  return M;
+}
+
+unsigned MemMap::numActiveLanes() const {
+  unsigned N = 0;
+  for (int64_t O : LaneOffsets)
+    if (O != None)
+      ++N;
+  return N;
+}
+
+bool MemMap::isContiguousPrefix() const {
+  unsigned Active = numActiveLanes();
+  if (Active == 0)
+    return false;
+  for (unsigned I = 0; I != LaneOffsets.size(); ++I) {
+    if (I < Active) {
+      if (LaneOffsets[I] != static_cast<int64_t>(I))
+        return false;
+    } else if (LaneOffsets[I] != None) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MemMap::isFullContiguous() const {
+  return isContiguousPrefix() && numActiveLanes() == LaneOffsets.size();
+}
+
+bool MemMap::isStrided(int64_t &StrideOut) const {
+  unsigned Active = numActiveLanes();
+  if (Active < 2)
+    return false;
+  // Active lanes must be a prefix.
+  for (unsigned I = 0; I != Active; ++I)
+    if (LaneOffsets[I] == None)
+      return false;
+  for (unsigned I = Active; I != LaneOffsets.size(); ++I)
+    if (LaneOffsets[I] != None)
+      return false;
+  int64_t Stride = LaneOffsets[1] - LaneOffsets[0];
+  if (Stride <= 1 || LaneOffsets[0] != 0)
+    return false;
+  for (unsigned I = 1; I != Active; ++I)
+    if (LaneOffsets[I] - LaneOffsets[I - 1] != Stride)
+      return false;
+  StrideOut = Stride;
+  return true;
+}
+
+std::string MemMap::str() const {
+  std::ostringstream OS;
+  OS << "{";
+  for (unsigned I = 0; I != LaneOffsets.size(); ++I) {
+    if (I)
+      OS << ",";
+    if (LaneOffsets[I] == None)
+      OS << "_";
+    else
+      OS << LaneOffsets[I];
+  }
+  OS << "}";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Opcode helpers
+//===----------------------------------------------------------------------===//
+
+const char *cir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::FConst:
+    return "fconst";
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::FMA:
+    return "fma";
+  case Opcode::HAdd:
+    return "hadd";
+  case Opcode::DotPS:
+    return "dpps";
+  case Opcode::MulLane:
+    return "mullane";
+  case Opcode::FMALane:
+    return "fmalane";
+  case Opcode::Broadcast:
+    return "broadcast";
+  case Opcode::Shuffle:
+    return "shuffle";
+  case Opcode::Insert:
+    return "insert";
+  case Opcode::Extract:
+    return "extract";
+  case Opcode::GetLow:
+    return "getlow";
+  case Opcode::GetHigh:
+    return "gethigh";
+  case Opcode::Combine:
+    return "combine";
+  case Opcode::Zero:
+    return "zero";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::LoadBroadcast:
+    return "loadbcast";
+  case Opcode::LoadLane:
+    return "loadlane";
+  case Opcode::StoreLane:
+    return "storelane";
+  case Opcode::GLoad:
+    return "gload";
+  case Opcode::GStore:
+    return "gstore";
+  }
+  LGEN_UNREACHABLE("unknown opcode");
+}
+
+bool cir::isMemoryOpcode(Opcode Op) {
+  switch (Op) {
+  case Opcode::Load:
+  case Opcode::Store:
+  case Opcode::LoadBroadcast:
+  case Opcode::LoadLane:
+  case Opcode::StoreLane:
+  case Opcode::GLoad:
+  case Opcode::GStore:
+    return true;
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Node / Loop cloning
+//===----------------------------------------------------------------------===//
+
+Node Node::clone() const {
+  if (isInst())
+    return Node(*TheInst);
+  return Node(TheLoop->clone());
+}
+
+std::unique_ptr<Loop> Loop::clone() const {
+  auto L = std::make_unique<Loop>();
+  L->Id = Id;
+  L->Start = Start;
+  L->End = End;
+  L->Step = Step;
+  L->Body.reserve(Body.size());
+  for (const Node &N : Body)
+    L->Body.push_back(N.clone());
+  return L;
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel
+//===----------------------------------------------------------------------===//
+
+ArrayId Kernel::addArray(std::string ArrName, int64_t NumElements,
+                         ArrayKind Kind) {
+  assert(NumElements > 0 && "array must have at least one element");
+  Arrays.push_back({std::move(ArrName), NumElements, Kind});
+  return Arrays.size() - 1;
+}
+
+RegId Kernel::newReg(unsigned Lanes, std::string RegName) {
+  assert(Lanes >= 1 && Lanes <= MaxLanes && "unsupported lane count");
+  Regs.push_back({Lanes, std::move(RegName)});
+  return Regs.size() - 1;
+}
+
+Kernel Kernel::clone() const {
+  Kernel K(Name);
+  K.Arrays = Arrays;
+  K.Regs = Regs;
+  K.NextLoop = NextLoop;
+  K.Body.reserve(Body.size());
+  for (const Node &N : Body)
+    K.Body.push_back(N.clone());
+  return K;
+}
+
+namespace {
+
+void printInst(std::ostringstream &OS, const Inst &I, int Indent) {
+  for (int J = 0; J != Indent; ++J)
+    OS << "  ";
+  OS << opcodeName(I.Op);
+  if (I.Dest != NoReg)
+    OS << " r" << I.Dest << " <-";
+  auto PrintReg = [&](RegId R) {
+    if (R != NoReg)
+      OS << " r" << R;
+  };
+  PrintReg(I.A);
+  PrintReg(I.B);
+  PrintReg(I.C);
+  if (I.Op == Opcode::FConst)
+    OS << " " << I.Imm;
+  if (isMemoryOpcode(I.Op))
+    OS << " [arr" << I.Address.Array << " + " << I.Address.Offset.str() << "]"
+       << (I.Aligned ? " aligned" : "");
+  if (I.Op == Opcode::GLoad || I.Op == Opcode::GStore)
+    OS << " map" << I.Map.str();
+  if (I.Op == Opcode::MulLane || I.Op == Opcode::FMALane ||
+      I.Op == Opcode::Broadcast || I.Op == Opcode::Insert ||
+      I.Op == Opcode::Extract || I.Op == Opcode::LoadLane ||
+      I.Op == Opcode::StoreLane)
+    OS << " lane=" << I.Lane;
+  OS << "\n";
+}
+
+void printBody(std::ostringstream &OS, const std::vector<Node> &Body,
+               int Indent) {
+  for (const Node &N : Body) {
+    if (N.isInst()) {
+      printInst(OS, N.inst(), Indent);
+      continue;
+    }
+    const Loop &L = N.loop();
+    for (int J = 0; J != Indent; ++J)
+      OS << "  ";
+    OS << "for i" << L.Id << " = " << L.Start << " .. " << L.End
+       << " step " << L.Step << " {\n";
+    printBody(OS, L.Body, Indent + 1);
+    for (int J = 0; J != Indent; ++J)
+      OS << "  ";
+    OS << "}\n";
+  }
+}
+
+} // namespace
+
+std::string Kernel::str() const {
+  std::ostringstream OS;
+  OS << "kernel " << Name << "(";
+  bool First = true;
+  for (const ArrayInfo &A : Arrays) {
+    if (!A.isParam())
+      continue;
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << (A.Kind == ArrayKind::Input ? "const " : "") << "float " << A.Name
+       << "[" << A.NumElements << "]";
+  }
+  OS << ") {\n";
+  for (const ArrayInfo &A : Arrays)
+    if (!A.isParam())
+      OS << "  float " << A.Name << "[" << A.NumElements << "];\n";
+  printBody(OS, Body, 1);
+  OS << "}\n";
+  return OS.str();
+}
+
+namespace {
+
+void verifyBody(const Kernel &K, const std::vector<Node> &Body,
+                std::set<RegId> &Defined, std::vector<LoopId> &ActiveLoops) {
+  for (const Node &N : Body) {
+    if (N.isLoop()) {
+      const Loop &L = N.loop();
+      assert(L.Step > 0 && "loop step must be positive");
+      ActiveLoops.push_back(L.Id);
+      verifyBody(K, L.Body, Defined, ActiveLoops);
+      ActiveLoops.pop_back();
+      continue;
+    }
+    const Inst &I = N.inst();
+    I.forEachUse([&](RegId R) {
+      assert(R < K.getNumRegs() && "use of undefined register id");
+      assert(Defined.count(R) && "use before definition");
+      (void)R;
+    });
+    if (I.Dest != NoReg) {
+      assert(I.Dest < K.getNumRegs() && "definition of out-of-range register");
+      [[maybe_unused]] bool Inserted = Defined.insert(I.Dest).second;
+      assert(Inserted && "register defined more than once (SSA violation)");
+    }
+    if (isMemoryOpcode(I.Op)) {
+      assert(I.Address.Array < K.getNumArrays() && "access of unknown array");
+      for (const auto &[LoopIdx, Coeff] : I.Address.Offset.getTerms()) {
+        (void)Coeff;
+        [[maybe_unused]] bool Found =
+            std::find(ActiveLoops.begin(), ActiveLoops.end(), LoopIdx) !=
+            ActiveLoops.end();
+        assert(Found && "address references a loop index not in scope");
+      }
+    }
+    if (I.Op == Opcode::GLoad || I.Op == Opcode::GStore) {
+      RegId R = I.Op == Opcode::GLoad ? I.Dest : I.A;
+      assert(I.Map.numLanes() == K.lanesOf(R) &&
+             "memory map lane count disagrees with register width");
+      (void)R;
+    }
+  }
+}
+
+} // namespace
+
+void Kernel::verify() const {
+  std::set<RegId> Defined;
+  std::vector<LoopId> ActiveLoops;
+  verifyBody(*this, Body, Defined, ActiveLoops);
+}

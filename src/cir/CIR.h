@@ -1,0 +1,379 @@
+//===- CIR.h - The C-like intermediate representation of LGen -*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// C-IR is the lowest abstraction level of the LGen pipeline (thesis §2.1.4).
+/// A kernel is a tree of loops with straight-line instruction lists in
+/// between; all addressing is affine in the enclosing loop indices, which is
+/// exactly the "format of generated code with respect to memory accesses" of
+/// Listing 3.1 and what makes the alignment analysis of §3.2 applicable.
+///
+/// The instruction set models the vector subsets of SSSE3 and NEON that the
+/// ν-BLACs use, plus the *generic* load/store instructions of §3.1, which
+/// carry a memory map (lane ↔ element-offset association) and are lowered to
+/// concrete instructions only immediately before unparsing.
+///
+/// Registers are single-assignment: every register has exactly one defining
+/// instruction. Loop-carried values never live in registers — following the
+/// load-compute-store discipline of the ν-BLAC/Loader/Storer codelets, they
+/// travel through local arrays and are forwarded into registers by scalar
+/// replacement after unrolling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_CIR_CIR_H
+#define LGEN_CIR_CIR_H
+
+#include "support/Support.h"
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lgen {
+namespace cir {
+
+using RegId = unsigned;
+using LoopId = unsigned;
+using ArrayId = unsigned;
+
+constexpr RegId NoReg = ~0u;
+
+/// Maximum number of vector lanes supported by any virtual ISA (AVX-width).
+constexpr unsigned MaxLanes = 8;
+
+/// A register is either a scalar float or a vector of \c Lanes floats.
+struct RegInfo {
+  unsigned Lanes = 1;
+  std::string Name; ///< Optional, for readable unparsed code.
+};
+
+/// An affine expression c0 + sum(ci * loop_i) over enclosing loop indices.
+/// Offsets are measured in *elements* (floats), not bytes.
+class AffineExpr {
+public:
+  AffineExpr() = default;
+  /*implicit*/ AffineExpr(int64_t Constant) : Constant(Constant) {}
+
+  static AffineExpr loopIndex(LoopId Id, int64_t Coeff = 1) {
+    AffineExpr E;
+    if (Coeff != 0)
+      E.Terms.push_back({Id, Coeff});
+    return E;
+  }
+
+  int64_t getConstant() const { return Constant; }
+  const std::vector<std::pair<LoopId, int64_t>> &getTerms() const {
+    return Terms;
+  }
+
+  bool isConstant() const { return Terms.empty(); }
+
+  /// Coefficient of loop \p Id (zero if absent).
+  int64_t getCoeff(LoopId Id) const;
+
+  AffineExpr operator+(const AffineExpr &Other) const;
+  AffineExpr operator*(int64_t Factor) const;
+  bool operator==(const AffineExpr &Other) const {
+    return Constant == Other.Constant && Terms == Other.Terms;
+  }
+
+  /// Substitutes loop \p Id with the constant \p Value.
+  AffineExpr substitute(LoopId Id, int64_t Value) const;
+
+  /// Substitutes loop \p Id with (loop Id) + \p Delta, i.e. shifts the index.
+  AffineExpr shiftIndex(LoopId Id, int64_t Delta) const;
+
+  /// Evaluates given concrete loop index values; \p IndexOf returns the
+  /// current value of a loop index.
+  template <typename Fn> int64_t evaluate(Fn IndexOf) const {
+    int64_t V = Constant;
+    for (const auto &[Id, Coeff] : Terms)
+      V += Coeff * IndexOf(Id);
+    return V;
+  }
+
+  std::string str() const;
+
+private:
+  void addTerm(LoopId Id, int64_t Coeff);
+
+  int64_t Constant = 0;
+  /// Sorted by LoopId; coefficients are nonzero.
+  std::vector<std::pair<LoopId, int64_t>> Terms;
+};
+
+/// A memory address: base array plus affine element offset.
+struct Addr {
+  ArrayId Array = 0;
+  AffineExpr Offset;
+
+  bool operator==(const Addr &Other) const {
+    return Array == Other.Array && Offset == Other.Offset;
+  }
+};
+
+/// Memory map of a generic load/store (§3.1): for each vector lane, the
+/// element offset relative to the instruction's base address, or \c None.
+/// For a generic load a \c None lane is filled with zero; for a generic
+/// store a \c None lane is skipped. Offsets may be strided (e.g. {0, N, 2N}
+/// for a vertical segment of a row-major matrix with row stride N).
+struct MemMap {
+  static constexpr int64_t None = std::numeric_limits<int64_t>::min();
+
+  std::vector<int64_t> LaneOffsets;
+
+  static MemMap contiguous(unsigned Lanes, unsigned Active = ~0u);
+  static MemMap strided(unsigned Lanes, int64_t Stride, unsigned Active = ~0u);
+
+  unsigned numLanes() const { return LaneOffsets.size(); }
+
+  /// Number of lanes actually touching memory.
+  unsigned numActiveLanes() const;
+
+  /// True if the active lanes are exactly lanes [0, k) with offsets
+  /// [0, k), i.e. a plain (possibly partial) contiguous access.
+  bool isContiguousPrefix() const;
+
+  /// True if all lanes are active with offsets 0..L-1.
+  bool isFullContiguous() const;
+
+  /// True if active lanes form offsets {0, s, 2s, ...} for some stride
+  /// s > 1; returns the stride via \p StrideOut.
+  bool isStrided(int64_t &StrideOut) const;
+
+  bool operator==(const MemMap &Other) const {
+    return LaneOffsets == Other.LaneOffsets;
+  }
+
+  std::string str() const;
+};
+
+/// C-IR opcodes. Element-wise arithmetic applies to both scalar (1 lane)
+/// and vector registers.
+enum class Opcode {
+  FConst,        ///< Dest = Imm broadcast to every lane.
+  Mov,           ///< Dest = A.
+  Add,           ///< Dest = A + B, element-wise.
+  Sub,           ///< Dest = A - B.
+  Mul,           ///< Dest = A * B.
+  Div,           ///< Dest = A / B.
+  Neg,           ///< Dest = -A.
+  FMA,           ///< Dest = A * B + C (NEON vmla).
+  HAdd,          ///< SSE horizontal add: 4-lane [a0+a1,a2+a3,b0+b1,b2+b3].
+  DotPS,         ///< SSE4.1 dpps: Dest[0] = Σ_j A[j]*B[j], other lanes 0.
+  MulLane,       ///< Dest[i] = A[i] * B[Lane] (NEON vmul_lane).
+  FMALane,       ///< Dest[i] = C[i] + A[i] * B[Lane] (NEON vmla_lane).
+  Broadcast,     ///< Dest[i] = A[Lane].
+  Shuffle,       ///< Dest[i] = Pattern[i] < L ? A[Pattern[i]] : B[Pat[i]-L].
+  Insert,        ///< Dest = A with lane Lane replaced by scalar B.
+  Extract,       ///< Scalar Dest = A[Lane].
+  GetLow,        ///< Dest (L/2 lanes) = low half of A (NEON vget_low).
+  GetHigh,       ///< Dest (L/2 lanes) = high half of A (NEON vget_high).
+  Combine,       ///< Dest (2L lanes) = A in low half, B in high half.
+  Zero,          ///< Dest = 0 in every lane.
+  Load,          ///< Dest loaded contiguously from Address (Aligned flag).
+  Store,         ///< A stored contiguously to Address (Aligned flag).
+  LoadBroadcast, ///< Dest[i] = mem[Address] (_mm_load1_ps / vld1q_dup_f32).
+  LoadLane,      ///< Dest = A with lane Lane loaded from mem[Address].
+  StoreLane,     ///< mem[Address] = A[Lane].
+  GLoad,         ///< Generic load with memory map (§3.1).
+  GStore,        ///< Generic store with memory map (§3.1).
+};
+
+const char *opcodeName(Opcode Op);
+
+/// Returns true for opcodes that read or write memory.
+bool isMemoryOpcode(Opcode Op);
+
+/// A single C-IR instruction. Fields beyond the register operands are only
+/// meaningful for the opcodes that use them.
+struct Inst {
+  Opcode Op;
+  RegId Dest = NoReg;
+  RegId A = NoReg;
+  RegId B = NoReg;
+  RegId C = NoReg;
+  double Imm = 0.0;
+  Addr Address;
+  MemMap Map;
+  unsigned Lane = 0;
+  std::array<uint8_t, MaxLanes> Pattern = {};
+  bool Aligned = false;
+
+  bool isLoad() const {
+    return Op == Opcode::Load || Op == Opcode::LoadBroadcast ||
+           Op == Opcode::LoadLane || Op == Opcode::GLoad;
+  }
+  bool isStore() const {
+    return Op == Opcode::Store || Op == Opcode::StoreLane ||
+           Op == Opcode::GStore;
+  }
+
+  /// Visits every register operand read by this instruction.
+  template <typename Fn> void forEachUse(Fn F) const {
+    if (A != NoReg)
+      F(A);
+    if (B != NoReg)
+      F(B);
+    if (C != NoReg)
+      F(C);
+  }
+};
+
+struct Loop;
+
+/// A node in a kernel body: either a straight-line instruction or a loop.
+class Node {
+public:
+  /*implicit*/ Node(Inst I) : TheInst(std::move(I)) {}
+  /*implicit*/ Node(std::unique_ptr<Loop> L) : TheLoop(std::move(L)) {}
+  Node(Node &&) = default;
+  Node &operator=(Node &&) = default;
+
+  bool isInst() const { return TheInst.has_value(); }
+  bool isLoop() const { return TheLoop != nullptr; }
+
+  Inst &inst() {
+    assert(isInst() && "node is not an instruction");
+    return *TheInst;
+  }
+  const Inst &inst() const {
+    assert(isInst() && "node is not an instruction");
+    return *TheInst;
+  }
+  Loop &loop() {
+    assert(isLoop() && "node is not a loop");
+    return *TheLoop;
+  }
+  const Loop &loop() const {
+    assert(isLoop() && "node is not a loop");
+    return *TheLoop;
+  }
+
+  Node clone() const;
+
+private:
+  std::optional<Inst> TheInst;
+  std::unique_ptr<Loop> TheLoop;
+};
+
+/// A counted loop `for (i = Start; i < End; i += Step)`. Bounds are compile
+/// time constants, as in all LGen-generated code (Listing 3.1).
+struct Loop {
+  LoopId Id = 0;
+  int64_t Start = 0;
+  int64_t End = 0;
+  int64_t Step = 1;
+  std::vector<Node> Body;
+
+  /// Trip count of the loop (number of executed iterations).
+  int64_t tripCount() const {
+    if (End <= Start || Step <= 0)
+      return 0;
+    return ceilDiv(End - Start, Step);
+  }
+
+  std::unique_ptr<Loop> clone() const;
+};
+
+/// Role of an array within a kernel.
+enum class ArrayKind {
+  Input,  ///< const float* kernel parameter.
+  Output, ///< float* kernel parameter.
+  InOut,  ///< float* parameter that is both read and written.
+  Temp,   ///< Kernel-local scratch array.
+};
+
+struct ArrayInfo {
+  std::string Name;
+  int64_t NumElements = 0;
+  ArrayKind Kind = ArrayKind::Temp;
+
+  bool isParam() const { return Kind != ArrayKind::Temp; }
+};
+
+/// A complete C-IR kernel: parameter/temp arrays, a register file, and a
+/// body of loops and instructions.
+class Kernel {
+public:
+  explicit Kernel(std::string Name = "kernel") : Name(std::move(Name)) {}
+  Kernel(Kernel &&) = default;
+  Kernel &operator=(Kernel &&) = default;
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  ArrayId addArray(std::string ArrName, int64_t NumElements, ArrayKind Kind);
+  const ArrayInfo &getArray(ArrayId Id) const {
+    assert(Id < Arrays.size() && "array id out of range");
+    return Arrays[Id];
+  }
+  ArrayInfo &getArray(ArrayId Id) {
+    assert(Id < Arrays.size() && "array id out of range");
+    return Arrays[Id];
+  }
+  unsigned getNumArrays() const { return Arrays.size(); }
+  const std::vector<ArrayInfo> &getArrays() const { return Arrays; }
+
+  RegId newReg(unsigned Lanes, std::string RegName = "");
+  const RegInfo &getReg(RegId Id) const {
+    assert(Id < Regs.size() && "register id out of range");
+    return Regs[Id];
+  }
+  unsigned getNumRegs() const { return Regs.size(); }
+  unsigned lanesOf(RegId Id) const { return getReg(Id).Lanes; }
+
+  LoopId newLoopId() { return NextLoop++; }
+  unsigned getNumLoopIds() const { return NextLoop; }
+
+  std::vector<Node> &getBody() { return Body; }
+  const std::vector<Node> &getBody() const { return Body; }
+
+  /// Deep copy (used by the alignment-versioning machinery of §3.2.4).
+  Kernel clone() const;
+
+  /// Human-readable dump of the whole kernel.
+  std::string str() const;
+
+  /// Walks every instruction in the kernel in syntactic order.
+  template <typename Fn> void forEachInst(Fn F) {
+    forEachInstIn(Body, F);
+  }
+  template <typename Fn> void forEachInst(Fn F) const {
+    forEachInstIn(Body, F);
+  }
+
+  /// Runs basic structural sanity checks (register types, operand lane
+  /// agreement, single assignment). Aborts on violation.
+  void verify() const;
+
+private:
+  template <typename Body, typename Fn>
+  static void forEachInstIn(Body &&B, Fn &F) {
+    for (auto &N : B) {
+      if (N.isInst())
+        F(N.inst());
+      else
+        forEachInstIn(N.loop().Body, F);
+    }
+  }
+
+  std::string Name;
+  std::vector<ArrayInfo> Arrays;
+  std::vector<RegInfo> Regs;
+  std::vector<Node> Body;
+  LoopId NextLoop = 0;
+};
+
+} // namespace cir
+} // namespace lgen
+
+#endif // LGEN_CIR_CIR_H

@@ -1,0 +1,349 @@
+//===- Passes.cpp - C-IR optimization passes -------------------*- C++ -*-===//
+
+#include "cir/Passes.h"
+
+#include <map>
+#include <set>
+
+using namespace lgen;
+using namespace lgen::cir;
+
+//===----------------------------------------------------------------------===//
+// Loop unrolling
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Substitutes loop \p Id with constant \p Value in every address of
+/// \p Body (recursively).
+void substituteIndex(std::vector<Node> &Body, LoopId Id, int64_t Value) {
+  for (Node &N : Body) {
+    if (N.isLoop()) {
+      substituteIndex(N.loop().Body, Id, Value);
+      continue;
+    }
+    Inst &I = N.inst();
+    if (isMemoryOpcode(I.Op))
+      I.Address.Offset = I.Address.Offset.substitute(Id, Value);
+  }
+}
+
+/// Clones \p Body renaming every register defined inside it; uses of
+/// registers defined outside are preserved. Nested loops get fresh ids.
+std::vector<Node> cloneRenamed(Kernel &K, const std::vector<Node> &Body,
+                               std::map<RegId, RegId> &RegMap) {
+  std::vector<Node> Result;
+  Result.reserve(Body.size());
+  for (const Node &N : Body) {
+    if (N.isLoop()) {
+      const Loop &L = N.loop();
+      auto NewLoop = std::make_unique<Loop>();
+      // Keep the same loop id: nested loops of distinct clones never end up
+      // as siblings referencing each other's indices, and address terms must
+      // keep referring to the (cloned) enclosing loop.
+      NewLoop->Id = L.Id;
+      NewLoop->Start = L.Start;
+      NewLoop->End = L.End;
+      NewLoop->Step = L.Step;
+      NewLoop->Body = cloneRenamed(K, L.Body, RegMap);
+      Result.push_back(Node(std::move(NewLoop)));
+      continue;
+    }
+    Inst I = N.inst();
+    auto Remap = [&](RegId R) {
+      auto It = RegMap.find(R);
+      return It == RegMap.end() ? R : It->second;
+    };
+    if (I.A != NoReg)
+      I.A = Remap(I.A);
+    if (I.B != NoReg)
+      I.B = Remap(I.B);
+    if (I.C != NoReg)
+      I.C = Remap(I.C);
+    if (I.Dest != NoReg) {
+      RegId NewReg = K.newReg(K.lanesOf(I.Dest));
+      RegMap[I.Dest] = NewReg;
+      I.Dest = NewReg;
+    }
+    Result.push_back(Node(std::move(I)));
+  }
+  return Result;
+}
+
+void unrollInBody(Kernel &K, std::vector<Node> &Body, int64_t MaxTrip) {
+  std::vector<Node> Result;
+  for (Node &N : Body) {
+    if (!N.isLoop()) {
+      Result.push_back(std::move(N));
+      continue;
+    }
+    Loop &L = N.loop();
+    unrollInBody(K, L.Body, MaxTrip);
+    if (L.tripCount() > MaxTrip) {
+      Result.push_back(std::move(N));
+      continue;
+    }
+    for (int64_t V = L.Start; V < L.End; V += L.Step) {
+      std::map<RegId, RegId> RegMap;
+      std::vector<Node> Iter = cloneRenamed(K, L.Body, RegMap);
+      substituteIndex(Iter, L.Id, V);
+      for (Node &M : Iter)
+        Result.push_back(std::move(M));
+    }
+  }
+  Body = std::move(Result);
+}
+
+/// Partially unrolls \p L in place by \p Factor.
+void partialUnrollLoop(Kernel &K, Loop &L, int64_t Factor);
+
+bool unrollByInBody(Kernel &K, std::vector<Node> &Body, LoopId Id,
+                    int64_t Factor) {
+  for (Node &N : Body) {
+    if (!N.isLoop())
+      continue;
+    Loop &L = N.loop();
+    if (L.Id != Id) {
+      if (unrollByInBody(K, L.Body, Id, Factor))
+        return true;
+      continue;
+    }
+    partialUnrollLoop(K, L, Factor);
+    return true;
+  }
+  return false;
+}
+
+void partialUnrollLoop(Kernel &K, Loop &L, int64_t Factor) {
+  {
+    assert(L.tripCount() % Factor == 0 &&
+           "partial unroll factor must divide the trip count");
+    LoopId Id = L.Id;
+    std::vector<Node> NewBody;
+    for (int64_t T = 0; T != Factor; ++T) {
+      std::map<RegId, RegId> RegMap;
+      std::vector<Node> Copy = cloneRenamed(K, L.Body, RegMap);
+      // Shift index: occurrences of i become i + T*Step.
+      if (T != 0)
+        for (Node &M : Copy) {
+          if (M.isInst()) {
+            Inst &I = M.inst();
+            if (isMemoryOpcode(I.Op))
+              I.Address.Offset = I.Address.Offset.shiftIndex(Id, T * L.Step);
+          } else {
+            // Nested loops: shift addresses recursively.
+            struct Shifter {
+              LoopId Id;
+              int64_t Delta;
+              void run(std::vector<Node> &B) {
+                for (Node &X : B) {
+                  if (X.isLoop()) {
+                    run(X.loop().Body);
+                    continue;
+                  }
+                  Inst &I = X.inst();
+                  if (isMemoryOpcode(I.Op))
+                    I.Address.Offset = I.Address.Offset.shiftIndex(Id, Delta);
+                }
+              }
+            } S{Id, T * L.Step};
+            S.run(M.loop().Body);
+          }
+        }
+      for (Node &M : Copy)
+        NewBody.push_back(std::move(M));
+    }
+    L.Step *= Factor;
+    L.Body = std::move(NewBody);
+  }
+}
+
+} // namespace
+
+void cir::unrollLoops(Kernel &K, int64_t MaxTrip) {
+  unrollInBody(K, K.getBody(), MaxTrip);
+}
+
+void cir::unrollLoopBy(Kernel &K, LoopId Id, int64_t Factor) {
+  if (Factor <= 1)
+    return;
+  [[maybe_unused]] bool Found = unrollByInBody(K, K.getBody(), Id, Factor);
+  assert(Found && "loop id not found for partial unrolling");
+}
+
+namespace {
+
+void unrollAllInBody(Kernel &K, std::vector<Node> &Body, int64_t MaxFactor) {
+  for (Node &N : Body) {
+    if (!N.isLoop())
+      continue;
+    Loop &L = N.loop();
+    // Innermost first: unrolling the outer loop afterwards clones the
+    // already-unrolled inner bodies.
+    unrollAllInBody(K, L.Body, MaxFactor);
+    int64_t Trip = L.tripCount();
+    int64_t Factor = 1;
+    for (int64_t F = 2; F <= MaxFactor && F <= Trip; ++F)
+      if (Trip % F == 0)
+        Factor = F;
+    if (Factor > 1)
+      partialUnrollLoop(K, L, Factor);
+  }
+}
+
+} // namespace
+
+void cir::unrollAllLoopsBy(Kernel &K, int64_t MaxFactor) {
+  if (MaxFactor <= 1)
+    return;
+  unrollAllInBody(K, K.getBody(), MaxFactor);
+}
+
+//===----------------------------------------------------------------------===//
+// Copy propagation
+//===----------------------------------------------------------------------===//
+
+void cir::copyPropagation(Kernel &K) {
+  std::map<RegId, RegId> CopyOf;
+  K.forEachInst([&](Inst &I) {
+    auto Resolve = [&](RegId R) {
+      while (true) {
+        auto It = CopyOf.find(R);
+        if (It == CopyOf.end())
+          return R;
+        R = It->second;
+      }
+    };
+    if (I.A != NoReg)
+      I.A = Resolve(I.A);
+    if (I.B != NoReg)
+      I.B = Resolve(I.B);
+    if (I.C != NoReg)
+      I.C = Resolve(I.C);
+    if (I.Op == Opcode::Mov)
+      CopyOf[I.Dest] = I.A;
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Dead code elimination
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void collectLoadedArrays(const Kernel &K, std::set<ArrayId> &Loaded) {
+  K.forEachInst([&](const Inst &I) {
+    if (I.isLoad())
+      Loaded.insert(I.Address.Array);
+  });
+}
+
+/// Removes dead instructions in \p Body; returns true if anything changed.
+bool dceOnce(Kernel &K, std::vector<Node> &Body) {
+  // Compute the set of live registers: operands of stores and of any
+  // instruction whose own result is (transitively) live. In SSA with
+  // syntactic def-before-use this converges walking instructions backwards
+  // repeatedly; a simple fixpoint over the full kernel is plenty fast here.
+  std::set<ArrayId> LoadedArrays;
+  collectLoadedArrays(K, LoadedArrays);
+  auto StoreIsLive = [&](const Inst &I) {
+    if (!I.isStore())
+      return false;
+    const ArrayInfo &A = K.getArray(I.Address.Array);
+    return A.isParam() || LoadedArrays.count(I.Address.Array) != 0;
+  };
+
+  std::set<RegId> Live;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    K.forEachInst([&](const Inst &I) {
+      bool ResultLive = I.Dest != NoReg && Live.count(I.Dest) != 0;
+      if (!ResultLive && !StoreIsLive(I))
+        return;
+      I.forEachUse([&](RegId R) {
+        if (Live.insert(R).second)
+          Changed = true;
+      });
+    });
+  }
+
+  // Remove instructions that neither define a live register nor are live
+  // stores, and loops that became empty.
+  struct Pruner {
+    Kernel &K;
+    const std::set<RegId> &Live;
+    decltype(StoreIsLive) &IsLiveStore;
+    bool Removed = false;
+    void run(std::vector<Node> &B) {
+      std::vector<Node> Kept;
+      for (Node &N : B) {
+        if (N.isLoop()) {
+          run(N.loop().Body);
+          if (!N.loop().Body.empty())
+            Kept.push_back(std::move(N));
+          else
+            Removed = true;
+          continue;
+        }
+        const Inst &I = N.inst();
+        bool Keep = (I.Dest != NoReg && Live.count(I.Dest)) || IsLiveStore(I);
+        if (Keep)
+          Kept.push_back(std::move(N));
+        else
+          Removed = true;
+      }
+      B = std::move(Kept);
+    }
+  } P{K, Live, StoreIsLive};
+  P.run(Body);
+  return P.Removed;
+}
+
+} // namespace
+
+void cir::deadCodeElim(Kernel &K) {
+  // Removing a dead load can make a store to a temp array dead in the next
+  // round, so iterate to a fixpoint.
+  while (dceOnce(K, K.getBody()))
+    ;
+}
+
+void cir::cleanup(Kernel &K) {
+  copyPropagation(K);
+  deadCodeElim(K);
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+KernelStats cir::computeStats(const Kernel &K) {
+  KernelStats S;
+  struct Walker {
+    KernelStats &S;
+    void run(const std::vector<Node> &B) {
+      for (const Node &N : B) {
+        if (N.isLoop()) {
+          ++S.NumLoops;
+          run(N.loop().Body);
+          continue;
+        }
+        const Inst &I = N.inst();
+        ++S.NumInsts;
+        if (I.isLoad())
+          ++S.NumLoads;
+        else if (I.isStore())
+          ++S.NumStores;
+        else if (I.Op == Opcode::Shuffle || I.Op == Opcode::Insert ||
+                 I.Op == Opcode::Extract || I.Op == Opcode::Broadcast)
+          ++S.NumShuffles;
+        else if (I.Op != Opcode::Mov && I.Op != Opcode::FConst &&
+                 I.Op != Opcode::Zero)
+          ++S.NumArith;
+      }
+    }
+  } W{S};
+  W.run(K.getBody());
+  return S;
+}

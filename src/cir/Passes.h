@@ -1,0 +1,69 @@
+//===- Passes.h - C-IR optimization passes ---------------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C-IR level optimizations of LGen (§2.1.4, §3.1): loop unrolling,
+/// scalar replacement, copy propagation, and dead code elimination. LGen
+/// applies these between the Σ-LL lowering and the unparsing to C.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_CIR_PASSES_H
+#define LGEN_CIR_PASSES_H
+
+#include "cir/CIR.h"
+
+namespace lgen {
+namespace cir {
+
+/// Fully unrolls every loop whose trip count is at most \p MaxTrip
+/// (recursively, innermost included). Loop indices are substituted by
+/// constants; registers defined in unrolled bodies are renamed to keep the
+/// kernel in single-assignment form.
+void unrollLoops(Kernel &K, int64_t MaxTrip);
+
+/// Unrolls loop \p Id by \p Factor (the trip count must be divisible by
+/// \p Factor). The loop is kept with Step multiplied by Factor.
+void unrollLoopBy(Kernel &K, LoopId Id, int64_t Factor);
+
+/// Partially unrolls every loop by the largest divisor of its trip count
+/// not exceeding \p MaxFactor (a compiler's -funroll-loops).
+void unrollAllLoopsBy(Kernel &K, int64_t MaxFactor);
+
+/// Scalar replacement (§2.1.4, §3.1): replaces a store to a local array
+/// followed by a load with an identical memory footprint by a register
+/// move, eliminating the memory round-trip. Thanks to the generic
+/// load/store instructions, footprints match structurally even when the
+/// eventual lowerings of the store and the load differ (Fig. 3.4).
+/// Returns the number of forwarded store/load pairs.
+unsigned scalarReplacement(Kernel &K);
+
+/// Replaces uses of Mov results with the Mov source (transitively).
+void copyPropagation(Kernel &K);
+
+/// Removes instructions whose results are unused, stores to local arrays
+/// that are never read, and loops whose bodies became empty.
+void deadCodeElim(Kernel &K);
+
+/// Convenience: copyPropagation + deadCodeElim until fixpoint.
+void cleanup(Kernel &K);
+
+/// Statistics over a kernel, used by tests and the ablation benches.
+struct KernelStats {
+  unsigned NumInsts = 0;
+  unsigned NumLoads = 0;
+  unsigned NumStores = 0;
+  unsigned NumShuffles = 0;
+  unsigned NumArith = 0;
+  unsigned NumLoops = 0;
+};
+
+KernelStats computeStats(const Kernel &K);
+
+} // namespace cir
+} // namespace lgen
+
+#endif // LGEN_CIR_PASSES_H

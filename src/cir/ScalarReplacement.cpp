@@ -1,0 +1,184 @@
+//===- ScalarReplacement.cpp - store/load forwarding -----------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar replacement (thesis §2.1.4 and §3.1). The ν-BLAC, Loader, and
+/// Storer codelets all follow a load-compute-store discipline, chaining
+/// through kernel-local arrays. This pass turns a store to a local array
+/// followed by a load with the *same memory footprint* into a register move
+/// and also forwards redundant loads. Because the footprint of a generic
+/// load/store is its memory map — not the concrete instructions it will
+/// later lower to — a store and a load with deliberately different
+/// implementations (Fig. 3.4) still match.
+///
+/// Forwarding a partial-map access by a plain move relies on the chain
+/// invariant that padding lanes of values produced by Loaders and ν-BLACs
+/// are zero; the Loader zero-fills, and every lane-wise ν-BLAC operation
+/// maps zero padding to zero padding.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cir/Passes.h"
+
+#include <map>
+#include <vector>
+
+using namespace lgen;
+using namespace lgen::cir;
+
+namespace {
+
+/// Canonical footprint of a forwardable memory access.
+struct Footprint {
+  Addr Address;
+  MemMap Map;
+
+  bool operator==(const Footprint &Other) const {
+    return Address == Other.Address && Map == Other.Map;
+  }
+};
+
+/// Returns the footprint of \p I if it is a forwardable access (generic
+/// load/store, contiguous load/store, or a scalar access), otherwise
+/// nullopt.
+std::optional<Footprint> footprintOf(const Kernel &K, const Inst &I) {
+  switch (I.Op) {
+  case Opcode::GLoad:
+  case Opcode::GStore:
+    return Footprint{I.Address, I.Map};
+  case Opcode::Load:
+    return Footprint{I.Address, MemMap::contiguous(K.lanesOf(I.Dest))};
+  case Opcode::Store:
+    return Footprint{I.Address, MemMap::contiguous(K.lanesOf(I.A))};
+  case Opcode::LoadBroadcast: {
+    // Broadcast loads forward onto identical broadcast loads: the "map"
+    // of every lane reading offset 0 never matches a store's footprint,
+    // so this only enables load-load reuse (e.g. the hoisted alpha).
+    MemMap M;
+    M.LaneOffsets.assign(K.lanesOf(I.Dest), 0);
+    return Footprint{I.Address, M};
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+/// Conservative may-overlap test between two footprints on the same array.
+bool mayOverlap(const Footprint &A, const Footprint &B) {
+  if (A.Address.Array != B.Address.Array)
+    return false;
+  const AffineExpr &EA = A.Address.Offset;
+  const AffineExpr &EB = B.Address.Offset;
+  // Identical loop terms cancel; different terms stay conservative.
+  if (EA.getTerms() != EB.getTerms())
+    return true;
+  auto Range = [](const Footprint &F) {
+    int64_t Lo = std::numeric_limits<int64_t>::max();
+    int64_t Hi = std::numeric_limits<int64_t>::min();
+    for (int64_t O : F.Map.LaneOffsets) {
+      if (O == MemMap::None)
+        continue;
+      Lo = std::min(Lo, O);
+      Hi = std::max(Hi, O);
+    }
+    return std::pair<int64_t, int64_t>{Lo, Hi};
+  };
+  auto [ALo, AHi] = Range(A);
+  auto [BLo, BHi] = Range(B);
+  int64_t ABase = EA.getConstant(), BBase = EB.getConstant();
+  return ABase + ALo <= BBase + BHi && BBase + BLo <= ABase + AHi;
+}
+
+struct AvailableValue {
+  Footprint FP;
+  RegId Value; ///< Register holding the memory contents.
+};
+
+class BlockReplacer {
+public:
+  BlockReplacer(Kernel &K) : K(K) {}
+
+  unsigned run(std::vector<Node> &Body) {
+    unsigned Forwarded = 0;
+    for (Node &N : Body) {
+      if (N.isLoop()) {
+        // A loop boundary invalidates everything: the loop body may write
+        // any address depending on its index.
+        Avail.clear();
+        Forwarded += run(N.loop().Body);
+        Avail.clear();
+        continue;
+      }
+      Forwarded += visit(N.inst());
+    }
+    return Forwarded;
+  }
+
+private:
+  unsigned visit(Inst &I) {
+    if (I.isStore()) {
+      auto FP = footprintOf(K, I);
+      if (!FP) {
+        // StoreLane etc.: conservatively invalidate the whole array.
+        invalidateArray(I.Address.Array);
+        return 0;
+      }
+      invalidateOverlapping(*FP);
+      Avail.push_back({*FP, I.A});
+      return 0;
+    }
+    if (I.isLoad()) {
+      auto FP = footprintOf(K, I);
+      if (!FP)
+        return 0;
+      for (const AvailableValue &AV : Avail) {
+        if (!(AV.FP == *FP))
+          continue;
+        if (K.lanesOf(AV.Value) != K.lanesOf(I.Dest))
+          continue;
+        // Forward: turn the load into a move of the stored/loaded value.
+        Inst Mov;
+        Mov.Op = Opcode::Mov;
+        Mov.Dest = I.Dest;
+        Mov.A = AV.Value;
+        I = Mov;
+        return 1;
+      }
+      Avail.push_back({*FP, I.Dest});
+      return 0;
+    }
+    return 0;
+  }
+
+  void invalidateOverlapping(const Footprint &FP) {
+    std::vector<AvailableValue> Kept;
+    for (AvailableValue &AV : Avail)
+      if (!mayOverlap(AV.FP, FP))
+        Kept.push_back(std::move(AV));
+    Avail = std::move(Kept);
+  }
+
+  void invalidateArray(ArrayId Array) {
+    std::vector<AvailableValue> Kept;
+    for (AvailableValue &AV : Avail)
+      if (AV.FP.Address.Array != Array)
+        Kept.push_back(std::move(AV));
+    Avail = std::move(Kept);
+  }
+
+  Kernel &K;
+  std::vector<AvailableValue> Avail;
+};
+
+} // namespace
+
+unsigned cir::scalarReplacement(Kernel &K) {
+  BlockReplacer R(K);
+  unsigned Forwarded = R.run(K.getBody());
+  // Forwarding introduces Mov chains and may leave dead stores behind.
+  cleanup(K);
+  return Forwarded;
+}

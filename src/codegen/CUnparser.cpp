@@ -1,0 +1,427 @@
+//===- CUnparser.cpp - C-IR → C code unparser ------------------*- C++ -*-===//
+
+#include "codegen/CUnparser.h"
+
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::codegen;
+using namespace lgen::cir;
+
+namespace {
+
+class Unparser {
+public:
+  Unparser(const Kernel &K, isa::ISAKind ISA) : K(K), ISA(ISA) {}
+
+  void run(std::ostringstream &OS, int Indent) {
+    std::vector<bool> Accessed(K.getNumArrays(), false);
+    K.forEachInst([&](const Inst &I) {
+      if (isMemoryOpcode(I.Op))
+        Accessed[I.Address.Array] = true;
+    });
+    for (ArrayId Id = 0; Id != K.getNumArrays(); ++Id) {
+      const ArrayInfo &A = K.getArray(Id);
+      if (A.isParam() || !Accessed[Id])
+        continue;
+      pad(OS, Indent);
+      OS << "float " << A.Name << "[" << A.NumElements
+         << "] __attribute__((aligned(16))) = {0};\n";
+    }
+    emitBody(OS, K.getBody(), Indent);
+  }
+
+private:
+  void pad(std::ostringstream &OS, int Indent) {
+    for (int I = 0; I != Indent; ++I)
+      OS << "  ";
+  }
+
+  std::string reg(RegId R) const { return "v" + std::to_string(R); }
+
+  std::string vecType(unsigned Lanes) const {
+    if (Lanes == 1)
+      return "float";
+    if (ISA == isa::ISAKind::NEON)
+      return Lanes == 2 ? "float32x2_t" : "float32x4_t";
+    return Lanes == 8 ? "__m256" : "__m128";
+  }
+
+  /// SSE/AVX intrinsic prefix for the register width.
+  static std::string mmPrefix(unsigned Lanes) {
+    return Lanes == 8 ? "_mm256_" : "_mm_";
+  }
+
+  std::string addr(const Addr &A) const {
+    std::ostringstream OS;
+    OS << K.getArray(A.Array).Name << " + " << A.Offset.getConstant();
+    for (const auto &[Id, Coeff] : A.Offset.getTerms())
+      OS << " + " << Coeff << "*i" << Id;
+    return OS.str();
+  }
+
+  /// Defines `TYPE vN = expr;`.
+  void def(std::ostringstream &OS, int Indent, const Inst &I,
+           const std::string &Expr) {
+    pad(OS, Indent);
+    OS << vecType(K.lanesOf(I.Dest)) << " " << reg(I.Dest) << " = " << Expr
+       << ";\n";
+  }
+
+  void emitInst(std::ostringstream &OS, const Inst &I, int Indent) {
+    bool Neon = ISA == isa::ISAKind::NEON;
+    unsigned L = I.Dest != NoReg ? K.lanesOf(I.Dest)
+                                 : (I.A != NoReg ? K.lanesOf(I.A) : 1);
+    bool Scalar = L == 1;
+    std::string Q = Neon ? (L == 2 ? "_f32" : "q_f32") : "_ps";
+    std::string MM = mmPrefix(L);
+    auto Bin = [&](const char *SseOp, const char *NeonOp, const char *COp) {
+      if (Scalar)
+        return reg(I.A) + " " + COp + " " + reg(I.B);
+      if (Neon)
+        return std::string("v") + NeonOp + Q + "(" + reg(I.A) + ", " +
+               reg(I.B) + ")";
+      return MM + SseOp + "_ps(" + reg(I.A) + ", " + reg(I.B) + ")";
+    };
+    switch (I.Op) {
+    case Opcode::FConst:
+      def(OS, Indent, I,
+          Scalar ? std::to_string(I.Imm) + "f"
+                 : (Neon ? "vdup" + std::string(L == 2 ? "_n_f32(" : "q_n_f32(")
+                       + std::to_string(I.Imm) + "f)"
+                         : MM + "set1_ps(" + std::to_string(I.Imm) + "f)"));
+      return;
+    case Opcode::Mov:
+      def(OS, Indent, I, reg(I.A));
+      return;
+    case Opcode::Add:
+      def(OS, Indent, I, Bin("add", "add", "+"));
+      return;
+    case Opcode::Sub:
+      def(OS, Indent, I, Bin("sub", "sub", "-"));
+      return;
+    case Opcode::Mul:
+      def(OS, Indent, I, Bin("mul", "mul", "*"));
+      return;
+    case Opcode::Div:
+      def(OS, Indent, I, Bin("div", "div", "/"));
+      return;
+    case Opcode::Neg:
+      def(OS, Indent, I,
+          Scalar ? "-" + reg(I.A)
+                 : (Neon ? "vneg" + Q + "(" + reg(I.A) + ")"
+                         : MM + "sub_ps(" + MM + "setzero_ps(), " +
+                               reg(I.A) + ")"));
+      return;
+    case Opcode::FMA:
+      if (Scalar)
+        def(OS, Indent, I, reg(I.A) + " * " + reg(I.B) + " + " + reg(I.C));
+      else if (Neon)
+        def(OS, Indent, I, "vmla" + Q + "(" + reg(I.C) + ", " + reg(I.A) +
+                               ", " + reg(I.B) + ")");
+      else
+        def(OS, Indent, I, MM + "add_ps(" + MM + "mul_ps(" + reg(I.A) +
+                               ", " + reg(I.B) + "), " + reg(I.C) + ")");
+      return;
+    case Opcode::HAdd:
+      def(OS, Indent, I,
+          Neon ? "vpadd_f32(" + reg(I.A) + ", " + reg(I.B) + ")"
+               : MM + "hadd_ps(" + reg(I.A) + ", " + reg(I.B) + ")");
+      return;
+    case Opcode::DotPS:
+      def(OS, Indent, I,
+          "_mm_dp_ps(" + reg(I.A) + ", " + reg(I.B) + ", 0xF1)");
+      return;
+    case Opcode::MulLane:
+      def(OS, Indent, I, "LGEN_MUL_LANE" + std::to_string(L) + "(" +
+                             reg(I.A) + ", " + reg(I.B) + ", " +
+                             std::to_string(I.Lane) + ")");
+      return;
+    case Opcode::FMALane:
+      def(OS, Indent, I, "LGEN_FMA_LANE" + std::to_string(L) + "(" +
+                             reg(I.C) + ", " + reg(I.A) + ", " + reg(I.B) +
+                             ", " + std::to_string(I.Lane) + ")");
+      return;
+    case Opcode::Broadcast:
+      def(OS, Indent, I, "LGEN_BROADCAST" + std::to_string(L) + "(" +
+                             reg(I.A) + ", " + std::to_string(I.Lane) + ")");
+      return;
+    case Opcode::Shuffle: {
+      std::ostringstream E;
+      E << "LGEN_SHUFFLE" << L << "(" << reg(I.A) << ", " << reg(I.B);
+      for (unsigned J = 0; J != L; ++J)
+        E << ", " << unsigned(I.Pattern[J]);
+      E << ")";
+      def(OS, Indent, I, E.str());
+      return;
+    }
+    case Opcode::Insert:
+      def(OS, Indent, I, "LGEN_INSERT" + std::to_string(L) + "(" + reg(I.A) +
+                             ", " + reg(I.B) + ", " +
+                             std::to_string(I.Lane) + ")");
+      return;
+    case Opcode::Extract:
+      def(OS, Indent, I, "LGEN_EXTRACT" +
+                             std::to_string(K.lanesOf(I.A)) + "(" + reg(I.A) +
+                             ", " + std::to_string(I.Lane) + ")");
+      return;
+    case Opcode::GetLow:
+      def(OS, Indent, I,
+          Neon ? "vget_low_f32(" + reg(I.A) + ")"
+               : (K.lanesOf(I.A) == 8
+                      ? "_mm256_castps256_ps128(" + reg(I.A) + ")"
+                      : "LGEN_GETLOW(" + reg(I.A) + ")"));
+      return;
+    case Opcode::GetHigh:
+      def(OS, Indent, I,
+          Neon ? "vget_high_f32(" + reg(I.A) + ")"
+               : (K.lanesOf(I.A) == 8
+                      ? "_mm256_extractf128_ps(" + reg(I.A) + ", 1)"
+                      : "LGEN_GETHIGH(" + reg(I.A) + ")"));
+      return;
+    case Opcode::Combine:
+      def(OS, Indent, I,
+          Neon ? "vcombine_f32(" + reg(I.A) + ", " + reg(I.B) + ")"
+               : (L == 8 ? "_mm256_set_m128(" + reg(I.B) + ", " + reg(I.A) +
+                               ")"
+                         : "LGEN_COMBINE(" + reg(I.A) + ", " + reg(I.B) +
+                               ")"));
+      return;
+    case Opcode::Zero:
+      def(OS, Indent, I,
+          Scalar ? "0.0f"
+                 : (Neon ? "vdup" + std::string(L == 2 ? "_n_f32(0)" : "q_n_f32(0)")
+                         : MM + "setzero_ps()"));
+      return;
+    case Opcode::Load:
+      if (Scalar)
+        def(OS, Indent, I, "*(" + addr(I.Address) + ")");
+      else if (Neon)
+        def(OS, Indent, I, "vld1" + Q + "(" + addr(I.Address) + ")");
+      else
+        def(OS, Indent, I,
+            MM + std::string(I.Aligned ? "load_ps(" : "loadu_ps(") +
+                addr(I.Address) + ")");
+      return;
+    case Opcode::Store:
+      pad(OS, Indent);
+      if (Scalar)
+        OS << "*(" << addr(I.Address) << ") = " << reg(I.A) << ";\n";
+      else if (Neon)
+        OS << "vst1" << Q << "(" << addr(I.Address) << ", " << reg(I.A)
+           << ");\n";
+      else
+        OS << MM << (I.Aligned ? "store_ps(" : "storeu_ps(")
+           << addr(I.Address) << ", " << reg(I.A) << ");\n";
+      return;
+    case Opcode::LoadBroadcast:
+      def(OS, Indent, I,
+          Neon ? std::string(L == 2 ? "vld1_dup_f32(" : "vld1q_dup_f32(") +
+                     addr(I.Address) + ")"
+               : (L == 8 ? "_mm256_broadcast_ss(" + addr(I.Address) + ")"
+                         : "_mm_load1_ps(" + addr(I.Address) + ")"));
+      return;
+    case Opcode::LoadLane:
+      def(OS, Indent, I, "LGEN_LOAD_LANE" + std::to_string(L) + "(" +
+                             reg(I.A) + ", " + addr(I.Address) + ", " +
+                             std::to_string(I.Lane) + ")");
+      return;
+    case Opcode::StoreLane:
+      pad(OS, Indent);
+      OS << "LGEN_STORE_LANE" << L << "(" << addr(I.Address) << ", "
+         << reg(I.A) << ", " << I.Lane << ");\n";
+      return;
+    case Opcode::GLoad:
+    case Opcode::GStore:
+      // Generic accesses are lowered before unparsing (§3.1); reaching one
+      // here is a pipeline ordering bug.
+      LGEN_UNREACHABLE("generic memory access survived to unparsing");
+    }
+    LGEN_UNREACHABLE("unknown opcode");
+  }
+
+  void emitBody(std::ostringstream &OS, const std::vector<Node> &Body,
+                int Indent) {
+    for (const Node &N : Body) {
+      if (N.isInst()) {
+        emitInst(OS, N.inst(), Indent);
+        continue;
+      }
+      const Loop &L = N.loop();
+      pad(OS, Indent);
+      OS << "for (long i" << L.Id << " = " << L.Start << "; i" << L.Id
+         << " < " << L.End << "; i" << L.Id << " += " << L.Step << ") {\n";
+      emitBody(OS, L.Body, Indent + 1);
+      pad(OS, Indent);
+      OS << "}\n";
+    }
+  }
+
+  const Kernel &K;
+  isa::ISAKind ISA;
+};
+
+std::string signature(const Kernel &K, const std::string &Name) {
+  std::ostringstream OS;
+  OS << "static __attribute__((noinline)) void " << Name << "(";
+  bool First = true;
+  for (ArrayId Id = 0; Id != K.getNumArrays(); ++Id) {
+    const ArrayInfo &A = K.getArray(Id);
+    if (!A.isParam())
+      continue;
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << (A.Kind == ArrayKind::Input ? "const float *" : "float *")
+       << A.Name;
+  }
+  OS << ")";
+  return OS.str();
+}
+
+const char *ssePreamble() {
+  return R"(#include <immintrin.h>
+#include <stdint.h>
+
+/* Lane helpers over SSE registers. */
+#define LGEN_SHUFFLE4(a, b, p0, p1, p2, p3)                                  \
+  __builtin_shufflevector(a, b, p0, p1, p2, p3)
+#define LGEN_BROADCAST4(a, lane) __builtin_shufflevector(a, a, lane, lane, lane, lane)
+#define LGEN_EXTRACT4(a, lane) ((a)[lane])
+#define LGEN_INSERT4(a, s, lane) ({ __m128 t_ = (a); t_[lane] = (s); t_; })
+#define LGEN_LOAD_LANE4(a, p, lane) ({ __m128 t_ = (a); t_[lane] = *(p); t_; })
+#define LGEN_STORE_LANE4(p, a, lane) (*(p) = (a)[lane])
+)";
+}
+
+const char *avxPreamble() {
+  return R"(#include <immintrin.h>
+#include <stdint.h>
+
+/* Lane helpers over SSE/AVX registers. */
+#define LGEN_SHUFFLE4(a, b, p0, p1, p2, p3)                                  \
+  __builtin_shufflevector(a, b, p0, p1, p2, p3)
+#define LGEN_SHUFFLE8(a, b, p0, p1, p2, p3, p4, p5, p6, p7)                  \
+  __builtin_shufflevector(a, b, p0, p1, p2, p3, p4, p5, p6, p7)
+#define LGEN_BROADCAST4(a, lane) __builtin_shufflevector(a, a, lane, lane, lane, lane)
+#define LGEN_BROADCAST8(a, lane)                                             \
+  __builtin_shufflevector(a, a, lane, lane, lane, lane, lane, lane, lane, lane)
+#define LGEN_EXTRACT4(a, lane) ((a)[lane])
+#define LGEN_EXTRACT8(a, lane) ((a)[lane])
+#define LGEN_INSERT4(a, s, lane) ({ __m128 t_ = (a); t_[lane] = (s); t_; })
+#define LGEN_INSERT8(a, s, lane) ({ __m256 t_ = (a); t_[lane] = (s); t_; })
+#define LGEN_LOAD_LANE4(a, p, lane) ({ __m128 t_ = (a); t_[lane] = *(p); t_; })
+#define LGEN_LOAD_LANE8(a, p, lane) ({ __m256 t_ = (a); t_[lane] = *(p); t_; })
+#define LGEN_STORE_LANE4(p, a, lane) (*(p) = (a)[lane])
+#define LGEN_STORE_LANE8(p, a, lane) (*(p) = (a)[lane])
+)";
+}
+
+const char *neonPreamble() {
+  return R"(#include <arm_neon.h>
+#include <stdint.h>
+
+/* Lane helpers over NEON registers. */
+#define LGEN_MUL_LANE4(a, b, lane) vmulq_lane_f32(a, LGEN_HALF(b, lane), (lane) & 1)
+#define LGEN_MUL_LANE2(a, b, lane) vmul_lane_f32(a, LGEN_HALF2(b, lane), (lane) & 1)
+#define LGEN_FMA_LANE4(c, a, b, lane) vmlaq_lane_f32(c, a, LGEN_HALF(b, lane), (lane) & 1)
+#define LGEN_FMA_LANE2(c, a, b, lane) vmla_lane_f32(c, a, LGEN_HALF2(b, lane), (lane) & 1)
+#define LGEN_HALF(b, lane) ((lane) < 2 ? vget_low_f32(b) : vget_high_f32(b))
+#define LGEN_HALF2(b, lane) (b)
+#define LGEN_SHUFFLE4(a, b, p0, p1, p2, p3)                                  \
+  __builtin_shufflevector(a, b, p0, p1, p2, p3)
+#define LGEN_SHUFFLE2(a, b, p0, p1) __builtin_shufflevector(a, b, p0, p1)
+#define LGEN_BROADCAST4(a, lane) vdupq_n_f32(vgetq_lane_f32(a, lane))
+#define LGEN_BROADCAST2(a, lane) vdup_n_f32(vget_lane_f32(a, lane))
+#define LGEN_EXTRACT4(a, lane) vgetq_lane_f32(a, lane)
+#define LGEN_EXTRACT2(a, lane) vget_lane_f32(a, lane)
+#define LGEN_INSERT4(a, s, lane) vsetq_lane_f32(s, a, lane)
+#define LGEN_INSERT2(a, s, lane) vset_lane_f32(s, a, lane)
+#define LGEN_LOAD_LANE4(a, p, lane) vld1q_lane_f32(p, a, lane)
+#define LGEN_LOAD_LANE2(a, p, lane) vld1_lane_f32(p, a, lane)
+#define LGEN_STORE_LANE4(p, a, lane) vst1q_lane_f32(p, a, lane)
+#define LGEN_STORE_LANE2(p, a, lane) vst1_lane_f32(p, a, lane)
+)";
+}
+
+} // namespace
+
+std::string codegen::unparseKernel(const Kernel &K, isa::ISAKind ISA) {
+  std::ostringstream OS;
+  OS << signature(K, K.getName()) << " {\n";
+  Unparser U(K, ISA);
+  U.run(OS, 1);
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string codegen::unparseCompiled(const compiler::CompiledKernel &CK) {
+  std::ostringstream OS;
+  isa::ISAKind ISA =
+      CK.Opts.effectiveNu() == 1 ? isa::ISAKind::Scalar : CK.Opts.ISA;
+  OS << "/*\n * " << CK.Blac.str() << "\n * generated by the LGen"
+     << " reproduction for " << machine::uarchName(CK.Opts.Target)
+     << " (" << isa::isaName(ISA) << ")\n */\n";
+  if (ISA == isa::ISAKind::SSSE3 || ISA == isa::ISAKind::SSE41)
+    OS << ssePreamble() << "\n";
+  else if (ISA == isa::ISAKind::AVX)
+    OS << avxPreamble() << "\n";
+  else if (ISA == isa::ISAKind::NEON)
+    OS << neonPreamble() << "\n";
+  else
+    OS << "#include <stdint.h>\n\n";
+
+  if (!CK.HasVersions) {
+    OS << unparseKernel(CK.Plain, ISA);
+    return OS.str();
+  }
+
+  // Listing 3.3: one sub-kernel per alignment combination plus a fallback,
+  // dispatched by runtime checks on the argument addresses.
+  const absint::VersionedKernel &V = CK.Versioned;
+  for (size_t I = 0; I != V.Versions.size(); ++I) {
+    Kernel Renamed = V.Versions[I].clone();
+    Renamed.setName(CK.Plain.getName().empty()
+                        ? "kernel_v" + std::to_string(I)
+                        : V.Versions[I].getName() + "_v" + std::to_string(I));
+    OS << unparseKernel(Renamed, ISA) << "\n";
+  }
+  Kernel Fallback = V.Fallback.clone();
+  Fallback.setName(Fallback.getName() + "_unaligned");
+  OS << unparseKernel(Fallback, ISA) << "\n";
+
+  OS << signature(V.Fallback, V.Fallback.getName()) << " {\n";
+  for (size_t I = 0; I != V.Versions.size(); ++I) {
+    OS << (I == 0 ? "  if (" : "  else if (");
+    for (size_t J = 0; J != V.VersionedArrays.size(); ++J) {
+      if (J)
+        OS << "\n      && ";
+      const ArrayInfo &A = V.Fallback.getArray(V.VersionedArrays[J]);
+      OS << "((uintptr_t)" << A.Name << ") % (" << V.Nu
+         << " * sizeof(float)) == " << V.Combos[I][J] << " * sizeof(float)";
+    }
+    OS << ") {\n    " << V.Versions[I].getName() << "_v" << I << "(";
+    bool First = true;
+    for (ArrayId Id = 0; Id != V.Fallback.getNumArrays(); ++Id) {
+      if (!V.Fallback.getArray(Id).isParam())
+        continue;
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << V.Fallback.getArray(Id).Name;
+    }
+    OS << ");\n  }\n";
+  }
+  OS << "  else {\n    " << V.Fallback.getName() << "_unaligned(";
+  bool First = true;
+  for (ArrayId Id = 0; Id != V.Fallback.getNumArrays(); ++Id) {
+    if (!V.Fallback.getArray(Id).isParam())
+      continue;
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << V.Fallback.getArray(Id).Name;
+  }
+  OS << ");\n  }\n}\n";
+  return OS.str();
+}

@@ -1,0 +1,41 @@
+//===- CUnparser.h - C-IR → C code unparser --------------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The final stage of the LGen pipeline (Fig. 2.1): unparsing optimized
+/// C-IR into a C kernel. Vector instructions map to SSE/NEON intrinsics
+/// (lane-level accesses go through a small set of helper macros emitted in
+/// the file preamble); alignment-versioned kernels unparse to the
+/// if/else-if cascade of runtime alignment checks shown in Listing 3.3.
+///
+/// The generated source is what LGen would hand to icc/gcc/clang on a real
+/// target; in this reproduction it is a reviewable artifact (examples print
+/// it) while execution goes through the functional interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_CODEGEN_CUNPARSER_H
+#define LGEN_CODEGEN_CUNPARSER_H
+
+#include "compiler/Compiler.h"
+
+#include <string>
+
+namespace lgen {
+namespace codegen {
+
+/// Unparses a single (non-versioned) kernel to a C function definition.
+std::string unparseKernel(const cir::Kernel &K, isa::ISAKind ISA);
+
+/// Unparses a full compiled BLAC: preamble (includes + helper macros), the
+/// kernel function — with the §3.2.4 alignment dispatch when versioned —
+/// and a doc comment describing the computation.
+std::string unparseCompiled(const compiler::CompiledKernel &CK);
+
+} // namespace codegen
+} // namespace lgen
+
+#endif // LGEN_CODEGEN_CUNPARSER_H

@@ -1,0 +1,118 @@
+//===- Autotuner.cpp - Random-search autotuning (§2.1.1, §5.1.5) ---------===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LGen's feedback loop: generate several code variants, measure each, keep
+/// the best. The thesis measures on real boards through Mediator; here the
+/// measurement backend is the microarchitecture timing model, which keeps
+/// the search deterministic. The search itself is the same random sampling
+/// over tiling/unrolling choices with a configurable sample size (§5.1.5
+/// uses 10; §5.5 discusses how a small sample size explores only a sliver
+/// of the much larger scalar-tiling space on ARM1176).
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+
+#include "absint/AlignmentDetection.h"
+
+using namespace lgen;
+using namespace lgen::compiler;
+
+namespace {
+
+/// Objective value of the finished kernel for \p Plan, assuming aligned
+/// parameter buffers (the measurement setup of §5.1.5).
+double evaluatePlan(const Compiler &C, const ll::Program &P,
+                    const tiling::TilingPlan &Plan,
+                    const machine::Microarch &M) {
+  cir::Kernel K = C.generateCore(P, Plan);
+  if (C.options().AlignmentDetection && C.options().effectiveNu() > 1)
+    absint::detectAlignment(K, C.options().effectiveNu(),
+                            absint::AlignmentAssumption::allAligned(K));
+  C.finalizeKernel(K);
+  machine::TimingResult T = machine::simulate(K, M);
+  switch (C.options().Objective) {
+  case TuneObjective::Cycles:
+    return T.Cycles;
+  case TuneObjective::Energy:
+    return T.EnergyNJ;
+  case TuneObjective::EDP:
+    return T.edp();
+  }
+  LGEN_UNREACHABLE("unknown tuning objective");
+}
+
+/// Coordinate-descent over the per-loop unroll factors, starting from the
+/// default plan. Each round tries every legal factor for every loop and
+/// keeps improvements; stops when a round changes nothing or the
+/// evaluation budget runs out.
+tiling::TilingPlan guidedSearch(const Compiler &C, const ll::Program &P,
+                                const std::vector<tiling::LoopDesc> &Loops,
+                                const machine::Microarch &M,
+                                unsigned Budget) {
+  tiling::TilingPlan Best = tiling::defaultPlan(Loops);
+  double BestScore = evaluatePlan(C, P, Best, M);
+  unsigned Evals = 1;
+  bool Improved = true;
+  while (Improved && Evals < Budget) {
+    Improved = false;
+    for (size_t L = 0; L != Loops.size() && Evals < Budget; ++L) {
+      for (int64_t F : tiling::legalUnrollFactors(
+               Loops[L].TripCount, C.options().MaxUnrollFactor)) {
+        if (F == Best.factorFor(L))
+          continue;
+        tiling::TilingPlan Candidate = Best;
+        if (Candidate.UnrollFactors.size() <= L)
+          Candidate.UnrollFactors.resize(Loops.size(), 1);
+        Candidate.UnrollFactors[L] = F;
+        double Score = evaluatePlan(C, P, Candidate, M);
+        ++Evals;
+        if (Score < BestScore) {
+          BestScore = Score;
+          Best = Candidate;
+          Improved = true;
+        }
+        if (Evals >= Budget)
+          break;
+      }
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+tiling::TilingPlan compiler::choosePlan(const Compiler &C,
+                                        const ll::Program &P) {
+  // Discover the tile loops with a neutral plan.
+  std::vector<tiling::LoopDesc> Loops;
+  {
+    tiling::TilingPlan Neutral;
+    Neutral.FullUnrollTrip = 1;
+    C.generateCore(P, Neutral, &Loops);
+  }
+  tiling::TilingPlan Best = tiling::defaultPlan(Loops);
+  if (C.options().SearchSamples == 0)
+    return Best;
+
+  machine::Microarch M = machine::Microarch::get(C.options().Target);
+  if (C.options().GuidedSearch)
+    return guidedSearch(C, P, Loops, M, C.options().SearchSamples);
+  double BestCycles = evaluatePlan(C, P, Best, M);
+
+  Rng Rng(C.options().SearchSeed);
+  for (unsigned S = 0; S != C.options().SearchSamples; ++S) {
+    tiling::TilingPlan Candidate =
+        tiling::randomPlan(Loops, Rng, C.options().MaxUnrollFactor);
+    double Cycles = evaluatePlan(C, P, Candidate, M);
+    if (Cycles < BestCycles) {
+      BestCycles = Cycles;
+      Best = Candidate;
+    }
+  }
+  return Best;
+}

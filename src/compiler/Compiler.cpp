@@ -1,0 +1,196 @@
+//===- Compiler.cpp - The LGen compiler driver -----------------*- C++ -*-===//
+
+#include "compiler/Compiler.h"
+
+#include "cir/Passes.h"
+#include "isa/MemMapLowering.h"
+#include "isa/NuBLACs.h"
+#include "ll/Parser.h"
+#include "machine/Scheduler.h"
+#include "sll/Lowering.h"
+#include "sll/Translate.h"
+
+using namespace lgen;
+using namespace lgen::compiler;
+
+//===----------------------------------------------------------------------===//
+// Options
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+isa::ISAKind isaForTarget(machine::UArch U) {
+  switch (U) {
+  case machine::UArch::Atom:
+    return isa::ISAKind::SSSE3;
+  case machine::UArch::CortexA8:
+  case machine::UArch::CortexA9:
+    return isa::ISAKind::NEON;
+  case machine::UArch::ARM1176:
+    return isa::ISAKind::Scalar;
+  case machine::UArch::SandyBridge:
+    return isa::ISAKind::AVX;
+  }
+  LGEN_UNREACHABLE("unknown microarchitecture");
+}
+
+} // namespace
+
+Options Options::lgenBase(machine::UArch U) {
+  Options O;
+  O.Target = U;
+  O.ISA = isaForTarget(U);
+  O.Vectorize = O.ISA != isa::ISAKind::Scalar;
+  return O;
+}
+
+Options Options::lgenFull(machine::UArch U) {
+  Options O = lgenBase(U);
+  switch (U) {
+  case machine::UArch::Atom:
+    // §5.2: alignment detection + new MVM apply on Atom.
+    O.AlignmentDetection = true;
+    O.NewMVM = true;
+    break;
+  case machine::UArch::CortexA8:
+  case machine::UArch::CortexA9:
+    // §5.3/§5.4: specialized ν-BLACs apply on the NEON processors.
+    O.SpecializedNuBLACs = true;
+    break;
+  case machine::UArch::ARM1176:
+    // §5.5: all §3 optimizations target vector code generation.
+    break;
+  case machine::UArch::SandyBridge:
+    // CGO'14 desktop target: unaligned moves are cheap, so alignment
+    // detection buys little; the MVH/RR split still pays (hadd 5/2).
+    O.NewMVM = true;
+    break;
+  }
+  return O;
+}
+
+unsigned Options::effectiveNu() const {
+  if (!Vectorize)
+    return 1;
+  return isa::traits(ISA).Nu;
+}
+
+//===----------------------------------------------------------------------===//
+// CompiledKernel
+//===----------------------------------------------------------------------===//
+
+const cir::Kernel &CompiledKernel::kernelFor(
+    const std::map<cir::ArrayId, int64_t> &Offsets) const {
+  if (!HasVersions)
+    return Plain;
+  return Versioned.select(Offsets);
+}
+
+void CompiledKernel::execute(
+    const std::vector<machine::Buffer *> &Params) const {
+  std::map<cir::ArrayId, int64_t> Offsets;
+  for (size_t I = 0; I != Params.size(); ++I)
+    Offsets[static_cast<cir::ArrayId>(I)] = Params[I]->AlignOffset;
+  machine::execute(kernelFor(Offsets), Params);
+}
+
+machine::TimingResult CompiledKernel::time(
+    const machine::Microarch &M,
+    const std::map<cir::ArrayId, int64_t> &Offsets) const {
+  return machine::simulate(kernelFor(Offsets), M, DispatchOverheadCycles);
+}
+
+double CompiledKernel::flopsPerCycle(
+    const machine::Microarch &M,
+    const std::map<cir::ArrayId, int64_t> &Offsets) const {
+  machine::TimingResult R = time(M, Offsets);
+  return R.Cycles > 0 ? Flops / R.Cycles : 0.0;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline
+//===----------------------------------------------------------------------===//
+
+cir::Kernel
+Compiler::generateCore(const ll::Program &P, const tiling::TilingPlan &Plan,
+                       std::vector<tiling::LoopDesc> *LoopsOut) const {
+  unsigned Nu = Opts.effectiveNu();
+  isa::ISAKind Kind = Nu == 1 ? isa::ISAKind::Scalar : Opts.ISA;
+  std::unique_ptr<isa::NuBLACs> NB = isa::makeNuBLACs(Kind);
+
+  // LL → Σ-LL (tiling decisions + Σ rules), then the Σ-LL transformations.
+  sll::TranslateOptions TO;
+  TO.Nu = Nu;
+  TO.NewMVM = Opts.NewMVM;
+  sll::SProgram SP = sll::translate(P, TO);
+  if (Opts.LoopFusion)
+    sll::fuseNests(SP);
+  if (Plan.ExchangeLoops)
+    sll::exchangeLoops(SP, /*Reverse=*/true);
+
+  // Σ-LL → C-IR with the ν-BLAC library.
+  sll::LoweredKernel LK =
+      sll::lowerToCIR(SP, *NB, Opts.SpecializedNuBLACs, P.OutputName + "_kernel");
+  if (LoopsOut)
+    *LoopsOut = LK.Loops;
+
+  // Outer tiling: partial unrolls per plan (clamped to a legal divisor),
+  // then full unrolling of small loops. Deepest loops first: unrolling an
+  // outer loop clones its (already-unrolled) inner loops, so the reverse
+  // order would leave all but the first clone untouched.
+  for (size_t I = LK.LoopIds.size(); I-- > 0;) {
+    int64_t Want = Plan.factorFor(I);
+    if (Want <= 1)
+      continue;
+    std::vector<int64_t> Legal =
+        tiling::legalUnrollFactors(LK.Loops[I].TripCount, Want);
+    cir::unrollLoopBy(LK.K, LK.LoopIds[I], Legal.back());
+  }
+  cir::unrollLoops(LK.K, Plan.FullUnrollTrip);
+
+  if (!Opts.UseGenericMemOps) {
+    // Ablation of §3.1: concrete memory instructions reach scalar
+    // replacement, so partial-tile accesses are not forwarded.
+    isa::lowerGenericMemOps(LK.K);
+  }
+  cir::scalarReplacement(LK.K);
+  return std::move(LK.K);
+}
+
+void Compiler::finalizeKernel(cir::Kernel &K) const {
+  isa::lowerGenericMemOps(K);
+  cir::cleanup(K);
+  machine::scheduleKernel(K, machine::Microarch::get(Opts.Target));
+  K.verify();
+}
+
+CompiledKernel Compiler::compile(const ll::Program &P) const {
+  tiling::TilingPlan Plan = choosePlan(*this, P);
+
+  CompiledKernel CK;
+  CK.Blac = P.clone();
+  CK.Opts = Opts;
+  CK.Flops = ll::flopCount(P);
+
+  cir::Kernel Core = generateCore(P, Plan);
+  unsigned Nu = Opts.effectiveNu();
+  if (Opts.AlignmentDetection && Nu > 1) {
+    CK.Versioned =
+        absint::makeAlignmentVersions(Core, Nu, Opts.MaxAlignCombos);
+    for (cir::Kernel &V : CK.Versioned.Versions)
+      finalizeKernel(V);
+    finalizeKernel(CK.Versioned.Fallback);
+    CK.HasVersions = true;
+    // Listing 3.3: a chain of modulo checks selects the version at runtime.
+    CK.DispatchOverheadCycles =
+        2.0 + 2.0 * CK.Versioned.VersionedArrays.size();
+  } else {
+    CK.Plain = std::move(Core);
+    finalizeKernel(CK.Plain);
+  }
+  return CK;
+}
+
+CompiledKernel Compiler::compile(const std::string &Source) const {
+  return compile(ll::parseProgramOrDie(Source));
+}

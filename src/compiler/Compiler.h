@@ -1,0 +1,154 @@
+//===- Compiler.h - The LGen compiler driver -------------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end LGen pipeline (thesis Fig. 2.1): LL parsing and tiling,
+/// Σ-LL construction with loop fusion/exchange, ν-BLAC expansion to C-IR,
+/// loop unrolling, scalar replacement, the §3.x optimizations, lowering of
+/// generic memory accesses, instruction scheduling, and — when enabled —
+/// autotuning by random search with the microarchitecture timing model as
+/// the measurement backend (the role Mediator + real boards played in the
+/// thesis).
+///
+/// The optimization toggles correspond exactly to the configurations the
+/// evaluation compares: \c LGen (base), \c LGen-Align, \c LGen-MVM, and
+/// \c LGen-Full.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_COMPILER_COMPILER_H
+#define LGEN_COMPILER_COMPILER_H
+
+#include "absint/AlignmentDetection.h"
+#include "cir/CIR.h"
+#include "isa/ISA.h"
+#include "ll/AST.h"
+#include "machine/Executor.h"
+#include "machine/Microarch.h"
+#include "machine/Timing.h"
+#include "tiling/Tiling.h"
+
+#include <map>
+#include <string>
+
+namespace lgen {
+namespace compiler {
+
+/// What the autotuner minimizes. Cycles reproduces the thesis; Energy and
+/// EDP implement the §6 future-work extension ("introduction of
+/// energy-related metrics in the autotuning feedback loop").
+enum class TuneObjective { Cycles, Energy, EDP };
+
+struct Options {
+  isa::ISAKind ISA = isa::ISAKind::SSSE3;
+  machine::UArch Target = machine::UArch::Atom;
+  /// Master vectorization switch; off (or a scalar ISA) emits scalar code.
+  bool Vectorize = true;
+  /// §3.1 — generic memory instructions. Disabling lowers memory maps to
+  /// concrete instructions *before* scalar replacement, reproducing the
+  /// pre-optimization behavior where leftover shuffle/lane traffic blocks
+  /// store-load forwarding (Fig. 3.2).
+  bool UseGenericMemOps = true;
+  /// §3.2 — alignment detection + versioning.
+  bool AlignmentDetection = false;
+  /// §3.3 — MVH/RR-based matrix-vector multiplication.
+  bool NewMVM = false;
+  /// §3.4 — specialized leftover ν-BLACs.
+  bool SpecializedNuBLACs = false;
+  /// Σ-LL loop fusion (§2.1.3). Always on in LGen; exposed for the
+  /// ablation of how much scalar replacement depends on it (Figs 2.3/2.4).
+  bool LoopFusion = true;
+  /// Cap on alignment version combinations (ν^a grows fast, §3.2.4).
+  unsigned MaxAlignCombos = 256;
+  /// Autotuning: number of random tiling plans to evaluate (thesis §5.1.5
+  /// uses a random search with sample size 10); 0 uses the default plan.
+  unsigned SearchSamples = 0;
+  uint64_t SearchSeed = 1;
+  int64_t MaxUnrollFactor = 8;
+  /// Hill-climb over per-loop factors instead of sampling blindly — the §6
+  /// suggestion of heuristics to direct the search; SearchSamples bounds
+  /// the number of evaluations.
+  bool GuidedSearch = false;
+  TuneObjective Objective = TuneObjective::Cycles;
+
+  /// Configuration named "LGen" in the plots: target defaults, every §3
+  /// optimization off.
+  static Options lgenBase(machine::UArch U);
+  /// Configuration named "LGen-Full": every optimization applicable to the
+  /// target enabled.
+  static Options lgenFull(machine::UArch U);
+
+  /// The vector length the configuration effectively compiles with.
+  unsigned effectiveNu() const;
+};
+
+/// A compiled BLAC kernel: either a single C-IR kernel or an
+/// alignment-versioned family with a runtime dispatch (Listing 3.3).
+class CompiledKernel {
+public:
+  ll::Program Blac;
+  Options Opts;
+  double Flops = 0.0;
+  bool HasVersions = false;
+  absint::VersionedKernel Versioned;
+  cir::Kernel Plain;
+  /// Cycles charged for the runtime alignment checks of the dispatch.
+  double DispatchOverheadCycles = 0.0;
+
+  /// The code version executed for parameter buffers with the given base
+  /// alignments (element offset mod ν per parameter array id).
+  const cir::Kernel &
+  kernelFor(const std::map<cir::ArrayId, int64_t> &Offsets) const;
+
+  /// Runs the kernel over \p Params (one buffer per kernel parameter, in
+  /// LL declaration order), dispatching on the buffers' alignments.
+  void execute(const std::vector<machine::Buffer *> &Params) const;
+
+  /// Estimated cycles per invocation on \p M for the given alignments.
+  machine::TimingResult
+  time(const machine::Microarch &M,
+       const std::map<cir::ArrayId, int64_t> &Offsets = {}) const;
+
+  /// flops/cycle, the metric of every plot in Chapter 5.
+  double
+  flopsPerCycle(const machine::Microarch &M,
+                const std::map<cir::ArrayId, int64_t> &Offsets = {}) const;
+};
+
+class Compiler {
+public:
+  explicit Compiler(Options Opts) : Opts(Opts) {}
+
+  const Options &options() const { return Opts; }
+
+  /// Compiles \p P, autotuning over tiling plans when SearchSamples > 0.
+  CompiledKernel compile(const ll::Program &P) const;
+
+  /// Convenience: parse + compile.
+  CompiledKernel compile(const std::string &Source) const;
+
+  /// Generates the kernel for one explicit tiling plan, stopping after
+  /// scalar replacement (generic memory accesses still intact). Exposed
+  /// for tests and the autotuner.
+  cir::Kernel
+  generateCore(const ll::Program &P, const tiling::TilingPlan &Plan,
+               std::vector<tiling::LoopDesc> *LoopsOut = nullptr) const;
+
+  /// Lowers generic accesses, schedules, and verifies \p K in place.
+  void finalizeKernel(cir::Kernel &K) const;
+
+private:
+  Options Opts;
+};
+
+/// Random-search autotuner (Autotuner.cpp): evaluates SearchSamples random
+/// plans plus the default plan with the timing model and returns the best.
+tiling::TilingPlan choosePlan(const Compiler &C, const ll::Program &P);
+
+} // namespace compiler
+} // namespace lgen
+
+#endif // LGEN_COMPILER_COMPILER_H

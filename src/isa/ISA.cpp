@@ -1,0 +1,58 @@
+//===- ISA.cpp - Virtual vector ISA descriptions ---------------*- C++ -*-===//
+
+#include "isa/ISA.h"
+
+using namespace lgen;
+using namespace lgen::isa;
+
+const char *isa::isaName(ISAKind Kind) {
+  switch (Kind) {
+  case ISAKind::Scalar:
+    return "scalar";
+  case ISAKind::SSSE3:
+    return "ssse3";
+  case ISAKind::SSE41:
+    return "sse41";
+  case ISAKind::NEON:
+    return "neon";
+  case ISAKind::AVX:
+    return "avx";
+  }
+  LGEN_UNREACHABLE("unknown ISA kind");
+}
+
+ISATraits isa::traits(ISAKind Kind) {
+  ISATraits T;
+  T.Kind = Kind;
+  switch (Kind) {
+  case ISAKind::Scalar:
+    T.Nu = 1;
+    T.NumVecRegs = 16; // VFP single-precision register file (s0..s31 pairs).
+    break;
+  case ISAKind::SSSE3:
+    T.Nu = 4;
+    T.HasQuadHAdd = true;
+    T.NumVecRegs = 16; // XMM0..XMM15 (x86-64).
+    break;
+  case ISAKind::SSE41:
+    T.Nu = 4;
+    T.HasQuadHAdd = true;
+    T.HasDotProduct = true;
+    T.NumVecRegs = 16;
+    break;
+  case ISAKind::NEON:
+    T.Nu = 4;
+    T.HasPairwiseAdd = true;
+    T.HasFMA = true;
+    T.HasMulByLane = true;
+    T.HasDoubleword = true;
+    T.NumVecRegs = 16; // q0..q15.
+    break;
+  case ISAKind::AVX:
+    T.Nu = 8;
+    T.HasQuadHAdd = true; // Per-128-bit-lane hadd (_mm256_hadd_ps).
+    T.NumVecRegs = 16;    // YMM0..YMM15.
+    break;
+  }
+  return T;
+}

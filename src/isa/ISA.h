@@ -1,0 +1,76 @@
+//===- ISA.h - Virtual vector ISA descriptions -----------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptions of the vector instruction sets targeted by the reproduction:
+/// SSSE3 (Intel Atom, thesis §2.2.1), NEON (Cortex-A8/A9, §2.2.2–2.2.3),
+/// and plain scalar code (ARM1176, §2.2.4). A virtual ISA determines the
+/// vector length ν, which C-IR opcodes the ν-BLACs may emit, and how
+/// generic memory accesses are lowered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_ISA_ISA_H
+#define LGEN_ISA_ISA_H
+
+#include "cir/CIR.h"
+
+namespace lgen {
+namespace isa {
+
+enum class ISAKind {
+  Scalar, ///< No SIMD extension (ARM1176 / ARMv6).
+  SSSE3,  ///< 128-bit SSE family subset available on Intel Atom.
+  SSE41,  ///< SSSE3 plus the SSE4.1 dot-product instruction (dpps).
+  NEON,   ///< ARMv7 NEON with 64-bit (doubleword) and 128-bit registers.
+  AVX,    ///< 256-bit AVX (ν = 8) — the CGO'14 LGen desktop target.
+};
+
+const char *isaName(ISAKind Kind);
+
+struct ISATraits {
+  ISAKind Kind = ISAKind::Scalar;
+  /// Vector register length in floats.
+  unsigned Nu = 1;
+  /// 4-lane horizontal add (_mm_hadd_ps). SSE-family only; on NEON the
+  /// 2-lane form (vpadd) is available instead.
+  bool HasQuadHAdd = false;
+  /// SSE4.1 dpps.
+  bool HasDotProduct = false;
+  /// Pairwise add on doubleword registers (NEON vpadd).
+  bool HasPairwiseAdd = false;
+  /// Fused multiply-accumulate (NEON vmla).
+  bool HasFMA = false;
+  /// Multiply by a scalar drawn from a lane of another vector
+  /// (NEON vmul_lane / vmla_lane) — avoids explicit broadcasts (§2.2.2).
+  bool HasMulByLane = false;
+  /// Doubleword (ν/2-lane) data-processing operations exist and run twice
+  /// as fast as quadword ones (§2.2.2) — exploited by the specialized
+  /// ν-BLACs of §3.4.
+  bool HasDoubleword = false;
+  /// Number of architectural ν-wide vector registers.
+  unsigned NumVecRegs = 16;
+};
+
+ISATraits traits(ISAKind Kind);
+
+/// A reference to an R×C tile inside a row-major matrix: element (r, c)
+/// lives at Base.Offset + r*RowStride + c of Base.Array.
+struct TileRef {
+  cir::Addr Base;
+  int64_t RowStride = 0;
+
+  cir::Addr at(int64_t Row, int64_t Col) const {
+    cir::Addr A = Base;
+    A.Offset = A.Offset + cir::AffineExpr(Row * RowStride + Col);
+    return A;
+  }
+};
+
+} // namespace isa
+} // namespace lgen
+
+#endif // LGEN_ISA_ISA_H

@@ -1,0 +1,77 @@
+//===- LoaderStorer.cpp - Tile packing/unpacking codelets ------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Loader and Storer codelets (thesis §2.1.4): moving (possibly
+/// leftover) tiles between matrices in memory and ν-sized register
+/// operands of the ν-BLACs. Implemented entirely with the generic
+/// load/store instructions of §3.1 — a horizontal tile row is a contiguous
+/// memory map, a vertical tile column a strided one, and leftover lanes
+/// are zero-filled on load and skipped on store.
+///
+//===----------------------------------------------------------------------===//
+
+#include "isa/NuBLACs.h"
+
+using namespace lgen;
+using namespace lgen::isa;
+using namespace lgen::cir;
+
+NuBLACs::~NuBLACs() = default;
+
+RegId isa::loadTileRow(Builder &B, TileRef T, unsigned Row, unsigned C,
+                       unsigned Lanes) {
+  assert(C <= Lanes && "tile row wider than the register");
+  if (Lanes == 1) {
+    MemMap M = MemMap::contiguous(1);
+    return B.gload(1, T.at(Row, 0), M);
+  }
+  return B.gload(Lanes, T.at(Row, 0), MemMap::contiguous(Lanes, C));
+}
+
+std::vector<RegId> isa::loadTileRows(Builder &B, TileRef T, unsigned R,
+                                     unsigned C, unsigned Lanes) {
+  std::vector<RegId> Rows;
+  Rows.reserve(R);
+  for (unsigned I = 0; I != R; ++I)
+    Rows.push_back(loadTileRow(B, T, I, C, Lanes));
+  return Rows;
+}
+
+void isa::storeTileRow(Builder &B, RegId V, TileRef T, unsigned Row,
+                       unsigned C) {
+  unsigned Lanes = B.kernel().lanesOf(V);
+  assert(C <= Lanes && "storing more columns than lanes");
+  B.gstore(V, T.at(Row, 0), MemMap::contiguous(Lanes, C));
+}
+
+RegId isa::loadTileCol(Builder &B, TileRef T, unsigned Col, unsigned R,
+                       unsigned Lanes) {
+  assert(R <= Lanes && "tile column taller than the register");
+  if (T.RowStride == 1)
+    return B.gload(Lanes, T.at(0, Col), MemMap::contiguous(Lanes, R));
+  return B.gload(Lanes, T.at(0, Col),
+                 MemMap::strided(Lanes, T.RowStride, R));
+}
+
+void isa::storeTileCol(Builder &B, RegId V, TileRef T, unsigned Col,
+                       unsigned R) {
+  unsigned Lanes = B.kernel().lanesOf(V);
+  assert(R <= Lanes && "storing more rows than lanes");
+  if (T.RowStride == 1) {
+    B.gstore(V, T.at(0, Col), MemMap::contiguous(Lanes, R));
+    return;
+  }
+  B.gstore(V, T.at(0, Col), MemMap::strided(Lanes, T.RowStride, R));
+}
+
+RegId isa::loadVec(Builder &B, TileRef T, unsigned K, unsigned Lanes) {
+  return loadTileCol(B, T, 0, K, Lanes);
+}
+
+void isa::storeVec(Builder &B, RegId V, TileRef T, unsigned K) {
+  storeTileCol(B, V, T, 0, K);
+}

@@ -1,0 +1,136 @@
+//===- MemMapLowering.cpp - Lower generic loads/stores (§3.1) ------------===//
+
+#include "isa/MemMapLowering.h"
+
+using namespace lgen;
+using namespace lgen::isa;
+using namespace lgen::cir;
+
+namespace {
+
+Addr offsetAddr(const Addr &Base, int64_t Delta) {
+  Addr A = Base;
+  A.Offset = A.Offset + AffineExpr(Delta);
+  return A;
+}
+
+void lowerLoad(Kernel &K, const Inst &I, std::vector<Node> &Out) {
+  unsigned Lanes = K.lanesOf(I.Dest);
+  const MemMap &M = I.Map;
+
+  if (Lanes == 1) {
+    Inst L;
+    L.Op = Opcode::Load;
+    L.Dest = I.Dest;
+    L.Address = M.LaneOffsets[0] == MemMap::None
+                    ? I.Address // Degenerate: never emitted in practice.
+                    : offsetAddr(I.Address, M.LaneOffsets[0]);
+    Out.push_back(Node(std::move(L)));
+    return;
+  }
+
+  if (M.isFullContiguous()) {
+    Inst L;
+    L.Op = Opcode::Load;
+    L.Dest = I.Dest;
+    L.Address = I.Address;
+    L.Aligned = I.Aligned;
+    Out.push_back(Node(std::move(L)));
+    return;
+  }
+
+  // Partial or strided map: zero the register, then fill active lanes one
+  // by one (vld1q_lane_f32 / _mm_load_ss + insert sequences).
+  RegId Cur = K.newReg(Lanes);
+  Inst Z;
+  Z.Op = Opcode::Zero;
+  Z.Dest = Cur;
+  Out.push_back(Node(std::move(Z)));
+
+  std::vector<unsigned> Active;
+  for (unsigned J = 0; J != Lanes; ++J)
+    if (M.LaneOffsets[J] != MemMap::None)
+      Active.push_back(J);
+  assert(!Active.empty() && "generic load with no active lanes");
+
+  for (unsigned Idx = 0; Idx != Active.size(); ++Idx) {
+    unsigned J = Active[Idx];
+    Inst L;
+    L.Op = Opcode::LoadLane;
+    L.A = Cur;
+    L.Lane = J;
+    L.Address = offsetAddr(I.Address, M.LaneOffsets[J]);
+    bool Last = Idx + 1 == Active.size();
+    L.Dest = Last ? I.Dest : K.newReg(Lanes);
+    Cur = L.Dest;
+    Out.push_back(Node(std::move(L)));
+  }
+}
+
+void lowerStore(Kernel &K, const Inst &I, std::vector<Node> &Out) {
+  unsigned Lanes = K.lanesOf(I.A);
+  const MemMap &M = I.Map;
+
+  if (Lanes == 1) {
+    Inst S;
+    S.Op = Opcode::Store;
+    S.A = I.A;
+    S.Address = M.LaneOffsets[0] == MemMap::None
+                    ? I.Address
+                    : offsetAddr(I.Address, M.LaneOffsets[0]);
+    Out.push_back(Node(std::move(S)));
+    return;
+  }
+
+  if (M.isFullContiguous()) {
+    Inst S;
+    S.Op = Opcode::Store;
+    S.A = I.A;
+    S.Address = I.Address;
+    S.Aligned = I.Aligned;
+    Out.push_back(Node(std::move(S)));
+    return;
+  }
+
+  for (unsigned J = 0; J != Lanes; ++J) {
+    if (M.LaneOffsets[J] == MemMap::None)
+      continue;
+    Inst S;
+    S.Op = Opcode::StoreLane;
+    S.A = I.A;
+    S.Lane = J;
+    S.Address = offsetAddr(I.Address, M.LaneOffsets[J]);
+    Out.push_back(Node(std::move(S)));
+  }
+}
+
+unsigned lowerBody(Kernel &K, std::vector<Node> &Body) {
+  unsigned Lowered = 0;
+  std::vector<Node> Result;
+  Result.reserve(Body.size());
+  for (Node &N : Body) {
+    if (N.isLoop()) {
+      Lowered += lowerBody(K, N.loop().Body);
+      Result.push_back(std::move(N));
+      continue;
+    }
+    const Inst &I = N.inst();
+    if (I.Op == Opcode::GLoad) {
+      lowerLoad(K, I, Result);
+      ++Lowered;
+    } else if (I.Op == Opcode::GStore) {
+      lowerStore(K, I, Result);
+      ++Lowered;
+    } else {
+      Result.push_back(std::move(N));
+    }
+  }
+  Body = std::move(Result);
+  return Lowered;
+}
+
+} // namespace
+
+unsigned isa::lowerGenericMemOps(Kernel &K) {
+  return lowerBody(K, K.getBody());
+}

@@ -1,0 +1,43 @@
+//===- MemMapLowering.h - Lower generic loads/stores (§3.1) ----*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowering of the generic load/store C-IR instructions into concrete
+/// memory and shuffle instructions, performed "only one step before
+/// unparsing the C-IR code into C code" (§3.1). Until this pass runs,
+/// every transformation — scalar replacement in particular — sees only the
+/// ISA-independent memory maps; afterwards the kernel contains exactly the
+/// instructions the cost models and the C unparser understand.
+///
+/// Lowering rules:
+///  * full contiguous map            → one vector load/store (aligned or
+///                                     unaligned per the §3.2 analysis);
+///  * single-lane map (or ν == 1)    → one scalar/lane access;
+///  * partial or strided map         → per-lane accesses into a zeroed
+///                                     register (loads) or out of the
+///                                     source register (stores), matching
+///                                     the vld1q_lane/vst1q_lane and
+///                                     load_ss/insert sequences of
+///                                     Figs. 3.2 and 3.4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_ISA_MEMMAPLOWERING_H
+#define LGEN_ISA_MEMMAPLOWERING_H
+
+#include "cir/CIR.h"
+
+namespace lgen {
+namespace isa {
+
+/// Rewrites every GLoad/GStore of \p K into concrete instructions.
+/// Returns the number of generic accesses lowered.
+unsigned lowerGenericMemOps(cir::Kernel &K);
+
+} // namespace isa
+} // namespace lgen
+
+#endif // LGEN_ISA_MEMMAPLOWERING_H

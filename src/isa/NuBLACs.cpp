@@ -1,0 +1,33 @@
+//===- NuBLACs.cpp - ν-BLAC library factory --------------------*- C++ -*-===//
+
+#include "isa/NuBLACs.h"
+
+namespace lgen {
+namespace isa {
+// Defined in the per-ISA translation units.
+std::unique_ptr<NuBLACs> makeScalarNuBLACs();
+std::unique_ptr<NuBLACs> makeSSSE3NuBLACs();
+std::unique_ptr<NuBLACs> makeNEONNuBLACs();
+std::unique_ptr<NuBLACs> makeAVXNuBLACs();
+std::unique_ptr<NuBLACs> makeSSE41NuBLACs();
+} // namespace isa
+} // namespace lgen
+
+using namespace lgen;
+using namespace lgen::isa;
+
+std::unique_ptr<NuBLACs> isa::makeNuBLACs(ISAKind Kind) {
+  switch (Kind) {
+  case ISAKind::Scalar:
+    return makeScalarNuBLACs();
+  case ISAKind::SSSE3:
+    return makeSSSE3NuBLACs();
+  case ISAKind::SSE41:
+    return makeSSE41NuBLACs();
+  case ISAKind::NEON:
+    return makeNEONNuBLACs();
+  case ISAKind::AVX:
+    return makeAVXNuBLACs();
+  }
+  LGEN_UNREACHABLE("unknown ISA kind");
+}

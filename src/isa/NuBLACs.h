@@ -1,0 +1,126 @@
+//===- NuBLACs.h - ν-BLAC codelet libraries --------------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ν-BLAC codelets (thesis §2.1.4, Table 2.1): handwritten C-IR
+/// generators for the basic linear algebra operations on ν-sized tiles, one
+/// library per vector ISA. Each codelet follows the load-compute-store
+/// discipline; loading and storing of (possibly leftover) tiles goes
+/// through the generic memory instructions of §3.1, which subsume the
+/// Loader and Storer wrappers.
+///
+/// Beyond the 18 classic ν-BLACs the libraries implement the MVH and RR
+/// codelets of the new matrix-vector multiplication approach (§3.3,
+/// Listings 3.6/3.7) and — on NEON — the specialized leftover ν-BLACs of
+/// §3.4 that operate on sub-ν tiles directly with doubleword instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_ISA_NUBLACS_H
+#define LGEN_ISA_NUBLACS_H
+
+#include "cir/Builder.h"
+#include "isa/ISA.h"
+
+#include <memory>
+#include <vector>
+
+namespace lgen {
+namespace isa {
+
+/// Code generator interface for the ν-BLACs of one ISA. All emitters work
+/// on logical R×C tiles with 1 ≤ R, C ≤ ν addressed through TileRefs.
+/// When \p Specialized is true and the ISA provides specialized leftover
+/// codelets (§3.4), sub-ν tiles are handled without padding; otherwise
+/// tiles are zero-padded to ν in registers (the traditional path).
+class NuBLACs {
+public:
+  explicit NuBLACs(ISATraits Traits) : Traits(Traits) {}
+  virtual ~NuBLACs();
+
+  const ISATraits &traits() const { return Traits; }
+  unsigned nu() const { return Traits.Nu; }
+
+  /// Out = A + B over an R×C tile (the 3 addition ν-BLACs, Listing 3.8).
+  virtual void emitAdd(cir::Builder &B, TileRef A, TileRef Rhs, TileRef Out,
+                       unsigned R, unsigned C, bool Specialized) = 0;
+
+  /// Out = alpha * A over an R×C tile (the scalar-multiplication ν-BLACs).
+  /// \p Alpha is a 1×1 tile.
+  virtual void emitScalarMul(cir::Builder &B, TileRef Alpha, TileRef A,
+                             TileRef Out, unsigned R, unsigned C,
+                             bool Specialized) = 0;
+
+  /// Out (+)= A * B over an R×K×C tile product (the matrix-multiplication
+  /// ν-BLACs). When \p Acc is set the codelet accumulates into Out.
+  virtual void emitMatMul(cir::Builder &B, TileRef A, TileRef Rhs,
+                          TileRef Out, unsigned R, unsigned K, unsigned C,
+                          bool Acc, bool Specialized) = 0;
+
+  /// Out = A^T over an R×C tile (the transposition ν-BLACs).
+  virtual void emitTranspose(cir::Builder &B, TileRef A, TileRef Out,
+                             unsigned R, unsigned C, bool Specialized) = 0;
+
+  /// Out (+)= A ⊙ x, the matrix-vector Hadamard product of §3.3
+  /// (Listing 3.6): Out[r][c] (+)= A[r][c] * x[c]. \p X is a C×1 tile.
+  virtual void emitMVH(cir::Builder &B, TileRef A, TileRef X, TileRef Out,
+                       unsigned R, unsigned C, bool Acc, bool Specialized) = 0;
+
+  /// Out (+)= ⊕A, the row reduction of §3.3 (Listing 3.7):
+  /// Out[r] (+)= sum_c A[r][c]. \p Out is an R×1 tile.
+  virtual void emitRR(cir::Builder &B, TileRef A, TileRef Out, unsigned R,
+                      unsigned C, bool Acc, bool Specialized) = 0;
+
+  /// Y (+)= A * x, the classic matrix-vector ν-BLAC (Listing 3.4).
+  /// \p X is a C×1 tile and \p Y an R×1 tile.
+  virtual void emitMVM(cir::Builder &B, TileRef A, TileRef X, TileRef Y,
+                       unsigned R, unsigned C, bool Acc, bool Specialized) = 0;
+
+protected:
+  ISATraits Traits;
+};
+
+/// Creates the ν-BLAC library for \p Kind.
+std::unique_ptr<NuBLACs> makeNuBLACs(ISAKind Kind);
+
+//===----------------------------------------------------------------------===//
+// Loader / Storer helpers (§2.1.4)
+//===----------------------------------------------------------------------===//
+
+/// Loads row \p Row of an R×C tile into a \p Lanes-wide register; columns
+/// beyond C are zero-filled (the Loader's packing of leftover tiles).
+cir::RegId loadTileRow(cir::Builder &B, TileRef T, unsigned Row, unsigned C,
+                       unsigned Lanes);
+
+/// Loads all R rows of the tile (each zero-padded to \p Lanes).
+std::vector<cir::RegId> loadTileRows(cir::Builder &B, TileRef T, unsigned R,
+                                     unsigned C, unsigned Lanes);
+
+/// Stores the first \p C lanes of \p V into row \p Row of the tile (the
+/// Storer's unpacking of leftover tiles).
+void storeTileRow(cir::Builder &B, cir::RegId V, TileRef T, unsigned Row,
+                  unsigned C);
+
+/// Loads column \p Col (R elements, stride RowStride) zero-padded to
+/// \p Lanes — a vertical memory map (§3.1).
+cir::RegId loadTileCol(cir::Builder &B, TileRef T, unsigned Col, unsigned R,
+                       unsigned Lanes);
+
+/// Stores the first \p R lanes of \p V into column \p Col of the tile.
+void storeTileCol(cir::Builder &B, cir::RegId V, TileRef T, unsigned Col,
+                  unsigned R);
+
+/// Loads the contiguous K-element (column-)vector tile at \p T zero-padded
+/// to \p Lanes.
+cir::RegId loadVec(cir::Builder &B, TileRef T, unsigned K, unsigned Lanes);
+
+/// Stores the first \p K lanes of \p V to the contiguous vector tile.
+void storeVec(cir::Builder &B, cir::RegId V, TileRef T, unsigned K);
+
+} // namespace isa
+} // namespace lgen
+
+#endif // LGEN_ISA_NUBLACS_H

@@ -1,0 +1,274 @@
+//===- NuBLACsNEON.cpp - NEON ν-BLACs for Cortex-A8/A9 ---------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The NEON ν-BLACs (ν = 4) used for Cortex-A8 and Cortex-A9. The codelets
+/// exploit the NEON features the thesis highlights (§2.2.2): fused
+/// multiply-accumulate, multiply-by-lane (avoiding explicit broadcasts in
+/// matrix multiplication), and pairwise adds on doubleword registers for
+/// reductions.
+///
+/// Two leftover strategies coexist, reproducing §3.4:
+///  * the *traditional* path pads tiles to ν with zero-filled generic loads
+///    and always emits the full quadword ν×ν computation (Listing 3.9's
+///    shape once compiled);
+///  * the *specialized* ν-BLACs handle sub-ν tiles directly, emit no zero
+///    loads or dead products, and use the twice-as-fast doubleword
+///    instructions whenever the tile fits (Listing 3.10).
+///
+//===----------------------------------------------------------------------===//
+
+#include "isa/NuBLACs.h"
+
+using namespace lgen;
+using namespace lgen::isa;
+using namespace lgen::cir;
+
+namespace {
+
+constexpr unsigned NuNEON = 4;
+
+class NEONNuBLACs : public NuBLACs {
+public:
+  NEONNuBLACs() : NuBLACs(isa::traits(ISAKind::NEON)) {}
+
+  void emitAdd(Builder &B, TileRef A, TileRef Rhs, TileRef Out, unsigned R,
+               unsigned C, bool Specialized) override {
+    if (C == 1 && R > 1) { // Column-vector addition ν-BLAC.
+      unsigned Lanes = (Specialized && R <= 2) ? 2 : NuNEON;
+      RegId VA = loadTileCol(B, A, 0, R, Lanes);
+      RegId VB = loadTileCol(B, Rhs, 0, R, Lanes);
+      storeTileCol(B, B.add(VA, VB), Out, 0, R);
+      return;
+    }
+    unsigned Lanes = laneWidth(C, Specialized);
+    std::vector<RegId> ARows = loadTileRows(B, A, R, C, Lanes);
+    std::vector<RegId> BRows = loadTileRows(B, Rhs, R, C, Lanes);
+    for (unsigned I = 0; I != R; ++I)
+      storeTileRow(B, B.add(ARows[I], BRows[I]), Out, I, C);
+  }
+
+  void emitScalarMul(Builder &B, TileRef Alpha, TileRef A, TileRef Out,
+                     unsigned R, unsigned C, bool Specialized) override {
+    // vmul_lane: multiply by a scalar kept in lane 0 of a doubleword
+    // register — no broadcast needed (§2.2.2).
+    RegId S = loadVec(B, Alpha, 1, 2);
+    if (C == 1 && R > 1) { // Column-vector scaling ν-BLAC.
+      unsigned Lanes = (Specialized && R <= 2) ? 2 : NuNEON;
+      RegId VA = loadTileCol(B, A, 0, R, Lanes);
+      storeTileCol(B, B.mulLane(VA, S, 0), Out, 0, R);
+      return;
+    }
+    unsigned Lanes = laneWidth(C, Specialized);
+    std::vector<RegId> ARows = loadTileRows(B, A, R, C, Lanes);
+    for (unsigned I = 0; I != R; ++I)
+      storeTileRow(B, B.mulLane(ARows[I], S, 0), Out, I, C);
+  }
+
+  void emitMatMul(Builder &B, TileRef A, TileRef Rhs, TileRef Out, unsigned R,
+                  unsigned K, unsigned C, bool Acc, bool Specialized) override {
+    if (Specialized && (R < NuNEON || K < NuNEON || C < NuNEON)) {
+      emitMatMulSpecialized(B, A, Rhs, Out, R, K, C, Acc);
+      return;
+    }
+    // Traditional quadword path (Listing 3.9's source shape): pad all
+    // operands to ν and run the full ν×ν×ν computation with vmla_lane.
+    std::vector<RegId> BRows(NuNEON);
+    for (unsigned J = 0; J != NuNEON; ++J)
+      BRows[J] = J < K ? loadTileRow(B, Rhs, J, C, NuNEON) : B.zero(NuNEON);
+    for (unsigned I = 0; I != NuNEON; ++I) {
+      RegId ARow =
+          I < R ? loadTileRow(B, A, I, K, NuNEON) : B.zero(NuNEON);
+      RegId AccReg = NoReg;
+      if (Acc && I < R)
+        AccReg = loadTileRow(B, Out, I, C, NuNEON);
+      for (unsigned J = 0; J != NuNEON; ++J) {
+        if (AccReg == NoReg)
+          AccReg = B.mulLane(BRows[J], ARow, J);
+        else
+          AccReg = B.fmaLane(BRows[J], ARow, J, AccReg);
+      }
+      if (I < R)
+        storeTileRow(B, AccReg, Out, I, C);
+    }
+  }
+
+  void emitTranspose(Builder &B, TileRef A, TileRef Out, unsigned R,
+                     unsigned C, bool Specialized) override {
+    if (R == 1 || C == 1) { // Degenerate vector transpose: one register.
+      unsigned Lanes = (Specialized && R <= 2 && C <= 2) ? 2 : NuNEON;
+      if (R == 1) {
+        RegId V = loadTileRow(B, A, 0, C, Lanes);
+        storeTileCol(B, V, Out, 0, C);
+      } else {
+        RegId V = loadTileCol(B, A, 0, R, Lanes);
+        storeTileRow(B, V, Out, 0, R);
+      }
+      return;
+    }
+    if (Specialized && R <= 2 && C <= 2) {
+      // Doubleword transpose: two vtrn-style shuffles.
+      std::vector<RegId> Rows = loadTileRows(B, A, R, C, 2);
+      if (R == 1 || C == 1) {
+        // Degenerate: a row becomes a column or vice versa.
+        for (unsigned I = 0; I != R; ++I)
+          storeTileCol(B, Rows[I], Out, I, C);
+        return;
+      }
+      RegId C0 = B.shuffle(Rows[0], Rows[1], {0, 2}); // vtrn low lanes
+      RegId C1 = B.shuffle(Rows[0], Rows[1], {1, 3}); // vtrn high lanes
+      storeTileRow(B, C0, Out, 0, R);
+      storeTileRow(B, C1, Out, 1, R);
+      return;
+    }
+    std::vector<RegId> Rows(NuNEON);
+    for (unsigned I = 0; I != NuNEON; ++I)
+      Rows[I] = I < R ? loadTileRow(B, A, I, C, NuNEON) : B.zero(NuNEON);
+    // vtrn + vswp sequence, expressed as two shuffle levels.
+    RegId T0 = B.shuffle(Rows[0], Rows[1], {0, 4, 2, 6});
+    RegId T1 = B.shuffle(Rows[0], Rows[1], {1, 5, 3, 7});
+    RegId T2 = B.shuffle(Rows[2], Rows[3], {0, 4, 2, 6});
+    RegId T3 = B.shuffle(Rows[2], Rows[3], {1, 5, 3, 7});
+    RegId C0 = B.shuffle(T0, T2, {0, 1, 4, 5});
+    RegId C1 = B.shuffle(T1, T3, {0, 1, 4, 5});
+    RegId C2 = B.shuffle(T0, T2, {2, 3, 6, 7});
+    RegId C3 = B.shuffle(T1, T3, {2, 3, 6, 7});
+    RegId Cols[4] = {C0, C1, C2, C3};
+    for (unsigned J = 0; J != C; ++J)
+      storeTileRow(B, Cols[J], Out, J, R);
+  }
+
+  void emitMVH(Builder &B, TileRef A, TileRef X, TileRef Out, unsigned R,
+               unsigned C, bool Acc, bool Specialized) override {
+    unsigned Lanes = laneWidth(C, Specialized);
+    RegId XV = loadVec(B, X, C, Lanes);
+    std::vector<RegId> ARows = loadTileRows(B, A, R, C, Lanes);
+    for (unsigned I = 0; I != R; ++I) {
+      RegId V;
+      if (Acc) // vmla: fused multiply-accumulate into the output row.
+        V = B.fma(ARows[I], XV, loadTileRow(B, Out, I, C, Lanes));
+      else
+        V = B.mul(ARows[I], XV);
+      storeTileRow(B, V, Out, I, C);
+    }
+  }
+
+  void emitRR(Builder &B, TileRef A, TileRef Out, unsigned R, unsigned C,
+              bool Acc, bool Specialized) override {
+    RegId AccVec = Acc ? loadAcc(B, Out, R) : NoReg;
+    if (Specialized && (R < NuNEON || C < NuNEON)) {
+      unsigned Lanes = laneWidth(C, Specialized);
+      std::vector<RegId> Rows = loadTileRows(B, A, R, C, Lanes);
+      reduceRowsAndStore(B, Rows, AccVec, Out, R);
+      return;
+    }
+    std::vector<RegId> Rows(NuNEON);
+    for (unsigned I = 0; I != NuNEON; ++I)
+      Rows[I] = I < R ? loadTileRow(B, A, I, C, NuNEON) : B.zero(NuNEON);
+    reduceRowsAndStore(B, Rows, AccVec, Out, R);
+  }
+
+  void emitMVM(Builder &B, TileRef A, TileRef X, TileRef Y, unsigned R,
+               unsigned C, bool Acc, bool Specialized) override {
+    if (Specialized && (R < NuNEON || C < NuNEON)) {
+      unsigned Lanes = laneWidth(C, Specialized);
+      RegId XV = loadVec(B, X, C, Lanes);
+      std::vector<RegId> Prods;
+      for (unsigned I = 0; I != R; ++I)
+        Prods.push_back(B.mul(loadTileRow(B, A, I, C, Lanes), XV));
+      reduceRowsAndStore(B, Prods, Acc ? loadAcc(B, Y, R) : NoReg, Y, R);
+      return;
+    }
+    RegId XV = loadVec(B, X, C, NuNEON);
+    std::vector<RegId> Prods(NuNEON);
+    for (unsigned I = 0; I != NuNEON; ++I) {
+      RegId Row = I < R ? loadTileRow(B, A, I, C, NuNEON) : B.zero(NuNEON);
+      Prods[I] = B.mul(Row, XV);
+    }
+    reduceRowsAndStore(B, Prods, Acc ? loadAcc(B, Y, R) : NoReg, Y, R);
+  }
+
+private:
+  /// Doubleword registers when the specialized codelets can use them.
+  static unsigned laneWidth(unsigned C, bool Specialized) {
+    return (Specialized && C <= 2) ? 2 : NuNEON;
+  }
+
+  static RegId loadAcc(Builder &B, TileRef Y, unsigned R) {
+    return loadVec(B, Y, R, R <= 2 ? 2 : NuNEON);
+  }
+
+  /// Specialized leftover matrix multiplication (Listing 3.10): loads only
+  /// real data, emits only the K real products, and uses doubleword
+  /// instructions when the output rows fit in 2 lanes.
+  void emitMatMulSpecialized(Builder &B, TileRef A, TileRef Rhs, TileRef Out,
+                             unsigned R, unsigned K, unsigned C, bool Acc) {
+    unsigned OutLanes = C <= 2 ? 2 : NuNEON;
+    unsigned ALanes = K <= 2 ? 2 : NuNEON;
+    std::vector<RegId> BRows;
+    for (unsigned J = 0; J != K; ++J)
+      BRows.push_back(loadTileRow(B, Rhs, J, C, OutLanes));
+    for (unsigned I = 0; I != R; ++I) {
+      RegId ARow = loadTileRow(B, A, I, K, ALanes);
+      RegId AccReg = Acc ? loadTileRow(B, Out, I, C, OutLanes) : NoReg;
+      for (unsigned J = 0; J != K; ++J) {
+        if (AccReg == NoReg)
+          AccReg = B.mulLane(BRows[J], ARow, J);
+        else
+          AccReg = B.fmaLane(BRows[J], ARow, J, AccReg);
+      }
+      storeTileRow(B, AccReg, Out, I, C);
+    }
+  }
+
+  /// Sums each row register into one lane and stores the first R sums into
+  /// the R×1 tile \p Out, optionally adding \p AccVec first. Uses the
+  /// doubleword pairwise-add (vpadd) reduction.
+  void reduceRowsAndStore(Builder &B, const std::vector<RegId> &Rows,
+                          RegId AccVec, TileRef Out, unsigned R) {
+    // Per-row halves summed into 2-lane registers.
+    std::vector<RegId> Halves;
+    for (RegId Row : Rows) {
+      if (B.kernel().lanesOf(Row) == 2)
+        Halves.push_back(Row);
+      else
+        Halves.push_back(B.add(B.getLow(Row), B.getHigh(Row)));
+    }
+    // vpadd pairs: one 2-lane register holds two row sums.
+    std::vector<RegId> Pairs;
+    for (unsigned I = 0; I < Halves.size(); I += 2) {
+      RegId Second = I + 1 < Halves.size() ? Halves[I + 1] : Halves[I];
+      Pairs.push_back(B.hadd(Halves[I], Second));
+    }
+    RegId Sums;
+    if (Pairs.size() == 1)
+      Sums = Pairs[0];
+    else
+      Sums = B.combine(Pairs[0], Pairs[1]);
+    if (AccVec != NoReg) {
+      // Widen or match the accumulator width.
+      unsigned SL = B.kernel().lanesOf(Sums);
+      unsigned AL = B.kernel().lanesOf(AccVec);
+      if (SL == AL)
+        Sums = B.add(Sums, AccVec);
+      else if (SL == 4 && AL == 2)
+        Sums = B.add(Sums, B.combine(AccVec, B.zero(2)));
+      else
+        Sums = B.add(B.combine(Sums, B.zero(2)), AccVec);
+    }
+    storeVec(B, Sums, Out, R);
+  }
+};
+
+} // namespace
+
+namespace lgen {
+namespace isa {
+std::unique_ptr<NuBLACs> makeNEONNuBLACs() {
+  return std::make_unique<NEONNuBLACs>();
+}
+} // namespace isa
+} // namespace lgen

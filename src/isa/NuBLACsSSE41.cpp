@@ -1,0 +1,108 @@
+//===- NuBLACsSSE41.cpp - SSE4.1 ν-BLACs (dpps variants) -------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SSE4.1 ν-BLAC library of the original CGO'14 LGen (which supports
+/// "SSE3, SSE4.1 or AVX"). It shares the SSSE3 codelets for everything
+/// except the reduction-flavored operations, where the dpps dot-product
+/// instruction replaces the horizontal-add trees: one dpps yields a whole
+/// row·vector product, traded against its long latency — whether that wins
+/// depends on the microarchitecture, which is exactly the kind of choice
+/// LGen's autotuner is meant to settle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "isa/NuBLACs.h"
+
+using namespace lgen;
+using namespace lgen::isa;
+using namespace lgen::cir;
+
+namespace lgen {
+namespace isa {
+std::unique_ptr<NuBLACs> makeSSSE3NuBLACs();
+} // namespace isa
+} // namespace lgen
+
+namespace {
+
+constexpr unsigned NuSSE = 4;
+
+/// Delegates everything to the SSSE3 library except the dpps-based
+/// reductions.
+class SSE41NuBLACs : public NuBLACs {
+public:
+  SSE41NuBLACs()
+      : NuBLACs(isa::traits(ISAKind::SSE41)), Base(makeSSSE3NuBLACs()) {}
+
+  void emitAdd(Builder &B, TileRef A, TileRef Rhs, TileRef Out, unsigned R,
+               unsigned C, bool Spec) override {
+    Base->emitAdd(B, A, Rhs, Out, R, C, Spec);
+  }
+  void emitScalarMul(Builder &B, TileRef Alpha, TileRef A, TileRef Out,
+                     unsigned R, unsigned C, bool Spec) override {
+    Base->emitScalarMul(B, Alpha, A, Out, R, C, Spec);
+  }
+  void emitMatMul(Builder &B, TileRef A, TileRef Rhs, TileRef Out,
+                  unsigned R, unsigned K, unsigned C, bool Acc,
+                  bool Spec) override {
+    Base->emitMatMul(B, A, Rhs, Out, R, K, C, Acc, Spec);
+  }
+  void emitTranspose(Builder &B, TileRef A, TileRef Out, unsigned R,
+                     unsigned C, bool Spec) override {
+    Base->emitTranspose(B, A, Out, R, C, Spec);
+  }
+  void emitMVH(Builder &B, TileRef A, TileRef X, TileRef Out, unsigned R,
+               unsigned C, bool Acc, bool Spec) override {
+    Base->emitMVH(B, A, X, Out, R, C, Acc, Spec);
+  }
+
+  void emitRR(Builder &B, TileRef A, TileRef Out, unsigned R, unsigned C,
+              bool Acc, bool) override {
+    // Row sums as dot products with a vector of ones.
+    RegId Ones = B.fconst(NuSSE, 1.0);
+    RegId Sums = rowReduce(B, A, R, C, Ones);
+    if (Acc)
+      Sums = B.add(Sums, loadVec(B, Out, R, NuSSE));
+    storeVec(B, Sums, Out, R);
+  }
+
+  void emitMVM(Builder &B, TileRef A, TileRef X, TileRef Y, unsigned R,
+               unsigned C, bool Acc, bool) override {
+    // y[i] = dpps(row_i, x): one instruction per row, no hadd tree.
+    RegId XV = loadVec(B, X, C, NuSSE);
+    RegId Sums = rowReduce(B, A, R, C, XV);
+    if (Acc)
+      Sums = B.add(Sums, loadVec(B, Y, R, NuSSE));
+    storeVec(B, Sums, Y, R);
+  }
+
+private:
+  /// Returns a register whose lane i holds dot(row_i(A), V) for i < R,
+  /// assembled from per-row dpps results by insertion.
+  RegId rowReduce(Builder &B, TileRef A, unsigned R, unsigned C, RegId V) {
+    RegId Acc = B.zero(NuSSE);
+    for (unsigned I = 0; I != R; ++I) {
+      RegId Row = loadTileRow(B, A, I, C, NuSSE);
+      RegId Dot = B.dotps(Row, V);
+      // insertps moves the dot (lane 0) into lane I.
+      Acc = I == 0 ? Dot : B.insert(Acc, B.extract(Dot, 0), I);
+    }
+    return Acc;
+  }
+
+  std::unique_ptr<NuBLACs> Base;
+};
+
+} // namespace
+
+namespace lgen {
+namespace isa {
+std::unique_ptr<NuBLACs> makeSSE41NuBLACs() {
+  return std::make_unique<SSE41NuBLACs>();
+}
+} // namespace isa
+} // namespace lgen

@@ -1,0 +1,178 @@
+//===- NuBLACsSSSE3.cpp - SSSE3 ν-BLACs for Intel Atom ---------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SSSE3 ν-BLACs (ν = 4) used for Intel Atom, following the C-IR
+/// listings of the thesis: Listing 3.4 (Ax with multiplies and a horizontal
+/// add tree), Listing 3.5 (x+y), Listing 3.6 (the MVH codelet A ⊙ x),
+/// Listing 3.7 (the row reduction ⊕A), Listing 3.8 (A+B), and the
+/// broadcast-based matrix-multiplication codelet of §5.2.2. Leftover tiles
+/// are padded to ν in registers by the Loader (zero-filled generic loads);
+/// SSSE3 has no specialized leftover codelets, so the \c Specialized flag
+/// is ignored.
+///
+//===----------------------------------------------------------------------===//
+
+#include "isa/NuBLACs.h"
+
+using namespace lgen;
+using namespace lgen::isa;
+using namespace lgen::cir;
+
+namespace {
+
+constexpr unsigned NuSSE = 4;
+
+class SSSE3NuBLACs : public NuBLACs {
+public:
+  SSSE3NuBLACs() : NuBLACs(isa::traits(ISAKind::SSSE3)) {}
+
+  void emitAdd(Builder &B, TileRef A, TileRef Rhs, TileRef Out, unsigned R,
+               unsigned C, bool) override {
+    // ν×1 tiles (the column-vector addition ν-BLAC of Table 2.1).
+    if (C == 1 && R > 1) {
+      RegId VA = loadTileCol(B, A, 0, R, NuSSE);
+      RegId VB = loadTileCol(B, Rhs, 0, R, NuSSE);
+      storeTileCol(B, B.add(VA, VB), Out, 0, R);
+      return;
+    }
+    // Listing 3.8 (blac_nu4_madd).
+    std::vector<RegId> ARows = loadTileRows(B, A, R, C, NuSSE);
+    std::vector<RegId> BRows = loadTileRows(B, Rhs, R, C, NuSSE);
+    for (unsigned I = 0; I != R; ++I)
+      storeTileRow(B, B.add(ARows[I], BRows[I]), Out, I, C);
+  }
+
+  void emitScalarMul(Builder &B, TileRef Alpha, TileRef A, TileRef Out,
+                     unsigned R, unsigned C, bool) override {
+    RegId S = B.loadBroadcast(NuSSE, Alpha.at(0, 0)); // _mm_load1_ps.
+    if (C == 1 && R > 1) { // Column-vector scaling ν-BLAC.
+      RegId VA = loadTileCol(B, A, 0, R, NuSSE);
+      storeTileCol(B, B.mul(S, VA), Out, 0, R);
+      return;
+    }
+    std::vector<RegId> ARows = loadTileRows(B, A, R, C, NuSSE);
+    for (unsigned I = 0; I != R; ++I)
+      storeTileRow(B, B.mul(S, ARows[I]), Out, I, C);
+  }
+
+  void emitMatMul(Builder &B, TileRef A, TileRef Rhs, TileRef Out, unsigned R,
+                  unsigned K, unsigned C, bool Acc, bool) override {
+    // §5.2.2: row i of the result accumulates A[i][j] (broadcast with
+    // _mm_load1_ps) times row j of the right operand. The traditional
+    // leftover handling pads every tile to ν, so the codelet always runs
+    // the full ν×ν×ν computation; operations on padding become dead or
+    // zero-valued and only partially disappear downstream (§3.4).
+    std::vector<RegId> BRows(NuSSE);
+    for (unsigned J = 0; J != NuSSE; ++J)
+      BRows[J] = J < K ? loadTileRow(B, Rhs, J, C, NuSSE) : B.zero(NuSSE);
+    for (unsigned I = 0; I != NuSSE; ++I) {
+      RegId AccReg = NoReg;
+      if (Acc && I < R)
+        AccReg = loadTileRow(B, Out, I, C, NuSSE);
+      for (unsigned J = 0; J != NuSSE; ++J) {
+        RegId AElem = (I < R && J < K)
+                          ? B.loadBroadcast(NuSSE, A.at(I, J))
+                          : B.zero(NuSSE);
+        RegId Prod = B.mul(AElem, BRows[J]);
+        AccReg = AccReg == NoReg ? Prod : B.add(AccReg, Prod);
+      }
+      if (I < R)
+        storeTileRow(B, AccReg, Out, I, C);
+    }
+  }
+
+  void emitTranspose(Builder &B, TileRef A, TileRef Out, unsigned R,
+                     unsigned C, bool) override {
+    // Degenerate vector transposes move one tile register.
+    if (R == 1 || C == 1) {
+      if (R == 1) { // Row tile becomes a column tile.
+        RegId V = loadTileRow(B, A, 0, C, NuSSE);
+        storeTileCol(B, V, Out, 0, C);
+      } else {
+        RegId V = loadTileCol(B, A, 0, R, NuSSE);
+        storeTileRow(B, V, Out, 0, R);
+      }
+      return;
+    }
+    // The classic 8-shuffle 4×4 transpose (_MM_TRANSPOSE4_PS).
+    std::vector<RegId> Rows(NuSSE);
+    for (unsigned I = 0; I != NuSSE; ++I)
+      Rows[I] = I < R ? loadTileRow(B, A, I, C, NuSSE) : B.zero(NuSSE);
+    RegId T0 = B.shuffle(Rows[0], Rows[1], {0, 4, 1, 5}); // unpacklo
+    RegId T1 = B.shuffle(Rows[0], Rows[1], {2, 6, 3, 7}); // unpackhi
+    RegId T2 = B.shuffle(Rows[2], Rows[3], {0, 4, 1, 5});
+    RegId T3 = B.shuffle(Rows[2], Rows[3], {2, 6, 3, 7});
+    RegId C0 = B.shuffle(T0, T2, {0, 1, 4, 5}); // movelh
+    RegId C1 = B.shuffle(T0, T2, {2, 3, 6, 7}); // movehl
+    RegId C2 = B.shuffle(T1, T3, {0, 1, 4, 5});
+    RegId C3 = B.shuffle(T1, T3, {2, 3, 6, 7});
+    RegId Cols[4] = {C0, C1, C2, C3};
+    for (unsigned J = 0; J != C; ++J)
+      storeTileRow(B, Cols[J], Out, J, R);
+  }
+
+  void emitMVH(Builder &B, TileRef A, TileRef X, TileRef Out, unsigned R,
+               unsigned C, bool Acc, bool) override {
+    // Listing 3.6 (blac_nu4_pmul), plus the accumulating form used by the
+    // inner summation of equation (3.8).
+    RegId XV = loadVec(B, X, C, NuSSE);
+    std::vector<RegId> ARows = loadTileRows(B, A, R, C, NuSSE);
+    for (unsigned I = 0; I != R; ++I) {
+      RegId Prod = B.mul(ARows[I], XV);
+      if (Acc)
+        Prod = B.add(Prod, loadTileRow(B, Out, I, C, NuSSE));
+      storeTileRow(B, Prod, Out, I, C);
+    }
+  }
+
+  void emitRR(Builder &B, TileRef A, TileRef Out, unsigned R, unsigned C,
+              bool Acc, bool) override {
+    // Listing 3.7 (blac_nu4_hred): a horizontal add tree.
+    std::vector<RegId> Rows(NuSSE);
+    for (unsigned I = 0; I != NuSSE; ++I)
+      Rows[I] = I < R ? loadTileRow(B, A, I, C, NuSSE) : B.zero(NuSSE);
+    RegId Sums = haddTree(B, Rows);
+    if (Acc)
+      Sums = B.add(Sums, loadVec(B, Out, R, NuSSE));
+    storeVec(B, Sums, Out, R);
+  }
+
+  void emitMVM(Builder &B, TileRef A, TileRef X, TileRef Y, unsigned R,
+               unsigned C, bool Acc, bool) override {
+    // Listing 3.4 (blac_nu4_mvm): per-row multiply, then the expensive
+    // horizontal add tree — the inefficiency the new MVH+RR approach of
+    // §3.3 removes from the inner loop.
+    RegId XV = loadVec(B, X, C, NuSSE);
+    std::vector<RegId> Prods(NuSSE);
+    for (unsigned I = 0; I != NuSSE; ++I) {
+      RegId Row = I < R ? loadTileRow(B, A, I, C, NuSSE) : B.zero(NuSSE);
+      Prods[I] = B.mul(Row, XV);
+    }
+    RegId Sums = haddTree(B, Prods);
+    if (Acc)
+      Sums = B.add(Sums, loadVec(B, Y, R, NuSSE));
+    storeVec(B, Sums, Y, R);
+  }
+
+private:
+  /// hadd(hadd(a,b), hadd(c,d)) == [Σa, Σb, Σc, Σd].
+  static RegId haddTree(Builder &B, const std::vector<RegId> &Rows) {
+    RegId H0 = B.hadd(Rows[0], Rows[1]);
+    RegId H1 = B.hadd(Rows[2], Rows[3]);
+    return B.hadd(H0, H1);
+  }
+};
+
+} // namespace
+
+namespace lgen {
+namespace isa {
+std::unique_ptr<NuBLACs> makeSSSE3NuBLACs() {
+  return std::make_unique<SSSE3NuBLACs>();
+}
+} // namespace isa
+} // namespace lgen

@@ -1,0 +1,139 @@
+//===- NuBLACsScalar.cpp - Scalar "ν-BLACs" for ARM1176 --------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Codelets for processors without a SIMD extension (ARM1176, §2.2.4 and
+/// §5.5). The tile operations are emitted as fully unrolled scalar code;
+/// the tile sizes chosen by the tiling layer then directly control the
+/// unrolling factors, and the quality of the result depends on scheduling
+/// and register allocation — exactly the situation the thesis describes
+/// for this processor.
+///
+//===----------------------------------------------------------------------===//
+
+#include "isa/NuBLACs.h"
+
+using namespace lgen;
+using namespace lgen::isa;
+using namespace lgen::cir;
+
+namespace {
+
+class ScalarNuBLACs : public NuBLACs {
+public:
+  ScalarNuBLACs() : NuBLACs(isa::traits(ISAKind::Scalar)) {}
+
+  void emitAdd(Builder &B, TileRef A, TileRef Rhs, TileRef Out, unsigned R,
+               unsigned C, bool) override {
+    for (unsigned I = 0; I != R; ++I)
+      for (unsigned J = 0; J != C; ++J) {
+        RegId X = loadElem(B, A, I, J);
+        RegId Y = loadElem(B, Rhs, I, J);
+        storeElem(B, B.add(X, Y), Out, I, J);
+      }
+  }
+
+  void emitScalarMul(Builder &B, TileRef Alpha, TileRef A, TileRef Out,
+                     unsigned R, unsigned C, bool) override {
+    RegId S = loadElem(B, Alpha, 0, 0);
+    for (unsigned I = 0; I != R; ++I)
+      for (unsigned J = 0; J != C; ++J)
+        storeElem(B, B.mul(S, loadElem(B, A, I, J)), Out, I, J);
+  }
+
+  void emitMatMul(Builder &B, TileRef A, TileRef Rhs, TileRef Out, unsigned R,
+                  unsigned K, unsigned C, bool Acc, bool) override {
+    // Row-of-A reuse: load each A element once per row sweep.
+    for (unsigned I = 0; I != R; ++I) {
+      std::vector<RegId> ARow;
+      for (unsigned P = 0; P != K; ++P)
+        ARow.push_back(loadElem(B, A, I, P));
+      for (unsigned J = 0; J != C; ++J) {
+        RegId AccReg = Acc ? loadElem(B, Out, I, J) : NoReg;
+        for (unsigned P = 0; P != K; ++P) {
+          RegId BElem = loadElem(B, Rhs, P, J);
+          if (AccReg == NoReg)
+            AccReg = B.mul(ARow[P], BElem);
+          else if (Traits.HasFMA)
+            AccReg = B.fma(ARow[P], BElem, AccReg);
+          else
+            AccReg = B.add(AccReg, B.mul(ARow[P], BElem));
+        }
+        storeElem(B, AccReg, Out, I, J);
+      }
+    }
+  }
+
+  void emitTranspose(Builder &B, TileRef A, TileRef Out, unsigned R,
+                     unsigned C, bool) override {
+    for (unsigned I = 0; I != R; ++I)
+      for (unsigned J = 0; J != C; ++J)
+        storeElem(B, loadElem(B, A, I, J), Out, J, I);
+  }
+
+  void emitMVH(Builder &B, TileRef A, TileRef X, TileRef Out, unsigned R,
+               unsigned C, bool Acc, bool) override {
+    std::vector<RegId> XElems;
+    for (unsigned J = 0; J != C; ++J)
+      XElems.push_back(loadElem(B, X, J, 0));
+    for (unsigned I = 0; I != R; ++I)
+      for (unsigned J = 0; J != C; ++J) {
+        RegId Prod = B.mul(loadElem(B, A, I, J), XElems[J]);
+        if (Acc)
+          Prod = B.add(Prod, loadElem(B, Out, I, J));
+        storeElem(B, Prod, Out, I, J);
+      }
+  }
+
+  void emitRR(Builder &B, TileRef A, TileRef Out, unsigned R, unsigned C,
+              bool Acc, bool) override {
+    for (unsigned I = 0; I != R; ++I) {
+      RegId Sum = Acc ? loadElem(B, Out, I, 0) : loadElem(B, A, I, 0);
+      for (unsigned J = Acc ? 0u : 1u; J != C; ++J)
+        Sum = B.add(Sum, loadElem(B, A, I, J));
+      storeElem(B, Sum, Out, I, 0);
+    }
+  }
+
+  void emitMVM(Builder &B, TileRef A, TileRef X, TileRef Y, unsigned R,
+               unsigned C, bool Acc, bool) override {
+    std::vector<RegId> XElems;
+    for (unsigned J = 0; J != C; ++J)
+      XElems.push_back(loadElem(B, X, J, 0));
+    for (unsigned I = 0; I != R; ++I) {
+      RegId AccReg = Acc ? loadElem(B, Y, I, 0) : NoReg;
+      for (unsigned J = 0; J != C; ++J) {
+        RegId AElem = loadElem(B, A, I, J);
+        if (AccReg == NoReg)
+          AccReg = B.mul(AElem, XElems[J]);
+        else if (Traits.HasFMA)
+          AccReg = B.fma(AElem, XElems[J], AccReg);
+        else
+          AccReg = B.add(AccReg, B.mul(AElem, XElems[J]));
+      }
+      storeElem(B, AccReg, Y, I, 0);
+    }
+  }
+
+private:
+  static RegId loadElem(Builder &B, TileRef T, unsigned Row, unsigned Col) {
+    return B.gload(1, T.at(Row, Col), MemMap::contiguous(1));
+  }
+  static void storeElem(Builder &B, RegId V, TileRef T, unsigned Row,
+                        unsigned Col) {
+    B.gstore(V, T.at(Row, Col), MemMap::contiguous(1));
+  }
+};
+
+} // namespace
+
+namespace lgen {
+namespace isa {
+std::unique_ptr<NuBLACs> makeScalarNuBLACs() {
+  return std::make_unique<ScalarNuBLACs>();
+}
+} // namespace isa
+} // namespace lgen

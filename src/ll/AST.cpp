@@ -1,0 +1,289 @@
+//===- AST.cpp - The LL linear algebra language ----------------*- C++ -*-===//
+
+#include "ll/AST.h"
+
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::ll;
+
+const char *ll::exprKindName(ExprKind K) {
+  switch (K) {
+  case ExprKind::Ref:
+    return "ref";
+  case ExprKind::Add:
+    return "add";
+  case ExprKind::Mul:
+    return "mul";
+  case ExprKind::SMul:
+    return "smul";
+  case ExprKind::Trans:
+    return "trans";
+  case ExprKind::MVH:
+    return "mvh";
+  case ExprKind::RR:
+    return "rr";
+  }
+  LGEN_UNREACHABLE("unknown expression kind");
+}
+
+ExprPtr Expr::ref(std::string Name) {
+  ExprPtr E(new Expr(ExprKind::Ref));
+  E->RefName = std::move(Name);
+  return E;
+}
+
+ExprPtr Expr::add(ExprPtr L, ExprPtr R) {
+  ExprPtr E(new Expr(ExprKind::Add));
+  E->Children.push_back(std::move(L));
+  E->Children.push_back(std::move(R));
+  return E;
+}
+
+ExprPtr Expr::mul(ExprPtr L, ExprPtr R) {
+  ExprPtr E(new Expr(ExprKind::Mul));
+  E->Children.push_back(std::move(L));
+  E->Children.push_back(std::move(R));
+  return E;
+}
+
+ExprPtr Expr::smul(ExprPtr Scalar, ExprPtr M) {
+  ExprPtr E(new Expr(ExprKind::SMul));
+  E->Children.push_back(std::move(Scalar));
+  E->Children.push_back(std::move(M));
+  return E;
+}
+
+ExprPtr Expr::trans(ExprPtr A) {
+  ExprPtr E(new Expr(ExprKind::Trans));
+  E->Children.push_back(std::move(A));
+  return E;
+}
+
+ExprPtr Expr::mvh(ExprPtr A, ExprPtr X) {
+  ExprPtr E(new Expr(ExprKind::MVH));
+  E->Children.push_back(std::move(A));
+  E->Children.push_back(std::move(X));
+  return E;
+}
+
+ExprPtr Expr::rr(ExprPtr A) {
+  ExprPtr E(new Expr(ExprKind::RR));
+  E->Children.push_back(std::move(A));
+  return E;
+}
+
+ExprPtr Expr::swapChild(unsigned I, ExprPtr New) {
+  assert(I < Children.size() && "child index out of range");
+  ExprPtr Old = std::move(Children[I]);
+  Children[I] = std::move(New);
+  return Old;
+}
+
+ExprPtr Expr::clone() const {
+  ExprPtr E(new Expr(Kind));
+  E->RefName = RefName;
+  E->Rows = Rows;
+  E->Cols = Cols;
+  for (const ExprPtr &Child : Children)
+    E->Children.push_back(Child->clone());
+  return E;
+}
+
+std::string Expr::str() const {
+  switch (Kind) {
+  case ExprKind::Ref:
+    return RefName;
+  case ExprKind::Add:
+    return "(" + child(0).str() + " + " + child(1).str() + ")";
+  case ExprKind::Mul:
+    return "(" + child(0).str() + " * " + child(1).str() + ")";
+  case ExprKind::SMul:
+    return "(" + child(0).str() + " * " + child(1).str() + ")";
+  case ExprKind::Trans:
+    return child(0).str() + "'";
+  case ExprKind::MVH:
+    return "(" + child(0).str() + " (.) " + child(1).str() + ")";
+  case ExprKind::RR:
+    return "(+)" + child(0).str();
+  }
+  LGEN_UNREACHABLE("unknown expression kind");
+}
+
+const Operand *Program::findOperand(const std::string &Name) const {
+  for (const Operand &O : Operands)
+    if (O.Name == Name)
+      return &O;
+  return nullptr;
+}
+
+const Operand &Program::outputOperand() const {
+  const Operand *O = findOperand(OutputName);
+  assert(O && "output operand not declared");
+  return *O;
+}
+
+namespace {
+
+bool mentionsName(const Expr &E, const std::string &Name) {
+  if (E.getKind() == ExprKind::Ref)
+    return E.getRefName() == Name;
+  for (unsigned I = 0; I != E.numChildren(); ++I)
+    if (mentionsName(E.child(I), Name))
+      return true;
+  return false;
+}
+
+} // namespace
+
+bool Program::outputIsInput() const {
+  return Rhs && mentionsName(*Rhs, OutputName);
+}
+
+Program Program::clone() const {
+  Program P;
+  P.Operands = Operands;
+  P.OutputName = OutputName;
+  P.Rhs = Rhs ? Rhs->clone() : nullptr;
+  return P;
+}
+
+std::string Program::str() const {
+  std::ostringstream OS;
+  for (const Operand &O : Operands) {
+    switch (O.Kind) {
+    case OperandKind::Matrix:
+      OS << "Matrix " << O.Name << "(" << O.Rows << ", " << O.Cols << "); ";
+      break;
+    case OperandKind::Vector:
+      OS << "Vector " << O.Name << "(" << O.Rows << "); ";
+      break;
+    case OperandKind::Scalar:
+      OS << "Scalar " << O.Name << "; ";
+      break;
+    }
+  }
+  OS << OutputName << " = " << (Rhs ? Rhs->str() : "<null>");
+  return OS.str();
+}
+
+namespace {
+
+bool inferExpr(const Program &P, Expr &E, std::string &Err) {
+  if (E.getKind() == ExprKind::Ref) {
+    const Operand *O = P.findOperand(E.getRefName());
+    if (!O) {
+      Err = "unknown operand '" + E.getRefName() + "'";
+      return false;
+    }
+    E.setDims(O->Rows, O->Cols);
+    return true;
+  }
+  for (unsigned I = 0; I != E.numChildren(); ++I)
+    if (!inferExpr(P, E.child(I), Err))
+      return false;
+
+  const Expr *L = E.numChildren() > 0 ? &E.child(0) : nullptr;
+  const Expr *R = E.numChildren() > 1 ? &E.child(1) : nullptr;
+  switch (E.getKind()) {
+  case ExprKind::Ref:
+    LGEN_UNREACHABLE("handled above");
+  case ExprKind::Add:
+    if (L->rows() != R->rows() || L->cols() != R->cols()) {
+      Err = "operand size mismatch in addition: " + L->str() + " is " +
+            std::to_string(L->rows()) + "x" + std::to_string(L->cols()) +
+            ", " + R->str() + " is " + std::to_string(R->rows()) + "x" +
+            std::to_string(R->cols());
+      return false;
+    }
+    E.setDims(L->rows(), L->cols());
+    return true;
+  case ExprKind::Mul:
+    // Scalar factors classify the node as a scalar multiplication.
+    if (L->isScalarShaped() || R->isScalarShaped()) {
+      Err = "scalar factor in Mul node; parser should have built SMul";
+      return false;
+    }
+    if (L->cols() != R->rows()) {
+      Err = "operand size mismatch in product " + E.str();
+      return false;
+    }
+    E.setDims(L->rows(), R->cols());
+    return true;
+  case ExprKind::SMul:
+    if (!L->isScalarShaped()) {
+      Err = "left operand of scalar multiplication is not scalar";
+      return false;
+    }
+    E.setDims(R->rows(), R->cols());
+    return true;
+  case ExprKind::Trans:
+    E.setDims(L->cols(), L->rows());
+    return true;
+  case ExprKind::MVH:
+    if (R->cols() != 1 || R->rows() != L->cols()) {
+      Err = "MVH operand mismatch in " + E.str();
+      return false;
+    }
+    E.setDims(L->rows(), L->cols());
+    return true;
+  case ExprKind::RR:
+    E.setDims(L->rows(), 1);
+    return true;
+  }
+  LGEN_UNREACHABLE("unknown expression kind");
+}
+
+} // namespace
+
+bool ll::inferDims(Program &P, std::string &Err) {
+  if (!P.Rhs) {
+    Err = "program has no right-hand side";
+    return false;
+  }
+  const Operand *Out = P.findOperand(P.OutputName);
+  if (!Out) {
+    Err = "undeclared output operand '" + P.OutputName + "'";
+    return false;
+  }
+  if (!inferExpr(P, *P.Rhs, Err))
+    return false;
+  if (P.Rhs->rows() != Out->Rows || P.Rhs->cols() != Out->Cols) {
+    Err = "right-hand side is " + std::to_string(P.Rhs->rows()) + "x" +
+          std::to_string(P.Rhs->cols()) + " but output '" + P.OutputName +
+          "' is " + std::to_string(Out->Rows) + "x" +
+          std::to_string(Out->Cols);
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+double flopsOf(const Expr &E) {
+  double F = 0;
+  for (unsigned I = 0; I != E.numChildren(); ++I)
+    F += flopsOf(E.child(I));
+  switch (E.getKind()) {
+  case ExprKind::Ref:
+  case ExprKind::Trans:
+    return F;
+  case ExprKind::Add:
+  case ExprKind::SMul:
+  case ExprKind::MVH:
+    return F + static_cast<double>(E.rows()) * E.cols();
+  case ExprKind::Mul:
+    return F + 2.0 * E.rows() * E.cols() * E.child(0).cols();
+  case ExprKind::RR:
+    return F + static_cast<double>(E.rows()) *
+                   std::max<int64_t>(0, E.child(0).cols() - 1);
+  }
+  LGEN_UNREACHABLE("unknown expression kind");
+}
+
+} // namespace
+
+double ll::flopCount(const Program &P) {
+  assert(P.Rhs && "flop count of an empty program");
+  return flopsOf(*P.Rhs);
+}

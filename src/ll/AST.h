@@ -1,0 +1,148 @@
+//===- AST.h - The LL linear algebra language ------------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LL (thesis §2.1.2) is the input language of LGen: expressions over
+/// fixed-size matrices, vectors, and scalars built from matrix addition,
+/// matrix multiplication, transposition, and scalar multiplication, e.g.
+/// `y = alpha*A*x + beta*y`. Internally every entity is a matrix — vectors
+/// are n×1 (or 1×n when transposed) and scalars are 1×1.
+///
+/// Two additional operators exist at this level for the new matrix-vector
+/// multiplication approach of §3.3: the matrix-vector Hadamard product MVH
+/// (C = A ⊙ x, C[i][j] = A[i][j]·x[j]) and the row reduction RR
+/// (x = ⊕A, x[i] = Σ_j A[i][j]). They are introduced by a rewrite inside
+/// the compiler, never written by the user.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_LL_AST_H
+#define LGEN_LL_AST_H
+
+#include "support/Support.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lgen {
+namespace ll {
+
+/// Kind of a declared operand, as written by the user.
+enum class OperandKind {
+  Matrix,
+  Vector, ///< Column vector (n×1).
+  Scalar, ///< 1×1.
+};
+
+struct Operand {
+  std::string Name;
+  OperandKind Kind = OperandKind::Matrix;
+  int64_t Rows = 1;
+  int64_t Cols = 1;
+
+  bool isScalar() const { return Rows == 1 && Cols == 1; }
+  int64_t numElements() const { return Rows * Cols; }
+};
+
+enum class ExprKind {
+  Ref,   ///< Reference to a declared operand.
+  Add,   ///< Matrix addition.
+  Mul,   ///< Matrix multiplication (includes MVM, dot, and outer products).
+  SMul,  ///< Scalar × matrix.
+  Trans, ///< Transposition.
+  MVH,   ///< Matrix-vector Hadamard product (§3.3).
+  RR,    ///< Row reduction (§3.3).
+};
+
+const char *exprKindName(ExprKind K);
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A node of an LL expression tree, annotated with its inferred dimensions.
+class Expr {
+public:
+  static ExprPtr ref(std::string Name);
+  static ExprPtr add(ExprPtr L, ExprPtr R);
+  static ExprPtr mul(ExprPtr L, ExprPtr R);
+  static ExprPtr smul(ExprPtr Scalar, ExprPtr M);
+  static ExprPtr trans(ExprPtr A);
+  static ExprPtr mvh(ExprPtr A, ExprPtr X);
+  static ExprPtr rr(ExprPtr A);
+
+  ExprKind getKind() const { return Kind; }
+  const std::string &getRefName() const {
+    assert(Kind == ExprKind::Ref && "not a reference");
+    return RefName;
+  }
+  const Expr &child(unsigned I) const {
+    assert(I < Children.size() && "child index out of range");
+    return *Children[I];
+  }
+  Expr &child(unsigned I) {
+    assert(I < Children.size() && "child index out of range");
+    return *Children[I];
+  }
+  unsigned numChildren() const { return Children.size(); }
+
+  /// Replaces child \p I, returning the old subtree.
+  ExprPtr swapChild(unsigned I, ExprPtr New);
+
+  int64_t rows() const { return Rows; }
+  int64_t cols() const { return Cols; }
+  bool isScalarShaped() const { return Rows == 1 && Cols == 1; }
+
+  void setDims(int64_t R, int64_t C) {
+    Rows = R;
+    Cols = C;
+  }
+
+  ExprPtr clone() const;
+  std::string str() const;
+
+private:
+  Expr(ExprKind Kind) : Kind(Kind) {}
+
+  ExprKind Kind;
+  std::string RefName;
+  std::vector<ExprPtr> Children;
+  int64_t Rows = 0;
+  int64_t Cols = 0;
+};
+
+/// A complete BLAC: operand declarations plus `Output = Rhs`.
+struct Program {
+  std::vector<Operand> Operands;
+  std::string OutputName;
+  ExprPtr Rhs;
+
+  const Operand *findOperand(const std::string &Name) const;
+  const Operand &outputOperand() const;
+
+  /// True if the output operand also appears in the right-hand side
+  /// (e.g. y = αAx + βy), making it an in/out kernel parameter.
+  bool outputIsInput() const;
+
+  Program clone() const;
+  std::string str() const;
+};
+
+/// Infers and checks dimensions over the whole tree. Returns false and
+/// fills \p Err on a shape error or an unknown operand name.
+bool inferDims(Program &P, std::string &Err);
+
+/// Number of floating point operations the BLAC performs, following the
+/// thesis' convention (§5.1.4: "flops are deduced from the BLAC ... and the
+/// size of the matrices involved"): 2mnk per m×k·k×n product, mn per
+/// addition or scaling, m(n−1) per row reduction.
+double flopCount(const Program &P);
+
+} // namespace ll
+} // namespace lgen
+
+#endif // LGEN_LL_AST_H

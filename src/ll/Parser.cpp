@@ -1,0 +1,326 @@
+//===- Parser.cpp - Parser for the LL input DSL ----------------*- C++ -*-===//
+
+#include "ll/Parser.h"
+
+#include <cctype>
+
+using namespace lgen;
+using namespace lgen::ll;
+
+namespace {
+
+enum class TokKind {
+  Unknown,
+  Ident,
+  Number,
+  LParen,
+  RParen,
+  Comma,
+  Semi,
+  Equals,
+  Plus,
+  Star,
+  Tick,
+  Eof,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  int64_t Value = 0;
+  size_t Pos = 0;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Src(Source) {}
+
+  Token next() {
+    while (Pos < Src.size() && std::isspace(static_cast<unsigned char>(Src[Pos])))
+      ++Pos;
+    Token T;
+    T.Pos = Pos;
+    if (Pos >= Src.size())
+      return T;
+    char C = Src[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+              Src[Pos] == '_'))
+        ++Pos;
+      T.Kind = TokKind::Ident;
+      T.Text = Src.substr(Start, Pos - Start);
+      return T;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = Pos;
+      while (Pos < Src.size() &&
+             std::isdigit(static_cast<unsigned char>(Src[Pos])))
+        ++Pos;
+      T.Kind = TokKind::Number;
+      T.Text = Src.substr(Start, Pos - Start);
+      T.Value = std::stoll(T.Text);
+      return T;
+    }
+    ++Pos;
+    switch (C) {
+    case '(':
+      T.Kind = TokKind::LParen;
+      return T;
+    case ')':
+      T.Kind = TokKind::RParen;
+      return T;
+    case ',':
+      T.Kind = TokKind::Comma;
+      return T;
+    case ';':
+      T.Kind = TokKind::Semi;
+      return T;
+    case '=':
+      T.Kind = TokKind::Equals;
+      return T;
+    case '+':
+      T.Kind = TokKind::Plus;
+      return T;
+    case '*':
+      T.Kind = TokKind::Star;
+      return T;
+    case '\'':
+      T.Kind = TokKind::Tick;
+      return T;
+    default:
+      T.Kind = TokKind::Unknown;
+      T.Text = std::string(1, C);
+      T.Pos = Pos - 1;
+      return T;
+    }
+  }
+
+private:
+  const std::string &Src;
+  size_t Pos = 0;
+};
+
+class Parser {
+public:
+  Parser(const std::string &Source, Program &P, std::string &Err)
+      : Lex(Source), P(P), Err(Err) {
+    advance();
+  }
+
+  bool run() {
+    while (Cur.Kind == TokKind::Ident &&
+           (Cur.Text == "Matrix" || Cur.Text == "Vector" ||
+            Cur.Text == "RowVector" || Cur.Text == "Scalar")) {
+      if (!parseDecl())
+        return false;
+    }
+    return parseEquation();
+  }
+
+private:
+  void advance() { Cur = Lex.next(); }
+
+  bool fail(const std::string &Message) {
+    Err = Message + " (at offset " + std::to_string(Cur.Pos) + ")";
+    return false;
+  }
+
+  bool expect(TokKind K, const char *What) {
+    if (Cur.Kind != K)
+      return fail(std::string("expected ") + What);
+    advance();
+    return true;
+  }
+
+  bool parseDecl() {
+    std::string Keyword = Cur.Text;
+    advance();
+    if (Cur.Kind != TokKind::Ident)
+      return fail("expected operand name after '" + Keyword + "'");
+    Operand O;
+    O.Name = Cur.Text;
+    advance();
+    if (Keyword == "Scalar") {
+      O.Kind = OperandKind::Scalar;
+      O.Rows = O.Cols = 1;
+    } else if (Keyword == "Vector" || Keyword == "RowVector") {
+      O.Kind = OperandKind::Vector;
+      if (!expect(TokKind::LParen, "'('"))
+        return false;
+      if (Cur.Kind != TokKind::Number)
+        return fail("expected vector length");
+      int64_t N = Cur.Value;
+      advance();
+      if (!expect(TokKind::RParen, "')'"))
+        return false;
+      if (Keyword == "Vector") {
+        O.Rows = N;
+        O.Cols = 1;
+      } else {
+        O.Rows = 1;
+        O.Cols = N;
+      }
+    } else { // Matrix
+      O.Kind = OperandKind::Matrix;
+      if (!expect(TokKind::LParen, "'('"))
+        return false;
+      if (Cur.Kind != TokKind::Number)
+        return fail("expected row count");
+      O.Rows = Cur.Value;
+      advance();
+      if (!expect(TokKind::Comma, "','"))
+        return false;
+      if (Cur.Kind != TokKind::Number)
+        return fail("expected column count");
+      O.Cols = Cur.Value;
+      advance();
+      if (!expect(TokKind::RParen, "')'"))
+        return false;
+    }
+    if (O.Rows <= 0 || O.Cols <= 0)
+      return fail("operand '" + O.Name + "' has a non-positive dimension");
+    if (P.findOperand(O.Name))
+      return fail("operand '" + O.Name + "' declared twice");
+    P.Operands.push_back(std::move(O));
+    return expect(TokKind::Semi, "';' after declaration");
+  }
+
+  bool parseEquation() {
+    if (Cur.Kind != TokKind::Ident)
+      return fail("expected output operand name");
+    P.OutputName = Cur.Text;
+    advance();
+    if (!expect(TokKind::Equals, "'='"))
+      return false;
+    ExprPtr Rhs = parseSum();
+    if (!Rhs)
+      return false;
+    if (Cur.Kind == TokKind::Semi)
+      advance();
+    if (Cur.Kind != TokKind::Eof)
+      return fail("trailing input after equation");
+    P.Rhs = std::move(Rhs);
+    return true;
+  }
+
+  ExprPtr parseSum() {
+    ExprPtr L = parseProduct();
+    if (!L)
+      return nullptr;
+    while (Cur.Kind == TokKind::Plus) {
+      advance();
+      ExprPtr R = parseProduct();
+      if (!R)
+        return nullptr;
+      L = Expr::add(std::move(L), std::move(R));
+    }
+    return L;
+  }
+
+  ExprPtr parseProduct() {
+    ExprPtr L = parsePostfix();
+    if (!L)
+      return nullptr;
+    while (Cur.Kind == TokKind::Star) {
+      advance();
+      ExprPtr R = parsePostfix();
+      if (!R)
+        return nullptr;
+      L = combineProduct(std::move(L), std::move(R));
+      if (!L)
+        return nullptr;
+    }
+    return L;
+  }
+
+  /// Classifies a product as scalar or matrix multiplication based on the
+  /// declared operand shapes (scalarness is syntactically visible).
+  ExprPtr combineProduct(ExprPtr L, ExprPtr R) {
+    if (isScalarExpr(*L))
+      return Expr::smul(std::move(L), std::move(R));
+    if (isScalarExpr(*R))
+      return Expr::smul(std::move(R), std::move(L));
+    return Expr::mul(std::move(L), std::move(R));
+  }
+
+  /// Conservative scalar-shape check before dimension inference runs: a
+  /// node is scalar if it is a declared Scalar, a transpose of a scalar,
+  /// or a product/sum of scalars. Unknown names resolve later; treat them
+  /// as non-scalar here and let inference flag genuine errors.
+  bool isScalarExpr(const Expr &E) {
+    switch (E.getKind()) {
+    case ExprKind::Ref: {
+      const Operand *O = P.findOperand(E.getRefName());
+      return O && O->isScalar();
+    }
+    case ExprKind::Trans:
+      return isScalarExpr(E.child(0));
+    case ExprKind::Add:
+    case ExprKind::SMul:
+      return isScalarExpr(E.child(E.numChildren() - 1)) &&
+             isScalarExpr(E.child(0));
+    case ExprKind::Mul:
+      // x' * y style dot products have matrix kids but need inference to
+      // see the 1×1 shape; the parser cannot decide. Treated as non-scalar.
+      return false;
+    default:
+      return false;
+    }
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parseAtom();
+    if (!E)
+      return nullptr;
+    while (Cur.Kind == TokKind::Tick) {
+      advance();
+      E = Expr::trans(std::move(E));
+    }
+    return E;
+  }
+
+  ExprPtr parseAtom() {
+    if (Cur.Kind == TokKind::LParen) {
+      advance();
+      ExprPtr E = parseSum();
+      if (!E)
+        return nullptr;
+      if (!expect(TokKind::RParen, "')'"))
+        return nullptr;
+      return E;
+    }
+    if (Cur.Kind == TokKind::Ident) {
+      ExprPtr E = Expr::ref(Cur.Text);
+      advance();
+      return E;
+    }
+    fail("expected operand or '('");
+    return nullptr;
+  }
+
+  Lexer Lex;
+  Token Cur;
+  Program &P;
+  std::string &Err;
+};
+
+} // namespace
+
+bool ll::parseProgram(const std::string &Source, Program &P,
+                      std::string &Err) {
+  P = Program();
+  Parser Ps(Source, P, Err);
+  if (!Ps.run())
+    return false;
+  return inferDims(P, Err);
+}
+
+Program ll::parseProgramOrDie(const std::string &Source) {
+  Program P;
+  std::string Err;
+  if (!parseProgram(Source, P, Err))
+    reportFatalError("failed to parse BLAC '" + Source + "': " + Err);
+  return P;
+}

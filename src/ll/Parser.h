@@ -1,0 +1,44 @@
+//===- Parser.h - Parser for the LL input DSL ------------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text frontend for BLACs. Input consists of operand declarations followed
+/// by a single equation:
+///
+/// \code
+///   Matrix A(10, 20); Vector x(20); Vector y(10);
+///   Scalar alpha; Scalar beta;
+///   y = alpha * A * x + beta * y;
+/// \endcode
+///
+/// Vectors are column vectors; transposition is the postfix tick
+/// (`x' * A * y` is a 1×1 dot-like BLAC). Multiplication binds tighter
+/// than addition and is left-associative; parentheses group as usual.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_LL_PARSER_H
+#define LGEN_LL_PARSER_H
+
+#include "ll/AST.h"
+
+#include <string>
+
+namespace lgen {
+namespace ll {
+
+/// Parses \p Source into \p P and runs dimension inference. On failure
+/// returns false and describes the problem in \p Err.
+bool parseProgram(const std::string &Source, Program &P, std::string &Err);
+
+/// Convenience wrapper that aborts on parse errors — for tests and
+/// examples with known-good inputs.
+Program parseProgramOrDie(const std::string &Source);
+
+} // namespace ll
+} // namespace lgen
+
+#endif // LGEN_LL_PARSER_H

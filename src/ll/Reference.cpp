@@ -1,0 +1,100 @@
+//===- Reference.cpp - Naive reference evaluation of BLACs -----*- C++ -*-===//
+
+#include "ll/Reference.h"
+
+#include <cmath>
+
+using namespace lgen;
+using namespace lgen::ll;
+
+namespace {
+
+MatrixValue evalExpr(const Program &P, const Expr &E, const Bindings &In) {
+  switch (E.getKind()) {
+  case ExprKind::Ref: {
+    auto It = In.find(E.getRefName());
+    if (It == In.end())
+      reportFatalError("reference evaluation: operand '" + E.getRefName() +
+                       "' not bound");
+    const MatrixValue &V = It->second;
+    assert(V.Rows == E.rows() && V.Cols == E.cols() &&
+           "bound value has wrong dimensions");
+    return V;
+  }
+  case ExprKind::Add: {
+    MatrixValue L = evalExpr(P, E.child(0), In);
+    MatrixValue R = evalExpr(P, E.child(1), In);
+    for (size_t I = 0; I != L.Data.size(); ++I)
+      L.Data[I] += R.Data[I];
+    return L;
+  }
+  case ExprKind::Mul: {
+    MatrixValue L = evalExpr(P, E.child(0), In);
+    MatrixValue R = evalExpr(P, E.child(1), In);
+    MatrixValue Out(L.Rows, R.Cols);
+    for (int64_t I = 0; I != L.Rows; ++I)
+      for (int64_t J = 0; J != R.Cols; ++J) {
+        float S = 0.0f;
+        for (int64_t K = 0; K != L.Cols; ++K)
+          S += L.at(I, K) * R.at(K, J);
+        Out.at(I, J) = S;
+      }
+    return Out;
+  }
+  case ExprKind::SMul: {
+    MatrixValue S = evalExpr(P, E.child(0), In);
+    MatrixValue M = evalExpr(P, E.child(1), In);
+    for (float &V : M.Data)
+      V *= S.Data[0];
+    return M;
+  }
+  case ExprKind::Trans: {
+    MatrixValue A = evalExpr(P, E.child(0), In);
+    MatrixValue Out(A.Cols, A.Rows);
+    for (int64_t I = 0; I != A.Rows; ++I)
+      for (int64_t J = 0; J != A.Cols; ++J)
+        Out.at(J, I) = A.at(I, J);
+    return Out;
+  }
+  case ExprKind::MVH: {
+    MatrixValue A = evalExpr(P, E.child(0), In);
+    MatrixValue X = evalExpr(P, E.child(1), In);
+    for (int64_t I = 0; I != A.Rows; ++I)
+      for (int64_t J = 0; J != A.Cols; ++J)
+        A.at(I, J) *= X.Data[J];
+    return A;
+  }
+  case ExprKind::RR: {
+    MatrixValue A = evalExpr(P, E.child(0), In);
+    MatrixValue Out(A.Rows, 1);
+    for (int64_t I = 0; I != A.Rows; ++I) {
+      float S = 0.0f;
+      for (int64_t J = 0; J != A.Cols; ++J)
+        S += A.at(I, J);
+      Out.at(I, 0) = S;
+    }
+    return Out;
+  }
+  }
+  LGEN_UNREACHABLE("unknown expression kind");
+}
+
+} // namespace
+
+MatrixValue ll::evaluate(const Program &P, const Bindings &Inputs) {
+  assert(P.Rhs && "evaluating an empty program");
+  return evalExpr(P, *P.Rhs, Inputs);
+}
+
+void ll::fillRandom(MatrixValue &M, Rng &Rng) {
+  for (float &V : M.Data)
+    V = static_cast<float>(Rng.nextDouble() * 2.0 - 1.0);
+}
+
+float ll::maxAbsDiff(const MatrixValue &A, const MatrixValue &B) {
+  assert(A.Rows == B.Rows && A.Cols == B.Cols && "dimension mismatch");
+  float Max = 0.0f;
+  for (size_t I = 0; I != A.Data.size(); ++I)
+    Max = std::max(Max, std::fabs(A.Data[I] - B.Data[I]));
+  return Max;
+}

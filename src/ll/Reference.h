@@ -1,0 +1,60 @@
+//===- Reference.h - Naive reference evaluation of BLACs -------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A straightforward evaluator for LL programs, used the way the thesis
+/// uses naive implementations (§5.1.4): "the correctness of all the
+/// experiments ... was validated by comparing their calculated results with
+/// the corresponding results of equivalent naive implementations". It is
+/// also the semantic ground truth for every ν-BLAC and end-to-end test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_LL_REFERENCE_H
+#define LGEN_LL_REFERENCE_H
+
+#include "ll/AST.h"
+
+#include <map>
+#include <vector>
+
+namespace lgen {
+namespace ll {
+
+/// Row-major matrix value used by the reference evaluator.
+struct MatrixValue {
+  int64_t Rows = 0;
+  int64_t Cols = 0;
+  std::vector<float> Data;
+
+  MatrixValue() = default;
+  MatrixValue(int64_t Rows, int64_t Cols)
+      : Rows(Rows), Cols(Cols),
+        Data(static_cast<size_t>(Rows * Cols), 0.0f) {}
+
+  float &at(int64_t R, int64_t C) { return Data[R * Cols + C]; }
+  float at(int64_t R, int64_t C) const { return Data[R * Cols + C]; }
+};
+
+/// Operand name → value binding.
+using Bindings = std::map<std::string, MatrixValue>;
+
+/// Evaluates \p P over \p Inputs (which must bind every operand mentioned
+/// in the right-hand side, including the output when it is read) and
+/// returns the output value.
+MatrixValue evaluate(const Program &P, const Bindings &Inputs);
+
+/// Fills \p M with a deterministic pseudo-random pattern from \p Rng,
+/// values in [-1, 1).
+void fillRandom(MatrixValue &M, Rng &Rng);
+
+/// Maximum absolute element difference.
+float maxAbsDiff(const MatrixValue &A, const MatrixValue &B);
+
+} // namespace ll
+} // namespace lgen
+
+#endif // LGEN_LL_REFERENCE_H

@@ -1,0 +1,268 @@
+//===- Executor.cpp - Functional C-IR interpreter --------------*- C++ -*-===//
+
+#include "machine/Executor.h"
+
+#include <array>
+#include <cmath>
+
+using namespace lgen;
+using namespace lgen::machine;
+using namespace lgen::cir;
+
+namespace {
+
+using Lanes = std::array<float, MaxLanes>;
+
+class Interp {
+public:
+  Interp(const Kernel &K, const std::vector<Buffer *> &Params) : K(K) {
+    Regs.resize(K.getNumRegs());
+    LoopVals.resize(K.getNumLoopIds(), 0);
+    // Reserve up front: Storage holds pointers into OwnedTemps, which must
+    // therefore never reallocate.
+    OwnedTemps.reserve(K.getNumArrays());
+    unsigned ParamIdx = 0;
+    for (ArrayId Id = 0; Id != K.getNumArrays(); ++Id) {
+      const ArrayInfo &A = K.getArray(Id);
+      if (A.isParam()) {
+        assert(ParamIdx < Params.size() && "missing parameter buffer");
+        Buffer *B = Params[ParamIdx++];
+        assert(B && static_cast<int64_t>(B->size()) >= A.NumElements &&
+               "parameter buffer too small");
+        Storage.push_back(B);
+        OwnedTemps.emplace_back(); // Placeholder keeps indices parallel.
+      } else {
+        OwnedTemps.emplace_back(A.NumElements, 0.0f, /*AlignOffset=*/0);
+        Storage.push_back(&OwnedTemps.back());
+      }
+    }
+    assert(ParamIdx == Params.size() && "too many parameter buffers");
+  }
+
+  void run() { runBody(K.getBody()); }
+
+private:
+  void runBody(const std::vector<Node> &Body) {
+    for (const Node &N : Body) {
+      if (N.isLoop()) {
+        const Loop &L = N.loop();
+        for (int64_t V = L.Start; V < L.End; V += L.Step) {
+          LoopVals[L.Id] = V;
+          runBody(L.Body);
+        }
+        continue;
+      }
+      exec(N.inst());
+    }
+  }
+
+  int64_t addrOf(const Addr &A) const {
+    return A.Offset.evaluate([&](LoopId Id) { return LoopVals[Id]; });
+  }
+
+  float loadElem(ArrayId Array, int64_t Offset) const {
+    const Buffer &B = *Storage[Array];
+    assert(Offset >= 0 && Offset < static_cast<int64_t>(B.size()) &&
+           "out-of-bounds load");
+    return B[Offset];
+  }
+
+  void storeElem(ArrayId Array, int64_t Offset, float V) {
+    Buffer &B = *Storage[Array];
+    assert(Offset >= 0 && Offset < static_cast<int64_t>(B.size()) &&
+           "out-of-bounds store");
+    assert(K.getArray(Array).Kind != ArrayKind::Input &&
+           "store to const input array");
+    B[Offset] = V;
+  }
+
+  void checkAligned(const Inst &I, unsigned AccessLanes) const {
+    if (!I.Aligned || AccessLanes <= 1)
+      return;
+    const Buffer &B = *Storage[I.Address.Array];
+    int64_t Effective = B.AlignOffset + addrOf(I.Address);
+    if (floorMod(Effective, AccessLanes) != 0)
+      reportFatalError("aligned access to misaligned address in kernel '" +
+                       K.getName() + "' (array " +
+                       K.getArray(I.Address.Array).Name + ")");
+  }
+
+  void exec(const Inst &I) {
+    unsigned L = I.Dest != NoReg ? K.lanesOf(I.Dest)
+                                 : (I.A != NoReg ? K.lanesOf(I.A) : 1);
+    Lanes R = {};
+    switch (I.Op) {
+    case Opcode::FConst:
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = static_cast<float>(I.Imm);
+      break;
+    case Opcode::Mov:
+      R = Regs[I.A];
+      break;
+    case Opcode::Add:
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = Regs[I.A][J] + Regs[I.B][J];
+      break;
+    case Opcode::Sub:
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = Regs[I.A][J] - Regs[I.B][J];
+      break;
+    case Opcode::Mul:
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = Regs[I.A][J] * Regs[I.B][J];
+      break;
+    case Opcode::Div:
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = Regs[I.A][J] / Regs[I.B][J];
+      break;
+    case Opcode::Neg:
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = -Regs[I.A][J];
+      break;
+    case Opcode::FMA:
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = Regs[I.A][J] * Regs[I.B][J] + Regs[I.C][J];
+      break;
+    case Opcode::HAdd: {
+      // SSE semantics for 4 lanes; NEON vpadd for 2; AVX per-128-bit-lane
+      // semantics for 8 (_mm256_hadd_ps).
+      const Lanes &A = Regs[I.A], &B = Regs[I.B];
+      if (L == 8) {
+        R[0] = A[0] + A[1];
+        R[1] = A[2] + A[3];
+        R[2] = B[0] + B[1];
+        R[3] = B[2] + B[3];
+        R[4] = A[4] + A[5];
+        R[5] = A[6] + A[7];
+        R[6] = B[4] + B[5];
+        R[7] = B[6] + B[7];
+      } else if (L == 4) {
+        R[0] = A[0] + A[1];
+        R[1] = A[2] + A[3];
+        R[2] = B[0] + B[1];
+        R[3] = B[2] + B[3];
+      } else {
+        assert(L == 2 && "hadd lanes");
+        R[0] = A[0] + A[1];
+        R[1] = B[0] + B[1];
+      }
+      break;
+    }
+    case Opcode::DotPS: {
+      float S = 0.0f;
+      for (unsigned J = 0; J != L; ++J)
+        S += Regs[I.A][J] * Regs[I.B][J];
+      R[0] = S; // Remaining lanes stay zero (imm8 = 0xF1).
+      break;
+    }
+    case Opcode::MulLane:
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = Regs[I.A][J] * Regs[I.B][I.Lane];
+      break;
+    case Opcode::FMALane:
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = Regs[I.C][J] + Regs[I.A][J] * Regs[I.B][I.Lane];
+      break;
+    case Opcode::Broadcast:
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = Regs[I.A][I.Lane];
+      break;
+    case Opcode::Shuffle: {
+      unsigned SrcLanes = K.lanesOf(I.A);
+      for (unsigned J = 0; J != L; ++J) {
+        uint8_t P = I.Pattern[J];
+        R[J] = P < SrcLanes ? Regs[I.A][P] : Regs[I.B][P - SrcLanes];
+      }
+      break;
+    }
+    case Opcode::Insert:
+      R = Regs[I.A];
+      R[I.Lane] = Regs[I.B][0];
+      break;
+    case Opcode::Extract:
+      R[0] = Regs[I.A][I.Lane];
+      break;
+    case Opcode::GetLow:
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = Regs[I.A][J];
+      break;
+    case Opcode::GetHigh:
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = Regs[I.A][J + L];
+      break;
+    case Opcode::Combine: {
+      unsigned Half = L / 2;
+      for (unsigned J = 0; J != Half; ++J) {
+        R[J] = Regs[I.A][J];
+        R[J + Half] = Regs[I.B][J];
+      }
+      break;
+    }
+    case Opcode::Zero:
+      break;
+    case Opcode::Load: {
+      checkAligned(I, L);
+      int64_t Base = addrOf(I.Address);
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = loadElem(I.Address.Array, Base + J);
+      break;
+    }
+    case Opcode::Store: {
+      checkAligned(I, K.lanesOf(I.A));
+      int64_t Base = addrOf(I.Address);
+      for (unsigned J = 0; J != K.lanesOf(I.A); ++J)
+        storeElem(I.Address.Array, Base + J, Regs[I.A][J]);
+      return;
+    }
+    case Opcode::LoadBroadcast: {
+      int64_t Base = addrOf(I.Address);
+      float V = loadElem(I.Address.Array, Base);
+      for (unsigned J = 0; J != L; ++J)
+        R[J] = V;
+      break;
+    }
+    case Opcode::LoadLane: {
+      R = Regs[I.A];
+      R[I.Lane] = loadElem(I.Address.Array, addrOf(I.Address));
+      break;
+    }
+    case Opcode::StoreLane:
+      storeElem(I.Address.Array, addrOf(I.Address), Regs[I.A][I.Lane]);
+      return;
+    case Opcode::GLoad: {
+      checkAligned(I, I.Map.isFullContiguous() ? L : 1);
+      int64_t Base = addrOf(I.Address);
+      for (unsigned J = 0; J != L; ++J) {
+        int64_t O = I.Map.LaneOffsets[J];
+        R[J] = O == MemMap::None ? 0.0f : loadElem(I.Address.Array, Base + O);
+      }
+      break;
+    }
+    case Opcode::GStore: {
+      checkAligned(I, I.Map.isFullContiguous() ? K.lanesOf(I.A) : 1);
+      int64_t Base = addrOf(I.Address);
+      for (unsigned J = 0; J != K.lanesOf(I.A); ++J) {
+        int64_t O = I.Map.LaneOffsets[J];
+        if (O != MemMap::None)
+          storeElem(I.Address.Array, Base + O, Regs[I.A][J]);
+      }
+      return;
+    }
+    }
+    if (I.Dest != NoReg)
+      Regs[I.Dest] = R;
+  }
+
+  const Kernel &K;
+  std::vector<Lanes> Regs;
+  std::vector<int64_t> LoopVals;
+  std::vector<Buffer *> Storage;
+  std::vector<Buffer> OwnedTemps;
+};
+
+} // namespace
+
+void machine::execute(const Kernel &K, const std::vector<Buffer *> &Params) {
+  Interp I(K, Params);
+  I.run();
+}

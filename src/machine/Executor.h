@@ -1,0 +1,57 @@
+//===- Executor.h - Functional C-IR interpreter ----------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional execution of C-IR kernels. This replaces running the
+/// generated C on real silicon: the interpreter implements the semantics of
+/// every C-IR instruction (including the SSSE3/NEON-style lane operations
+/// and the generic loads/stores) over caller-provided buffers, so kernel
+/// correctness can be validated against a naive reference exactly as in the
+/// thesis' measuring process (§5.1.4).
+///
+/// Buffers carry a simulated base-address alignment; executing an *aligned*
+/// access against a misaligned effective address aborts, mirroring the
+/// runtime fault that aligned SSE instructions raise on unaligned data
+/// (§3.2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_MACHINE_EXECUTOR_H
+#define LGEN_MACHINE_EXECUTOR_H
+
+#include "cir/CIR.h"
+
+#include <vector>
+
+namespace lgen {
+namespace machine {
+
+/// A float buffer with a simulated base alignment. \c AlignOffset is the
+/// element offset of Data[0] from the previous ν-aligned boundary; 0 means
+/// the buffer base is aligned (the thesis' experiments allocate at "an
+/// aligned memory address plus an offset", §5.2.4).
+struct Buffer {
+  std::vector<float> Data;
+  unsigned AlignOffset = 0;
+
+  Buffer() = default;
+  explicit Buffer(size_t N, float Fill = 0.0f, unsigned AlignOffset = 0)
+      : Data(N, Fill), AlignOffset(AlignOffset) {}
+
+  float &operator[](size_t I) { return Data[I]; }
+  float operator[](size_t I) const { return Data[I]; }
+  size_t size() const { return Data.size(); }
+};
+
+/// Executes \p K over \p Params, which must supply one buffer per kernel
+/// parameter array, in declaration order. Temporaries are allocated
+/// internally (aligned and zero-initialized).
+void execute(const cir::Kernel &K, const std::vector<Buffer *> &Params);
+
+} // namespace machine
+} // namespace lgen
+
+#endif // LGEN_MACHINE_EXECUTOR_H

@@ -1,0 +1,385 @@
+//===- Microarch.cpp - Embedded microarchitecture timing models ----------===//
+
+#include "machine/Microarch.h"
+
+#include <algorithm>
+
+using namespace lgen;
+using namespace lgen::machine;
+using namespace lgen::cir;
+
+const char *machine::uarchName(UArch U) {
+  switch (U) {
+  case UArch::Atom:
+    return "Intel Atom";
+  case UArch::CortexA8:
+    return "ARM Cortex-A8";
+  case UArch::CortexA9:
+    return "ARM Cortex-A9";
+  case UArch::ARM1176:
+    return "ARM1176";
+  case UArch::SandyBridge:
+    return "Intel Sandy Bridge";
+  }
+  LGEN_UNREACHABLE("unknown microarchitecture");
+}
+
+Microarch Microarch::get(UArch U) {
+  Microarch M;
+  M.Kind = U;
+  M.Name = uarchName(U);
+  switch (U) {
+  case UArch::Atom:
+    // Table 2.2: in-order, 2-wide, 24 KB L1D, SSSE3, peak 6 flops/cycle.
+    M.IssueWidth = 2;
+    M.InOrder = true;
+    M.NumPorts = 2;
+    M.L1DataBytes = 24 * 1024;
+    M.NumVecRegs = 16;
+    M.LoopOverheadCycles = 2;
+    M.PeakFlopsPerCycle = 6.0;
+    break;
+  case UArch::CortexA8:
+    // Table 2.3: in-order; NEON issues one load/store and one
+    // data-processing instruction per cycle (§2.2.2); peak 4 flops/cycle.
+    M.IssueWidth = 2;
+    M.InOrder = true;
+    M.NumPorts = 2; // Port 0: NEON LS, port 1: NEON DP (and scalar FP).
+    M.L1DataBytes = 32 * 1024;
+    M.NumVecRegs = 16;
+    M.LoopOverheadCycles = 2;
+    M.PeakFlopsPerCycle = 4.0;
+    break;
+  case UArch::CortexA9:
+    // Table 2.4: out-of-order, but the NEON pipeline issues only one
+    // instruction per cycle and memory accesses share that port (§2.2.3).
+    M.IssueWidth = 2;
+    M.InOrder = false;
+    M.NumPorts = 3; // Port 0: NEON (all), port 1: VFP, port 2: scalar LS.
+    M.L1DataBytes = 32 * 1024;
+    M.NumVecRegs = 16;
+    M.LoopOverheadCycles = 1;
+    M.PeakFlopsPerCycle = 4.0;
+    break;
+  case UArch::ARM1176:
+    // Table 2.5: scalar VFP with FMAC/DS/LS pipelines, peak 1 flop/cycle.
+    M.IssueWidth = 1;
+    M.InOrder = true;
+    M.NumPorts = 3; // Port 0: FMAC, port 1: DS, port 2: LS.
+    M.L1DataBytes = 16 * 1024;
+    M.NumVecRegs = 16;
+    M.LoopOverheadCycles = 3;
+    M.PeakFlopsPerCycle = 1.0;
+    break;
+  case UArch::SandyBridge:
+    // Out-of-order desktop core with AVX: one 8-wide add and one 8-wide
+    // multiply per cycle → peak 16 flops/cycle; two load ports.
+    M.IssueWidth = 4;
+    M.InOrder = false;
+    M.NumPorts = 4; // P0: mul, P1: add, P2/P3: loads; stores share P2.
+    M.L1DataBytes = 32 * 1024;
+    M.NumVecRegs = 16;
+    M.LoopOverheadCycles = 1;
+    M.PeakFlopsPerCycle = 16.0;
+    break;
+  }
+  return M;
+}
+
+namespace {
+
+InstCost make(unsigned Latency, unsigned RecipThroughput, uint8_t Ports,
+              bool BlocksAll = false) {
+  return InstCost{Latency, RecipThroughput, Ports, BlocksAll};
+}
+
+bool isVecArith(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Neg:
+  case Opcode::FMA:
+  case Opcode::MulLane:
+  case Opcode::FMALane:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isShuffleLike(Opcode Op) {
+  switch (Op) {
+  case Opcode::Shuffle:
+  case Opcode::Insert:
+  case Opcode::Extract:
+  case Opcode::Broadcast:
+  case Opcode::Combine:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isRegAlias(Opcode Op) {
+  // Register moves and half-register views are (almost) free renames.
+  switch (Op) {
+  case Opcode::Mov:
+  case Opcode::GetLow:
+  case Opcode::GetHigh:
+  case Opcode::Zero:
+  case Opcode::FConst:
+    return true;
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Intel Atom: ports {P0 = 0x1, P1 = 0x2}. Loads/stores and multiplies share
+// P0 with part of the ALU traffic; addition can go to either port; the
+// horizontal add is microcoded, occupying both ports for 7 cycles
+// (Table 3.1: addps 5/1, haddps 8/7).
+//===----------------------------------------------------------------------===//
+
+InstCost atomCost(const Inst &I, unsigned Lanes) {
+  constexpr uint8_t P0 = 0x1, P1 = 0x2, Any = 0x3;
+  if (I.Op == Opcode::HAdd)
+    return make(8, 7, Any, /*BlocksAll=*/true);
+  if (I.Op == Opcode::DotPS) // No SSE4.1 on Atom; microcoded stand-in.
+    return make(12, 10, Any, /*BlocksAll=*/true);
+  if (I.Op == Opcode::Div)
+    return make(31, 31, P0);
+  if (I.Op == Opcode::FMA) // No FMA on SSSE3: models a mul+add pair.
+    return make(10, 3, P0);
+  if (isVecArith(I.Op)) {
+    if (I.Op == Opcode::Mul)
+      return make(5, 2, P0);
+    return make(5, 1, Lanes > 1 ? P1 : Any);
+  }
+  if (isShuffleLike(I.Op))
+    return make(1, 1, P0);
+  if (isRegAlias(I.Op))
+    return make(1, 1, Any);
+  switch (I.Op) {
+  case Opcode::Load:
+  case Opcode::GLoad:
+    if (Lanes > 1 && !I.Aligned)
+      return make(7, 5, P0); // movups is microcoded on Atom.
+    return make(3, 1, P0);
+  case Opcode::Store:
+  case Opcode::GStore:
+    if (Lanes > 1 && !I.Aligned)
+      return make(7, 6, P0);
+    return make(3, 1, P0);
+  case Opcode::LoadBroadcast:
+    return make(4, 1, P0);
+  case Opcode::LoadLane:
+  case Opcode::StoreLane:
+    return make(4, 2, P0);
+  default:
+    return make(1, 1, Any);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cortex-A8: port 0 = NEON load/store, port 1 = NEON data processing.
+// Doubleword DP runs twice as fast as quadword (§2.2.2); scalar floating
+// point executes on the NEON unit with a minimum of ~7 cycles per
+// instruction, which is what makes compiler-generated scalar code so slow
+// on this core (§5.3.1).
+//===----------------------------------------------------------------------===//
+
+InstCost a8Cost(const Inst &I, unsigned Lanes) {
+  constexpr uint8_t LS = 0x1, DP = 0x2;
+  bool Quad = Lanes > 2;
+  if (isVecArith(I.Op)) {
+    if (Lanes == 1)
+      return make(9, 7, DP); // Scalar FP on the NEON unit.
+    bool Acc = I.Op == Opcode::FMA || I.Op == Opcode::FMALane;
+    // Accumulator forwarding keeps back-to-back multiply-accumulates fast.
+    unsigned Lat = Acc ? (Quad ? 4 : 2) : (Quad ? 6 : 4);
+    return make(Lat, Quad ? 2 : 1, DP);
+  }
+  if (I.Op == Opcode::HAdd) // vpadd, doubleword only.
+    return make(4, 1, DP);
+  if (I.Op == Opcode::Div)
+    return make(25, 20, DP);
+  if (isShuffleLike(I.Op))
+    return make(2, 1, DP);
+  if (isRegAlias(I.Op))
+    return make(1, 1, DP);
+  switch (I.Op) {
+  case Opcode::Load:
+  case Opcode::GLoad:
+  case Opcode::LoadBroadcast:
+    return make(3, 1, LS);
+  case Opcode::Store:
+  case Opcode::GStore:
+    return make(3, 1, LS);
+  case Opcode::LoadLane:
+  case Opcode::StoreLane:
+    return make(4, 1, LS);
+  default:
+    return make(1, 1, DP);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cortex-A9: one NEON issue port shared by data processing *and* vector
+// memory accesses (§2.2.3); doubleword DP again twice as fast; pipelined
+// VFP makes scalar code far more palatable than on the A8.
+//===----------------------------------------------------------------------===//
+
+InstCost a9Cost(const Inst &I, unsigned Lanes) {
+  constexpr uint8_t NEON = 0x1, VFP = 0x2, SLS = 0x4;
+  bool Quad = Lanes > 2;
+  if (isVecArith(I.Op)) {
+    if (Lanes == 1) {
+      // Pipelined VFP — far better than the A8's NEON-unit scalar path,
+      // but nowhere near one op per cycle in practice (§5.4.1 keeps every
+      // scalar competitor below LGen's NEON code); the MAC pipe iterates.
+      bool Mac = I.Op == Opcode::FMA;
+      return make(Mac ? 9 : 5, Mac ? 4 : 2, VFP);
+    }
+    bool Acc = I.Op == Opcode::FMA || I.Op == Opcode::FMALane;
+    unsigned Lat = Acc ? (Quad ? 4 : 3) : (Quad ? 5 : 3);
+    return make(Lat, Quad ? 2 : 1, NEON);
+  }
+  if (I.Op == Opcode::HAdd)
+    return make(3, 1, NEON);
+  if (I.Op == Opcode::Div)
+    return make(15, 10, VFP);
+  if (isShuffleLike(I.Op))
+    return make(2, 1, NEON);
+  if (isRegAlias(I.Op))
+    return make(1, 1, NEON);
+  switch (I.Op) {
+  case Opcode::Load:
+  case Opcode::GLoad:
+  case Opcode::LoadBroadcast:
+    return Lanes > 1 ? make(4, Quad ? 2 : 1, NEON) : make(3, 1, SLS);
+  case Opcode::Store:
+  case Opcode::GStore:
+    return Lanes > 1 ? make(3, Quad ? 2 : 1, NEON) : make(2, 1, SLS);
+  case Opcode::LoadLane:
+  case Opcode::StoreLane:
+    return make(4, 2, NEON);
+  default:
+    return make(1, 1, NEON);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ARM1176: scalar VFP11. FMAC pipeline for arithmetic, DS for divides, LS
+// for memory. Vector instructions never reach this model.
+//===----------------------------------------------------------------------===//
+
+InstCost arm1176Cost(const Inst &I, unsigned Lanes) {
+  constexpr uint8_t FMAC = 0x1, DS = 0x2, LS = 0x4;
+  assert(Lanes <= 1 && "vector instruction on ARM1176");
+  (void)Lanes;
+  if (isVecArith(I.Op)) {
+    if (I.Op == Opcode::FMA)
+      return make(9, 2, FMAC);
+    return make(8, 1, FMAC);
+  }
+  if (I.Op == Opcode::Div)
+    return make(19, 19, DS);
+  if (isRegAlias(I.Op) || isShuffleLike(I.Op))
+    return make(1, 1, FMAC);
+  if (isMemoryOpcode(I.Op))
+    return make(4, 1, LS);
+  return make(1, 1, FMAC);
+}
+
+//===----------------------------------------------------------------------===//
+// Sandy Bridge: out-of-order, AVX. Table 3.1 row: addps 3/1, haddps 5/2;
+// unaligned accesses cost (almost) the same as aligned ones ("in many
+// modern microarchitectures", §3.2.1).
+//===----------------------------------------------------------------------===//
+
+InstCost sbCost(const Inst &I, unsigned Lanes) {
+  constexpr uint8_t PMul = 0x1, PAdd = 0x2, PLd0 = 0x4, PLd1 = 0x8;
+  constexpr uint8_t PLoads = PLd0 | PLd1;
+  (void)Lanes;
+  if (I.Op == Opcode::HAdd)
+    return make(5, 2, PMul); // Table 3.1: 5/2, one port.
+  if (I.Op == Opcode::DotPS)
+    return make(12, 2, PMul); // dpps: long latency, decent throughput.
+  if (I.Op == Opcode::Div)
+    return make(21, 14, PMul);
+  if (I.Op == Opcode::FMA)
+    return make(8, 2, PMul); // mul+add pair; no FMA before Haswell.
+  if (isVecArith(I.Op)) {
+    if (I.Op == Opcode::Mul || I.Op == Opcode::MulLane)
+      return make(5, 1, PMul);
+    return make(3, 1, PAdd);
+  }
+  if (isShuffleLike(I.Op))
+    return make(1, 1, PMul);
+  if (isRegAlias(I.Op))
+    return make(1, 1, PMul | PAdd);
+  switch (I.Op) {
+  case Opcode::Load:
+  case Opcode::GLoad:
+  case Opcode::LoadBroadcast:
+    return make(4, 1, PLoads);
+  case Opcode::Store:
+  case Opcode::GStore:
+    return make(4, 1, PLd0);
+  case Opcode::LoadLane:
+  case Opcode::StoreLane:
+    return make(5, 2, PLd0);
+  default:
+    return make(1, 1, PAdd);
+  }
+}
+
+} // namespace
+
+InstCost Microarch::costOf(const Kernel &K, const Inst &I) const {
+  unsigned Lanes = 1;
+  if (I.Dest != NoReg)
+    Lanes = K.lanesOf(I.Dest);
+  else if (I.A != NoReg)
+    Lanes = K.lanesOf(I.A);
+  switch (Kind) {
+  case UArch::Atom:
+    return atomCost(I, Lanes);
+  case UArch::CortexA8:
+    return a8Cost(I, Lanes);
+  case UArch::CortexA9:
+    return a9Cost(I, Lanes);
+  case UArch::ARM1176:
+    return arm1176Cost(I, Lanes);
+  case UArch::SandyBridge:
+    return sbCost(I, Lanes);
+  }
+  LGEN_UNREACHABLE("unknown microarchitecture");
+}
+
+double Microarch::cachePenalty(size_t FootprintBytes) const {
+  double Ratio =
+      static_cast<double>(FootprintBytes) / static_cast<double>(L1DataBytes);
+  if (Ratio <= 1.0)
+    return 1.0;
+  return 1.0 + 0.8 * std::min(3.0, Ratio - 1.0);
+}
+
+double Microarch::energyOf(const Kernel &K, const Inst &I) const {
+  unsigned Lanes = 1;
+  if (I.Dest != NoReg)
+    Lanes = K.lanesOf(I.Dest);
+  else if (I.A != NoReg)
+    Lanes = K.lanesOf(I.A);
+  double Width = 0.5 + 0.5 * (static_cast<double>(Lanes) / 4.0);
+  double Base = 0.08; // Fetch/decode/retire per instruction.
+  if (isMemoryOpcode(I.Op))
+    return Base + 0.45 * Width; // Cache array + TLB access.
+  if (isVecArith(I.Op))
+    return Base + 0.25 * Width;
+  if (isShuffleLike(I.Op))
+    return Base + 0.12 * Width;
+  return Base;
+}

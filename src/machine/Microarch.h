@@ -1,0 +1,97 @@
+//===- Microarch.h - Embedded microarchitecture timing models --*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timing models of the four processors evaluated in the thesis (§2.2):
+/// Intel Atom (in-order, dual-issue, SSSE3, expensive horizontal adds and
+/// unaligned accesses), ARM Cortex-A8 (in-order, parallel NEON load/store
+/// and data-processing issue, doubleword ops twice as fast as quadword,
+/// very slow scalar floating point), ARM Cortex-A9 (out-of-order, single
+/// NEON issue port, pipelined VFP), and ARM1176 (scalar VFP only).
+///
+/// These models substitute for the boards + hardware cycle counters of the
+/// thesis: each C-IR instruction is assigned a latency, a reciprocal
+/// throughput, and a set of admissible issue ports, and a greedy scoreboard
+/// (Timing.h) replays kernels against them. The headline cost asymmetries
+/// the evaluation depends on — Table 3.1's add vs. hadd numbers, Atom's
+/// aligned vs. unaligned moves, NEON's doubleword vs. quadword — are
+/// encoded directly in the tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_MACHINE_MICROARCH_H
+#define LGEN_MACHINE_MICROARCH_H
+
+#include "cir/CIR.h"
+
+#include <string>
+
+namespace lgen {
+namespace machine {
+
+enum class UArch {
+  Atom,        ///< Intel Atom D2550 (Table 2.2).
+  CortexA8,    ///< ARM Cortex-A8 (Table 2.3).
+  CortexA9,    ///< ARM Cortex-A9 (Table 2.4).
+  ARM1176,     ///< ARM1176JZF-S (Table 2.5).
+  SandyBridge, ///< Desktop Core i7 with AVX — the CGO'14 LGen target.
+};
+
+const char *uarchName(UArch U);
+
+/// Cost of one instruction on a concrete microarchitecture.
+struct InstCost {
+  unsigned Latency = 1;
+  /// Cycles the chosen issue port stays busy (1 == fully pipelined).
+  unsigned RecipThroughput = 1;
+  /// Bitmask of ports able to execute the instruction.
+  uint8_t PortChoices = 0x1;
+  /// True for instructions that occupy *every* issue port while executing
+  /// (Atom's horizontal add, §3.3).
+  bool BlocksAllPorts = false;
+};
+
+class Microarch {
+public:
+  static Microarch get(UArch U);
+
+  UArch Kind = UArch::Atom;
+  std::string Name;
+  unsigned IssueWidth = 2;
+  bool InOrder = true;
+  unsigned NumPorts = 2;
+  size_t L1DataBytes = 32 * 1024;
+  unsigned NumVecRegs = 16;
+  /// Serial loop bookkeeping cycles per iteration (index update, compare,
+  /// branch) for in-order pipelines.
+  unsigned LoopOverheadCycles = 2;
+  /// Peak performance in flops/cycle (Tables 2.2–2.5), used by the bench
+  /// harness for reporting.
+  double PeakFlopsPerCycle = 1.0;
+
+  /// Cost of instruction \p I of kernel \p K.
+  InstCost costOf(const cir::Kernel &K, const cir::Inst &I) const;
+
+  /// Estimated dynamic energy of one execution of \p I, in nanojoules.
+  /// A deliberately simple model for the §6 "energy metrics in the
+  /// autotuning feedback loop" extension: memory accesses cost several
+  /// times an ALU operation, wide operations more than narrow ones, and
+  /// every issued instruction pays a base amount.
+  double energyOf(const cir::Kernel &K, const cir::Inst &I) const;
+
+  /// Static/clock energy per cycle, nanojoules (leakage + clock tree).
+  double EnergyPerCycleNJ = 0.05;
+
+  /// Multiplier applied to memory-access throughput once the working set
+  /// \p FootprintBytes exceeds the L1 data cache (the performance cliffs of
+  /// Figs. 5.1(b), 5.8, 5.16(a), 5.19).
+  double cachePenalty(size_t FootprintBytes) const;
+};
+
+} // namespace machine
+} // namespace lgen
+
+#endif // LGEN_MACHINE_MICROARCH_H

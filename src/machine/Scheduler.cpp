@@ -1,0 +1,154 @@
+//===- Scheduler.cpp - Latency-aware list scheduling -----------*- C++ -*-===//
+
+#include "machine/Scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+using namespace lgen;
+using namespace lgen::machine;
+using namespace lgen::cir;
+
+namespace {
+
+/// Conservative may-overlap test between two memory instructions.
+bool memConflict(const Kernel &K, const Inst &A, const Inst &B) {
+  if (A.Address.Array != B.Address.Array)
+    return false;
+  if (!A.isStore() && !B.isStore())
+    return false; // Two loads never conflict.
+  const AffineExpr &EA = A.Address.Offset;
+  const AffineExpr &EB = B.Address.Offset;
+  // When both addresses share the same loop terms (the common case inside
+  // an unrolled body), the symbolic parts cancel and the constant parts
+  // decide overlap exactly; otherwise stay conservative.
+  if (EA.getTerms() != EB.getTerms())
+    return true;
+  // Compare the accessed element ranges.
+  auto Range = [&K](const Inst &I) -> std::pair<int64_t, int64_t> {
+    int64_t Base = I.Address.Offset.getConstant();
+    if (I.Op == Opcode::GLoad || I.Op == Opcode::GStore) {
+      int64_t Lo = 0, Hi = 0;
+      bool Any = false;
+      for (int64_t O : I.Map.LaneOffsets) {
+        if (O == MemMap::None)
+          continue;
+        if (!Any) {
+          Lo = Hi = O;
+          Any = true;
+        } else {
+          Lo = std::min(Lo, O);
+          Hi = std::max(Hi, O);
+        }
+      }
+      return {Base + Lo, Base + Hi};
+    }
+    if (I.Op == Opcode::LoadLane || I.Op == Opcode::StoreLane ||
+        I.Op == Opcode::LoadBroadcast)
+      return {Base, Base};
+    unsigned Lanes =
+        I.Op == Opcode::Store ? K.lanesOf(I.A) : K.lanesOf(I.Dest);
+    return {Base, Base + Lanes - 1};
+  };
+  auto [ALo, AHi] = Range(A);
+  auto [BLo, BHi] = Range(B);
+  return ALo <= BHi && BLo <= AHi;
+}
+
+void scheduleRegion(Kernel &K, const Microarch &M, std::vector<Node> &Body,
+                    size_t Begin, size_t End) {
+  size_t N = End - Begin;
+  if (N < 3)
+    return;
+  // Very large straight-line regions are left in program order, like the
+  // window limits of production schedulers; the quadratic dependence
+  // analysis would otherwise dominate compile time.
+  if (N > 768)
+    return;
+
+  // Build the dependence DAG.
+  std::vector<std::vector<unsigned>> Succs(N);
+  std::vector<unsigned> PredCount(N, 0);
+  std::map<RegId, unsigned> DefAt;
+  for (size_t I = 0; I != N; ++I) {
+    const Inst &Cur = Body[Begin + I].inst();
+    std::vector<unsigned> Preds;
+    Cur.forEachUse([&](RegId R) {
+      auto It = DefAt.find(R);
+      if (It != DefAt.end())
+        Preds.push_back(It->second);
+    });
+    if (isMemoryOpcode(Cur.Op))
+      for (size_t J = 0; J != I; ++J) {
+        const Inst &Prev = Body[Begin + J].inst();
+        if (isMemoryOpcode(Prev.Op) && memConflict(K, Prev, Cur))
+          Preds.push_back(J);
+      }
+    std::sort(Preds.begin(), Preds.end());
+    Preds.erase(std::unique(Preds.begin(), Preds.end()), Preds.end());
+    for (unsigned P : Preds) {
+      Succs[P].push_back(I);
+      ++PredCount[I];
+    }
+    if (Cur.Dest != NoReg)
+      DefAt[Cur.Dest] = I;
+  }
+
+  // Critical path priorities (latency to the end of the region).
+  std::vector<double> Priority(N, 0.0);
+  for (size_t I = N; I-- > 0;) {
+    const Inst &Cur = Body[Begin + I].inst();
+    double Lat = M.costOf(K, Cur).Latency;
+    double Best = Lat;
+    for (unsigned S : Succs[I])
+      Best = std::max(Best, Lat + Priority[S]);
+    Priority[I] = Best;
+  }
+
+  // Greedy list scheduling: repeatedly pick the ready instruction with the
+  // longest critical path (ties broken by original order for determinism).
+  std::vector<unsigned> Order;
+  Order.reserve(N);
+  std::vector<bool> Scheduled(N, false);
+  std::vector<unsigned> Remaining = PredCount;
+  for (size_t Step = 0; Step != N; ++Step) {
+    int Best = -1;
+    for (size_t I = 0; I != N; ++I) {
+      if (Scheduled[I] || Remaining[I] != 0)
+        continue;
+      if (Best < 0 || Priority[I] > Priority[Best])
+        Best = static_cast<int>(I);
+    }
+    assert(Best >= 0 && "dependence cycle in straight-line code");
+    Scheduled[Best] = true;
+    Order.push_back(Best);
+    for (unsigned S : Succs[Best])
+      --Remaining[S];
+  }
+
+  std::vector<Node> Reordered;
+  Reordered.reserve(N);
+  for (unsigned I : Order)
+    Reordered.push_back(std::move(Body[Begin + I]));
+  for (size_t I = 0; I != N; ++I)
+    Body[Begin + I] = std::move(Reordered[I]);
+}
+
+void scheduleBody(Kernel &K, const Microarch &M, std::vector<Node> &Body) {
+  size_t RegionStart = 0;
+  for (size_t I = 0; I <= Body.size(); ++I) {
+    if (I == Body.size() || Body[I].isLoop()) {
+      scheduleRegion(K, M, Body, RegionStart, I);
+      if (I != Body.size())
+        scheduleBody(K, M, Body[I].loop().Body);
+      RegionStart = I + 1;
+    }
+  }
+}
+
+} // namespace
+
+void machine::scheduleKernel(Kernel &K, const Microarch &M) {
+  scheduleBody(K, M, K.getBody());
+}

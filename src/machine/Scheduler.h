@@ -1,0 +1,35 @@
+//===- Scheduler.h - Latency-aware list scheduling -------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction scheduling of straight-line C-IR regions. LGen "relies
+/// completely on the instruction reordering done by the underlying
+/// compiler" (§2.2.1); since our kernels never pass through gcc/icc/clang,
+/// this pass plays that role: a classic critical-path list scheduler
+/// reorders independent instructions to hide latencies, which is decisive
+/// on the in-order pipelines (Atom, Cortex-A8, ARM1176).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_MACHINE_SCHEDULER_H
+#define LGEN_MACHINE_SCHEDULER_H
+
+#include "cir/CIR.h"
+#include "machine/Microarch.h"
+
+namespace lgen {
+namespace machine {
+
+/// Reorders the instructions of every straight-line region of \p K (loops
+/// are barriers) by critical-path list scheduling against \p M's latencies.
+/// Register dataflow and (conservative, per-array) memory dependences are
+/// preserved.
+void scheduleKernel(cir::Kernel &K, const Microarch &M);
+
+} // namespace machine
+} // namespace lgen
+
+#endif // LGEN_MACHINE_SCHEDULER_H

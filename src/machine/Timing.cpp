@@ -1,0 +1,211 @@
+//===- Timing.cpp - Greedy scoreboard timing simulation --------*- C++ -*-===//
+
+#include "machine/Timing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace lgen;
+using namespace lgen::machine;
+using namespace lgen::cir;
+
+namespace {
+
+/// Static per-region spill estimate: the number of vector values
+/// simultaneously live inside each straight-line region beyond the
+/// architectural register file.
+class SpillAnalysis {
+public:
+  SpillAnalysis(const Kernel &K, unsigned NumVecRegs) : K(K) {
+    // Last syntactic use of every register.
+    unsigned Pos = 0;
+    K.forEachInst([&](const Inst &I) {
+      I.forEachUse([&](RegId R) { LastUse[R] = Pos; });
+      ++Pos;
+    });
+    Counter = 0;
+    analyze(K.getBody(), NumVecRegs);
+  }
+
+  /// Excess live vector values for the region identified by its body
+  /// address.
+  unsigned excessFor(const std::vector<Node> *Body) const {
+    auto It = Excess.find(Body);
+    return It == Excess.end() ? 0 : It->second;
+  }
+
+private:
+  void analyze(const std::vector<Node> &Body, unsigned NumVecRegs) {
+    unsigned Live = 0, MaxLive = 0;
+    std::map<unsigned, unsigned> DeathsAt; // position -> dying vec regs
+    for (const Node &N : Body) {
+      if (N.isLoop()) {
+        analyze(N.loop().Body, NumVecRegs);
+        continue;
+      }
+      const Inst &I = N.inst();
+      unsigned Pos = Counter++;
+      auto DIt = DeathsAt.begin();
+      while (DIt != DeathsAt.end() && DIt->first <= Pos) {
+        Live -= DIt->second;
+        DIt = DeathsAt.erase(DIt);
+      }
+      if (I.Dest != NoReg && K.lanesOf(I.Dest) > 1) {
+        ++Live;
+        MaxLive = std::max(MaxLive, Live);
+        auto LU = LastUse.find(I.Dest);
+        unsigned Death = LU == LastUse.end() ? Pos + 1 : LU->second + 1;
+        ++DeathsAt[Death];
+      }
+    }
+    if (MaxLive > NumVecRegs)
+      Excess[&Body] = MaxLive - NumVecRegs;
+  }
+
+  const Kernel &K;
+  std::map<RegId, unsigned> LastUse;
+  std::map<const std::vector<Node> *, unsigned> Excess;
+  unsigned Counter = 0;
+};
+
+class Scoreboard {
+public:
+  Scoreboard(const Kernel &K, const Microarch &M, double MemPenalty)
+      : K(K), M(M), MemPenalty(MemPenalty), Spills(K, M.NumVecRegs) {
+    RegReady.resize(K.getNumRegs(), 0.0);
+    PortFree.resize(M.NumPorts, 0.0);
+  }
+
+  TimingResult run() {
+    replay(K.getBody());
+    TimingResult R;
+    R.Cycles = Frontier;
+    for (double P : PortFree)
+      R.Cycles = std::max(R.Cycles, P);
+    R.InstsIssued = Issued;
+    R.SpillCycles = SpillCycles;
+    R.MemPenalty = MemPenalty;
+    R.EnergyNJ = DynamicEnergy + R.Cycles * M.EnergyPerCycleNJ;
+    return R;
+  }
+
+private:
+  void replay(const std::vector<Node> &Body) {
+    // Spill traffic for over-long straight-line regions: one store+reload
+    // round trip per excess live value, charged as frontend occupancy.
+    if (unsigned Excess = Spills.excessFor(&Body)) {
+      double Penalty = 3.0 * Excess * MemPenalty;
+      Fetch += Penalty;
+      SpillCycles += Penalty;
+    }
+    for (const Node &N : Body) {
+      if (N.isLoop()) {
+        const Loop &L = N.loop();
+        for (int64_t V = L.Start; V < L.End; V += L.Step) {
+          // Loop bookkeeping consumes frontend slots each iteration.
+          Fetch += static_cast<double>(M.LoopOverheadCycles) /
+                   (M.InOrder ? 1.0 : M.IssueWidth);
+          replay(L.Body);
+        }
+        continue;
+      }
+      issue(N.inst());
+    }
+  }
+
+  void issue(const Inst &I) {
+    ++Issued;
+    DynamicEnergy += M.energyOf(K, I);
+    InstCost Cost = M.costOf(K, I);
+    double Occupancy = Cost.RecipThroughput;
+    double Latency = Cost.Latency;
+    if (isMemoryOpcode(I.Op)) {
+      // Past the L1 capacity both the issue occupancy and the load-to-use
+      // latency stretch (misses take longer, not just more bandwidth).
+      Occupancy *= MemPenalty;
+      if (I.isLoad())
+        Latency *= MemPenalty;
+    }
+
+    double OpsReady = 0.0;
+    I.forEachUse(
+        [&](RegId R) { OpsReady = std::max(OpsReady, RegReady[R]); });
+
+    // Earliest admissible port among the choices.
+    unsigned BestPort = 0;
+    double BestFree = std::numeric_limits<double>::max();
+    for (unsigned P = 0; P != M.NumPorts; ++P) {
+      if (!(Cost.PortChoices & (1u << P)))
+        continue;
+      if (PortFree[P] < BestFree) {
+        BestFree = PortFree[P];
+        BestPort = P;
+      }
+    }
+    assert(BestFree != std::numeric_limits<double>::max() &&
+           "instruction has no admissible port on this microarchitecture");
+
+    double Start = std::max(BestFree, Fetch);
+    if (M.InOrder) {
+      // The whole stream stalls until operands are ready.
+      Start = std::max(Start, OpsReady);
+      Fetch = std::max(Fetch + 1.0 / M.IssueWidth, Start);
+    } else {
+      // Out of order: dataflow still binds this instruction, but the fetch
+      // stream advances independently.
+      Start = std::max(Start, OpsReady);
+      Fetch += 1.0 / M.IssueWidth;
+    }
+
+    if (Cost.BlocksAllPorts) {
+      for (double &P : PortFree)
+        P = std::max(P, Start + Occupancy);
+    } else {
+      PortFree[BestPort] = Start + Occupancy;
+    }
+    if (I.Dest != NoReg)
+      RegReady[I.Dest] = Start + Latency;
+    Frontier = std::max(Frontier, Start + Occupancy);
+  }
+
+  const Kernel &K;
+  const Microarch &M;
+  double MemPenalty;
+  SpillAnalysis Spills;
+  std::vector<double> RegReady;
+  std::vector<double> PortFree;
+  double Fetch = 0.0;
+  double Frontier = 0.0;
+  double SpillCycles = 0.0;
+  double DynamicEnergy = 0.0;
+  uint64_t Issued = 0;
+};
+
+size_t kernelFootprintBytes(const Kernel &K) {
+  // Only arrays the kernel actually touches count (dead temporaries may
+  // survive as declarations after DCE).
+  std::vector<bool> Accessed(K.getNumArrays(), false);
+  K.forEachInst([&](const Inst &I) {
+    if (isMemoryOpcode(I.Op))
+      Accessed[I.Address.Array] = true;
+  });
+  size_t Bytes = 0;
+  for (ArrayId Id = 0; Id != K.getNumArrays(); ++Id)
+    if (Accessed[Id])
+      Bytes += static_cast<size_t>(K.getArray(Id).NumElements) *
+               sizeof(float);
+  return Bytes;
+}
+
+} // namespace
+
+TimingResult machine::simulate(const Kernel &K, const Microarch &M,
+                               double ExtraOverheadCycles) {
+  double MemPenalty = M.cachePenalty(kernelFootprintBytes(K));
+  Scoreboard SB(K, M, MemPenalty);
+  TimingResult R = SB.run();
+  R.OverheadCycles = ExtraOverheadCycles;
+  R.Cycles += ExtraOverheadCycles;
+  return R;
+}

@@ -1,0 +1,62 @@
+//===- Timing.h - Greedy scoreboard timing simulation ----------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle estimation for C-IR kernels against a Microarch model. Kernels are
+/// replayed in execution order through a greedy scoreboard that tracks
+/// per-port occupancy, register ready times, and the frontend issue stream:
+///
+///  * in-order cores (Atom, A8, ARM1176) stall the whole issue stream when
+///    an instruction's operands are not ready;
+///  * the out-of-order A9 lets independent instructions overtake stalled
+///    ones but still respects dataflow, port conflicts, and fetch order;
+///  * per-iteration loop bookkeeping consumes frontend slots;
+///  * straight-line regions whose live vector values exceed the register
+///    file incur spill traffic (the pressure that makes the autotuner's
+///    unrolling decisions non-trivial);
+///  * a working-set larger than the L1 data cache inflates memory-access
+///    occupancy (the capacity cliffs visible throughout Chapter 5).
+///
+/// This substitutes for the thesis' hardware cycle counters: absolute
+/// numbers are model estimates, but the first-order effects the evaluation
+/// compares are represented mechanically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_MACHINE_TIMING_H
+#define LGEN_MACHINE_TIMING_H
+
+#include "cir/CIR.h"
+#include "machine/Microarch.h"
+
+namespace lgen {
+namespace machine {
+
+struct TimingResult {
+  double Cycles = 0.0;
+  uint64_t InstsIssued = 0;
+  /// Estimated energy of the invocation in nanojoules (dynamic per
+  /// instruction plus static per cycle) — the §6 future-work metric.
+  double EnergyNJ = 0.0;
+  /// Energy-delay product, nJ·cycles.
+  double edp() const { return EnergyNJ * Cycles; }
+  double SpillCycles = 0.0;
+  double MemPenalty = 1.0;
+  /// Fixed invocation overhead added on top of the replayed body (call,
+  /// alignment dispatch, ...).
+  double OverheadCycles = 0.0;
+};
+
+/// Estimates the cycles of one invocation of \p K on \p M.
+/// \p ExtraOverheadCycles is added to the result (used for the runtime
+/// alignment-dispatch checks of versioned kernels, §3.2.4).
+TimingResult simulate(const cir::Kernel &K, const Microarch &M,
+                      double ExtraOverheadCycles = 0.0);
+
+} // namespace machine
+} // namespace lgen
+
+#endif // LGEN_MACHINE_TIMING_H

@@ -1,0 +1,420 @@
+//===- Json.cpp - Minimal JSON value, parser, serializer -------*- C++ -*-===//
+
+#include "mediator/Json.h"
+
+#include "support/Support.h"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::json;
+
+namespace {
+const Value NullValue;
+const Array EmptyArray;
+const Object EmptyObject;
+} // namespace
+
+bool Value::asBool() const {
+  assert(isBool() && "not a boolean");
+  return BoolVal;
+}
+
+double Value::asNumber() const {
+  assert(isNumber() && "not a number");
+  return NumVal;
+}
+
+const std::string &Value::asString() const {
+  assert(isString() && "not a string");
+  return StrVal;
+}
+
+const Array &Value::asArray() const {
+  assert(isArray() && "not an array");
+  return *ArrVal;
+}
+
+Array &Value::asArray() {
+  assert(isArray() && "not an array");
+  return *ArrVal;
+}
+
+const Object &Value::asObject() const {
+  assert(isObject() && "not an object");
+  return *ObjVal;
+}
+
+Object &Value::asObject() {
+  assert(isObject() && "not an object");
+  return *ObjVal;
+}
+
+const Value &Value::operator[](const std::string &Key) const {
+  if (!isObject())
+    return NullValue;
+  auto It = ObjVal->find(Key);
+  return It == ObjVal->end() ? NullValue : It->second;
+}
+
+std::string Value::getString(const std::string &Key,
+                             const std::string &Default) const {
+  const Value &V = (*this)[Key];
+  return V.isString() ? V.asString() : Default;
+}
+
+double Value::getNumber(const std::string &Key, double Default) const {
+  const Value &V = (*this)[Key];
+  return V.isNumber() ? V.asNumber() : Default;
+}
+
+bool Value::getBool(const std::string &Key, bool Default) const {
+  const Value &V = (*this)[Key];
+  if (V.isBool())
+    return V.asBool();
+  // Mediator requests encode booleans as the strings "True"/"False"
+  // (Appendix A).
+  if (V.isString())
+    return V.asString() == "True" || V.asString() == "true";
+  return Default;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void serializeString(std::ostringstream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+void serializeValue(std::ostringstream &OS, const Value &V) {
+  switch (V.kind()) {
+  case Kind::Null:
+    OS << "null";
+    return;
+  case Kind::Bool:
+    OS << (V.asBool() ? "true" : "false");
+    return;
+  case Kind::Number: {
+    double N = V.asNumber();
+    if (std::floor(N) == N && std::fabs(N) < 1e15)
+      OS << static_cast<long long>(N);
+    else
+      OS << N;
+    return;
+  }
+  case Kind::String:
+    serializeString(OS, V.asString());
+    return;
+  case Kind::Array: {
+    OS << '[';
+    bool First = true;
+    for (const Value &E : V.asArray()) {
+      if (!First)
+        OS << ',';
+      First = false;
+      serializeValue(OS, E);
+    }
+    OS << ']';
+    return;
+  }
+  case Kind::Object: {
+    OS << '{';
+    bool First = true;
+    for (const auto &[K, E] : V.asObject()) {
+      if (!First)
+        OS << ',';
+      First = false;
+      serializeString(OS, K);
+      OS << ':';
+      serializeValue(OS, E);
+    }
+    OS << '}';
+    return;
+  }
+  }
+  LGEN_UNREACHABLE("unknown JSON kind");
+}
+
+} // namespace
+
+std::string Value::serialize() const {
+  std::ostringstream OS;
+  serializeValue(OS, *this);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Err) : Src(Text), Err(Err) {}
+
+  bool run(Value &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != Src.size())
+      return fail("trailing characters after JSON value");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Message) {
+    Err = Message + " (at offset " + std::to_string(Pos) + ")";
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Src.size() &&
+           std::isspace(static_cast<unsigned char>(Src[Pos])))
+      ++Pos;
+  }
+
+  bool parseValue(Value &Out) {
+    if (Pos >= Src.size())
+      return fail("unexpected end of input");
+    char C = Src[Pos];
+    if (C == '{')
+      return parseObject(Out);
+    if (C == '[')
+      return parseArray(Out);
+    if (C == '"') {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value(std::move(S));
+      return true;
+    }
+    if (C == 't' || C == 'f')
+      return parseKeyword(Out);
+    if (C == 'n') {
+      if (Src.compare(Pos, 4, "null") != 0)
+        return fail("invalid keyword");
+      Pos += 4;
+      Out = Value();
+      return true;
+    }
+    return parseNumber(Out);
+  }
+
+  bool parseKeyword(Value &Out) {
+    if (Src.compare(Pos, 4, "true") == 0) {
+      Pos += 4;
+      Out = Value(true);
+      return true;
+    }
+    if (Src.compare(Pos, 5, "false") == 0) {
+      Pos += 5;
+      Out = Value(false);
+      return true;
+    }
+    return fail("invalid keyword");
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < Src.size() && (Src[Pos] == '-' || Src[Pos] == '+'))
+      ++Pos;
+    bool AnyDigit = false;
+    auto TakeDigits = [&] {
+      while (Pos < Src.size() &&
+             std::isdigit(static_cast<unsigned char>(Src[Pos]))) {
+        ++Pos;
+        AnyDigit = true;
+      }
+    };
+    TakeDigits();
+    if (Pos < Src.size() && Src[Pos] == '.') {
+      ++Pos;
+      TakeDigits();
+    }
+    if (Pos < Src.size() && (Src[Pos] == 'e' || Src[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Src.size() && (Src[Pos] == '-' || Src[Pos] == '+'))
+        ++Pos;
+      TakeDigits();
+    }
+    if (!AnyDigit)
+      return fail("invalid number");
+    Out = Value(std::stod(Src.substr(Start, Pos - Start)));
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    assert(Src[Pos] == '"' && "string must start with a quote");
+    ++Pos;
+    Out.clear();
+    while (Pos < Src.size() && Src[Pos] != '"') {
+      char C = Src[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Src.size())
+        return fail("unterminated escape");
+      char E = Src[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Src.size())
+          return fail("truncated unicode escape");
+        unsigned Code = std::stoul(Src.substr(Pos, 4), nullptr, 16);
+        Pos += 4;
+        // ASCII subset only; everything Mediator emits fits.
+        Out += static_cast<char>(Code & 0x7F);
+        break;
+      }
+      default:
+        return fail("invalid escape");
+      }
+    }
+    if (Pos >= Src.size())
+      return fail("unterminated string");
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  bool parseArray(Value &Out) {
+    ++Pos; // '['
+    Array A;
+    skipWs();
+    if (Pos < Src.size() && Src[Pos] == ']') {
+      ++Pos;
+      Out = Value(std::move(A));
+      return true;
+    }
+    while (true) {
+      Value V;
+      skipWs();
+      if (!parseValue(V))
+        return false;
+      A.push_back(std::move(V));
+      skipWs();
+      if (Pos >= Src.size())
+        return fail("unterminated array");
+      if (Src[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Src[Pos] == ']') {
+        ++Pos;
+        Out = Value(std::move(A));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    ++Pos; // '{'
+    Object O;
+    skipWs();
+    if (Pos < Src.size() && Src[Pos] == '}') {
+      ++Pos;
+      Out = Value(std::move(O));
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Src.size() || Src[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= Src.size() || Src[Pos] != ':')
+        return fail("expected ':'");
+      ++Pos;
+      skipWs();
+      Value V;
+      if (!parseValue(V))
+        return false;
+      O[Key] = std::move(V);
+      skipWs();
+      if (Pos >= Src.size())
+        return fail("unterminated object");
+      if (Src[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Src[Pos] == '}') {
+        ++Pos;
+        Out = Value(std::move(O));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string &Src;
+  std::string &Err;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool json::parse(const std::string &Text, Value &Out, std::string &Err) {
+  Parser P(Text, Err);
+  return P.run(Out);
+}

@@ -1,0 +1,114 @@
+//===- Measure.cpp - Performance-measuring modules (§4.5) ------*- C++ -*-===//
+
+#include "mediator/Measure.h"
+
+#include "support/Support.h"
+
+#include <algorithm>
+#include <chrono>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+using namespace lgen;
+using namespace lgen::mediator;
+
+CycleSource::~CycleSource() = default;
+
+namespace {
+
+#if defined(__x86_64__)
+class TscSource : public CycleSource {
+public:
+  uint64_t read() override { return __rdtsc(); }
+};
+#endif
+
+class SteadyClockSource : public CycleSource {
+public:
+  uint64_t read() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+class FakeSource : public CycleSource {
+public:
+  explicit FakeSource(uint64_t Step) : Step(Step) {}
+  uint64_t read() override { return Now += Step; }
+
+private:
+  uint64_t Step;
+  uint64_t Now = 0;
+};
+
+} // namespace
+
+std::unique_ptr<CycleSource> mediator::makeHostCycleSource() {
+#if defined(__x86_64__)
+  return std::make_unique<TscSource>();
+#else
+  return std::make_unique<SteadyClockSource>();
+#endif
+}
+
+std::unique_ptr<CycleSource> mediator::makeFakeCycleSource(uint64_t Step) {
+  return std::make_unique<FakeSource>(Step);
+}
+
+Measurement::Measurement(std::unique_ptr<CycleSource> Source)
+    : Source(std::move(Source)) {
+  assert(this->Source && "measurement needs a cycle source");
+}
+
+Measurement::~Measurement() = default;
+
+void Measurement::init() {
+  Samples.clear();
+  InSession = true;
+  InSample = false;
+  initTsc();
+}
+
+void Measurement::start() {
+  assert(InSession && "measurement_start before measurement_init");
+  assert(!InSample && "nested measurement_start");
+  InSample = true;
+  Current = Source->read();
+}
+
+void Measurement::stop() {
+  uint64_t End = Source->read();
+  assert(InSample && "measurement_stop without measurement_start");
+  InSample = false;
+  uint64_t Elapsed = End - Current;
+  Samples.push_back(Elapsed > Overhead ? Elapsed - Overhead : 0);
+}
+
+void Measurement::finish() {
+  assert(InSession && "measurement_finish before measurement_init");
+  assert(!InSample && "measurement_finish inside a sample");
+  InSession = false;
+}
+
+void Measurement::initTsc() {
+  // Calibrate the empty start/stop bracket, keeping the minimum of a few
+  // trials (the classic TSC-overhead measurement).
+  uint64_t Best = UINT64_MAX;
+  for (int Trial = 0; Trial != 8; ++Trial) {
+    uint64_t S = Source->read();
+    uint64_t E = Source->read();
+    Best = std::min(Best, E - S);
+  }
+  Overhead = Best == UINT64_MAX ? 0 : Best;
+}
+
+uint64_t Measurement::startTsc() { return Source->read(); }
+
+uint64_t Measurement::stopTsc(uint64_t Start) {
+  uint64_t Elapsed = Source->read() - Start;
+  return Elapsed > Overhead ? Elapsed - Overhead : 0;
+}

@@ -1,0 +1,85 @@
+//===- Measure.h - Performance-measuring modules (§4.5) --------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The performance-measuring module interface of thesis §4.5
+/// (Listing 4.1): Mediator ships one module per microarchitecture so
+/// experiment code can count cycles without knowing how the counter is
+/// read (RDTSC on x86, the cycle-count register on Cortex-A8/ARM1176, perf
+/// on Cortex-A9). Here the per-device backends become pluggable
+/// \c CycleSource implementations: the host TSC where available, a
+/// steady-clock fallback, and a deterministic fake for tests.
+///
+/// Both halves of Listing 4.1 are provided: the bracketing
+/// measurementStart/Stop API whose samples Mediator collects, and the
+/// explicit startTsc/stopTsc API with overhead calibration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_MEDIATOR_MEASURE_H
+#define LGEN_MEDIATOR_MEASURE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lgen {
+namespace mediator {
+
+/// A source of monotonically increasing cycle (or pseudo-cycle) counts.
+class CycleSource {
+public:
+  virtual ~CycleSource();
+  virtual uint64_t read() = 0;
+};
+
+/// Reads the host's time-stamp counter on x86-64; elsewhere falls back to
+/// the steady clock (nanoseconds).
+std::unique_ptr<CycleSource> makeHostCycleSource();
+
+/// Deterministic source for tests: advances by a fixed step per read.
+std::unique_ptr<CycleSource> makeFakeCycleSource(uint64_t Step);
+
+/// The Listing 4.1 module, in both flavors.
+class Measurement {
+public:
+  explicit Measurement(std::unique_ptr<CycleSource> Source);
+  ~Measurement();
+
+  /// measurement_init(): starts a measuring session.
+  void init();
+  /// measurement_start(): begins one sample.
+  void start();
+  /// measurement_stop(): ends the sample, recording its cycles.
+  void stop();
+  /// measurement_finish(): ends the session; samples stay readable.
+  void finish();
+
+  /// The recorded samples (what Mediator would return in the response).
+  const std::vector<uint64_t> &samples() const { return Samples; }
+
+  /// init_tsc(): calibrates the start/stop overhead.
+  void initTsc();
+  /// start_tsc(): returns the value to pass to stopTsc.
+  uint64_t startTsc();
+  /// stop_tsc(): cycles since \p Start, overhead-corrected.
+  uint64_t stopTsc(uint64_t Start);
+  /// get_tsc_overhead(): the calibrated start/stop overhead.
+  uint64_t tscOverhead() const { return Overhead; }
+
+private:
+  std::unique_ptr<CycleSource> Source;
+  std::vector<uint64_t> Samples;
+  uint64_t Current = 0;
+  uint64_t Overhead = 0;
+  bool InSession = false;
+  bool InSample = false;
+};
+
+} // namespace mediator
+} // namespace lgen
+
+#endif // LGEN_MEDIATOR_MEASURE_H

@@ -1,0 +1,331 @@
+//===- Mediator.cpp - Experiment-execution middleware (Ch. 4) -------------===//
+
+#include "mediator/Mediator.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+using namespace lgen;
+using namespace lgen::mediator;
+using json::Array;
+using json::Object;
+using json::Value;
+
+const char *mediator::errorReason(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::BadRequest:
+    return "BadRequest";
+  case ErrorCode::SSHAuthenticationError:
+    return "SSHAuthenticationError";
+  case ErrorCode::InstructionExecutionError:
+    return "InstructionExecutionError";
+  case ErrorCode::SSHError:
+    return "SSHError";
+  case ErrorCode::InstructionTimeoutError:
+    return "InstructionTimeoutError";
+  case ErrorCode::InternalError:
+    return "InternalError";
+  }
+  LGEN_UNREACHABLE("unknown error code");
+}
+
+Value mediator::makeError(ErrorCode Code, const std::string &Message) {
+  Object E;
+  E["code"] = static_cast<int64_t>(Code);
+  E["reason"] = errorReason(Code);
+  E["message"] = Message;
+  return Value(std::move(E));
+}
+
+//===----------------------------------------------------------------------===//
+// Internal state
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Task {
+  std::string JobId;
+  size_t ExpIndex = 0;
+  Value Experiment;
+};
+
+} // namespace
+
+struct Mediator::JobRecord {
+  std::string Id;
+  size_t Total = 0;
+  size_t Done = 0;
+  std::vector<Value> Results;
+  bool Finished = false;
+  std::chrono::steady_clock::time_point FinishTime;
+};
+
+struct Mediator::CoreWorker {
+  std::deque<Task> Queue;
+  bool Busy = false;
+  std::condition_variable WakeUp;
+  std::thread Thread;
+};
+
+struct Mediator::DeviceState {
+  std::string Hostname;
+  DeviceExecutor Exec;
+  std::vector<std::unique_ptr<CoreWorker>> Cores;
+};
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Mediator::Mediator(MediatorConfig Config)
+    : Config(Config), IdRng(0xfeedfacecafef00dULL) {}
+
+Mediator::~Mediator() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+    for (auto &[Name, Dev] : Devices)
+      for (auto &Core : Dev->Cores)
+        Core->WakeUp.notify_all();
+  }
+  for (auto &[Name, Dev] : Devices)
+    for (auto &Core : Dev->Cores)
+      if (Core->Thread.joinable())
+        Core->Thread.join();
+}
+
+void Mediator::registerDevice(const std::string &Hostname, unsigned NumCores,
+                              DeviceExecutor Exec) {
+  assert(NumCores > 0 && "device needs at least one core");
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto Dev = std::make_unique<DeviceState>();
+  Dev->Hostname = Hostname;
+  Dev->Exec = std::move(Exec);
+  DeviceState *DevPtr = Dev.get();
+  for (unsigned C = 0; C != NumCores; ++C) {
+    auto Core = std::make_unique<CoreWorker>();
+    CoreWorker *CorePtr = Core.get();
+    // One worker thread per core guarantees mutual exclusion per core
+    // (§4.3); the thread owns the pop-execute-record cycle.
+    Core->Thread = std::thread([this, DevPtr, CorePtr, C] {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      while (true) {
+        CorePtr->WakeUp.wait(Lock, [&] {
+          return ShuttingDown || !CorePtr->Queue.empty();
+        });
+        if (ShuttingDown)
+          return;
+        Task T = std::move(CorePtr->Queue.front());
+        CorePtr->Queue.pop_front();
+        CorePtr->Busy = true;
+        DeviceExecutor Exec = DevPtr->Exec;
+        Lock.unlock();
+
+        Value Result;
+        try {
+          Result = Exec(T.Experiment, C);
+        } catch (const std::exception &Ex) {
+          Object R;
+          R["error"] =
+              makeError(ErrorCode::InstructionExecutionError, Ex.what());
+          Result = Value(std::move(R));
+        }
+        if (Result.isObject()) {
+          Object &RO = Result.asObject();
+          if (!RO.count("deviceHostname"))
+            RO["deviceHostname"] = DevPtr->Hostname;
+        }
+
+        Lock.lock();
+        CorePtr->Busy = false;
+        auto It = Jobs.find(T.JobId);
+        if (It != Jobs.end()) {
+          JobRecord &J = *It->second;
+          J.Results[T.ExpIndex] = std::move(Result);
+          if (++J.Done == J.Total) {
+            J.Finished = true;
+            J.FinishTime = std::chrono::steady_clock::now();
+            JobDone.notify_all();
+          }
+        }
+      }
+    });
+    Dev->Cores.push_back(std::move(Core));
+  }
+  Devices[Hostname] = std::move(Dev);
+}
+
+//===----------------------------------------------------------------------===//
+// Request handling
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string errorResponse(ErrorCode Code, const std::string &Message) {
+  Object R;
+  R["apiVersion"] = "1.0";
+  R["error"] = makeError(Code, Message);
+  return Value(std::move(R)).serialize();
+}
+
+std::string statusResponse(const std::string &JobId, const char *State,
+                           const Value *Data = nullptr) {
+  Object R;
+  R["apiVersion"] = "1.0";
+  R["jobID"] = JobId;
+  R["jobState"] = State;
+  if (Data)
+    R["data"] = *Data;
+  return Value(std::move(R)).serialize();
+}
+
+} // namespace
+
+std::string Mediator::handleNewJobRequest(const std::string &RequestJson) {
+  Value Request;
+  std::string Err;
+  if (!json::parse(RequestJson, Request, Err) || !Request.isObject())
+    return errorResponse(ErrorCode::BadRequest,
+                         "malformed JSON request: " + Err);
+  const Value &Experiments = Request["experiments"];
+  if (!Experiments.isArray() || Experiments.asArray().empty())
+    return errorResponse(ErrorCode::BadRequest,
+                         "request must contain a non-empty 'experiments' "
+                         "array");
+  // Preliminary checks (Fig. 4.3): device names and affinities.
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const Value &Exp : Experiments.asArray()) {
+      std::string Host = Exp["device"].getString("hostname");
+      auto It = Devices.find(Host);
+      if (It == Devices.end())
+        return errorResponse(ErrorCode::SSHError,
+                             "unknown device '" + Host + "'");
+      const Value &Affinity = Exp["device"]["affinity"];
+      if (Affinity.isArray())
+        for (const Value &A : Affinity.asArray())
+          if (!A.isNumber() ||
+              A.asNumber() < 0 ||
+              A.asNumber() >= It->second->Cores.size())
+            return errorResponse(ErrorCode::BadRequest,
+                                 "invalid cpu affinity for device '" + Host +
+                                     "'");
+    }
+  }
+  // Table A.1: async defaults to "True".
+  bool Async = Request.getBool("async", true);
+  return submitJob(Request, Async);
+}
+
+std::string Mediator::submitJob(const Value &Request, bool Async) {
+  const Array &Experiments = Request["experiments"].asArray();
+  std::shared_ptr<JobRecord> Job;
+  std::string JobId;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    purgeExpired();
+    std::ostringstream IdStream;
+    for (int I = 0; I != 4; ++I) {
+      IdStream << std::hex << IdRng.next();
+    }
+    JobId = IdStream.str();
+    Job = std::make_shared<JobRecord>();
+    Job->Id = JobId;
+    Job->Total = Experiments.size();
+    Job->Results.resize(Experiments.size());
+    Jobs[JobId] = Job;
+
+    for (size_t I = 0; I != Experiments.size(); ++I) {
+      const Value &Exp = Experiments[I];
+      DeviceState &Dev = *Devices.at(Exp["device"].getString("hostname"));
+      // Admissible cores: the affinity list, or {0} by default (Table A.1).
+      std::vector<unsigned> Cores;
+      const Value &Affinity = Exp["device"]["affinity"];
+      if (Affinity.isArray() && !Affinity.asArray().empty())
+        for (const Value &A : Affinity.asArray())
+          Cores.push_back(static_cast<unsigned>(A.asNumber()));
+      else
+        Cores.push_back(0);
+      // Load balancing (§4.3): the admissible core with the least pending
+      // work.
+      unsigned Best = Cores[0];
+      size_t BestLoad = SIZE_MAX;
+      for (unsigned C : Cores) {
+        CoreWorker &W = *Dev.Cores[C];
+        size_t Load = W.Queue.size() + (W.Busy ? 1 : 0);
+        if (Load < BestLoad) {
+          BestLoad = Load;
+          Best = C;
+        }
+      }
+      Dev.Cores[Best]->Queue.push_back(Task{JobId, I, Exp});
+      Dev.Cores[Best]->WakeUp.notify_one();
+    }
+
+    if (Async)
+      return statusResponse(JobId, "SUBMITTED");
+
+    // Synchronous processing (Fig. 4.2): keep the "connection" open until
+    // the job finishes.
+    JobDone.wait(Lock, [&] { return Job->Finished; });
+    Object R;
+    R["apiVersion"] = "1.0";
+    R["data"] = Value(Array(Job->Results.begin(), Job->Results.end()));
+    Jobs.erase(JobId);
+    return Value(std::move(R)).serialize();
+  }
+}
+
+std::string
+Mediator::handleJobResultsRequest(const std::string &RequestJson) {
+  Value Request;
+  std::string Err;
+  if (!json::parse(RequestJson, Request, Err) || !Request.isObject())
+    return errorResponse(ErrorCode::BadRequest,
+                         "malformed JSON request: " + Err);
+  std::string JobId = Request.getString("jobID");
+  if (JobId.empty())
+    return errorResponse(ErrorCode::BadRequest, "missing 'jobID'");
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  purgeExpired();
+  auto It = Jobs.find(JobId);
+  if (It == Jobs.end())
+    return statusResponse(JobId, "NOT_FOUND");
+  JobRecord &J = *It->second;
+  if (!J.Finished)
+    return statusResponse(JobId, "PENDING");
+  Value Data = Value(Array(J.Results.begin(), J.Results.end()));
+  return statusResponse(JobId, "FINISHED", &Data);
+}
+
+size_t Mediator::coreLoad(const std::string &Hostname, unsigned Core) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Devices.find(Hostname);
+  if (It == Devices.end() || Core >= It->second->Cores.size())
+    return 0;
+  const CoreWorker &W = *It->second->Cores[Core];
+  return W.Queue.size() + (W.Busy ? 1 : 0);
+}
+
+void Mediator::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  JobDone.wait(Lock, [&] {
+    for (const auto &[Name, Dev] : Devices)
+      for (const auto &Core : Dev->Cores)
+        if (Core->Busy || !Core->Queue.empty())
+          return false;
+    return true;
+  });
+}
+
+void Mediator::purgeExpired() {
+  auto Now = std::chrono::steady_clock::now();
+  for (auto It = Jobs.begin(); It != Jobs.end();) {
+    if (It->second->Finished && Now - It->second->FinishTime > Config.ResultsExpiry)
+      It = Jobs.erase(It);
+    else
+      ++It;
+  }
+}

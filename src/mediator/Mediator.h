@@ -1,0 +1,123 @@
+//===- Mediator.h - Experiment-execution middleware (Ch. 4) ----*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mediator (thesis Chapter 4): a middleware that coordinates the execution
+/// of performance experiments on multiple devices by multiple users. This
+/// reimplementation keeps the architecture of Fig. 4.1 — a listener entry
+/// point, one FIFO queue plus one worker thread per (device, core), a
+/// results cache with expiry — and the JSON request/response contract of
+/// Appendix A, with two substitutions: requests arrive as strings through a
+/// function call rather than HTTP, and "devices" are in-process simulated
+/// targets reached through a registered executor rather than SSH.
+///
+/// Guarantees preserved from the thesis (§4.2–§4.3):
+///  * at most one experiment runs at any moment per core per device;
+///  * experiments with several admissible cores go to the least-loaded one;
+///  * experiments on different cores/devices run concurrently;
+///  * synchronous requests block until the results are ready; asynchronous
+///    requests return a job id that clients poll (Figs. 4.2/4.3);
+///  * cached results expire after a configurable time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_MEDIATOR_MEDIATOR_H
+#define LGEN_MEDIATOR_MEDIATOR_H
+
+#include "mediator/Json.h"
+#include "support/Support.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lgen {
+namespace mediator {
+
+/// Mediator API error codes (Table A.5).
+enum class ErrorCode {
+  BadRequest = 400,
+  SSHAuthenticationError = 401,
+  InstructionExecutionError = 405,
+  SSHError = 406,
+  InstructionTimeoutError = 408,
+  InternalError = 500,
+};
+
+const char *errorReason(ErrorCode Code);
+
+/// Builds the error object of Table A.2/A.5.
+json::Value makeError(ErrorCode Code, const std::string &Message);
+
+/// Executes one experiment on a simulated device core and returns the
+/// per-experiment results object (the "results" property of Table A.2).
+/// Throwing std::runtime_error reports an InstructionExecutionError.
+using DeviceExecutor =
+    std::function<json::Value(const json::Value &Experiment, unsigned Core)>;
+
+struct MediatorConfig {
+  /// Results older than this are purged from the cache (§4.3).
+  std::chrono::milliseconds ResultsExpiry = std::chrono::minutes(5);
+};
+
+class Mediator {
+public:
+  explicit Mediator(MediatorConfig Config = MediatorConfig());
+  ~Mediator();
+
+  Mediator(const Mediator &) = delete;
+  Mediator &operator=(const Mediator &) = delete;
+
+  /// Registers a device with \p NumCores cores; experiments naming
+  /// \p Hostname are dispatched to \p Exec.
+  void registerDevice(const std::string &Hostname, unsigned NumCores,
+                      DeviceExecutor Exec);
+
+  /// Entry point for a *new job request* (Table A.1). Returns the HTTP
+  /// body Mediator would send: a job-results response for synchronous
+  /// requests, a job-status response (SUBMITTED) for asynchronous ones,
+  /// or an error response for malformed input.
+  std::string handleNewJobRequest(const std::string &RequestJson);
+
+  /// Entry point for a *job results request* (Table A.3); returns a
+  /// job-status response (Table A.4) with jobState PENDING/FINISHED/
+  /// NOT_FOUND.
+  std::string handleJobResultsRequest(const std::string &RequestJson);
+
+  /// Current number of queued-or-running experiments on a core (tests).
+  size_t coreLoad(const std::string &Hostname, unsigned Core) const;
+
+  /// Blocks until every queue is idle (tests and shutdown).
+  void drain();
+
+private:
+  struct CoreWorker;
+  struct DeviceState;
+  struct JobRecord;
+
+  std::string submitJob(const json::Value &Request, bool Async);
+  void purgeExpired();
+
+  MediatorConfig Config;
+  mutable std::mutex Mutex;
+  std::condition_variable JobDone;
+  std::map<std::string, std::unique_ptr<DeviceState>> Devices;
+  std::map<std::string, std::shared_ptr<JobRecord>> Jobs;
+  Rng IdRng;
+  bool ShuttingDown = false;
+};
+
+} // namespace mediator
+} // namespace lgen
+
+#endif // LGEN_MEDIATOR_MEDIATOR_H

@@ -1,0 +1,175 @@
+//===- Lowering.cpp - Σ-LL → C-IR lowering ---------------------*- C++ -*-===//
+
+#include "sll/Lowering.h"
+
+#include "cir/Builder.h"
+
+#include <map>
+
+using namespace lgen;
+using namespace lgen::sll;
+using namespace lgen::cir;
+
+namespace {
+
+class KernelEmitter {
+public:
+  KernelEmitter(const SProgram &P, isa::NuBLACs &NB, bool Specialized,
+                const std::string &Name)
+      : P(P), NB(NB), Specialized(Specialized), Result{Kernel(Name), {}, {}},
+        B(Result.K) {}
+
+  LoweredKernel run() {
+    for (const MatInfo &M : P.Mats) {
+      ArrayKind Kind = ArrayKind::Temp;
+      switch (M.Role) {
+      case MatRole::Input:
+        Kind = ArrayKind::Input;
+        break;
+      case MatRole::Output:
+        Kind = ArrayKind::Output;
+        break;
+      case MatRole::InOut:
+        Kind = ArrayKind::InOut;
+        break;
+      case MatRole::Temp:
+        Kind = ArrayKind::Temp;
+        break;
+      }
+      [[maybe_unused]] ArrayId Id =
+          Result.K.addArray(M.Name, M.numElements(), Kind);
+      assert(Id + 1 == Result.K.getNumArrays() && "array ids match mat ids");
+    }
+    emitNest(P.Root, 0);
+    return std::move(Result);
+  }
+
+private:
+  void emitNest(const Nest &N, unsigned Depth) {
+    emitSums(N, 0, Depth);
+  }
+
+  void emitSums(const Nest &N, size_t SumIdxPos, unsigned Depth) {
+    if (SumIdxPos == N.Sums.size()) {
+      for (const NestItem &It : N.Items) {
+        if (It.Child)
+          emitNest(*It.Child, Depth);
+        else
+          emitOp(*It.Op);
+      }
+      return;
+    }
+    const SumIdx &Sum = N.Sums[SumIdxPos];
+    B.forLoop(0, Sum.Extent, Sum.Step, [&](LoopId Id) {
+      SumToLoop[Sum.Id] = Id;
+      Result.Loops.push_back({Sum.tripCount(), Depth});
+      Result.LoopIds.push_back(Id);
+      emitSums(N, SumIdxPos + 1, Depth + 1);
+    });
+  }
+
+  /// Translates a Σ-LL affine expression (over summation ids) into a C-IR
+  /// affine expression (over loop ids).
+  AffineExpr translateExpr(const AffineExpr &E) const {
+    AffineExpr Out(E.getConstant());
+    for (const auto &[SumId, Coeff] : E.getTerms()) {
+      auto It = SumToLoop.find(SumId);
+      assert(It != SumToLoop.end() && "summation index not in scope");
+      Out = Out + AffineExpr::loopIndex(It->second, Coeff);
+    }
+    return Out;
+  }
+
+  isa::TileRef refOf(const TileAccess &A) const {
+    const MatInfo &M = P.Mats[A.Mat];
+    isa::TileRef R;
+    R.Base.Array = A.Mat;
+    R.Base.Offset = translateExpr(A.Row) * M.Cols + translateExpr(A.Col);
+    R.RowStride = M.Cols;
+    return R;
+  }
+
+  void emitOp(const TileOp &Op) {
+    isa::TileRef Out = refOf(Op.Out);
+    unsigned R = Op.Out.TileRows, C = Op.Out.TileCols;
+    switch (Op.Kind) {
+    case OpKind::Copy:
+      emitCopy(refOf(Op.In[0]), Out, R, C);
+      return;
+    case OpKind::ZeroTile: {
+      unsigned Lanes = NB.nu();
+      if (C == 1 && R > 1) {
+        isa::storeTileCol(B, B.zero(Lanes), Out, 0, R);
+        return;
+      }
+      RegId Z = B.zero(Lanes);
+      for (unsigned I = 0; I != R; ++I)
+        isa::storeTileRow(B, Z, Out, I, C);
+      return;
+    }
+    case OpKind::Add:
+      NB.emitAdd(B, refOf(Op.In[0]), refOf(Op.In[1]), Out, R, C, Specialized);
+      return;
+    case OpKind::SMul:
+      NB.emitScalarMul(B, refOf(Op.In[0]), refOf(Op.In[1]), Out, R, C,
+                       Specialized);
+      return;
+    case OpKind::MatMul:
+    case OpKind::MatMulAcc:
+      NB.emitMatMul(B, refOf(Op.In[0]), refOf(Op.In[1]), Out, R,
+                    Op.In[0].TileCols, C, Op.Kind == OpKind::MatMulAcc,
+                    Specialized);
+      return;
+    case OpKind::Trans:
+      NB.emitTranspose(B, refOf(Op.In[0]), Out, Op.In[0].TileRows,
+                       Op.In[0].TileCols, Specialized);
+      return;
+    case OpKind::MVH:
+    case OpKind::MVHAcc:
+      NB.emitMVH(B, refOf(Op.In[0]), refOf(Op.In[1]), Out, R, C,
+                 Op.Kind == OpKind::MVHAcc, Specialized);
+      return;
+    case OpKind::RR:
+    case OpKind::RRAcc:
+      NB.emitRR(B, refOf(Op.In[0]), Out, R, Op.In[0].TileCols,
+                Op.Kind == OpKind::RRAcc, Specialized);
+      return;
+    case OpKind::MVM:
+    case OpKind::MVMAcc:
+      NB.emitMVM(B, refOf(Op.In[0]), refOf(Op.In[1]), Out, R,
+                 Op.In[0].TileCols, Op.Kind == OpKind::MVMAcc, Specialized);
+      return;
+    }
+    LGEN_UNREACHABLE("unknown tile op kind");
+  }
+
+  /// Tile copy through the Loader/Storer helpers.
+  void emitCopy(isa::TileRef From, isa::TileRef To, unsigned R, unsigned C) {
+    unsigned Lanes = std::max(1u, NB.nu());
+    if (C == 1 && R > 1) {
+      RegId V = isa::loadTileCol(B, From, 0, R, Lanes);
+      isa::storeTileCol(B, V, To, 0, R);
+      return;
+    }
+    for (unsigned I = 0; I != R; ++I) {
+      RegId V = isa::loadTileRow(B, From, I, C, Lanes);
+      isa::storeTileRow(B, V, To, I, C);
+    }
+  }
+
+  const SProgram &P;
+  isa::NuBLACs &NB;
+  bool Specialized;
+  LoweredKernel Result;
+  Builder B;
+  std::map<unsigned, LoopId> SumToLoop;
+};
+
+} // namespace
+
+LoweredKernel sll::lowerToCIR(const SProgram &P, isa::NuBLACs &NB,
+                              bool Specialized,
+                              const std::string &KernelName) {
+  KernelEmitter E(P, NB, Specialized, KernelName);
+  return E.run();
+}

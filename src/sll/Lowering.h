@@ -1,0 +1,41 @@
+//===- Lowering.h - Σ-LL → C-IR lowering -----------------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowering of a Σ-LL program into C-IR (thesis §2.1.4): summations become
+/// counted loops, tile operations become ν-BLAC codelet expansions (with
+/// Loader/Storer packing via generic memory instructions), and the loops
+/// introduced are recorded so the tiling layer can later unroll them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_SLL_LOWERING_H
+#define LGEN_SLL_LOWERING_H
+
+#include "cir/CIR.h"
+#include "isa/NuBLACs.h"
+#include "sll/SigmaLL.h"
+#include "tiling/Tiling.h"
+
+namespace lgen {
+namespace sll {
+
+struct LoweredKernel {
+  cir::Kernel K;
+  /// Tile loops in discovery order; parallel arrays.
+  std::vector<tiling::LoopDesc> Loops;
+  std::vector<cir::LoopId> LoopIds;
+};
+
+/// Lowers \p P using the ν-BLAC library \p NB. \p Specialized selects the
+/// §3.4 leftover codelets where the ISA has them.
+LoweredKernel lowerToCIR(const SProgram &P, isa::NuBLACs &NB,
+                         bool Specialized, const std::string &KernelName);
+
+} // namespace sll
+} // namespace lgen
+
+#endif // LGEN_SLL_LOWERING_H

@@ -1,0 +1,280 @@
+//===- SigmaLL.cpp - The Σ-LL intermediate language ------------*- C++ -*-===//
+
+#include "sll/SigmaLL.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::sll;
+
+const char *sll::opKindName(OpKind K) {
+  switch (K) {
+  case OpKind::Copy:
+    return "copy";
+  case OpKind::ZeroTile:
+    return "zero";
+  case OpKind::Add:
+    return "add";
+  case OpKind::SMul:
+    return "smul";
+  case OpKind::MatMul:
+    return "matmul";
+  case OpKind::MatMulAcc:
+    return "matmul+";
+  case OpKind::Trans:
+    return "trans";
+  case OpKind::MVH:
+    return "mvh";
+  case OpKind::MVHAcc:
+    return "mvh+";
+  case OpKind::RR:
+    return "rr";
+  case OpKind::RRAcc:
+    return "rr+";
+  case OpKind::MVM:
+    return "mvm";
+  case OpKind::MVMAcc:
+    return "mvm+";
+  }
+  LGEN_UNREACHABLE("unknown tile op kind");
+}
+
+unsigned SProgram::addMat(std::string Name, int64_t Rows, int64_t Cols,
+                          MatRole Role) {
+  Mats.push_back({std::move(Name), Rows, Cols, Role});
+  return Mats.size() - 1;
+}
+
+SumIdx SProgram::newSum(int64_t Extent, int64_t Step) {
+  return SumIdx{NextSumId++, Extent, Step};
+}
+
+namespace {
+
+void printAccess(std::ostringstream &OS, const SProgram &P,
+                 const TileAccess &A) {
+  OS << P.Mats[A.Mat].Name << "[" << A.Row.str() << ", " << A.Col.str()
+     << "; " << A.TileRows << "x" << A.TileCols << "]";
+}
+
+void printNest(std::ostringstream &OS, const SProgram &P, const Nest &N,
+               int Indent) {
+  auto Pad = [&] {
+    for (int I = 0; I != Indent; ++I)
+      OS << "  ";
+  };
+  for (const SumIdx &S : N.Sums) {
+    Pad();
+    OS << "sum s" << S.Id << " < " << S.Extent << " step " << S.Step << "\n";
+    ++Indent;
+  }
+  for (const NestItem &It : N.Items) {
+    if (It.Child) {
+      printNest(OS, P, *It.Child, Indent);
+      continue;
+    }
+    Pad();
+    const TileOp &Op = *It.Op;
+    printAccess(OS, P, Op.Out);
+    OS << " = " << opKindName(Op.Kind) << "(";
+    for (size_t I = 0; I != Op.In.size(); ++I) {
+      if (I)
+        OS << ", ";
+      printAccess(OS, P, Op.In[I]);
+    }
+    OS << ")\n";
+  }
+}
+
+} // namespace
+
+std::string SProgram::str() const {
+  std::ostringstream OS;
+  for (const MatInfo &M : Mats)
+    OS << (M.isParam() ? "param " : "temp ") << M.Name << "(" << M.Rows
+       << "x" << M.Cols << ")\n";
+  printNest(OS, *this, Root, 0);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Fusion
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void collectMats(const Nest &N, std::set<unsigned> &Reads,
+                 std::set<unsigned> &Writes) {
+  for (const NestItem &It : N.Items) {
+    if (It.Child) {
+      collectMats(*It.Child, Reads, Writes);
+      continue;
+    }
+    for (const TileAccess &A : It.Op->In)
+      Reads.insert(A.Mat);
+    Writes.insert(It.Op->Out.Mat);
+    // Accumulating ops also read their output.
+    switch (It.Op->Kind) {
+    case OpKind::MatMulAcc:
+    case OpKind::MVHAcc:
+    case OpKind::RRAcc:
+    case OpKind::MVMAcc:
+      Reads.insert(It.Op->Out.Mat);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+/// True if nest \p B may be reordered before nest \p A (no data dependence
+/// between them).
+bool independent(const Nest &A, const Nest &B) {
+  std::set<unsigned> RA, WA, RB, WB;
+  collectMats(A, RA, WA);
+  collectMats(B, RB, WB);
+  for (unsigned W : WA) {
+    if (RB.count(W) || WB.count(W))
+      return false;
+  }
+  for (unsigned W : WB)
+    if (RA.count(W))
+      return false;
+  return true;
+}
+
+/// Remaps the sum-index ids used by \p N (recursively) according to
+/// \p Map (old id -> new id).
+void remapSums(Nest &N, const std::vector<std::pair<unsigned, unsigned>> &Map) {
+  auto RemapExpr = [&](cir::AffineExpr &E) {
+    cir::AffineExpr Result(E.getConstant());
+    for (const auto &[Id, Coeff] : E.getTerms()) {
+      unsigned NewId = Id;
+      for (const auto &[From, To] : Map)
+        if (From == Id)
+          NewId = To;
+      Result = Result + cir::AffineExpr::loopIndex(NewId, Coeff);
+    }
+    E = Result;
+  };
+  for (NestItem &It : N.Items) {
+    if (It.Child) {
+      remapSums(*It.Child, Map);
+      continue;
+    }
+    for (TileAccess &A : It.Op->In) {
+      RemapExpr(A.Row);
+      RemapExpr(A.Col);
+    }
+    RemapExpr(It.Op->Out.Row);
+    RemapExpr(It.Op->Out.Col);
+  }
+}
+
+/// Fusing \p Cand (already remapped onto \p Prev's indices) into \p Prev is
+/// semantics-preserving when every tile Cand reads of a matrix Prev writes
+/// is produced *pointwise*: the read coordinates coincide with some write of
+/// Prev in the same iteration. Matrix-level independence covers the rest.
+bool fusionSafe(const Nest &Prev, const Nest &Cand) {
+  std::set<unsigned> PrevWrites;
+  std::vector<const TileOp *> PrevOps;
+  for (const NestItem &It : Prev.Items) {
+    if (It.Child) {
+      // Conservatively refuse when the producer has inner structure.
+      std::set<unsigned> R, W;
+      collectMats(*It.Child, R, W);
+      if (!W.empty())
+        return independent(Prev, Cand);
+      continue;
+    }
+    PrevWrites.insert(It.Op->Out.Mat);
+    PrevOps.push_back(&*It.Op);
+  }
+  auto ProducedPointwise = [&](const TileAccess &Read) {
+    for (const TileOp *Op : PrevOps)
+      if (Op->Out.Mat == Read.Mat && Op->Out.Row == Read.Row &&
+          Op->Out.Col == Read.Col && Op->Out.TileRows == Read.TileRows &&
+          Op->Out.TileCols == Read.TileCols)
+        return true;
+    return false;
+  };
+  for (const NestItem &It : Cand.Items) {
+    if (It.Child)
+      return false; // Keep hierarchical candidates unfused for simplicity.
+    for (const TileAccess &A : It.Op->In)
+      if (PrevWrites.count(A.Mat) && !ProducedPointwise(A))
+        return false;
+    if (PrevWrites.count(It.Op->Out.Mat) &&
+        !ProducedPointwise(It.Op->Out))
+      return false;
+  }
+  return true;
+}
+
+unsigned fuseChildren(Nest &N) {
+  unsigned Merges = 0;
+  for (NestItem &It : N.Items)
+    if (It.Child)
+      Merges += fuseChildren(*It.Child);
+
+  // Try to merge each child nest into an earlier sibling nest with the same
+  // summation signature, provided it can be moved past everything between.
+  std::vector<NestItem> Result;
+  for (NestItem &It : N.Items) {
+    if (!It.Child) {
+      Result.push_back(std::move(It));
+      continue;
+    }
+    Nest &Cand = *It.Child;
+    bool Fused = false;
+    // Walk backwards over already-placed items; stop at the first barrier.
+    for (size_t RI = Result.size(); RI-- > 0;) {
+      if (!Result[RI].Child)
+        break; // A bare tile op at this level is a barrier.
+      Nest &Prev = *Result[RI].Child;
+      if (Prev.Sums == Cand.Sums && !Prev.Sums.empty()) {
+        std::vector<std::pair<unsigned, unsigned>> Map;
+        for (size_t S = 0; S != Cand.Sums.size(); ++S)
+          Map.push_back({Cand.Sums[S].Id, Prev.Sums[S].Id});
+        remapSums(Cand, Map);
+        if (fusionSafe(Prev, Cand)) {
+          for (NestItem &Sub : Cand.Items)
+            Prev.Items.push_back(std::move(Sub));
+          ++Merges;
+          Fused = true;
+        } else {
+          // Undo the remap and give up on this candidate.
+          std::vector<std::pair<unsigned, unsigned>> Undo;
+          for (const auto &[From, To] : Map)
+            Undo.push_back({To, From});
+          remapSums(Cand, Undo);
+        }
+        break;
+      }
+      if (!independent(Prev, Cand))
+        break;
+    }
+    if (!Fused)
+      Result.push_back(std::move(It));
+  }
+  N.Items = std::move(Result);
+  return Merges;
+}
+
+void exchangeNest(Nest &N, bool Reverse) {
+  if (Reverse && N.Sums.size() > 1)
+    std::reverse(N.Sums.begin(), N.Sums.end());
+  for (NestItem &It : N.Items)
+    if (It.Child)
+      exchangeNest(*It.Child, Reverse);
+}
+
+} // namespace
+
+unsigned sll::fuseNests(SProgram &P) { return fuseChildren(P.Root); }
+
+void sll::exchangeLoops(SProgram &P, bool Reverse) {
+  exchangeNest(P.Root, Reverse);
+}

@@ -1,0 +1,146 @@
+//===- SigmaLL.h - The Σ-LL intermediate language --------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Σ-LL (thesis §2.1.3) makes loops and access patterns explicit: a tiled
+/// LL expression becomes nested summations whose bodies apply tile-level
+/// operators to submatrices extracted by gather matrices and written back
+/// by scatter matrices. We represent a Σ-LL computation as a tree of
+/// *nests*: each nest introduces summation indices, and its items are
+/// either tile operations (the eventual ν-BLAC invocations, with gather and
+/// scatter coordinates affine in the summation indices) or child nests.
+///
+/// The Σ-LL level transformations of the thesis live here as well:
+///  * loop fusion (merging sibling nests with identical summations, which
+///    is what lets scalar replacement later remove inter-codelet arrays —
+///    Figs. 2.3/2.4);
+///  * loop exchange (reordering summations of a nest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_SLL_SIGMALL_H
+#define LGEN_SLL_SIGMALL_H
+
+#include "cir/CIR.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lgen {
+namespace sll {
+
+/// A summation index: iterates 0, Step, 2·Step, ... while < Extent.
+struct SumIdx {
+  unsigned Id = 0;
+  int64_t Extent = 0;
+  int64_t Step = 1;
+
+  int64_t tripCount() const {
+    return Extent <= 0 ? 0 : ceilDiv(Extent, Step);
+  }
+  bool operator==(const SumIdx &O) const {
+    return Extent == O.Extent && Step == O.Step;
+  }
+};
+
+/// Role of a matrix in the Σ-LL program.
+enum class MatRole { Input, Output, InOut, Temp };
+
+struct MatInfo {
+  std::string Name;
+  int64_t Rows = 1;
+  int64_t Cols = 1;
+  MatRole Role = MatRole::Temp;
+
+  int64_t numElements() const { return Rows * Cols; }
+  bool isParam() const { return Role != MatRole::Temp; }
+};
+
+/// Gather/scatter coordinates of a tile: the element position of its
+/// top-left corner (affine in summation indices) plus its extent.
+struct TileAccess {
+  unsigned Mat = 0;
+  cir::AffineExpr Row; ///< Affine over SumIdx ids.
+  cir::AffineExpr Col;
+  unsigned TileRows = 1;
+  unsigned TileCols = 1;
+};
+
+/// Tile-level operators, mirroring the ν-BLAC library plus accumulating
+/// variants (the peeled-first-term + accumulate structure of summations).
+enum class OpKind {
+  Copy,      ///< Out = In0.
+  ZeroTile,  ///< Out = 0 (initialization of a reduction target).
+  Add,       ///< Out = In0 + In1.
+  SMul,      ///< Out = In0[0,0] * In1.
+  MatMul,    ///< Out = In0 · In1.
+  MatMulAcc, ///< Out += In0 · In1.
+  Trans,     ///< Out = In0^T.
+  MVH,       ///< Out = In0 ⊙ In1 (§3.3).
+  MVHAcc,    ///< Out += In0 ⊙ In1.
+  RR,        ///< Out = ⊕In0 (§3.3).
+  RRAcc,     ///< Out += ⊕In0.
+  MVM,       ///< Out = In0 · In1 (In1 a column tile).
+  MVMAcc,    ///< Out += In0 · In1.
+};
+
+const char *opKindName(OpKind K);
+
+struct TileOp {
+  OpKind Kind = OpKind::Copy;
+  std::vector<TileAccess> In;
+  TileAccess Out;
+};
+
+struct Nest;
+
+/// Either a tile operation or a nested summation.
+struct NestItem {
+  std::optional<TileOp> Op;
+  std::unique_ptr<Nest> Child;
+
+  /*implicit*/ NestItem(TileOp O) : Op(std::move(O)) {}
+  /*implicit*/ NestItem(std::unique_ptr<Nest> N) : Child(std::move(N)) {}
+};
+
+struct Nest {
+  std::vector<SumIdx> Sums;
+  std::vector<NestItem> Items;
+};
+
+/// A whole Σ-LL computation.
+struct SProgram {
+  std::vector<MatInfo> Mats;
+  Nest Root; ///< Root nest; its Sums list is empty.
+  unsigned NextSumId = 0;
+
+  unsigned addMat(std::string Name, int64_t Rows, int64_t Cols, MatRole Role);
+  SumIdx newSum(int64_t Extent, int64_t Step);
+
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Σ-LL transformations
+//===----------------------------------------------------------------------===//
+
+/// Loop fusion: merges sibling nests with identical summation signatures
+/// when no dependence is violated, recursively. Returns the number of
+/// merges performed.
+unsigned fuseNests(SProgram &P);
+
+/// Loop exchange: permutes the summations of every nest that carries more
+/// than one summation index according to \p OuterFirst (true keeps the
+/// construction order, false reverses it). Tile-op bodies are oblivious to
+/// the order, so any permutation is legal at this level.
+void exchangeLoops(SProgram &P, bool Reverse);
+
+} // namespace sll
+} // namespace lgen
+
+#endif // LGEN_SLL_SIGMALL_H

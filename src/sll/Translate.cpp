@@ -1,0 +1,479 @@
+//===- Translate.cpp - LL → Σ-LL translation (tiling + Σ rules) ----------===//
+
+#include "sll/Translate.h"
+
+#include "tiling/Tiling.h"
+
+#include <functional>
+#include <map>
+
+using namespace lgen;
+using namespace lgen::sll;
+using cir::AffineExpr;
+
+namespace {
+
+/// A region of one tiled dimension: either the full-tile part (iterated by
+/// a summation of Extent elements with step ν) or the fixed leftover part.
+struct Region {
+  bool IsLoop = false;
+  int64_t Begin = 0;   ///< Fixed regions: element coordinate.
+  int64_t Extent = 0;  ///< Loop regions: total elements covered.
+  unsigned Tile = 1;   ///< Tile extent in this dimension.
+};
+
+std::vector<Region> regionsOf(int64_t Dim, unsigned Nu) {
+  tiling::DimSplit S = tiling::splitDim(Dim, Nu);
+  std::vector<Region> Rs;
+  if (S.FullTiles > 0)
+    Rs.push_back({true, 0, S.FullTiles * Nu, Nu});
+  if (S.Leftover > 0)
+    Rs.push_back({false, S.FullTiles * Nu, 0,
+                  static_cast<unsigned>(S.Leftover)});
+  return Rs;
+}
+
+class Translator {
+public:
+  Translator(const ll::Program &P, const TranslateOptions &Opts)
+      : P(P), Nu(Opts.Nu), NewMVM(Opts.NewMVM && Opts.Nu > 1) {}
+
+  SProgram run() {
+    // Parameter matrices first, in declaration order.
+    const ll::Operand &Out = P.outputOperand();
+    for (const ll::Operand &O : P.Operands) {
+      MatRole Role;
+      if (O.Name == Out.Name)
+        Role = P.outputIsInput() ? MatRole::InOut : MatRole::Output;
+      else
+        Role = MatRole::Input;
+      OperandMat[O.Name] = S.addMat(O.Name, O.Rows, O.Cols, Role);
+    }
+    int Target = static_cast<int>(OperandMat[Out.Name]);
+    lowerExpr(*P.Rhs, Target);
+    return std::move(S);
+  }
+
+private:
+  unsigned newTemp(int64_t Rows, int64_t Cols) {
+    return S.addMat("t" + std::to_string(TempCounter++), Rows, Cols,
+                    MatRole::Temp);
+  }
+
+  /// Appends a single-op nest: loops over the loop regions in \p Sums.
+  void appendNest(std::vector<SumIdx> Sums, TileOp Op) {
+    if (Sums.empty()) {
+      S.Root.Items.push_back(NestItem(std::move(Op)));
+      return;
+    }
+    auto N = std::make_unique<Nest>();
+    N->Sums = std::move(Sums);
+    N->Items.push_back(NestItem(std::move(Op)));
+    S.Root.Items.push_back(NestItem(std::move(N)));
+  }
+
+  /// Coordinate expression of a region: the summation index or a constant.
+  static AffineExpr coordOf(const Region &R, const SumIdx &Sum) {
+    return R.IsLoop ? AffineExpr::loopIndex(Sum.Id) : AffineExpr(R.Begin);
+  }
+
+  bool mentions(const ll::Expr &E, unsigned Mat) const {
+    if (E.getKind() == ll::ExprKind::Ref) {
+      auto It = OperandMat.find(E.getRefName());
+      return It != OperandMat.end() && It->second == Mat;
+    }
+    for (unsigned I = 0; I != E.numChildren(); ++I)
+      if (mentions(E.child(I), Mat))
+        return true;
+    return false;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expression lowering
+  //===------------------------------------------------------------------===//
+
+  /// Lowers \p E; returns the matrix holding its value. When \p Target is
+  /// non-negative the value is written there.
+  unsigned lowerExpr(const ll::Expr &E, int Target) {
+    using ll::ExprKind;
+    switch (E.getKind()) {
+    case ExprKind::Ref: {
+      unsigned M = OperandMat.at(E.getRefName());
+      if (Target < 0 || static_cast<unsigned>(Target) == M)
+        return M;
+      emitCopy(M, Target, E.rows(), E.cols());
+      return Target;
+    }
+    case ExprKind::Add: {
+      unsigned L = lowerExpr(E.child(0), -1);
+      unsigned R = lowerExpr(E.child(1), -1);
+      unsigned D = destFor(E, Target);
+      emitElementwise(OpKind::Add, {L, R}, D, E.rows(), E.cols());
+      return D;
+    }
+    case ExprKind::SMul: {
+      unsigned Sc = lowerExpr(E.child(0), -1);
+      unsigned M = lowerExpr(E.child(1), -1);
+      unsigned D = destFor(E, Target);
+      emitSMul(Sc, M, D, E.rows(), E.cols());
+      return D;
+    }
+    case ExprKind::Trans: {
+      unsigned A = lowerExpr(E.child(0), -1);
+      unsigned D = destForNonAliased(E, Target, A);
+      emitTrans(A, D, E.child(0).rows(), E.child(0).cols());
+      finishInto(D, Target, E.rows(), E.cols());
+      return Target >= 0 ? static_cast<unsigned>(Target) : D;
+    }
+    case ExprKind::Mul: {
+      unsigned A = lowerExpr(E.child(0), -1);
+      unsigned B = lowerExpr(E.child(1), -1);
+      unsigned D = destForNonAliased(E, Target, ~0u);
+      if (E.child(1).cols() == 1 && E.child(0).cols() > 1 && NewMVM)
+        emitMVMNew(A, B, D, E.rows(), E.child(0).cols());
+      else if (E.child(1).cols() == 1 && Nu > 1)
+        emitMVMOld(A, B, D, E.rows(), E.child(0).cols());
+      else
+        emitMatMul(A, B, D, E.rows(), E.child(0).cols(), E.cols());
+      finishInto(D, Target, E.rows(), E.cols());
+      return Target >= 0 ? static_cast<unsigned>(Target) : D;
+    }
+    case ExprKind::MVH: {
+      unsigned A = lowerExpr(E.child(0), -1);
+      unsigned X = lowerExpr(E.child(1), -1);
+      unsigned D = destFor(E, Target);
+      emitMVHStandalone(A, X, D, E.rows(), E.cols());
+      return D;
+    }
+    case ExprKind::RR: {
+      unsigned A = lowerExpr(E.child(0), -1);
+      unsigned D = destForNonAliased(E, Target, A);
+      emitRRStandalone(A, D, E.child(0).rows(), E.child(0).cols());
+      finishInto(D, Target, E.rows(), E.cols());
+      return Target >= 0 ? static_cast<unsigned>(Target) : D;
+    }
+    }
+    LGEN_UNREACHABLE("unknown expression kind");
+  }
+
+  unsigned destFor(const ll::Expr &E, int Target) {
+    return Target >= 0 ? static_cast<unsigned>(Target)
+                       : newTemp(E.rows(), E.cols());
+  }
+
+  /// Reductions and transposes must not write a matrix their own inputs
+  /// read; fall back to a temporary when the target aliases the subtree.
+  unsigned destForNonAliased(const ll::Expr &E, int &Target, unsigned) {
+    if (Target >= 0 && mentions(E, static_cast<unsigned>(Target))) {
+      PendingCopyTarget = Target;
+      Target = -1;
+      return newTemp(E.rows(), E.cols());
+    }
+    PendingCopyTarget = -1;
+    return destFor(E, Target);
+  }
+
+  void finishInto(unsigned D, int &Target, int64_t Rows, int64_t Cols) {
+    if (PendingCopyTarget >= 0) {
+      emitCopy(D, static_cast<unsigned>(PendingCopyTarget), Rows, Cols);
+      Target = PendingCopyTarget;
+      PendingCopyTarget = -1;
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Operator rules
+  //===------------------------------------------------------------------===//
+
+  void emitCopy(unsigned From, unsigned To, int64_t Rows, int64_t Cols) {
+    emitElementwise(OpKind::Copy, {From}, To, Rows, Cols);
+  }
+
+  void emitElementwise(OpKind Kind, const std::vector<unsigned> &Ins,
+                       unsigned D, int64_t Rows, int64_t Cols) {
+    for (const Region &RI : regionsOf(Rows, Nu))
+      for (const Region &RJ : regionsOf(Cols, Nu)) {
+        std::vector<SumIdx> Sums;
+        SumIdx SI{}, SJ{};
+        if (RI.IsLoop)
+          Sums.push_back(SI = S.newSum(RI.Extent, Nu));
+        if (RJ.IsLoop)
+          Sums.push_back(SJ = S.newSum(RJ.Extent, Nu));
+        AffineExpr Row = coordOf(RI, SI), Col = coordOf(RJ, SJ);
+        TileOp Op;
+        Op.Kind = Kind;
+        for (unsigned In : Ins)
+          Op.In.push_back({In, Row, Col, RI.Tile, RJ.Tile});
+        Op.Out = {D, Row, Col, RI.Tile, RJ.Tile};
+        appendNest(std::move(Sums), std::move(Op));
+      }
+  }
+
+  void emitSMul(unsigned Scalar, unsigned M, unsigned D, int64_t Rows,
+                int64_t Cols) {
+    for (const Region &RI : regionsOf(Rows, Nu))
+      for (const Region &RJ : regionsOf(Cols, Nu)) {
+        std::vector<SumIdx> Sums;
+        SumIdx SI{}, SJ{};
+        if (RI.IsLoop)
+          Sums.push_back(SI = S.newSum(RI.Extent, Nu));
+        if (RJ.IsLoop)
+          Sums.push_back(SJ = S.newSum(RJ.Extent, Nu));
+        AffineExpr Row = coordOf(RI, SI), Col = coordOf(RJ, SJ);
+        TileOp Op;
+        Op.Kind = OpKind::SMul;
+        Op.In.push_back({Scalar, AffineExpr(0), AffineExpr(0), 1, 1});
+        Op.In.push_back({M, Row, Col, RI.Tile, RJ.Tile});
+        Op.Out = {D, Row, Col, RI.Tile, RJ.Tile};
+        appendNest(std::move(Sums), std::move(Op));
+      }
+  }
+
+  void emitTrans(unsigned A, unsigned D, int64_t ARows, int64_t ACols) {
+    for (const Region &RI : regionsOf(ARows, Nu))
+      for (const Region &RJ : regionsOf(ACols, Nu)) {
+        std::vector<SumIdx> Sums;
+        SumIdx SI{}, SJ{};
+        if (RI.IsLoop)
+          Sums.push_back(SI = S.newSum(RI.Extent, Nu));
+        if (RJ.IsLoop)
+          Sums.push_back(SJ = S.newSum(RJ.Extent, Nu));
+        AffineExpr Row = coordOf(RI, SI), Col = coordOf(RJ, SJ);
+        TileOp Op;
+        Op.Kind = OpKind::Trans;
+        Op.In.push_back({A, Row, Col, RI.Tile, RJ.Tile});
+        // Scatter to the transposed position with transposed extents.
+        Op.Out = {D, Col, Row, RJ.Tile, RI.Tile};
+        appendNest(std::move(Sums), std::move(Op));
+      }
+  }
+
+  /// Builds the peel-then-accumulate reduction over the K dimension.
+  /// \p MakeOp creates the tile op for one K region given (coordinate
+  /// expression of k, tile extent in k, accumulate flag). The items are
+  /// appended to \p Items; loop K regions become child nests.
+  /// When the reduction starts with a fixed (leftover-only) region, the
+  /// first term plainly assigns. When it starts with a summation, the
+  /// target is zero-initialized and every term accumulates: peeling the
+  /// first iteration would leave the loop with ⌊K/ν⌋−1 trips and destroy
+  /// the divisibility structure the outer tiling restriction relies on
+  /// (§2.1.2: the n = 695/893 dips happen at *prime tile counts*, not at
+  /// prime tile counts minus one).
+  void buildReduction(
+      std::vector<NestItem> &Items, int64_t K, const TileAccess &ZeroOut,
+      const std::function<TileOp(AffineExpr, unsigned, bool)> &MakeOp) {
+    bool First = true;
+    for (const Region &RK : regionsOf(K, Nu)) {
+      if (!RK.IsLoop) {
+        Items.push_back(
+            NestItem(MakeOp(AffineExpr(RK.Begin), RK.Tile, !First)));
+        First = false;
+        continue;
+      }
+      if (First) {
+        TileOp Zero;
+        Zero.Kind = OpKind::ZeroTile;
+        Zero.Out = ZeroOut;
+        Items.push_back(NestItem(std::move(Zero)));
+        First = false;
+      }
+      auto KN = std::make_unique<Nest>();
+      SumIdx SK = S.newSum(RK.Extent, Nu);
+      KN->Sums.push_back(SK);
+      KN->Items.push_back(
+          NestItem(MakeOp(AffineExpr::loopIndex(SK.Id), RK.Tile, true)));
+      Items.push_back(NestItem(std::move(KN)));
+    }
+  }
+
+  /// Scalar tiling (ν = 1): a zero-initialization sweep over (i, j)
+  /// followed by a single (k, i, j) accumulation nest. Keeping k outermost
+  /// interleaves the per-element accumulator chains of different output
+  /// elements once i/j are unrolled — the instruction-level parallelism an
+  /// in-order scalar pipe (ARM1176, §5.5) needs.
+  void emitMatMulScalar(unsigned A, unsigned B, unsigned D, int64_t M,
+                        int64_t K, int64_t N) {
+    {
+      SumIdx SI = S.newSum(M, 1), SJ = S.newSum(N, 1);
+      AffineExpr Row = AffineExpr::loopIndex(SI.Id);
+      AffineExpr Col = AffineExpr::loopIndex(SJ.Id);
+      TileOp Zero;
+      Zero.Kind = OpKind::ZeroTile;
+      Zero.Out = {D, Row, Col, 1, 1};
+      appendNest({SI, SJ}, std::move(Zero));
+    }
+    SumIdx SK = S.newSum(K, 1), SI = S.newSum(M, 1), SJ = S.newSum(N, 1);
+    AffineExpr KExpr = AffineExpr::loopIndex(SK.Id);
+    AffineExpr Row = AffineExpr::loopIndex(SI.Id);
+    AffineExpr Col = AffineExpr::loopIndex(SJ.Id);
+    TileOp Op;
+    Op.Kind = OpKind::MatMulAcc;
+    Op.In.push_back({A, Row, KExpr, 1, 1});
+    Op.In.push_back({B, KExpr, Col, 1, 1});
+    Op.Out = {D, Row, Col, 1, 1};
+    auto NAcc = std::make_unique<Nest>();
+    NAcc->Sums = {SK, SI, SJ};
+    NAcc->Items.push_back(NestItem(std::move(Op)));
+    S.Root.Items.push_back(NestItem(std::move(NAcc)));
+  }
+
+  void emitMatMul(unsigned A, unsigned B, unsigned D, int64_t M, int64_t K,
+                  int64_t N) {
+    if (Nu == 1) {
+      emitMatMulScalar(A, B, D, M, K, N);
+      return;
+    }
+    for (const Region &RI : regionsOf(M, Nu))
+      for (const Region &RJ : regionsOf(N, Nu)) {
+        std::vector<SumIdx> Sums;
+        SumIdx SI{}, SJ{};
+        if (RI.IsLoop)
+          Sums.push_back(SI = S.newSum(RI.Extent, Nu));
+        if (RJ.IsLoop)
+          Sums.push_back(SJ = S.newSum(RJ.Extent, Nu));
+        AffineExpr Row = coordOf(RI, SI), Col = coordOf(RJ, SJ);
+
+        std::vector<NestItem> Items;
+        TileAccess OutTile{D, Row, Col, RI.Tile, RJ.Tile};
+        buildReduction(Items, K, OutTile,
+                       [&](AffineExpr KExpr, unsigned KTile, bool Acc) {
+          TileOp Op;
+          Op.Kind = Acc ? OpKind::MatMulAcc : OpKind::MatMul;
+          Op.In.push_back({A, Row, KExpr, RI.Tile, KTile});
+          Op.In.push_back({B, KExpr, Col, KTile, RJ.Tile});
+          Op.Out = OutTile;
+          return Op;
+        });
+        wrapAndAppend(std::move(Sums), std::move(Items));
+      }
+  }
+
+  void emitMVMOld(unsigned A, unsigned X, unsigned D, int64_t M, int64_t K) {
+    for (const Region &RI : regionsOf(M, Nu)) {
+      std::vector<SumIdx> Sums;
+      SumIdx SI{};
+      if (RI.IsLoop)
+        Sums.push_back(SI = S.newSum(RI.Extent, Nu));
+      AffineExpr Row = coordOf(RI, SI);
+
+      std::vector<NestItem> Items;
+      TileAccess OutTile{D, Row, AffineExpr(0), RI.Tile, 1};
+      buildReduction(Items, K, OutTile,
+                     [&](AffineExpr KExpr, unsigned KTile, bool Acc) {
+        TileOp Op;
+        Op.Kind = Acc ? OpKind::MVMAcc : OpKind::MVM;
+        Op.In.push_back({A, Row, KExpr, RI.Tile, KTile});
+        Op.In.push_back({X, KExpr, AffineExpr(0), KTile, 1});
+        Op.Out = OutTile;
+        return Op;
+      });
+      wrapAndAppend(std::move(Sums), std::move(Items));
+    }
+  }
+
+  /// Equation (3.8): y_i = ⊕( Σ_k (A(i,k) ⊙ x(k)) ), with the inner
+  /// summation accumulating into a ν×ν scratch.
+  void emitMVMNew(unsigned A, unsigned X, unsigned D, int64_t M, int64_t K) {
+    unsigned T = newTemp(Nu, Nu);
+    tiling::DimSplit KS = tiling::splitDim(K, Nu);
+    unsigned RRCols = KS.FullTiles > 0 ? Nu : static_cast<unsigned>(KS.Leftover);
+    for (const Region &RI : regionsOf(M, Nu)) {
+      std::vector<SumIdx> Sums;
+      SumIdx SI{};
+      if (RI.IsLoop)
+        Sums.push_back(SI = S.newSum(RI.Extent, Nu));
+      AffineExpr Row = coordOf(RI, SI);
+
+      std::vector<NestItem> Items;
+      TileAccess ScratchFull{T, AffineExpr(0), AffineExpr(0), RI.Tile,
+                             RRCols};
+      buildReduction(Items, K, ScratchFull,
+                     [&](AffineExpr KExpr, unsigned KTile, bool Acc) {
+        TileOp Op;
+        Op.Kind = Acc ? OpKind::MVHAcc : OpKind::MVH;
+        Op.In.push_back({A, Row, KExpr, RI.Tile, KTile});
+        Op.In.push_back({X, KExpr, AffineExpr(0), KTile, 1});
+        Op.Out = {T, AffineExpr(0), AffineExpr(0), RI.Tile, KTile};
+        return Op;
+      });
+      TileOp RROp;
+      RROp.Kind = OpKind::RR;
+      RROp.In.push_back({T, AffineExpr(0), AffineExpr(0), RI.Tile, RRCols});
+      RROp.Out = {D, Row, AffineExpr(0), RI.Tile, 1};
+      Items.push_back(NestItem(std::move(RROp)));
+      wrapAndAppend(std::move(Sums), std::move(Items));
+    }
+  }
+
+  void emitMVHStandalone(unsigned A, unsigned X, unsigned D, int64_t Rows,
+                         int64_t Cols) {
+    for (const Region &RI : regionsOf(Rows, Nu))
+      for (const Region &RJ : regionsOf(Cols, Nu)) {
+        std::vector<SumIdx> Sums;
+        SumIdx SI{}, SJ{};
+        if (RI.IsLoop)
+          Sums.push_back(SI = S.newSum(RI.Extent, Nu));
+        if (RJ.IsLoop)
+          Sums.push_back(SJ = S.newSum(RJ.Extent, Nu));
+        AffineExpr Row = coordOf(RI, SI), Col = coordOf(RJ, SJ);
+        TileOp Op;
+        Op.Kind = OpKind::MVH;
+        Op.In.push_back({A, Row, Col, RI.Tile, RJ.Tile});
+        Op.In.push_back({X, Col, AffineExpr(0), RJ.Tile, 1});
+        Op.Out = {D, Row, Col, RI.Tile, RJ.Tile};
+        appendNest(std::move(Sums), std::move(Op));
+      }
+  }
+
+  void emitRRStandalone(unsigned A, unsigned D, int64_t ARows,
+                        int64_t ACols) {
+    for (const Region &RI : regionsOf(ARows, Nu)) {
+      std::vector<SumIdx> Sums;
+      SumIdx SI{};
+      if (RI.IsLoop)
+        Sums.push_back(SI = S.newSum(RI.Extent, Nu));
+      AffineExpr Row = coordOf(RI, SI);
+      std::vector<NestItem> Items;
+      TileAccess OutTile{D, Row, AffineExpr(0), RI.Tile, 1};
+      buildReduction(Items, ACols, OutTile,
+                     [&](AffineExpr KExpr, unsigned KTile, bool Acc) {
+        TileOp Op;
+        Op.Kind = Acc ? OpKind::RRAcc : OpKind::RR;
+        Op.In.push_back({A, Row, KExpr, RI.Tile, KTile});
+        Op.Out = OutTile;
+        return Op;
+      });
+      wrapAndAppend(std::move(Sums), std::move(Items));
+    }
+  }
+
+  /// Wraps \p Items in a nest with \p Sums (or splices them into the root
+  /// when there are no summations).
+  void wrapAndAppend(std::vector<SumIdx> Sums, std::vector<NestItem> Items) {
+    if (Sums.empty()) {
+      for (NestItem &It : Items)
+        S.Root.Items.push_back(std::move(It));
+      return;
+    }
+    auto N = std::make_unique<Nest>();
+    N->Sums = std::move(Sums);
+    N->Items = std::move(Items);
+    S.Root.Items.push_back(NestItem(std::move(N)));
+  }
+
+  const ll::Program &P;
+  unsigned Nu;
+  bool NewMVM;
+  SProgram S;
+  std::map<std::string, unsigned> OperandMat;
+  unsigned TempCounter = 0;
+  int PendingCopyTarget = -1;
+};
+
+} // namespace
+
+SProgram sll::translate(const ll::Program &P, const TranslateOptions &Opts) {
+  assert(Opts.Nu >= 1 && "invalid tile size");
+  Translator T(P, Opts);
+  return T.run();
+}

@@ -1,0 +1,48 @@
+//===- Translate.h - LL → Σ-LL translation (tiling + Σ rules) --*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translation of a tiled LL program into Σ-LL (thesis §2.1.2–2.1.3): each
+/// LL operator becomes summations over ν-tiles with gather/scatter
+/// accesses. Dimensions split into a full-tile region (a summation) and at
+/// most one leftover region (fixed coordinates), honoring the restriction
+/// that leftovers appear in at most one tiling level. Reductions follow the
+/// peel-first-term-then-accumulate scheme, which is how the "sum over k"
+/// of expression (2.4) materializes without a separate zero-initialization.
+///
+/// When the new matrix-vector multiplication approach of §3.3 is enabled,
+/// A·x products are lowered according to equation (3.8): an outer summation
+/// over row tiles whose body accumulates matrix-vector Hadamard products
+/// into a ν×ν scratch and applies one row reduction per row tile — moving
+/// the expensive horizontal adds out of the inner summation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_SLL_TRANSLATE_H
+#define LGEN_SLL_TRANSLATE_H
+
+#include "ll/AST.h"
+#include "sll/SigmaLL.h"
+
+namespace lgen {
+namespace sll {
+
+struct TranslateOptions {
+  /// Vector tile size (1 generates scalar tiling for ISA-less targets).
+  unsigned Nu = 4;
+  /// Lower A·x via MVH + RR (§3.3) instead of the classic MVM ν-BLAC.
+  bool NewMVM = false;
+};
+
+/// Translates \p P (dimensions already inferred) into a Σ-LL program.
+/// Kernel parameter matrices appear first in the result's matrix table, in
+/// the declaration order of \p P.
+SProgram translate(const ll::Program &P, const TranslateOptions &Opts);
+
+} // namespace sll
+} // namespace lgen
+
+#endif // LGEN_SLL_TRANSLATE_H

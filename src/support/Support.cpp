@@ -1,0 +1,65 @@
+//===- Support.cpp - Shared utilities --------------------------*- C++ -*-===//
+
+#include "support/Support.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lgen;
+
+void lgen::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "lgen fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void lgen::unreachableImpl(const char *Message, const char *File, int Line) {
+  std::fprintf(stderr, "lgen unreachable at %s:%d: %s\n", File, Line, Message);
+  std::abort();
+}
+
+int64_t lgen::gcd64(int64_t A, int64_t B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+int64_t lgen::lcm64(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  return (A / gcd64(A, B)) * B;
+}
+
+int64_t lgen::floorMod(int64_t A, int64_t M) {
+  assert(M != 0 && "floorMod by zero");
+  if (M < 0)
+    M = -M;
+  int64_t R = A % M;
+  return R < 0 ? R + M : R;
+}
+
+bool lgen::isPrime(int64_t N) {
+  if (N < 2)
+    return false;
+  for (int64_t D = 2; D * D <= N; ++D)
+    if (N % D == 0)
+      return false;
+  return true;
+}
+
+std::string lgen::joinStrings(const std::vector<std::string> &Parts,
+                              const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}

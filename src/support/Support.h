@@ -1,0 +1,88 @@
+//===- Support.h - Shared utilities for the LGen reproduction -*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small support utilities shared by every LGen subsystem: fatal error
+/// reporting, number-theory helpers used by the Congruence domain, a
+/// deterministic RNG for the autotuner, and string helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_SUPPORT_SUPPORT_H
+#define LGEN_SUPPORT_SUPPORT_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lgen {
+
+/// Prints \p Message to stderr and aborts. Used for invariant violations
+/// that must be diagnosed even in release builds.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks a point in the code that must never be reached.
+[[noreturn]] void unreachableImpl(const char *Message, const char *File,
+                                  int Line);
+
+#define LGEN_UNREACHABLE(MSG) ::lgen::unreachableImpl(MSG, __FILE__, __LINE__)
+
+/// Greatest common divisor on int64 values. gcd(0, 0) == 0 by convention,
+/// matching the Congruence-domain algebra of Table 2.8 in the thesis.
+int64_t gcd64(int64_t A, int64_t B);
+
+/// Least common multiple on int64 values; lcm(x, 0) == 0.
+int64_t lcm64(int64_t A, int64_t B);
+
+/// Mathematical modulo with a non-negative result for positive \p M.
+int64_t floorMod(int64_t A, int64_t M);
+
+/// Ceiling division for non-negative operands.
+inline int64_t ceilDiv(int64_t A, int64_t B) {
+  assert(B > 0 && "ceilDiv requires a positive divisor");
+  return (A + B - 1) / B;
+}
+
+/// Returns true if \p N is prime. Used to reproduce the thesis' tiling
+/// restriction discussion (dips at n = 695, 893 where floor(n/4) is prime).
+bool isPrime(int64_t N);
+
+/// Deterministic xorshift-based RNG. The autotuner's random search must be
+/// reproducible across runs, so we never seed from the clock.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed | 1) {}
+
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+
+  /// Uniform integer in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Joins the string representations of \p Parts with \p Sep.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep);
+
+} // namespace lgen
+
+#endif // LGEN_SUPPORT_SUPPORT_H

@@ -1,0 +1,47 @@
+//===- Tiling.cpp - Tiling decisions and legality (§2.1.2) ----------------===//
+
+#include "tiling/Tiling.h"
+
+#include <algorithm>
+
+using namespace lgen;
+using namespace lgen::tiling;
+
+DimSplit tiling::splitDim(int64_t N, unsigned Nu) {
+  assert(N >= 0 && Nu >= 1 && "invalid dimension split");
+  DimSplit S;
+  S.Nu = Nu;
+  S.FullTiles = N / Nu;
+  S.Leftover = N % Nu;
+  return S;
+}
+
+std::vector<int64_t> tiling::legalUnrollFactors(int64_t TripCount,
+                                                int64_t MaxFactor) {
+  std::vector<int64_t> Factors = {1};
+  for (int64_t F = 2; F <= MaxFactor && F <= TripCount; ++F)
+    if (TripCount % F == 0)
+      Factors.push_back(F);
+  return Factors;
+}
+
+TilingPlan tiling::randomPlan(const std::vector<LoopDesc> &Loops, Rng &Rng,
+                              int64_t MaxFactor) {
+  TilingPlan Plan;
+  Plan.ExchangeLoops = Rng.nextBelow(2) == 1;
+  Plan.FullUnrollTrip = 2 + static_cast<int64_t>(Rng.nextBelow(5));
+  for (const LoopDesc &L : Loops) {
+    std::vector<int64_t> Factors = legalUnrollFactors(L.TripCount, MaxFactor);
+    Plan.UnrollFactors.push_back(Factors[Rng.nextBelow(Factors.size())]);
+  }
+  return Plan;
+}
+
+TilingPlan tiling::defaultPlan(const std::vector<LoopDesc> &Loops) {
+  TilingPlan Plan;
+  for (const LoopDesc &L : Loops) {
+    std::vector<int64_t> Factors = legalUnrollFactors(L.TripCount, 4);
+    Plan.UnrollFactors.push_back(Factors.back());
+  }
+  return Plan;
+}

@@ -1,0 +1,80 @@
+//===- Tiling.h - Tiling decisions and legality (§2.1.2) -------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiling support (thesis §2.1.2). The first level of tiling targets
+/// vectorization and is fixed to ν by the ISA; this module handles the
+/// bookkeeping around it (full tiles vs. leftovers) and the *outer* levels,
+/// which in LGen materialize as unrolling of the tile loops for register
+/// reuse and instruction-level parallelism.
+///
+/// The central restriction is that leftovers may be introduced in at most
+/// one level of tiling: an outer level must evenly divide the number of
+/// inner tiles. When ⌊n/ν⌋ is prime and larger than any allowed factor, no
+/// outer tiling is possible (the 1×1 "pseudo-tiling"), which is the cause
+/// of the performance dips at n = 695 and n = 893 discussed in §5.2.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_TILING_TILING_H
+#define LGEN_TILING_TILING_H
+
+#include "support/Support.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lgen {
+namespace tiling {
+
+/// Decomposition of a dimension into ν-tiles: N = FullTiles·ν + Leftover.
+struct DimSplit {
+  int64_t FullTiles = 0;
+  int64_t Leftover = 0;
+  unsigned Nu = 1;
+};
+
+DimSplit splitDim(int64_t N, unsigned Nu);
+
+/// Legal outer unroll factors for a tile loop with \p TripCount full tiles:
+/// the divisors of TripCount not exceeding \p MaxFactor (leftover-free by
+/// construction), always including 1.
+std::vector<int64_t> legalUnrollFactors(int64_t TripCount, int64_t MaxFactor);
+
+/// One point in the tiling search space: the per-loop outer unroll factors
+/// (indexed by discovery order of the tile loops), whether loops are
+/// exchanged, and the full-unroll budget for small kernels.
+struct TilingPlan {
+  std::vector<int64_t> UnrollFactors;
+  bool ExchangeLoops = false;
+  /// Loops with trip count at most this are fully unrolled.
+  int64_t FullUnrollTrip = 4;
+
+  int64_t factorFor(size_t LoopIdx) const {
+    return LoopIdx < UnrollFactors.size() ? UnrollFactors[LoopIdx] : 1;
+  }
+};
+
+/// Description of a tile loop discovered while lowering, used to build the
+/// search space.
+struct LoopDesc {
+  int64_t TripCount = 0;
+  unsigned Depth = 0;
+};
+
+/// Draws a random plan for the given loops (thesis §5.1.5: "LGen was
+/// configured to use a random search over the search space").
+TilingPlan randomPlan(const std::vector<LoopDesc> &Loops, Rng &Rng,
+                      int64_t MaxFactor = 8);
+
+/// A deterministic default plan: unroll every loop by the largest legal
+/// factor not exceeding 4, preferring deeper loops.
+TilingPlan defaultPlan(const std::vector<LoopDesc> &Loops);
+
+} // namespace tiling
+} // namespace lgen
+
+#endif // LGEN_TILING_TILING_H

@@ -1,0 +1,124 @@
+//===- lgen-cli.cpp - Command-line driver for the LGen compiler -----------===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small CLI around the compiler, for exploring kernels interactively:
+///
+///   lgen-cli [options] "<BLAC>"
+///
+///   --target=atom|a8|a9|arm1176|sandybridge   (default atom)
+///   --full            enable the target's full optimization set
+///   --samples=N       autotuning random-search sample size (default 10)
+///   --emit=c|ir|stats|time|all                what to print (default all)
+///
+/// Example:
+///   lgen-cli --target=a9 --full \
+///     "Matrix A(4,16); Vector x(16); Vector y(4); y = A*x;"
+///
+//===----------------------------------------------------------------------===//
+
+#include "cir/Passes.h"
+#include "codegen/CUnparser.h"
+#include "compiler/Compiler.h"
+#include "ll/Parser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace lgen;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--target=atom|a8|a9|arm1176|sandybridge] "
+               "[--full] [--samples=N] [--emit=c|ir|stats|time|all] "
+               "\"<BLAC>\"\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  machine::UArch Target = machine::UArch::Atom;
+  bool Full = false;
+  unsigned Samples = 10;
+  std::string Emit = "all";
+  std::string Source;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--target=", 0) == 0) {
+      std::string T = Arg.substr(9);
+      if (T == "atom")
+        Target = machine::UArch::Atom;
+      else if (T == "a8")
+        Target = machine::UArch::CortexA8;
+      else if (T == "a9")
+        Target = machine::UArch::CortexA9;
+      else if (T == "arm1176")
+        Target = machine::UArch::ARM1176;
+      else if (T == "sandybridge")
+        Target = machine::UArch::SandyBridge;
+      else
+        return usage(Argv[0]);
+    } else if (Arg == "--full") {
+      Full = true;
+    } else if (Arg.rfind("--samples=", 0) == 0) {
+      Samples = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
+    } else if (Arg.rfind("--emit=", 0) == 0) {
+      Emit = Arg.substr(7);
+    } else if (Arg.rfind("--", 0) == 0) {
+      return usage(Argv[0]);
+    } else {
+      Source = Arg;
+    }
+  }
+  if (Source.empty())
+    return usage(Argv[0]);
+
+  ll::Program P;
+  std::string Err;
+  if (!ll::parseProgram(Source, P, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  compiler::Options O = Full ? compiler::Options::lgenFull(Target)
+                             : compiler::Options::lgenBase(Target);
+  O.SearchSamples = Samples;
+  compiler::Compiler C(O);
+  compiler::CompiledKernel CK = C.compile(P);
+  machine::Microarch M = machine::Microarch::get(Target);
+
+  if (Emit == "ir" || Emit == "all") {
+    std::printf("// --- C-IR (%s) ---\n%s\n",
+                CK.HasVersions ? "aligned version 0" : "single version",
+                CK.kernelFor({}).str().c_str());
+  }
+  if (Emit == "c" || Emit == "all")
+    std::printf("// --- C ---\n%s\n", codegen::unparseCompiled(CK).c_str());
+  if (Emit == "stats" || Emit == "all") {
+    cir::KernelStats S = cir::computeStats(CK.kernelFor({}));
+    std::printf("// --- stats ---\n"
+                "insts=%u loads=%u stores=%u shuffles=%u arith=%u loops=%u "
+                "versions=%u\n",
+                S.NumInsts, S.NumLoads, S.NumStores, S.NumShuffles,
+                S.NumArith, S.NumLoops,
+                CK.HasVersions ? CK.Versioned.numVersions() : 1);
+  }
+  if (Emit == "time" || Emit == "all") {
+    machine::TimingResult T = CK.time(M);
+    std::printf("// --- timing on %s ---\n"
+                "cycles=%.1f flops=%.0f perf=%.3f f/c (peak %.0f) "
+                "energy=%.1f nJ\n",
+                M.Name.c_str(), T.Cycles, CK.Flops, CK.Flops / T.Cycles,
+                M.PeakFlopsPerCycle, T.EnergyNJ);
+  }
+  return 0;
+}

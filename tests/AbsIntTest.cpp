@@ -1,0 +1,370 @@
+//===- AbsIntTest.cpp - Abstract interpretation tests ----------*- C++ -*-===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Interval and Congruence domains (Tables 2.7/2.8), the reduced
+/// product and its reduction function (the §2.3.4 worked examples), the
+/// fixpoint engine (including the once-taken loop of Listing 3.2), and
+/// property-based soundness checks against concrete executions
+/// (Theorem 3.1) plus the preciseness statement of Theorem 3.5 on
+/// LGen-shaped addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "absint/AlignmentDetection.h"
+#include "absint/Engine.h"
+#include "cir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace lgen;
+using namespace lgen::absint;
+using namespace lgen::cir;
+
+//===----------------------------------------------------------------------===//
+// Interval domain (Table 2.7)
+//===----------------------------------------------------------------------===//
+
+TEST(Interval, LatticeBasics) {
+  Interval Bot = Interval::bottom();
+  Interval Top = Interval::top();
+  Interval I = Interval::make(1, 5);
+  EXPECT_TRUE(Bot.leq(I));
+  EXPECT_TRUE(I.leq(Top));
+  EXPECT_FALSE(Top.leq(I));
+  EXPECT_TRUE(Interval::make(2, 3).leq(I));
+  EXPECT_FALSE(I.leq(Interval::make(2, 3)));
+  EXPECT_TRUE(Interval::make(5, 1).isBottom()) << "empty interval is bottom";
+}
+
+TEST(Interval, JoinMeet) {
+  Interval A = Interval::make(0, 4), B = Interval::make(2, 9);
+  EXPECT_EQ(A.join(B), Interval::make(0, 9));
+  EXPECT_EQ(A.meet(B), Interval::make(2, 4));
+  EXPECT_TRUE(Interval::make(0, 1).meet(Interval::make(3, 4)).isBottom());
+  EXPECT_EQ(A.join(Interval::bottom()), A);
+  EXPECT_TRUE(A.meet(Interval::bottom()).isBottom());
+}
+
+TEST(Interval, Arithmetic) {
+  Interval A = Interval::make(1, 3), B = Interval::make(-2, 4);
+  EXPECT_EQ(A.add(B), Interval::make(-1, 7));
+  EXPECT_EQ(A.mul(B), Interval::make(-6, 12));
+  // Negative × negative flips bounds.
+  EXPECT_EQ(Interval::make(-3, -1).mul(Interval::make(-2, -1)),
+            Interval::make(1, 6));
+  // Infinite bounds saturate.
+  Interval Upper = Interval::make(2, Bound::PosInf);
+  EXPECT_EQ(Upper.add(Interval::constant(5)).lower(), 7);
+  EXPECT_FALSE(Upper.add(Interval::constant(5)).hasFiniteUpper());
+  EXPECT_EQ(Interval::top().mul(Interval::constant(0)),
+            Interval::constant(0));
+}
+
+TEST(Interval, Widening) {
+  Interval Prev = Interval::make(0, 4);
+  EXPECT_EQ(Interval::make(0, 8).widen(Prev),
+            Interval::make(0, Bound::PosInf));
+  EXPECT_EQ(Interval::make(-1, 4).widen(Prev),
+            Interval::make(Bound::NegInf, 4));
+  EXPECT_EQ(Interval::make(0, 4).widen(Prev), Prev) << "stable stays put";
+}
+
+/// Soundness sweep: abstract ops overapproximate every pair of members.
+TEST(Interval, SoundnessProperty) {
+  Rng R(99);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    int64_t A1 = static_cast<int64_t>(R.nextBelow(40)) - 20;
+    int64_t A2 = A1 + static_cast<int64_t>(R.nextBelow(10));
+    int64_t B1 = static_cast<int64_t>(R.nextBelow(40)) - 20;
+    int64_t B2 = B1 + static_cast<int64_t>(R.nextBelow(10));
+    Interval IA = Interval::make(A1, A2), IB = Interval::make(B1, B2);
+    for (int64_t X = A1; X <= A2; ++X)
+      for (int64_t Y = B1; Y <= B2; ++Y) {
+        ASSERT_TRUE(IA.add(IB).contains(X + Y));
+        ASSERT_TRUE(IA.mul(IB).contains(X * Y));
+        ASSERT_TRUE(IA.join(IB).contains(X));
+      }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Congruence domain (Table 2.8)
+//===----------------------------------------------------------------------===//
+
+TEST(Congruence, Normalization) {
+  EXPECT_EQ(Congruence::make(7, 4), Congruence::make(3, 4));
+  EXPECT_EQ(Congruence::make(-1, 4), Congruence::make(3, 4));
+  EXPECT_EQ(Congruence::make(5, -4).modulus(), 4);
+}
+
+TEST(Congruence, LatticeOrder) {
+  // 0+4Z ⊑ 0+2Z ⊑ 0+1Z (Fig. 2.7).
+  EXPECT_TRUE(Congruence::make(0, 4).leq(Congruence::make(0, 2)));
+  EXPECT_TRUE(Congruence::make(0, 2).leq(Congruence::top()));
+  EXPECT_FALSE(Congruence::make(1, 4).leq(Congruence::make(0, 2)));
+  EXPECT_TRUE(Congruence::make(2, 4).leq(Congruence::make(0, 2)));
+  // Constants are below their classes.
+  EXPECT_TRUE(Congruence::constant(8).leq(Congruence::make(0, 4)));
+  EXPECT_FALSE(Congruence::constant(9).leq(Congruence::make(0, 4)));
+  EXPECT_TRUE(Congruence::bottom().leq(Congruence::constant(3)));
+}
+
+TEST(Congruence, JoinMeetAddMul) {
+  // join: c1 + gcd(m1, m2, c1-c2)Z.
+  EXPECT_EQ(Congruence::make(1, 4).join(Congruence::make(3, 4)),
+            Congruence::make(1, 2));
+  EXPECT_EQ(Congruence::constant(4).join(Congruence::constant(10)),
+            Congruence::make(4, 6));
+  // meet: CRT solution + lcm, or bottom.
+  EXPECT_EQ(Congruence::make(1, 3).meet(Congruence::make(2, 4)),
+            Congruence::make(10, 12));
+  EXPECT_TRUE(
+      Congruence::make(0, 2).meet(Congruence::make(1, 2)).isBottom());
+  // add/mul per Table 2.8.
+  EXPECT_EQ(Congruence::make(1, 4).add(Congruence::make(2, 6)),
+            Congruence::make(3, 2));
+  EXPECT_EQ(Congruence::constant(3).mul(Congruence::make(0, 4)),
+            Congruence::make(0, 12));
+}
+
+/// Soundness sweep against concrete members.
+TEST(Congruence, SoundnessProperty) {
+  Rng R(7);
+  for (int Trial = 0; Trial != 300; ++Trial) {
+    int64_t M1 = R.nextBelow(8), M2 = R.nextBelow(8);
+    int64_t C1 = M1 ? static_cast<int64_t>(R.nextBelow(M1)) : int64_t(R.nextBelow(20));
+    int64_t C2 = M2 ? static_cast<int64_t>(R.nextBelow(M2)) : int64_t(R.nextBelow(20));
+    Congruence A = Congruence::make(C1, M1), B = Congruence::make(C2, M2);
+    // Sample members x = c + k*m.
+    for (int64_t KA = 0; KA != 4; ++KA)
+      for (int64_t KB = 0; KB != 4; ++KB) {
+        int64_t X = C1 + KA * M1, Y = C2 + KB * M2;
+        ASSERT_TRUE(A.add(B).contains(X + Y)) << A.str() << " + " << B.str();
+        ASSERT_TRUE(A.mul(B).contains(X * Y)) << A.str() << " * " << B.str();
+        ASSERT_TRUE(A.join(B).contains(X));
+        ASSERT_TRUE(A.join(B).contains(Y));
+      }
+  }
+}
+
+TEST(Congruence, IsMultipleOf) {
+  EXPECT_TRUE(Congruence::make(0, 8).isMultipleOf(4));
+  EXPECT_TRUE(Congruence::constant(12).isMultipleOf(4));
+  EXPECT_FALSE(Congruence::make(2, 8).isMultipleOf(4));
+  EXPECT_FALSE(Congruence::make(0, 2).isMultipleOf(4));
+}
+
+//===----------------------------------------------------------------------===//
+// Reduced product (§2.3.4 worked examples)
+//===----------------------------------------------------------------------===//
+
+TEST(ReducedProduct, ThesisExamples) {
+  // red([0,3], 4+0Z) = ⊥ (constant outside the interval).
+  EXPECT_TRUE(
+      AbsVal(Interval::make(0, 3), Congruence::constant(4)).reduce().isBottom());
+  // red([0,3], 4+5Z) = ⊥ (no member of 4+5Z in [0,3]).
+  EXPECT_TRUE(AbsVal(Interval::make(0, 3), Congruence::make(4, 5))
+                  .reduce()
+                  .isBottom());
+  // red([0,0], 0+8Z) = ([0,0], 0+0Z): interval tightens the congruence.
+  AbsVal V1 = AbsVal(Interval::constant(0), Congruence::make(0, 8)).reduce();
+  EXPECT_EQ(V1.congruence(), Congruence::constant(0));
+  // red([-1,1], 0+0Z) = ([0,0], 0+0Z): congruence tightens the interval.
+  AbsVal V2 =
+      AbsVal(Interval::make(-1, 1), Congruence::constant(0)).reduce();
+  EXPECT_EQ(V2.interval(), Interval::constant(0));
+  // red([1,5], 0+2Z) = ([2,4], 0+2Z).
+  AbsVal V3 = AbsVal(Interval::make(1, 5), Congruence::make(0, 2)).reduce();
+  EXPECT_EQ(V3.interval(), Interval::make(2, 4));
+  EXPECT_EQ(V3.congruence(), Congruence::make(0, 2));
+}
+
+TEST(ReducedProduct, RoundingFunctions) {
+  EXPECT_EQ(roundUpToClass(Congruence::make(1, 4), 6), 9);
+  EXPECT_EQ(roundUpToClass(Congruence::make(0, 4), 8), 8);
+  EXPECT_EQ(roundDownToClass(Congruence::make(1, 4), 6), 5);
+  EXPECT_EQ(roundDownToClass(Congruence::constant(3), 100), 3);
+}
+
+/// red must not lose concretization (second property of §2.3.3): every
+/// member of the original stays a member after reduction.
+TEST(ReducedProduct, ReductionPreservesConcretization) {
+  Rng R(13);
+  for (int Trial = 0; Trial != 300; ++Trial) {
+    int64_t Lo = static_cast<int64_t>(R.nextBelow(20)) - 10;
+    int64_t Hi = Lo + static_cast<int64_t>(R.nextBelow(12));
+    int64_t M = R.nextBelow(6);
+    int64_t C = M ? static_cast<int64_t>(R.nextBelow(M)) : Lo;
+    AbsVal V(Interval::make(Lo, Hi), Congruence::make(C, M));
+    AbsVal Red = V.reduce();
+    EXPECT_TRUE(Red.leq(V)) << "reduction must refine";
+    for (int64_t X = Lo; X <= Hi; ++X)
+      if (V.contains(X))
+        EXPECT_TRUE(Red.contains(X)) << X << " lost by reduction";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fixpoint engine
+//===----------------------------------------------------------------------===//
+
+TEST(Engine, SimpleLoop) {
+  // for (i = 0; i < 32; i += 4): ([0, 28], 0+4Z).
+  AbsVal V = analyzeLoopIndex(0, 32, 4);
+  EXPECT_EQ(V.interval(), Interval::make(0, 28));
+  EXPECT_EQ(V.congruence(), Congruence::make(0, 4));
+}
+
+TEST(Engine, OnceTakenLoopListing32) {
+  // Listing 3.2: for (k = 0; k < 8; k += 13) runs exactly once; the
+  // reduced product pins k to the constant 0 (Congruence alone would give
+  // 0+13Z and miss the aligned access).
+  AbsVal V = analyzeLoopIndex(0, 8, 13);
+  EXPECT_EQ(V.interval(), Interval::constant(0));
+  EXPECT_EQ(V.congruence(), Congruence::constant(0));
+}
+
+TEST(Engine, LongLoopConvergesViaWidening) {
+  AbsVal V = analyzeLoopIndex(0, 40000, 4);
+  EXPECT_EQ(V.congruence(), Congruence::make(0, 4));
+  EXPECT_EQ(V.interval().lower(), 0);
+  EXPECT_EQ(V.interval().upper(), 39996)
+      << "guard meet + reduction recover the exact last index";
+}
+
+TEST(Engine, UntakenLoopIsBottom) {
+  EXPECT_TRUE(analyzeLoopIndex(8, 8, 4).isBottom());
+}
+
+/// Theorem 3.1 property: the fixpoint value contains every concrete index.
+TEST(Engine, SoundOnRandomLoops) {
+  Rng R(31);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    int64_t Start = R.nextBelow(10);
+    int64_t End = Start + R.nextBelow(50);
+    int64_t Step = 1 + R.nextBelow(13);
+    AbsVal V = analyzeLoopIndex(Start, End, Step);
+    for (int64_t I = Start; I < End; I += Step)
+      ASSERT_TRUE(V.contains(I))
+          << "loop(" << Start << "," << End << "," << Step << ") lost " << I;
+  }
+}
+
+/// Theorem 3.5 property on LGen-shaped addresses: if a0*i0 + a1*i1 + a is
+/// divisible by N at every execution, the analysis proves it.
+TEST(Engine, PreciseOnLGenShapedAddresses) {
+  Rng R(77);
+  int Proven = 0, DivisibleCases = 0;
+  for (int Trial = 0; Trial != 400; ++Trial) {
+    int64_t A0 = R.nextBelow(9), A1 = R.nextBelow(9);
+    int64_t A = R.nextBelow(16);
+    int64_t End0 = 4 + R.nextBelow(40), Step0 = 1 + R.nextBelow(6);
+    int64_t End1 = 4 + R.nextBelow(40), Step1 = 1 + R.nextBelow(6);
+    const int64_t N = 4;
+    bool AlwaysDivisible = true;
+    for (int64_t I0 = 0; I0 < End0; I0 += Step0)
+      for (int64_t I1 = 0; I1 < End1; I1 += Step1)
+        AlwaysDivisible &= (A0 * I0 + A1 * I1 + A) % N == 0;
+    Environment Env;
+    Env.bind(0, analyzeLoopIndex(0, End0, Step0));
+    Env.bind(1, analyzeLoopIndex(0, End1, Step1));
+    AffineExpr E = AffineExpr(A) + AffineExpr::loopIndex(0, A0) +
+                   AffineExpr::loopIndex(1, A1);
+    AbsVal V = Env.evaluate(E, AbsVal::constant(0));
+    bool ProvedAligned = V.congruence().isMultipleOf(N);
+    if (AlwaysDivisible) {
+      ++DivisibleCases;
+      EXPECT_TRUE(ProvedAligned) << "missed: " << A0 << "*i0 + " << A1
+                                 << "*i1 + " << A;
+      Proven += ProvedAligned;
+    } else {
+      EXPECT_FALSE(ProvedAligned) << "unsound: " << A0 << "*i0 + " << A1
+                                  << "*i1 + " << A;
+    }
+  }
+  EXPECT_GT(DivisibleCases, 5) << "sweep must exercise divisible cases";
+}
+
+//===----------------------------------------------------------------------===//
+// Alignment detection on kernels
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// for (i = 0; i < 32; i += 4) { v = load A[i + Delta]; store t[i] }.
+Kernel strideKernel(int64_t Delta) {
+  Kernel K("probe");
+  Builder B(K);
+  ArrayId A = K.addArray("A", 64, ArrayKind::Input);
+  ArrayId T = K.addArray("t", 64, ArrayKind::Temp);
+  B.forLoop(0, 32, 4, [&](LoopId I) {
+    RegId V = B.load(4, Addr{A, AffineExpr::loopIndex(I) + AffineExpr(Delta)});
+    B.store(V, Addr{T, AffineExpr::loopIndex(I)});
+  });
+  return K;
+}
+
+} // namespace
+
+TEST(AlignmentDetection, MarksProvablyAlignedOnly) {
+  Kernel Aligned = strideKernel(0);
+  EXPECT_EQ(detectAlignment(Aligned, 4,
+                            AlignmentAssumption::allAligned(Aligned)),
+            2u);
+  Kernel Off = strideKernel(2);
+  // The load at i+2 is misaligned; the temp store stays aligned.
+  EXPECT_EQ(detectAlignment(Off, 4, AlignmentAssumption::allAligned(Off)),
+            1u);
+  // With an unknown base nothing about A is provable.
+  Kernel Unknown = strideKernel(0);
+  EXPECT_EQ(detectAlignment(Unknown, 4, AlignmentAssumption()), 1u)
+      << "only the local temp stays provably aligned";
+}
+
+TEST(AlignmentDetection, MisalignedBaseCompensatedByOffset) {
+  // Base ≡ 2 (mod 4) plus a constant offset of 2 is aligned again.
+  Kernel K = strideKernel(2);
+  AlignmentAssumption Assume;
+  Assume.BaseOffsets[0] = 2;
+  EXPECT_EQ(detectAlignment(K, 4, Assume), 2u);
+}
+
+TEST(AlignmentDetection, VersioningCountsAndDispatch) {
+  Kernel K = strideKernel(0);
+  VersionedKernel V = makeAlignmentVersions(K, 4);
+  EXPECT_EQ(V.Versions.size(), 4u) << "one input array: 4^1 combos";
+  EXPECT_EQ(V.numVersions(), 5u) << "+1 fallback (§3.2.4)";
+  // Dispatch picks the matching combo.
+  for (int64_t Off : {0, 1, 2, 3}) {
+    const Kernel &Chosen = V.select({{0, Off}});
+    unsigned AlignedLoads = 0;
+    Chosen.forEachInst([&](const Inst &I) {
+      if (I.Op == Opcode::Load && I.Aligned)
+        ++AlignedLoads;
+    });
+    EXPECT_EQ(AlignedLoads, Off == 0 ? 1u : 0u) << "offset " << Off;
+  }
+}
+
+TEST(AlignmentDetection, VersioningComboCap) {
+  // Three input arrays would need 64 combos; a cap of 20 drops arrays.
+  Kernel K("multi");
+  Builder B(K);
+  std::vector<ArrayId> Arrays;
+  for (int I = 0; I != 3; ++I)
+    Arrays.push_back(
+        K.addArray("A" + std::to_string(I), 16, ArrayKind::Input));
+  for (ArrayId A : Arrays) {
+    RegId V = B.load(4, Addr{A, AffineExpr(0)});
+    B.store(V, Addr{A, AffineExpr(8)});
+  }
+  // Outputs need InOut role for stores; rebuild roles via a fresh kernel is
+  // overkill — Input arrays with stores are rejected by the executor only.
+  VersionedKernel V = makeAlignmentVersions(K, 4, /*MaxCombos=*/20);
+  EXPECT_EQ(V.VersionedArrays.size(), 2u);
+  EXPECT_EQ(V.Versions.size(), 16u);
+}

@@ -1,0 +1,115 @@
+//===- BaselineTest.cpp - Competitor generator tests -----------*- C++ -*-===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every competitor series must compute the same results as the reference
+/// evaluator (they share LGen's executor and correctness methodology), and
+/// the BLAS matcher must map BLACs to the §5.1.5 call structures.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "baselines/Baselines.h"
+
+#include <gtest/gtest.h>
+
+using namespace lgen;
+using namespace lgen::baselines;
+using namespace lgen::testutil;
+
+namespace {
+
+float runBaseline(const Generator &G, const std::string &Source,
+                  uint64_t Seed = 11,
+                  const std::map<std::string, unsigned> &Offsets = {}) {
+  ll::Program P = ll::parseProgramOrDie(Source);
+  compiler::CompiledKernel CK = G.compile(P);
+  Rng R(Seed);
+  ll::Bindings In = randomBindings(P, R);
+  ll::MatrixValue Expected = ll::evaluate(P, In);
+  ll::MatrixValue Actual = runCompiled(CK, In, Offsets);
+  return ll::maxAbsDiff(Expected, Actual);
+}
+
+const char *Sources[] = {
+    "Vector x(13); Vector y(13); Scalar alpha; y = alpha*x + y;",
+    "Matrix A(4, 13); Vector x(13); Vector y(4); y = A*x;",
+    "Matrix A(7, 12); Vector x(12); Vector y(7); Scalar alpha; Scalar beta;"
+    " y = alpha*(A*x) + beta*y;",
+    "Matrix A(4, 9); Matrix B(9, 4); Matrix C(4, 4); Scalar alpha;"
+    " Scalar beta; C = alpha*(A*B) + beta*C;",
+    "Matrix A(5, 5); Matrix B(5, 5); Matrix C(5, 5); C = A*B;",
+    "Vector x(6); Matrix A(6, 6); Vector y(6); Scalar alpha;"
+    " alpha = x' * A * y;",
+    "Matrix A(4, 10); Matrix B(4, 10); Vector x(10); Vector y(4);"
+    " Scalar alpha; Scalar beta; y = alpha*(A*x) + beta*(B*x);",
+    "Matrix A0(4, 6); Matrix A1(4, 6); Matrix B(4, 6); Matrix C(6, 6);"
+    " Scalar alpha; Scalar beta; C = alpha*((A0 + A1)' * B) + beta*C;",
+};
+
+TEST(Baselines, AllCompetitorsMatchReferenceAllTargets) {
+  for (machine::UArch T :
+       {machine::UArch::Atom, machine::UArch::CortexA8,
+        machine::UArch::CortexA9, machine::UArch::ARM1176,
+        machine::UArch::SandyBridge}) {
+    auto Gens = competitorsFor(T);
+    for (const auto &G : Gens)
+      for (const char *Src : Sources)
+        EXPECT_LE(runBaseline(*G, Src), 1e-3f)
+            << G->name() << " on " << machine::uarchName(T) << ": " << Src;
+  }
+}
+
+TEST(Baselines, EigenPeelingCorrectUnderMisalignment) {
+  // Eigen-like kernels compiled for a given offset assumption must be
+  // correct when run with exactly those offsets.
+  for (unsigned Off : {0u, 1u, 2u, 3u}) {
+    std::map<std::string, unsigned> Offsets = {
+        {"A", Off}, {"x", Off}, {"y", Off}};
+    auto G = makeEigenLike(machine::UArch::Atom, Offsets);
+    float Diff = runBaseline(
+        *G, "Matrix A(6, 12); Vector x(12); Vector y(6); y = A*x;", 3,
+        Offsets);
+    EXPECT_LE(Diff, 1e-3f) << "offset " << Off;
+    float Diff2 = runBaseline(
+        *G, "Vector x(29); Vector y(29); Scalar alpha; y = alpha*x + y;", 4,
+        Offsets);
+    EXPECT_LE(Diff2, 1e-3f) << "axpy offset " << Off;
+  }
+}
+
+TEST(Baselines, BlasSingleCallForGemv) {
+  auto G = makeBlasLike(machine::UArch::Atom, BlasFlavor::MKL);
+  ll::Program P = ll::parseProgramOrDie(
+      "Matrix A(8, 12); Vector x(12); Vector y(8); Scalar alpha;"
+      " Scalar beta; y = alpha*(A*x) + beta*y;");
+  compiler::CompiledKernel CK = G->compile(P);
+  // One call's worth of overhead, not three passes.
+  EXPECT_DOUBLE_EQ(CK.DispatchOverheadCycles, 140.0);
+}
+
+TEST(Baselines, BlasMultiCallForCompoundBLACs) {
+  auto G = makeBlasLike(machine::UArch::Atom, BlasFlavor::MKL);
+  ll::Program P = ll::parseProgramOrDie(
+      "Matrix A(4, 10); Matrix B(4, 10); Vector x(10); Vector y(4);"
+      " Scalar alpha; Scalar beta; y = alpha*(A*x) + beta*(B*x);");
+  compiler::CompiledKernel CK = G->compile(P);
+  EXPECT_GT(CK.DispatchOverheadCycles, 140.0) << "expected several calls";
+}
+
+TEST(Baselines, FixedBeatsGenOnMicroKernels) {
+  // Compile-time sizes let the compiler unroll and register-allocate.
+  ll::Program P = ll::parseProgramOrDie(
+      "Matrix A(4, 4); Matrix B(4, 4); Matrix C(4, 4); C = A*B;");
+  machine::Microarch M = machine::Microarch::get(machine::UArch::ARM1176);
+  auto Fixed = makeHandwritten(machine::UArch::ARM1176, gccModel(), true);
+  auto Gen = makeHandwritten(machine::UArch::ARM1176, gccModel(), false);
+  double FixedCycles = Fixed->compile(P).time(M).Cycles;
+  double GenCycles = Gen->compile(P).time(M).Cycles;
+  EXPECT_LT(FixedCycles, GenCycles);
+}
+
+} // namespace

@@ -1,0 +1,324 @@
+//===- CIRTest.cpp - C-IR data structures and passes -----------*- C++ -*-===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine expressions, memory maps, the builder, loop unrolling, scalar
+/// replacement (including the Fig. 3.2/3.3/3.4 behaviors that motivated the
+/// generic memory instructions), copy propagation, DCE, and lowering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cir/Builder.h"
+#include "cir/Passes.h"
+#include "isa/MemMapLowering.h"
+#include "machine/Executor.h"
+
+#include <gtest/gtest.h>
+
+using namespace lgen;
+using namespace lgen::cir;
+
+//===----------------------------------------------------------------------===//
+// AffineExpr
+//===----------------------------------------------------------------------===//
+
+TEST(AffineExpr, Algebra) {
+  AffineExpr E = AffineExpr(3) + AffineExpr::loopIndex(0, 2) +
+                 AffineExpr::loopIndex(1, 5);
+  EXPECT_EQ(E.getConstant(), 3);
+  EXPECT_EQ(E.getCoeff(0), 2);
+  EXPECT_EQ(E.getCoeff(1), 5);
+  EXPECT_EQ(E.getCoeff(9), 0);
+  AffineExpr Scaled = E * 3;
+  EXPECT_EQ(Scaled.getConstant(), 9);
+  EXPECT_EQ(Scaled.getCoeff(1), 15);
+  // Cancelling terms vanish from the representation.
+  AffineExpr Zeroed = E + AffineExpr::loopIndex(0, -2);
+  EXPECT_EQ(Zeroed.getCoeff(0), 0);
+  EXPECT_EQ(Zeroed.getTerms().size(), 1u);
+  EXPECT_EQ(E.substitute(0, 10), AffineExpr(23) + AffineExpr::loopIndex(1, 5));
+  EXPECT_EQ(E.shiftIndex(1, 2).getConstant(), 13);
+  int64_t V = E.evaluate([](LoopId Id) { return Id == 0 ? 4 : 7; });
+  EXPECT_EQ(V, 3 + 8 + 35);
+}
+
+//===----------------------------------------------------------------------===//
+// MemMap
+//===----------------------------------------------------------------------===//
+
+TEST(MemMap, Predicates) {
+  EXPECT_TRUE(MemMap::contiguous(4).isFullContiguous());
+  EXPECT_TRUE(MemMap::contiguous(4, 2).isContiguousPrefix());
+  EXPECT_FALSE(MemMap::contiguous(4, 2).isFullContiguous());
+  EXPECT_EQ(MemMap::contiguous(4, 3).numActiveLanes(), 3u);
+  int64_t Stride = 0;
+  EXPECT_TRUE(MemMap::strided(4, 12, 3).isStrided(Stride));
+  EXPECT_EQ(Stride, 12);
+  EXPECT_FALSE(MemMap::contiguous(4).isStrided(Stride));
+  // Stride 1 is contiguous, not "strided".
+  EXPECT_FALSE(MemMap::strided(4, 1).isStrided(Stride));
+  EXPECT_TRUE(MemMap::strided(4, 1).isFullContiguous());
+}
+
+//===----------------------------------------------------------------------===//
+// Verification and cloning
+//===----------------------------------------------------------------------===//
+
+TEST(Kernel, CloneIsDeep) {
+  Kernel K("orig");
+  Builder B(K);
+  ArrayId A = K.addArray("A", 8, ArrayKind::InOut);
+  B.forLoop(0, 8, 4, [&](LoopId I) {
+    RegId V = B.load(4, Addr{A, AffineExpr::loopIndex(I)});
+    B.store(V, Addr{A, AffineExpr::loopIndex(I)});
+  });
+  Kernel C = K.clone();
+  // Mutating the clone leaves the original untouched.
+  C.getBody()[0].loop().Body.clear();
+  EXPECT_EQ(K.getBody()[0].loop().Body.size(), 2u);
+  K.verify();
+  C.verify();
+}
+
+#ifndef NDEBUG
+TEST(KernelDeath, VerifyCatchesUseBeforeDef) {
+  Kernel K("bad");
+  ArrayId A = K.addArray("A", 4, ArrayKind::Output);
+  RegId Ghost = K.newReg(4);
+  Inst S;
+  S.Op = Opcode::Store;
+  S.A = Ghost;
+  S.Address = Addr{A, AffineExpr(0)};
+  K.getBody().push_back(Node(std::move(S)));
+  EXPECT_DEATH(K.verify(), "use before definition");
+}
+#endif
+
+//===----------------------------------------------------------------------===//
+// Unrolling
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Copies 16 floats tile-wise through a loop; used by the unroll tests.
+Kernel copyKernel() {
+  Kernel K("copy");
+  Builder B(K);
+  ArrayId In = K.addArray("in", 16, ArrayKind::Input);
+  ArrayId Out = K.addArray("out", 16, ArrayKind::Output);
+  B.forLoop(0, 16, 4, [&](LoopId I) {
+    RegId V = B.load(4, Addr{In, AffineExpr::loopIndex(I)});
+    B.store(V, Addr{Out, AffineExpr::loopIndex(I)});
+  });
+  return K;
+}
+
+void runCopy(const Kernel &K, std::vector<float> &OutData) {
+  machine::Buffer In(16), Out(16);
+  for (int I = 0; I != 16; ++I)
+    In[I] = static_cast<float>(I * I);
+  machine::execute(K, {&In, &Out});
+  OutData = Out.Data;
+}
+
+} // namespace
+
+TEST(Unroll, FullUnrollPreservesSemantics) {
+  Kernel K = copyKernel();
+  unrollLoops(K, 4);
+  K.verify();
+  EXPECT_EQ(computeStats(K).NumLoops, 0u);
+  EXPECT_EQ(computeStats(K).NumInsts, 8u);
+  std::vector<float> Out;
+  runCopy(K, Out);
+  for (int I = 0; I != 16; ++I)
+    EXPECT_EQ(Out[I], static_cast<float>(I * I));
+}
+
+TEST(Unroll, PartialUnrollKeepsLoop) {
+  Kernel K = copyKernel();
+  LoopId Id = K.getBody()[0].loop().Id;
+  unrollLoopBy(K, Id, 2);
+  K.verify();
+  const Loop &L = K.getBody()[0].loop();
+  EXPECT_EQ(L.Step, 8);
+  EXPECT_EQ(L.Body.size(), 4u);
+  std::vector<float> Out;
+  runCopy(K, Out);
+  for (int I = 0; I != 16; ++I)
+    EXPECT_EQ(Out[I], static_cast<float>(I * I));
+}
+
+TEST(Unroll, UnrollAllLoopsPicksLargestDivisor) {
+  Kernel K = copyKernel(); // Trip 4.
+  unrollAllLoopsBy(K, 3);  // Largest divisor of 4 that is <= 3 is 2.
+  EXPECT_EQ(K.getBody()[0].loop().Step, 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Scalar replacement (§2.1.4, §3.1)
+//===----------------------------------------------------------------------===//
+
+TEST(ScalarReplacement, ForwardsStoreToLoad) {
+  Kernel K("fwd");
+  Builder B(K);
+  ArrayId In = K.addArray("in", 4, ArrayKind::Input);
+  ArrayId T = K.addArray("t", 4, ArrayKind::Temp);
+  ArrayId Out = K.addArray("out", 4, ArrayKind::Output);
+  RegId V = B.load(4, Addr{In, AffineExpr(0)});
+  B.store(V, Addr{T, AffineExpr(0)});
+  RegId W = B.load(4, Addr{T, AffineExpr(0)});
+  B.store(B.add(W, W), Addr{Out, AffineExpr(0)});
+  EXPECT_EQ(scalarReplacement(K), 1u);
+  KernelStats S = computeStats(K);
+  EXPECT_EQ(S.NumLoads, 1u) << "temp round trip removed";
+  EXPECT_EQ(S.NumStores, 1u) << "dead temp store removed";
+}
+
+TEST(ScalarReplacement, GenericMapsMatchAcrossImplementations) {
+  // Fig. 3.4: a 3-element store and a 3-element load with *different
+  // eventual lowerings* still forward, because the match happens on the
+  // memory maps before lowering.
+  Kernel K("fig3_4");
+  Builder B(K);
+  ArrayId In = K.addArray("in", 4, ArrayKind::Input);
+  ArrayId T = K.addArray("t", 4, ArrayKind::Temp);
+  ArrayId Out = K.addArray("out", 4, ArrayKind::Output);
+  RegId V = B.gload(4, Addr{In, AffineExpr(0)}, MemMap::contiguous(4, 3));
+  B.gstore(V, Addr{T, AffineExpr(0)}, MemMap::contiguous(4, 3));
+  RegId W = B.gload(4, Addr{T, AffineExpr(0)}, MemMap::contiguous(4, 3));
+  B.gstore(W, Addr{Out, AffineExpr(0)}, MemMap::contiguous(4, 3));
+  EXPECT_EQ(scalarReplacement(K), 1u);
+}
+
+TEST(ScalarReplacement, ConcreteLaneOpsDoNotForward) {
+  // The pre-§3.1 situation (Fig. 3.2): once lowered to lane accesses,
+  // the footprints no longer match and the round trip stays.
+  Kernel K("fig3_2");
+  Builder B(K);
+  ArrayId In = K.addArray("in", 4, ArrayKind::Input);
+  ArrayId T = K.addArray("t", 4, ArrayKind::Temp);
+  ArrayId Out = K.addArray("out", 4, ArrayKind::Output);
+  RegId V = B.gload(4, Addr{In, AffineExpr(0)}, MemMap::contiguous(4, 3));
+  B.gstore(V, Addr{T, AffineExpr(0)}, MemMap::contiguous(4, 3));
+  RegId W = B.gload(4, Addr{T, AffineExpr(0)}, MemMap::contiguous(4, 3));
+  B.gstore(W, Addr{Out, AffineExpr(0)}, MemMap::contiguous(4, 3));
+  isa::lowerGenericMemOps(K); // Lower *before* scalar replacement.
+  unsigned Forwarded = scalarReplacement(K);
+  EXPECT_EQ(Forwarded, 0u);
+}
+
+TEST(ScalarReplacement, InterveningOverlappingStoreBlocks) {
+  Kernel K("clobber");
+  Builder B(K);
+  ArrayId In = K.addArray("in", 8, ArrayKind::Input);
+  ArrayId T = K.addArray("t", 8, ArrayKind::Temp);
+  ArrayId Out = K.addArray("out", 8, ArrayKind::Output);
+  RegId V = B.load(4, Addr{In, AffineExpr(0)});
+  B.store(V, Addr{T, AffineExpr(0)});
+  RegId Clobber = B.load(4, Addr{In, AffineExpr(4)});
+  B.store(Clobber, Addr{T, AffineExpr(2)}); // Overlaps [0,3].
+  RegId W = B.load(4, Addr{T, AffineExpr(0)});
+  B.store(W, Addr{Out, AffineExpr(0)});
+  EXPECT_EQ(scalarReplacement(K), 0u);
+}
+
+TEST(ScalarReplacement, RedundantLoadElimination) {
+  Kernel K("reload");
+  Builder B(K);
+  ArrayId In = K.addArray("in", 4, ArrayKind::Input);
+  ArrayId Out = K.addArray("out", 8, ArrayKind::Output);
+  RegId V1 = B.load(4, Addr{In, AffineExpr(0)});
+  B.store(V1, Addr{Out, AffineExpr(0)});
+  RegId V2 = B.load(4, Addr{In, AffineExpr(0)}); // Same address again.
+  B.store(V2, Addr{Out, AffineExpr(4)});
+  EXPECT_EQ(scalarReplacement(K), 1u);
+  EXPECT_EQ(computeStats(K).NumLoads, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Copy propagation and DCE
+//===----------------------------------------------------------------------===//
+
+TEST(Passes, CopyPropAndDCE) {
+  Kernel K("cp");
+  Builder B(K);
+  ArrayId In = K.addArray("in", 4, ArrayKind::Input);
+  ArrayId Out = K.addArray("out", 4, ArrayKind::Output);
+  RegId V = B.load(4, Addr{In, AffineExpr(0)});
+  RegId M1 = B.mov(V);
+  RegId M2 = B.mov(M1);
+  RegId Dead = B.add(V, V); // Never used.
+  (void)Dead;
+  B.store(M2, Addr{Out, AffineExpr(0)});
+  cleanup(K);
+  KernelStats S = computeStats(K);
+  EXPECT_EQ(S.NumInsts, 2u) << "only the load and the store survive";
+  // The store reads the original loaded register.
+  K.forEachInst([&](const Inst &I) {
+    if (I.Op == Opcode::Store)
+      EXPECT_EQ(I.A, V);
+  });
+}
+
+TEST(Passes, DCERemovesUnreadTempStoresIteratively) {
+  Kernel K("chain");
+  Builder B(K);
+  ArrayId In = K.addArray("in", 4, ArrayKind::Input);
+  ArrayId T1 = K.addArray("t1", 4, ArrayKind::Temp);
+  ArrayId T2 = K.addArray("t2", 4, ArrayKind::Temp);
+  RegId V = B.load(4, Addr{In, AffineExpr(0)});
+  B.store(V, Addr{T1, AffineExpr(0)});
+  RegId W = B.load(4, Addr{T1, AffineExpr(0)});
+  B.store(W, Addr{T2, AffineExpr(0)}); // T2 never read: whole chain dead.
+  deadCodeElim(K);
+  EXPECT_EQ(computeStats(K).NumInsts, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Generic memory lowering (§3.1)
+//===----------------------------------------------------------------------===//
+
+TEST(MemMapLowering, FullContiguousBecomesOneMove) {
+  Kernel K("full");
+  Builder B(K);
+  ArrayId A = K.addArray("A", 8, ArrayKind::InOut);
+  RegId V = B.gload(4, Addr{A, AffineExpr(0)}, MemMap::contiguous(4));
+  B.gstore(V, Addr{A, AffineExpr(4)}, MemMap::contiguous(4));
+  EXPECT_EQ(isa::lowerGenericMemOps(K), 2u);
+  KernelStats S = computeStats(K);
+  EXPECT_EQ(S.NumInsts, 2u);
+  K.forEachInst([&](const Inst &I) {
+    EXPECT_TRUE(I.Op == Opcode::Load || I.Op == Opcode::Store);
+  });
+}
+
+TEST(MemMapLowering, PartialAndStridedBecomeLaneAccesses) {
+  Kernel K("partial");
+  Builder B(K);
+  ArrayId A = K.addArray("A", 64, ArrayKind::InOut);
+  RegId V = B.gload(4, Addr{A, AffineExpr(0)}, MemMap::strided(4, 16, 3));
+  B.gstore(V, Addr{A, AffineExpr(1)}, MemMap::contiguous(4, 3));
+  isa::lowerGenericMemOps(K);
+  K.verify();
+  unsigned LaneLoads = 0, LaneStores = 0, Zeros = 0;
+  K.forEachInst([&](const Inst &I) {
+    LaneLoads += I.Op == Opcode::LoadLane;
+    LaneStores += I.Op == Opcode::StoreLane;
+    Zeros += I.Op == Opcode::Zero;
+  });
+  EXPECT_EQ(LaneLoads, 3u);
+  EXPECT_EQ(LaneStores, 3u);
+  EXPECT_EQ(Zeros, 1u) << "inactive lanes zero-filled before lane loads";
+  // Semantics: strided gather then contiguous scatter.
+  machine::Buffer Buf(64);
+  for (int I = 0; I != 64; ++I)
+    Buf[I] = static_cast<float>(I);
+  machine::execute(K, {&Buf});
+  EXPECT_EQ(Buf[1], 0.0f);
+  EXPECT_EQ(Buf[2], 16.0f);
+  EXPECT_EQ(Buf[3], 32.0f);
+}

@@ -1,0 +1,207 @@
+//===- EndToEndTest.cpp - Whole-pipeline correctness tests -----*- C++ -*-===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thesis' correctness methodology (§5.1.4) as a parameterized sweep:
+/// every compiled kernel must agree with the naive reference evaluation
+/// within ε, across BLAC families, sizes (full-tile, leftover-heavy,
+/// micro), targets/ISAs, and optimization configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace lgen;
+using namespace lgen::compiler;
+using namespace lgen::testutil;
+
+namespace {
+
+std::string blacSource(const std::string &Kind, int64_t N) {
+  auto S = std::to_string(N);
+  auto Half = std::to_string(std::max<int64_t>(1, N / 2));
+  if (Kind == "axpy")
+    return "Vector x(" + S + "); Vector y(" + S +
+           "); Scalar alpha; y = alpha*x + y;";
+  if (Kind == "mvm")
+    return "Matrix A(4, " + S + "); Vector x(" + S +
+           "); Vector y(4); y = A*x;";
+  if (Kind == "mvm_tall")
+    return "Matrix A(" + S + ", 4); Vector x(4); Vector y(" + S +
+           "); y = A*x;";
+  if (Kind == "gemv")
+    return "Matrix A(" + Half + ", " + S + "); Vector x(" + S +
+           "); Vector y(" + Half +
+           "); Scalar alpha; Scalar beta; y = alpha*(A*x) + beta*y;";
+  if (Kind == "gemm")
+    return "Matrix A(4, " + S + "); Matrix B(" + S +
+           ", 4); Matrix C(4, 4); Scalar alpha; Scalar beta; "
+           "C = alpha*(A*B) + beta*C;";
+  if (Kind == "mmm")
+    return "Matrix A(" + S + ", " + Half + "); Matrix B(" + Half + ", " + S +
+           "); Matrix C(" + S + ", " + S + "); C = A*B;";
+  if (Kind == "micro_mmm")
+    return "Matrix A(" + S + ", " + S + "); Matrix B(" + S + ", " + S +
+           "); Matrix C(" + S + ", " + S + "); C = A*B;";
+  if (Kind == "dot")
+    return "Vector x(" + S + "); Matrix A(" + S + ", " + S + "); Vector y(" +
+           S + "); Scalar alpha; alpha = x' * A * y;";
+  if (Kind == "two_mvm")
+    return "Matrix A(4, " + S + "); Matrix B(4, " + S + "); Vector x(" + S +
+           "); Vector y(4); Scalar alpha; Scalar beta; "
+           "y = alpha*(A*x) + beta*(B*x);";
+  if (Kind == "addtrans")
+    return "Matrix A0(4, " + S + "); Matrix A1(4, " + S + "); Matrix B(4, " +
+           S + "); Matrix C(" + S + ", " + S +
+           "); Scalar alpha; Scalar beta; "
+           "C = alpha*((A0 + A1)' * B) + beta*C;";
+  if (Kind == "copy")
+    return "Vector x(" + S + "); Vector y(" + S + "); y = x;";
+  if (Kind == "transpose")
+    return "Matrix A(" + Half + ", " + S + "); Matrix B(" + S + ", " + Half +
+           "); B = A';";
+  LGEN_UNREACHABLE("unknown BLAC kind");
+}
+
+struct E2EParam {
+  std::string Kind;
+  int64_t N;
+  machine::UArch Target;
+  bool Full; // LGen vs LGen-Full configuration.
+
+  std::string name() const {
+    std::string T;
+    switch (Target) {
+    case machine::UArch::Atom:
+      T = "atom";
+      break;
+    case machine::UArch::CortexA8:
+      T = "a8";
+      break;
+    case machine::UArch::CortexA9:
+      T = "a9";
+      break;
+    case machine::UArch::ARM1176:
+      T = "arm1176";
+      break;
+    case machine::UArch::SandyBridge:
+      T = "sandybridge";
+      break;
+    }
+    return Kind + "_n" + std::to_string(N) + "_" + T +
+           (Full ? "_full" : "_base");
+  }
+};
+
+class EndToEnd : public ::testing::TestWithParam<E2EParam> {};
+
+TEST_P(EndToEnd, MatchesReference) {
+  const E2EParam &P = GetParam();
+  Options O = P.Full ? Options::lgenFull(P.Target)
+                     : Options::lgenBase(P.Target);
+  std::string Src = blacSource(P.Kind, P.N);
+  ll::Program Prog = ll::parseProgramOrDie(Src);
+  float Eps = epsilonFor(Prog);
+  float Diff = compileAndCompare(Src, O, /*Seed=*/7 + P.N);
+  EXPECT_LE(Diff, Eps) << "BLAC: " << Src;
+}
+
+std::vector<E2EParam> allParams() {
+  std::vector<E2EParam> Params;
+  const machine::UArch Targets[] = {
+      machine::UArch::Atom, machine::UArch::CortexA8,
+      machine::UArch::CortexA9, machine::UArch::ARM1176,
+      machine::UArch::SandyBridge};
+  const std::string Kinds[] = {"axpy",     "mvm",  "mvm_tall", "gemv",
+                               "gemm",     "mmm",  "dot",      "two_mvm",
+                               "addtrans", "copy", "transpose"};
+  // Sizes cover full-tile (8, 16), leftover (5, 7, 13), and sub-ν (2, 3).
+  const int64_t Sizes[] = {2, 3, 5, 7, 8, 13, 16};
+  for (machine::UArch T : Targets)
+    for (const std::string &K : Kinds)
+      for (int64_t N : Sizes)
+        for (bool Full : {false, true})
+          Params.push_back({K, N, T, Full});
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBLACs, EndToEnd, ::testing::ValuesIn(allParams()),
+                         [](const ::testing::TestParamInfo<E2EParam> &Info) {
+                           return Info.param.name();
+                         });
+
+/// Micro-MMM across every size in [1, 10] (the Fig 5.3/5.6/5.12 shapes),
+/// with specialized ν-BLACs both off and on.
+TEST(EndToEndExtra, MicroMMMAllSizes) {
+  for (int64_t N = 1; N <= 10; ++N) {
+    for (bool Spec : {false, true}) {
+      Options O = Options::lgenBase(machine::UArch::CortexA9);
+      O.SpecializedNuBLACs = Spec;
+      std::string Src = blacSource("micro_mmm", N);
+      float Diff = compileAndCompare(Src, O, 100 + N);
+      EXPECT_LE(Diff, 1e-3f) << Src << " specialized=" << Spec;
+    }
+  }
+}
+
+/// All M, K, N in [1, 4] (the Fig 5.13(a)/5.18(a) leftover sweep).
+TEST(EndToEndExtra, TinyMMMAllShapes) {
+  for (int64_t M = 1; M <= 4; ++M)
+    for (int64_t K = 1; K <= 4; ++K)
+      for (int64_t N = 1; N <= 4; ++N)
+        for (bool Spec : {false, true}) {
+          Options O = Options::lgenBase(machine::UArch::CortexA8);
+          O.SpecializedNuBLACs = Spec;
+          std::string Src = "Matrix A(" + std::to_string(M) + ", " +
+                            std::to_string(K) + "); Matrix B(" +
+                            std::to_string(K) + ", " + std::to_string(N) +
+                            "); Matrix C(" + std::to_string(M) + ", " +
+                            std::to_string(N) + "); C = A*B;";
+          float Diff = compileAndCompare(Src, O, M * 100 + K * 10 + N);
+          EXPECT_LE(Diff, 1e-3f) << Src << " specialized=" << Spec;
+        }
+}
+
+/// The autotuner must preserve semantics for every sampled plan.
+TEST(EndToEndExtra, AutotunedKernelsCorrect) {
+  for (machine::UArch T : {machine::UArch::Atom, machine::UArch::CortexA8}) {
+    Options O = Options::lgenFull(T);
+    O.SearchSamples = 6;
+    float Diff = compileAndCompare(blacSource("gemv", 13), O, 3);
+    EXPECT_LE(Diff, 1e-3f);
+  }
+}
+
+/// New-MVM (§3.3) and old MVM must agree on oddly-shaped inputs.
+TEST(EndToEndExtra, NewMVMMatchesOldMVM) {
+  for (int64_t N : {1, 2, 3, 4, 5, 9, 17, 30}) {
+    std::string Src = blacSource("mvm", N);
+    Options Old = Options::lgenBase(machine::UArch::Atom);
+    Options New = Old;
+    New.NewMVM = true;
+    EXPECT_LE(compileAndCompare(Src, Old, N), 1e-3f) << Src;
+    EXPECT_LE(compileAndCompare(Src, New, N), 1e-3f) << Src;
+  }
+}
+
+/// Alignment-versioned kernels must be correct for *every* combination of
+/// argument offsets (§3.2.4) — and must actually dispatch to a version that
+/// never faults on an aligned access.
+TEST(EndToEndExtra, AlignmentVersionsAllOffsets) {
+  Options O = Options::lgenBase(machine::UArch::Atom);
+  O.AlignmentDetection = true;
+  std::string Src = blacSource("gemv", 12);
+  for (unsigned OA : {0u, 1u, 2u, 3u})
+    for (unsigned OX : {0u, 2u}) {
+      std::map<std::string, unsigned> Offsets = {{"A", OA}, {"x", OX}};
+      float Diff = compileAndCompare(Src, O, 5, Offsets);
+      EXPECT_LE(Diff, 1e-3f) << "offsets A=" << OA << " x=" << OX;
+    }
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===- FuzzTest.cpp - Randomized whole-compiler property test -------------===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential fuzzing of the compiler: random BLAC expression trees with
+/// random (shape-consistent) dimensions, compiled for random targets and
+/// optimization sets, executed and compared against the naive reference.
+/// Seeded and deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace lgen;
+using namespace lgen::compiler;
+using namespace lgen::testutil;
+
+namespace {
+
+/// Builds a random expression string of matrices with compatible shapes.
+/// Returns the declarations + equation. Grammar (depth-bounded):
+///   E(r, c) := ref | E + E | s * E | E(r, k) * E(k, c) | E(c, r)'
+class RandomBlac {
+public:
+  explicit RandomBlac(Rng &R) : R(R) {}
+
+  std::string build() {
+    int64_t Rows = dim(), Cols = dim();
+    std::string Body = expr(Rows, Cols, /*Depth=*/0);
+    std::string OutDecl = Rows == 1 && Cols == 1
+                              ? "Scalar out; "
+                              : "Matrix out(" + std::to_string(Rows) + ", " +
+                                    std::to_string(Cols) + "); ";
+    return Decls + OutDecl + "out = " + Body + ";";
+  }
+
+private:
+  int64_t dim() {
+    static const int64_t Dims[] = {1, 2, 3, 4, 5, 7, 8, 9, 12};
+    return Dims[R.nextBelow(sizeof(Dims) / sizeof(Dims[0]))];
+  }
+
+  std::string freshRef(int64_t Rows, int64_t Cols) {
+    std::string Name = "m" + std::to_string(Counter++);
+    if (Rows == 1 && Cols == 1)
+      Decls += "Scalar " + Name + "; ";
+    else
+      Decls += "Matrix " + Name + "(" + std::to_string(Rows) + ", " +
+               std::to_string(Cols) + "); ";
+    return Name;
+  }
+
+  std::string expr(int64_t Rows, int64_t Cols, int Depth) {
+    if (Depth >= 3 || R.nextBelow(100) < 30)
+      return freshRef(Rows, Cols);
+    switch (R.nextBelow(4)) {
+    case 0: // Addition.
+      return "(" + expr(Rows, Cols, Depth + 1) + " + " +
+             expr(Rows, Cols, Depth + 1) + ")";
+    case 1: // Scalar scaling.
+      return "(" + freshRef(1, 1) + " * " + expr(Rows, Cols, Depth + 1) +
+             ")";
+    case 2: { // Product with a random inner dimension.
+      if (Rows == 1 && Cols == 1)
+        return freshRef(1, 1);
+      int64_t K = dim();
+      return "(" + expr(Rows, K, Depth + 1) + " * " +
+             expr(K, Cols, Depth + 1) + ")";
+    }
+    default: // Transpose.
+      return expr(Cols, Rows, Depth + 1) + "'";
+    }
+  }
+
+  Rng &R;
+  std::string Decls;
+  unsigned Counter = 0;
+};
+
+} // namespace
+
+TEST(Fuzz, RandomBLACsMatchReferenceEverywhere) {
+  const machine::UArch Targets[] = {
+      machine::UArch::Atom, machine::UArch::CortexA8,
+      machine::UArch::CortexA9, machine::UArch::ARM1176,
+      machine::UArch::SandyBridge};
+  Rng R(0xb1acf00d);
+  for (int Trial = 0; Trial != 60; ++Trial) {
+    RandomBlac Gen(R);
+    std::string Src = Gen.build();
+    ll::Program P;
+    std::string Err;
+    ASSERT_TRUE(ll::parseProgram(Src, P, Err)) << Src << "\n" << Err;
+    machine::UArch T = Targets[Trial % 5];
+    Options O = (Trial % 2) ? Options::lgenFull(T) : Options::lgenBase(T);
+    if (Trial % 7 == 0)
+      O.SearchSamples = 4;
+    float Eps = epsilonFor(P);
+    float Diff = compileAndCompare(Src, O, 1000 + Trial);
+    EXPECT_LE(Diff, Eps) << "trial " << Trial << " on "
+                         << machine::uarchName(T) << ": " << Src;
+  }
+}
+
+TEST(Fuzz, RandomBLACsSurviveAllOptimizationCombinations) {
+  Rng R(0xdecaf);
+  for (int Trial = 0; Trial != 16; ++Trial) {
+    RandomBlac Gen(R);
+    std::string Src = Gen.build();
+    for (unsigned Mask = 0; Mask < 16; Mask += 5) { // Sample combos.
+      Options O = Options::lgenBase(machine::UArch::Atom);
+      O.UseGenericMemOps = Mask & 1;
+      O.AlignmentDetection = Mask & 2;
+      O.NewMVM = Mask & 4;
+      O.LoopFusion = Mask & 8;
+      ll::Program P;
+      std::string Err;
+      ASSERT_TRUE(ll::parseProgram(Src, P, Err)) << Src;
+      EXPECT_LE(compileAndCompare(Src, O, Trial * 31 + Mask),
+                epsilonFor(P))
+          << "mask " << Mask << ": " << Src;
+    }
+  }
+}

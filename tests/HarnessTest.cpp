@@ -1,0 +1,89 @@
+//===- HarnessTest.cpp - Bench harness machinery ---------------*- C++ -*-===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §5.1.4 measuring machinery of the bench harness (median/quartiles
+/// over repetitions) and the sweep bookkeeping (series math, shape
+/// summaries), plus a miniature end-to-end sweep through the Mediator
+/// dispatch path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/Blacs.h"
+#include "../bench/Harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+TEST(Measurement, MedianAndQuartilesOverJitter) {
+  // Deterministic "jitter": samples 1..15 — the §5.1.4 repetition scheme.
+  int Call = 0;
+  Measurement M = measure([&] { return static_cast<double>(++Call); }, 15);
+  EXPECT_DOUBLE_EQ(M.Median, 8.0);
+  EXPECT_DOUBLE_EQ(M.Q1, 4.5);
+  EXPECT_DOUBLE_EQ(M.Q3, 11.5);
+}
+
+TEST(Measurement, SingleRepetition) {
+  Measurement M = measure([] { return 42.0; }, 1);
+  EXPECT_DOUBLE_EQ(M.Median, 42.0);
+  EXPECT_DOUBLE_EQ(M.Q1, 42.0);
+  EXPECT_DOUBLE_EQ(M.Q3, 42.0);
+}
+
+TEST(SweepMath, SpeedupAndBestCompetitor) {
+  Sweep S;
+  S.Xs = {1, 2};
+  S.SeriesList = {{"LGen-Full", {2.0, 4.0}},
+                  {"Eigen-like", {1.0, 1.0}},
+                  {"ATLAS", {0.5, 2.0}}};
+  EXPECT_NEAR(S.speedup("LGen-Full", "Eigen-like"), std::sqrt(8.0), 1e-9);
+  EXPECT_EQ(S.bestCompetitor(), "Eigen-like")
+      << "geomean(1,1) = 1 beats geomean(0.5,2) = 1";
+  EXPECT_DOUBLE_EQ(S.valueOf("ATLAS", 1), 2.0);
+  EXPECT_DOUBLE_EQ(S.valueOf("missing", 0), 0.0);
+}
+
+TEST(SweepRange, InclusiveStepping) {
+  EXPECT_EQ(sweepRange(2, 10, 4), (std::vector<int64_t>{2, 6, 10}));
+  EXPECT_EQ(sweepRange(5, 5, 1), (std::vector<int64_t>{5}));
+}
+
+TEST(RunnerEndToEnd, MiniSweepThroughMediator) {
+  Runner R(machine::UArch::CortexA9);
+  R.addLGen("LGen", compiler::Options::lgenBase(machine::UArch::CortexA9));
+  R.addCompetitors();
+  Sweep S = R.run("mini", "y = A*x, A is 4xn",
+                  [](int64_t N) { return blacs::mvm(4, N); }, {8, 12});
+  ASSERT_EQ(S.Xs.size(), 2u);
+  for (const Series &Ser : S.SeriesList) {
+    ASSERT_EQ(Ser.Values.size(), 2u) << Ser.Name;
+    for (double V : Ser.Values)
+      EXPECT_GT(V, 0.0) << Ser.Name;
+  }
+  // LGen must beat every competitor on this NEON-friendly shape.
+  double LGen = S.valueOf("LGen", 1);
+  for (const Series &Ser : S.SeriesList)
+    if (Ser.Name != "LGen")
+      EXPECT_GT(LGen, Ser.Values[1]) << Ser.Name;
+}
+
+TEST(RunnerEndToEnd, MisalignedSweepValidates) {
+  // Offsets propagate into validation buffers and timing; compiling and
+  // running must not fault (alignment dispatch picks unaligned versions).
+  std::map<std::string, unsigned> Offsets = {{"x", 1}, {"y", 1}};
+  Runner R(machine::UArch::Atom, Offsets);
+  compiler::Options O = compiler::Options::lgenBase(machine::UArch::Atom);
+  O.AlignmentDetection = true;
+  R.addLGen("LGen-Align", O);
+  Sweep S = R.run("mini2", "y = alpha*x + y",
+                  [](int64_t N) { return blacs::axpy(N); }, {16});
+  EXPECT_GT(S.valueOf("LGen-Align", 0), 0.0);
+}

@@ -1,0 +1,161 @@
+//===- LLTest.cpp - LL language, parser, reference evaluator --*- C++ -*-===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ll/Parser.h"
+#include "ll/Reference.h"
+
+#include <gtest/gtest.h>
+
+using namespace lgen;
+using namespace lgen::ll;
+
+TEST(Parser, AcceptsGemvForm) {
+  Program P;
+  std::string Err;
+  ASSERT_TRUE(parseProgram("Matrix A(10, 20); Vector x(20); Vector y(10);"
+                           " Scalar alpha; Scalar beta;"
+                           " y = alpha*A*x + beta*y;",
+                           P, Err))
+      << Err;
+  EXPECT_EQ(P.Operands.size(), 5u);
+  EXPECT_EQ(P.OutputName, "y");
+  EXPECT_TRUE(P.outputIsInput());
+  EXPECT_EQ(P.Rhs->rows(), 10);
+  EXPECT_EQ(P.Rhs->cols(), 1);
+  // alpha*A*x parses as ((alpha·A)·x): SMul under Mul.
+  EXPECT_EQ(P.Rhs->getKind(), ExprKind::Add);
+  EXPECT_EQ(P.Rhs->child(0).getKind(), ExprKind::Mul);
+  EXPECT_EQ(P.Rhs->child(0).child(0).getKind(), ExprKind::SMul);
+}
+
+TEST(Parser, TransposeAndRowVectors) {
+  Program P = parseProgramOrDie(
+      "Vector x(6); Matrix A(6, 8); Vector y(8); Scalar a; a = x' * A * y;");
+  EXPECT_EQ(P.Rhs->rows(), 1);
+  EXPECT_EQ(P.Rhs->cols(), 1);
+  Program Q = parseProgramOrDie(
+      "RowVector r(5); Matrix B(5, 3); Matrix C(3, 5); C = B' ;");
+  EXPECT_EQ(Q.Rhs->getKind(), ExprKind::Trans);
+  EXPECT_EQ(Q.findOperand("r")->Cols, 5);
+}
+
+TEST(Parser, Parenthesization) {
+  Program P = parseProgramOrDie(
+      "Matrix A(4, 4); Matrix B(4, 4); Matrix C(4, 4); Matrix D(4, 4);"
+      " D = (A + B) * C;");
+  EXPECT_EQ(P.Rhs->getKind(), ExprKind::Mul);
+  EXPECT_EQ(P.Rhs->child(0).getKind(), ExprKind::Add);
+}
+
+TEST(Parser, RejectsMalformedInputs) {
+  Program P;
+  std::string Err;
+  EXPECT_FALSE(parseProgram("Matrix A(4 4); A = A;", P, Err));
+  EXPECT_FALSE(parseProgram("Matrix A(4, 4); y = A;", P, Err))
+      << "undeclared output";
+  EXPECT_FALSE(parseProgram("Matrix A(4, 4); Matrix A(2, 2); A = A;", P,
+                            Err))
+      << "duplicate declaration";
+  EXPECT_FALSE(parseProgram("Matrix A(0, 4); A = A;", P, Err))
+      << "zero dimension";
+  EXPECT_FALSE(parseProgram("Matrix A(4, 4); A = A +;", P, Err));
+  EXPECT_FALSE(parseProgram("Matrix A(4, 4); A = B;", P, Err))
+      << "unknown operand";
+  EXPECT_FALSE(parseProgram("Matrix A(4, 4); A = A @ A;", P, Err))
+      << "stray character";
+}
+
+TEST(Parser, RejectsShapeErrors) {
+  Program P;
+  std::string Err;
+  EXPECT_FALSE(parseProgram(
+      "Matrix A(4, 5); Matrix B(4, 5); Matrix C(4, 4); C = A*B;", P, Err));
+  EXPECT_FALSE(parseProgram(
+      "Vector x(4); Vector y(5); Vector z(4); z = x + y;", P, Err));
+  EXPECT_FALSE(parseProgram(
+      "Matrix A(4, 4); Vector x(4); Vector y(5); y = A*x;", P, Err))
+      << "output dims must match";
+}
+
+TEST(FlopCount, StandardConventions) {
+  EXPECT_DOUBLE_EQ(
+      flopCount(parseProgramOrDie(
+          "Matrix A(8, 6); Matrix B(6, 4); Matrix C(8, 4); C = A*B;")),
+      2.0 * 8 * 6 * 4);
+  EXPECT_DOUBLE_EQ(flopCount(parseProgramOrDie(
+                       "Vector x(10); Vector y(10); Scalar a; y = a*x + y;")),
+                   20.0);
+  // gemv: 2MN (product) + M (scale by alpha) + M (scale y) + M (add).
+  EXPECT_DOUBLE_EQ(
+      flopCount(parseProgramOrDie(
+          "Matrix A(3, 5); Vector x(5); Vector y(3); Scalar a; Scalar b;"
+          " y = a*(A*x) + b*y;")),
+      2.0 * 3 * 5 + 3 + 3 + 3);
+}
+
+TEST(Reference, HandComputedGemv) {
+  Program P = parseProgramOrDie(
+      "Matrix A(2, 2); Vector x(2); Vector y(2); Scalar a; Scalar b;"
+      " y = a*(A*x) + b*y;");
+  Bindings In;
+  In["A"] = MatrixValue(2, 2);
+  In["A"].Data = {1, 2, 3, 4};
+  In["x"] = MatrixValue(2, 1);
+  In["x"].Data = {5, 6};
+  In["y"] = MatrixValue(2, 1);
+  In["y"].Data = {10, 20};
+  In["a"] = MatrixValue(1, 1);
+  In["a"].Data = {2};
+  In["b"] = MatrixValue(1, 1);
+  In["b"].Data = {-1};
+  MatrixValue Out = evaluate(P, In);
+  // A*x = [17, 39]; 2*[17,39] - [10,20] = [24, 58].
+  EXPECT_FLOAT_EQ(Out.Data[0], 24.0f);
+  EXPECT_FLOAT_EQ(Out.Data[1], 58.0f);
+}
+
+TEST(Reference, TransposeAndDot) {
+  Program P = parseProgramOrDie(
+      "Vector x(2); Matrix A(2, 2); Vector y(2); Scalar a; a = x' * A * y;");
+  Bindings In;
+  In["x"] = MatrixValue(2, 1);
+  In["x"].Data = {1, 2};
+  In["A"] = MatrixValue(2, 2);
+  In["A"].Data = {1, 0, 0, 1};
+  In["y"] = MatrixValue(2, 1);
+  In["y"].Data = {3, 4};
+  In["a"] = MatrixValue(1, 1);
+  MatrixValue Out = evaluate(P, In);
+  EXPECT_FLOAT_EQ(Out.Data[0], 11.0f);
+}
+
+TEST(Reference, MVHAndRROperators) {
+  // The §3.3 operators: RR(MVH(A, x)) == A·x.
+  Program P = parseProgramOrDie(
+      "Matrix A(3, 2); Vector x(2); Vector y(3); y = A*x;");
+  // Build the rewritten tree manually.
+  Program Q = P.clone();
+  ExprPtr MVH = Expr::mvh(Expr::ref("A"), Expr::ref("x"));
+  Q.Rhs = Expr::rr(std::move(MVH));
+  std::string Err;
+  ASSERT_TRUE(inferDims(Q, Err)) << Err;
+  Rng R(4);
+  Bindings In;
+  for (const Operand &O : P.Operands) {
+    MatrixValue V(O.Rows, O.Cols);
+    fillRandom(V, R);
+    In[O.Name] = V;
+  }
+  EXPECT_LE(maxAbsDiff(evaluate(P, In), evaluate(Q, In)), 1e-5f);
+}
+
+TEST(ProgramAPI, CloneAndPrint) {
+  Program P = parseProgramOrDie(
+      "Matrix A(4, 4); Vector x(4); Vector y(4); y = A*x;");
+  Program Q = P.clone();
+  EXPECT_EQ(P.str(), Q.str());
+  EXPECT_NE(P.str().find("y = (A * x)"), std::string::npos);
+}

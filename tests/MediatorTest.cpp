@@ -1,0 +1,277 @@
+//===- MediatorTest.cpp - Mediator middleware tests ------------*- C++ -*-===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the Mediator reimplementation (thesis Ch. 4, Appendix A):
+/// JSON round-trips, the request/response contract, per-core mutual
+/// exclusion, load balancing, async polling, error reporting, and result
+/// expiry.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mediator/Json.h"
+#include "mediator/Mediator.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+using namespace lgen;
+using namespace lgen::json;
+using namespace lgen::mediator;
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+TEST(Json, ParseRoundTrip) {
+  const char *Text = R"({"apiVersion":"1.0","async":"True",)"
+                     R"("experiments":[{"device":{"hostname":"pi","port":22},)"
+                     R"("execCommands":["./run 1","./run 2"],)"
+                     R"("repetitions":15}]})";
+  Value V;
+  std::string Err;
+  ASSERT_TRUE(parse(Text, V, Err)) << Err;
+  EXPECT_EQ(V.getString("apiVersion"), "1.0");
+  EXPECT_TRUE(V.getBool("async"));
+  const Array &Exps = V["experiments"].asArray();
+  ASSERT_EQ(Exps.size(), 1u);
+  EXPECT_EQ(Exps[0]["device"].getString("hostname"), "pi");
+  EXPECT_EQ(Exps[0].getNumber("repetitions"), 15);
+  EXPECT_EQ(Exps[0]["execCommands"].asArray().size(), 2u);
+
+  // Round trip.
+  Value V2;
+  ASSERT_TRUE(parse(V.serialize(), V2, Err)) << Err;
+  EXPECT_EQ(V.serialize(), V2.serialize());
+}
+
+TEST(Json, ParseScalarsAndEscapes) {
+  Value V;
+  std::string Err;
+  ASSERT_TRUE(parse(R"(["a\nb", -2.5, 1e3, true, false, null])", V, Err));
+  const Array &A = V.asArray();
+  EXPECT_EQ(A[0].asString(), "a\nb");
+  EXPECT_DOUBLE_EQ(A[1].asNumber(), -2.5);
+  EXPECT_DOUBLE_EQ(A[2].asNumber(), 1000.0);
+  EXPECT_TRUE(A[3].asBool());
+  EXPECT_FALSE(A[4].asBool());
+  EXPECT_TRUE(A[5].isNull());
+}
+
+TEST(Json, RejectsMalformed) {
+  Value V;
+  std::string Err;
+  EXPECT_FALSE(parse("{", V, Err));
+  EXPECT_FALSE(parse("[1,]", V, Err));
+  EXPECT_FALSE(parse("{\"a\" 1}", V, Err));
+  EXPECT_FALSE(parse("tru", V, Err));
+  EXPECT_FALSE(parse("1 2", V, Err));
+}
+
+//===----------------------------------------------------------------------===//
+// Mediator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string
+makeJobRequest(const std::string &Host, unsigned NumExps, bool Async,
+               const std::vector<unsigned> &Affinity = {}) {
+  Array Exps;
+  for (unsigned I = 0; I != NumExps; ++I) {
+    Object Dev;
+    Dev["hostname"] = Host;
+    if (!Affinity.empty()) {
+      Array Aff;
+      for (unsigned A : Affinity)
+        Aff.push_back(Value(static_cast<int64_t>(A)));
+      Dev["affinity"] = Value(std::move(Aff));
+    }
+    Object Exp;
+    Exp["device"] = Value(std::move(Dev));
+    Exp["execCommands"] = Value(Array{Value("exp" + std::to_string(I))});
+    Exps.push_back(Value(std::move(Exp)));
+  }
+  Object Req;
+  Req["apiVersion"] = "1.0";
+  Req["async"] = Async;
+  Req["experiments"] = Value(std::move(Exps));
+  return Value(std::move(Req)).serialize();
+}
+
+Value parseOrDie(const std::string &Text) {
+  Value V;
+  std::string Err;
+  if (!parse(Text, V, Err))
+    reportFatalError("bad JSON in test: " + Err);
+  return V;
+}
+
+} // namespace
+
+TEST(Mediator, SynchronousJobReturnsResults) {
+  Mediator M;
+  M.registerDevice("beaglebone", 1, [](const Value &Exp, unsigned Core) {
+    Object R;
+    R["output"] = Exp["execCommands"].asArray()[0].asString();
+    R["core"] = static_cast<int64_t>(Core);
+    return Value(std::move(R));
+  });
+  Value Resp =
+      parseOrDie(M.handleNewJobRequest(makeJobRequest("beaglebone", 3,
+                                                      /*Async=*/false)));
+  ASSERT_TRUE(Resp["data"].isArray());
+  const Array &Data = Resp["data"].asArray();
+  ASSERT_EQ(Data.size(), 3u);
+  // Order of results matches the order of experiments in the request.
+  for (unsigned I = 0; I != 3; ++I) {
+    EXPECT_EQ(Data[I].getString("output"), "exp" + std::to_string(I));
+    EXPECT_EQ(Data[I].getString("deviceHostname"), "beaglebone");
+  }
+}
+
+TEST(Mediator, AsyncJobPolling) {
+  Mediator M;
+  std::atomic<bool> Release{false};
+  M.registerDevice("kayla", 1, [&](const Value &, unsigned) {
+    while (!Release.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Object R;
+    R["output"] = "done";
+    return Value(std::move(R));
+  });
+  Value Submitted =
+      parseOrDie(M.handleNewJobRequest(makeJobRequest("kayla", 1, true)));
+  EXPECT_EQ(Submitted.getString("jobState"), "SUBMITTED");
+  std::string JobId = Submitted.getString("jobID");
+  ASSERT_FALSE(JobId.empty());
+
+  Object Poll;
+  Poll["apiVersion"] = "1.0";
+  Poll["jobID"] = JobId;
+  std::string PollReq = Value(Poll).serialize();
+
+  Value Pending = parseOrDie(M.handleJobResultsRequest(PollReq));
+  EXPECT_EQ(Pending.getString("jobState"), "PENDING");
+
+  Release = true;
+  M.drain();
+  Value Finished = parseOrDie(M.handleJobResultsRequest(PollReq));
+  EXPECT_EQ(Finished.getString("jobState"), "FINISHED");
+  EXPECT_EQ(Finished["data"].asArray()[0].getString("output"), "done");
+}
+
+TEST(Mediator, MutualExclusionPerCore) {
+  // With one core, experiments must never overlap, no matter how many are
+  // submitted concurrently.
+  Mediator M;
+  std::atomic<int> Running{0};
+  std::atomic<int> MaxRunning{0};
+  M.registerDevice("zotac", 1, [&](const Value &, unsigned) {
+    int Now = ++Running;
+    int Expected = MaxRunning.load();
+    while (Now > Expected &&
+           !MaxRunning.compare_exchange_weak(Expected, Now))
+      ;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    --Running;
+    return Value(Object{});
+  });
+  std::vector<std::thread> Clients;
+  for (int I = 0; I != 4; ++I)
+    Clients.emplace_back([&] {
+      M.handleNewJobRequest(makeJobRequest("zotac", 3, false));
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  EXPECT_EQ(MaxRunning.load(), 1) << "two experiments overlapped on a core";
+}
+
+TEST(Mediator, ParallelAcrossCoresAndLoadBalancing) {
+  Mediator M;
+  std::mutex CoresMutex;
+  std::set<unsigned> CoresUsed;
+  std::atomic<int> Running{0};
+  std::atomic<int> MaxRunning{0};
+  M.registerDevice("quad", 4, [&](const Value &, unsigned Core) {
+    {
+      std::lock_guard<std::mutex> L(CoresMutex);
+      CoresUsed.insert(Core);
+    }
+    int Now = ++Running;
+    int Expected = MaxRunning.load();
+    while (Now > Expected &&
+           !MaxRunning.compare_exchange_weak(Expected, Now))
+      ;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    --Running;
+    return Value(Object{});
+  });
+  // 8 experiments allowed on all 4 cores: the balancer must spread them.
+  M.handleNewJobRequest(makeJobRequest("quad", 8, false, {0, 1, 2, 3}));
+  EXPECT_EQ(CoresUsed.size(), 4u);
+  EXPECT_GT(MaxRunning.load(), 1) << "no cross-core parallelism";
+}
+
+TEST(Mediator, ErrorsForBadRequests) {
+  Mediator M;
+  M.registerDevice("dev", 1,
+                   [](const Value &, unsigned) { return Value(Object{}); });
+  // Malformed JSON.
+  Value R1 = parseOrDie(M.handleNewJobRequest("{nope"));
+  EXPECT_EQ(R1["error"].getNumber("code"), 400);
+  EXPECT_EQ(R1["error"].getString("reason"), "BadRequest");
+  // Missing experiments.
+  Value R2 = parseOrDie(M.handleNewJobRequest(R"({"apiVersion":"1.0"})"));
+  EXPECT_EQ(R2["error"].getNumber("code"), 400);
+  // Unknown device.
+  Value R3 =
+      parseOrDie(M.handleNewJobRequest(makeJobRequest("missing", 1, false)));
+  EXPECT_EQ(R3["error"].getString("reason"), "SSHError");
+  // Invalid affinity.
+  Value R4 = parseOrDie(
+      M.handleNewJobRequest(makeJobRequest("dev", 1, false, {7})));
+  EXPECT_EQ(R4["error"].getNumber("code"), 400);
+  // Unknown job id.
+  Value R5 = parseOrDie(
+      M.handleJobResultsRequest(R"({"apiVersion":"1.0","jobID":"zzz"})"));
+  EXPECT_EQ(R5.getString("jobState"), "NOT_FOUND");
+}
+
+TEST(Mediator, ExecutorExceptionsBecomeExperimentErrors) {
+  Mediator M;
+  M.registerDevice("flaky", 1, [](const Value &, unsigned) -> Value {
+    throw std::runtime_error("compilation failed");
+  });
+  Value Resp =
+      parseOrDie(M.handleNewJobRequest(makeJobRequest("flaky", 1, false)));
+  const Value &ExpResult = Resp["data"].asArray()[0];
+  EXPECT_EQ(ExpResult["error"].getNumber("code"), 405);
+  EXPECT_EQ(ExpResult["error"].getString("reason"),
+            "InstructionExecutionError");
+}
+
+TEST(Mediator, ResultsExpireFromCache) {
+  MediatorConfig Cfg;
+  Cfg.ResultsExpiry = std::chrono::milliseconds(10);
+  Mediator M(Cfg);
+  M.registerDevice("dev", 1,
+                   [](const Value &, unsigned) { return Value(Object{}); });
+  Value Submitted =
+      parseOrDie(M.handleNewJobRequest(makeJobRequest("dev", 1, true)));
+  std::string JobId = Submitted.getString("jobID");
+  M.drain();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  Object Poll;
+  Poll["apiVersion"] = "1.0";
+  Poll["jobID"] = JobId;
+  Value After = parseOrDie(M.handleJobResultsRequest(Value(Poll).serialize()));
+  EXPECT_EQ(After.getString("jobState"), "NOT_FOUND");
+}

@@ -1,0 +1,62 @@
+//===- SupportTest.cpp - Unit tests for support utilities ------*- C++ -*-===//
+
+#include "support/Support.h"
+
+#include <gtest/gtest.h>
+
+using namespace lgen;
+
+TEST(Support, Gcd) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(5, 0), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(7, 13), 1);
+}
+
+TEST(Support, Lcm) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(0, 5), 0);
+  EXPECT_EQ(lcm64(3, 3), 3);
+}
+
+TEST(Support, FloorMod) {
+  EXPECT_EQ(floorMod(7, 4), 3);
+  EXPECT_EQ(floorMod(-1, 4), 3);
+  EXPECT_EQ(floorMod(-8, 4), 0);
+  EXPECT_EQ(floorMod(5, -4), 1);
+}
+
+TEST(Support, IsPrime) {
+  EXPECT_FALSE(isPrime(0));
+  EXPECT_FALSE(isPrime(1));
+  EXPECT_TRUE(isPrime(2));
+  EXPECT_TRUE(isPrime(173)); // floor(695/4): the §5.2.1 tiling dip.
+  EXPECT_TRUE(isPrime(223)); // floor(893/4).
+  EXPECT_FALSE(isPrime(174));
+}
+
+TEST(Support, RngDeterminism) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  Rng C(43);
+  EXPECT_NE(A.next(), C.next());
+}
+
+TEST(Support, RngBounds) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    EXPECT_LT(R.nextBelow(10), 10u);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Support, JoinStrings) {
+  EXPECT_EQ(joinStrings({}, ","), "");
+  EXPECT_EQ(joinStrings({"a"}, ","), "a");
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+}

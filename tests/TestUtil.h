@@ -1,0 +1,96 @@
+//===- TestUtil.h - Shared helpers for LGen tests --------------*- C++ -*-===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers implementing the thesis' correctness methodology (§5.1.4):
+/// execute a compiled kernel over randomized inputs and compare against the
+/// naive reference evaluator with a small ε threshold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_TESTS_TESTUTIL_H
+#define LGEN_TESTS_TESTUTIL_H
+
+#include "compiler/Compiler.h"
+#include "ll/Parser.h"
+#include "ll/Reference.h"
+#include "machine/Executor.h"
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lgen {
+namespace testutil {
+
+/// Random bindings for every declared operand.
+inline ll::Bindings randomBindings(const ll::Program &P, Rng &Rng) {
+  ll::Bindings B;
+  for (const ll::Operand &O : P.Operands) {
+    ll::MatrixValue V(O.Rows, O.Cols);
+    ll::fillRandom(V, Rng);
+    B[O.Name] = V;
+  }
+  return B;
+}
+
+/// Executes \p CK over \p Inputs. \p AlignOffsets optionally misaligns the
+/// buffer bases (element offset from a ν boundary, §5.2.4). Returns the
+/// output operand's value after execution.
+inline ll::MatrixValue
+runCompiled(const compiler::CompiledKernel &CK, const ll::Bindings &Inputs,
+            const std::map<std::string, unsigned> &AlignOffsets = {}) {
+  const ll::Program &P = CK.Blac;
+  std::vector<machine::Buffer> Storage(P.Operands.size());
+  std::vector<machine::Buffer *> Params;
+  size_t OutIdx = 0;
+  for (size_t I = 0; I != P.Operands.size(); ++I) {
+    const ll::Operand &O = P.Operands[I];
+    auto AIt = AlignOffsets.find(O.Name);
+    unsigned Offset = AIt == AlignOffsets.end() ? 0 : AIt->second;
+    Storage[I] = machine::Buffer(O.numElements(), 0.0f, Offset);
+    auto BIt = Inputs.find(O.Name);
+    if (BIt != Inputs.end())
+      Storage[I].Data = BIt->second.Data;
+    if (O.Name == P.OutputName)
+      OutIdx = I;
+    Params.push_back(&Storage[I]);
+  }
+  CK.execute(Params);
+  ll::MatrixValue Out(P.Operands[OutIdx].Rows, P.Operands[OutIdx].Cols);
+  Out.Data = Storage[OutIdx].Data;
+  return Out;
+}
+
+/// Compiles \p Source with \p Opts, runs it on random inputs, and returns
+/// the maximum deviation from the reference evaluation.
+inline float compileAndCompare(const std::string &Source,
+                               const compiler::Options &Opts,
+                               uint64_t Seed = 1,
+                               const std::map<std::string, unsigned>
+                                   &AlignOffsets = {}) {
+  ll::Program P = ll::parseProgramOrDie(Source);
+  compiler::Compiler C(Opts);
+  compiler::CompiledKernel CK = C.compile(P);
+
+  Rng R(Seed);
+  ll::Bindings In = randomBindings(P, R);
+  ll::MatrixValue Expected = ll::evaluate(P, In);
+  ll::MatrixValue Actual = runCompiled(CK, In, AlignOffsets);
+  return ll::maxAbsDiff(Expected, Actual);
+}
+
+/// ε for float comparisons; generous enough for reassociated reductions.
+inline float epsilonFor(const ll::Program &P) {
+  double F = ll::flopCount(P);
+  return static_cast<float>(1e-4 * std::max(1.0, std::sqrt(F)));
+}
+
+} // namespace testutil
+} // namespace lgen
+
+#endif // LGEN_TESTS_TESTUTIL_H

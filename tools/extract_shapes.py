@@ -1,0 +1,14 @@
+#!/usr/bin/env python3
+"""Collects the `shape:` summary lines from bench outputs for EXPERIMENTS.md."""
+import glob, sys, os
+for path in sorted(glob.glob(sys.argv[1] if len(sys.argv) > 1 else "/tmp/bench_*.out")):
+    name = os.path.basename(path).replace("bench_", "").replace(".out", "")
+    lines = open(path).read().splitlines()
+    heads = [l for l in lines if l.startswith("== ")]
+    shapes = [l for l in lines if l.startswith("shape:")]
+    print(f"### {name}")
+    for h in heads:
+        print("  " + h)
+    for s in shapes:
+        print("  " + s)
+    print()
