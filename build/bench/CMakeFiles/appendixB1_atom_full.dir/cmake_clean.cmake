@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendixB1_atom_full.dir/appendixB1_atom_full.cpp.o"
+  "CMakeFiles/appendixB1_atom_full.dir/appendixB1_atom_full.cpp.o.d"
+  "appendixB1_atom_full"
+  "appendixB1_atom_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixB1_atom_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

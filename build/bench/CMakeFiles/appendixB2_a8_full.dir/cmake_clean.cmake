@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendixB2_a8_full.dir/appendixB2_a8_full.cpp.o"
+  "CMakeFiles/appendixB2_a8_full.dir/appendixB2_a8_full.cpp.o.d"
+  "appendixB2_a8_full"
+  "appendixB2_a8_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixB2_a8_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for appendixB2_a8_full.
+# This may be replaced when dependencies are built.

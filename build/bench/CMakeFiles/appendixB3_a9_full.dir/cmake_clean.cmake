@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendixB3_a9_full.dir/appendixB3_a9_full.cpp.o"
+  "CMakeFiles/appendixB3_a9_full.dir/appendixB3_a9_full.cpp.o.d"
+  "appendixB3_a9_full"
+  "appendixB3_a9_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixB3_a9_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

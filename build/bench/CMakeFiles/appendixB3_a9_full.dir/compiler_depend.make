@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for appendixB3_a9_full.
+# This may be replaced when dependencies are built.

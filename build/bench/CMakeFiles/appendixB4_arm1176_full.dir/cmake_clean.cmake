@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendixB4_arm1176_full.dir/appendixB4_arm1176_full.cpp.o"
+  "CMakeFiles/appendixB4_arm1176_full.dir/appendixB4_arm1176_full.cpp.o.d"
+  "appendixB4_arm1176_full"
+  "appendixB4_arm1176_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixB4_arm1176_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for appendixB4_arm1176_full.
+# This may be replaced when dependencies are built.

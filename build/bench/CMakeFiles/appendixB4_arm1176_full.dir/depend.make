@@ -1,0 +1,2 @@
+# Empty dependencies file for appendixB4_arm1176_full.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgo14_sandybridge_avx.dir/cgo14_sandybridge_avx.cpp.o"
+  "CMakeFiles/cgo14_sandybridge_avx.dir/cgo14_sandybridge_avx.cpp.o.d"
+  "cgo14_sandybridge_avx"
+  "cgo14_sandybridge_avx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgo14_sandybridge_avx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cgo14_sandybridge_avx.
+# This may be replaced when dependencies are built.

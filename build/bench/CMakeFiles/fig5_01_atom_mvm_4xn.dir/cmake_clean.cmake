@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_01_atom_mvm_4xn.dir/fig5_01_atom_mvm_4xn.cpp.o"
+  "CMakeFiles/fig5_01_atom_mvm_4xn.dir/fig5_01_atom_mvm_4xn.cpp.o.d"
+  "fig5_01_atom_mvm_4xn"
+  "fig5_01_atom_mvm_4xn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_01_atom_mvm_4xn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

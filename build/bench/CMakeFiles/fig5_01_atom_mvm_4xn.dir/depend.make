@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_01_atom_mvm_4xn.
+# This may be replaced when dependencies are built.

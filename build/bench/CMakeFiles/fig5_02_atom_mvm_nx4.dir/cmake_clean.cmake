@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_02_atom_mvm_nx4.dir/fig5_02_atom_mvm_nx4.cpp.o"
+  "CMakeFiles/fig5_02_atom_mvm_nx4.dir/fig5_02_atom_mvm_nx4.cpp.o.d"
+  "fig5_02_atom_mvm_nx4"
+  "fig5_02_atom_mvm_nx4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_02_atom_mvm_nx4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_02_atom_mvm_nx4.
+# This may be replaced when dependencies are built.

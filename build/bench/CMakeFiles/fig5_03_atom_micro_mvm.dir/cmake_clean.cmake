@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_03_atom_micro_mvm.dir/fig5_03_atom_micro_mvm.cpp.o"
+  "CMakeFiles/fig5_03_atom_micro_mvm.dir/fig5_03_atom_micro_mvm.cpp.o.d"
+  "fig5_03_atom_micro_mvm"
+  "fig5_03_atom_micro_mvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_03_atom_micro_mvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_03_atom_micro_mvm.
+# This may be replaced when dependencies are built.

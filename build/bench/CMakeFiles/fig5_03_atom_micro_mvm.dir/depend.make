@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_03_atom_micro_mvm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_04_atom_mmm_right4xn.dir/fig5_04_atom_mmm_right4xn.cpp.o"
+  "CMakeFiles/fig5_04_atom_mmm_right4xn.dir/fig5_04_atom_mmm_right4xn.cpp.o.d"
+  "fig5_04_atom_mmm_right4xn"
+  "fig5_04_atom_mmm_right4xn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_04_atom_mmm_right4xn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

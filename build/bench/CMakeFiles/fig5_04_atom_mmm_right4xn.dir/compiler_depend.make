@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_04_atom_mmm_right4xn.
+# This may be replaced when dependencies are built.

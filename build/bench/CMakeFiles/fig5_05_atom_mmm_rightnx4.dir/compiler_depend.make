@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_05_atom_mmm_rightnx4.
+# This may be replaced when dependencies are built.

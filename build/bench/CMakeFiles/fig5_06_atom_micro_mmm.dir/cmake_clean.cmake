@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_06_atom_micro_mmm.dir/fig5_06_atom_micro_mmm.cpp.o"
+  "CMakeFiles/fig5_06_atom_micro_mmm.dir/fig5_06_atom_micro_mmm.cpp.o.d"
+  "fig5_06_atom_micro_mmm"
+  "fig5_06_atom_micro_mmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_06_atom_micro_mmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_06_atom_micro_mmm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_07_atom_varying_shapes.dir/fig5_07_atom_varying_shapes.cpp.o"
+  "CMakeFiles/fig5_07_atom_varying_shapes.dir/fig5_07_atom_varying_shapes.cpp.o.d"
+  "fig5_07_atom_varying_shapes"
+  "fig5_07_atom_varying_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_07_atom_varying_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

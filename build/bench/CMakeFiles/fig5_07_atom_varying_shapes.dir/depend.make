@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_07_atom_varying_shapes.
+# This may be replaced when dependencies are built.

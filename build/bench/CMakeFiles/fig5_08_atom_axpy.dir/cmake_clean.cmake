@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_08_atom_axpy.dir/fig5_08_atom_axpy.cpp.o"
+  "CMakeFiles/fig5_08_atom_axpy.dir/fig5_08_atom_axpy.cpp.o.d"
+  "fig5_08_atom_axpy"
+  "fig5_08_atom_axpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_08_atom_axpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_08_atom_axpy.
+# This may be replaced when dependencies are built.

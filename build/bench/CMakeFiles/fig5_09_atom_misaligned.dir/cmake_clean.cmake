@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_09_atom_misaligned.dir/fig5_09_atom_misaligned.cpp.o"
+  "CMakeFiles/fig5_09_atom_misaligned.dir/fig5_09_atom_misaligned.cpp.o.d"
+  "fig5_09_atom_misaligned"
+  "fig5_09_atom_misaligned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_09_atom_misaligned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

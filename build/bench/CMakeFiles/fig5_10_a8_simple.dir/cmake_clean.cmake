@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_10_a8_simple.dir/fig5_10_a8_simple.cpp.o"
+  "CMakeFiles/fig5_10_a8_simple.dir/fig5_10_a8_simple.cpp.o.d"
+  "fig5_10_a8_simple"
+  "fig5_10_a8_simple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_10_a8_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

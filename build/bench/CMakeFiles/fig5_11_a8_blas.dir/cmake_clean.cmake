@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_11_a8_blas.dir/fig5_11_a8_blas.cpp.o"
+  "CMakeFiles/fig5_11_a8_blas.dir/fig5_11_a8_blas.cpp.o.d"
+  "fig5_11_a8_blas"
+  "fig5_11_a8_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_11_a8_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

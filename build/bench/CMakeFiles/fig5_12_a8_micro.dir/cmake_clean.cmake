@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_12_a8_micro.dir/fig5_12_a8_micro.cpp.o"
+  "CMakeFiles/fig5_12_a8_micro.dir/fig5_12_a8_micro.cpp.o.d"
+  "fig5_12_a8_micro"
+  "fig5_12_a8_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_12_a8_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

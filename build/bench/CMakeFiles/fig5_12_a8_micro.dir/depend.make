@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_12_a8_micro.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_13_a8_leftovers.dir/fig5_13_a8_leftovers.cpp.o"
+  "CMakeFiles/fig5_13_a8_leftovers.dir/fig5_13_a8_leftovers.cpp.o.d"
+  "fig5_13_a8_leftovers"
+  "fig5_13_a8_leftovers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_13_a8_leftovers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_13_a8_leftovers.
+# This may be replaced when dependencies are built.

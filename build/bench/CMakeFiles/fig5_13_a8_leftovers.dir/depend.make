@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_13_a8_leftovers.
+# This may be replaced when dependencies are built.

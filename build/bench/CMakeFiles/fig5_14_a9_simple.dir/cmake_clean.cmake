@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_14_a9_simple.dir/fig5_14_a9_simple.cpp.o"
+  "CMakeFiles/fig5_14_a9_simple.dir/fig5_14_a9_simple.cpp.o.d"
+  "fig5_14_a9_simple"
+  "fig5_14_a9_simple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_14_a9_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

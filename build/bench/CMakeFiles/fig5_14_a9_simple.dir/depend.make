@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_14_a9_simple.
+# This may be replaced when dependencies are built.

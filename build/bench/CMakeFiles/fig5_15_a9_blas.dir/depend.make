@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_15_a9_blas.
+# This may be replaced when dependencies are built.

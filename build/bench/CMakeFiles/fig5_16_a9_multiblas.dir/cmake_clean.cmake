@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_16_a9_multiblas.dir/fig5_16_a9_multiblas.cpp.o"
+  "CMakeFiles/fig5_16_a9_multiblas.dir/fig5_16_a9_multiblas.cpp.o.d"
+  "fig5_16_a9_multiblas"
+  "fig5_16_a9_multiblas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_16_a9_multiblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

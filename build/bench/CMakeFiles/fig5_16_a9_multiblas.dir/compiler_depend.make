@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_16_a9_multiblas.
+# This may be replaced when dependencies are built.

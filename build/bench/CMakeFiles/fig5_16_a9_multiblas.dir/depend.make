@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_16_a9_multiblas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_19_arm1176_various.dir/fig5_19_arm1176_various.cpp.o"
+  "CMakeFiles/fig5_19_arm1176_various.dir/fig5_19_arm1176_various.cpp.o.d"
+  "fig5_19_arm1176_various"
+  "fig5_19_arm1176_various.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_19_arm1176_various.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

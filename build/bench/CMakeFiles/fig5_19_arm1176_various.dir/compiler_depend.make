@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_19_arm1176_various.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbench_compile_pipeline.dir/gbench_compile_pipeline.cpp.o"
+  "CMakeFiles/gbench_compile_pipeline.dir/gbench_compile_pipeline.cpp.o.d"
+  "gbench_compile_pipeline"
+  "gbench_compile_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_compile_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgen_bench_harness.dir/Harness.cpp.o"
+  "CMakeFiles/lgen_bench_harness.dir/Harness.cpp.o.d"
+  "liblgen_bench_harness.a"
+  "liblgen_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgen_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediator_throughput.dir/mediator_throughput.cpp.o"
+  "CMakeFiles/mediator_throughput.dir/mediator_throughput.cpp.o.d"
+  "mediator_throughput"
+  "mediator_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediator_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

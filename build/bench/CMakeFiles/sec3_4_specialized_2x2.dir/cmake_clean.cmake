@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_4_specialized_2x2.dir/sec3_4_specialized_2x2.cpp.o"
+  "CMakeFiles/sec3_4_specialized_2x2.dir/sec3_4_specialized_2x2.cpp.o.d"
+  "sec3_4_specialized_2x2"
+  "sec3_4_specialized_2x2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_4_specialized_2x2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

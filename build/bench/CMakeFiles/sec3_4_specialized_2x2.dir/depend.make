@@ -1,0 +1,2 @@
+# Empty dependencies file for sec3_4_specialized_2x2.
+# This may be replaced when dependencies are built.

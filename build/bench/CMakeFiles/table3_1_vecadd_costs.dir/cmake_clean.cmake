@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_1_vecadd_costs.dir/table3_1_vecadd_costs.cpp.o"
+  "CMakeFiles/table3_1_vecadd_costs.dir/table3_1_vecadd_costs.cpp.o.d"
+  "table3_1_vecadd_costs"
+  "table3_1_vecadd_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_1_vecadd_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_2_mvm_opcounts.dir/table3_2_mvm_opcounts.cpp.o"
+  "CMakeFiles/table3_2_mvm_opcounts.dir/table3_2_mvm_opcounts.cpp.o.d"
+  "table3_2_mvm_opcounts"
+  "table3_2_mvm_opcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_2_mvm_opcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphics_transforms.dir/graphics_transforms.cpp.o"
+  "CMakeFiles/graphics_transforms.dir/graphics_transforms.cpp.o.d"
+  "graphics_transforms"
+  "graphics_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphics_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalman_update.dir/kalman_update.cpp.o"
+  "CMakeFiles/kalman_update.dir/kalman_update.cpp.o.d"
+  "kalman_update"
+  "kalman_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalman_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediator_farm.dir/mediator_farm.cpp.o"
+  "CMakeFiles/mediator_farm.dir/mediator_farm.cpp.o.d"
+  "mediator_farm"
+  "mediator_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediator_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgen-cli.dir/tools/lgen-cli.cpp.o"
+  "CMakeFiles/lgen-cli.dir/tools/lgen-cli.cpp.o.d"
+  "lgen-cli"
+  "lgen-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgen-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

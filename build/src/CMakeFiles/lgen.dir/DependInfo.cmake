@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/absint/AlignmentDetection.cpp" "src/CMakeFiles/lgen.dir/absint/AlignmentDetection.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/absint/AlignmentDetection.cpp.o.d"
+  "/root/repo/src/absint/Congruence.cpp" "src/CMakeFiles/lgen.dir/absint/Congruence.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/absint/Congruence.cpp.o.d"
+  "/root/repo/src/absint/Engine.cpp" "src/CMakeFiles/lgen.dir/absint/Engine.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/absint/Engine.cpp.o.d"
+  "/root/repo/src/absint/Interval.cpp" "src/CMakeFiles/lgen.dir/absint/Interval.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/absint/Interval.cpp.o.d"
+  "/root/repo/src/absint/ReducedProduct.cpp" "src/CMakeFiles/lgen.dir/absint/ReducedProduct.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/absint/ReducedProduct.cpp.o.d"
+  "/root/repo/src/baselines/Baselines.cpp" "src/CMakeFiles/lgen.dir/baselines/Baselines.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/baselines/Baselines.cpp.o.d"
+  "/root/repo/src/baselines/BlasLike.cpp" "src/CMakeFiles/lgen.dir/baselines/BlasLike.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/baselines/BlasLike.cpp.o.d"
+  "/root/repo/src/baselines/EigenLike.cpp" "src/CMakeFiles/lgen.dir/baselines/EigenLike.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/baselines/EigenLike.cpp.o.d"
+  "/root/repo/src/baselines/NaiveScalar.cpp" "src/CMakeFiles/lgen.dir/baselines/NaiveScalar.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/baselines/NaiveScalar.cpp.o.d"
+  "/root/repo/src/cir/Builder.cpp" "src/CMakeFiles/lgen.dir/cir/Builder.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/cir/Builder.cpp.o.d"
+  "/root/repo/src/cir/CIR.cpp" "src/CMakeFiles/lgen.dir/cir/CIR.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/cir/CIR.cpp.o.d"
+  "/root/repo/src/cir/Passes.cpp" "src/CMakeFiles/lgen.dir/cir/Passes.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/cir/Passes.cpp.o.d"
+  "/root/repo/src/cir/ScalarReplacement.cpp" "src/CMakeFiles/lgen.dir/cir/ScalarReplacement.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/cir/ScalarReplacement.cpp.o.d"
+  "/root/repo/src/codegen/CUnparser.cpp" "src/CMakeFiles/lgen.dir/codegen/CUnparser.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/codegen/CUnparser.cpp.o.d"
+  "/root/repo/src/compiler/Autotuner.cpp" "src/CMakeFiles/lgen.dir/compiler/Autotuner.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/compiler/Autotuner.cpp.o.d"
+  "/root/repo/src/compiler/Compiler.cpp" "src/CMakeFiles/lgen.dir/compiler/Compiler.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/compiler/Compiler.cpp.o.d"
+  "/root/repo/src/isa/ISA.cpp" "src/CMakeFiles/lgen.dir/isa/ISA.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/isa/ISA.cpp.o.d"
+  "/root/repo/src/isa/LoaderStorer.cpp" "src/CMakeFiles/lgen.dir/isa/LoaderStorer.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/isa/LoaderStorer.cpp.o.d"
+  "/root/repo/src/isa/MemMapLowering.cpp" "src/CMakeFiles/lgen.dir/isa/MemMapLowering.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/isa/MemMapLowering.cpp.o.d"
+  "/root/repo/src/isa/NuBLACs.cpp" "src/CMakeFiles/lgen.dir/isa/NuBLACs.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/isa/NuBLACs.cpp.o.d"
+  "/root/repo/src/isa/NuBLACsAVX.cpp" "src/CMakeFiles/lgen.dir/isa/NuBLACsAVX.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/isa/NuBLACsAVX.cpp.o.d"
+  "/root/repo/src/isa/NuBLACsNEON.cpp" "src/CMakeFiles/lgen.dir/isa/NuBLACsNEON.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/isa/NuBLACsNEON.cpp.o.d"
+  "/root/repo/src/isa/NuBLACsSSE41.cpp" "src/CMakeFiles/lgen.dir/isa/NuBLACsSSE41.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/isa/NuBLACsSSE41.cpp.o.d"
+  "/root/repo/src/isa/NuBLACsSSSE3.cpp" "src/CMakeFiles/lgen.dir/isa/NuBLACsSSSE3.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/isa/NuBLACsSSSE3.cpp.o.d"
+  "/root/repo/src/isa/NuBLACsScalar.cpp" "src/CMakeFiles/lgen.dir/isa/NuBLACsScalar.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/isa/NuBLACsScalar.cpp.o.d"
+  "/root/repo/src/ll/AST.cpp" "src/CMakeFiles/lgen.dir/ll/AST.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/ll/AST.cpp.o.d"
+  "/root/repo/src/ll/Parser.cpp" "src/CMakeFiles/lgen.dir/ll/Parser.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/ll/Parser.cpp.o.d"
+  "/root/repo/src/ll/Reference.cpp" "src/CMakeFiles/lgen.dir/ll/Reference.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/ll/Reference.cpp.o.d"
+  "/root/repo/src/machine/Executor.cpp" "src/CMakeFiles/lgen.dir/machine/Executor.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/machine/Executor.cpp.o.d"
+  "/root/repo/src/machine/Microarch.cpp" "src/CMakeFiles/lgen.dir/machine/Microarch.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/machine/Microarch.cpp.o.d"
+  "/root/repo/src/machine/Scheduler.cpp" "src/CMakeFiles/lgen.dir/machine/Scheduler.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/machine/Scheduler.cpp.o.d"
+  "/root/repo/src/machine/Timing.cpp" "src/CMakeFiles/lgen.dir/machine/Timing.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/machine/Timing.cpp.o.d"
+  "/root/repo/src/mediator/Json.cpp" "src/CMakeFiles/lgen.dir/mediator/Json.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/mediator/Json.cpp.o.d"
+  "/root/repo/src/mediator/Measure.cpp" "src/CMakeFiles/lgen.dir/mediator/Measure.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/mediator/Measure.cpp.o.d"
+  "/root/repo/src/mediator/Mediator.cpp" "src/CMakeFiles/lgen.dir/mediator/Mediator.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/mediator/Mediator.cpp.o.d"
+  "/root/repo/src/sll/Lowering.cpp" "src/CMakeFiles/lgen.dir/sll/Lowering.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/sll/Lowering.cpp.o.d"
+  "/root/repo/src/sll/SigmaLL.cpp" "src/CMakeFiles/lgen.dir/sll/SigmaLL.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/sll/SigmaLL.cpp.o.d"
+  "/root/repo/src/sll/Translate.cpp" "src/CMakeFiles/lgen.dir/sll/Translate.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/sll/Translate.cpp.o.d"
+  "/root/repo/src/support/Support.cpp" "src/CMakeFiles/lgen.dir/support/Support.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/support/Support.cpp.o.d"
+  "/root/repo/src/tiling/Tiling.cpp" "src/CMakeFiles/lgen.dir/tiling/Tiling.cpp.o" "gcc" "src/CMakeFiles/lgen.dir/tiling/Tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

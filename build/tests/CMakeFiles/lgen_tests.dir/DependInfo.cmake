@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AbsIntTest.cpp" "tests/CMakeFiles/lgen_tests.dir/AbsIntTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/AbsIntTest.cpp.o.d"
+  "/root/repo/tests/BaselineTest.cpp" "tests/CMakeFiles/lgen_tests.dir/BaselineTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/BaselineTest.cpp.o.d"
+  "/root/repo/tests/CIRTest.cpp" "tests/CMakeFiles/lgen_tests.dir/CIRTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/CIRTest.cpp.o.d"
+  "/root/repo/tests/CodegenTest.cpp" "tests/CMakeFiles/lgen_tests.dir/CodegenTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/CodegenTest.cpp.o.d"
+  "/root/repo/tests/EndToEndTest.cpp" "tests/CMakeFiles/lgen_tests.dir/EndToEndTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/EndToEndTest.cpp.o.d"
+  "/root/repo/tests/ExtensionsTest.cpp" "tests/CMakeFiles/lgen_tests.dir/ExtensionsTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/ExtensionsTest.cpp.o.d"
+  "/root/repo/tests/FuzzTest.cpp" "tests/CMakeFiles/lgen_tests.dir/FuzzTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/FuzzTest.cpp.o.d"
+  "/root/repo/tests/HarnessTest.cpp" "tests/CMakeFiles/lgen_tests.dir/HarnessTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/HarnessTest.cpp.o.d"
+  "/root/repo/tests/LLTest.cpp" "tests/CMakeFiles/lgen_tests.dir/LLTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/LLTest.cpp.o.d"
+  "/root/repo/tests/MachineTest.cpp" "tests/CMakeFiles/lgen_tests.dir/MachineTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/MachineTest.cpp.o.d"
+  "/root/repo/tests/MediatorTest.cpp" "tests/CMakeFiles/lgen_tests.dir/MediatorTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/MediatorTest.cpp.o.d"
+  "/root/repo/tests/NuBLACTest.cpp" "tests/CMakeFiles/lgen_tests.dir/NuBLACTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/NuBLACTest.cpp.o.d"
+  "/root/repo/tests/PipelineTest.cpp" "tests/CMakeFiles/lgen_tests.dir/PipelineTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/PipelineTest.cpp.o.d"
+  "/root/repo/tests/SllTilingTest.cpp" "tests/CMakeFiles/lgen_tests.dir/SllTilingTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/SllTilingTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/lgen_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/lgen_tests.dir/SupportTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lgen.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/lgen_bench_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
