@@ -153,20 +153,17 @@ void Runner::addLGen(const std::string &Label, compiler::Options Opts) {
 void Runner::addLGenVariants() {
   using compiler::Options;
   // §5.1.5: LGen uses a random search over the tiling space, sample size 10.
-  auto Tuned = [](Options O) {
+  auto Add = [&](const char *Name) {
+    Options O = *Options::named(Name, Target);
     O.SearchSamples = 10;
-    return O;
+    addLGen(Name, O);
   };
-  addLGen("LGen-Full", Tuned(Options::lgenFull(Target)));
+  Add("LGen-Full");
   if (Target == machine::UArch::Atom) {
-    Options Align = Options::lgenBase(Target);
-    Align.AlignmentDetection = true;
-    addLGen("LGen-Align", Tuned(Align));
-    Options MVM = Options::lgenBase(Target);
-    MVM.NewMVM = true;
-    addLGen("LGen-MVM", Tuned(MVM));
+    Add("LGen-Align");
+    Add("LGen-MVM");
   }
-  addLGen("LGen", Tuned(Options::lgenBase(Target)));
+  Add("LGen");
 }
 
 void Runner::addCompetitors() {

@@ -26,8 +26,7 @@ int main() {
   auto P = ll::parseProgramOrDie(
       "Matrix A(16, 16); Matrix B(16, 16); Matrix C(16, 16); C = A*B;");
 
-  compiler::Options Base = compiler::Options::lgenBase(Target);
-  compiler::Compiler C(Base);
+  compiler::Compiler C(compiler::Options::builder(Target).build());
 
   std::printf("explicit plans for 16x16x16 C = A*B on %s:\n",
               machine::uarchName(Target));
@@ -50,9 +49,8 @@ int main() {
 
   std::printf("\nrandom search (seeded, deterministic):\n");
   for (unsigned Samples : {0u, 2u, 10u, 40u}) {
-    compiler::Options O = Base;
-    O.SearchSamples = Samples;
-    compiler::Compiler CS(O);
+    compiler::Compiler CS(
+        compiler::Options::builder(Target).searchSamples(Samples).build());
     auto CK = CS.compile(P);
     auto T = CK.time(M);
     std::printf("  samples=%-3u -> %.0f cycles, %.3f f/c\n", Samples,

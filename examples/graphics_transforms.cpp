@@ -49,21 +49,19 @@ int main() {
 
   std::printf("4x4 transform composition (C = A*B):\n");
   for (bool Spec : {false, true}) {
-    compiler::Options O = compiler::Options::lgenBase(Target);
-    O.SpecializedNuBLACs = Spec;
-    compiler::Compiler C(O);
+    compiler::Compiler C(
+        compiler::Options::builder(Target).specializedNuBLACs(Spec).build());
     show(Spec ? "specialized nu-BLACs" : "traditional nu-BLACs",
-         C.compile(ll::parseProgramOrDie(ComposeSrc)), M);
+         C.compile(ComposeSrc).valueOrDie(), M);
   }
   std::printf("  (full 4x4 tiles: both paths emit the same code)\n\n");
 
   std::printf("3x3 normal transform (w = N*v):\n");
   compiler::CompiledKernel SpecKernel;
   for (bool Spec : {false, true}) {
-    compiler::Options O = compiler::Options::lgenBase(Target);
-    O.SpecializedNuBLACs = Spec;
-    compiler::Compiler C(O);
-    compiler::CompiledKernel CK = C.compile(ll::parseProgramOrDie(NormalSrc));
+    compiler::Compiler C(
+        compiler::Options::builder(Target).specializedNuBLACs(Spec).build());
+    compiler::CompiledKernel CK = C.compile(NormalSrc).valueOrDie();
     show(Spec ? "specialized nu-BLACs" : "traditional nu-BLACs", CK, M);
     if (Spec)
       SpecKernel = std::move(CK);

@@ -43,12 +43,11 @@ int main() {
       "Matrix K(6, 3); Vector innov(3); Vector x(6); Scalar one;"
       " x = one*(K*innov) + one*x;";
 
-  compiler::Options Opts = compiler::Options::lgenFull(Target);
-  Opts.SearchSamples = 10;
+  compiler::Options Opts =
+      compiler::Options::builder(Target).full().searchSamples(10).build();
   compiler::Compiler C(Opts);
-  compiler::CompiledKernel Innov = C.compile(ll::parseProgramOrDie(InnovSrc));
-  compiler::CompiledKernel Update =
-      C.compile(ll::parseProgramOrDie(UpdateSrc));
+  compiler::CompiledKernel Innov = C.compile(InnovSrc).valueOrDie();
+  compiler::CompiledKernel Update = C.compile(UpdateSrc).valueOrDie();
 
   // A tracking loop: constant-velocity model, noisy position measurements.
   machine::Buffer H(3 * 6, 0.0f), Xs(6, 0.0f), Z(3, 0.0f), K(6 * 3, 0.0f);

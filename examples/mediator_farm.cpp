@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 #include <thread>
 
 using namespace lgen;
@@ -33,8 +34,11 @@ int main() {
   Med.registerDevice("beaglebone.lab", 1, [](const Value &Exp, unsigned) {
     std::string Blac = Exp["execCommands"].asArray()[0].asString();
     compiler::Compiler C(
-        compiler::Options::lgenFull(machine::UArch::CortexA8));
-    auto CK = C.compile(ll::parseProgramOrDie(Blac));
+        compiler::Options::builder(machine::UArch::CortexA8).full().build());
+    auto Compiled = C.compile(Blac);
+    if (!Compiled) // surfaces as an InstructionExecutionError response
+      throw std::runtime_error(Compiled.error());
+    auto CK = std::move(*Compiled);
     auto T = CK.time(machine::Microarch::get(machine::UArch::CortexA8));
     Object R;
     R["cycles"] = T.Cycles;

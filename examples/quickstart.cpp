@@ -38,8 +38,10 @@ int main() {
   // 2. Compile with the full optimization set for Intel Atom (SSSE3):
   //    alignment detection, the MVH/RR matrix-vector approach, and a
   //    10-sample random search over tilings.
-  compiler::Options Opts = compiler::Options::lgenFull(machine::UArch::Atom);
-  Opts.SearchSamples = 10;
+  compiler::Options Opts = compiler::Options::builder(machine::UArch::Atom)
+                               .full()
+                               .searchSamples(10)
+                               .build();
   compiler::Compiler C(Opts);
   compiler::CompiledKernel CK = C.compile(P);
 

@@ -18,6 +18,9 @@
 #include "compiler/Compiler.h"
 
 #include "absint/AlignmentDetection.h"
+#include "support/ThreadPool.h"
+
+#include <limits>
 
 using namespace lgen;
 using namespace lgen::compiler;
@@ -49,7 +52,9 @@ double evaluatePlan(const Compiler &C, const ll::Program &P,
 /// Coordinate-descent over the per-loop unroll factors, starting from the
 /// default plan. Each round tries every legal factor for every loop and
 /// keeps improvements; stops when a round changes nothing or the
-/// evaluation budget runs out.
+/// evaluation budget runs out. Stays serial: every evaluation depends on
+/// the Best found so far, so there is no schedule-independent way to fan
+/// it out (the random search below is the parallel path).
 tiling::TilingPlan guidedSearch(const Compiler &C, const ll::Program &P,
                                 const std::vector<tiling::LoopDesc> &Loops,
                                 const machine::Microarch &M,
@@ -95,24 +100,37 @@ tiling::TilingPlan compiler::choosePlan(const Compiler &C,
     Neutral.FullUnrollTrip = 1;
     C.generateCore(P, Neutral, &Loops);
   }
-  tiling::TilingPlan Best = tiling::defaultPlan(Loops);
+  tiling::TilingPlan Default = tiling::defaultPlan(Loops);
   if (C.options().SearchSamples == 0)
-    return Best;
+    return Default;
 
   machine::Microarch M = machine::Microarch::get(C.options().Target);
   if (C.options().GuidedSearch)
     return guidedSearch(C, P, Loops, M, C.options().SearchSamples);
-  double BestCycles = evaluatePlan(C, P, Best, M);
 
+  // Draw every candidate up front (the RNG stream is sequential state), so
+  // the sample set is independent of the evaluation schedule; then fan the
+  // evaluations — the expensive part — across the pool into per-plan
+  // slots. The serial reduction below takes the best score with ties going
+  // to the earliest plan, which is exactly the strictly-less update rule
+  // of the serial loop, so any pool size picks the same plan.
+  std::vector<tiling::TilingPlan> Plans;
+  Plans.reserve(C.options().SearchSamples + 1);
+  Plans.push_back(Default);
   Rng Rng(C.options().SearchSeed);
-  for (unsigned S = 0; S != C.options().SearchSamples; ++S) {
-    tiling::TilingPlan Candidate =
-        tiling::randomPlan(Loops, Rng, C.options().MaxUnrollFactor);
-    double Cycles = evaluatePlan(C, P, Candidate, M);
-    if (Cycles < BestCycles) {
-      BestCycles = Cycles;
-      Best = Candidate;
-    }
-  }
-  return Best;
+  for (unsigned S = 0; S != C.options().SearchSamples; ++S)
+    Plans.push_back(
+        tiling::randomPlan(Loops, Rng, C.options().MaxUnrollFactor));
+
+  std::vector<double> Scores(Plans.size(),
+                             std::numeric_limits<double>::infinity());
+  C.threadPool().parallelFor(Plans.size(), [&](size_t I) {
+    Scores[I] = evaluatePlan(C, P, Plans[I], M);
+  });
+
+  size_t BestIdx = 0;
+  for (size_t I = 1; I != Plans.size(); ++I)
+    if (Scores[I] < Scores[BestIdx])
+      BestIdx = I;
+  return Plans[BestIdx];
 }

@@ -3,12 +3,14 @@
 #include "compiler/Compiler.h"
 
 #include "cir/Passes.h"
+#include "compiler/KernelCache.h"
 #include "isa/MemMapLowering.h"
 #include "isa/NuBLACs.h"
 #include "ll/Parser.h"
 #include "machine/Scheduler.h"
 #include "sll/Lowering.h"
 #include "sll/Translate.h"
+#include "support/ThreadPool.h"
 
 using namespace lgen;
 using namespace lgen::compiler;
@@ -76,6 +78,112 @@ unsigned Options::effectiveNu() const {
 }
 
 //===----------------------------------------------------------------------===//
+// Options::Builder
+//===----------------------------------------------------------------------===//
+
+Options::Builder Options::builder(machine::UArch U) { return Builder(U); }
+
+Expected<Options> Options::named(const std::string &Name, machine::UArch U) {
+  // The four configurations of the Chapter 5 plots. "-Align" and "-MVM"
+  // are the Atom ablations; on other targets they fall back to the toggles
+  // they name, which is what the plots for those machines compare.
+  if (Name == "LGen")
+    return lgenBase(U);
+  if (Name == "LGen-Full")
+    return lgenFull(U);
+  if (Name == "LGen-Align")
+    return builder(U).alignmentDetection().build();
+  if (Name == "LGen-MVM")
+    return builder(U).newMVM().build();
+  return Err("unknown configuration \"" + Name +
+             "\" (expected LGen, LGen-Align, LGen-MVM, or LGen-Full)");
+}
+
+Options::Builder &Options::Builder::full() {
+  Options Named = Options::lgenFull(O.Target);
+  O.AlignmentDetection = Named.AlignmentDetection;
+  O.NewMVM = Named.NewMVM;
+  O.SpecializedNuBLACs = Named.SpecializedNuBLACs;
+  return *this;
+}
+
+Options::Builder &Options::Builder::isa(isa::ISAKind Kind) {
+  O.ISA = Kind;
+  O.Vectorize = Kind != isa::ISAKind::Scalar;
+  return *this;
+}
+
+Options::Builder &Options::Builder::vectorize(bool V) {
+  O.Vectorize = V;
+  return *this;
+}
+
+Options::Builder &Options::Builder::genericMemOps(bool V) {
+  O.UseGenericMemOps = V;
+  return *this;
+}
+
+Options::Builder &Options::Builder::alignmentDetection(bool V) {
+  O.AlignmentDetection = V;
+  return *this;
+}
+
+Options::Builder &Options::Builder::newMVM(bool V) {
+  O.NewMVM = V;
+  return *this;
+}
+
+Options::Builder &Options::Builder::specializedNuBLACs(bool V) {
+  O.SpecializedNuBLACs = V;
+  return *this;
+}
+
+Options::Builder &Options::Builder::loopFusion(bool V) {
+  O.LoopFusion = V;
+  return *this;
+}
+
+Options::Builder &Options::Builder::maxAlignCombos(unsigned N) {
+  O.MaxAlignCombos = N;
+  return *this;
+}
+
+Options::Builder &Options::Builder::searchSamples(unsigned N) {
+  O.SearchSamples = N;
+  return *this;
+}
+
+Options::Builder &Options::Builder::searchSeed(uint64_t Seed) {
+  O.SearchSeed = Seed;
+  return *this;
+}
+
+Options::Builder &Options::Builder::maxUnrollFactor(int64_t F) {
+  O.MaxUnrollFactor = F;
+  return *this;
+}
+
+Options::Builder &Options::Builder::guidedSearch(bool V) {
+  O.GuidedSearch = V;
+  return *this;
+}
+
+Options::Builder &Options::Builder::objective(TuneObjective Obj) {
+  O.Objective = Obj;
+  return *this;
+}
+
+Options::Builder &Options::Builder::tunerThreads(unsigned N) {
+  O.TunerThreads = N;
+  return *this;
+}
+
+Options::Builder &Options::Builder::cacheDir(std::string Dir) {
+  O.CacheDir = std::move(Dir);
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
 // CompiledKernel
 //===----------------------------------------------------------------------===//
 
@@ -105,6 +213,48 @@ double CompiledKernel::flopsPerCycle(
     const std::map<cir::ArrayId, int64_t> &Offsets) const {
   machine::TimingResult R = time(M, Offsets);
   return R.Cycles > 0 ? Flops / R.Cycles : 0.0;
+}
+
+CompiledKernel CompiledKernel::clone() const {
+  CompiledKernel CK;
+  CK.Blac = Blac.clone();
+  CK.Opts = Opts;
+  CK.Flops = Flops;
+  CK.HasVersions = HasVersions;
+  CK.DispatchOverheadCycles = DispatchOverheadCycles;
+  CK.Plain = Plain.clone();
+  CK.Versioned.Nu = Versioned.Nu;
+  CK.Versioned.VersionedArrays = Versioned.VersionedArrays;
+  CK.Versioned.Combos = Versioned.Combos;
+  CK.Versioned.Versions.reserve(Versioned.Versions.size());
+  for (const cir::Kernel &V : Versioned.Versions)
+    CK.Versioned.Versions.push_back(V.clone());
+  CK.Versioned.Fallback = Versioned.Fallback.clone();
+  return CK;
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler infrastructure: thread pool and kernel cache
+//===----------------------------------------------------------------------===//
+
+Compiler::Compiler(Options Opts) : Opts(std::move(Opts)) {
+  if (!this->Opts.CacheDir.empty())
+    Cache = std::make_shared<KernelCache>(this->Opts.CacheDir);
+}
+
+Compiler::~Compiler() = default;
+
+support::ThreadPool &Compiler::threadPool() const {
+  std::lock_guard<std::mutex> Lock(PoolMutex);
+  if (!Pool)
+    Pool = std::make_shared<support::ThreadPool>(
+        Opts.TunerThreads == 0 ? 0 : Opts.TunerThreads);
+  return *Pool;
+}
+
+void Compiler::setThreadPool(std::shared_ptr<support::ThreadPool> P) {
+  std::lock_guard<std::mutex> Lock(PoolMutex);
+  Pool = std::move(P);
 }
 
 //===----------------------------------------------------------------------===//
@@ -164,9 +314,8 @@ void Compiler::finalizeKernel(cir::Kernel &K) const {
   K.verify();
 }
 
-CompiledKernel Compiler::compile(const ll::Program &P) const {
-  tiling::TilingPlan Plan = choosePlan(*this, P);
-
+CompiledKernel Compiler::buildKernel(const ll::Program &P,
+                                     const tiling::TilingPlan &Plan) const {
   CompiledKernel CK;
   CK.Blac = P.clone();
   CK.Opts = Opts;
@@ -191,6 +340,49 @@ CompiledKernel Compiler::compile(const ll::Program &P) const {
   return CK;
 }
 
-CompiledKernel Compiler::compile(const std::string &Source) const {
-  return compile(ll::parseProgramOrDie(Source));
+CompiledKernel Compiler::compile(const ll::Program &P) const {
+  if (!Cache)
+    return buildKernel(P, choosePlan(*this, P));
+
+  uint64_t Key = KernelCache::fingerprint(P.str(), Opts);
+  if (std::shared_ptr<const CompiledKernel> Hit = Cache->lookupKernel(Key))
+    return Hit->clone();
+
+  tiling::TilingPlan Plan;
+  bool PlanHit = Cache->lookupPlan(Key, Plan);
+  if (!PlanHit)
+    Plan = choosePlan(*this, P);
+
+  CompiledKernel CK = buildKernel(P, Plan);
+  auto Cached = std::make_shared<CompiledKernel>(CK.clone());
+  if (PlanHit)
+    Cache->storeKernel(Key, std::move(Cached));
+  else
+    Cache->store(Key, Plan, P.str(), Opts, std::move(Cached));
+  return CK;
+}
+
+Expected<CompiledKernel> Compiler::compile(const std::string &Source) const {
+  ll::Program P;
+  std::string Err;
+  if (!ll::parseProgram(Source, P, Err))
+    return lgen::Err(Err);
+  return compile(P);
+}
+
+std::vector<Expected<CompiledKernel>>
+Compiler::compileBatch(const std::vector<std::string> &Sources) const {
+  std::vector<Expected<CompiledKernel>> Results;
+  Results.reserve(Sources.size());
+  for (size_t I = 0; I != Sources.size(); ++I)
+    Results.push_back(lgen::Err("not compiled"));
+
+  // One task per BLAC; the autotuner inside each task detects it is on a
+  // pool worker and searches serially, so the batch parallelizes across
+  // BLACs without oversubscribing or deadlocking the pool. Results land in
+  // positional slots, keeping the output order deterministic.
+  threadPool().parallelFor(Sources.size(), [&](size_t I) {
+    Results[I] = compile(Sources[I]);
+  });
+  return Results;
 }

@@ -29,13 +29,24 @@
 #include "machine/Executor.h"
 #include "machine/Microarch.h"
 #include "machine/Timing.h"
+#include "support/Expected.h"
 #include "tiling/Tiling.h"
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace lgen {
+
+namespace support {
+class ThreadPool;
+} // namespace support
+
 namespace compiler {
+
+class KernelCache;
 
 /// What the autotuner minimizes. Cycles reproduces the thesis; Energy and
 /// EDP implement the §6 future-work extension ("introduction of
@@ -73,6 +84,14 @@ struct Options {
   /// the number of evaluations.
   bool GuidedSearch = false;
   TuneObjective Objective = TuneObjective::Cycles;
+  /// Lanes of parallelism for the autotuning search and compileBatch
+  /// (caller included): 1 = serial, 0 = hardware concurrency. Does not
+  /// affect the generated code — the parallel search is deterministic —
+  /// and is therefore excluded from cache fingerprints.
+  unsigned TunerThreads = 1;
+  /// Directory for the persistent kernel cache; empty keeps the cache
+  /// in-memory only. Also excluded from fingerprints.
+  std::string CacheDir;
 
   /// Configuration named "LGen" in the plots: target defaults, every §3
   /// optimization off.
@@ -81,8 +100,50 @@ struct Options {
   /// target enabled.
   static Options lgenFull(machine::UArch U);
 
+  class Builder;
+  /// Entry point of the fluent construction API:
+  /// `Options::builder(UArch::Atom).vectorize().searchSamples(10).build()`.
+  static Builder builder(machine::UArch U);
+  /// Looks up a thesis configuration by plot name: "LGen", "LGen-Align",
+  /// "LGen-MVM", or "LGen-Full" (case-sensitive).
+  static Expected<Options> named(const std::string &Name, machine::UArch U);
+
   /// The vector length the configuration effectively compiles with.
   unsigned effectiveNu() const;
+};
+
+/// Fluent builder over \c Options. Starts from lgenBase(U) — every §3
+/// optimization off — and toggles from there; boolean setters default to
+/// `true` so `.alignmentDetection()` reads as "enable". `build()` returns
+/// the finished value, so a builder chain is a single expression.
+class Options::Builder {
+public:
+  explicit Builder(machine::UArch U) : O(Options::lgenBase(U)) {}
+
+  /// Applies the target's full optimization set (the "LGen-Full" plot
+  /// configuration) on top of whatever is set so far.
+  Builder &full();
+
+  Builder &isa(isa::ISAKind Kind);
+  Builder &vectorize(bool V = true);
+  Builder &genericMemOps(bool V = true);
+  Builder &alignmentDetection(bool V = true);
+  Builder &newMVM(bool V = true);
+  Builder &specializedNuBLACs(bool V = true);
+  Builder &loopFusion(bool V = true);
+  Builder &maxAlignCombos(unsigned N);
+  Builder &searchSamples(unsigned N);
+  Builder &searchSeed(uint64_t Seed);
+  Builder &maxUnrollFactor(int64_t F);
+  Builder &guidedSearch(bool V = true);
+  Builder &objective(TuneObjective Obj);
+  Builder &tunerThreads(unsigned N);
+  Builder &cacheDir(std::string Dir);
+
+  Options build() const { return O; }
+
+private:
+  Options O;
 };
 
 /// A compiled BLAC kernel: either a single C-IR kernel or an
@@ -116,19 +177,47 @@ public:
   double
   flopsPerCycle(const machine::Microarch &M,
                 const std::map<cir::ArrayId, int64_t> &Offsets = {}) const;
+
+  /// Deep copy (kernels are move-only; the cache hands out clones).
+  CompiledKernel clone() const;
 };
 
 class Compiler {
 public:
-  explicit Compiler(Options Opts) : Opts(Opts) {}
+  explicit Compiler(Options Opts);
+  ~Compiler();
+
+  Compiler(const Compiler &) = delete;
+  Compiler &operator=(const Compiler &) = delete;
 
   const Options &options() const { return Opts; }
 
   /// Compiles \p P, autotuning over tiling plans when SearchSamples > 0.
+  /// The search fans out over threadPool() and consults kernelCache() when
+  /// one is attached; both leave the result bit-identical to a serial,
+  /// uncached compile.
   CompiledKernel compile(const ll::Program &P) const;
 
-  /// Convenience: parse + compile.
-  CompiledKernel compile(const std::string &Source) const;
+  /// Parse + compile. Parse and shape errors come back as the error state
+  /// of the Expected rather than aborting.
+  Expected<CompiledKernel> compile(const std::string &Source) const;
+
+  /// Compiles N BLACs concurrently over the shared pool and cache. Results
+  /// are positional: Out[i] is the kernel (or error) for Sources[i].
+  std::vector<Expected<CompiledKernel>>
+  compileBatch(const std::vector<std::string> &Sources) const;
+
+  /// The pool the autotuner and compileBatch fan out on. Owned by default
+  /// (sized by Options::TunerThreads); setThreadPool shares one across
+  /// compilers.
+  support::ThreadPool &threadPool() const;
+  void setThreadPool(std::shared_ptr<support::ThreadPool> Pool);
+
+  /// The kernel cache, if any (Options::CacheDir != "" creates an owned
+  /// one; setKernelCache attaches a shared instance, enabling in-memory
+  /// caching even without a directory).
+  KernelCache *kernelCache() const { return Cache.get(); }
+  void setKernelCache(std::shared_ptr<KernelCache> C) { Cache = std::move(C); }
 
   /// Generates the kernel for one explicit tiling plan, stopping after
   /// scalar replacement (generic memory accesses still intact). Exposed
@@ -141,11 +230,20 @@ public:
   void finalizeKernel(cir::Kernel &K) const;
 
 private:
+  CompiledKernel buildKernel(const ll::Program &P,
+                             const tiling::TilingPlan &Plan) const;
+
   Options Opts;
+  mutable std::shared_ptr<support::ThreadPool> Pool;
+  mutable std::mutex PoolMutex;
+  std::shared_ptr<KernelCache> Cache;
 };
 
 /// Random-search autotuner (Autotuner.cpp): evaluates SearchSamples random
 /// plans plus the default plan with the timing model and returns the best.
+/// Evaluations run in parallel over C.threadPool(); the reduction is
+/// deterministic (best score, ties to the earliest plan), so the choice
+/// matches the serial search exactly.
 tiling::TilingPlan choosePlan(const Compiler &C, const ll::Program &P);
 
 } // namespace compiler

@@ -1,0 +1,247 @@
+//===- KernelCache.cpp - Persistent content-addressed kernel cache --------===//
+
+#include "compiler/KernelCache.h"
+
+#include "mediator/Json.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::compiler;
+
+//===----------------------------------------------------------------------===//
+// Fingerprinting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint64_t FnvOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+void fnv1a(uint64_t &H, const void *Data, size_t Len) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Len; ++I) {
+    H ^= P[I];
+    H *= FnvPrime;
+  }
+}
+
+void fnv1a(uint64_t &H, const std::string &S) {
+  fnv1a(H, S.data(), S.size());
+  // Separator byte so adjacent fields cannot alias across a boundary.
+  unsigned char Sep = 0;
+  fnv1a(H, &Sep, 1);
+}
+
+void fnv1a(uint64_t &H, uint64_t V) { fnv1a(H, &V, sizeof(V)); }
+
+std::string hexKey(uint64_t Key) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)Key);
+  return Buf;
+}
+
+} // namespace
+
+uint64_t KernelCache::fingerprint(const std::string &Source,
+                                  const Options &O) {
+  uint64_t H = FnvOffsetBasis;
+  fnv1a(H, Source);
+  // Every Options field that can change the generated code participates.
+  // TunerThreads and CacheDir are excluded on purpose: the parallel search
+  // is deterministic, so they affect only how fast the result appears.
+  fnv1a(H, std::string(isa::isaName(O.ISA)));
+  fnv1a(H, std::string(machine::uarchName(O.Target)));
+  fnv1a(H, static_cast<uint64_t>(O.Vectorize));
+  fnv1a(H, static_cast<uint64_t>(O.UseGenericMemOps));
+  fnv1a(H, static_cast<uint64_t>(O.AlignmentDetection));
+  fnv1a(H, static_cast<uint64_t>(O.NewMVM));
+  fnv1a(H, static_cast<uint64_t>(O.SpecializedNuBLACs));
+  fnv1a(H, static_cast<uint64_t>(O.LoopFusion));
+  fnv1a(H, static_cast<uint64_t>(O.MaxAlignCombos));
+  fnv1a(H, static_cast<uint64_t>(O.SearchSamples));
+  fnv1a(H, O.SearchSeed);
+  fnv1a(H, static_cast<uint64_t>(O.MaxUnrollFactor));
+  fnv1a(H, static_cast<uint64_t>(O.GuidedSearch));
+  fnv1a(H, static_cast<uint64_t>(O.Objective));
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction and persistence
+//===----------------------------------------------------------------------===//
+
+std::string KernelCache::defaultDir() {
+  const char *Env = std::getenv("LGEN_CACHE_DIR");
+  return Env ? Env : "";
+}
+
+KernelCache::KernelCache(std::string Dir, size_t MaxKernels)
+    : Dir(std::move(Dir)), MaxKernels(MaxKernels) {
+  loadDisk();
+}
+
+KernelCache::~KernelCache() { flush(); }
+
+std::string KernelCache::diskPath() const {
+  return Dir + "/lgen-cache.json";
+}
+
+void KernelCache::loadDisk() {
+  if (Dir.empty())
+    return;
+  std::ifstream In(diskPath());
+  if (!In)
+    return;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  json::Value Root;
+  std::string Err;
+  if (!json::parse(Buf.str(), Root, Err) || !Root.isObject())
+    return; // A corrupt cache file is ignored, not fatal.
+  const json::Value &Entries = Root["entries"];
+  if (!Entries.isArray())
+    return;
+  for (const json::Value &E : Entries.asArray()) {
+    if (!E.isObject())
+      continue;
+    std::string KeyStr = E.getString("key");
+    uint64_t Key = std::strtoull(KeyStr.c_str(), nullptr, 16);
+    if (KeyStr.empty())
+      continue;
+    PlanEntry PE;
+    PE.Source = E.getString("source");
+    PE.Target = E.getString("target");
+    PE.ISA = E.getString("isa");
+    const json::Value &Plan = E["plan"];
+    PE.Plan.ExchangeLoops = Plan.getBool("exchange");
+    PE.Plan.FullUnrollTrip =
+        static_cast<int64_t>(Plan.getNumber("fullUnrollTrip", 4));
+    const json::Value &Unroll = Plan["unroll"];
+    if (Unroll.isArray())
+      for (const json::Value &F : Unroll.asArray())
+        PE.Plan.UnrollFactors.push_back(static_cast<int64_t>(F.asNumber()));
+    Plans.emplace(Key, std::move(PE));
+  }
+}
+
+void KernelCache::saveDiskLocked() {
+  if (Dir.empty() || !Dirty)
+    return;
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+
+  json::Array Entries;
+  for (const auto &[Key, PE] : Plans) {
+    json::Array Unroll;
+    for (int64_t F : PE.Plan.UnrollFactors)
+      Unroll.push_back(F);
+    json::Object Plan{{"unroll", std::move(Unroll)},
+                      {"exchange", PE.Plan.ExchangeLoops},
+                      {"fullUnrollTrip", PE.Plan.FullUnrollTrip}};
+    Entries.push_back(json::Object{{"key", hexKey(Key)},
+                                   {"source", PE.Source},
+                                   {"target", PE.Target},
+                                   {"isa", PE.ISA},
+                                   {"plan", std::move(Plan)}});
+  }
+  json::Value Root =
+      json::Object{{"version", 1}, {"entries", std::move(Entries)}};
+  std::ofstream Out(diskPath(), std::ios::trunc);
+  if (Out) {
+    Out << Root.serialize();
+    Dirty = false;
+  }
+}
+
+void KernelCache::flush() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  saveDiskLocked();
+}
+
+//===----------------------------------------------------------------------===//
+// Lookup and store
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const CompiledKernel> KernelCache::lookupKernel(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = LruIndex.find(Key);
+  if (It == LruIndex.end())
+    return nullptr;
+  Lru.splice(Lru.begin(), Lru, It->second); // move to front
+  ++Stats.MemoryHits;
+  return It->second->Kernel;
+}
+
+bool KernelCache::lookupPlan(uint64_t Key, tiling::TilingPlan &PlanOut) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Plans.find(Key);
+  if (It == Plans.end()) {
+    ++Stats.Misses;
+    return false;
+  }
+  PlanOut = It->second.Plan;
+  ++Stats.PlanHits;
+  return true;
+}
+
+void KernelCache::storeKernelLocked(
+    uint64_t Key, std::shared_ptr<const CompiledKernel> Kernel) {
+  if (!Kernel || MaxKernels == 0)
+    return;
+  auto It = LruIndex.find(Key);
+  if (It != LruIndex.end()) {
+    It->second->Kernel = std::move(Kernel);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.push_front(LruEntry{Key, std::move(Kernel)});
+  LruIndex[Key] = Lru.begin();
+  while (Lru.size() > MaxKernels) {
+    LruIndex.erase(Lru.back().Key);
+    Lru.pop_back();
+    ++Stats.Evictions;
+  }
+}
+
+void KernelCache::store(uint64_t Key, const tiling::TilingPlan &Plan,
+                        const std::string &Source, const Options &O,
+                        std::shared_ptr<const CompiledKernel> Kernel) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Stats.Stores;
+
+  PlanEntry PE;
+  PE.Plan = Plan;
+  PE.Source = Source;
+  PE.Target = machine::uarchName(O.Target);
+  PE.ISA = isa::isaName(O.ISA);
+  Plans[Key] = std::move(PE);
+  Dirty = true;
+
+  storeKernelLocked(Key, std::move(Kernel));
+  saveDiskLocked();
+}
+
+void KernelCache::storeKernel(uint64_t Key,
+                              std::shared_ptr<const CompiledKernel> Kernel) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  storeKernelLocked(Key, std::move(Kernel));
+}
+
+CacheStats KernelCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}
+
+size_t KernelCache::numKernels() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Lru.size();
+}
+
+size_t KernelCache::numPlans() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Plans.size();
+}

@@ -1,0 +1,135 @@
+//===- KernelCache.h - Persistent content-addressed kernel cache -*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-tier cache of autotuned compilation results, keyed by an FNV-1a
+/// fingerprint of (LL source, codegen-relevant Options, ISA, µarch):
+///
+///  * an in-memory LRU of finished \c CompiledKernel objects — a hit skips
+///    the whole pipeline;
+///  * a persisted tier of *tuned tiling plans* (JSON on disk, reusing the
+///    Mediator JSON implementation) — a hit skips the autotuning search,
+///    the dominant compile cost, and regenerates the kernel
+///    deterministically from the stored plan.
+///
+/// Tuning knobs that cannot change the generated code (thread count, cache
+/// location) are deliberately excluded from the fingerprint, so a kernel
+/// tuned with 8 worker threads is a hit for a serial compile of the same
+/// BLAC. Hit/miss/eviction counters are exposed through \c stats() and
+/// surfaced by `lgen-cli --cache-stats`.
+///
+/// All methods are thread-safe; `Compiler::compileBatch` workers share one
+/// instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_COMPILER_KERNELCACHE_H
+#define LGEN_COMPILER_KERNELCACHE_H
+
+#include "compiler/Compiler.h"
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace lgen {
+namespace compiler {
+
+/// Cache activity counters (cumulative over the cache's lifetime).
+struct CacheStats {
+  /// Full-kernel hits served from the in-memory LRU.
+  uint64_t MemoryHits = 0;
+  /// Tuned-plan hits served from the persisted tier.
+  uint64_t PlanHits = 0;
+  uint64_t Misses = 0;
+  /// Kernels dropped from the LRU because the capacity was reached.
+  uint64_t Evictions = 0;
+  /// Entries written (kernel + plan count as one store).
+  uint64_t Stores = 0;
+
+  uint64_t hits() const { return MemoryHits + PlanHits; }
+};
+
+class KernelCache {
+public:
+  /// \p Dir is where the plan tier persists (empty = in-memory only);
+  /// \p MaxKernels bounds the in-memory LRU.
+  explicit KernelCache(std::string Dir = defaultDir(),
+                       size_t MaxKernels = 64);
+  ~KernelCache();
+
+  KernelCache(const KernelCache &) = delete;
+  KernelCache &operator=(const KernelCache &) = delete;
+
+  /// FNV-1a fingerprint of (LL source, Options, ISA, µarch). \p Source
+  /// should be the canonical program form (ll::Program::str()) so textual
+  /// variants of the same BLAC collide intentionally.
+  static uint64_t fingerprint(const std::string &Source, const Options &O);
+
+  /// Full-kernel lookup in the LRU tier; null on miss (which is *not*
+  /// counted — the miss is counted once, by lookupPlan).
+  std::shared_ptr<const CompiledKernel> lookupKernel(uint64_t Key);
+
+  /// Tuned-plan lookup in the persisted tier.
+  bool lookupPlan(uint64_t Key, tiling::TilingPlan &PlanOut);
+
+  /// Records the tuned plan (persisted) and, when \p Kernel is non-null,
+  /// the finished kernel (LRU tier) for \p Key.
+  void store(uint64_t Key, const tiling::TilingPlan &Plan,
+             const std::string &Source, const Options &O,
+             std::shared_ptr<const CompiledKernel> Kernel);
+
+  /// Records only the finished kernel — the plan-hit path, where the
+  /// persisted tier is already up to date.
+  void storeKernel(uint64_t Key, std::shared_ptr<const CompiledKernel> Kernel);
+
+  CacheStats stats() const;
+  size_t numKernels() const;
+  size_t numPlans() const;
+  const std::string &directory() const { return Dir; }
+
+  /// Writes the plan tier to <Dir>/lgen-cache.json if dirty.
+  void flush();
+
+  /// $LGEN_CACHE_DIR, or empty (in-memory only) when unset.
+  static std::string defaultDir();
+
+private:
+  struct LruEntry {
+    uint64_t Key;
+    std::shared_ptr<const CompiledKernel> Kernel;
+  };
+  struct PlanEntry {
+    tiling::TilingPlan Plan;
+    std::string Source;
+    std::string Target;
+    std::string ISA;
+  };
+
+  void loadDisk();
+  void saveDiskLocked();
+  void storeKernelLocked(uint64_t Key,
+                         std::shared_ptr<const CompiledKernel> Kernel);
+  std::string diskPath() const;
+
+  std::string Dir;
+  size_t MaxKernels;
+
+  mutable std::mutex Mutex;
+  std::list<LruEntry> Lru; // front = most recently used
+  std::map<uint64_t, std::list<LruEntry>::iterator> LruIndex;
+  std::map<uint64_t, PlanEntry> Plans;
+  CacheStats Stats;
+  bool Dirty = false;
+};
+
+} // namespace compiler
+} // namespace lgen
+
+#endif // LGEN_COMPILER_KERNELCACHE_H

@@ -1,0 +1,51 @@
+//===- LGen.h - Single public umbrella header for the compiler -*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one header a client of the compile API needs. Typical use:
+///
+/// \code
+///   #include "lgen/LGen.h"
+///
+///   using namespace lgen;
+///   compiler::Options O = compiler::Options::builder(machine::UArch::Atom)
+///                             .alignmentDetection()
+///                             .searchSamples(10)
+///                             .tunerThreads(4)
+///                             .build();
+///   compiler::Compiler C(O);
+///   Expected<compiler::CompiledKernel> K =
+///       C.compile("Matrix A(4,16); Vector x(16); Vector y(4); y = A*x;");
+///   if (!K)
+///     report(K.error());
+/// \endcode
+///
+/// Batch compilation shares the thread pool and the kernel cache:
+///
+/// \code
+///   auto Kernels = C.compileBatch(Sources);   // N BLACs tune concurrently
+///   compiler::CacheStats S = C.kernelCache()->stats();
+/// \endcode
+///
+/// This pulls in the full public surface: the LL frontend, Options and its
+/// builder, the compiler with autotuning, the kernel cache, the thread
+/// pool, the timing model, and the C unparser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_LGEN_H
+#define LGEN_LGEN_H
+
+#include "codegen/CUnparser.h"
+#include "compiler/Compiler.h"
+#include "compiler/KernelCache.h"
+#include "ll/Parser.h"
+#include "machine/Microarch.h"
+#include "machine/Timing.h"
+#include "support/Expected.h"
+#include "support/ThreadPool.h"
+
+#endif // LGEN_LGEN_H

@@ -1,0 +1,78 @@
+//===- Expected.h - Value-or-error result type -----------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// \c Expected<T> carries either a value or a human-readable error string.
+/// The compile API returns it for everything that can fail on user input
+/// (LL parse errors, shape errors, bad named configurations), so callers
+/// handle failures without abort-on-error helpers or out-parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_SUPPORT_EXPECTED_H
+#define LGEN_SUPPORT_EXPECTED_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace lgen {
+
+/// Tag type carrying an error message into an Expected.
+struct Err {
+  std::string Message;
+  explicit Err(std::string Message) : Message(std::move(Message)) {}
+};
+
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : HasValue(true), Value(std::move(Value)) {}
+  /*implicit*/ Expected(Err E) : HasValue(false), ErrMessage(std::move(E.Message)) {}
+
+  bool hasValue() const { return HasValue; }
+  explicit operator bool() const { return HasValue; }
+
+  T &operator*() {
+    assert(HasValue && "accessing value of failed Expected");
+    return Value;
+  }
+  const T &operator*() const {
+    assert(HasValue && "accessing value of failed Expected");
+    return Value;
+  }
+  T *operator->() { return &operator*(); }
+  const T *operator->() const { return &operator*(); }
+
+  /// The error message; only valid when !hasValue().
+  const std::string &error() const {
+    assert(!HasValue && "accessing error of successful Expected");
+    return ErrMessage;
+  }
+
+  /// Moves the value out, or aborts with the error — for tests and
+  /// examples with known-good inputs: `C.compile(Src).valueOrDie()`.
+  T valueOrDie() &&;
+
+private:
+  bool HasValue;
+  // Default-initialized (not list-initialized) so aggregate T's with
+  // explicit member constructors don't trip -Wexplicit conversions; the
+  // value is never read in the error state.
+  T Value;
+  std::string ErrMessage;
+};
+
+[[noreturn]] void expectedDieImpl(const std::string &Message);
+
+template <typename T> T Expected<T>::valueOrDie() && {
+  if (!HasValue)
+    expectedDieImpl(ErrMessage);
+  return std::move(Value);
+}
+
+} // namespace lgen
+
+#endif // LGEN_SUPPORT_EXPECTED_H

@@ -2,6 +2,8 @@
 
 #include "support/Support.h"
 
+#include "support/Expected.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -10,6 +12,10 @@ using namespace lgen;
 void lgen::reportFatalError(const std::string &Message) {
   std::fprintf(stderr, "lgen fatal error: %s\n", Message.c_str());
   std::abort();
+}
+
+void lgen::expectedDieImpl(const std::string &Message) {
+  reportFatalError(Message);
 }
 
 void lgen::unreachableImpl(const char *Message, const char *File, int Line) {

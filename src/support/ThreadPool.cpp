@@ -1,0 +1,127 @@
+//===- ThreadPool.cpp - Reusable worker pool for parallel search ----------===//
+
+#include "support/ThreadPool.h"
+
+namespace lgen {
+namespace support {
+
+namespace {
+thread_local bool InParallelRegion = false;
+} // namespace
+
+bool ThreadPool::insideParallelRegion() { return InParallelRegion; }
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0) {
+    Threads = std::thread::hardware_concurrency();
+    if (Threads == 0)
+      Threads = 1;
+  }
+  NumWorkers = Threads - 1;
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runShare(Job &J) {
+  InParallelRegion = true;
+  for (;;) {
+    size_t I = J.Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= J.N)
+      break;
+    try {
+      (*J.Fn)(I);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(J.ErrorMutex);
+      if (!J.Error)
+        J.Error = std::current_exception();
+    }
+  }
+  InParallelRegion = false;
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    Job *J = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkReady.wait(Lock, [&] {
+        return ShuttingDown || (Current && Generation != SeenGeneration);
+      });
+      if (ShuttingDown)
+        return;
+      J = Current;
+      SeenGeneration = Generation;
+      ++J->AttachedWorkers;
+    }
+    runShare(*J);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --J->AttachedWorkers;
+    }
+    // The job lives on the submitting thread's stack; it only returns (and
+    // destroys the job) once AttachedWorkers drops to zero, so notifying
+    // under the mutex above keeps this wakeup from being lost.
+    WorkDone.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  // Serial paths: no workers, a single element, or a nested region (a
+  // parallelFor from inside a worker would wait on threads that are all
+  // busy running *this* loop).
+  if (NumWorkers == 0 || N == 1 || InParallelRegion) {
+    bool WasInside = InParallelRegion;
+    InParallelRegion = true;
+    std::exception_ptr Error;
+    for (size_t I = 0; I != N; ++I) {
+      try {
+        Fn(I);
+      } catch (...) {
+        if (!Error)
+          Error = std::current_exception();
+      }
+    }
+    InParallelRegion = WasInside;
+    if (Error)
+      std::rethrow_exception(Error);
+    return;
+  }
+
+  Job J;
+  J.N = N;
+  J.Fn = &Fn;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Current = &J;
+    ++Generation;
+  }
+  WorkReady.notify_all();
+  runShare(J);
+
+  // The caller's share only ends once every index was claimed; wait for
+  // workers still executing theirs, and stop new ones from attaching.
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Current = nullptr;
+    WorkDone.wait(Lock, [&] { return J.AttachedWorkers == 0; });
+  }
+  if (J.Error)
+    std::rethrow_exception(J.Error);
+}
+
+} // namespace support
+} // namespace lgen

@@ -1,0 +1,96 @@
+//===- ThreadPool.h - Reusable worker pool for parallel search -*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size worker pool, the compiler-side counterpart of the
+/// Mediator per-core worker queues (thesis Ch. 4). The autotuner fans plan
+/// evaluations across it and `Compiler::compileBatch` fans whole BLACs.
+///
+/// The central primitive is \c parallelFor(N, Fn): the calling thread and
+/// every worker pull indices from a shared atomic counter until the range
+/// is exhausted. Because the caller participates, a pool is useful even
+/// with one worker, and a \c parallelFor issued *from inside* a worker
+/// (nested parallelism, e.g. autotuning inside compileBatch) degrades to a
+/// serial loop on that worker instead of deadlocking on the pool's own
+/// threads.
+///
+/// Determinism contract: \c parallelFor only changes *when* Fn(I) runs,
+/// never for which I — callers that write results to slot I of a
+/// pre-sized vector and reduce serially afterwards get bit-identical
+/// results for any pool size, which is what keeps the parallel autotuner's
+/// plan choice equal to the serial search's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_SUPPORT_THREADPOOL_H
+#define LGEN_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lgen {
+namespace support {
+
+class ThreadPool {
+public:
+  /// Creates a pool with \p Threads total lanes of parallelism (the caller
+  /// counts as one): ThreadPool(1) spawns no workers and runs everything
+  /// serially on the calling thread; ThreadPool(4) spawns three workers.
+  /// Threads == 0 uses the hardware concurrency.
+  explicit ThreadPool(unsigned Threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total lanes of parallelism, including the calling thread.
+  unsigned concurrency() const { return NumWorkers + 1; }
+
+  /// Runs Fn(0..N-1), spreading indices over the workers and the calling
+  /// thread; returns when all N calls finished. Exceptions from Fn are
+  /// rethrown on the caller (first one wins). Safe to call from within a
+  /// pool task, where it runs serially inline.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// True while the current thread is executing inside a parallelFor —
+  /// used to detect nested parallelism.
+  static bool insideParallelRegion();
+
+private:
+  struct Job {
+    std::atomic<size_t> Next{0};
+    size_t N = 0;
+    const std::function<void(size_t)> *Fn = nullptr;
+    /// Workers currently running a share of this job (guarded by the pool
+    /// mutex); the job outlives runShare only while this is non-zero.
+    unsigned AttachedWorkers = 0;
+    std::exception_ptr Error;
+    std::mutex ErrorMutex;
+  };
+
+  void workerLoop();
+  static void runShare(Job &J);
+
+  unsigned NumWorkers = 0;
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable WorkDone;
+  Job *Current = nullptr; // job workers should help with, if any
+  uint64_t Generation = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace support
+} // namespace lgen
+
+#endif // LGEN_SUPPORT_THREADPOOL_H

@@ -5,14 +5,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small CLI around the compiler, for exploring kernels interactively:
+/// A small CLI around the compile API, for exploring kernels interactively:
 ///
-///   lgen-cli [options] "<BLAC>"
+///   lgen-cli [options] "<BLAC>" ["<BLAC>" ...]
 ///
 ///   --target=atom|a8|a9|arm1176|sandybridge   (default atom)
-///   --full            enable the target's full optimization set
-///   --samples=N       autotuning random-search sample size (default 10)
+///   --config=LGen|LGen-Align|LGen-MVM|LGen-Full  named configuration
+///   --full                 shorthand for --config=LGen-Full
+///   --search-samples=N     autotuning sample size (default 10)
+///   --search-seed=N        autotuning RNG seed
+///   --guided-search        hill-climb instead of random sampling
+///   --objective=cycles|energy|edp
+///   --tuner-threads=N      parallel search lanes (0 = all cores)
+///   --cache-dir=PATH       persistent kernel cache ($LGEN_CACHE_DIR too)
+///   --cache-stats          print cache hit/miss/eviction counters
 ///   --emit=c|ir|stats|time|all                what to print (default all)
+///
+/// Flag names follow the Options::Builder methods one-to-one. Several
+/// BLACs compile as one batch over the shared pool and cache.
 ///
 /// Example:
 ///   lgen-cli --target=a9 --full \
@@ -20,82 +30,34 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "lgen/LGen.h"
+
 #include "cir/Passes.h"
-#include "codegen/CUnparser.h"
-#include "compiler/Compiler.h"
-#include "ll/Parser.h"
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace lgen;
 
 namespace {
 
 int usage(const char *Argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--target=atom|a8|a9|arm1176|sandybridge] "
-               "[--full] [--samples=N] [--emit=c|ir|stats|time|all] "
-               "\"<BLAC>\"\n",
-               Argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--target=atom|a8|a9|arm1176|sandybridge]\n"
+      "          [--config=LGen|LGen-Align|LGen-MVM|LGen-Full] [--full]\n"
+      "          [--search-samples=N] [--search-seed=N] [--guided-search]\n"
+      "          [--objective=cycles|energy|edp] [--tuner-threads=N]\n"
+      "          [--cache-dir=PATH] [--cache-stats]\n"
+      "          [--emit=c|ir|stats|time|all] \"<BLAC>\" [\"<BLAC>\" ...]\n",
+      Argv0);
   return 2;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  machine::UArch Target = machine::UArch::Atom;
-  bool Full = false;
-  unsigned Samples = 10;
-  std::string Emit = "all";
-  std::string Source;
-
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg.rfind("--target=", 0) == 0) {
-      std::string T = Arg.substr(9);
-      if (T == "atom")
-        Target = machine::UArch::Atom;
-      else if (T == "a8")
-        Target = machine::UArch::CortexA8;
-      else if (T == "a9")
-        Target = machine::UArch::CortexA9;
-      else if (T == "arm1176")
-        Target = machine::UArch::ARM1176;
-      else if (T == "sandybridge")
-        Target = machine::UArch::SandyBridge;
-      else
-        return usage(Argv[0]);
-    } else if (Arg == "--full") {
-      Full = true;
-    } else if (Arg.rfind("--samples=", 0) == 0) {
-      Samples = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
-    } else if (Arg.rfind("--emit=", 0) == 0) {
-      Emit = Arg.substr(7);
-    } else if (Arg.rfind("--", 0) == 0) {
-      return usage(Argv[0]);
-    } else {
-      Source = Arg;
-    }
-  }
-  if (Source.empty())
-    return usage(Argv[0]);
-
-  ll::Program P;
-  std::string Err;
-  if (!ll::parseProgram(Source, P, Err)) {
-    std::fprintf(stderr, "error: %s\n", Err.c_str());
-    return 1;
-  }
-
-  compiler::Options O = Full ? compiler::Options::lgenFull(Target)
-                             : compiler::Options::lgenBase(Target);
-  O.SearchSamples = Samples;
-  compiler::Compiler C(O);
-  compiler::CompiledKernel CK = C.compile(P);
-  machine::Microarch M = machine::Microarch::get(Target);
-
+void printKernel(const compiler::CompiledKernel &CK,
+                 const machine::Microarch &M, const std::string &Emit) {
   if (Emit == "ir" || Emit == "all") {
     std::printf("// --- C-IR (%s) ---\n%s\n",
                 CK.HasVersions ? "aligned version 0" : "single version",
@@ -120,5 +82,122 @@ int main(int Argc, char **Argv) {
                 M.Name.c_str(), T.Cycles, CK.Flops, CK.Flops / T.Cycles,
                 M.PeakFlopsPerCycle, T.EnergyNJ);
   }
-  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  machine::UArch Target = machine::UArch::Atom;
+  std::string Config = "LGen";
+  unsigned SearchSamples = 10;
+  uint64_t SearchSeed = 1;
+  bool GuidedSearch = false;
+  compiler::TuneObjective Objective = compiler::TuneObjective::Cycles;
+  unsigned TunerThreads = 1;
+  std::string CacheDir = compiler::KernelCache::defaultDir();
+  bool CacheStats = false;
+  std::string Emit = "all";
+  std::vector<std::string> Sources;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--target=", 0) == 0) {
+      std::string T = Arg.substr(9);
+      if (T == "atom")
+        Target = machine::UArch::Atom;
+      else if (T == "a8")
+        Target = machine::UArch::CortexA8;
+      else if (T == "a9")
+        Target = machine::UArch::CortexA9;
+      else if (T == "arm1176")
+        Target = machine::UArch::ARM1176;
+      else if (T == "sandybridge")
+        Target = machine::UArch::SandyBridge;
+      else
+        return usage(Argv[0]);
+    } else if (Arg.rfind("--config=", 0) == 0) {
+      Config = Arg.substr(9);
+    } else if (Arg == "--full") {
+      Config = "LGen-Full";
+    } else if (Arg.rfind("--search-samples=", 0) == 0) {
+      SearchSamples = static_cast<unsigned>(std::atoi(Arg.c_str() + 17));
+    } else if (Arg.rfind("--search-seed=", 0) == 0) {
+      SearchSeed = static_cast<uint64_t>(std::atoll(Arg.c_str() + 14));
+    } else if (Arg == "--guided-search") {
+      GuidedSearch = true;
+    } else if (Arg.rfind("--objective=", 0) == 0) {
+      std::string Obj = Arg.substr(12);
+      if (Obj == "cycles")
+        Objective = compiler::TuneObjective::Cycles;
+      else if (Obj == "energy")
+        Objective = compiler::TuneObjective::Energy;
+      else if (Obj == "edp")
+        Objective = compiler::TuneObjective::EDP;
+      else
+        return usage(Argv[0]);
+    } else if (Arg.rfind("--tuner-threads=", 0) == 0) {
+      TunerThreads = static_cast<unsigned>(std::atoi(Arg.c_str() + 16));
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      CacheDir = Arg.substr(12);
+    } else if (Arg == "--cache-stats") {
+      CacheStats = true;
+    } else if (Arg.rfind("--emit=", 0) == 0) {
+      Emit = Arg.substr(7);
+    } else if (Arg.rfind("--", 0) == 0) {
+      return usage(Argv[0]);
+    } else {
+      Sources.push_back(Arg);
+    }
+  }
+  if (Sources.empty())
+    return usage(Argv[0]);
+
+  Expected<compiler::Options> Named = compiler::Options::named(Config, Target);
+  if (!Named) {
+    std::fprintf(stderr, "error: %s\n", Named.error().c_str());
+    return 2;
+  }
+  compiler::Options O = *Named;
+  O.SearchSamples = SearchSamples;
+  O.SearchSeed = SearchSeed;
+  O.GuidedSearch = GuidedSearch;
+  O.Objective = Objective;
+  O.TunerThreads = TunerThreads;
+  O.CacheDir = CacheDir;
+
+  compiler::Compiler C(O);
+  if (CacheStats && !C.kernelCache())
+    C.setKernelCache(std::make_shared<compiler::KernelCache>(""));
+  machine::Microarch M = machine::Microarch::get(Target);
+
+  std::vector<Expected<compiler::CompiledKernel>> Kernels =
+      C.compileBatch(Sources);
+  int Rc = 0;
+  for (size_t I = 0; I != Kernels.size(); ++I) {
+    if (Sources.size() > 1)
+      std::printf("// ===== BLAC %zu: %s =====\n", I, Sources[I].c_str());
+    if (!Kernels[I]) {
+      std::fprintf(stderr, "error: %s\n", Kernels[I].error().c_str());
+      Rc = 1;
+      continue;
+    }
+    printKernel(*Kernels[I], M, Emit);
+  }
+
+  if (CacheStats && C.kernelCache()) {
+    compiler::CacheStats S = C.kernelCache()->stats();
+    std::printf("// --- cache (%s) ---\n"
+                "hits=%llu (memory=%llu plan=%llu) misses=%llu "
+                "evictions=%llu stores=%llu entries=%zu\n",
+                C.kernelCache()->directory().empty()
+                    ? "in-memory"
+                    : C.kernelCache()->directory().c_str(),
+                (unsigned long long)S.hits(),
+                (unsigned long long)S.MemoryHits,
+                (unsigned long long)S.PlanHits,
+                (unsigned long long)S.Misses,
+                (unsigned long long)S.Evictions,
+                (unsigned long long)S.Stores, C.kernelCache()->numPlans());
+  }
+  return Rc;
 }

@@ -1,0 +1,291 @@
+//===- CacheTest.cpp - Kernel cache, fingerprints, parallel tuning --------===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coverage for the compile API around the autotuner: the content-addressed
+/// kernel cache (memory LRU + persisted plan tier), fingerprint sensitivity
+/// to every codegen-relevant Options field, determinism of the parallel
+/// plan search against the serial one, compileBatch, and the Expected-based
+/// error reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lgen/LGen.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+
+using namespace lgen;
+using namespace lgen::compiler;
+
+namespace {
+
+const char *GemvSrc =
+    "Matrix A(8, 12); Vector x(12); Vector y(8); y = A*x;";
+const char *GemmSrc =
+    "Matrix A(12, 12); Matrix B(12, 12); Matrix C(12, 12); C = A*B;";
+
+/// A fresh, empty temp directory for a disk-cache test.
+std::string freshCacheDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "lgen_" + Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+std::string kernelText(const CompiledKernel &CK) {
+  return CK.kernelFor({}).str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Fingerprints
+//===----------------------------------------------------------------------===//
+
+TEST(Fingerprint, SensitiveToEveryCodegenField) {
+  Options Base = Options::builder(machine::UArch::Atom).build();
+  uint64_t H0 = KernelCache::fingerprint(GemvSrc, Base);
+
+  // One mutation per codegen-relevant Options field; each must move the
+  // fingerprint.
+  std::vector<std::pair<const char *, Options>> Variants;
+  auto B = [] { return Options::builder(machine::UArch::Atom); };
+  Variants.push_back({"ISA", B().isa(isa::ISAKind::SSE41).build()});
+  Variants.push_back(
+      {"Target", Options::builder(machine::UArch::CortexA8).build()});
+  Variants.push_back({"Vectorize", B().vectorize(false).build()});
+  Variants.push_back({"UseGenericMemOps", B().genericMemOps(false).build()});
+  Variants.push_back(
+      {"AlignmentDetection", B().alignmentDetection().build()});
+  Variants.push_back({"NewMVM", B().newMVM().build()});
+  Variants.push_back(
+      {"SpecializedNuBLACs", B().specializedNuBLACs().build()});
+  Variants.push_back({"LoopFusion", B().loopFusion(false).build()});
+  Variants.push_back({"MaxAlignCombos", B().maxAlignCombos(128).build()});
+  Variants.push_back({"SearchSamples", B().searchSamples(3).build()});
+  Variants.push_back({"SearchSeed", B().searchSeed(99).build()});
+  Variants.push_back({"MaxUnrollFactor", B().maxUnrollFactor(4).build()});
+  Variants.push_back({"GuidedSearch", B().guidedSearch().build()});
+  Variants.push_back(
+      {"Objective", B().objective(TuneObjective::Energy).build()});
+
+  for (const auto &[Field, O] : Variants)
+    EXPECT_NE(KernelCache::fingerprint(GemvSrc, O), H0)
+        << "fingerprint ignores Options::" << Field;
+
+  // And to the source itself.
+  EXPECT_NE(KernelCache::fingerprint(GemmSrc, Base), H0);
+}
+
+TEST(Fingerprint, InsensitiveToTuningInfrastructure) {
+  // Thread count and cache location cannot change the generated code (the
+  // parallel search is deterministic), so they must not shatter the cache.
+  Options Base = Options::builder(machine::UArch::Atom).build();
+  uint64_t H0 = KernelCache::fingerprint(GemvSrc, Base);
+  EXPECT_EQ(KernelCache::fingerprint(
+                GemvSrc,
+                Options::builder(machine::UArch::Atom).tunerThreads(8).build()),
+            H0);
+  EXPECT_EQ(KernelCache::fingerprint(GemvSrc,
+                                     Options::builder(machine::UArch::Atom)
+                                         .cacheDir("/nonexistent")
+                                         .build()),
+            H0);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache behavior
+//===----------------------------------------------------------------------===//
+
+TEST(KernelCacheTest, SecondCompileIsMemoryHit) {
+  Compiler C(Options::builder(machine::UArch::Atom).searchSamples(4).build());
+  C.setKernelCache(std::make_shared<KernelCache>(""));
+
+  CompiledKernel K1 = C.compile(GemvSrc).valueOrDie();
+  CacheStats S = C.kernelCache()->stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.hits(), 0u);
+  EXPECT_EQ(S.Stores, 1u);
+
+  CompiledKernel K2 = C.compile(GemvSrc).valueOrDie();
+  S = C.kernelCache()->stats();
+  EXPECT_EQ(S.MemoryHits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(kernelText(K1), kernelText(K2));
+}
+
+TEST(KernelCacheTest, DiskRoundTrip) {
+  std::string Dir = freshCacheDir("disk_roundtrip");
+  Options O = Options::builder(machine::UArch::Atom)
+                  .searchSamples(6)
+                  .cacheDir(Dir)
+                  .build();
+
+  std::string FirstText;
+  {
+    Compiler C(O);
+    ASSERT_NE(C.kernelCache(), nullptr);
+    FirstText = kernelText(C.compile(GemvSrc).valueOrDie());
+    EXPECT_EQ(C.kernelCache()->stats().Misses, 1u);
+    EXPECT_EQ(C.kernelCache()->numPlans(), 1u);
+  } // destructor flushes <Dir>/lgen-cache.json
+  ASSERT_TRUE(std::filesystem::exists(Dir + "/lgen-cache.json"));
+
+  // A fresh compiler (fresh process, as far as the cache can tell) reloads
+  // the tuned plan from disk: hit, no search, identical kernel.
+  Compiler C2(O);
+  ASSERT_NE(C2.kernelCache(), nullptr);
+  EXPECT_EQ(C2.kernelCache()->numPlans(), 1u);
+  CompiledKernel K = C2.compile(GemvSrc).valueOrDie();
+  CacheStats S = C2.kernelCache()->stats();
+  EXPECT_EQ(S.PlanHits, 1u);
+  EXPECT_EQ(S.Misses, 0u);
+  EXPECT_EQ(kernelText(K), FirstText);
+}
+
+TEST(KernelCacheTest, CorruptDiskFileIsIgnored) {
+  std::string Dir = freshCacheDir("disk_corrupt");
+  {
+    std::ofstream Out(Dir + "/lgen-cache.json");
+    Out << "{not json";
+  }
+  Options O = Options::builder(machine::UArch::Atom)
+                  .searchSamples(2)
+                  .cacheDir(Dir)
+                  .build();
+  Compiler C(O);
+  EXPECT_EQ(C.kernelCache()->numPlans(), 0u);
+  CompiledKernel K = C.compile(GemvSrc).valueOrDie(); // must not crash
+  EXPECT_EQ(C.kernelCache()->stats().Misses, 1u);
+}
+
+TEST(KernelCacheTest, LruEvictsAndCounts) {
+  KernelCache Cache("", /*MaxKernels=*/2);
+  tiling::TilingPlan Plan;
+  Options O = Options::builder(machine::UArch::Atom).build();
+  for (uint64_t Key : {1u, 2u, 3u})
+    Cache.store(Key, Plan, "src", O,
+                std::make_shared<CompiledKernel>());
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_EQ(Cache.numKernels(), 2u);
+  EXPECT_EQ(Cache.lookupKernel(1), nullptr); // 1 was least recently used
+  EXPECT_NE(Cache.lookupKernel(3), nullptr);
+  // Plans are the persisted tier and not LRU-bounded.
+  EXPECT_EQ(Cache.numPlans(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel autotuning determinism
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelAutotune, SamePlanAsSerialSearch) {
+  // The acceptance bar of the parallel search: for any pool size the chosen
+  // plan — hence the generated kernel, bit for bit — equals ThreadPool(1).
+  for (machine::UArch T : {machine::UArch::Atom, machine::UArch::ARM1176}) {
+    auto Opts = [&](unsigned Threads) {
+      return Options::builder(T)
+          .searchSamples(16)
+          .searchSeed(5)
+          .tunerThreads(Threads)
+          .build();
+    };
+    Compiler Serial(Opts(1)), Par(Opts(4));
+    CompiledKernel KS = Serial.compile(GemmSrc).valueOrDie();
+    CompiledKernel KP = Par.compile(GemmSrc).valueOrDie();
+    EXPECT_EQ(kernelText(KS), kernelText(KP))
+        << "parallel search diverged from serial on " << machine::uarchName(T);
+    machine::Microarch M = machine::Microarch::get(T);
+    EXPECT_DOUBLE_EQ(KS.time(M).Cycles, KP.time(M).Cycles);
+  }
+}
+
+TEST(ParallelAutotune, SharedPoolAcrossCompilers) {
+  auto Pool = std::make_shared<support::ThreadPool>(4);
+  Compiler A(Options::builder(machine::UArch::Atom).searchSamples(8).build());
+  Compiler B(Options::builder(machine::UArch::Atom).searchSamples(8).build());
+  A.setThreadPool(Pool);
+  B.setThreadPool(Pool);
+  CompiledKernel KA = A.compile(GemvSrc).valueOrDie();
+  CompiledKernel KB = B.compile(GemvSrc).valueOrDie();
+  EXPECT_EQ(kernelText(KA), kernelText(KB));
+}
+
+//===----------------------------------------------------------------------===//
+// compileBatch and Expected-based errors
+//===----------------------------------------------------------------------===//
+
+TEST(CompileBatch, PositionalResultsWithErrors) {
+  Compiler C(Options::builder(machine::UArch::Atom)
+                 .searchSamples(4)
+                 .tunerThreads(4)
+                 .build());
+  C.setKernelCache(std::make_shared<KernelCache>(""));
+
+  std::vector<std::string> Sources = {
+      GemvSrc,
+      "Matrix A(4, 4); Vector x(3); Vector y(4); y = A*x;", // shape error
+      GemmSrc,
+      GemvSrc, // duplicate: same fingerprint as [0]
+  };
+  auto Results = C.compileBatch(Sources);
+  ASSERT_EQ(Results.size(), 4u);
+  EXPECT_TRUE(Results[0].hasValue());
+  EXPECT_FALSE(Results[1].hasValue());
+  EXPECT_FALSE(Results[1].error().empty());
+  EXPECT_TRUE(Results[2].hasValue());
+  EXPECT_TRUE(Results[3].hasValue());
+  EXPECT_EQ(kernelText(*Results[0]), kernelText(*Results[3]));
+
+  // Three cacheable compiles for two distinct fingerprints. Whether the
+  // duplicate hits depends on scheduling (both copies may race past the
+  // lookup before either stores), but every lookup is accounted for.
+  CacheStats S = C.kernelCache()->stats();
+  EXPECT_EQ(S.hits() + S.Misses, 3u);
+  EXPECT_GE(S.Misses, 2u) << "two distinct fingerprints must miss once each";
+
+  // Batch results must equal one-at-a-time compiles.
+  Compiler Serial(Options::builder(machine::UArch::Atom).searchSamples(4).build());
+  EXPECT_EQ(kernelText(*Results[0]),
+            kernelText(Serial.compile(GemvSrc).valueOrDie()));
+  EXPECT_EQ(kernelText(*Results[2]),
+            kernelText(Serial.compile(GemmSrc).valueOrDie()));
+}
+
+TEST(ExpectedApi, ParseErrorsAreReportedNotFatal) {
+  Compiler C(Options::builder(machine::UArch::Atom).build());
+  Expected<CompiledKernel> R = C.compile("Matrix A(4, 4; y = A;");
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_FALSE(R.error().empty());
+}
+
+TEST(ExpectedApi, NamedConfigLookup) {
+  Expected<Options> Full = Options::named("LGen-Full", machine::UArch::Atom);
+  ASSERT_TRUE(Full.hasValue());
+  EXPECT_TRUE(Full->AlignmentDetection);
+  EXPECT_TRUE(Full->NewMVM);
+
+  Expected<Options> Base = Options::named("LGen", machine::UArch::CortexA9);
+  ASSERT_TRUE(Base.hasValue());
+  EXPECT_FALSE(Base->SpecializedNuBLACs);
+
+  Expected<Options> Bad = Options::named("LGen-Bogus", machine::UArch::Atom);
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_NE(Bad.error().find("LGen-Bogus"), std::string::npos);
+}
+
+TEST(ExpectedApi, BuilderMatchesNamedConstructors) {
+  for (machine::UArch U :
+       {machine::UArch::Atom, machine::UArch::CortexA8,
+        machine::UArch::SandyBridge}) {
+    Options FromBuilder = Options::builder(U).full().build();
+    Options FromNamed = Options::lgenFull(U);
+    EXPECT_EQ(KernelCache::fingerprint(GemvSrc, FromBuilder),
+              KernelCache::fingerprint(GemvSrc, FromNamed));
+  }
+}

@@ -29,9 +29,11 @@ namespace {
 
 CompiledKernel compileFor(machine::UArch U, const std::string &Src,
                           bool Full = false) {
-  Options O = Full ? Options::lgenFull(U) : Options::lgenBase(U);
-  Compiler C(O);
-  return C.compile(ll::parseProgramOrDie(Src));
+  Options::Builder B = Options::builder(U);
+  if (Full)
+    B.full();
+  Compiler C(B.build());
+  return C.compile(Src).valueOrDie();
 }
 
 } // namespace
@@ -96,8 +98,7 @@ TEST(CUnparser, GeneratedSSECodeCompilesAndRuns) {
       "Matrix A(6, 10); Vector x(10); Vector y(6); Scalar alpha;"
       " Scalar beta; y = alpha*(A*x) + beta*y;";
   ll::Program P = ll::parseProgramOrDie(Src);
-  Options O = Options::lgenBase(machine::UArch::Atom);
-  Compiler Comp(O);
+  Compiler Comp(Options::builder(machine::UArch::Atom).build());
   CompiledKernel CK = Comp.compile(P);
   std::string Code = codegen::unparseCompiled(CK);
   // Export a stable entry point.
@@ -162,8 +163,7 @@ TEST(CUnparser, GeneratedAVXCodeCompilesAndRuns) {
   const std::string Src =
       "Matrix A(8, 16); Vector x(16); Vector y(8); y = A*x;";
   ll::Program P = ll::parseProgramOrDie(Src);
-  Options O = Options::lgenBase(machine::UArch::SandyBridge);
-  Compiler Comp(O);
+  Compiler Comp(Options::builder(machine::UArch::SandyBridge).build());
   CompiledKernel CK = Comp.compile(P);
   std::string Code = codegen::unparseCompiled(CK);
   Code += "\nvoid lgen_entry(const float *A, const float *x, float *y) {\n  " +

@@ -140,8 +140,9 @@ INSTANTIATE_TEST_SUITE_P(AllBLACs, EndToEnd, ::testing::ValuesIn(allParams()),
 TEST(EndToEndExtra, MicroMMMAllSizes) {
   for (int64_t N = 1; N <= 10; ++N) {
     for (bool Spec : {false, true}) {
-      Options O = Options::lgenBase(machine::UArch::CortexA9);
-      O.SpecializedNuBLACs = Spec;
+      Options O = Options::builder(machine::UArch::CortexA9)
+                      .specializedNuBLACs(Spec)
+                      .build();
       std::string Src = blacSource("micro_mmm", N);
       float Diff = compileAndCompare(Src, O, 100 + N);
       EXPECT_LE(Diff, 1e-3f) << Src << " specialized=" << Spec;
@@ -155,8 +156,9 @@ TEST(EndToEndExtra, TinyMMMAllShapes) {
     for (int64_t K = 1; K <= 4; ++K)
       for (int64_t N = 1; N <= 4; ++N)
         for (bool Spec : {false, true}) {
-          Options O = Options::lgenBase(machine::UArch::CortexA8);
-          O.SpecializedNuBLACs = Spec;
+          Options O = Options::builder(machine::UArch::CortexA8)
+                          .specializedNuBLACs(Spec)
+                          .build();
           std::string Src = "Matrix A(" + std::to_string(M) + ", " +
                             std::to_string(K) + "); Matrix B(" +
                             std::to_string(K) + ", " + std::to_string(N) +
@@ -170,8 +172,7 @@ TEST(EndToEndExtra, TinyMMMAllShapes) {
 /// The autotuner must preserve semantics for every sampled plan.
 TEST(EndToEndExtra, AutotunedKernelsCorrect) {
   for (machine::UArch T : {machine::UArch::Atom, machine::UArch::CortexA8}) {
-    Options O = Options::lgenFull(T);
-    O.SearchSamples = 6;
+    Options O = Options::builder(T).full().searchSamples(6).build();
     float Diff = compileAndCompare(blacSource("gemv", 13), O, 3);
     EXPECT_LE(Diff, 1e-3f);
   }
@@ -181,9 +182,8 @@ TEST(EndToEndExtra, AutotunedKernelsCorrect) {
 TEST(EndToEndExtra, NewMVMMatchesOldMVM) {
   for (int64_t N : {1, 2, 3, 4, 5, 9, 17, 30}) {
     std::string Src = blacSource("mvm", N);
-    Options Old = Options::lgenBase(machine::UArch::Atom);
-    Options New = Old;
-    New.NewMVM = true;
+    Options Old = Options::builder(machine::UArch::Atom).build();
+    Options New = Options::builder(machine::UArch::Atom).newMVM().build();
     EXPECT_LE(compileAndCompare(Src, Old, N), 1e-3f) << Src;
     EXPECT_LE(compileAndCompare(Src, New, N), 1e-3f) << Src;
   }
@@ -193,8 +193,8 @@ TEST(EndToEndExtra, NewMVMMatchesOldMVM) {
 /// argument offsets (§3.2.4) — and must actually dispatch to a version that
 /// never faults on an aligned access.
 TEST(EndToEndExtra, AlignmentVersionsAllOffsets) {
-  Options O = Options::lgenBase(machine::UArch::Atom);
-  O.AlignmentDetection = true;
+  Options O =
+      Options::builder(machine::UArch::Atom).alignmentDetection().build();
   std::string Src = blacSource("gemv", 12);
   for (unsigned OA : {0u, 1u, 2u, 3u})
     for (unsigned OX : {0u, 2u}) {

@@ -99,9 +99,10 @@ TEST(Energy, ObjectivesProduceCorrectKernels) {
   for (compiler::TuneObjective Obj :
        {compiler::TuneObjective::Cycles, compiler::TuneObjective::Energy,
         compiler::TuneObjective::EDP}) {
-    compiler::Options O = Base;
-    O.SearchSamples = 8;
-    O.Objective = Obj;
+    compiler::Options O = compiler::Options::builder(machine::UArch::CortexA9)
+                              .searchSamples(8)
+                              .objective(Obj)
+                              .build();
     compiler::Compiler C(O);
     auto CK = C.compile(ll::parseProgramOrDie(Src));
     auto T = CK.time(M);
@@ -133,9 +134,10 @@ TEST(GuidedSearch, AtLeastAsGoodAsDefaultPlan) {
   double DefaultCycles =
       DefaultC.compile(ll::parseProgramOrDie(Src)).time(M).Cycles;
 
-  compiler::Options Guided = Base;
-  Guided.SearchSamples = 12;
-  Guided.GuidedSearch = true;
+  compiler::Options Guided = compiler::Options::builder(machine::UArch::ARM1176)
+                                 .searchSamples(12)
+                                 .guidedSearch()
+                                 .build();
   compiler::Compiler GuidedC(Guided);
   double GuidedCycles =
       GuidedC.compile(ll::parseProgramOrDie(Src)).time(M).Cycles;
@@ -143,9 +145,11 @@ TEST(GuidedSearch, AtLeastAsGoodAsDefaultPlan) {
 }
 
 TEST(GuidedSearch, KernelsRemainCorrect) {
-  compiler::Options O = compiler::Options::lgenFull(machine::UArch::Atom);
-  O.SearchSamples = 12;
-  O.GuidedSearch = true;
+  compiler::Options O = compiler::Options::builder(machine::UArch::Atom)
+                            .full()
+                            .searchSamples(12)
+                            .guidedSearch()
+                            .build();
   compiler::Compiler C(O);
   auto P = ll::parseProgramOrDie(
       "Matrix A(9, 13); Vector x(13); Vector y(9); y = A*x;");
@@ -173,8 +177,10 @@ TEST(GuidedSearch, KernelsRemainCorrect) {
 //===----------------------------------------------------------------------===//
 
 TEST(SSE41, KernelsCorrectAndUseDpps) {
-  compiler::Options O = compiler::Options::lgenBase(machine::UArch::SandyBridge);
-  O.ISA = isa::ISAKind::SSE41; // ν = 4 codelets on the AVX-capable core.
+  // ν = 4 codelets on the AVX-capable core.
+  compiler::Options O = compiler::Options::builder(machine::UArch::SandyBridge)
+                            .isa(isa::ISAKind::SSE41)
+                            .build();
   compiler::Compiler C(O);
   auto P = ll::parseProgramOrDie(
       "Matrix A(6, 9); Vector x(9); Vector y(6); y = A*x;");
@@ -207,9 +213,11 @@ TEST(SSE41, AutotunerCanPitIsasAgainstEachOther) {
   auto P = ll::parseProgramOrDie(
       "Matrix A(8, 64); Vector x(64); Vector y(8); y = A*x;");
   machine::Microarch M = machine::Microarch::get(machine::UArch::SandyBridge);
-  compiler::Options Avx = compiler::Options::lgenBase(machine::UArch::SandyBridge);
-  compiler::Options Sse = Avx;
-  Sse.ISA = isa::ISAKind::SSE41;
+  compiler::Options Avx =
+      compiler::Options::builder(machine::UArch::SandyBridge).build();
+  compiler::Options Sse = compiler::Options::builder(machine::UArch::SandyBridge)
+                              .isa(isa::ISAKind::SSE41)
+                              .build();
   double AvxCycles = compiler::Compiler(Avx).compile(P).time(M).Cycles;
   double SseCycles = compiler::Compiler(Sse).compile(P).time(M).Cycles;
   EXPECT_LT(AvxCycles, SseCycles);

@@ -97,9 +97,12 @@ TEST(Fuzz, RandomBLACsMatchReferenceEverywhere) {
     std::string Err;
     ASSERT_TRUE(ll::parseProgram(Src, P, Err)) << Src << "\n" << Err;
     machine::UArch T = Targets[Trial % 5];
-    Options O = (Trial % 2) ? Options::lgenFull(T) : Options::lgenBase(T);
+    Options::Builder B = Options::builder(T);
+    if (Trial % 2)
+      B.full();
     if (Trial % 7 == 0)
-      O.SearchSamples = 4;
+      B.searchSamples(4);
+    Options O = B.build();
     float Eps = epsilonFor(P);
     float Diff = compileAndCompare(Src, O, 1000 + Trial);
     EXPECT_LE(Diff, Eps) << "trial " << Trial << " on "
@@ -113,11 +116,12 @@ TEST(Fuzz, RandomBLACsSurviveAllOptimizationCombinations) {
     RandomBlac Gen(R);
     std::string Src = Gen.build();
     for (unsigned Mask = 0; Mask < 16; Mask += 5) { // Sample combos.
-      Options O = Options::lgenBase(machine::UArch::Atom);
-      O.UseGenericMemOps = Mask & 1;
-      O.AlignmentDetection = Mask & 2;
-      O.NewMVM = Mask & 4;
-      O.LoopFusion = Mask & 8;
+      Options O = Options::builder(machine::UArch::Atom)
+                      .genericMemOps(Mask & 1)
+                      .alignmentDetection(Mask & 2)
+                      .newMVM(Mask & 4)
+                      .loopFusion(Mask & 8)
+                      .build();
       ll::Program P;
       std::string Err;
       ASSERT_TRUE(ll::parseProgram(Src, P, Err)) << Src;

@@ -80,8 +80,8 @@ TEST(RunnerEndToEnd, MisalignedSweepValidates) {
   // running must not fault (alignment dispatch picks unaligned versions).
   std::map<std::string, unsigned> Offsets = {{"x", 1}, {"y", 1}};
   Runner R(machine::UArch::Atom, Offsets);
-  compiler::Options O = compiler::Options::lgenBase(machine::UArch::Atom);
-  O.AlignmentDetection = true;
+  compiler::Options O =
+      compiler::Options::builder(machine::UArch::Atom).alignmentDetection().build();
   R.addLGen("LGen-Align", O);
   Sweep S = R.run("mini2", "y = alpha*x + y",
                   [](int64_t N) { return blacs::axpy(N); }, {16});

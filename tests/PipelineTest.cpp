@@ -34,8 +34,11 @@ TEST(Pipeline, GemvVersionCountIs65) {
 }
 
 TEST(Pipeline, VersionCapLimitsCombos) {
-  Options O = Options::lgenFull(machine::UArch::Atom);
-  O.MaxAlignCombos = 16; // Forces dropping arrays from versioning.
+  // MaxAlignCombos 16 forces dropping arrays from versioning.
+  Options O = Options::builder(machine::UArch::Atom)
+                  .full()
+                  .maxAlignCombos(16)
+                  .build();
   Compiler C(O);
   auto CK = C.compile(ll::parseProgramOrDie(
       "Matrix A(8, 8); Vector x(8); Vector y(8); Scalar alpha; Scalar beta;"
@@ -73,9 +76,9 @@ TEST(Pipeline, FusionOffStaysCorrectButCostsMemoryTraffic) {
   // fusion (which is itself a property worth having).
   const char *Src =
       "Vector x(256); Vector y(256); Scalar alpha; y = alpha*x + y;";
-  Options Fused = Options::lgenBase(machine::UArch::Atom);
-  Options Unfused = Fused;
-  Unfused.LoopFusion = false;
+  Options Fused = Options::builder(machine::UArch::Atom).build();
+  Options Unfused =
+      Options::builder(machine::UArch::Atom).loopFusion(false).build();
   EXPECT_LE(compileAndCompare(Src, Unfused, 9), 1e-3f);
   Compiler CF(Fused), CU(Unfused);
   auto KF = CF.compile(ll::parseProgramOrDie(Src));
@@ -90,9 +93,9 @@ TEST(Pipeline, FusionOffStaysCorrectButCostsMemoryTraffic) {
 
 TEST(Pipeline, SpecializedNuBLACsShrinkLeftoverKernels) {
   const char *Src = "Matrix A(2, 2); Matrix B(2, 2); Matrix C(2, 2); C = A*B;";
-  Options Spec = Options::lgenBase(machine::UArch::CortexA9);
-  Spec.SpecializedNuBLACs = true;
-  Options Trad = Options::lgenBase(machine::UArch::CortexA9);
+  Options Spec =
+      Options::builder(machine::UArch::CortexA9).specializedNuBLACs().build();
+  Options Trad = Options::builder(machine::UArch::CortexA9).build();
   Compiler CS(Spec), CT(Trad);
   auto KS = CS.compile(ll::parseProgramOrDie(Src));
   auto KT = CT.compile(ll::parseProgramOrDie(Src));
@@ -102,8 +105,8 @@ TEST(Pipeline, SpecializedNuBLACsShrinkLeftoverKernels) {
 }
 
 TEST(Pipeline, DeterministicAcrossRuns) {
-  Options O = Options::lgenFull(machine::UArch::Atom);
-  O.SearchSamples = 5;
+  Options O =
+      Options::builder(machine::UArch::Atom).full().searchSamples(5).build();
   Compiler C(O);
   auto P = ll::parseProgramOrDie(
       "Matrix A(8, 12); Vector x(12); Vector y(8); y = A*x;");

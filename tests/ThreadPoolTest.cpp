@@ -1,0 +1,94 @@
+//===- ThreadPoolTest.cpp - support::ThreadPool unit tests ----------------===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using lgen::support::ThreadPool;
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool Pool(Threads);
+    EXPECT_EQ(Pool.concurrency(), Threads);
+    const size_t N = 1000;
+    std::vector<std::atomic<int>> Counts(N);
+    Pool.parallelFor(N, [&](size_t I) { Counts[I].fetch_add(1); });
+    for (size_t I = 0; I != N; ++I)
+      EXPECT_EQ(Counts[I].load(), 1) << "index " << I << ", " << Threads
+                                     << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, ResultsBySlotAreDeterministic) {
+  // The pattern the autotuner relies on: write to slot I, reduce serially.
+  ThreadPool Pool(4);
+  std::vector<int> Squares(64, -1);
+  Pool.parallelFor(Squares.size(),
+                   [&](size_t I) { Squares[I] = static_cast<int>(I * I); });
+  for (size_t I = 0; I != Squares.size(); ++I)
+    EXPECT_EQ(Squares[I], static_cast<int>(I * I));
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleElementRanges) {
+  ThreadPool Pool(4);
+  Pool.parallelFor(0, [&](size_t) { FAIL() << "no elements to run"; });
+  int Ran = 0;
+  Pool.parallelFor(1, [&](size_t I) {
+    EXPECT_EQ(I, 0u);
+    ++Ran;
+  });
+  EXPECT_EQ(Ran, 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDegradesToSerial) {
+  // A parallelFor from inside a pool task must complete (serially) instead
+  // of deadlocking on the pool's own workers — the compileBatch-calls-
+  // choosePlan shape.
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Counts(16 * 8);
+  Pool.parallelFor(16, [&](size_t Outer) {
+    EXPECT_TRUE(ThreadPool::insideParallelRegion());
+    Pool.parallelFor(8, [&](size_t Inner) {
+      Counts[Outer * 8 + Inner].fetch_add(1);
+    });
+  });
+  EXPECT_FALSE(ThreadPool::insideParallelRegion());
+  for (auto &C : Counts)
+    EXPECT_EQ(C.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool Pool(4);
+  std::atomic<int> Completed{0};
+  EXPECT_THROW(Pool.parallelFor(100,
+                                [&](size_t I) {
+                                  if (I == 42)
+                                    throw std::runtime_error("boom");
+                                  Completed.fetch_add(1);
+                                }),
+               std::runtime_error);
+  // All other indices still ran: a failure poisons the result, not the
+  // schedule.
+  EXPECT_EQ(Completed.load(), 99);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyLoops) {
+  ThreadPool Pool(3);
+  long Total = 0;
+  for (int Round = 0; Round != 50; ++Round) {
+    std::vector<long> Parts(10, 0);
+    Pool.parallelFor(Parts.size(),
+                     [&](size_t I) { Parts[I] = static_cast<long>(I); });
+    Total += std::accumulate(Parts.begin(), Parts.end(), 0L);
+  }
+  EXPECT_EQ(Total, 50L * 45L);
+}
