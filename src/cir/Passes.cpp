@@ -2,6 +2,8 @@
 
 #include "cir/Passes.h"
 
+#include "support/Trace.h"
+
 #include <map>
 #include <set>
 
@@ -83,6 +85,7 @@ void unrollInBody(Kernel &K, std::vector<Node> &Body, int64_t MaxTrip) {
       Result.push_back(std::move(N));
       continue;
     }
+    support::traceCounter("cir.unroll.full");
     for (int64_t V = L.Start; V < L.End; V += L.Step) {
       std::map<RegId, RegId> RegMap;
       std::vector<Node> Iter = cloneRenamed(K, L.Body, RegMap);
@@ -167,6 +170,7 @@ void cir::unrollLoops(Kernel &K, int64_t MaxTrip) {
 void cir::unrollLoopBy(Kernel &K, LoopId Id, int64_t Factor) {
   if (Factor <= 1)
     return;
+  support::traceCounter("cir.unroll.partial");
   [[maybe_unused]] bool Found = unrollByInBody(K, K.getBody(), Id, Factor);
   assert(Found && "loop id not found for partial unrolling");
 }
@@ -310,8 +314,32 @@ void cir::deadCodeElim(Kernel &K) {
 }
 
 void cir::cleanup(Kernel &K) {
+  // Pass-delta counters: only computed when a trace sink is installed and
+  // the calling thread is not inside a muted autotuner evaluation, so the
+  // untraced path never pays for the extra stats walks.
+  support::Trace *T = support::Trace::active();
+  bool Traced = T && !support::Trace::muted();
+  KernelStats Before;
+  if (Traced)
+    Before = computeStats(K);
+
   copyPropagation(K);
   deadCodeElim(K);
+
+  if (Traced) {
+    KernelStats After = computeStats(K);
+    auto Delta = [](unsigned B, unsigned A) -> uint64_t {
+      return B > A ? B - A : 0;
+    };
+    T->addCounter("cir.cleanup.removedInsts",
+                  Delta(Before.NumInsts, After.NumInsts));
+    T->addCounter("cir.cleanup.removedShuffles",
+                  Delta(Before.NumShuffles, After.NumShuffles));
+    T->addCounter("cir.cleanup.removedLoads",
+                  Delta(Before.NumLoads, After.NumLoads));
+    T->addCounter("cir.cleanup.removedStores",
+                  Delta(Before.NumStores, After.NumStores));
+  }
 }
 
 //===----------------------------------------------------------------------===//

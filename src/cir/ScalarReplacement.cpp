@@ -23,6 +23,8 @@
 
 #include "cir/Passes.h"
 
+#include "support/Trace.h"
+
 #include <map>
 #include <vector>
 
@@ -178,6 +180,7 @@ private:
 unsigned cir::scalarReplacement(Kernel &K) {
   BlockReplacer R(K);
   unsigned Forwarded = R.run(K.getBody());
+  support::traceCounter("cir.scalarrepl.forwarded", Forwarded);
   // Forwarding introduces Mov chains and may leave dead stores behind.
   cleanup(K);
   return Forwarded;

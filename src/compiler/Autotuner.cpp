@@ -19,6 +19,7 @@
 
 #include "absint/AlignmentDetection.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <limits>
 
@@ -32,6 +33,11 @@ namespace {
 double evaluatePlan(const Compiler &C, const ll::Program &P,
                     const tiling::TilingPlan &Plan,
                     const machine::Microarch &M) {
+  // Search evaluations run the full pipeline on throwaway variants; mute
+  // their counters/snapshots so the trace describes only the final build.
+  // The span stays visible — evaluation time is the bulk of compile time.
+  support::TraceMuteScope Mute;
+  support::TraceSpan Span("autotune.evaluate-plan");
   cir::Kernel K = C.generateCore(P, Plan);
   if (C.options().AlignmentDetection && C.options().effectiveNu() > 1)
     absint::detectAlignment(K, C.options().effectiveNu(),
@@ -59,13 +65,18 @@ tiling::TilingPlan guidedSearch(const Compiler &C, const ll::Program &P,
                                 const std::vector<tiling::LoopDesc> &Loops,
                                 const machine::Microarch &M,
                                 unsigned Budget) {
+  support::Trace *T = support::Trace::active();
+  std::vector<support::TracePlanEval> Evals;
   tiling::TilingPlan Best = tiling::defaultPlan(Loops);
   double BestScore = evaluatePlan(C, P, Best, M);
-  unsigned Evals = 1;
+  unsigned NumEvals = 1;
+  if (T)
+    Evals.push_back({0, Best.str(), BestScore, false});
+  unsigned BestEval = 0;
   bool Improved = true;
-  while (Improved && Evals < Budget) {
+  while (Improved && NumEvals < Budget) {
     Improved = false;
-    for (size_t L = 0; L != Loops.size() && Evals < Budget; ++L) {
+    for (size_t L = 0; L != Loops.size() && NumEvals < Budget; ++L) {
       for (int64_t F : tiling::legalUnrollFactors(
                Loops[L].TripCount, C.options().MaxUnrollFactor)) {
         if (F == Best.factorFor(L))
@@ -75,16 +86,25 @@ tiling::TilingPlan guidedSearch(const Compiler &C, const ll::Program &P,
           Candidate.UnrollFactors.resize(Loops.size(), 1);
         Candidate.UnrollFactors[L] = F;
         double Score = evaluatePlan(C, P, Candidate, M);
-        ++Evals;
+        if (T)
+          Evals.push_back({NumEvals, Candidate.str(), Score, false});
         if (Score < BestScore) {
           BestScore = Score;
           Best = Candidate;
+          BestEval = NumEvals;
           Improved = true;
         }
-        if (Evals >= Budget)
+        ++NumEvals;
+        if (NumEvals >= Budget)
           break;
       }
     }
+  }
+  if (T) {
+    Evals[BestEval].Chosen = true;
+    T->recordPlanSearch(std::move(Evals));
+    T->addCounter("autotuner.plans.evaluated", NumEvals);
+    T->addCounter("autotuner.plans.pruned", NumEvals - 1);
   }
   return Best;
 }
@@ -93,9 +113,12 @@ tiling::TilingPlan guidedSearch(const Compiler &C, const ll::Program &P,
 
 tiling::TilingPlan compiler::choosePlan(const Compiler &C,
                                         const ll::Program &P) {
-  // Discover the tile loops with a neutral plan.
+  support::TraceSpan AutotuneSpan("autotune");
+  // Discover the tile loops with a neutral plan. The throwaway pipeline run
+  // is muted like the search evaluations below.
   std::vector<tiling::LoopDesc> Loops;
   {
+    support::TraceMuteScope Mute;
     tiling::TilingPlan Neutral;
     Neutral.FullUnrollTrip = 1;
     C.generateCore(P, Neutral, &Loops);
@@ -132,5 +155,16 @@ tiling::TilingPlan compiler::choosePlan(const Compiler &C,
   for (size_t I = 1; I != Plans.size(); ++I)
     if (Scores[I] < Scores[BestIdx])
       BestIdx = I;
+
+  if (support::Trace *T = support::Trace::active()) {
+    std::vector<support::TracePlanEval> Evals;
+    Evals.reserve(Plans.size());
+    for (size_t I = 0; I != Plans.size(); ++I)
+      Evals.push_back({static_cast<unsigned>(I), Plans[I].str(), Scores[I],
+                       I == BestIdx});
+    T->recordPlanSearch(std::move(Evals));
+    T->addCounter("autotuner.plans.evaluated", Plans.size());
+    T->addCounter("autotuner.plans.pruned", Plans.size() - 1);
+  }
   return Plans[BestIdx];
 }

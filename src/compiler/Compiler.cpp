@@ -11,6 +11,7 @@
 #include "sll/Lowering.h"
 #include "sll/Translate.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 using namespace lgen;
 using namespace lgen::compiler;
@@ -264,6 +265,12 @@ void Compiler::setThreadPool(std::shared_ptr<support::ThreadPool> P) {
 cir::Kernel
 Compiler::generateCore(const ll::Program &P, const tiling::TilingPlan &Plan,
                        std::vector<tiling::LoopDesc> *LoopsOut) const {
+  support::TraceSpan CoreSpan("generate-core");
+  support::Trace *T = support::Trace::active();
+  bool Traced = T && !support::Trace::muted();
+  if (Traced && T->wantsSnapshot("ll"))
+    T->snapshot("ll", P.OutputName, P.str());
+
   unsigned Nu = Opts.effectiveNu();
   isa::ISAKind Kind = Nu == 1 ? isa::ISAKind::Scalar : Opts.ISA;
   std::unique_ptr<isa::NuBLACs> NB = isa::makeNuBLACs(Kind);
@@ -272,46 +279,81 @@ Compiler::generateCore(const ll::Program &P, const tiling::TilingPlan &Plan,
   sll::TranslateOptions TO;
   TO.Nu = Nu;
   TO.NewMVM = Opts.NewMVM;
-  sll::SProgram SP = sll::translate(P, TO);
-  if (Opts.LoopFusion)
-    sll::fuseNests(SP);
-  if (Plan.ExchangeLoops)
+  sll::SProgram SP = [&] {
+    support::TraceSpan Span("sll.translate");
+    return sll::translate(P, TO);
+  }();
+  if (Traced && T->wantsSnapshot("sll"))
+    T->snapshot("sll", P.OutputName, SP.str());
+  if (Opts.LoopFusion) {
+    support::TraceSpan Span("sll.fuse");
+    unsigned Merges = sll::fuseNests(SP);
+    if (Traced)
+      T->addCounter("sll.fuse.merges", Merges);
+  }
+  if (Plan.ExchangeLoops) {
     sll::exchangeLoops(SP, /*Reverse=*/true);
+    if (Traced)
+      T->addCounter("sll.exchange.applied");
+  }
+  if (Traced && T->wantsSnapshot("sll-opt"))
+    T->snapshot("sll-opt", P.OutputName, SP.str());
 
   // Σ-LL → C-IR with the ν-BLAC library.
-  sll::LoweredKernel LK =
-      sll::lowerToCIR(SP, *NB, Opts.SpecializedNuBLACs, P.OutputName + "_kernel");
+  sll::LoweredKernel LK = [&] {
+    support::TraceSpan Span("sll.lower");
+    return sll::lowerToCIR(SP, *NB, Opts.SpecializedNuBLACs,
+                           P.OutputName + "_kernel");
+  }();
   if (LoopsOut)
     *LoopsOut = LK.Loops;
+  if (Traced && T->wantsSnapshot("cir"))
+    T->snapshot("cir", LK.K.getName(), LK.K.str());
 
   // Outer tiling: partial unrolls per plan (clamped to a legal divisor),
   // then full unrolling of small loops. Deepest loops first: unrolling an
   // outer loop clones its (already-unrolled) inner loops, so the reverse
   // order would leave all but the first clone untouched.
-  for (size_t I = LK.LoopIds.size(); I-- > 0;) {
-    int64_t Want = Plan.factorFor(I);
-    if (Want <= 1)
-      continue;
-    std::vector<int64_t> Legal =
-        tiling::legalUnrollFactors(LK.Loops[I].TripCount, Want);
-    cir::unrollLoopBy(LK.K, LK.LoopIds[I], Legal.back());
+  {
+    support::TraceSpan Span("cir.unroll");
+    for (size_t I = LK.LoopIds.size(); I-- > 0;) {
+      int64_t Want = Plan.factorFor(I);
+      if (Want <= 1)
+        continue;
+      std::vector<int64_t> Legal =
+          tiling::legalUnrollFactors(LK.Loops[I].TripCount, Want);
+      cir::unrollLoopBy(LK.K, LK.LoopIds[I], Legal.back());
+    }
+    cir::unrollLoops(LK.K, Plan.FullUnrollTrip);
   }
-  cir::unrollLoops(LK.K, Plan.FullUnrollTrip);
 
   if (!Opts.UseGenericMemOps) {
     // Ablation of §3.1: concrete memory instructions reach scalar
     // replacement, so partial-tile accesses are not forwarded.
     isa::lowerGenericMemOps(LK.K);
   }
-  cir::scalarReplacement(LK.K);
+  {
+    support::TraceSpan Span("cir.scalar-replacement");
+    cir::scalarReplacement(LK.K);
+  }
   return std::move(LK.K);
 }
 
 void Compiler::finalizeKernel(cir::Kernel &K) const {
-  isa::lowerGenericMemOps(K);
+  support::TraceSpan FinalizeSpan("finalize");
+  {
+    support::TraceSpan Span("isa.memmap-lowering");
+    isa::lowerGenericMemOps(K);
+  }
   cir::cleanup(K);
-  machine::scheduleKernel(K, machine::Microarch::get(Opts.Target));
+  {
+    support::TraceSpan Span("machine.schedule");
+    machine::scheduleKernel(K, machine::Microarch::get(Opts.Target));
+  }
   K.verify();
+  support::Trace *T = support::Trace::active();
+  if (T && !support::Trace::muted() && T->wantsSnapshot("cir-final"))
+    T->snapshot("cir-final", K.getName(), K.str());
 }
 
 CompiledKernel Compiler::buildKernel(const ll::Program &P,
@@ -324,11 +366,13 @@ CompiledKernel Compiler::buildKernel(const ll::Program &P,
   cir::Kernel Core = generateCore(P, Plan);
   unsigned Nu = Opts.effectiveNu();
   if (Opts.AlignmentDetection && Nu > 1) {
+    support::TraceSpan Span("alignment-versioning");
     CK.Versioned =
         absint::makeAlignmentVersions(Core, Nu, Opts.MaxAlignCombos);
     for (cir::Kernel &V : CK.Versioned.Versions)
       finalizeKernel(V);
     finalizeKernel(CK.Versioned.Fallback);
+    support::traceCounter("absint.versions", CK.Versioned.Versions.size());
     CK.HasVersions = true;
     // Listing 3.3: a chain of modulo checks selects the version at runtime.
     CK.DispatchOverheadCycles =
@@ -341,15 +385,22 @@ CompiledKernel Compiler::buildKernel(const ll::Program &P,
 }
 
 CompiledKernel Compiler::compile(const ll::Program &P) const {
-  if (!Cache)
-    return buildKernel(P, choosePlan(*this, P));
+  support::TraceSpan CompileSpan("compile");
+  if (!Cache) {
+    CompiledKernel CK = buildKernel(P, choosePlan(*this, P));
+    support::traceCounter("cache.bypassed");
+    return CK;
+  }
 
   uint64_t Key = KernelCache::fingerprint(P.str(), Opts);
-  if (std::shared_ptr<const CompiledKernel> Hit = Cache->lookupKernel(Key))
+  if (std::shared_ptr<const CompiledKernel> Hit = Cache->lookupKernel(Key)) {
+    support::traceCounter("cache.hit.kernel");
     return Hit->clone();
+  }
 
   tiling::TilingPlan Plan;
   bool PlanHit = Cache->lookupPlan(Key, Plan);
+  support::traceCounter(PlanHit ? "cache.hit.plan" : "cache.miss");
   if (!PlanHit)
     Plan = choosePlan(*this, P);
 
@@ -372,6 +423,7 @@ Expected<CompiledKernel> Compiler::compile(const std::string &Source) const {
 
 std::vector<Expected<CompiledKernel>>
 Compiler::compileBatch(const std::vector<std::string> &Sources) const {
+  support::TraceSpan BatchSpan("compile-batch");
   std::vector<Expected<CompiledKernel>> Results;
   Results.reserve(Sources.size());
   for (size_t I = 0; I != Sources.size(); ++I)

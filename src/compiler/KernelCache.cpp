@@ -4,10 +4,15 @@
 
 #include "mediator/Json.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 
 using namespace lgen;
 using namespace lgen::compiler;
@@ -44,10 +49,46 @@ std::string hexKey(uint64_t Key) {
   return Buf;
 }
 
+/// Strict inverse of hexKey: exactly 1–16 hex digits. strtoull alone would
+/// happily accept "12garbage" or negative numbers, silently corrupting keys
+/// from a damaged cache file.
+bool parseHexKey(const std::string &S, uint64_t &Key) {
+  if (S.empty() || S.size() > 16)
+    return false;
+  for (char C : S)
+    if (!std::isxdigit(static_cast<unsigned char>(C)))
+      return false;
+  Key = std::strtoull(S.c_str(), nullptr, 16);
+  return true;
+}
+
+/// Unroll factors and trip counts read from disk bound how much code the
+/// unroller clones; a corrupt or hostile cache file must not be able to
+/// drive code size to infinity.
+constexpr int64_t MaxSaneFactor = 1024;
+constexpr size_t MaxSaneDims = 64;
+
+int64_t clampFactor(double V) {
+  int64_t F = static_cast<int64_t>(V);
+  if (F < 1)
+    return 1;
+  return F > MaxSaneFactor ? MaxSaneFactor : F;
+}
+
 } // namespace
 
 uint64_t KernelCache::fingerprint(const std::string &Source,
                                   const Options &O) {
+  // Tripwire for the audit below: adding a field to Options changes its
+  // size, which must force whoever adds it to decide whether the field is
+  // codegen-relevant (hash it) or tuner infrastructure (exclude it), then
+  // update this constant. Gated to one ABI so padding differences on other
+  // platforms do not fire it spuriously.
+#if defined(__x86_64__) && defined(__linux__) && defined(__GNUC__)
+  static_assert(sizeof(Options) == 88,
+                "Options changed: update KernelCache::fingerprint and the "
+                "Fingerprint.SensitiveToEveryCodegenField test");
+#endif
   uint64_t H = FnvOffsetBasis;
   fnv1a(H, Source);
   // Every Options field that can change the generated code participates.
@@ -90,6 +131,42 @@ std::string KernelCache::diskPath() const {
   return Dir + "/lgen-cache.json";
 }
 
+bool KernelCache::parsePlanFile(const std::string &Text,
+                                std::map<uint64_t, PlanEntry> &Out) {
+  json::Value Root;
+  std::string Err;
+  if (!json::parse(Text, Root, Err) || !Root.isObject())
+    return false; // Corrupt or truncated file: treat everything as a miss.
+  const json::Value &Entries = Root["entries"];
+  if (!Entries.isArray())
+    return false;
+  for (const json::Value &E : Entries.asArray()) {
+    if (!E.isObject())
+      continue;
+    uint64_t Key;
+    if (!parseHexKey(E.getString("key"), Key))
+      continue;
+    const json::Value &Plan = E["plan"];
+    if (!Plan.isObject())
+      continue;
+    PlanEntry PE;
+    PE.Source = E.getString("source");
+    PE.Target = E.getString("target");
+    PE.ISA = E.getString("isa");
+    PE.Plan.ExchangeLoops = Plan.getBool("exchange");
+    PE.Plan.FullUnrollTrip = clampFactor(Plan.getNumber("fullUnrollTrip", 4));
+    const json::Value &Unroll = Plan["unroll"];
+    if (Unroll.isArray())
+      for (const json::Value &F : Unroll.asArray()) {
+        if (PE.Plan.UnrollFactors.size() == MaxSaneDims)
+          break;
+        PE.Plan.UnrollFactors.push_back(clampFactor(F.asNumber()));
+      }
+    Out.insert_or_assign(Key, std::move(PE));
+  }
+  return true;
+}
+
 void KernelCache::loadDisk() {
   if (Dir.empty())
     return;
@@ -98,34 +175,7 @@ void KernelCache::loadDisk() {
     return;
   std::stringstream Buf;
   Buf << In.rdbuf();
-  json::Value Root;
-  std::string Err;
-  if (!json::parse(Buf.str(), Root, Err) || !Root.isObject())
-    return; // A corrupt cache file is ignored, not fatal.
-  const json::Value &Entries = Root["entries"];
-  if (!Entries.isArray())
-    return;
-  for (const json::Value &E : Entries.asArray()) {
-    if (!E.isObject())
-      continue;
-    std::string KeyStr = E.getString("key");
-    uint64_t Key = std::strtoull(KeyStr.c_str(), nullptr, 16);
-    if (KeyStr.empty())
-      continue;
-    PlanEntry PE;
-    PE.Source = E.getString("source");
-    PE.Target = E.getString("target");
-    PE.ISA = E.getString("isa");
-    const json::Value &Plan = E["plan"];
-    PE.Plan.ExchangeLoops = Plan.getBool("exchange");
-    PE.Plan.FullUnrollTrip =
-        static_cast<int64_t>(Plan.getNumber("fullUnrollTrip", 4));
-    const json::Value &Unroll = Plan["unroll"];
-    if (Unroll.isArray())
-      for (const json::Value &F : Unroll.asArray())
-        PE.Plan.UnrollFactors.push_back(static_cast<int64_t>(F.asNumber()));
-    Plans.emplace(Key, std::move(PE));
-  }
+  parsePlanFile(Buf.str(), Plans);
 }
 
 void KernelCache::saveDiskLocked() {
@@ -133,6 +183,23 @@ void KernelCache::saveDiskLocked() {
     return;
   std::error_code EC;
   std::filesystem::create_directories(Dir, EC);
+
+  // Merge-on-save: another process (or another Compiler instance in this
+  // one) may have persisted plans since we loaded. Re-read the file and
+  // fold in entries we do not have, so concurrent writers union their
+  // plans instead of the last one clobbering the rest. Our own entries
+  // win conflicts — they are at least as fresh.
+  {
+    std::ifstream In(diskPath());
+    if (In) {
+      std::stringstream Buf;
+      Buf << In.rdbuf();
+      std::map<uint64_t, PlanEntry> OnDisk;
+      if (parsePlanFile(Buf.str(), OnDisk))
+        for (auto &[Key, PE] : OnDisk)
+          Plans.emplace(Key, std::move(PE)); // no overwrite of our entries
+    }
+  }
 
   json::Array Entries;
   for (const auto &[Key, PE] : Plans) {
@@ -150,11 +217,34 @@ void KernelCache::saveDiskLocked() {
   }
   json::Value Root =
       json::Object{{"version", 1}, {"entries", std::move(Entries)}};
-  std::ofstream Out(diskPath(), std::ios::trunc);
-  if (Out) {
+
+  // Write-to-temp + atomic rename: readers (and crash recovery) only ever
+  // see either the old complete file or the new complete file, never a
+  // torn prefix. The temp name is unique per instance; concurrent
+  // processes each rename their own temp file and the merge above makes
+  // the operation commutative.
+#if defined(_WIN32)
+  uint64_t Pid = 0;
+#else
+  uint64_t Pid = static_cast<uint64_t>(::getpid());
+#endif
+  std::string Tmp = diskPath() + ".tmp." + hexKey(Pid) + "." +
+                    hexKey(reinterpret_cast<uintptr_t>(this));
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out)
+      return;
     Out << Root.serialize();
-    Dirty = false;
+    Out.flush();
+    if (!Out)
+      return;
   }
+  std::filesystem::rename(Tmp, diskPath(), EC);
+  if (EC) {
+    std::filesystem::remove(Tmp, EC);
+    return;
+  }
+  Dirty = false;
 }
 
 void KernelCache::flush() {

@@ -114,6 +114,11 @@ private:
 
   void loadDisk();
   void saveDiskLocked();
+  /// Parses a persisted plan file into \p Out, skipping malformed entries
+  /// (bad hex keys, missing plans, insane factors). Returns false when
+  /// \p Text is not a plan file at all (unparseable / wrong shape).
+  static bool parsePlanFile(const std::string &Text,
+                            std::map<uint64_t, PlanEntry> &Out);
   void storeKernelLocked(uint64_t Key,
                          std::shared_ptr<const CompiledKernel> Kernel);
   std::string diskPath() const;

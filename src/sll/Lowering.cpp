@@ -3,6 +3,7 @@
 #include "sll/Lowering.h"
 
 #include "cir/Builder.h"
+#include "support/Trace.h"
 
 #include <map>
 
@@ -41,6 +42,11 @@ public:
       assert(Id + 1 == Result.K.getNumArrays() && "array ids match mat ids");
     }
     emitNest(P.Root, 0);
+    if (support::Trace *T = support::Trace::active()) {
+      T->addCounter("sll.lower.nublacs", NuBlacExpansions);
+      T->addCounter("sll.lower.tileops", TileOps);
+      T->addCounter("sll.lower.loops", Result.Loops.size());
+    }
     return std::move(Result);
   }
 
@@ -92,6 +98,11 @@ private:
   void emitOp(const TileOp &Op) {
     isa::TileRef Out = refOf(Op.Out);
     unsigned R = Op.Out.TileRows, C = Op.Out.TileCols;
+    ++TileOps;
+    // Everything below Copy/ZeroTile expands a ν-BLAC codelet; the two
+    // exceptions are Loader/Storer-only data movement.
+    if (Op.Kind != OpKind::Copy && Op.Kind != OpKind::ZeroTile)
+      ++NuBlacExpansions;
     switch (Op.Kind) {
     case OpKind::Copy:
       emitCopy(refOf(Op.In[0]), Out, R, C);
@@ -163,6 +174,8 @@ private:
   LoweredKernel Result;
   Builder B;
   std::map<unsigned, LoopId> SumToLoop;
+  uint64_t NuBlacExpansions = 0;
+  uint64_t TileOps = 0;
 };
 
 } // namespace

@@ -2,6 +2,7 @@
 
 #include "sll/Translate.h"
 
+#include "support/Trace.h"
 #include "tiling/Tiling.h"
 
 #include <functional>
@@ -25,12 +26,33 @@ struct Region {
 std::vector<Region> regionsOf(int64_t Dim, unsigned Nu) {
   tiling::DimSplit S = tiling::splitDim(Dim, Nu);
   std::vector<Region> Rs;
+  // A full-tile loop region exists only when there is at least one full
+  // tile: a dimension below ν (FullTiles == 0) contributes the leftover
+  // region alone, so no empty summation is ever constructed for it. The
+  // leftover tile still reaches the vector ν-BLACs — its partial extent
+  // lowers through the masked/lane memory-map path, not scalar code.
   if (S.FullTiles > 0)
     Rs.push_back({true, 0, S.FullTiles * Nu, Nu});
   if (S.Leftover > 0)
     Rs.push_back({false, S.FullTiles * Nu, 0,
                   static_cast<unsigned>(S.Leftover)});
+  assert((!Rs.empty() || Dim == 0) && "non-empty dimension lost its regions");
   return Rs;
+}
+
+/// Σ-LL rule-application counts for the trace (thesis §2.1.2/§2.1.3: each
+/// tile op is one application of an operator's tiling rule).
+void countNest(const Nest &N, uint64_t &Ops, uint64_t &Nests,
+               uint64_t &Sums) {
+  Sums += N.Sums.size();
+  for (const NestItem &It : N.Items) {
+    if (It.Child) {
+      ++Nests;
+      countNest(*It.Child, Ops, Nests, Sums);
+    } else {
+      ++Ops;
+    }
+  }
 }
 
 class Translator {
@@ -51,6 +73,13 @@ public:
     }
     int Target = static_cast<int>(OperandMat[Out.Name]);
     lowerExpr(*P.Rhs, Target);
+    if (support::Trace *T = support::Trace::active()) {
+      uint64_t Ops = 0, Nests = 0, Sums = 0;
+      countNest(S.Root, Ops, Nests, Sums);
+      T->addCounter("sll.translate.tileops", Ops);
+      T->addCounter("sll.translate.nests", Nests);
+      T->addCounter("sll.translate.sums", Sums);
+    }
     return std::move(S);
   }
 

@@ -1,0 +1,327 @@
+//===- Trace.cpp - Structured pipeline tracing and diagnostics ------------===//
+
+#include "support/Trace.h"
+
+#include "mediator/Json.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+using namespace lgen;
+using namespace lgen::support;
+
+std::atomic<Trace *> Trace::ActiveTrace{nullptr};
+
+namespace {
+
+/// Per-thread stack of open span ids (for parent links) and the per-thread
+/// mute depth. RAII usage keeps both strictly LIFO per thread.
+thread_local std::vector<uint64_t> SpanStack;
+thread_local unsigned MuteDepth = 0;
+
+double steadyUs() {
+  using namespace std::chrono;
+  return duration<double, std::micro>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+Trace::Trace() : EpochUs(steadyUs()) {}
+
+double Trace::nowUs() const { return steadyUs() - EpochUs; }
+
+uint64_t Trace::threadIndexLocked() {
+  uint64_t Tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  auto It = ThreadIndex.find(Tid);
+  if (It != ThreadIndex.end())
+    return It->second;
+  uint64_t Idx = ThreadIndex.size();
+  ThreadIndex.emplace(Tid, Idx);
+  return Idx;
+}
+
+//===----------------------------------------------------------------------===//
+// Spans
+//===----------------------------------------------------------------------===//
+
+uint64_t Trace::beginSpan(const char *Name) {
+  double Start = nowUs();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  TraceSpanRecord R;
+  R.Id = NextSpanId++;
+  R.Parent = SpanStack.empty() ? 0 : SpanStack.back();
+  R.Name = Name;
+  R.Thread = threadIndexLocked();
+  R.StartUs = Start;
+  OpenSpanIndex[R.Id] = Spans.size();
+  Spans.push_back(std::move(R));
+  SpanStack.push_back(Spans.back().Id);
+  return Spans.back().Id;
+}
+
+void Trace::endSpan(uint64_t Id) {
+  double End = nowUs();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = OpenSpanIndex.find(Id);
+  if (It == OpenSpanIndex.end())
+    return; // Already closed (or never opened on this trace): ignore.
+  TraceSpanRecord &R = Spans[It->second];
+  R.DurUs = End - R.StartUs;
+  OpenSpanIndex.erase(It);
+  // RAII guarantees LIFO per thread; tolerate out-of-order closes anyway.
+  auto SIt = std::find(SpanStack.rbegin(), SpanStack.rend(), Id);
+  if (SIt != SpanStack.rend())
+    SpanStack.erase(std::next(SIt).base());
+}
+
+//===----------------------------------------------------------------------===//
+// Counters, plan log, snapshots, mute
+//===----------------------------------------------------------------------===//
+
+bool Trace::muted() { return MuteDepth != 0; }
+
+TraceMuteScope::TraceMuteScope() { ++MuteDepth; }
+TraceMuteScope::~TraceMuteScope() { --MuteDepth; }
+
+void Trace::addCounter(const char *Name, uint64_t Delta) {
+  if (muted())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters[Name] += Delta;
+}
+
+void Trace::recordPlanSearch(std::vector<TracePlanEval> Evals) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (TracePlanEval &P : Evals)
+    Plans.push_back(std::move(P));
+}
+
+void Trace::setSnapshotStages(std::string StageOrAll) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  SnapshotStages = std::move(StageOrAll);
+}
+
+bool Trace::wantsSnapshot(const char *Stage) const {
+  if (muted())
+    return false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return SnapshotStages == "all" || SnapshotStages == Stage;
+}
+
+void Trace::snapshot(const char *Stage, std::string Kernel, std::string Text) {
+  if (muted())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Snapshots.push_back({Stage, std::move(Kernel), std::move(Text)});
+}
+
+//===----------------------------------------------------------------------===//
+// Inspection
+//===----------------------------------------------------------------------===//
+
+std::vector<TraceSpanRecord> Trace::spans() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Spans;
+}
+
+std::map<std::string, uint64_t> Trace::counters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
+uint64_t Trace::counter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+std::vector<TracePlanEval> Trace::planEvals() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Plans;
+}
+
+std::vector<TraceSnapshot> Trace::snapshots() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Snapshots;
+}
+
+size_t Trace::openSpans() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return OpenSpanIndex.size();
+}
+
+//===----------------------------------------------------------------------===//
+// JSON export / import
+//===----------------------------------------------------------------------===//
+
+json::Value Trace::toJson() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+
+  json::Array SpanArr;
+  for (const TraceSpanRecord &R : Spans)
+    SpanArr.push_back(json::Object{{"id", static_cast<int64_t>(R.Id)},
+                                   {"parent", static_cast<int64_t>(R.Parent)},
+                                   {"name", R.Name},
+                                   {"thread", static_cast<int64_t>(R.Thread)},
+                                   {"start_us", R.StartUs},
+                                   {"dur_us", R.DurUs}});
+
+  json::Object CounterObj;
+  for (const auto &[Name, V] : Counters)
+    CounterObj[Name] = static_cast<int64_t>(V);
+
+  json::Array PlanArr;
+  for (const TracePlanEval &P : Plans)
+    PlanArr.push_back(json::Object{{"index", static_cast<int64_t>(P.Index)},
+                                   {"plan", P.Plan},
+                                   {"cost", P.Cost},
+                                   {"chosen", P.Chosen}});
+
+  json::Array SnapArr;
+  for (const TraceSnapshot &S : Snapshots)
+    SnapArr.push_back(json::Object{
+        {"stage", S.Stage}, {"kernel", S.Kernel}, {"text", S.Text}});
+
+  return json::Object{{"version", 1},
+                      {"spans", std::move(SpanArr)},
+                      {"counters", std::move(CounterObj)},
+                      {"plans", std::move(PlanArr)},
+                      {"snapshots", std::move(SnapArr)}};
+}
+
+bool Trace::fromJson(const json::Value &V, Trace &Out, std::string &Err) {
+  if (!V.isObject()) {
+    Err = "trace must be a JSON object";
+    return false;
+  }
+  if (V.getNumber("version", 0) != 1) {
+    Err = "unsupported trace version";
+    return false;
+  }
+  const json::Value &SpanArr = V["spans"];
+  const json::Value &CounterObj = V["counters"];
+  const json::Value &PlanArr = V["plans"];
+  const json::Value &SnapArr = V["snapshots"];
+  if (!SpanArr.isArray() || !CounterObj.isObject() || !PlanArr.isArray() ||
+      !SnapArr.isArray()) {
+    Err = "trace is missing one of spans/counters/plans/snapshots";
+    return false;
+  }
+
+  std::lock_guard<std::mutex> Lock(Out.Mutex);
+  Out.Spans.clear();
+  Out.Counters.clear();
+  Out.Plans.clear();
+  Out.Snapshots.clear();
+  Out.OpenSpanIndex.clear();
+  Out.NextSpanId = 1;
+
+  for (const json::Value &E : SpanArr.asArray()) {
+    if (!E.isObject() || !E["name"].isString()) {
+      Err = "malformed span entry";
+      return false;
+    }
+    TraceSpanRecord R;
+    R.Id = static_cast<uint64_t>(E.getNumber("id"));
+    R.Parent = static_cast<uint64_t>(E.getNumber("parent"));
+    R.Name = E.getString("name");
+    R.Thread = static_cast<uint64_t>(E.getNumber("thread"));
+    R.StartUs = E.getNumber("start_us");
+    R.DurUs = E.getNumber("dur_us", -1.0);
+    Out.NextSpanId = std::max(Out.NextSpanId, R.Id + 1);
+    Out.Spans.push_back(std::move(R));
+  }
+  for (const auto &[Name, C] : CounterObj.asObject()) {
+    if (!C.isNumber()) {
+      Err = "counter \"" + Name + "\" is not a number";
+      return false;
+    }
+    Out.Counters[Name] = static_cast<uint64_t>(C.asNumber());
+  }
+  for (const json::Value &E : PlanArr.asArray()) {
+    if (!E.isObject() || !E["plan"].isString() || !E["cost"].isNumber()) {
+      Err = "malformed plan entry";
+      return false;
+    }
+    TracePlanEval P;
+    P.Index = static_cast<unsigned>(E.getNumber("index"));
+    P.Plan = E.getString("plan");
+    P.Cost = E.getNumber("cost");
+    P.Chosen = E.getBool("chosen");
+    Out.Plans.push_back(std::move(P));
+  }
+  for (const json::Value &E : SnapArr.asArray()) {
+    if (!E.isObject() || !E["stage"].isString()) {
+      Err = "malformed snapshot entry";
+      return false;
+    }
+    Out.Snapshots.push_back(
+        {E.getString("stage"), E.getString("kernel"), E.getString("text")});
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Human-readable summary
+//===----------------------------------------------------------------------===//
+
+std::string Trace::summary() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::ostringstream OS;
+
+  struct Agg {
+    uint64_t Count = 0;
+    double TotalUs = 0.0;
+  };
+  std::map<std::string, Agg> ByName;
+  for (const TraceSpanRecord &R : Spans) {
+    Agg &A = ByName[R.Name];
+    ++A.Count;
+    if (R.DurUs >= 0)
+      A.TotalUs += R.DurUs;
+  }
+  std::vector<std::pair<std::string, Agg>> Sorted(ByName.begin(),
+                                                  ByName.end());
+  std::sort(Sorted.begin(), Sorted.end(), [](const auto &A, const auto &B) {
+    return A.second.TotalUs > B.second.TotalUs;
+  });
+
+  OS << "== trace summary ==\n";
+  if (!Sorted.empty()) {
+    OS << "spans (aggregated by name):\n";
+    char Buf[160];
+    for (const auto &[Name, A] : Sorted) {
+      std::snprintf(Buf, sizeof(Buf), "  %-28s %6llu x %12.1f us total\n",
+                    Name.c_str(), (unsigned long long)A.Count, A.TotalUs);
+      OS << Buf;
+    }
+  }
+  if (!Counters.empty()) {
+    OS << "counters:\n";
+    for (const auto &[Name, V] : Counters)
+      OS << "  " << Name << " = " << V << "\n";
+  }
+  if (!Plans.empty()) {
+    const TracePlanEval *Best = nullptr;
+    for (const TracePlanEval &P : Plans)
+      if (P.Chosen)
+        Best = &P;
+    OS << "autotuner: " << Plans.size() << " plan(s) evaluated";
+    if (Best) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.1f", Best->Cost);
+      OS << "; chosen #" << Best->Index << " (" << Best->Plan
+         << ", cost " << Buf << ")";
+    }
+    OS << "\n";
+  }
+  if (!Snapshots.empty())
+    OS << "snapshots: " << Snapshots.size() << " IR dump(s) captured\n";
+  return OS.str();
+}

@@ -1,0 +1,235 @@
+//===- Trace.h - Structured pipeline tracing and diagnostics ---*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observability for the compile pipeline: a structured-event sink that
+/// records
+///
+///  * *spans* — named wall-clock intervals (RAII-scoped, nesting tracked
+///    per thread), answering "where does compile time go";
+///  * *counters* — per-stage facts (Σ-LL tile ops emitted, fusion merges,
+///    ν-BLAC expansions, scalar-replacement forwards, generic memory
+///    accesses lowered, cleanup deltas, cache hits/misses);
+///  * *plan evaluations* — every tiling plan the autotuner measured, with
+///    its cost and whether it won;
+///  * *IR snapshots* — textual dumps of LL / Σ-LL / C-IR at stage
+///    boundaries, gated by a stage filter so they cost nothing unless
+///    requested.
+///
+/// Tracing is opt-in and zero-cost when off: every instrumentation site
+/// guards on \c Trace::active(), a single relaxed atomic pointer load, and
+/// no strings are formatted unless a sink is installed. The hot paths
+/// (gbench_compile_pipeline, parallel_autotune) therefore run unchanged.
+///
+/// The autotuner search evaluates the pipeline many times; counters and
+/// snapshots from those throwaway runs would drown the facts about the
+/// kernel actually built. \c TraceMuteScope (thread-local) suppresses
+/// counters and snapshots — but not spans, which deliberately keep showing
+/// search time — while a search evaluation runs, so counter values describe
+/// exactly one final pipeline execution per compiled kernel.
+///
+/// The JSON export schema (validated by tools/validate_trace.py and
+/// round-trip tested through mediator's JSON implementation) is:
+///
+/// \code{.json}
+/// {
+///   "version": 1,
+///   "spans":     [{"id": 1, "parent": 0, "name": "compile", "thread": 0,
+///                  "start_us": 0.0, "dur_us": 1234.5}, ...],
+///   "counters":  {"sll.lower.nublacs": 9, ...},
+///   "plans":     [{"index": 0, "plan": "unroll=[4,2] exchange=0 full=4",
+///                  "cost": 410.0, "chosen": true}, ...],
+///   "snapshots": [{"stage": "sll", "kernel": "y", "text": "..."}, ...]
+/// }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_SUPPORT_TRACE_H
+#define LGEN_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lgen {
+
+namespace json {
+class Value;
+} // namespace json
+
+namespace support {
+
+/// One span: a named wall-clock interval. Parent links reconstruct the
+/// nesting (0 = top level); spans begun on pool workers while no span is
+/// open on that worker report parent 0.
+struct TraceSpanRecord {
+  uint64_t Id = 0;
+  uint64_t Parent = 0;
+  std::string Name;
+  /// Small per-trace thread index (0 = the first thread seen).
+  uint64_t Thread = 0;
+  double StartUs = 0.0;
+  /// Negative while the span is still open.
+  double DurUs = -1.0;
+};
+
+/// One autotuner measurement: plan description, objective value, winner bit.
+struct TracePlanEval {
+  unsigned Index = 0;
+  std::string Plan;
+  double Cost = 0.0;
+  bool Chosen = false;
+};
+
+/// One IR dump at a stage boundary.
+struct TraceSnapshot {
+  std::string Stage;  ///< "ll", "sll", "sll-opt", "cir", or "cir-final".
+  std::string Kernel; ///< Output operand / kernel label.
+  std::string Text;
+};
+
+class Trace {
+public:
+  Trace();
+
+  Trace(const Trace &) = delete;
+  Trace &operator=(const Trace &) = delete;
+
+  /// The installed sink, or null when tracing is off. A relaxed load: this
+  /// is the only cost instrumentation sites pay when disabled.
+  static Trace *active() { return ActiveTrace.load(std::memory_order_relaxed); }
+
+  /// Installs \p T as the process-wide sink (null uninstalls). The caller
+  /// keeps ownership and must out-live the traced work.
+  static void setActive(Trace *T) {
+    ActiveTrace.store(T, std::memory_order_release);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Spans
+  //===--------------------------------------------------------------------===//
+
+  /// Opens a span; returns its id. Prefer the RAII \c TraceSpan wrapper,
+  /// which guarantees the span closes when the scope unwinds (exceptions
+  /// included).
+  uint64_t beginSpan(const char *Name);
+  void endSpan(uint64_t Id);
+
+  //===--------------------------------------------------------------------===//
+  // Counters, plan log, snapshots
+  //===--------------------------------------------------------------------===//
+
+  /// Adds \p Delta to counter \p Name. Ignored inside a TraceMuteScope.
+  void addCounter(const char *Name, uint64_t Delta = 1);
+
+  /// Records one completed plan search: every evaluated plan plus which
+  /// one won, appended in a single critical section so concurrent searches
+  /// (compileBatch workers) never interleave their logs. Each search's
+  /// indices restart at 0; the default plan is always index 0, so the
+  /// number of index-0 entries equals the number of searches.
+  void recordPlanSearch(std::vector<TracePlanEval> Evals);
+
+  /// Restricts snapshots to one stage name, or "all". Default: none (even
+  /// with tracing on, IR text is only materialized on request).
+  void setSnapshotStages(std::string StageOrAll);
+  /// True if a snapshot for \p Stage would be kept — check *before*
+  /// stringifying IR, so disabled snapshots cost nothing.
+  bool wantsSnapshot(const char *Stage) const;
+  void snapshot(const char *Stage, std::string Kernel, std::string Text);
+
+  /// True while the calling thread is inside a TraceMuteScope.
+  static bool muted();
+
+  //===--------------------------------------------------------------------===//
+  // Export and inspection
+  //===--------------------------------------------------------------------===//
+
+  /// The full trace as a JSON value (schema in the file comment).
+  json::Value toJson() const;
+
+  /// Rebuilds a trace from its JSON form. Returns false (and sets \p Err)
+  /// on schema violations. toJson(fromJson(x)) == x, which is what makes
+  /// the schema a stable interchange format for external tooling.
+  static bool fromJson(const json::Value &V, Trace &Out, std::string &Err);
+
+  /// Human-readable summary: spans aggregated by name, counters, and the
+  /// plan search outcome.
+  std::string summary() const;
+
+  std::vector<TraceSpanRecord> spans() const;
+  std::map<std::string, uint64_t> counters() const;
+  uint64_t counter(const std::string &Name) const;
+  std::vector<TracePlanEval> planEvals() const;
+  std::vector<TraceSnapshot> snapshots() const;
+  /// Number of spans still open (0 after well-nested instrumentation).
+  size_t openSpans() const;
+
+private:
+  friend class TraceMuteScope;
+
+  double nowUs() const;
+  uint64_t threadIndexLocked();
+
+  static std::atomic<Trace *> ActiveTrace;
+
+  mutable std::mutex Mutex;
+  std::vector<TraceSpanRecord> Spans;
+  std::map<uint64_t, size_t> OpenSpanIndex; // id -> index into Spans
+  std::map<std::string, uint64_t> Counters;
+  std::vector<TracePlanEval> Plans;
+  std::vector<TraceSnapshot> Snapshots;
+  std::string SnapshotStages; // "" = none, "all" = everything, else one stage
+  std::map<uint64_t, uint64_t> ThreadIndex; // hashed thread id -> small index
+  uint64_t NextSpanId = 1;
+  double EpochUs = 0.0;
+};
+
+/// RAII span. A no-op (single atomic load) when tracing is off; closes the
+/// span on scope exit even when unwinding through an exception.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name) : T(Trace::active()) {
+    if (T)
+      Id = T->beginSpan(Name);
+  }
+  ~TraceSpan() {
+    if (T)
+      T->endSpan(Id);
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  Trace *T;
+  uint64_t Id = 0;
+};
+
+/// Suppresses counters and snapshots (not spans) on the constructing thread
+/// for its lifetime. The autotuner wraps search evaluations in this so
+/// counters describe only the final kernel build.
+class TraceMuteScope {
+public:
+  TraceMuteScope();
+  ~TraceMuteScope();
+  TraceMuteScope(const TraceMuteScope &) = delete;
+  TraceMuteScope &operator=(const TraceMuteScope &) = delete;
+};
+
+/// Counter shorthand for instrumentation sites: one relaxed load when
+/// tracing is off.
+inline void traceCounter(const char *Name, uint64_t Delta = 1) {
+  if (Trace *T = Trace::active())
+    T->addCounter(Name, Delta);
+}
+
+} // namespace support
+} // namespace lgen
+
+#endif // LGEN_SUPPORT_TRACE_H

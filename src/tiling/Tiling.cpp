@@ -3,6 +3,7 @@
 #include "tiling/Tiling.h"
 
 #include <algorithm>
+#include <sstream>
 
 using namespace lgen;
 using namespace lgen::tiling;
@@ -13,11 +14,18 @@ DimSplit tiling::splitDim(int64_t N, unsigned Nu) {
   S.Nu = Nu;
   S.FullTiles = N / Nu;
   S.Leftover = N % Nu;
+  assert(S.FullTiles * static_cast<int64_t>(Nu) + S.Leftover == N &&
+         "split must cover the dimension exactly");
+  assert((S.FullTiles > 0 || S.Leftover == N) &&
+         "a dimension below nu is leftover-only");
   return S;
 }
 
 std::vector<int64_t> tiling::legalUnrollFactors(int64_t TripCount,
                                                 int64_t MaxFactor) {
+  // Degenerate trip counts (0 or 1, e.g. a leftover-only dimension that
+  // produced no full-tile loop) admit only the identity factor: there is
+  // nothing to unroll, and factor 1 keeps unrollLoopBy a no-op.
   std::vector<int64_t> Factors = {1};
   for (int64_t F = 2; F <= MaxFactor && F <= TripCount; ++F)
     if (TripCount % F == 0)
@@ -44,4 +52,13 @@ TilingPlan tiling::defaultPlan(const std::vector<LoopDesc> &Loops) {
     Plan.UnrollFactors.push_back(Factors.back());
   }
   return Plan;
+}
+
+std::string TilingPlan::str() const {
+  std::ostringstream OS;
+  OS << "unroll=[";
+  for (size_t I = 0; I != UnrollFactors.size(); ++I)
+    OS << (I ? "," : "") << UnrollFactors[I];
+  OS << "] exchange=" << (ExchangeLoops ? 1 : 0) << " full=" << FullUnrollTrip;
+  return OS.str();
 }

@@ -35,6 +35,11 @@ struct DimSplit {
   int64_t FullTiles = 0;
   int64_t Leftover = 0;
   unsigned Nu = 1;
+
+  /// True when the dimension is covered by the leftover alone (N < ν).
+  /// Such dimensions must produce no full-tile loop at all — the leftover
+  /// region still vectorizes through the partial-map (masked/lane) path.
+  bool leftoverOnly() const { return FullTiles == 0 && Leftover > 0; }
 };
 
 DimSplit splitDim(int64_t N, unsigned Nu);
@@ -56,6 +61,10 @@ struct TilingPlan {
   int64_t factorFor(size_t LoopIdx) const {
     return LoopIdx < UnrollFactors.size() ? UnrollFactors[LoopIdx] : 1;
   }
+
+  /// Compact one-line form, e.g. "unroll=[4,2] exchange=0 full=4" — the
+  /// plan description the autotuner trace records with each measured cost.
+  std::string str() const;
 };
 
 /// Description of a tile loop discovered while lowering, used to build the

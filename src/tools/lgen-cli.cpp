@@ -19,7 +19,13 @@
 ///   --tuner-threads=N      parallel search lanes (0 = all cores)
 ///   --cache-dir=PATH       persistent kernel cache ($LGEN_CACHE_DIR too)
 ///   --cache-stats          print cache hit/miss/eviction counters
-///   --emit=c|ir|stats|time|all                what to print (default all)
+///   --emit=c|ir|stats|time|all|none           what to print (default all)
+///   --trace[=FILE]         record a pipeline trace; JSON to FILE (or
+///                          stdout), human-readable summary to stderr.
+///                          Bare --trace defaults --emit to none so stdout
+///                          stays pure JSON.
+///   --dump-ir=STAGE        print IR at a stage boundary: ll, sll,
+///                          sll-opt, cir, cir-final, or all
 ///
 /// Flag names follow the Options::Builder methods one-to-one. Several
 /// BLACs compile as one batch over the shared pool and cache.
@@ -33,9 +39,13 @@
 #include "lgen/LGen.h"
 
 #include "cir/Passes.h"
+#include "mediator/Json.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -51,9 +61,16 @@ int usage(const char *Argv0) {
       "          [--search-samples=N] [--search-seed=N] [--guided-search]\n"
       "          [--objective=cycles|energy|edp] [--tuner-threads=N]\n"
       "          [--cache-dir=PATH] [--cache-stats]\n"
-      "          [--emit=c|ir|stats|time|all] \"<BLAC>\" [\"<BLAC>\" ...]\n",
+      "          [--emit=c|ir|stats|time|all|none] [--trace[=FILE]]\n"
+      "          [--dump-ir=ll|sll|sll-opt|cir|cir-final|all]\n"
+      "          \"<BLAC>\" [\"<BLAC>\" ...]\n",
       Argv0);
   return 2;
+}
+
+bool validStage(const std::string &S) {
+  return S == "ll" || S == "sll" || S == "sll-opt" || S == "cir" ||
+         S == "cir-final" || S == "all";
 }
 
 void printKernel(const compiler::CompiledKernel &CK,
@@ -97,6 +114,10 @@ int main(int Argc, char **Argv) {
   std::string CacheDir = compiler::KernelCache::defaultDir();
   bool CacheStats = false;
   std::string Emit = "all";
+  bool EmitSet = false;
+  bool TraceOn = false;
+  std::string TraceFile;
+  std::string DumpIr;
   std::vector<std::string> Sources;
 
   for (int I = 1; I < Argc; ++I) {
@@ -143,6 +164,21 @@ int main(int Argc, char **Argv) {
       CacheStats = true;
     } else if (Arg.rfind("--emit=", 0) == 0) {
       Emit = Arg.substr(7);
+      EmitSet = true;
+      if (Emit != "c" && Emit != "ir" && Emit != "stats" && Emit != "time" &&
+          Emit != "all" && Emit != "none")
+        return usage(Argv[0]);
+    } else if (Arg == "--trace") {
+      TraceOn = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TraceOn = true;
+      TraceFile = Arg.substr(8);
+      if (TraceFile.empty())
+        return usage(Argv[0]);
+    } else if (Arg.rfind("--dump-ir=", 0) == 0) {
+      DumpIr = Arg.substr(10);
+      if (!validStage(DumpIr))
+        return usage(Argv[0]);
     } else if (Arg.rfind("--", 0) == 0) {
       return usage(Argv[0]);
     } else {
@@ -151,6 +187,10 @@ int main(int Argc, char **Argv) {
   }
   if (Sources.empty())
     return usage(Argv[0]);
+  // Bare --trace streams JSON to stdout; suppress kernel output there so
+  // the result stays machine-parseable unless the user asked for both.
+  if (TraceOn && TraceFile.empty() && !EmitSet)
+    Emit = "none";
 
   Expected<compiler::Options> Named = compiler::Options::named(Config, Target);
   if (!Named) {
@@ -170,11 +210,29 @@ int main(int Argc, char **Argv) {
     C.setKernelCache(std::make_shared<compiler::KernelCache>(""));
   machine::Microarch M = machine::Microarch::get(Target);
 
-  std::vector<Expected<compiler::CompiledKernel>> Kernels =
-      C.compileBatch(Sources);
+  // The trace sink outlives the batch; installed only on request so the
+  // untraced CLI path exercises the zero-cost configuration.
+  support::Trace Trace;
+  bool Tracing = TraceOn || !DumpIr.empty();
+  if (Tracing) {
+    if (!DumpIr.empty())
+      Trace.setSnapshotStages(DumpIr);
+    support::Trace::setActive(&Trace);
+  }
+
+  std::vector<Expected<compiler::CompiledKernel>> Kernels;
+  try {
+    Kernels = C.compileBatch(Sources);
+  } catch (const std::exception &E) {
+    support::Trace::setActive(nullptr);
+    std::fprintf(stderr, "error: internal compiler error: %s\n", E.what());
+    return 1;
+  }
+  support::Trace::setActive(nullptr);
+
   int Rc = 0;
   for (size_t I = 0; I != Kernels.size(); ++I) {
-    if (Sources.size() > 1)
+    if (Sources.size() > 1 && Emit != "none")
       std::printf("// ===== BLAC %zu: %s =====\n", I, Sources[I].c_str());
     if (!Kernels[I]) {
       std::fprintf(stderr, "error: %s\n", Kernels[I].error().c_str());
@@ -182,6 +240,28 @@ int main(int Argc, char **Argv) {
       continue;
     }
     printKernel(*Kernels[I], M, Emit);
+  }
+
+  if (!DumpIr.empty())
+    for (const support::TraceSnapshot &S : Trace.snapshots())
+      std::printf("// --- %s IR (%s) ---\n%s\n", S.Stage.c_str(),
+                  S.Kernel.c_str(), S.Text.c_str());
+
+  if (TraceOn) {
+    std::string Json = Trace.toJson().serialize();
+    if (TraceFile.empty()) {
+      std::printf("%s\n", Json.c_str());
+    } else {
+      std::ofstream Out(TraceFile, std::ios::trunc);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n",
+                     TraceFile.c_str());
+        Rc = 1;
+      } else {
+        Out << Json << "\n";
+      }
+    }
+    std::fprintf(stderr, "%s", Trace.summary().c_str());
   }
 
   if (CacheStats && C.kernelCache()) {

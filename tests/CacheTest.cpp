@@ -165,6 +165,124 @@ TEST(KernelCacheTest, CorruptDiskFileIsIgnored) {
   EXPECT_EQ(C.kernelCache()->stats().Misses, 1u);
 }
 
+TEST(KernelCacheTest, TruncatedDiskFileIsAMiss) {
+  // A crash mid-write used to be able to leave a torn prefix behind; with
+  // atomic-rename persistence it cannot, but a truncated file (e.g. a full
+  // disk from an older version) must still load as an empty cache.
+  std::string Dir = freshCacheDir("disk_truncated");
+  Options O = Options::builder(machine::UArch::Atom)
+                  .searchSamples(2)
+                  .cacheDir(Dir)
+                  .build();
+  {
+    Compiler C(O);
+    (void)C.compile(GemvSrc).valueOrDie();
+  }
+  std::string Path = Dir + "/lgen-cache.json";
+  ASSERT_TRUE(std::filesystem::exists(Path));
+  auto Full = std::filesystem::file_size(Path);
+  std::filesystem::resize_file(Path, Full / 2);
+
+  Compiler C2(O);
+  EXPECT_EQ(C2.kernelCache()->numPlans(), 0u) << "torn file must be a miss";
+  (void)C2.compile(GemvSrc).valueOrDie();
+  EXPECT_EQ(C2.kernelCache()->stats().Misses, 1u);
+}
+
+TEST(KernelCacheTest, MalformedEntriesAreSkippedNotFatal) {
+  std::string Dir = freshCacheDir("disk_malformed");
+  {
+    std::ofstream Out(Dir + "/lgen-cache.json");
+    // One bad key, one insane unroll factor (must be clamped, not obeyed),
+    // one well-formed entry.
+    Out << R"({"version": 1, "entries": [
+      {"key": "zzz-not-hex", "plan": {"unroll": [2], "exchange": false,
+       "fullUnrollTrip": 4}},
+      {"key": "00000000000000aa", "plan": {"unroll": [999999999],
+       "exchange": false, "fullUnrollTrip": 999999999}},
+      {"key": "00000000000000bb", "plan": {"unroll": [2, 2],
+       "exchange": false, "fullUnrollTrip": 4}},
+      {"key": "00000000000000cc"}]})";
+  }
+  KernelCache Cache(Dir);
+  EXPECT_EQ(Cache.numPlans(), 2u) << "bad key and planless entries skipped";
+  tiling::TilingPlan P;
+  ASSERT_TRUE(Cache.lookupPlan(0xaa, P));
+  EXPECT_LE(P.FullUnrollTrip, 1024) << "insane trip counts must be clamped";
+  ASSERT_EQ(P.UnrollFactors.size(), 1u);
+  EXPECT_LE(P.UnrollFactors[0], 1024);
+  ASSERT_TRUE(Cache.lookupPlan(0xbb, P));
+  EXPECT_EQ(P.UnrollFactors, (std::vector<int64_t>{2, 2}));
+}
+
+TEST(KernelCacheTest, InstancesSharingADirMergeTheirPlans) {
+  // Two caches pointed at one directory (two processes, as far as the
+  // persistence layer can tell) each tune different BLACs. Flushing must
+  // union the plan sets, not let the last writer clobber the first.
+  std::string Dir = freshCacheDir("disk_merge");
+  Options O = Options::builder(machine::UArch::Atom)
+                  .searchSamples(2)
+                  .cacheDir(Dir)
+                  .build();
+  Compiler A(O), B(O);
+  (void)A.compile(GemvSrc).valueOrDie();
+  (void)B.compile(GemmSrc).valueOrDie();
+  A.kernelCache()->flush();
+  B.kernelCache()->flush(); // merges: must not drop A's entry
+
+  Compiler C2(O);
+  EXPECT_EQ(C2.kernelCache()->numPlans(), 2u);
+  (void)C2.compile(GemvSrc).valueOrDie();
+  (void)C2.compile(GemmSrc).valueOrDie();
+  CacheStats S = C2.kernelCache()->stats();
+  EXPECT_EQ(S.PlanHits, 2u) << "both tuned plans must survive the merge";
+  EXPECT_EQ(S.Misses, 0u);
+}
+
+TEST(KernelCacheTest, ConcurrentBatchesLeaveNoTornStateOrTempFiles) {
+  // The acceptance stress: many threads compiling through one cache
+  // directory. Afterwards the persisted file must parse, contain every
+  // plan, and no temp files may be left behind.
+  std::string Dir = freshCacheDir("disk_stress");
+  Options O = Options::builder(machine::UArch::Atom)
+                  .searchSamples(2)
+                  .tunerThreads(8)
+                  .cacheDir(Dir)
+                  .build();
+
+  std::vector<std::string> Sources;
+  for (int N = 2; N <= 9; ++N) // 8 distinct BLACs
+    for (int Rep = 0; Rep != 3; ++Rep)
+      Sources.push_back("Matrix A(" + std::to_string(N) + ", 8); "
+                        "Vector x(8); Vector y(" + std::to_string(N) + "); "
+                        "y = A*x;");
+  {
+    Compiler C(O);
+    auto Results = C.compileBatch(Sources);
+    for (const auto &R : Results)
+      EXPECT_TRUE(R.hasValue());
+  }
+
+  size_t TempFiles = 0, CacheFiles = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    if (E.path().filename() == "lgen-cache.json")
+      ++CacheFiles;
+    else
+      ++TempFiles;
+  }
+  EXPECT_EQ(CacheFiles, 1u);
+  EXPECT_EQ(TempFiles, 0u) << "atomic rename must not strand temp files";
+
+  // The file must parse and hold all 8 tuned plans.
+  Compiler C2(O);
+  EXPECT_EQ(C2.kernelCache()->numPlans(), 8u);
+  auto Results = C2.compileBatch(Sources);
+  for (const auto &R : Results)
+    EXPECT_TRUE(R.hasValue());
+  EXPECT_EQ(C2.kernelCache()->stats().Misses, 0u)
+      << "every plan must be served from the reloaded tier";
+}
+
 TEST(KernelCacheTest, LruEvictsAndCounts) {
   KernelCache Cache("", /*MaxKernels=*/2);
   tiling::TilingPlan Plan;

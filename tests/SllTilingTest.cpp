@@ -11,6 +11,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
+
 #include "ll/Parser.h"
 #include "sll/Translate.h"
 #include "tiling/Tiling.h"
@@ -41,6 +43,15 @@ unsigned countNests(const Nest &N) {
   return Count;
 }
 
+/// Total summation loops in the nest tree, including degenerate ones.
+unsigned countSums(const Nest &N) {
+  unsigned Count = N.Sums.size();
+  for (const NestItem &It : N.Items)
+    if (It.Child)
+      Count += countSums(*It.Child);
+  return Count;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -65,6 +76,24 @@ TEST(Tiling, LegalUnrollFactorsAndThePrimeRestriction) {
   EXPECT_EQ(tiling::legalUnrollFactors(695 / 4, 8),
             (std::vector<int64_t>{1}));
   EXPECT_EQ(tiling::legalUnrollFactors(1, 8), (std::vector<int64_t>{1}));
+}
+
+TEST(Tiling, SplitDimEdgeCasesAroundNu) {
+  // N ∈ {1, ν−1, ν, ν+1}: the decompositions around the vector length are
+  // where empty full-tile loops and lost leftovers would hide.
+  const int64_t Nu = 4;
+  for (int64_t N : {int64_t(1), Nu - 1, Nu, Nu + 1}) {
+    auto S = tiling::splitDim(N, Nu);
+    EXPECT_EQ(S.FullTiles * Nu + S.Leftover, N)
+        << "split must cover the dimension exactly for N=" << N;
+    EXPECT_GE(S.Leftover, 0);
+    EXPECT_LT(S.Leftover, Nu);
+    EXPECT_EQ(S.leftoverOnly(), N < Nu);
+  }
+  EXPECT_EQ(tiling::splitDim(1, 4).FullTiles, 0);
+  EXPECT_EQ(tiling::splitDim(1, 4).Leftover, 1);
+  EXPECT_EQ(tiling::splitDim(5, 4).FullTiles, 1);
+  EXPECT_EQ(tiling::splitDim(5, 4).Leftover, 1);
 }
 
 TEST(Tiling, RandomPlansAreLegal) {
@@ -142,6 +171,55 @@ TEST(Translate, ScalarNuUsesMatMulPath) {
   EXPECT_EQ(countOps(S.Root, OpKind::MVM) + countOps(S.Root, OpKind::MVMAcc),
             0u);
   EXPECT_GT(countOps(S.Root, OpKind::MatMulAcc), 0u);
+}
+
+TEST(Translate, LeftoverOnlyDimsEmitNoLoop) {
+  // N < ν: the dimension is a single leftover region. There must be no
+  // empty full-tile summation wrapping it — the tile op addresses the
+  // partial tile directly (the masked/partial-map vector path).
+  for (int64_t N : {int64_t(1), int64_t(3)}) {
+    auto S = std::to_string(N);
+    auto P = ll::parseProgramOrDie("Vector x(" + S + "); Vector y(" + S +
+                                   "); y = x + y;");
+    SProgram SP = translate(P, {4, false});
+    EXPECT_EQ(countSums(SP.Root), 0u)
+        << "N=" << N << " is leftover-only; a loop would have 0 full tiles";
+    EXPECT_EQ(countOps(SP.Root, OpKind::Add), 1u);
+  }
+  // N == ν: exactly one full tile, one (degenerate, fully unrolled later)
+  // summation, no leftover op.
+  auto P4 = ll::parseProgramOrDie("Vector x(4); Vector y(4); y = x + y;");
+  SProgram S4 = translate(P4, {4, false});
+  EXPECT_EQ(countOps(S4.Root, OpKind::Add), 1u);
+  // N == ν+1: the full-tile loop plus a separate leftover op.
+  auto P5 = ll::parseProgramOrDie("Vector x(5); Vector y(5); y = x + y;");
+  SProgram S5 = translate(P5, {4, false});
+  EXPECT_EQ(countOps(S5.Root, OpKind::Add), 2u)
+      << "one looped full-tile op, one leftover op";
+  EXPECT_EQ(countSums(S5.Root), 1u);
+}
+
+TEST(Tiling, EdgeSizesCompileAndMatchReference) {
+  // End-to-end correctness at the split boundaries, vector and matrix
+  // shaped, on a vector target: N ∈ {1, ν−1, ν, ν+1} with ν = 4.
+  compiler::Options O = compiler::Options::lgenBase(machine::UArch::Atom);
+  O.SearchSamples = 2;
+  for (int64_t N : {int64_t(1), int64_t(3), int64_t(4), int64_t(5)}) {
+    auto S = std::to_string(N);
+    std::vector<std::string> Sources = {
+        "Vector x(" + S + "); Vector y(" + S + "); Scalar alpha; "
+        "y = alpha*x + y;",
+        "Matrix A(" + S + ", " + S + "); Vector x(" + S + "); Vector y(" + S +
+        "); y = A*x;",
+        "Matrix A(" + S + ", " + S + "); Matrix B(" + S + ", " + S +
+        "); Matrix C(" + S + ", " + S + "); C = A*B;",
+    };
+    for (const std::string &Src : Sources) {
+      ll::Program Prog = ll::parseProgramOrDie(Src);
+      float Diff = testutil::compileAndCompare(Src, O, /*Seed=*/23 + N);
+      EXPECT_LE(Diff, testutil::epsilonFor(Prog)) << "BLAC: " << Src;
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//

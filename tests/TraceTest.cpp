@@ -1,0 +1,317 @@
+//===- TraceTest.cpp - Pipeline tracing and diagnostics -------------------===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coverage for the support::Trace observability layer: span nesting and
+/// exception safety, counter facts pinned to known pipeline behavior,
+/// autotuner plan logging, IR snapshots, the JSON schema round-trip through
+/// the mediator JSON implementation, and the zero-cost guarantee that a
+/// traced compile emits byte-identical kernels to an untraced one.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lgen/LGen.h"
+
+#include "mediator/Json.h"
+#include "support/Trace.h"
+
+#include "gtest/gtest.h"
+
+#include <limits>
+#include <stdexcept>
+
+using namespace lgen;
+using namespace lgen::compiler;
+using namespace lgen::support;
+
+namespace {
+
+const char *Mmm4Src =
+    "Matrix A(4, 4); Matrix B(4, 4); Matrix C(4, 4); C = A*B;";
+const char *GemvSrc =
+    "Matrix A(8, 8); Vector x(8); Vector y(8); Scalar alpha; Scalar beta; "
+    "y = alpha*A*x + beta*y;";
+
+/// Installs a trace sink for the enclosing scope and always uninstalls it,
+/// so a failing assertion cannot leak the sink into other tests.
+struct ScopedTrace {
+  Trace T;
+  ScopedTrace() { Trace::setActive(&T); }
+  ~ScopedTrace() { Trace::setActive(nullptr); }
+};
+
+std::string kernelText(const CompiledKernel &CK) {
+  return CK.kernelFor({}).str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Spans
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSpans, NestAndCloseInOrder) {
+  ScopedTrace S;
+  {
+    TraceSpan Outer("outer");
+    {
+      TraceSpan Inner("inner");
+    }
+  }
+  auto Spans = S.T.spans();
+  ASSERT_EQ(Spans.size(), 2u);
+  EXPECT_EQ(Spans[0].Name, "outer");
+  EXPECT_EQ(Spans[1].Name, "inner");
+  EXPECT_EQ(Spans[0].Parent, 0u);
+  EXPECT_EQ(Spans[1].Parent, Spans[0].Id);
+  EXPECT_GE(Spans[0].DurUs, 0.0);
+  EXPECT_GE(Spans[1].DurUs, 0.0);
+  EXPECT_GE(Spans[0].DurUs, Spans[1].DurUs);
+  EXPECT_EQ(S.T.openSpans(), 0u);
+}
+
+TEST(TraceSpans, CloseWhenUnwindingThroughException) {
+  ScopedTrace S;
+  EXPECT_THROW(
+      {
+        TraceSpan Outer("outer");
+        TraceSpan Inner("inner");
+        throw std::runtime_error("boom");
+      },
+      std::runtime_error);
+  EXPECT_EQ(S.T.openSpans(), 0u) << "RAII must close spans during unwinding";
+  for (const TraceSpanRecord &R : S.T.spans())
+    EXPECT_GE(R.DurUs, 0.0) << "span '" << R.Name << "' left open";
+}
+
+TEST(TraceSpans, NoSinkMeansNoRecording) {
+  ASSERT_EQ(Trace::active(), nullptr);
+  TraceSpan Span("ignored"); // must be safe with no sink installed
+  traceCounter("ignored.counter");
+  SUCCEED();
+}
+
+//===----------------------------------------------------------------------===//
+// Counters pinned to pipeline facts
+//===----------------------------------------------------------------------===//
+
+TEST(TraceCounters, FourByFourMmmFacts) {
+  // A 4x4 = 4x4 * 4x4 MMM on Atom (SSSE3, nu = 4) tiles into exactly one
+  // full tile: the Σ-LL program is one ZeroTile plus one accumulating
+  // matmul tile op, of which only the matmul expands a ν-BLAC.
+  ScopedTrace S;
+  Compiler C(Options::builder(machine::UArch::Atom).searchSamples(0).build());
+  CompiledKernel CK = C.compile(Mmm4Src).valueOrDie();
+  EXPECT_EQ(S.T.counter("sll.translate.tileops"), 2u);
+  EXPECT_EQ(S.T.counter("sll.lower.tileops"), 2u);
+  EXPECT_EQ(S.T.counter("sll.lower.nublacs"), 1u);
+  // All three 4/4/4 dimensions are single full tiles: no residual loops.
+  EXPECT_EQ(S.T.counter("sll.lower.loops"), 3u);
+  EXPECT_GT(S.T.counter("cir.scalarrepl.forwarded"), 0u);
+}
+
+TEST(TraceCounters, SearchEvaluationsAreMuted) {
+  // With a 6-sample search the pipeline runs 8 times (discovery + 7
+  // evaluations) but counters must describe exactly one final build, so
+  // they equal the counters of a search-free compile of the same plan...
+  ScopedTrace S;
+  Compiler C(Options::builder(machine::UArch::Atom)
+                 .searchSamples(6)
+                 .searchSeed(3)
+                 .build());
+  (void)C.compile(Mmm4Src).valueOrDie();
+  EXPECT_EQ(S.T.counter("sll.translate.tileops"), 2u);
+  EXPECT_EQ(S.T.counter("sll.lower.nublacs"), 1u);
+  // ...while the span log keeps the full search visible.
+  uint64_t EvalSpans = 0;
+  for (const TraceSpanRecord &R : S.T.spans())
+    if (R.Name == "autotune.evaluate-plan")
+      ++EvalSpans;
+  EXPECT_EQ(EvalSpans, 7u) << "default plan + 6 samples";
+  EXPECT_EQ(S.T.openSpans(), 0u);
+}
+
+TEST(TraceCounters, MuteScopeIsThreadLocalAndNested) {
+  ScopedTrace S;
+  S.T.addCounter("a");
+  {
+    TraceMuteScope M1;
+    EXPECT_TRUE(Trace::muted());
+    {
+      TraceMuteScope M2;
+      S.T.addCounter("a");
+      S.T.snapshot("cir", "k", "text");
+    }
+    EXPECT_TRUE(Trace::muted()) << "outer mute survives inner scope exit";
+    S.T.addCounter("a");
+  }
+  EXPECT_FALSE(Trace::muted());
+  S.T.addCounter("a");
+  EXPECT_EQ(S.T.counter("a"), 2u);
+  EXPECT_TRUE(S.T.snapshots().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Autotuner plan log
+//===----------------------------------------------------------------------===//
+
+TEST(TracePlans, EveryEvaluationLoggedOneChosen) {
+  ScopedTrace S;
+  Compiler C(Options::builder(machine::UArch::Atom)
+                 .searchSamples(5)
+                 .searchSeed(7)
+                 .build());
+  (void)C.compile(GemvSrc).valueOrDie();
+  auto Evals = S.T.planEvals();
+  ASSERT_EQ(Evals.size(), 6u) << "default plan + 5 samples";
+  unsigned Chosen = 0;
+  double BestCost = std::numeric_limits<double>::infinity();
+  for (const TracePlanEval &E : Evals) {
+    EXPECT_FALSE(E.Plan.empty());
+    BestCost = std::min(BestCost, E.Cost);
+    Chosen += E.Chosen;
+  }
+  EXPECT_EQ(Chosen, 1u);
+  for (const TracePlanEval &E : Evals)
+    if (E.Chosen)
+      EXPECT_DOUBLE_EQ(E.Cost, BestCost) << "winner must have minimal cost";
+  EXPECT_EQ(S.T.counter("autotuner.plans.evaluated"), 6u);
+  EXPECT_EQ(S.T.counter("autotuner.plans.pruned"), 5u);
+}
+
+TEST(TracePlans, GuidedSearchLogsItsWalk) {
+  ScopedTrace S;
+  Compiler C(Options::builder(machine::UArch::Atom)
+                 .searchSamples(8)
+                 .guidedSearch()
+                 .build());
+  (void)C.compile(GemvSrc).valueOrDie();
+  auto Evals = S.T.planEvals();
+  ASSERT_FALSE(Evals.empty());
+  ASSERT_LE(Evals.size(), 8u) << "budget caps the walk";
+  unsigned Chosen = 0;
+  for (const TracePlanEval &E : Evals)
+    Chosen += E.Chosen;
+  EXPECT_EQ(Chosen, 1u);
+  EXPECT_EQ(S.T.counter("autotuner.plans.evaluated"), Evals.size());
+}
+
+//===----------------------------------------------------------------------===//
+// IR snapshots
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSnapshots, OffByDefaultAllStagesOnRequest) {
+  {
+    ScopedTrace S;
+    Compiler C(Options::builder(machine::UArch::Atom).searchSamples(2).build());
+    (void)C.compile(Mmm4Src).valueOrDie();
+    EXPECT_TRUE(S.T.snapshots().empty()) << "snapshots must be opt-in";
+  }
+  ScopedTrace S;
+  S.T.setSnapshotStages("all");
+  Compiler C(Options::builder(machine::UArch::Atom).searchSamples(2).build());
+  (void)C.compile(Mmm4Src).valueOrDie();
+  auto Snaps = S.T.snapshots();
+  // One snapshot per stage: search evaluations are muted, so only the
+  // final build dumps.
+  ASSERT_EQ(Snaps.size(), 5u);
+  const char *Order[] = {"ll", "sll", "sll-opt", "cir", "cir-final"};
+  for (size_t I = 0; I != 5; ++I) {
+    EXPECT_EQ(Snaps[I].Stage, Order[I]);
+    EXPECT_FALSE(Snaps[I].Text.empty());
+  }
+  // The LL dump is the program, the C-IR dumps are kernels.
+  EXPECT_NE(Snaps[0].Text.find("C = "), std::string::npos);
+  EXPECT_NE(Snaps[3].Text.find("kernel"), std::string::npos);
+}
+
+TEST(TraceSnapshots, SingleStageFilter) {
+  ScopedTrace S;
+  S.T.setSnapshotStages("sll");
+  EXPECT_TRUE(S.T.wantsSnapshot("sll"));
+  EXPECT_FALSE(S.T.wantsSnapshot("cir"));
+  Compiler C(Options::builder(machine::UArch::Atom).searchSamples(0).build());
+  (void)C.compile(Mmm4Src).valueOrDie();
+  auto Snaps = S.T.snapshots();
+  ASSERT_EQ(Snaps.size(), 1u);
+  EXPECT_EQ(Snaps[0].Stage, "sll");
+  EXPECT_NE(Snaps[0].Text.find("sum"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON schema round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(TraceJson, RoundTripsThroughMediatorJson) {
+  ScopedTrace S;
+  S.T.setSnapshotStages("cir-final");
+  Compiler C(Options::builder(machine::UArch::Atom)
+                 .searchSamples(3)
+                 .searchSeed(11)
+                 .build());
+  (void)C.compile(GemvSrc).valueOrDie();
+  Trace::setActive(nullptr);
+
+  std::string Text = S.T.toJson().serialize();
+  json::Value Parsed;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Text, Parsed, Err)) << Err;
+  EXPECT_EQ(Parsed.getNumber("version"), 1);
+
+  Trace Rebuilt;
+  ASSERT_TRUE(Trace::fromJson(Parsed, Rebuilt, Err)) << Err;
+  EXPECT_EQ(Rebuilt.toJson().serialize(), Text)
+      << "toJson(fromJson(x)) must equal x";
+  EXPECT_EQ(Rebuilt.spans().size(), S.T.spans().size());
+  EXPECT_EQ(Rebuilt.counters(), S.T.counters());
+  EXPECT_EQ(Rebuilt.planEvals().size(), S.T.planEvals().size());
+  ASSERT_EQ(Rebuilt.snapshots().size(), 1u);
+  EXPECT_EQ(Rebuilt.snapshots()[0].Text, S.T.snapshots()[0].Text);
+}
+
+TEST(TraceJson, RejectsMalformedTraces) {
+  auto Refused = [](const char *Text) {
+    json::Value V;
+    std::string Err;
+    EXPECT_TRUE(json::parse(Text, V, Err)) << Err;
+    Trace T;
+    return !Trace::fromJson(V, T, Err) && !Err.empty();
+  };
+  EXPECT_TRUE(Refused("[1,2,3]"));
+  EXPECT_TRUE(Refused("{\"version\": 2}"));
+  EXPECT_TRUE(Refused("{\"version\": 1, \"spans\": 3, \"counters\": {}, "
+                      "\"plans\": [], \"snapshots\": []}"));
+  EXPECT_TRUE(Refused("{\"version\": 1, \"spans\": [], "
+                      "\"counters\": {\"x\": \"NaN\"}, "
+                      "\"plans\": [], \"snapshots\": []}"));
+}
+
+//===----------------------------------------------------------------------===//
+// Zero-cost guarantee: tracing must never change the generated code
+//===----------------------------------------------------------------------===//
+
+TEST(TraceZeroCost, TracedCompileIsByteIdentical) {
+  Options O = Options::builder(machine::UArch::Atom)
+                  .full()
+                  .searchSamples(6)
+                  .searchSeed(2)
+                  .build();
+  ASSERT_EQ(Trace::active(), nullptr);
+  Compiler Untraced(O);
+  CompiledKernel Plain = Untraced.compile(GemvSrc).valueOrDie();
+
+  std::string TracedText, TracedC;
+  {
+    ScopedTrace S;
+    S.T.setSnapshotStages("all");
+    Compiler Traced(O);
+    CompiledKernel CK = Traced.compile(GemvSrc).valueOrDie();
+    TracedText = kernelText(CK);
+    TracedC = codegen::unparseCompiled(CK);
+  }
+  EXPECT_EQ(TracedText, kernelText(Plain));
+  EXPECT_EQ(TracedC, codegen::unparseCompiled(Plain));
+}

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Schema validator for lgen-cli --trace output.
+
+Usage:  validate_trace.py [FILE]        (reads stdin when FILE is omitted)
+
+Checks the trace against schema version 1 (documented in
+src/support/Trace.h) and exits nonzero with a diagnostic on the first
+violation, so CI can pipe `lgen-cli --trace` straight through it.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def validate(trace):
+    require(isinstance(trace, dict), "top level must be an object")
+    require(trace.get("version") == 1,
+            f"unsupported version {trace.get('version')!r} (expected 1)")
+
+    for key in ("spans", "plans", "snapshots"):
+        require(isinstance(trace.get(key), list), f"'{key}' must be an array")
+    require(isinstance(trace.get("counters"), dict),
+            "'counters' must be an object")
+
+    ids = set()
+    for i, span in enumerate(trace["spans"]):
+        require(isinstance(span, dict), f"spans[{i}] must be an object")
+        for field, check in (("id", is_num), ("parent", is_num),
+                             ("name", lambda x: isinstance(x, str)),
+                             ("thread", is_num), ("start_us", is_num),
+                             ("dur_us", is_num)):
+            require(field in span, f"spans[{i}] missing '{field}'")
+            require(check(span[field]), f"spans[{i}].{field} has wrong type")
+        require(span["id"] > 0, f"spans[{i}].id must be positive")
+        require(span["id"] not in ids, f"spans[{i}].id duplicated")
+        require(span["dur_us"] >= 0,
+                f"spans[{i}] ('{span['name']}') left open (dur_us < 0)")
+        ids.add(span["id"])
+    for i, span in enumerate(trace["spans"]):
+        require(span["parent"] == 0 or span["parent"] in ids,
+                f"spans[{i}].parent {span['parent']} is not a span id")
+
+    for name, value in trace["counters"].items():
+        require(isinstance(name, str) and name,
+                "counter names must be non-empty strings")
+        require(is_num(value) and value >= 0 and value == int(value),
+                f"counter '{name}' must be a non-negative integer")
+
+    chosen = searches = 0
+    for i, plan in enumerate(trace["plans"]):
+        require(isinstance(plan, dict), f"plans[{i}] must be an object")
+        require(is_num(plan.get("index")), f"plans[{i}].index must be a number")
+        require(isinstance(plan.get("plan"), str),
+                f"plans[{i}].plan must be a string")
+        require(is_num(plan.get("cost")), f"plans[{i}].cost must be a number")
+        require(isinstance(plan.get("chosen"), bool),
+                f"plans[{i}].chosen must be a bool")
+        chosen += plan["chosen"]
+        searches += plan["index"] == 0
+    # Every search logs the default plan as index 0 and picks one winner.
+    require(chosen == searches,
+            f"each search must choose exactly one plan "
+            f"({searches} searches, {chosen} chosen)")
+
+    stages = {"ll", "sll", "sll-opt", "cir", "cir-final"}
+    for i, snap in enumerate(trace["snapshots"]):
+        require(isinstance(snap, dict), f"snapshots[{i}] must be an object")
+        require(snap.get("stage") in stages,
+                f"snapshots[{i}].stage {snap.get('stage')!r} is not a stage")
+        require(isinstance(snap.get("kernel"), str),
+                f"snapshots[{i}].kernel must be a string")
+        require(isinstance(snap.get("text"), str) and snap["text"],
+                f"snapshots[{i}].text must be a non-empty string")
+
+
+def main():
+    source = sys.stdin if len(sys.argv) < 2 else open(sys.argv[1])
+    try:
+        trace = json.load(source)
+    except json.JSONDecodeError as e:
+        fail(f"not valid JSON: {e}")
+    validate(trace)
+    spans = len(trace["spans"])
+    counters = len(trace["counters"])
+    print(f"validate_trace: OK ({spans} spans, {counters} counters, "
+          f"{len(trace['plans'])} plan evals, "
+          f"{len(trace['snapshots'])} snapshots)")
+
+
+if __name__ == "__main__":
+    main()
