@@ -22,6 +22,7 @@
 #include "support/Trace.h"
 
 #include <limits>
+#include <set>
 
 using namespace lgen;
 using namespace lgen::compiler;
@@ -109,41 +110,84 @@ tiling::TilingPlan guidedSearch(const Compiler &C, const ll::Program &P,
   return Best;
 }
 
+/// Discovers the tile loops of \p P with a muted neutral pipeline run.
+std::vector<tiling::LoopDesc> discoverLoops(const Compiler &C,
+                                            const ll::Program &P) {
+  support::TraceMuteScope Mute;
+  std::vector<tiling::LoopDesc> Loops;
+  tiling::TilingPlan Neutral;
+  Neutral.FullUnrollTrip = 1;
+  C.generateCore(P, Neutral, &Loops);
+  return Loops;
+}
+
+/// The candidate set of the random search: the default plan followed by the
+/// SearchSamples seeded draws. Drawn up front (the RNG stream is sequential
+/// state) so the set is independent of the evaluation schedule.
+std::vector<tiling::TilingPlan>
+drawSearchPlans(const Compiler &C, const std::vector<tiling::LoopDesc> &Loops) {
+  std::vector<tiling::TilingPlan> Plans;
+  Plans.reserve(C.options().SearchSamples + 1);
+  Plans.push_back(tiling::defaultPlan(Loops));
+  Rng Rng(C.options().SearchSeed);
+  for (unsigned S = 0; S != C.options().SearchSamples; ++S)
+    Plans.push_back(
+        tiling::randomPlan(Loops, Rng, C.options().MaxUnrollFactor));
+  return Plans;
+}
+
 } // namespace
+
+std::vector<tiling::TilingPlan>
+compiler::enumeratePlans(const Compiler &C, const ll::Program &P) {
+  std::vector<tiling::LoopDesc> Loops = discoverLoops(C, P);
+  std::vector<tiling::TilingPlan> Plans = drawSearchPlans(C, Loops);
+
+  // Edge plans a small random sample rarely draws but a later search (or a
+  // different seed) legitimately can: no unrolling at all, the exchanged
+  // loop order, and the maximal legal unrolling of every loop.
+  tiling::TilingPlan NoUnroll;
+  NoUnroll.FullUnrollTrip = 1;
+  Plans.push_back(NoUnroll);
+
+  tiling::TilingPlan Exchanged = tiling::defaultPlan(Loops);
+  Exchanged.ExchangeLoops = true;
+  Plans.push_back(Exchanged);
+
+  tiling::TilingPlan Max;
+  for (const tiling::LoopDesc &L : Loops)
+    Max.UnrollFactors.push_back(
+        tiling::legalUnrollFactors(L.TripCount, C.options().MaxUnrollFactor)
+            .back());
+  Max.FullUnrollTrip = 16;
+  Plans.push_back(Max);
+
+  // Deduplicate on the rendered form, keeping first occurrences (so the
+  // default plan stays in front).
+  std::vector<tiling::TilingPlan> Unique;
+  std::set<std::string> Seen;
+  for (tiling::TilingPlan &Plan : Plans)
+    if (Seen.insert(Plan.str()).second)
+      Unique.push_back(std::move(Plan));
+  return Unique;
+}
 
 tiling::TilingPlan compiler::choosePlan(const Compiler &C,
                                         const ll::Program &P) {
   support::TraceSpan AutotuneSpan("autotune");
-  // Discover the tile loops with a neutral plan. The throwaway pipeline run
-  // is muted like the search evaluations below.
-  std::vector<tiling::LoopDesc> Loops;
-  {
-    support::TraceMuteScope Mute;
-    tiling::TilingPlan Neutral;
-    Neutral.FullUnrollTrip = 1;
-    C.generateCore(P, Neutral, &Loops);
-  }
-  tiling::TilingPlan Default = tiling::defaultPlan(Loops);
+  std::vector<tiling::LoopDesc> Loops = discoverLoops(C, P);
   if (C.options().SearchSamples == 0)
-    return Default;
+    return tiling::defaultPlan(Loops);
 
   machine::Microarch M = machine::Microarch::get(C.options().Target);
   if (C.options().GuidedSearch)
     return guidedSearch(C, P, Loops, M, C.options().SearchSamples);
 
-  // Draw every candidate up front (the RNG stream is sequential state), so
-  // the sample set is independent of the evaluation schedule; then fan the
-  // evaluations — the expensive part — across the pool into per-plan
-  // slots. The serial reduction below takes the best score with ties going
-  // to the earliest plan, which is exactly the strictly-less update rule
-  // of the serial loop, so any pool size picks the same plan.
-  std::vector<tiling::TilingPlan> Plans;
-  Plans.reserve(C.options().SearchSamples + 1);
-  Plans.push_back(Default);
-  Rng Rng(C.options().SearchSeed);
-  for (unsigned S = 0; S != C.options().SearchSamples; ++S)
-    Plans.push_back(
-        tiling::randomPlan(Loops, Rng, C.options().MaxUnrollFactor));
+  // Fan the evaluations — the expensive part — across the pool into
+  // per-plan slots. The serial reduction below takes the best score with
+  // ties going to the earliest plan, which is exactly the strictly-less
+  // update rule of the serial loop, so any pool size picks the same plan.
+  std::vector<tiling::TilingPlan> Plans = drawSearchPlans(C, Loops);
 
   std::vector<double> Scores(Plans.size(),
                              std::numeric_limits<double>::infinity());

@@ -12,6 +12,10 @@
 #include "sll/Translate.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
+#include "verify/Invariants.h"
+
+#include <cstdlib>
+#include <stdexcept>
 
 using namespace lgen;
 using namespace lgen::compiler;
@@ -44,6 +48,12 @@ Options Options::lgenBase(machine::UArch U) {
   O.Target = U;
   O.ISA = isaForTarget(U);
   O.Vectorize = O.ISA != isa::ISAKind::Scalar;
+  // Verification knobs default from the environment so a whole test run
+  // (or CI lane) can be switched over without touching call sites.
+  if (const char *E = std::getenv("LGEN_VERIFY_IR"))
+    O.VerifyIR = *E && std::string(E) != "0";
+  if (const char *E = std::getenv("LGEN_VERIFY_INJECT"))
+    O.InjectFault = E;
   return O;
 }
 
@@ -184,6 +194,16 @@ Options::Builder &Options::Builder::cacheDir(std::string Dir) {
   return *this;
 }
 
+Options::Builder &Options::Builder::verifyIR(bool V) {
+  O.VerifyIR = V;
+  return *this;
+}
+
+Options::Builder &Options::Builder::injectFault(std::string Mode) {
+  O.InjectFault = std::move(Mode);
+  return *this;
+}
+
 //===----------------------------------------------------------------------===//
 // CompiledKernel
 //===----------------------------------------------------------------------===//
@@ -262,6 +282,71 @@ void Compiler::setThreadPool(std::shared_ptr<support::ThreadPool> P) {
 // Pipeline
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Throws when a verify:: checker returned diagnostics. Exceptions (rather
+/// than reportFatalError) keep violations recoverable: the differential
+/// checker records them as findings and the CLI reports them with the
+/// failing BLAC attached.
+void throwOnViolations(const char *Stage,
+                       const std::vector<std::string> &Diags) {
+  if (Diags.empty())
+    return;
+  std::string Msg = "IR invariant violation after " + std::string(Stage) + ":";
+  for (const std::string &D : Diags)
+    Msg += "\n  " + D;
+  throw std::runtime_error(Msg);
+}
+
+/// Deletes the first store instruction in \p Body ("drop-store" fault).
+bool dropFirstStore(std::vector<cir::Node> &Body) {
+  for (auto It = Body.begin(); It != Body.end(); ++It) {
+    if (It->isInst()) {
+      if (It->inst().isStore()) {
+        Body.erase(It);
+        return true;
+      }
+    } else if (dropFirstStore(It->loop().Body)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Turns the first addition into a subtraction ("flip-add" fault); falls
+/// back to demoting an FMA to a plain multiply when the kernel has no Add.
+void flipFirstAdd(cir::Kernel &K) {
+  bool Done = false;
+  K.forEachInst([&](cir::Inst &I) {
+    if (!Done && I.Op == cir::Opcode::Add) {
+      I.Op = cir::Opcode::Sub;
+      Done = true;
+    }
+  });
+  if (Done)
+    return;
+  K.forEachInst([&](cir::Inst &I) {
+    if (!Done && I.Op == cir::Opcode::FMA) {
+      I.Op = cir::Opcode::Mul;
+      Done = true;
+    }
+  });
+}
+
+} // namespace
+
+void Compiler::applyFaultInjection(cir::Kernel &K) const {
+  if (Opts.InjectFault.empty())
+    return;
+  if (Opts.InjectFault == "flip-add")
+    flipFirstAdd(K);
+  else if (Opts.InjectFault == "drop-store")
+    dropFirstStore(K.getBody());
+  else
+    reportFatalError("unknown fault injection mode '" + Opts.InjectFault +
+                     "' (expected flip-add or drop-store)");
+}
+
 cir::Kernel
 Compiler::generateCore(const ll::Program &P, const tiling::TilingPlan &Plan,
                        std::vector<tiling::LoopDesc> *LoopsOut) const {
@@ -285,6 +370,8 @@ Compiler::generateCore(const ll::Program &P, const tiling::TilingPlan &Plan,
   }();
   if (Traced && T->wantsSnapshot("sll"))
     T->snapshot("sll", P.OutputName, SP.str());
+  if (Opts.VerifyIR)
+    throwOnViolations("sll.translate", verify::checkSigmaLL(SP));
   if (Opts.LoopFusion) {
     support::TraceSpan Span("sll.fuse");
     unsigned Merges = sll::fuseNests(SP);
@@ -298,6 +385,8 @@ Compiler::generateCore(const ll::Program &P, const tiling::TilingPlan &Plan,
   }
   if (Traced && T->wantsSnapshot("sll-opt"))
     T->snapshot("sll-opt", P.OutputName, SP.str());
+  if (Opts.VerifyIR && (Opts.LoopFusion || Plan.ExchangeLoops))
+    throwOnViolations("sll.fuse/exchange", verify::checkSigmaLL(SP));
 
   // Σ-LL → C-IR with the ν-BLAC library.
   sll::LoweredKernel LK = [&] {
@@ -336,6 +425,8 @@ Compiler::generateCore(const ll::Program &P, const tiling::TilingPlan &Plan,
     support::TraceSpan Span("cir.scalar-replacement");
     cir::scalarReplacement(LK.K);
   }
+  if (Opts.VerifyIR)
+    throwOnViolations("cir.scalar-replacement", verify::checkCIR(LK.K));
   return std::move(LK.K);
 }
 
@@ -346,11 +437,14 @@ void Compiler::finalizeKernel(cir::Kernel &K) const {
     isa::lowerGenericMemOps(K);
   }
   cir::cleanup(K);
+  applyFaultInjection(K);
   {
     support::TraceSpan Span("machine.schedule");
     machine::scheduleKernel(K, machine::Microarch::get(Opts.Target));
   }
   K.verify();
+  if (Opts.VerifyIR)
+    throwOnViolations("machine.schedule", verify::checkCIR(K));
   support::Trace *T = support::Trace::active();
   if (T && !support::Trace::muted() && T->wantsSnapshot("cir-final"))
     T->snapshot("cir-final", K.getName(), K.str());
@@ -372,6 +466,24 @@ CompiledKernel Compiler::buildKernel(const ll::Program &P,
     for (cir::Kernel &V : CK.Versioned.Versions)
       finalizeKernel(V);
     finalizeKernel(CK.Versioned.Fallback);
+    if (Opts.VerifyIR) {
+      // Re-check every version's Aligned claims against the base-offset
+      // combination it was specialized for; the fallback assumes nothing,
+      // so its parameter accesses must carry no claims at all.
+      for (size_t I = 0; I != CK.Versioned.Versions.size(); ++I) {
+        verify::CIRCheckOptions CO;
+        CO.Nu = Nu;
+        for (size_t A = 0; A != CK.Versioned.VersionedArrays.size(); ++A)
+          CO.BaseOffsets[CK.Versioned.VersionedArrays[A]] =
+              CK.Versioned.Combos[I][A];
+        throwOnViolations("alignment-versioning",
+                          verify::checkCIR(CK.Versioned.Versions[I], CO));
+      }
+      verify::CIRCheckOptions Fallback;
+      Fallback.Nu = Nu;
+      throwOnViolations("alignment-versioning (fallback)",
+                        verify::checkCIR(CK.Versioned.Fallback, Fallback));
+    }
     support::traceCounter("absint.versions", CK.Versioned.Versions.size());
     CK.HasVersions = true;
     // Listing 3.3: a chain of modulo checks selects the version at runtime.

@@ -92,6 +92,18 @@ struct Options {
   /// Directory for the persistent kernel cache; empty keeps the cache
   /// in-memory only. Also excluded from fingerprints.
   std::string CacheDir;
+  /// Run the verify:: invariant checkers (Σ-LL well-formedness, C-IR
+  /// structure/footprint/alignment claims) between passes; any violation
+  /// throws. Defaults from LGEN_VERIFY_IR=1 in the environment. Validation
+  /// only — never changes the generated code, so it is excluded from cache
+  /// fingerprints.
+  bool VerifyIR = false;
+  /// Fault-injection mode for testing the verification tooling itself:
+  /// "" (off), "flip-add" (first addition becomes a subtraction), or
+  /// "drop-store" (first store is deleted). Defaults from
+  /// LGEN_VERIFY_INJECT. Changes the generated code, so it participates in
+  /// cache fingerprints.
+  std::string InjectFault;
 
   /// Configuration named "LGen" in the plots: target defaults, every §3
   /// optimization off.
@@ -139,6 +151,8 @@ public:
   Builder &objective(TuneObjective Obj);
   Builder &tunerThreads(unsigned N);
   Builder &cacheDir(std::string Dir);
+  Builder &verifyIR(bool V = true);
+  Builder &injectFault(std::string Mode);
 
   Options build() const { return O; }
 
@@ -229,9 +243,19 @@ public:
   /// Lowers generic accesses, schedules, and verifies \p K in place.
   void finalizeKernel(cir::Kernel &K) const;
 
+  /// Runs the full back end for one explicit tiling plan, bypassing the
+  /// autotuner and the cache: the building block of the plan-space
+  /// differential checker (verify::checkProgram), which must compile the
+  /// *losing* plans too.
+  CompiledKernel compileWithPlan(const ll::Program &P,
+                                 const tiling::TilingPlan &Plan) const {
+    return buildKernel(P, Plan);
+  }
+
 private:
   CompiledKernel buildKernel(const ll::Program &P,
                              const tiling::TilingPlan &Plan) const;
+  void applyFaultInjection(cir::Kernel &K) const;
 
   Options Opts;
   mutable std::shared_ptr<support::ThreadPool> Pool;
@@ -245,6 +269,14 @@ private:
 /// deterministic (best score, ties to the earliest plan), so the choice
 /// matches the serial search exactly.
 tiling::TilingPlan choosePlan(const Compiler &C, const ll::Program &P);
+
+/// The full candidate set a search with C.options() would consider — the
+/// default plan plus the SearchSamples seeded random draws — extended with
+/// edge plans the random search rarely hits (no unrolling at all, exchanged
+/// loops, maximal legal unrolling). Differential verification compiles a
+/// BLAC under *every* one of these, not just the winner choosePlan returns.
+std::vector<tiling::TilingPlan> enumeratePlans(const Compiler &C,
+                                               const ll::Program &P);
 
 } // namespace compiler
 } // namespace lgen

@@ -85,7 +85,7 @@ uint64_t KernelCache::fingerprint(const std::string &Source,
   // update this constant. Gated to one ABI so padding differences on other
   // platforms do not fire it spuriously.
 #if defined(__x86_64__) && defined(__linux__) && defined(__GNUC__)
-  static_assert(sizeof(Options) == 88,
+  static_assert(sizeof(Options) == 128,
                 "Options changed: update KernelCache::fingerprint and the "
                 "Fingerprint.SensitiveToEveryCodegenField test");
 #endif
@@ -108,6 +108,10 @@ uint64_t KernelCache::fingerprint(const std::string &Source,
   fnv1a(H, static_cast<uint64_t>(O.MaxUnrollFactor));
   fnv1a(H, static_cast<uint64_t>(O.GuidedSearch));
   fnv1a(H, static_cast<uint64_t>(O.Objective));
+  // InjectFault mutates the generated code, so a cached clean kernel must
+  // not satisfy an injected compile (or vice versa). VerifyIR is excluded
+  // like TunerThreads: checking never changes what is generated.
+  fnv1a(H, O.InjectFault);
   return H;
 }
 

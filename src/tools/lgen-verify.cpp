@@ -1,0 +1,232 @@
+//===- lgen-verify.cpp - Differential verification driver -----------------===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiler-verification CLI over the verify:: subsystem:
+///
+///   lgen-verify [options] ["<BLAC>" ...]
+///
+///   --shapes SPEC       dimension pool for generated BLACs: a range
+///                       ("1..8") or a comma list ("1,2,4,9"); default 1..8
+///   --plans=all|winner  check every enumerated tiling plan (default) or
+///                       only the autotuner's winner
+///   --trials N          random BLACs to generate when none are given
+///                       (default 20)
+///   --seed N            base seed for BLAC generation, plan search, and
+///                       input data (default 1)
+///   --targets LIST      comma list of atom,a8,a9,arm1176,sandybridge
+///                       (default atom,a8 — one SSE-, one NEON-style)
+///   --samples N         random plans drawn per configuration (default 4)
+///   --input-sets N      random input sets per compiled variant (default 2)
+///   --inject=MODE       inject a fault (flip-add, drop-store) into every
+///                       compile — the tool must then FAIL; verifies the
+///                       verifier
+///   --reduce            on failure, shrink the BLAC to a minimal failing
+///                       reproducer before exiting
+///   --no-misaligned     skip the misaligned-base executions
+///   --no-verify-ir      skip the Σ-LL/C-IR invariant checkers
+///   --no-opt-sweep      check only base and full optimization configs
+///
+/// Every value flag also accepts the --flag=value spelling. Exit status: 0
+/// when everything matches the reference, 1 on any mismatch (the failing
+/// seed, BLAC, and — with --reduce — the minimal reproducer are printed),
+/// 2 on usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "verify/DiffCheck.h"
+#include "verify/RandomBlac.h"
+#include "verify/Reduce.h"
+
+#include "ll/Parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace lgen;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--shapes SPEC] [--plans=all|winner] [--trials N]\n"
+               "          [--seed N] [--targets atom,a8,a9,arm1176,"
+               "sandybridge]\n"
+               "          [--samples N] [--input-sets N] [--inject=MODE]\n"
+               "          [--reduce] [--no-misaligned] [--no-verify-ir]\n"
+               "          [--no-opt-sweep] [\"<BLAC>\" ...]\n",
+               Argv0);
+  return 2;
+}
+
+bool parseTargets(const std::string &List,
+                  std::vector<machine::UArch> &Targets) {
+  Targets.clear();
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    std::string Name = List.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    if (Name == "atom")
+      Targets.push_back(machine::UArch::Atom);
+    else if (Name == "a8")
+      Targets.push_back(machine::UArch::CortexA8);
+    else if (Name == "a9")
+      Targets.push_back(machine::UArch::CortexA9);
+    else if (Name == "arm1176")
+      Targets.push_back(machine::UArch::ARM1176);
+    else if (Name == "sandybridge")
+      Targets.push_back(machine::UArch::SandyBridge);
+    else
+      return false;
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return !Targets.empty();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  verify::GrammarOptions Grammar;
+  verify::PlanSpaceOptions Plan;
+  std::string ShapeSpec = "1..8";
+  unsigned Trials = 20;
+  uint64_t Seed = 1;
+  bool Reduce = false;
+  std::vector<std::string> Sources;
+
+  // Value flags accept both "--flag=value" and "--flag value".
+  auto valueOf = [&](const std::string &Arg, const char *Name, int &I,
+                     std::string &Out) -> bool {
+    std::string Prefix = std::string(Name) + "=";
+    if (Arg.rfind(Prefix, 0) == 0) {
+      Out = Arg.substr(Prefix.size());
+      return true;
+    }
+    if (Arg == Name && I + 1 < Argc) {
+      Out = Argv[++I];
+      return true;
+    }
+    return false;
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    std::string Val;
+    if (valueOf(Arg, "--shapes", I, Val)) {
+      ShapeSpec = Val;
+    } else if (valueOf(Arg, "--plans", I, Val)) {
+      if (Val == "all")
+        Plan.AllPlans = true;
+      else if (Val == "winner")
+        Plan.AllPlans = false;
+      else
+        return usage(Argv[0]);
+    } else if (valueOf(Arg, "--trials", I, Val)) {
+      Trials = static_cast<unsigned>(std::atoi(Val.c_str()));
+    } else if (valueOf(Arg, "--seed", I, Val)) {
+      Seed = static_cast<uint64_t>(std::atoll(Val.c_str()));
+    } else if (valueOf(Arg, "--targets", I, Val)) {
+      if (!parseTargets(Val, Plan.Targets))
+        return usage(Argv[0]);
+    } else if (valueOf(Arg, "--samples", I, Val)) {
+      Plan.SearchSamples = static_cast<unsigned>(std::atoi(Val.c_str()));
+    } else if (valueOf(Arg, "--input-sets", I, Val)) {
+      Plan.InputSets = static_cast<unsigned>(std::atoi(Val.c_str()));
+    } else if (valueOf(Arg, "--inject", I, Val)) {
+      if (Val != "flip-add" && Val != "drop-store")
+        return usage(Argv[0]);
+      Plan.Inject = Val;
+    } else if (Arg == "--reduce") {
+      Reduce = true;
+    } else if (Arg == "--no-misaligned") {
+      Plan.Misaligned = false;
+    } else if (Arg == "--no-verify-ir") {
+      Plan.VerifyIR = false;
+    } else if (Arg == "--no-opt-sweep") {
+      Plan.SweepOptSubsets = false;
+    } else if (Arg.rfind("--", 0) == 0) {
+      return usage(Argv[0]);
+    } else {
+      Sources.push_back(Arg);
+    }
+  }
+
+  std::string Err;
+  Grammar.Dims = verify::parseShapeSpec(ShapeSpec, Err);
+  if (Grammar.Dims.empty()) {
+    std::fprintf(stderr, "error: bad --shapes '%s': %s\n", ShapeSpec.c_str(),
+                 Err.c_str());
+    return 2;
+  }
+  Plan.Seed = Seed;
+
+  // Explicit BLACs verify as given; otherwise generate --trials random
+  // ones, each reproducible from (base seed, trial index).
+  struct Trial {
+    std::string Source;
+    uint64_t Seed;
+  };
+  std::vector<Trial> Work;
+  if (!Sources.empty()) {
+    for (const std::string &S : Sources)
+      Work.push_back({S, Seed});
+  } else {
+    for (unsigned T = 0; T != Trials; ++T) {
+      uint64_t TrialSeed = Seed + 0x9e3779b97f4a7c15ULL * (T + 1);
+      Rng R(TrialSeed);
+      verify::RandomBlac Gen(R, Grammar);
+      Work.push_back({Gen.build(), TrialSeed});
+    }
+  }
+
+  unsigned Configs = 0, Plans = 0, Execs = 0;
+  for (size_t T = 0; T != Work.size(); ++T) {
+    std::fprintf(stderr, "[%zu/%zu] %s\n", T + 1, Work.size(),
+                 Work[T].Source.c_str());
+    verify::DiffResult D = verify::checkSource(Work[T].Source, Plan);
+    Configs += D.ConfigsChecked;
+    Plans += D.PlansChecked;
+    Execs += D.ExecutionsChecked;
+    if (D.ok())
+      continue;
+
+    std::printf("FAIL: BLAC diverges from reference\n"
+                "  source: %s\n"
+                "  seed:   %llu (trial %zu)\n%s",
+                Work[T].Source.c_str(),
+                static_cast<unsigned long long>(Work[T].Seed), T, D.str().c_str());
+
+    if (Reduce) {
+      ll::Program P;
+      std::string ParseErr;
+      if (ll::parseProgram(Work[T].Source, P, ParseErr)) {
+        verify::ReduceResult R = verify::reduce(P, [&](const ll::Program &Q) {
+          return !verify::checkProgram(Q, Plan).ok();
+        });
+        std::printf("  reduced (%lld operator%s, %u candidates tried): %s\n",
+                    static_cast<long long>(verify::countOperators(R.Reduced)),
+                    verify::countOperators(R.Reduced) == 1 ? "" : "s",
+                    R.CandidatesTried,
+                    verify::programSource(R.Reduced).c_str());
+      }
+    }
+    return 1;
+  }
+
+  std::printf("verified %zu BLAC%s on %zu target%s: %u configuration%s, "
+              "%u plan compile%s, %u execution%s, all matching the "
+              "reference\n",
+              Work.size(), Work.size() == 1 ? "" : "s", Plan.Targets.size(),
+              Plan.Targets.size() == 1 ? "" : "s", Configs,
+              Configs == 1 ? "" : "s", Plans, Plans == 1 ? "" : "s", Execs,
+              Execs == 1 ? "" : "s");
+  return 0;
+}

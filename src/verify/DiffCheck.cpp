@@ -1,0 +1,221 @@
+//===- DiffCheck.cpp - Plan-space differential checking -------------------===//
+
+#include "verify/DiffCheck.h"
+
+#include "ll/Parser.h"
+#include "machine/Executor.h"
+
+#include <sstream>
+#include <stdexcept>
+
+using namespace lgen;
+using namespace lgen::verify;
+
+namespace {
+
+/// One optimization subset of the sweep.
+struct OptConfig {
+  std::string Name;
+  bool NewMVM = false;
+  bool Align = false;
+  bool Spec = false;
+  bool GenericMemOps = true;
+};
+
+std::vector<OptConfig> optConfigs(bool SweepSubsets) {
+  std::vector<OptConfig> Cfgs;
+  if (!SweepSubsets) {
+    Cfgs.push_back({"base", false, false, false, true});
+    Cfgs.push_back({"mvm+align+spec", true, true, true, true});
+    return Cfgs;
+  }
+  for (unsigned Mask = 0; Mask != 8; ++Mask) {
+    OptConfig C;
+    C.NewMVM = Mask & 1;
+    C.Align = Mask & 2;
+    C.Spec = Mask & 4;
+    std::string Name;
+    if (C.NewMVM)
+      Name += "+mvm";
+    if (C.Align)
+      Name += "+align";
+    if (C.Spec)
+      Name += "+spec";
+    C.Name = Name.empty() ? "base" : Name.substr(1);
+    Cfgs.push_back(C);
+  }
+  // The §3.1 ablation: concrete memory instructions from the start.
+  Cfgs.push_back({"no-generic-memops", false, false, false, false});
+  return Cfgs;
+}
+
+/// Random bindings for every declared operand (the DiffCheck twin of the
+/// test suite's randomBindings; kept here so the library has no test-code
+/// dependency).
+ll::Bindings randomBindings(const ll::Program &P, Rng &R) {
+  ll::Bindings B;
+  for (const ll::Operand &O : P.Operands) {
+    ll::MatrixValue V(O.Rows, O.Cols);
+    ll::fillRandom(V, R);
+    B[O.Name] = V;
+  }
+  return B;
+}
+
+/// Executes \p CK over \p Inputs with the given per-operand base
+/// misalignment and returns the output operand's value.
+ll::MatrixValue runKernel(const compiler::CompiledKernel &CK,
+                          const ll::Bindings &Inputs, unsigned AlignOffset) {
+  const ll::Program &P = CK.Blac;
+  std::vector<machine::Buffer> Storage(P.Operands.size());
+  std::vector<machine::Buffer *> Params;
+  size_t OutIdx = 0;
+  for (size_t I = 0; I != P.Operands.size(); ++I) {
+    const ll::Operand &O = P.Operands[I];
+    unsigned Offset = O.numElements() > 1 ? AlignOffset : 0;
+    Storage[I] = machine::Buffer(O.numElements(), 0.0f, Offset);
+    auto BIt = Inputs.find(O.Name);
+    if (BIt != Inputs.end())
+      Storage[I].Data = BIt->second.Data;
+    if (O.Name == P.OutputName)
+      OutIdx = I;
+    Params.push_back(&Storage[I]);
+  }
+  CK.execute(Params);
+  ll::MatrixValue Out(P.Operands[OutIdx].Rows, P.Operands[OutIdx].Cols);
+  Out.Data = Storage[OutIdx].Data;
+  return Out;
+}
+
+} // namespace
+
+std::string DiffResult::str() const {
+  if (ok())
+    return "";
+  // A genuine miscompile usually fails under many plans and inputs at
+  // once; a capped listing identifies it just as well.
+  constexpr size_t MaxShown = 12;
+  std::ostringstream OS;
+  for (size_t I = 0; I != Mismatches.size() && I != MaxShown; ++I) {
+    const Mismatch &M = Mismatches[I];
+    OS << "mismatch on " << M.Target << " [" << M.Config << "] plan "
+       << M.Plan << " inputs #" << M.InputSet
+       << (M.Misaligned ? " (misaligned bases)" : "") << ": " << M.Detail
+       << "\n";
+  }
+  if (Mismatches.size() > MaxShown)
+    OS << "... and " << (Mismatches.size() - MaxShown)
+       << " further mismatches\n";
+  return OS.str();
+}
+
+DiffResult verify::checkProgram(const ll::Program &P,
+                                const PlanSpaceOptions &Opts) {
+  DiffResult Result;
+  Tolerance Tol = toleranceFor(P, Opts.BaseUlps);
+
+  // Reference evaluations and input sets are shared across every target,
+  // configuration, and plan: the reference is compile-strategy-agnostic.
+  std::vector<ll::Bindings> InputSets;
+  std::vector<ll::MatrixValue> Expected;
+  for (unsigned S = 0; S != std::max(1u, Opts.InputSets); ++S) {
+    // Spread per-set seeds across the high bits: the xorshift state forces
+    // bit 0, so seeds differing only in low bits would collide.
+    Rng R((Opts.Seed + 1) * 0x9e3779b97f4a7c15ULL ^
+          (uint64_t(S + 1) << 32));
+    InputSets.push_back(randomBindings(P, R));
+    Expected.push_back(ll::evaluate(P, InputSets.back()));
+  }
+
+  for (machine::UArch Target : Opts.Targets) {
+    for (const OptConfig &Cfg : optConfigs(Opts.SweepOptSubsets)) {
+      compiler::Options O = compiler::Options::builder(Target)
+                                .newMVM(Cfg.NewMVM)
+                                .alignmentDetection(Cfg.Align)
+                                .specializedNuBLACs(Cfg.Spec)
+                                .genericMemOps(Cfg.GenericMemOps)
+                                .searchSamples(Opts.SearchSamples)
+                                .searchSeed(Opts.Seed)
+                                .verifyIR(Opts.VerifyIR)
+                                .injectFault(Opts.Inject)
+                                .build();
+      compiler::Compiler C(O);
+      ++Result.ConfigsChecked;
+
+      std::vector<tiling::TilingPlan> Plans;
+      try {
+        if (Opts.AllPlans)
+          Plans = compiler::enumeratePlans(C, P);
+        else
+          Plans.push_back(compiler::choosePlan(C, P));
+      } catch (const std::exception &E) {
+        Mismatch M;
+        M.Target = machine::uarchName(Target);
+        M.Config = Cfg.Name;
+        M.Plan = "<plan enumeration>";
+        M.Detail = E.what();
+        Result.Mismatches.push_back(std::move(M));
+        continue;
+      }
+
+      for (const tiling::TilingPlan &Plan : Plans) {
+        ++Result.PlansChecked;
+        compiler::CompiledKernel CK;
+        try {
+          CK = C.compileWithPlan(P, Plan);
+        } catch (const std::exception &E) {
+          // IR invariant violations (Options::VerifyIR) and internal
+          // pipeline errors surface here as first-class findings.
+          Mismatch M;
+          M.Target = machine::uarchName(Target);
+          M.Config = Cfg.Name;
+          M.Plan = Plan.str();
+          M.Detail = E.what();
+          Result.Mismatches.push_back(std::move(M));
+          continue;
+        }
+
+        for (unsigned S = 0; S != InputSets.size(); ++S) {
+          for (unsigned Mis = 0; Mis != (Opts.Misaligned ? 2u : 1u); ++Mis) {
+            ll::MatrixValue Actual = runKernel(CK, InputSets[S], Mis);
+            UlpReport Rep = compareValues(Expected[S], Actual);
+            ++Result.ExecutionsChecked;
+            if (Tol.accepts(Rep))
+              continue;
+            Mismatch M;
+            M.Target = machine::uarchName(Target);
+            M.Config = Cfg.Name;
+            M.Plan = Plan.str();
+            M.InputSet = S;
+            M.Misaligned = Mis != 0;
+            M.Report = Rep;
+            std::ostringstream OS;
+            OS << "element " << Rep.WorstIndex << ": expected "
+               << Rep.Expected << ", got " << Rep.Actual << " ("
+               << Rep.MaxUlps << " ulps, |diff| " << Rep.MaxAbsDiff
+               << ", tolerance " << Tol.MaxUlps << " ulps / "
+               << Tol.AbsFloor << " abs)";
+            M.Detail = OS.str();
+            Result.Mismatches.push_back(std::move(M));
+          }
+        }
+      }
+    }
+  }
+  return Result;
+}
+
+DiffResult verify::checkSource(const std::string &Source,
+                               const PlanSpaceOptions &Opts) {
+  ll::Program P;
+  std::string Err;
+  if (!ll::parseProgram(Source, P, Err)) {
+    DiffResult R;
+    Mismatch M;
+    M.Plan = "<parse>";
+    M.Detail = "parse error: " + Err;
+    R.Mismatches.push_back(std::move(M));
+    return R;
+  }
+  return checkProgram(P, Opts);
+}

@@ -1,0 +1,97 @@
+//===- DiffCheck.h - Plan-space differential checking ----------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential verification across the autotuner's whole search space.
+/// The thesis validates only the kernel the search ultimately picks
+/// (§5.1.4); a miscompile in any *losing* plan goes undetected until a
+/// later search happens to pick it. The plan-space checker compiles a BLAC
+/// under every tiling plan the autotuner enumerates — and under every
+/// subset of the §3 optimizations (MVM split, alignment detection,
+/// specialized ν-BLACs) — executes each variant through machine::Executor,
+/// and compares every result against the ll::Reference evaluation under
+/// the ULP tolerance model of Ulp.h.
+///
+/// Alignment-versioned kernels are additionally executed with misaligned
+/// parameter bases, exercising the runtime dispatch of Listing 3.3 and the
+/// executor's alignment faults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_VERIFY_DIFFCHECK_H
+#define LGEN_VERIFY_DIFFCHECK_H
+
+#include "compiler/Compiler.h"
+#include "verify/Ulp.h"
+
+#include <string>
+#include <vector>
+
+namespace lgen {
+namespace verify {
+
+struct PlanSpaceOptions {
+  /// Targets to sweep; the default covers an SSE-style (Atom/SSSE3) and a
+  /// NEON-style (Cortex-A8) machine.
+  std::vector<machine::UArch> Targets = {machine::UArch::Atom,
+                                         machine::UArch::CortexA8};
+  /// true: check every plan the autotuner enumerates (plus edge plans);
+  /// false: only the winning plan, the thesis' original methodology.
+  bool AllPlans = true;
+  /// Sweep every subset of {NewMVM, AlignmentDetection, SpecializedNuBLACs}
+  /// plus the §3.1 generic-memory-ops ablation; false checks only the base
+  /// and full configurations.
+  bool SweepOptSubsets = true;
+  /// Random tiling plans drawn per configuration (SearchSamples).
+  unsigned SearchSamples = 4;
+  /// Seed for both the plan search and the input data.
+  uint64_t Seed = 1;
+  /// Independent random input sets executed per compiled variant.
+  unsigned InputSets = 2;
+  /// Per-reduction-step ULP allowance (see DESIGN.md).
+  unsigned BaseUlps = 16;
+  /// Also execute with misaligned parameter bases (element offset 1).
+  bool Misaligned = true;
+  /// Run the Σ-LL/C-IR invariant checkers on every variant as it compiles.
+  bool VerifyIR = true;
+  /// Fault-injection mode forwarded to the compiler (testing the tester).
+  std::string Inject;
+};
+
+/// One detected divergence between a compiled variant and the reference.
+struct Mismatch {
+  std::string Target;  ///< Microarchitecture name.
+  std::string Config;  ///< Optimization-subset description.
+  std::string Plan;    ///< TilingPlan::str() of the failing plan.
+  unsigned InputSet = 0;
+  bool Misaligned = false;
+  UlpReport Report;    ///< Worst deviation observed.
+  std::string Detail;  ///< Human-readable one-line description.
+};
+
+struct DiffResult {
+  unsigned ConfigsChecked = 0;
+  unsigned PlansChecked = 0;
+  unsigned ExecutionsChecked = 0;
+  std::vector<Mismatch> Mismatches;
+
+  bool ok() const { return Mismatches.empty(); }
+  /// Multi-line report of every mismatch (empty string when ok).
+  std::string str() const;
+};
+
+/// Runs the full differential sweep over \p P.
+DiffResult checkProgram(const ll::Program &P, const PlanSpaceOptions &Opts);
+
+/// Convenience: parses \p Source first; a parse failure is reported as a
+/// single pseudo-mismatch (generated sources are expected to be valid).
+DiffResult checkSource(const std::string &Source,
+                       const PlanSpaceOptions &Opts);
+
+} // namespace verify
+} // namespace lgen
+
+#endif // LGEN_VERIFY_DIFFCHECK_H

@@ -1,0 +1,541 @@
+//===- Invariants.cpp - Σ-LL and C-IR invariant checkers ------------------===//
+
+#include "verify/Invariants.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::verify;
+
+namespace {
+
+/// Diagnostics accumulator with a cap: a broken pass tends to violate the
+/// same invariant thousands of times, and the first few tell the story.
+class Diags {
+public:
+  static constexpr size_t Cap = 32;
+
+  void add(const std::string &Msg) {
+    if (Msgs.size() < Cap)
+      Msgs.push_back(Msg);
+    else if (Msgs.size() == Cap)
+      Msgs.push_back("... further violations suppressed");
+    ++Count;
+  }
+  bool capped() const { return Count > Cap; }
+  std::vector<std::string> take() { return std::move(Msgs); }
+
+private:
+  std::vector<std::string> Msgs;
+  size_t Count = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Σ-LL checks
+//===----------------------------------------------------------------------===//
+
+/// Enumerating every summation-index valuation is exact and cheap for LGen
+/// kernels (fixed-size BLACs ⇒ tiny trip products); beyond this budget the
+/// enumeration-based checks are skipped rather than approximated.
+constexpr int64_t MaxSigmaEnumeration = 1 << 22;
+
+struct SigmaChecker {
+  const sll::SProgram &P;
+  Diags &D;
+  /// Active valuation of summation indices (id → value).
+  std::map<unsigned, int64_t> Vals;
+  /// Per-matrix scatter coverage, for Output/InOut matrices.
+  std::map<unsigned, std::vector<char>> Written;
+
+  SigmaChecker(const sll::SProgram &P, Diags &D) : P(P), D(D) {
+    for (unsigned M = 0; M != P.Mats.size(); ++M)
+      if (P.Mats[M].Role == sll::MatRole::Output ||
+          P.Mats[M].Role == sll::MatRole::InOut)
+        Written[M] = std::vector<char>(P.Mats[M].numElements(), 0);
+  }
+
+  /// (op, valuation) pairs the enumeration would visit.
+  int64_t enumerationSize(const sll::Nest &N, int64_t Mult) const {
+    for (const sll::SumIdx &S : N.Sums)
+      Mult *= std::max<int64_t>(1, S.tripCount());
+    int64_t Total = 0;
+    for (const sll::NestItem &It : N.Items) {
+      if (It.Op)
+        Total += Mult;
+      else if (It.Child)
+        Total += enumerationSize(*It.Child, Mult);
+      if (Total > MaxSigmaEnumeration)
+        return Total;
+    }
+    return Total;
+  }
+
+  void checkAccessShape(const sll::TileAccess &A, const char *What,
+                        const char *Op) {
+    if (A.Mat >= P.Mats.size()) {
+      std::ostringstream OS;
+      OS << "sll: " << Op << " " << What << " references matrix #" << A.Mat
+         << " but only " << P.Mats.size() << " exist";
+      D.add(OS.str());
+      return;
+    }
+    if (A.TileRows < 1 || A.TileCols < 1)
+      D.add(std::string("sll: ") + Op + " " + What +
+            " has an empty tile extent");
+  }
+
+  /// Operator arity and tile-shape agreement, independent of index values.
+  void checkOpShapes(const sll::TileOp &Op) {
+    const char *Name = sll::opKindName(Op.Kind);
+    checkAccessShape(Op.Out, "output", Name);
+    for (const sll::TileAccess &A : Op.In)
+      checkAccessShape(A, "input", Name);
+
+    auto Arity = [&](size_t Want) {
+      if (Op.In.size() != Want) {
+        std::ostringstream OS;
+        OS << "sll: " << Name << " expects " << Want << " input(s), has "
+           << Op.In.size();
+        D.add(OS.str());
+        return false;
+      }
+      return true;
+    };
+    auto Shape = [&](const sll::TileAccess &A, unsigned R, unsigned C,
+                     const char *What) {
+      if (A.TileRows != R || A.TileCols != C) {
+        std::ostringstream OS;
+        OS << "sll: " << Name << " " << What << " tile is " << A.TileRows
+           << "x" << A.TileCols << ", expected " << R << "x" << C;
+        D.add(OS.str());
+      }
+    };
+
+    const sll::TileAccess &Out = Op.Out;
+    switch (Op.Kind) {
+    case sll::OpKind::ZeroTile:
+      Arity(0);
+      break;
+    case sll::OpKind::Copy:
+      if (Arity(1))
+        Shape(Op.In[0], Out.TileRows, Out.TileCols, "input");
+      break;
+    case sll::OpKind::Add:
+      if (Arity(2)) {
+        Shape(Op.In[0], Out.TileRows, Out.TileCols, "left input");
+        Shape(Op.In[1], Out.TileRows, Out.TileCols, "right input");
+      }
+      break;
+    case sll::OpKind::SMul:
+      if (Arity(2)) {
+        Shape(Op.In[0], 1, 1, "scalar input");
+        Shape(Op.In[1], Out.TileRows, Out.TileCols, "matrix input");
+      }
+      break;
+    case sll::OpKind::MatMul:
+    case sll::OpKind::MatMulAcc:
+      if (Arity(2)) {
+        if (Op.In[0].TileRows != Out.TileRows ||
+            Op.In[1].TileCols != Out.TileCols ||
+            Op.In[0].TileCols != Op.In[1].TileRows) {
+          std::ostringstream OS;
+          OS << "sll: " << Name << " dimensions disagree: "
+             << Op.In[0].TileRows << "x" << Op.In[0].TileCols << " * "
+             << Op.In[1].TileRows << "x" << Op.In[1].TileCols << " -> "
+             << Out.TileRows << "x" << Out.TileCols;
+          D.add(OS.str());
+        }
+      }
+      break;
+    case sll::OpKind::Trans:
+      if (Arity(1))
+        Shape(Op.In[0], Out.TileCols, Out.TileRows, "input");
+      break;
+    case sll::OpKind::MVH:
+    case sll::OpKind::MVHAcc:
+      if (Arity(2)) {
+        Shape(Op.In[0], Out.TileRows, Out.TileCols, "matrix input");
+        Shape(Op.In[1], Out.TileCols, 1, "vector input");
+      }
+      break;
+    case sll::OpKind::RR:
+    case sll::OpKind::RRAcc:
+      if (Arity(1) && (Op.In[0].TileRows != Out.TileRows || Out.TileCols != 1)) {
+        std::ostringstream OS;
+        OS << "sll: " << Name << " reduces " << Op.In[0].TileRows << "x"
+           << Op.In[0].TileCols << " into " << Out.TileRows << "x"
+           << Out.TileCols << ", expected " << Op.In[0].TileRows << "x1";
+        D.add(OS.str());
+      }
+      break;
+    case sll::OpKind::MVM:
+    case sll::OpKind::MVMAcc:
+      if (Arity(2)) {
+        if (Op.In[0].TileRows != Out.TileRows || Out.TileCols != 1 ||
+            Op.In[0].TileCols != Op.In[1].TileRows ||
+            Op.In[1].TileCols != 1) {
+          std::ostringstream OS;
+          OS << "sll: " << Name << " dimensions disagree: "
+             << Op.In[0].TileRows << "x" << Op.In[0].TileCols << " * "
+             << Op.In[1].TileRows << "x" << Op.In[1].TileCols << " -> "
+             << Out.TileRows << "x" << Out.TileCols;
+          D.add(OS.str());
+        }
+      }
+      break;
+    }
+  }
+
+  /// Evaluates \p E under the current valuation; reports indices that are
+  /// not in scope. Returns false on a scoping violation.
+  bool evalAffine(const cir::AffineExpr &E, int64_t &Out, const char *Op) {
+    int64_t V = E.getConstant();
+    for (const auto &[Id, Coeff] : E.getTerms()) {
+      auto It = Vals.find(Id);
+      if (It == Vals.end()) {
+        std::ostringstream OS;
+        OS << "sll: " << Op << " access references summation index s" << Id
+           << " which is not in scope";
+        D.add(OS.str());
+        return false;
+      }
+      V += Coeff * It->second;
+    }
+    Out = V;
+    return true;
+  }
+
+  void checkAccessBounds(const sll::TileAccess &A, const sll::TileOp &Op,
+                         bool IsOut) {
+    if (A.Mat >= P.Mats.size())
+      return; // Already reported by checkOpShapes.
+    const char *Name = sll::opKindName(Op.Kind);
+    int64_t Row = 0, Col = 0;
+    if (!evalAffine(A.Row, Row, Name) || !evalAffine(A.Col, Col, Name))
+      return;
+    const sll::MatInfo &M = P.Mats[A.Mat];
+    if (Row < 0 || Col < 0 || Row + A.TileRows > M.Rows ||
+        Col + A.TileCols > M.Cols) {
+      std::ostringstream OS;
+      OS << "sll: " << Name << (IsOut ? " scatter" : " gather") << " of "
+         << A.TileRows << "x" << A.TileCols << " tile at (" << Row << ", "
+         << Col << ") exceeds " << M.Name << " (" << M.Rows << "x" << M.Cols
+         << ")";
+      D.add(OS.str());
+      return;
+    }
+    if (IsOut) {
+      auto It = Written.find(A.Mat);
+      if (It != Written.end())
+        for (unsigned R = 0; R != A.TileRows; ++R)
+          for (unsigned C = 0; C != A.TileCols; ++C)
+            It->second[(Row + R) * M.Cols + (Col + C)] = 1;
+    }
+  }
+
+  void visitOp(const sll::TileOp &Op) {
+    for (const sll::TileAccess &A : Op.In)
+      checkAccessBounds(A, Op, /*IsOut=*/false);
+    checkAccessBounds(Op.Out, Op, /*IsOut=*/true);
+  }
+
+  /// Enumerates the valuations of \p N's summations recursively.
+  void visitNest(const sll::Nest &N, size_t SumIdx) {
+    if (D.capped())
+      return;
+    if (SumIdx == N.Sums.size()) {
+      for (const sll::NestItem &It : N.Items) {
+        if (It.Op)
+          visitOp(*It.Op);
+        else if (It.Child)
+          visitNest(*It.Child, 0);
+      }
+      return;
+    }
+    const sll::SumIdx &S = N.Sums[SumIdx];
+    if (S.tripCount() <= 0) {
+      std::ostringstream OS;
+      OS << "sll: summation s" << S.Id << " has empty range (extent "
+         << S.Extent << ", step " << S.Step << ")";
+      D.add(OS.str());
+      return;
+    }
+    for (int64_t V = 0; V < S.Extent; V += S.Step) {
+      Vals[S.Id] = V;
+      visitNest(N, SumIdx + 1);
+    }
+    Vals.erase(S.Id);
+  }
+
+  void collectOps(const sll::Nest &N) {
+    for (const sll::NestItem &It : N.Items) {
+      if (It.Op)
+        checkOpShapes(*It.Op);
+      else if (It.Child)
+        collectOps(*It.Child);
+    }
+  }
+
+  void run() {
+    collectOps(P.Root);
+    if (enumerationSize(P.Root, 1) > MaxSigmaEnumeration)
+      return; // Coverage/bounds enumeration intractable; shape checks only.
+    visitNest(P.Root, 0);
+    for (const auto &[Mat, Bits] : Written) {
+      size_t Missing =
+          std::count(Bits.begin(), Bits.end(), static_cast<char>(0));
+      if (Missing == 0)
+        continue;
+      const sll::MatInfo &M = P.Mats[Mat];
+      // An InOut output that is never written at all is the identity
+      // kernel (out = out): every untouched element keeps its input
+      // value, which is exactly the result. Partial coverage is still a
+      // dropped-leftover bug.
+      if (M.Role == sll::MatRole::InOut &&
+          Missing == static_cast<size_t>(M.numElements()))
+        continue;
+      std::ostringstream OS;
+      OS << "sll: output " << M.Name << " has " << Missing << " of "
+         << M.numElements()
+         << " element(s) never scattered (incomplete index coverage)";
+      D.add(OS.str());
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// C-IR checks
+//===----------------------------------------------------------------------===//
+
+struct CIRChecker {
+  const cir::Kernel &K;
+  const CIRCheckOptions &Opts;
+  Diags &D;
+  std::set<cir::RegId> Defined;
+  std::vector<const cir::Loop *> ActiveLoops;
+
+  CIRChecker(const cir::Kernel &K, const CIRCheckOptions &Opts, Diags &D)
+      : K(K), Opts(Opts), D(D) {}
+
+  std::string where(const cir::Inst &I) const {
+    return std::string(cir::opcodeName(I.Op)) + " in kernel '" + K.getName() +
+           "'";
+  }
+
+  /// Range of \p E over all iterations of the active loops.
+  void affineRange(const cir::AffineExpr &E, int64_t &Min, int64_t &Max) {
+    Min = Max = E.getConstant();
+    for (const auto &[Id, Coeff] : E.getTerms()) {
+      const cir::Loop *L = nullptr;
+      for (const cir::Loop *A : ActiveLoops)
+        if (A->Id == Id)
+          L = A;
+      if (!L || L->tripCount() <= 0)
+        continue; // Scoping violations are reported separately.
+      int64_t First = Coeff * L->Start;
+      int64_t Last = Coeff * (L->Start + (L->tripCount() - 1) * L->Step);
+      Min += std::min(First, Last);
+      Max += std::max(First, Last);
+    }
+  }
+
+  void checkFootprint(const cir::Inst &I) {
+    if (I.Address.Array >= K.getNumArrays())
+      return; // Reported by checkStructure.
+    const cir::ArrayInfo &A = K.getArray(I.Address.Array);
+    // Element extent of the access relative to its base address.
+    int64_t ExtMin = 0, ExtMax = 0;
+    switch (I.Op) {
+    case cir::Opcode::Load:
+      ExtMax = K.lanesOf(I.Dest) - 1;
+      break;
+    case cir::Opcode::Store:
+      ExtMax = K.lanesOf(I.A) - 1;
+      break;
+    case cir::Opcode::GLoad:
+    case cir::Opcode::GStore: {
+      bool Any = false;
+      for (int64_t O : I.Map.LaneOffsets) {
+        if (O == cir::MemMap::None)
+          continue;
+        ExtMin = Any ? std::min(ExtMin, O) : O;
+        ExtMax = Any ? std::max(ExtMax, O) : O;
+        Any = true;
+      }
+      if (!Any)
+        return; // A fully-masked access touches no memory.
+      break;
+    }
+    default:
+      break; // LoadBroadcast/LoadLane/StoreLane touch one element.
+    }
+    int64_t Min = 0, Max = 0;
+    affineRange(I.Address.Offset, Min, Max);
+    Min += ExtMin;
+    Max += ExtMax;
+    if (Min < 0 || Max >= A.NumElements) {
+      std::ostringstream OS;
+      OS << "cir: " << where(I) << " touches elements [" << Min << ", " << Max
+         << "] of array " << A.Name << "[" << A.NumElements << "]";
+      D.add(OS.str());
+    }
+  }
+
+  void checkAlignmentClaim(const cir::Inst &I) {
+    if (!I.Aligned || Opts.Nu <= 1)
+      return;
+    unsigned Lanes = 0;
+    switch (I.Op) {
+    case cir::Opcode::Load:
+      Lanes = K.lanesOf(I.Dest);
+      break;
+    case cir::Opcode::Store:
+      Lanes = K.lanesOf(I.A);
+      break;
+    case cir::Opcode::GLoad:
+      Lanes = I.Map.isFullContiguous() ? K.lanesOf(I.Dest) : 1;
+      break;
+    case cir::Opcode::GStore:
+      Lanes = I.Map.isFullContiguous() ? K.lanesOf(I.A) : 1;
+      break;
+    default:
+      return;
+    }
+    if (Lanes <= 1 || I.Address.Array >= K.getNumArrays())
+      return;
+    const cir::ArrayInfo &A = K.getArray(I.Address.Array);
+    int64_t Base = 0;
+    if (A.isParam()) {
+      auto It = Opts.BaseOffsets.find(I.Address.Array);
+      if (It == Opts.BaseOffsets.end()) {
+        std::ostringstream OS;
+        OS << "cir: " << where(I) << " claims alignment on parameter array "
+           << A.Name << " whose base alignment is unknown";
+        D.add(OS.str());
+        return;
+      }
+      Base = It->second;
+    } // Temporaries are allocated aligned (base offset 0).
+
+    // The address is Base + Constant + Σ c·i with i ∈ {Start, Start+Step,
+    // ...}; it is ≡ 0 (mod Lanes) for every iteration iff the value at the
+    // loop starts is, and every per-iteration increment c·Step is.
+    int64_t AtStart = Base + I.Address.Offset.getConstant();
+    bool Ok = true;
+    for (const auto &[Id, Coeff] : I.Address.Offset.getTerms()) {
+      const cir::Loop *L = nullptr;
+      for (const cir::Loop *Act : ActiveLoops)
+        if (Act->Id == Id)
+          L = Act;
+      if (!L)
+        return; // Scoping violation, reported separately.
+      AtStart += Coeff * L->Start;
+      if (L->tripCount() > 1 && floorMod(Coeff * L->Step, Lanes) != 0)
+        Ok = false;
+    }
+    if (floorMod(AtStart, Lanes) != 0)
+      Ok = false;
+    if (!Ok) {
+      std::ostringstream OS;
+      OS << "cir: " << where(I) << " claims " << Lanes
+         << "-lane alignment on array " << A.Name
+         << " but the address is not provably 0 mod " << Lanes << " ("
+         << I.Address.Offset.str() << " + base " << Base << ")";
+      D.add(OS.str());
+    }
+  }
+
+  void checkStructure(const cir::Inst &I) {
+    I.forEachUse([&](cir::RegId R) {
+      if (R >= K.getNumRegs()) {
+        D.add("cir: " + where(I) + " uses out-of-range register r" +
+              std::to_string(R));
+        return;
+      }
+      if (!Defined.count(R))
+        D.add("cir: " + where(I) + " uses r" + std::to_string(R) +
+              " before its definition");
+    });
+    if (I.Dest != cir::NoReg) {
+      if (I.Dest >= K.getNumRegs())
+        D.add("cir: " + where(I) + " defines out-of-range register r" +
+              std::to_string(I.Dest));
+      else if (!Defined.insert(I.Dest).second)
+        D.add("cir: " + where(I) + " defines r" + std::to_string(I.Dest) +
+              " more than once (single-assignment violation)");
+    }
+    if (cir::isMemoryOpcode(I.Op)) {
+      if (I.Address.Array >= K.getNumArrays()) {
+        D.add("cir: " + where(I) + " accesses unknown array #" +
+              std::to_string(I.Address.Array));
+        return;
+      }
+      if (I.isStore() &&
+          K.getArray(I.Address.Array).Kind == cir::ArrayKind::Input)
+        D.add("cir: " + where(I) + " stores to const input array " +
+              K.getArray(I.Address.Array).Name);
+      for (const auto &[Id, Coeff] : I.Address.Offset.getTerms()) {
+        (void)Coeff;
+        bool InScope = false;
+        for (const cir::Loop *L : ActiveLoops)
+          if (L->Id == Id)
+            InScope = true;
+        if (!InScope)
+          D.add("cir: " + where(I) + " addresses via loop index i" +
+                std::to_string(Id) + " which is not in scope");
+      }
+    }
+    if (I.Op == cir::Opcode::GLoad || I.Op == cir::Opcode::GStore) {
+      cir::RegId R = I.Op == cir::Opcode::GLoad ? I.Dest : I.A;
+      if (R < K.getNumRegs() && I.Map.numLanes() != K.lanesOf(R))
+        D.add("cir: " + where(I) + " memory map has " +
+              std::to_string(I.Map.numLanes()) + " lane(s) but register has " +
+              std::to_string(K.lanesOf(R)));
+    }
+  }
+
+  void visitBody(const std::vector<cir::Node> &Body) {
+    for (const cir::Node &N : Body) {
+      if (D.capped())
+        return;
+      if (N.isLoop()) {
+        const cir::Loop &L = N.loop();
+        if (L.Step <= 0)
+          D.add("cir: loop i" + std::to_string(L.Id) + " in kernel '" +
+                K.getName() + "' has non-positive step");
+        ActiveLoops.push_back(&L);
+        visitBody(L.Body);
+        ActiveLoops.pop_back();
+        continue;
+      }
+      const cir::Inst &I = N.inst();
+      checkStructure(I);
+      if (cir::isMemoryOpcode(I.Op)) {
+        checkFootprint(I);
+        checkAlignmentClaim(I);
+      }
+    }
+  }
+
+  void run() { visitBody(K.getBody()); }
+};
+
+} // namespace
+
+std::vector<std::string> verify::checkSigmaLL(const sll::SProgram &P) {
+  Diags D;
+  SigmaChecker C(P, D);
+  C.run();
+  return D.take();
+}
+
+std::vector<std::string> verify::checkCIR(const cir::Kernel &K,
+                                          const CIRCheckOptions &Opts) {
+  Diags D;
+  CIRChecker C(K, Opts, D);
+  C.run();
+  return D.take();
+}

@@ -1,0 +1,69 @@
+//===- Invariants.h - Σ-LL and C-IR invariant checkers ---------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural invariant checkers run between compiler passes when
+/// Options::VerifyIR is set (or LGEN_VERIFY_IR=1 in the environment).
+/// Unlike cir::Kernel::verify(), which asserts, these return diagnostics so
+/// the verification tooling can report every violation of a broken pass at
+/// once and attach them to a reduced reproducer.
+///
+/// Σ-LL well-formedness (checkSigmaLL):
+///  * gather/scatter accesses stay inside their matrices for every value of
+///    the enclosing summation indices (exact enumeration — trip products of
+///    LGen kernels are small — with an affine min/max fallback);
+///  * every element of each Output/InOut matrix is scattered at least once
+///    (index coverage: a tiling that drops the leftover region is caught
+///    here, before it silently computes a partial result);
+///  * tile shapes agree with the operator (MatMul inner dimensions, MVH
+///    vector length, RR result width, ...).
+///
+/// C-IR well-formedness (checkCIR):
+///  * def-before-use and single assignment of registers, loop-index scoping
+///    (the diagnostic twin of Kernel::verify's asserts);
+///  * the memory footprint of every access, widened over all loop
+///    iterations, stays inside the bounds of the accessed array;
+///  * every access claiming `Aligned` is provably ≡ 0 (mod lanes) for all
+///    iterations, given the assumed base alignments — the static
+///    counterpart of the executor's runtime alignment fault.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_VERIFY_INVARIANTS_H
+#define LGEN_VERIFY_INVARIANTS_H
+
+#include "cir/CIR.h"
+#include "sll/SigmaLL.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lgen {
+namespace verify {
+
+/// Checks Σ-LL well-formedness. Returns one message per violation, empty
+/// when the program is well-formed.
+std::vector<std::string> checkSigmaLL(const sll::SProgram &P);
+
+struct CIRCheckOptions {
+  /// Vector length for alignment-claim checking; 0 disables that check.
+  unsigned Nu = 0;
+  /// Assumed base alignment (element offset from a ν boundary) per
+  /// parameter array. Arrays absent from the map have *unknown* base
+  /// alignment: an Aligned claim on them is reported. Kernel-local
+  /// temporaries are always allocated aligned and need no entry.
+  std::map<cir::ArrayId, int64_t> BaseOffsets;
+};
+
+/// Checks C-IR well-formedness of \p K. Returns one message per violation.
+std::vector<std::string> checkCIR(const cir::Kernel &K,
+                                  const CIRCheckOptions &Opts = {});
+
+} // namespace verify
+} // namespace lgen
+
+#endif // LGEN_VERIFY_INVARIANTS_H

@@ -1,0 +1,152 @@
+//===- RandomBlac.cpp - Random BLAC generation for testing ----------------===//
+
+#include "verify/RandomBlac.h"
+
+#include <cstdlib>
+
+using namespace lgen;
+using namespace lgen::verify;
+
+std::vector<int64_t> verify::parseShapeSpec(const std::string &Spec,
+                                            std::string &Err) {
+  std::vector<int64_t> Dims;
+  auto Bad = [&](const std::string &Why) {
+    Err = "bad shape spec \"" + Spec + "\": " + Why;
+    return std::vector<int64_t>();
+  };
+  if (Spec.empty())
+    return Bad("empty");
+  size_t Range = Spec.find("..");
+  if (Range != std::string::npos) {
+    char *End = nullptr;
+    int64_t Lo = std::strtoll(Spec.c_str(), &End, 10);
+    if (End != Spec.c_str() + Range)
+      return Bad("malformed lower bound");
+    int64_t Hi = std::strtoll(Spec.c_str() + Range + 2, &End, 10);
+    if (*End != '\0')
+      return Bad("malformed upper bound");
+    if (Lo < 1 || Hi < Lo || Hi > 256)
+      return Bad("bounds must satisfy 1 <= LO <= HI <= 256");
+    for (int64_t D = Lo; D <= Hi; ++D)
+      Dims.push_back(D);
+    return Dims;
+  }
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    char *End = nullptr;
+    int64_t D = std::strtoll(Spec.c_str() + Pos, &End, 10);
+    if (End == Spec.c_str() + Pos || D < 1 || D > 256)
+      return Bad("malformed dimension");
+    Dims.push_back(D);
+    Pos = End - Spec.c_str();
+    if (Pos < Spec.size()) {
+      if (Spec[Pos] != ',')
+        return Bad("expected ','");
+      ++Pos;
+    }
+  }
+  if (Dims.empty())
+    return Bad("empty");
+  return Dims;
+}
+
+RandomBlac::RandomBlac(Rng &R, GrammarOptions O) : R(R), Opt(std::move(O)) {
+  assert(!Opt.Dims.empty() && "dimension pool must not be empty");
+}
+
+int64_t RandomBlac::dim() {
+  return Opt.Dims[R.nextBelow(Opt.Dims.size())];
+}
+
+int64_t RandomBlac::dimDegenerate() {
+  // Degenerate shapes collapse one side to 1 regardless of the pool.
+  return R.nextBelow(100) < Opt.DegeneratePercent ? 1 : dim();
+}
+
+std::string RandomBlac::declareOperand(int64_t Rows, int64_t Cols) {
+  std::string Name = "m" + std::to_string(Counter++);
+  if (Rows == 1 && Cols == 1)
+    Decls += "Scalar " + Name + "; ";
+  else if (Cols == 1)
+    Decls += "Vector " + Name + "(" + std::to_string(Rows) + "); ";
+  else
+    Decls += "Matrix " + Name + "(" + std::to_string(Rows) + ", " +
+             std::to_string(Cols) + "); ";
+  Declared.push_back({Name, Rows, Cols});
+  return Name;
+}
+
+std::string RandomBlac::freshOrAliasedRef(int64_t Rows, int64_t Cols) {
+  if (R.nextBelow(100) < Opt.AliasPercent) {
+    std::vector<const Decl *> Matching;
+    for (const Decl &D : Declared)
+      if (D.Rows == Rows && D.Cols == Cols)
+        Matching.push_back(&D);
+    if (!Matching.empty())
+      return Matching[R.nextBelow(Matching.size())]->Name;
+  }
+  return declareOperand(Rows, Cols);
+}
+
+std::string RandomBlac::expr(int64_t Rows, int64_t Cols, int Depth) {
+  if (Depth >= Opt.MaxDepth ||
+      R.nextBelow(100) < Opt.LeafPercent)
+    return freshOrAliasedRef(Rows, Cols);
+  switch (R.nextBelow(4)) {
+  case 0: // Addition.
+    return "(" + expr(Rows, Cols, Depth + 1) + " + " +
+           expr(Rows, Cols, Depth + 1) + ")";
+  case 1: // Scalar scaling.
+    return "(" + freshOrAliasedRef(1, 1) + " * " +
+           expr(Rows, Cols, Depth + 1) + ")";
+  case 2: { // Product with a random inner dimension; 1×1 targets become
+            // dot-like products (1×k)·(k×1). A factor whose shape collapses
+            // to 1×1 must be a plain scalar leaf: the parser classifies
+            // scalar-vs-matrix products syntactically and cannot tell a
+            // compound 1×1 expression (e.g. a dot product plus a scalar)
+            // from a matrix factor.
+    int64_t K = dimDegenerate();
+    std::string L = Rows == 1 && K == 1 ? freshOrAliasedRef(1, 1)
+                                        : expr(Rows, K, Depth + 1);
+    std::string Rhs = K == 1 && Cols == 1 ? freshOrAliasedRef(1, 1)
+                                          : expr(K, Cols, Depth + 1);
+    return "(" + L + " * " + Rhs + ")";
+  }
+  default: // Transposition. Either of a compound subexpression (nested
+           // transposes, including the double-transpose identity) or of
+           // whatever the recursion produces for the flipped shape.
+    if (R.nextBelow(100) < Opt.NestedTransPercent)
+      return "(" + expr(Rows, Cols, Depth + 1) + "')'";
+    return expr(Cols, Rows, Depth + 1) + "'";
+  }
+}
+
+std::string RandomBlac::build() {
+  Decls.clear();
+  Declared.clear();
+
+  int64_t Rows = dimDegenerate(), Cols = dimDegenerate();
+  if (!Opt.AllowScalarOutput)
+    while (Rows == 1 && Cols == 1)
+      Rows = dim();
+  std::string Body = expr(Rows, Cols, /*Depth=*/0);
+
+  // Optionally fold the output into the right-hand side (in/out kernel).
+  bool OutputIsInput = Opt.AllowOutputAsInput && R.nextBelow(100) < 25;
+  if (OutputIsInput) {
+    if (R.nextBelow(2))
+      Body = "(" + Body + " + " + freshOrAliasedRef(1, 1) + " * out)";
+    else
+      Body = "(" + Body + " + out)";
+  }
+
+  std::string OutDecl;
+  if (Rows == 1 && Cols == 1)
+    OutDecl = "Scalar out; ";
+  else if (Cols == 1)
+    OutDecl = "Vector out(" + std::to_string(Rows) + "); ";
+  else
+    OutDecl = "Matrix out(" + std::to_string(Rows) + ", " +
+              std::to_string(Cols) + "); ";
+  return Decls + OutDecl + "out = " + Body + ";";
+}

@@ -1,0 +1,98 @@
+//===- RandomBlac.h - Random BLAC generation for testing -------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, deterministic generation of random BLACs over the full LL
+/// operator grammar, promoted out of the fuzz test into a library so the
+/// differential verification tooling (DiffCheck.h, lgen-verify) and the
+/// test suite draw from one grammar. Compared to the original fuzz
+/// generator the grammar adds:
+///  * scalar outputs (1×1 results of dot-like expressions);
+///  * nested transposes (transposition of compound subexpressions and
+///    explicit double transposition);
+///  * aliased operands (one declared matrix referenced several times, e.g.
+///    A + A', and optionally the output operand appearing as an addend of
+///    the right-hand side, producing in/out kernels);
+///  * degenerate 1×n and n×1 shapes forced with a configurable bias, not
+///    just when the dimension pool happens to produce 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_VERIFY_RANDOMBLAC_H
+#define LGEN_VERIFY_RANDOMBLAC_H
+
+#include "support/Support.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lgen {
+namespace verify {
+
+/// Knobs of the random BLAC grammar. The defaults reproduce a superset of
+/// the historical fuzz-test distribution.
+struct GrammarOptions {
+  /// Dimension pool; every matrix dimension is drawn from this set.
+  std::vector<int64_t> Dims = {1, 2, 3, 4, 5, 7, 8, 9, 12};
+  /// Maximum expression tree depth before forcing a leaf.
+  int MaxDepth = 3;
+  /// Percent chance to emit a leaf before reaching MaxDepth.
+  unsigned LeafPercent = 30;
+  /// Percent chance a leaf reuses an already-declared operand of the same
+  /// shape instead of declaring a fresh one (operand aliasing).
+  unsigned AliasPercent = 30;
+  /// Percent chance a transpose wraps a compound subexpression (including
+  /// an immediate second transpose) rather than distributing into it.
+  unsigned NestedTransPercent = 50;
+  /// Percent chance a generated shape is forced degenerate (1×n or n×1).
+  unsigned DegeneratePercent = 15;
+  /// Allow 1×1 (scalar) outputs.
+  bool AllowScalarOutput = true;
+  /// Allow the output operand to appear as an addend of the right-hand
+  /// side (y = ... + beta*y), making the kernel in/out.
+  bool AllowOutputAsInput = true;
+};
+
+/// Parses a dimension-set spec: either a range "LO..HI" or a comma list
+/// "1,2,4,8". Returns the empty vector and fills \p Err on malformed input.
+std::vector<int64_t> parseShapeSpec(const std::string &Spec,
+                                    std::string &Err);
+
+/// Builds random LL programs (declarations + a single equation) that are
+/// guaranteed to parse and pass dimension inference. Deterministic given
+/// the RNG state; driving the RNG from a per-trial seed makes every
+/// generated program reproducible from that seed alone.
+class RandomBlac {
+public:
+  explicit RandomBlac(Rng &R, GrammarOptions O = {});
+
+  /// Generates one BLAC and returns its source text.
+  std::string build();
+
+private:
+  struct Decl {
+    std::string Name;
+    int64_t Rows, Cols;
+  };
+
+  int64_t dim();
+  int64_t dimDegenerate();
+  std::string freshOrAliasedRef(int64_t Rows, int64_t Cols);
+  std::string declareOperand(int64_t Rows, int64_t Cols);
+  std::string expr(int64_t Rows, int64_t Cols, int Depth);
+
+  Rng &R;
+  GrammarOptions Opt;
+  std::string Decls;
+  std::vector<Decl> Declared;
+  unsigned Counter = 0;
+};
+
+} // namespace verify
+} // namespace lgen
+
+#endif // LGEN_VERIFY_RANDOMBLAC_H

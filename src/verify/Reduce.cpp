@@ -1,0 +1,240 @@
+//===- Reduce.cpp - Delta-debugging reducer for failing BLACs -------------===//
+
+#include "verify/Reduce.h"
+
+#include "ll/Parser.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::verify;
+
+namespace {
+
+int64_t countOps(const ll::Expr &E) {
+  int64_t N = E.getKind() == ll::ExprKind::Ref ? 0 : 1;
+  for (unsigned I = 0; I != E.numChildren(); ++I)
+    N += countOps(E.child(I));
+  return N;
+}
+
+using Path = std::vector<unsigned>;
+
+void collectPaths(const ll::Expr &E, Path &Cur, std::vector<Path> &Out) {
+  Out.push_back(Cur);
+  for (unsigned I = 0; I != E.numChildren(); ++I) {
+    Cur.push_back(I);
+    collectPaths(E.child(I), Cur, Out);
+    Cur.pop_back();
+  }
+}
+
+const ll::Expr &nodeAt(const ll::Program &P, const Path &Pt) {
+  const ll::Expr *E = P.Rhs.get();
+  for (unsigned I : Pt)
+    E = &E->child(I);
+  return *E;
+}
+
+void replaceAt(ll::Program &P, const Path &Pt, ll::ExprPtr New) {
+  if (Pt.empty()) {
+    P.Rhs = std::move(New);
+    return;
+  }
+  ll::Expr *Parent = P.Rhs.get();
+  for (size_t I = 0; I + 1 != Pt.size(); ++I)
+    Parent = &Parent->child(Pt[I]);
+  Parent->swapChild(Pt.back(), std::move(New));
+}
+
+void collectRefs(const ll::Expr &E, std::set<std::string> &Names) {
+  if (E.getKind() == ll::ExprKind::Ref)
+    Names.insert(E.getRefName());
+  for (unsigned I = 0; I != E.numChildren(); ++I)
+    collectRefs(E.child(I), Names);
+}
+
+ll::Operand makeOperand(std::string Name, int64_t Rows, int64_t Cols) {
+  ll::Operand O;
+  O.Name = std::move(Name);
+  O.Rows = Rows;
+  O.Cols = Cols;
+  if (Rows == 1 && Cols == 1)
+    O.Kind = ll::OperandKind::Scalar;
+  else if (Cols == 1)
+    O.Kind = ll::OperandKind::Vector;
+  else
+    O.Kind = ll::OperandKind::Matrix; // 1×n rendered as Matrix(1, n).
+  return O;
+}
+
+std::string freshName(const ll::Program &P) {
+  for (unsigned I = 0;; ++I) {
+    std::string Name = "r" + std::to_string(I);
+    if (!P.findOperand(Name))
+      return Name;
+  }
+}
+
+/// Drops declarations no longer mentioned by the equation and retargets the
+/// output declaration to the (possibly changed) root shape. Returns false
+/// when the mutated tree cannot represent a program (e.g. a null RHS).
+bool tidy(ll::Program &P) {
+  if (!P.Rhs)
+    return false;
+  std::set<std::string> Live;
+  collectRefs(*P.Rhs, Live);
+  Live.insert(P.OutputName);
+  auto It = std::remove_if(P.Operands.begin(), P.Operands.end(),
+                           [&](const ll::Operand &O) {
+                             return Live.find(O.Name) == Live.end();
+                           });
+  P.Operands.erase(It, P.Operands.end());
+  // If the root shape changed, the output declaration must follow. Cloned
+  // subtrees keep the dims inferred on the original program, so the root's
+  // annotation is trustworthy. When the output also feeds the RHS the
+  // remap may be inconsistent; re-parsing rejects those candidates.
+  for (ll::Operand &O : P.Operands) {
+    if (O.Name != P.OutputName)
+      continue;
+    if (O.Rows != P.Rhs->rows() || O.Cols != P.Rhs->cols()) {
+      ll::Operand New = makeOperand(O.Name, P.Rhs->rows(), P.Rhs->cols());
+      O = New;
+    }
+  }
+  return true;
+}
+
+/// Renders, re-parses, and re-infers \p Cand. The round trip is the
+/// validity oracle: anything the front end rejects is not a candidate.
+bool revalidate(const ll::Program &Cand, ll::Program &Out) {
+  std::string Err;
+  return ll::parseProgram(Cand.str(), Out, Err);
+}
+
+/// Applies \p Map to every dimension of every operand. Dimension *values*
+/// are remapped, so equalities between dims (and hence LL shape rules)
+/// survive.
+ll::Program remapDims(const ll::Program &P,
+                      const std::function<int64_t(int64_t)> &Map) {
+  ll::Program Cand = P.clone();
+  for (ll::Operand &O : Cand.Operands) {
+    ll::Operand New = makeOperand(O.Name, Map(O.Rows), Map(O.Cols));
+    O = New;
+  }
+  // The cloned tree still carries the original dims; re-infer so tidy()
+  // sees the remapped root shape instead of "retargeting" the output
+  // declaration back to the stale one. Inference failure (the map broke a
+  // shape rule) yields an unchanged clone, which dedup discards.
+  std::string Err;
+  if (!ll::inferDims(Cand, Err))
+    return P.clone();
+  return Cand;
+}
+
+struct Candidate {
+  ll::Program Prog;
+  int64_t Ops;
+  double Elems; // tie-break: total operand elements, favors smaller dims
+};
+
+std::vector<Candidate> proposals(const ll::Program &P) {
+  std::vector<Candidate> Out;
+  auto consider = [&](ll::Program Cand) {
+    if (!tidy(Cand))
+      return;
+    ll::Program Valid;
+    if (!revalidate(Cand, Valid))
+      return;
+    double Elems = 0;
+    for (const ll::Operand &O : Valid.Operands)
+      Elems += double(O.numElements());
+    int64_t Ops = countOps(*Valid.Rhs);
+    Out.push_back({std::move(Valid), Ops, Elems});
+  };
+
+  std::vector<Path> Paths;
+  Path Cur;
+  collectPaths(*P.Rhs, Cur, Paths);
+
+  for (const Path &Pt : Paths) {
+    const ll::Expr &N = nodeAt(P, Pt);
+    if (N.getKind() == ll::ExprKind::Ref)
+      continue;
+    // Hoist each child over its parent operator.
+    for (unsigned I = 0; I != N.numChildren(); ++I) {
+      ll::Program Cand = P.clone();
+      ll::ExprPtr Child = nodeAt(Cand, Pt).child(I).clone();
+      replaceAt(Cand, Pt, std::move(Child));
+      consider(std::move(Cand));
+    }
+    // Collapse the whole subtree to a fresh input of the same shape —
+    // skip the root, where this would leave a computation-free program.
+    if (!Pt.empty()) {
+      ll::Program Cand = P.clone();
+      std::string Name = freshName(Cand);
+      Cand.Operands.push_back(makeOperand(Name, N.rows(), N.cols()));
+      replaceAt(Cand, Pt, ll::Expr::ref(Name));
+      consider(std::move(Cand));
+    }
+  }
+
+  consider(remapDims(P, [](int64_t) { return int64_t(1); }));
+  consider(remapDims(P, [](int64_t D) { return std::min<int64_t>(D, 2); }));
+  consider(remapDims(P, [](int64_t D) { return (D + 1) / 2; }));
+
+  std::sort(Out.begin(), Out.end(), [](const Candidate &A, const Candidate &B) {
+    return A.Ops != B.Ops ? A.Ops < B.Ops : A.Elems < B.Elems;
+  });
+  return Out;
+}
+
+double totalElems(const ll::Program &P) {
+  double E = 0;
+  for (const ll::Operand &O : P.Operands)
+    E += double(O.numElements());
+  return E;
+}
+
+} // namespace
+
+int64_t verify::countOperators(const ll::Program &P) {
+  return P.Rhs ? countOps(*P.Rhs) : 0;
+}
+
+std::string verify::programSource(const ll::Program &P) { return P.str(); }
+
+ReduceResult verify::reduce(const ll::Program &P, const FailurePredicate &Fails,
+                            unsigned MaxCandidates) {
+  ReduceResult R;
+  R.Reduced = P.clone();
+  std::set<std::string> Seen;
+  Seen.insert(R.Reduced.str());
+
+  bool Progress = true;
+  while (Progress && R.CandidatesTried < MaxCandidates) {
+    Progress = false;
+    for (Candidate &C : proposals(R.Reduced)) {
+      // Only strictly-smaller candidates: guarantees termination.
+      if (C.Ops > countOperators(R.Reduced) ||
+          (C.Ops == countOperators(R.Reduced) &&
+           C.Elems >= totalElems(R.Reduced)))
+        continue;
+      if (!Seen.insert(C.Prog.str()).second)
+        continue;
+      if (R.CandidatesTried >= MaxCandidates)
+        break;
+      ++R.CandidatesTried;
+      if (!Fails(C.Prog))
+        continue;
+      R.Reduced = std::move(C.Prog);
+      ++R.Steps;
+      Progress = true;
+      break; // restart from the new, smaller program
+    }
+  }
+  return R;
+}

@@ -1,0 +1,66 @@
+//===- Reduce.h - Delta-debugging reducer for failing BLACs ----*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a BLAC that fails some predicate (typically "the plan-space
+/// differential checker finds a mismatch", see DiffCheck.h) to a minimal
+/// failing reproducer, delta-debugging style: repeatedly propose smaller
+/// candidate programs, keep the smallest one that still fails, stop when no
+/// proposal fails anymore.
+///
+/// Three families of proposals are tried, largest reduction first:
+///  * hoist — replace an operator node by one of its children;
+///  * collapse — replace a whole subexpression by a fresh input operand of
+///    the same shape (always shape-correct, guarantees progress);
+///  * dim-shrink — remap every dimension value through a shrinking map
+///    (d → ⌈d/2⌉, d → min(d,2), d → 1), which preserves all LL shape
+///    equalities.
+///
+/// Candidates are validated by rendering to LL source and re-parsing, so
+/// the parser's product classification (SMul vs Mul) and dimension
+/// inference re-run from scratch — the reducer can never hand the pipeline
+/// an expression tree the front end would not itself have produced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_VERIFY_REDUCE_H
+#define LGEN_VERIFY_REDUCE_H
+
+#include "ll/AST.h"
+
+#include <functional>
+#include <string>
+
+namespace lgen {
+namespace verify {
+
+/// Returns true when the given program still exhibits the failure being
+/// chased. Must be deterministic for the reduction to converge.
+using FailurePredicate = std::function<bool(const ll::Program &)>;
+
+struct ReduceResult {
+  ll::Program Reduced;       ///< Smallest failing program found.
+  unsigned Steps = 0;        ///< Accepted shrinking steps.
+  unsigned CandidatesTried = 0;
+};
+
+/// Number of operator nodes (non-Ref) in the right-hand side; the size
+/// metric the reducer minimizes.
+int64_t countOperators(const ll::Program &P);
+
+/// Re-parseable LL source for \p P.
+std::string programSource(const ll::Program &P);
+
+/// Greedily shrinks \p P while \p Fails holds. \p P itself must fail.
+/// \p MaxCandidates bounds total predicate evaluations (each may involve a
+/// full differential sweep, so the bound is load-bearing).
+ReduceResult reduce(const ll::Program &P, const FailurePredicate &Fails,
+                    unsigned MaxCandidates = 500);
+
+} // namespace verify
+} // namespace lgen
+
+#endif // LGEN_VERIFY_REDUCE_H

@@ -1,0 +1,48 @@
+//===- Ulp.cpp - ULP-based float comparison for verification --------------===//
+
+#include "verify/Ulp.h"
+
+#include "ll/AST.h"
+
+#include <algorithm>
+
+using namespace lgen;
+using namespace lgen::verify;
+
+namespace {
+
+int64_t reductionOf(const ll::Expr &E) {
+  int64_t Longest = 1;
+  for (unsigned I = 0; I != E.numChildren(); ++I)
+    Longest = std::max(Longest, reductionOf(E.child(I)));
+  switch (E.getKind()) {
+  case ll::ExprKind::Mul:
+    // m×k · k×n sums k products per element; the vectorized kernel splits
+    // the sum into lane partials plus a horizontal-add tree.
+    return std::max(Longest, E.child(0).cols());
+  case ll::ExprKind::RR:
+    return std::max(Longest, E.child(0).cols());
+  case ll::ExprKind::Add:
+    // Chained additions reassociate across fused tiles; count the chain.
+    return Longest + 1;
+  default:
+    return Longest;
+  }
+}
+
+} // namespace
+
+int64_t verify::maxReductionLength(const ll::Program &P) {
+  return P.Rhs ? reductionOf(*P.Rhs) : 1;
+}
+
+Tolerance verify::toleranceFor(const ll::Program &P, unsigned BaseUlps) {
+  Tolerance T;
+  // The ε floor mirrors the historical test-suite threshold (TestUtil.h's
+  // epsilonFor): 1e-4 · √flops absorbs cancellation near zero, where ULP
+  // distances are meaningless.
+  double F = ll::flopCount(P);
+  T.AbsFloor = static_cast<float>(1e-4 * std::max(1.0, std::sqrt(F)));
+  T.MaxUlps = static_cast<int64_t>(BaseUlps) * maxReductionLength(P);
+  return T;
+}

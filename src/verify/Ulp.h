@@ -1,0 +1,106 @@
+//===- Ulp.h - ULP-based float comparison for verification -----*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Units-in-the-last-place comparison between a compiled kernel's output
+/// and the naive reference evaluation. Absolute-ε thresholds (the thesis'
+/// §5.1.4 methodology, epsilonFor in the tests) are kept as a floor for
+/// catastrophic cancellation near zero; the ULP distance adds a
+/// scale-aware criterion for large-magnitude outputs, where an absolute
+/// threshold degenerates into "anything goes". The tolerances per
+/// operation are recorded in DESIGN.md ("ULP tolerances").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_VERIFY_ULP_H
+#define LGEN_VERIFY_ULP_H
+
+#include "ll/Reference.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace lgen {
+namespace verify {
+
+/// Distance between two floats in units in the last place: the number of
+/// representable floats strictly between them (0 for equality, including
+/// -0 vs +0). NaNs and infinity/finite mismatches map to INT64_MAX.
+inline int64_t ulpDistance(float A, float B) {
+  if (std::isnan(A) || std::isnan(B))
+    return std::numeric_limits<int64_t>::max();
+  if (std::isinf(A) || std::isinf(B))
+    return A == B ? 0 : std::numeric_limits<int64_t>::max();
+  // Map the float ordering onto a monotone integer ordering: reinterpret
+  // the bits and flip negative values so that adjacent floats differ by 1.
+  auto Ordered = [](float F) {
+    int32_t I;
+    std::memcpy(&I, &F, sizeof(F));
+    return I < 0 ? int64_t(std::numeric_limits<int32_t>::min()) - I
+                 : int64_t(I);
+  };
+  int64_t D = Ordered(A) - Ordered(B);
+  return D < 0 ? -D : D;
+}
+
+/// Worst element-wise deviation between two equally-shaped matrices.
+struct UlpReport {
+  int64_t MaxUlps = 0;    ///< Largest per-element ULP distance.
+  float MaxAbsDiff = 0.0; ///< Largest per-element absolute difference.
+  size_t WorstIndex = 0;  ///< Row-major index of the worst ULP element.
+  float Expected = 0.0;   ///< Reference value at WorstIndex.
+  float Actual = 0.0;     ///< Kernel value at WorstIndex.
+};
+
+inline UlpReport compareValues(const ll::MatrixValue &Expected,
+                               const ll::MatrixValue &Actual) {
+  assert(Expected.Rows == Actual.Rows && Expected.Cols == Actual.Cols &&
+         "shape mismatch in comparison");
+  UlpReport Rep;
+  for (size_t I = 0; I != Expected.Data.size(); ++I) {
+    int64_t U = ulpDistance(Expected.Data[I], Actual.Data[I]);
+    float D = std::fabs(Expected.Data[I] - Actual.Data[I]);
+    if (D > Rep.MaxAbsDiff)
+      Rep.MaxAbsDiff = D;
+    if (U > Rep.MaxUlps) {
+      Rep.MaxUlps = U;
+      Rep.WorstIndex = I;
+      Rep.Expected = Expected.Data[I];
+      Rep.Actual = Actual.Data[I];
+    }
+  }
+  return Rep;
+}
+
+/// Longest floating-point reduction chain the BLAC evaluates: the upper
+/// bound on how far reassociation (vectorized partial sums, peeled
+/// accumulation, HAdd trees) can legally move the result from the naive
+/// left-to-right reference. Inner product dimensions and addition chains
+/// both contribute.
+int64_t maxReductionLength(const ll::Program &P);
+
+/// The verification tolerance: a result passes if its absolute deviation
+/// stays below the §5.1.4-style ε floor OR its ULP distance stays below
+/// BaseUlps · maxReductionLength. Both knobs are documented in DESIGN.md.
+struct Tolerance {
+  float AbsFloor = 0.0;
+  int64_t MaxUlps = 0;
+
+  bool accepts(const UlpReport &Rep) const {
+    return Rep.MaxAbsDiff <= AbsFloor || Rep.MaxUlps <= MaxUlps;
+  }
+};
+
+/// Derives the tolerance for \p P. \p BaseUlps is the per-reduction-step
+/// ULP allowance (default 16, see DESIGN.md).
+Tolerance toleranceFor(const ll::Program &P, unsigned BaseUlps = 16);
+
+} // namespace verify
+} // namespace lgen
+
+#endif // LGEN_VERIFY_ULP_H

@@ -74,6 +74,7 @@ TEST(Fingerprint, SensitiveToEveryCodegenField) {
   Variants.push_back({"GuidedSearch", B().guidedSearch().build()});
   Variants.push_back(
       {"Objective", B().objective(TuneObjective::Energy).build()});
+  Variants.push_back({"InjectFault", B().injectFault("flip-add").build()});
 
   for (const auto &[Field, O] : Variants)
     EXPECT_NE(KernelCache::fingerprint(GemvSrc, O), H0)
@@ -97,6 +98,11 @@ TEST(Fingerprint, InsensitiveToTuningInfrastructure) {
                                          .cacheDir("/nonexistent")
                                          .build()),
             H0);
+  // VerifyIR only validates; it never changes the generated code.
+  EXPECT_EQ(
+      KernelCache::fingerprint(
+          GemvSrc, Options::builder(machine::UArch::Atom).verifyIR().build()),
+      H0);
 }
 
 //===----------------------------------------------------------------------===//

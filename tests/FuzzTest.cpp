@@ -5,14 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Differential fuzzing of the compiler: random BLAC expression trees with
-/// random (shape-consistent) dimensions, compiled for random targets and
-/// optimization sets, executed and compared against the naive reference.
-/// Seeded and deterministic.
+/// Differential fuzzing of the compiler, driven by the shared
+/// verify::RandomBlac grammar (scalar outputs, nested transposes, aliased
+/// operands, degenerate shapes included). Seeded and deterministic: every
+/// trial derives its own seed, which is printed on failure together with a
+/// delta-debugged minimal reproducer.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
+
+#include "verify/RandomBlac.h"
+#include "verify/Reduce.h"
 
 #include <gtest/gtest.h>
 
@@ -22,65 +26,33 @@ using namespace lgen::testutil;
 
 namespace {
 
-/// Builds a random expression string of matrices with compatible shapes.
-/// Returns the declarations + equation. Grammar (depth-bounded):
-///   E(r, c) := ref | E + E | s * E | E(r, k) * E(k, c) | E(c, r)'
-class RandomBlac {
-public:
-  explicit RandomBlac(Rng &R) : R(R) {}
+std::string generate(uint64_t TrialSeed) {
+  Rng R(TrialSeed);
+  verify::RandomBlac Gen(R);
+  return Gen.build();
+}
 
-  std::string build() {
-    int64_t Rows = dim(), Cols = dim();
-    std::string Body = expr(Rows, Cols, /*Depth=*/0);
-    std::string OutDecl = Rows == 1 && Cols == 1
-                              ? "Scalar out; "
-                              : "Matrix out(" + std::to_string(Rows) + ", " +
-                                    std::to_string(Cols) + "); ";
-    return Decls + OutDecl + "out = " + Body + ";";
-  }
+/// Shrinks a failing source under \p Fails and renders the diagnosis every
+/// fuzz failure message carries: the trial seed (to regenerate the exact
+/// BLAC) and the minimal reproducer (to debug it).
+std::string diagnose(const std::string &Src, uint64_t TrialSeed,
+                     const verify::FailurePredicate &Fails) {
+  std::string Msg = "seed 0x";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llx",
+                static_cast<unsigned long long>(TrialSeed));
+  Msg += Buf;
+  ll::Program P;
+  std::string Err;
+  if (!ll::parseProgram(Src, P, Err))
+    return Msg + "; unparseable reproducer: " + Err;
+  verify::ReduceResult R = verify::reduce(P, Fails);
+  return Msg + "; reduced to: " + verify::programSource(R.Reduced) + ";";
+}
 
-private:
-  int64_t dim() {
-    static const int64_t Dims[] = {1, 2, 3, 4, 5, 7, 8, 9, 12};
-    return Dims[R.nextBelow(sizeof(Dims) / sizeof(Dims[0]))];
-  }
-
-  std::string freshRef(int64_t Rows, int64_t Cols) {
-    std::string Name = "m" + std::to_string(Counter++);
-    if (Rows == 1 && Cols == 1)
-      Decls += "Scalar " + Name + "; ";
-    else
-      Decls += "Matrix " + Name + "(" + std::to_string(Rows) + ", " +
-               std::to_string(Cols) + "); ";
-    return Name;
-  }
-
-  std::string expr(int64_t Rows, int64_t Cols, int Depth) {
-    if (Depth >= 3 || R.nextBelow(100) < 30)
-      return freshRef(Rows, Cols);
-    switch (R.nextBelow(4)) {
-    case 0: // Addition.
-      return "(" + expr(Rows, Cols, Depth + 1) + " + " +
-             expr(Rows, Cols, Depth + 1) + ")";
-    case 1: // Scalar scaling.
-      return "(" + freshRef(1, 1) + " * " + expr(Rows, Cols, Depth + 1) +
-             ")";
-    case 2: { // Product with a random inner dimension.
-      if (Rows == 1 && Cols == 1)
-        return freshRef(1, 1);
-      int64_t K = dim();
-      return "(" + expr(Rows, K, Depth + 1) + " * " +
-             expr(K, Cols, Depth + 1) + ")";
-    }
-    default: // Transpose.
-      return expr(Cols, Rows, Depth + 1) + "'";
-    }
-  }
-
-  Rng &R;
-  std::string Decls;
-  unsigned Counter = 0;
-};
+uint64_t trialSeed(uint64_t Base, int Trial) {
+  return Base + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(Trial + 1);
+}
 
 } // namespace
 
@@ -89,10 +61,9 @@ TEST(Fuzz, RandomBLACsMatchReferenceEverywhere) {
       machine::UArch::Atom, machine::UArch::CortexA8,
       machine::UArch::CortexA9, machine::UArch::ARM1176,
       machine::UArch::SandyBridge};
-  Rng R(0xb1acf00d);
-  for (int Trial = 0; Trial != 60; ++Trial) {
-    RandomBlac Gen(R);
-    std::string Src = Gen.build();
+  for (int Trial = 0; Trial != 100; ++Trial) {
+    uint64_t Seed = trialSeed(0xb1acf00d, Trial);
+    std::string Src = generate(Seed);
     ll::Program P;
     std::string Err;
     ASSERT_TRUE(ll::parseProgram(Src, P, Err)) << Src << "\n" << Err;
@@ -103,18 +74,22 @@ TEST(Fuzz, RandomBLACsMatchReferenceEverywhere) {
     if (Trial % 7 == 0)
       B.searchSamples(4);
     Options O = B.build();
-    float Eps = epsilonFor(P);
+    auto Fails = [&](const ll::Program &Q) {
+      return compileAndCompare(Q.str(), O, 1000 + Trial) > epsilonFor(Q);
+    };
     float Diff = compileAndCompare(Src, O, 1000 + Trial);
-    EXPECT_LE(Diff, Eps) << "trial " << Trial << " on "
-                         << machine::uarchName(T) << ": " << Src;
+    if (Diff > epsilonFor(P))
+      ADD_FAILURE() << "trial " << Trial << " on " << machine::uarchName(T)
+                    << ": " << Src << "\n  diff " << Diff << " > eps "
+                    << epsilonFor(P) << "\n  "
+                    << diagnose(Src, Seed, Fails);
   }
 }
 
 TEST(Fuzz, RandomBLACsSurviveAllOptimizationCombinations) {
-  Rng R(0xdecaf);
-  for (int Trial = 0; Trial != 16; ++Trial) {
-    RandomBlac Gen(R);
-    std::string Src = Gen.build();
+  for (int Trial = 0; Trial != 24; ++Trial) {
+    uint64_t Seed = trialSeed(0xdecaf, Trial);
+    std::string Src = generate(Seed);
     for (unsigned Mask = 0; Mask < 16; Mask += 5) { // Sample combos.
       Options O = Options::builder(machine::UArch::Atom)
                       .genericMemOps(Mask & 1)
@@ -125,9 +100,14 @@ TEST(Fuzz, RandomBLACsSurviveAllOptimizationCombinations) {
       ll::Program P;
       std::string Err;
       ASSERT_TRUE(ll::parseProgram(Src, P, Err)) << Src;
-      EXPECT_LE(compileAndCompare(Src, O, Trial * 31 + Mask),
-                epsilonFor(P))
-          << "mask " << Mask << ": " << Src;
+      auto Fails = [&](const ll::Program &Q) {
+        return compileAndCompare(Q.str(), O, Trial * 31 + Mask) >
+               epsilonFor(Q);
+      };
+      float Diff = compileAndCompare(Src, O, Trial * 31 + Mask);
+      if (Diff > epsilonFor(P))
+        ADD_FAILURE() << "mask " << Mask << ": " << Src << "\n  "
+                      << diagnose(Src, Seed, Fails);
     }
   }
 }

@@ -1,0 +1,76 @@
+//===- VerifySlowTest.cpp - Full plan-space differential sweeps -----------===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The slow (ctest label "slow") half of the verification suite: complete
+/// plan-space sweeps — every enumerated tiling plan under every
+/// optimization subset, with misaligned bases and the IR invariant
+/// checkers armed — over the paper's kernels and a batch of random BLACs.
+/// The fast suite (VerifyTest.cpp) runs trimmed versions of the same
+/// checks; this one is the thorough lane CI samples from.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "verify/DiffCheck.h"
+#include "verify/RandomBlac.h"
+
+#include <gtest/gtest.h>
+
+using namespace lgen;
+using namespace lgen::testutil;
+
+TEST(VerifySlow, PaperKernelsSurviveFullPlanSpace) {
+  // The BLACs of the evaluation chapter, swept across an SSE-style and a
+  // NEON-style target under every plan and optimization subset.
+  const char *Kernels[] = {
+      "Matrix A(8, 8); Vector x(8); Vector y(8); y = A * x;",
+      "Matrix A(4, 4); Matrix B(4, 4); Matrix C(4, 4); C = A * B;",
+      "Vector x(8); Vector y(8); Scalar a; a = x' * y;",
+      "Scalar a; Vector x(7); Vector y(7); y = (a * x) + y;",
+      "Matrix A(5, 3); Matrix B(5, 3); Matrix C(3, 3); C = (A + B)' * A;",
+  };
+  verify::PlanSpaceOptions PO; // defaults: all plans, full sweep, Atom + A8
+  for (const char *Src : Kernels) {
+    verify::DiffResult D = verify::checkSource(Src, PO);
+    EXPECT_TRUE(D.ok()) << Src << "\n" << D.str();
+  }
+}
+
+TEST(VerifySlow, RandomBlacsSurviveFullPlanSpace) {
+  verify::PlanSpaceOptions PO;
+  PO.InputSets = 1;
+  for (int Trial = 0; Trial != 6; ++Trial) {
+    uint64_t Seed = 0x51000 + 0x9e3779b97f4a7c15ULL * (Trial + 1);
+    Rng R(Seed);
+    verify::RandomBlac Gen(R);
+    std::string Src = Gen.build();
+    PO.Seed = Seed;
+    verify::DiffResult D = verify::checkSource(Src, PO);
+    EXPECT_TRUE(D.ok()) << "seed " << Seed << ": " << Src << "\n" << D.str();
+  }
+}
+
+TEST(VerifySlow, WinnerPlansMatchOnEveryTarget) {
+  // Autotuner winners (the plans users actually get) across all five
+  // modeled microarchitectures.
+  verify::PlanSpaceOptions PO;
+  PO.Targets = {machine::UArch::Atom, machine::UArch::CortexA8,
+                machine::UArch::CortexA9, machine::UArch::ARM1176,
+                machine::UArch::SandyBridge};
+  PO.AllPlans = false;
+  PO.SearchSamples = 6;
+  for (int Trial = 0; Trial != 8; ++Trial) {
+    uint64_t Seed = 0x77000 + 0x9e3779b97f4a7c15ULL * (Trial + 1);
+    Rng R(Seed);
+    verify::RandomBlac Gen(R);
+    std::string Src = Gen.build();
+    PO.Seed = Seed;
+    verify::DiffResult D = verify::checkSource(Src, PO);
+    EXPECT_TRUE(D.ok()) << "seed " << Seed << ": " << Src << "\n" << D.str();
+  }
+}

@@ -1,0 +1,515 @@
+//===- VerifyTest.cpp - Tests for the verification subsystem --------------===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fast tests of src/verify: the random BLAC grammar, the ULP tolerance
+/// model, the Σ-LL/C-IR invariant checkers (positive and negative), a small
+/// plan-space differential sweep, the delta-debugging reducer, and the
+/// fault-injection loop that proves the tooling catches a planted
+/// miscompile and shrinks it to a near-minimal reproducer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "sll/Translate.h"
+#include "verify/DiffCheck.h"
+#include "verify/Invariants.h"
+#include "verify/RandomBlac.h"
+#include "verify/Reduce.h"
+#include "verify/Ulp.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace lgen;
+using namespace lgen::compiler;
+using namespace lgen::testutil;
+
+//===----------------------------------------------------------------------===//
+// Shape specs and the grammar
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyShapes, RangeAndListSpecsParse) {
+  std::string Err;
+  EXPECT_EQ(verify::parseShapeSpec("1..4", Err),
+            (std::vector<int64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(verify::parseShapeSpec("2,7,12", Err),
+            (std::vector<int64_t>{2, 7, 12}));
+  EXPECT_EQ(verify::parseShapeSpec("5..5", Err), (std::vector<int64_t>{5}));
+}
+
+TEST(VerifyShapes, MalformedSpecsRejected) {
+  for (const char *Bad : {"", "4..1", "0..3", "a..b", "1,,2", "1..999"}) {
+    std::string Err;
+    EXPECT_TRUE(verify::parseShapeSpec(Bad, Err).empty()) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+  }
+}
+
+TEST(VerifyGrammar, GeneratedProgramsAlwaysParseAndInfer) {
+  bool SawScalarOut = false, SawInOut = false, SawAlias = false;
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    Rng R(0xb1ac0000ULL + uint64_t(Trial) * 977 + 1);
+    verify::RandomBlac Gen(R);
+    std::string Src = Gen.build();
+    ll::Program P;
+    std::string Err;
+    ASSERT_TRUE(ll::parseProgram(Src, P, Err)) << Src << "\n" << Err;
+    if (P.outputOperand().isScalar())
+      SawScalarOut = true;
+    if (P.outputIsInput())
+      SawInOut = true;
+    // Aliasing: some operand other than the output referenced twice.
+    std::map<std::string, int> Refs;
+    std::function<void(const ll::Expr &)> Count = [&](const ll::Expr &E) {
+      if (E.getKind() == ll::ExprKind::Ref)
+        ++Refs[E.getRefName()];
+      for (unsigned I = 0; I != E.numChildren(); ++I)
+        Count(E.child(I));
+    };
+    Count(*P.Rhs);
+    for (const auto &[Name, N] : Refs)
+      if (Name != P.OutputName && N > 1)
+        SawAlias = true;
+  }
+  EXPECT_TRUE(SawScalarOut);
+  EXPECT_TRUE(SawInOut);
+  EXPECT_TRUE(SawAlias);
+}
+
+TEST(VerifyGrammar, RespectsDimensionPool) {
+  verify::GrammarOptions GO;
+  GO.Dims = {3, 6};
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    Rng R(17 * (Trial + 1));
+    verify::RandomBlac Gen(R, GO);
+    ll::Program P = ll::parseProgramOrDie(Gen.build());
+    for (const ll::Operand &O : P.Operands) {
+      // 1 is always reachable through scalars and degenerate shapes.
+      EXPECT_TRUE(O.Rows == 1 || O.Rows == 3 || O.Rows == 6) << O.Rows;
+      EXPECT_TRUE(O.Cols == 1 || O.Cols == 3 || O.Cols == 6) << O.Cols;
+    }
+  }
+}
+
+TEST(VerifyGrammar, DeterministicGivenSeed) {
+  for (uint64_t Seed : {1ull, 42ull, 0xfeedull}) {
+    Rng R1(Seed), R2(Seed);
+    verify::RandomBlac G1(R1), G2(R2);
+    EXPECT_EQ(G1.build(), G2.build());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ULP comparison and tolerances
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyUlp, DistanceBasics) {
+  EXPECT_EQ(verify::ulpDistance(1.0f, 1.0f), 0);
+  EXPECT_EQ(verify::ulpDistance(1.0f, std::nextafterf(1.0f, 2.0f)), 1);
+  EXPECT_EQ(verify::ulpDistance(1.0f, std::nextafterf(1.0f, 0.0f)), 1);
+  // Crossing zero counts the representable floats in between, symmetric.
+  EXPECT_EQ(verify::ulpDistance(-0.0f, 0.0f), 0);
+  EXPECT_EQ(verify::ulpDistance(1.0f, -1.0f), verify::ulpDistance(-1.0f, 1.0f));
+  EXPECT_EQ(verify::ulpDistance(NAN, 1.0f),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(VerifyUlp, CompareValuesFindsWorstElement) {
+  ll::MatrixValue A(2, 2), B(2, 2);
+  A.Data = {1.0f, 2.0f, 3.0f, 4.0f};
+  B.Data = {1.0f, 2.0f, 3.5f, 4.0f};
+  verify::UlpReport R = verify::compareValues(A, B);
+  EXPECT_EQ(R.WorstIndex, 2);
+  EXPECT_FLOAT_EQ(R.MaxAbsDiff, 0.5f);
+  EXPECT_FLOAT_EQ(R.Expected, 3.0f);
+  EXPECT_FLOAT_EQ(R.Actual, 3.5f);
+}
+
+TEST(VerifyUlp, ToleranceScalesWithReductionLength) {
+  ll::Program Dot = ll::parseProgramOrDie(
+      "Matrix a(1, 64); Vector x(64); Scalar out; out = a * x;");
+  ll::Program Add = ll::parseProgramOrDie(
+      "Vector a(4); Vector b(4); Vector out(4); out = a + b;");
+  EXPECT_EQ(verify::maxReductionLength(Dot), 64);
+  EXPECT_EQ(verify::maxReductionLength(Add), 2);
+  verify::Tolerance TDot = verify::toleranceFor(Dot, /*BaseUlps=*/16);
+  verify::Tolerance TAdd = verify::toleranceFor(Add, 16);
+  EXPECT_EQ(TDot.MaxUlps, 16 * 64);
+  EXPECT_EQ(TAdd.MaxUlps, 16 * 2);
+  EXPECT_GT(TDot.AbsFloor, TAdd.AbsFloor); // more flops, larger ε floor
+}
+
+TEST(VerifyUlp, ToleranceAcceptsAbsFloorOrUlps) {
+  verify::Tolerance T;
+  T.AbsFloor = 1e-3f;
+  T.MaxUlps = 8;
+  verify::UlpReport Near{/*MaxUlps=*/1000000, /*MaxAbsDiff=*/5e-4f, 0, 0, 0};
+  verify::UlpReport Close{/*MaxUlps=*/4, /*MaxAbsDiff=*/10.0f, 0, 0, 0};
+  verify::UlpReport Far{/*MaxUlps=*/1000000, /*MaxAbsDiff=*/10.0f, 0, 0, 0};
+  EXPECT_TRUE(T.accepts(Near));
+  EXPECT_TRUE(T.accepts(Close));
+  EXPECT_FALSE(T.accepts(Far));
+}
+
+//===----------------------------------------------------------------------===//
+// Invariant checkers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+sll::SProgram translateFixture() {
+  ll::Program P = ll::parseProgramOrDie(
+      "Matrix A(8, 8); Matrix B(8, 8); Matrix C(8, 8); C = A + B;");
+  sll::TranslateOptions TO;
+  TO.Nu = 4;
+  return sll::translate(P, TO);
+}
+
+sll::TileOp *firstOp(sll::Nest &N,
+                     bool (*Want)(const sll::TileOp &) = nullptr) {
+  for (sll::NestItem &It : N.Items) {
+    if (It.Op && (!Want || Want(*It.Op)))
+      return &*It.Op;
+    if (It.Child)
+      if (sll::TileOp *Op = firstOp(*It.Child, Want))
+        return Op;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+TEST(VerifyInvariants, WellFormedSigmaLLPasses) {
+  sll::SProgram SP = translateFixture();
+  EXPECT_TRUE(verify::checkSigmaLL(SP).empty());
+}
+
+TEST(VerifyInvariants, OutOfBoundsScatterReported) {
+  sll::SProgram SP = translateFixture();
+  sll::TileOp *Op = firstOp(SP.Root);
+  ASSERT_NE(Op, nullptr);
+  Op->Out.Row = Op->Out.Row + cir::AffineExpr(100);
+  std::vector<std::string> Diags = verify::checkSigmaLL(SP);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].find("exceeds"), std::string::npos) << Diags[0];
+}
+
+TEST(VerifyInvariants, IncompleteCoverageReported) {
+  sll::SProgram SP = translateFixture();
+  // Pretend the output matrix is taller than the tiling covers.
+  for (sll::MatInfo &M : SP.Mats)
+    if (M.Role == sll::MatRole::Output)
+      M.Rows += 4;
+  std::vector<std::string> Diags = verify::checkSigmaLL(SP);
+  bool Found = false;
+  for (const std::string &D : Diags)
+    if (D.find("never scattered") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(VerifyInvariants, IdentityInOutKernelIsNotACoverageViolation) {
+  // out = out legitimately scatters nothing: the untouched buffer already
+  // holds the result. The coverage rule must not flag it (it once did,
+  // which let the reducer slip onto an unrelated "failure").
+  ll::Program P = ll::parseProgramOrDie("Vector out(4); out = out;");
+  sll::TranslateOptions TO;
+  TO.Nu = 4;
+  sll::SProgram SP = sll::translate(P, TO);
+  EXPECT_TRUE(verify::checkSigmaLL(SP).empty());
+  verify::PlanSpaceOptions PO;
+  PO.Targets = {machine::UArch::Atom};
+  PO.SweepOptSubsets = false;
+  PO.InputSets = 1;
+  EXPECT_TRUE(verify::checkProgram(P, PO).ok());
+}
+
+TEST(VerifyInvariants, ArityViolationReported) {
+  sll::SProgram SP = translateFixture();
+  sll::TileOp *Op = firstOp(
+      SP.Root, +[](const sll::TileOp &O) { return !O.In.empty(); });
+  ASSERT_NE(Op, nullptr);
+  Op->In.clear();
+  std::vector<std::string> Diags = verify::checkSigmaLL(SP);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].find("input"), std::string::npos);
+}
+
+TEST(VerifyInvariants, WholePipelineKernelPassesCIRChecks) {
+  ll::Program P = ll::parseProgramOrDie(
+      "Matrix A(9, 9); Vector x(9); Vector y(9); y = A * x;");
+  for (machine::UArch U :
+       {machine::UArch::Atom, machine::UArch::CortexA8}) {
+    Compiler C(Options::builder(U).full().build());
+    cir::Kernel K = C.generateCore(P, tiling::TilingPlan{});
+    EXPECT_TRUE(verify::checkCIR(K).empty());
+    C.finalizeKernel(K);
+    EXPECT_TRUE(verify::checkCIR(K).empty());
+  }
+}
+
+TEST(VerifyInvariants, UseBeforeDefReported) {
+  cir::Kernel K("bad");
+  cir::RegId R0 = K.newReg(1), R1 = K.newReg(1);
+  cir::Inst I;
+  I.Op = cir::Opcode::Add;
+  I.Dest = R0;
+  I.A = R1;
+  I.B = R1;
+  K.getBody().push_back(I);
+  std::vector<std::string> Diags = verify::checkCIR(K);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].find("before its definition"), std::string::npos);
+}
+
+TEST(VerifyInvariants, FootprintOverrunReported) {
+  cir::Kernel K("bad");
+  cir::ArrayId A = K.addArray("x", 4, cir::ArrayKind::Input);
+  cir::RegId V = K.newReg(4);
+  cir::Inst L;
+  L.Op = cir::Opcode::Load;
+  L.Dest = V;
+  L.Address = {A, cir::AffineExpr(2)}; // elements [2, 5] of x[4]
+  K.getBody().push_back(L);
+  std::vector<std::string> Diags = verify::checkCIR(K);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].find("touches elements [2, 5]"), std::string::npos)
+      << Diags[0];
+}
+
+TEST(VerifyInvariants, LoopWidenedFootprintChecked) {
+  // for (i = 0; i < 8; i += 4) load x[i .. i+3] — in bounds for x[8],
+  // out of bounds once the array shrinks to 6.
+  for (int64_t Elems : {8, 6}) {
+    cir::Kernel K("loop");
+    cir::ArrayId A =
+        K.addArray("x", Elems, cir::ArrayKind::Input);
+    cir::RegId V = K.newReg(4);
+    auto L = std::make_unique<cir::Loop>();
+    L->Id = K.newLoopId();
+    L->Start = 0;
+    L->End = 8;
+    L->Step = 4;
+    cir::Inst Ld;
+    Ld.Op = cir::Opcode::Load;
+    Ld.Dest = V;
+    Ld.Address = {A, cir::AffineExpr::loopIndex(L->Id)};
+    L->Body.push_back(std::move(Ld));
+    K.getBody().push_back(std::move(L));
+    std::vector<std::string> Diags = verify::checkCIR(K);
+    EXPECT_EQ(Diags.empty(), Elems == 8) << Elems;
+  }
+}
+
+TEST(VerifyInvariants, AlignmentClaimsChecked) {
+  auto makeKernel = [](int64_t ConstOffset, bool KnownBase) {
+    cir::Kernel K("aligned");
+    cir::ArrayId A = K.addArray("x", 16, cir::ArrayKind::Input);
+    cir::RegId V = K.newReg(4);
+    cir::Inst L;
+    L.Op = cir::Opcode::Load;
+    L.Dest = V;
+    L.Address = {A, cir::AffineExpr(ConstOffset)};
+    L.Aligned = true;
+    K.getBody().push_back(L);
+    verify::CIRCheckOptions CO;
+    CO.Nu = 4;
+    if (KnownBase)
+      CO.BaseOffsets[A] = 0;
+    return verify::checkCIR(K, CO);
+  };
+  EXPECT_TRUE(makeKernel(4, true).empty());
+  std::vector<std::string> Mis = makeKernel(2, true);
+  ASSERT_FALSE(Mis.empty());
+  EXPECT_NE(Mis[0].find("not provably 0 mod 4"), std::string::npos);
+  std::vector<std::string> Unknown = makeKernel(0, false);
+  ASSERT_FALSE(Unknown.empty());
+  EXPECT_NE(Unknown[0].find("base alignment is unknown"), std::string::npos);
+}
+
+TEST(VerifyInvariants, StoreToConstInputReported) {
+  cir::Kernel K("bad");
+  cir::ArrayId A = K.addArray("x", 4, cir::ArrayKind::Input);
+  cir::RegId V = K.newReg(1);
+  cir::Inst F;
+  F.Op = cir::Opcode::FConst;
+  F.Dest = V;
+  F.Imm = 1.0;
+  K.getBody().push_back(F);
+  cir::Inst S;
+  S.Op = cir::Opcode::StoreLane;
+  S.A = V;
+  S.Address = {A, cir::AffineExpr(0)};
+  K.getBody().push_back(S);
+  std::vector<std::string> Diags = verify::checkCIR(K);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].find("stores to const input"), std::string::npos);
+}
+
+TEST(VerifyInvariants, CompilerVerifyIROptionThrowsOnBrokenIR) {
+  // A clean compile under VerifyIR must not throw ...
+  Options O = Options::builder(machine::UArch::Atom).verifyIR().build();
+  Compiler C(O);
+  ll::Program P = ll::parseProgramOrDie(
+      "Matrix A(4, 4); Vector x(4); Vector y(4); y = A * x;");
+  EXPECT_NO_THROW(C.compile(P));
+}
+
+//===----------------------------------------------------------------------===//
+// Plan enumeration and the differential checker
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyPlans, EnumerationCoversSearchAndEdges) {
+  Options O =
+      Options::builder(machine::UArch::Atom).searchSamples(3).build();
+  Compiler C(O);
+  ll::Program P = ll::parseProgramOrDie(
+      "Matrix A(8, 8); Matrix B(8, 8); Matrix C(8, 8); C = A * B;");
+  std::vector<tiling::TilingPlan> Plans = compiler::enumeratePlans(C, P);
+  ASSERT_GE(Plans.size(), 4u); // default + samples + edge plans, deduped
+  std::set<std::string> Rendered;
+  for (const tiling::TilingPlan &Plan : Plans) {
+    EXPECT_TRUE(Rendered.insert(Plan.str()).second) << "dup " << Plan.str();
+    // Every enumerated plan must actually compile and run correctly.
+    compiler::CompiledKernel CK = C.compileWithPlan(P, Plan);
+    Rng R(7);
+    ll::Bindings In = randomBindings(P, R);
+    float Diff =
+        ll::maxAbsDiff(ll::evaluate(P, In), runCompiled(CK, In));
+    EXPECT_LE(Diff, epsilonFor(P)) << Plan.str();
+  }
+  bool HasNoUnroll = false;
+  for (const tiling::TilingPlan &Plan : Plans)
+    if (Plan.UnrollFactors.empty() && Plan.FullUnrollTrip == 1 &&
+        !Plan.ExchangeLoops)
+      HasNoUnroll = true;
+  EXPECT_TRUE(HasNoUnroll);
+}
+
+TEST(VerifyDiff, CleanProgramPassesSmallSweep) {
+  verify::PlanSpaceOptions PO;
+  PO.Targets = {machine::UArch::Atom};
+  PO.SearchSamples = 2;
+  PO.InputSets = 1;
+  verify::DiffResult D = verify::checkSource(
+      "Matrix A(4, 5); Vector x(5); Vector y(4); y = A * x;", PO);
+  EXPECT_TRUE(D.ok()) << D.str();
+  EXPECT_GT(D.ConfigsChecked, 1u);
+  EXPECT_GT(D.PlansChecked, D.ConfigsChecked);
+  EXPECT_GT(D.ExecutionsChecked, D.PlansChecked);
+}
+
+TEST(VerifyDiff, ParseErrorIsReportedNotFatal) {
+  verify::DiffResult D = verify::checkSource("this is not a BLAC", {});
+  EXPECT_FALSE(D.ok());
+  EXPECT_NE(D.str().find("parse error"), std::string::npos);
+}
+
+TEST(VerifyDiff, InjectedFaultIsDetected) {
+  verify::PlanSpaceOptions PO;
+  PO.Targets = {machine::UArch::Atom};
+  PO.SweepOptSubsets = false;
+  PO.SearchSamples = 1;
+  PO.InputSets = 1;
+  PO.Inject = "flip-add";
+  verify::DiffResult D = verify::checkSource(
+      "Vector a(8); Vector b(8); Vector out(8); out = a + b;", PO);
+  EXPECT_FALSE(D.ok());
+}
+
+//===----------------------------------------------------------------------===//
+// The reducer and the injection loop
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyReduce, ShrinksUnderSyntheticPredicate) {
+  ll::Program P = ll::parseProgramOrDie(
+      "Matrix A(8, 8); Matrix B(8, 8); Matrix C(8, 8); Scalar s; "
+      "Matrix out(8, 8); out = ((A + B) * (s * C)) + (A + B);");
+  auto HasAdd = [](const ll::Program &Q) {
+    std::function<bool(const ll::Expr &)> Walk = [&](const ll::Expr &E) {
+      if (E.getKind() == ll::ExprKind::Add)
+        return true;
+      for (unsigned I = 0; I != E.numChildren(); ++I)
+        if (Walk(E.child(I)))
+          return true;
+      return false;
+    };
+    return Q.Rhs && Walk(*Q.Rhs);
+  };
+  ASSERT_TRUE(HasAdd(P));
+  verify::ReduceResult R = verify::reduce(P, HasAdd);
+  EXPECT_TRUE(HasAdd(R.Reduced));
+  EXPECT_EQ(verify::countOperators(R.Reduced), 1); // a lone Add survives
+  EXPECT_GT(R.Steps, 0u);
+  // Dim shrinking applies too: nothing forces 8x8 operands to stay large.
+  for (const ll::Operand &O : R.Reduced.Operands) {
+    EXPECT_LE(O.Rows, 2);
+    EXPECT_LE(O.Cols, 2);
+  }
+}
+
+TEST(VerifyReduce, ReducedProgramsRoundTripThroughParser) {
+  ll::Program P = ll::parseProgramOrDie(
+      "Matrix A(4, 4); Vector x(4); Scalar s; Vector out(4); "
+      "out = (s * A) * x + out;");
+  verify::ReduceResult R =
+      verify::reduce(P, [](const ll::Program &) { return true; });
+  std::string Err;
+  ll::Program Round;
+  EXPECT_TRUE(ll::parseProgram(verify::programSource(R.Reduced), Round, Err))
+      << Err;
+}
+
+TEST(VerifyReduce, InjectedMiscompileReducesToAtMostTwoOperators) {
+  // The acceptance loop of the subsystem: plant a miscompile, let the
+  // differential checker find it, and let the reducer shrink the BLAC that
+  // exposed it down to (at most) two operators.
+  verify::PlanSpaceOptions PO;
+  PO.Targets = {machine::UArch::Atom};
+  PO.SweepOptSubsets = false;
+  PO.AllPlans = false;
+  PO.SearchSamples = 0;
+  PO.InputSets = 1;
+  PO.Misaligned = false;
+  PO.Inject = "flip-add";
+  ll::Program P = ll::parseProgramOrDie(
+      "Matrix A(4, 4); Matrix B(4, 4); Matrix C(4, 4); Scalar s; "
+      "Matrix out(4, 4); out = (A + B) + (s * (A * C));");
+  auto Fails = [&](const ll::Program &Q) {
+    return !verify::checkProgram(Q, PO).ok();
+  };
+  ASSERT_TRUE(Fails(P));
+  verify::ReduceResult R = verify::reduce(P, Fails);
+  EXPECT_LE(verify::countOperators(R.Reduced), 2);
+  EXPECT_TRUE(Fails(R.Reduced));
+}
+
+TEST(VerifyInject, EnvironmentVariableArmsInjection) {
+  ASSERT_EQ(setenv("LGEN_VERIFY_INJECT", "flip-add", 1), 0);
+  Options O = Options::lgenBase(machine::UArch::Atom);
+  unsetenv("LGEN_VERIFY_INJECT");
+  EXPECT_EQ(O.InjectFault, "flip-add");
+  // And the injected compile really does diverge.
+  std::string Src = "Vector a(8); Vector b(8); Vector out(8); out = a + b;";
+  ll::Program P = ll::parseProgramOrDie(Src);
+  EXPECT_GT(compileAndCompare(Src, O), epsilonFor(P));
+}
+
+TEST(VerifyInject, DropStoreLeavesOutputUntouched) {
+  Options O = Options::builder(machine::UArch::Atom)
+                  .injectFault("drop-store")
+                  .build();
+  std::string Src = "Vector a(4); Vector out(4); out = a;";
+  ll::Program P = ll::parseProgramOrDie(Src);
+  EXPECT_GT(compileAndCompare(Src, O), epsilonFor(P));
+}
