@@ -1,0 +1,128 @@
+//===- runtime_native.cpp - Native measurement through Mediator -----------===//
+//
+// The end-to-end measurement path of Chapter 5 on the machine at hand:
+// experiments flow through Mediator's job interface into the native device
+// executor, which compiles each BLAC with the host toolchain and reports
+// real measured cycles instead of model estimates. Targets the host cannot
+// run come back as clean skips.
+//
+// Results are printed as a table and written to BENCH_runtime.json so CI
+// can archive the numbers alongside the model-based benches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mediator/Mediator.h"
+#include "runtime/CpuInfo.h"
+#include "runtime/Measure.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace lgen;
+using namespace lgen::json;
+
+namespace {
+
+struct Case {
+  const char *Name;
+  const char *Target;
+  const char *Source;
+};
+
+const Case Cases[] = {
+    {"axpy_32", "atom",
+     "Scalar a; Vector x(32); Vector y(32); y = a*x + y;"},
+    {"mvm_16x16", "atom",
+     "Matrix A(16, 16); Vector x(16); Vector y(16); y = A*x;"},
+    {"mmm_8x8", "atom",
+     "Matrix A(8, 8); Matrix B(8, 8); Matrix C(8, 8); C = A*B;"},
+    {"mvm_16x16_avx", "sandybridge",
+     "Matrix A(16, 16); Vector x(16); Vector y(16); y = A*x;"},
+    {"mvm_16x16_neon", "a8",
+     "Matrix A(16, 16); Vector x(16); Vector y(16); y = A*x;"},
+    {"mvm_16x16_scalar", "arm1176",
+     "Matrix A(16, 16); Vector x(16); Vector y(16); y = A*x;"},
+};
+
+} // namespace
+
+int main() {
+  std::printf("== native measurement through the Mediator endpoint ==\n");
+  std::printf("host: %s, counter: %s\n", runtime::CpuInfo::host().str().c_str(),
+              runtime::cycleCounterName());
+
+  mediator::Mediator M;
+  M.registerDevice("host", 1, runtime::nativeDeviceExecutor());
+
+  Array Exps;
+  for (const Case &C : Cases) {
+    Object Dev;
+    Dev["hostname"] = "host";
+    Object Exp;
+    Exp["device"] = Value(std::move(Dev));
+    Exp["source"] = C.Source;
+    Exp["target"] = C.Target;
+    Exp["searchSamples"] = 2;
+    Exp["reps"] = 5;
+    Exps.push_back(Value(std::move(Exp)));
+  }
+  Object Req;
+  Req["apiVersion"] = "1.0";
+  Req["async"] = false;
+  Req["experiments"] = Value(std::move(Exps));
+
+  Value Response;
+  std::string Err;
+  if (!json::parse(M.handleNewJobRequest(Value(std::move(Req)).serialize()),
+                   Response, Err)) {
+    std::fprintf(stderr, "error: unparsable Mediator response: %s\n",
+                 Err.c_str());
+    return 1;
+  }
+  const Value &Data = Response["data"];
+  if (!Data.isArray()) {
+    std::fprintf(stderr, "error: Mediator response carries no data: %s\n",
+                 Response.serialize().c_str());
+    return 1;
+  }
+
+  std::printf("%-20s %-14s %-12s %-10s %-8s\n", "kernel", "target", "cycles",
+              "f/c", "status");
+  Array Results;
+  for (size_t I = 0; I != Data.asArray().size(); ++I) {
+    const Case &C = Cases[I];
+    const Value &R = Data.asArray()[I];
+    Object Entry;
+    Entry["name"] = C.Name;
+    Entry["target"] = C.Target;
+    if (R.getBool("supported")) {
+      std::printf("%-20s %-14s %-12.1f %-10.3f measured\n", C.Name, C.Target,
+                  R.getNumber("cycles"), R.getNumber("flopsPerCycle"));
+      Entry["supported"] = true;
+      Entry["cycles"] = R.getNumber("cycles");
+      Entry["flops"] = R.getNumber("flops");
+      Entry["flopsPerCycle"] = R.getNumber("flopsPerCycle");
+    } else {
+      std::printf("%-20s %-14s %-12s %-10s skipped\n", C.Name, C.Target, "-",
+                  "-");
+      Entry["supported"] = false;
+      Entry["reason"] = R.getString("reason");
+    }
+    Results.push_back(Value(std::move(Entry)));
+  }
+
+  Object Out;
+  Out["bench"] = "runtime";
+  Out["host"] = runtime::CpuInfo::host().str();
+  Out["counter"] = runtime::cycleCounterName();
+  Out["results"] = Value(std::move(Results));
+  {
+    std::ofstream F("BENCH_runtime.json");
+    F << Value(std::move(Out)).serialize() << "\n";
+  }
+  std::printf("shape: host-runnable targets report real cycles; foreign ISAs "
+              "skip cleanly\nwrote BENCH_runtime.json\n\n");
+  return 0;
+}

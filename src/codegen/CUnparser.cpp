@@ -25,8 +25,11 @@ public:
       if (A.isParam() || !Accessed[Id])
         continue;
       pad(OS, Indent);
+      // 64, not the vector width: temporaries must satisfy aligned moves
+      // for every ISA the kernel may be compiled for natively (AVX needs
+      // 32; 64 also keeps each temp on its own cache line).
       OS << "float " << A.Name << "[" << A.NumElements
-         << "] __attribute__((aligned(16))) = {0};\n";
+         << "] __attribute__((aligned(64))) = {0};\n";
     }
     emitBody(OS, K.getBody(), Indent);
   }

@@ -18,9 +18,14 @@
 #include "compiler/Compiler.h"
 
 #include "absint/AlignmentDetection.h"
+#include "ll/Reference.h"
+#include "runtime/CpuInfo.h"
+#include "runtime/Measure.h"
+#include "runtime/NativeKernel.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
+#include <functional>
 #include <limits>
 #include <set>
 
@@ -56,20 +61,114 @@ double evaluatePlan(const Compiler &C, const ll::Program &P,
   LGEN_UNREACHABLE("unknown tuning objective");
 }
 
+//===----------------------------------------------------------------------===//
+// Native measurement backend (TuneBackend::Native)
+//===----------------------------------------------------------------------===//
+
+/// Aligned random parameter buffers for native plan measurement, with a
+/// pristine copy so every plan is timed over identical inputs (serial
+/// measurements would otherwise see the previous plan's outputs).
+struct NativeInputs {
+  std::vector<machine::Buffer> Storage;
+  std::vector<std::vector<float>> Pristine;
+
+  explicit NativeInputs(const ll::Program &P) {
+    Rng R(0x5eedULL + P.Operands.size());
+    for (const ll::Operand &O : P.Operands) {
+      machine::Buffer B(O.numElements(), 0.0f, 0);
+      for (float &V : B.Data)
+        V = static_cast<float>(R.next() % 1000) / 250.0f - 2.0f;
+      Pristine.push_back(B.Data);
+      Storage.push_back(std::move(B));
+    }
+  }
+
+  void restore() {
+    for (size_t I = 0; I != Storage.size(); ++I)
+      Storage[I].Data = Pristine[I];
+  }
+
+  std::vector<machine::Buffer *> params() {
+    std::vector<machine::Buffer *> Ptrs;
+    for (machine::Buffer &B : Storage)
+      Ptrs.push_back(&B);
+    return Ptrs;
+  }
+};
+
+/// Whether native tuning can run here at all; on false \p Reason explains
+/// the fallback to the model.
+bool nativeBackendUsable(const Compiler &C, std::string &Reason) {
+  isa::ISAKind ISA = C.options().effectiveNu() == 1 ? isa::ISAKind::Scalar
+                                                    : C.options().ISA;
+  if (!runtime::CpuInfo::host().supports(ISA)) {
+    Reason = "host CPU lacks " + std::string(isa::isaName(ISA));
+    return false;
+  }
+  if (!runtime::ToolchainDriver::host().available()) {
+    Reason = runtime::ToolchainDriver::host().error();
+    return false;
+  }
+  return true;
+}
+
+/// Runs the same per-plan pipeline as evaluatePlan, then compiles and
+/// loads the result as a shared object instead of handing it to the model.
+Expected<runtime::NativeKernel>
+loadPlanNative(const Compiler &C, const ll::Program &P,
+               const tiling::TilingPlan &Plan) {
+  support::TraceMuteScope Mute;
+  support::TraceSpan Span("autotune.native.build");
+  cir::Kernel K = C.generateCore(P, Plan);
+  if (C.options().AlignmentDetection && C.options().effectiveNu() > 1)
+    absint::detectAlignment(K, C.options().effectiveNu(),
+                            absint::AlignmentAssumption::allAligned(K));
+  C.finalizeKernel(K);
+  CompiledKernel CK;
+  CK.Blac = P.clone();
+  CK.Opts = C.options();
+  CK.Flops = ll::flopCount(P);
+  CK.Plain = std::move(K);
+  return runtime::NativeKernel::load(CK);
+}
+
+runtime::MeasureOptions tuneMeasureOptions(const Compiler &C) {
+  runtime::MeasureOptions MO;
+  MO.Reps = C.options().MeasureReps;
+  MO.Warmup = C.options().MeasureWarmup;
+  return MO;
+}
+
+/// Serial build + load + measure of one plan (the guided search path). A
+/// plan whose kernel cannot be built or loaded scores infinity: it loses
+/// to every measurable plan instead of aborting the search.
+double evaluatePlanNative(const Compiler &C, const ll::Program &P,
+                          const tiling::TilingPlan &Plan, NativeInputs &In) {
+  Expected<runtime::NativeKernel> NK = loadPlanNative(C, P, Plan);
+  if (!NK) {
+    support::traceCounter("autotuner.native.plan-failures");
+    return std::numeric_limits<double>::infinity();
+  }
+  In.restore();
+  support::TraceMuteScope Mute;
+  std::vector<machine::Buffer *> Params = In.params();
+  return runtime::measure(*NK, Params, tuneMeasureOptions(C)).MedianCycles;
+}
+
 /// Coordinate-descent over the per-loop unroll factors, starting from the
 /// default plan. Each round tries every legal factor for every loop and
 /// keeps improvements; stops when a round changes nothing or the
 /// evaluation budget runs out. Stays serial: every evaluation depends on
 /// the Best found so far, so there is no schedule-independent way to fan
 /// it out (the random search below is the parallel path).
-tiling::TilingPlan guidedSearch(const Compiler &C, const ll::Program &P,
-                                const std::vector<tiling::LoopDesc> &Loops,
-                                const machine::Microarch &M,
-                                unsigned Budget) {
+tiling::TilingPlan
+guidedSearch(const Compiler &C, const std::vector<tiling::LoopDesc> &Loops,
+             const std::function<double(const tiling::TilingPlan &)> &Eval,
+             unsigned Budget) {
   support::Trace *T = support::Trace::active();
   std::vector<support::TracePlanEval> Evals;
   tiling::TilingPlan Best = tiling::defaultPlan(Loops);
-  double BestScore = evaluatePlan(C, P, Best, M);
+  double BestScore = Eval(Best);
   unsigned NumEvals = 1;
   if (T)
     Evals.push_back({0, Best.str(), BestScore, false});
@@ -86,7 +185,7 @@ tiling::TilingPlan guidedSearch(const Compiler &C, const ll::Program &P,
         if (Candidate.UnrollFactors.size() <= L)
           Candidate.UnrollFactors.resize(Loops.size(), 1);
         Candidate.UnrollFactors[L] = F;
-        double Score = evaluatePlan(C, P, Candidate, M);
+        double Score = Eval(Candidate);
         if (T)
           Evals.push_back({NumEvals, Candidate.str(), Score, false});
         if (Score < BestScore) {
@@ -180,8 +279,31 @@ tiling::TilingPlan compiler::choosePlan(const Compiler &C,
     return tiling::defaultPlan(Loops);
 
   machine::Microarch M = machine::Microarch::get(C.options().Target);
-  if (C.options().GuidedSearch)
-    return guidedSearch(C, P, Loops, M, C.options().SearchSamples);
+
+  // Native scoring always minimizes measured cycles — a real counter has
+  // no energy channel — so Objective only shapes the model backend.
+  bool Native = C.options().Backend == TuneBackend::Native;
+  std::string NativeReason;
+  if (Native && !nativeBackendUsable(C, NativeReason)) {
+    support::traceCounter("autotuner.native.fallback");
+    Native = false;
+  }
+
+  if (C.options().GuidedSearch) {
+    std::unique_ptr<NativeInputs> In;
+    std::function<double(const tiling::TilingPlan &)> Eval;
+    if (Native) {
+      In = std::make_unique<NativeInputs>(P);
+      Eval = [&C, &P, &In](const tiling::TilingPlan &Plan) {
+        return evaluatePlanNative(C, P, Plan, *In);
+      };
+    } else {
+      Eval = [&C, &P, M](const tiling::TilingPlan &Plan) {
+        return evaluatePlan(C, P, Plan, M);
+      };
+    }
+    return guidedSearch(C, Loops, Eval, C.options().SearchSamples);
+  }
 
   // Fan the evaluations — the expensive part — across the pool into
   // per-plan slots. The serial reduction below takes the best score with
@@ -191,9 +313,35 @@ tiling::TilingPlan compiler::choosePlan(const Compiler &C,
 
   std::vector<double> Scores(Plans.size(),
                              std::numeric_limits<double>::infinity());
-  C.threadPool().parallelFor(Plans.size(), [&](size_t I) {
-    Scores[I] = evaluatePlan(C, P, Plans[I], M);
-  });
+  if (Native) {
+    // Two phases: codegen + toolchain + dlopen fan out over the pool (the
+    // .so cache and scratch directory are thread-safe), but the timed runs
+    // happen strictly one at a time afterwards so plans never contend with
+    // each other's measurements for the core.
+    std::vector<std::unique_ptr<runtime::NativeKernel>> Kernels(Plans.size());
+    C.threadPool().parallelFor(Plans.size(), [&](size_t I) {
+      Expected<runtime::NativeKernel> NK = loadPlanNative(C, P, Plans[I]);
+      if (NK)
+        Kernels[I] =
+            std::make_unique<runtime::NativeKernel>(std::move(*NK));
+    });
+    NativeInputs In(P);
+    std::vector<machine::Buffer *> Params = In.params();
+    runtime::MeasureOptions MO = tuneMeasureOptions(C);
+    for (size_t I = 0; I != Plans.size(); ++I) {
+      if (!Kernels[I]) {
+        support::traceCounter("autotuner.native.plan-failures");
+        continue; // stays at infinity: the plan just loses
+      }
+      In.restore();
+      support::TraceMuteScope Mute;
+      Scores[I] = runtime::measure(*Kernels[I], Params, MO).MedianCycles;
+    }
+  } else {
+    C.threadPool().parallelFor(Plans.size(), [&](size_t I) {
+      Scores[I] = evaluatePlan(C, P, Plans[I], M);
+    });
+  }
 
   size_t BestIdx = 0;
   for (size_t I = 1; I != Plans.size(); ++I)

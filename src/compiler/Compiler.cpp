@@ -184,6 +184,21 @@ Options::Builder &Options::Builder::objective(TuneObjective Obj) {
   return *this;
 }
 
+Options::Builder &Options::Builder::tuneBackend(TuneBackend B) {
+  O.Backend = B;
+  return *this;
+}
+
+Options::Builder &Options::Builder::measureReps(unsigned N) {
+  O.MeasureReps = N;
+  return *this;
+}
+
+Options::Builder &Options::Builder::measureWarmup(unsigned N) {
+  O.MeasureWarmup = N;
+  return *this;
+}
+
 Options::Builder &Options::Builder::tunerThreads(unsigned N) {
   O.TunerThreads = N;
   return *this;

@@ -53,6 +53,13 @@ class KernelCache;
 /// energy-related metrics in the autotuning feedback loop").
 enum class TuneObjective { Cycles, Energy, EDP };
 
+/// How the autotuner scores candidate plans: the microarchitecture timing
+/// model (deterministic, always available), or real measured cycles on the
+/// host (the thesis' Mediator-plus-boards loop, §5.1.5). Native tuning
+/// falls back to the model when the host lacks the target ISA or a C
+/// toolchain.
+enum class TuneBackend { Model, Native };
+
 struct Options {
   isa::ISAKind ISA = isa::ISAKind::SSSE3;
   machine::UArch Target = machine::UArch::Atom;
@@ -84,6 +91,15 @@ struct Options {
   /// the number of evaluations.
   bool GuidedSearch = false;
   TuneObjective Objective = TuneObjective::Cycles;
+  /// Measurement backend for the plan search. Tuner-only: it changes which
+  /// plan wins, never how a given plan compiles, and — like TunerThreads —
+  /// is excluded from cache fingerprints.
+  TuneBackend Backend = TuneBackend::Model;
+  /// Native-backend measurement protocol (§5.1.5): timed repetitions per
+  /// plan (median reported) and untimed warm-up runs. Tuner-only, excluded
+  /// from fingerprints.
+  unsigned MeasureReps = 7;
+  unsigned MeasureWarmup = 2;
   /// Lanes of parallelism for the autotuning search and compileBatch
   /// (caller included): 1 = serial, 0 = hardware concurrency. Does not
   /// affect the generated code — the parallel search is deterministic —
@@ -149,6 +165,9 @@ public:
   Builder &maxUnrollFactor(int64_t F);
   Builder &guidedSearch(bool V = true);
   Builder &objective(TuneObjective Obj);
+  Builder &tuneBackend(TuneBackend B);
+  Builder &measureReps(unsigned N);
+  Builder &measureWarmup(unsigned N);
   Builder &tunerThreads(unsigned N);
   Builder &cacheDir(std::string Dir);
   Builder &verifyIR(bool V = true);

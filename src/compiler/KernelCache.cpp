@@ -85,7 +85,7 @@ uint64_t KernelCache::fingerprint(const std::string &Source,
   // update this constant. Gated to one ABI so padding differences on other
   // platforms do not fire it spuriously.
 #if defined(__x86_64__) && defined(__linux__) && defined(__GNUC__)
-  static_assert(sizeof(Options) == 128,
+  static_assert(sizeof(Options) == 136,
                 "Options changed: update KernelCache::fingerprint and the "
                 "Fingerprint.SensitiveToEveryCodegenField test");
 #endif
@@ -111,6 +111,10 @@ uint64_t KernelCache::fingerprint(const std::string &Source,
   // InjectFault mutates the generated code, so a cached clean kernel must
   // not satisfy an injected compile (or vice versa). VerifyIR is excluded
   // like TunerThreads: checking never changes what is generated.
+  // Backend, MeasureReps, and MeasureWarmup are likewise excluded: they
+  // steer how the tuner *scores* candidate plans, never how any plan
+  // compiles, and hashing a nondeterministic measurement setup would
+  // fragment the cache across hosts for identical generated code.
   fnv1a(H, O.InjectFault);
   return H;
 }

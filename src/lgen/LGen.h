@@ -30,9 +30,19 @@
 ///   compiler::CacheStats S = C.kernelCache()->stats();
 /// \endcode
 ///
+/// Native execution (compile the emitted C with the host toolchain, run
+/// and measure it for real):
+///
+/// \code
+///   Expected<runtime::NativeKernel> NK = runtime::NativeKernel::load(*K);
+///   runtime::MeasureResult M = runtime::measure(*NK, Buffers);
+///   double FPC = K->Flops / M.MedianCycles;
+/// \endcode
+///
 /// This pulls in the full public surface: the LL frontend, Options and its
 /// builder, the compiler with autotuning, the kernel cache, the thread
-/// pool, the timing model, and the C unparser.
+/// pool, the timing model, the C unparser, and the native execution and
+/// measurement runtime.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +55,9 @@
 #include "ll/Parser.h"
 #include "machine/Microarch.h"
 #include "machine/Timing.h"
+#include "runtime/CpuInfo.h"
+#include "runtime/Measure.h"
+#include "runtime/NativeKernel.h"
 #include "support/Expected.h"
 #include "support/ThreadPool.h"
 

@@ -1,0 +1,120 @@
+//===- CpuInfo.cpp - Host CPU feature detection ---------------------------===//
+
+#include "runtime/CpuInfo.h"
+
+#include <sstream>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+#if defined(__arm__) && defined(__linux__)
+#include <sys/auxv.h>
+// HWCAP_NEON lives in <asm/hwcap.h>; define the bit directly so the probe
+// compiles against older libcs too.
+#ifndef HWCAP_NEON
+#define HWCAP_NEON (1 << 12)
+#endif
+#endif
+
+using namespace lgen;
+using namespace lgen::runtime;
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// XCR0 via xgetbv: the OS must have enabled xmm+ymm state saving (bits 1
+/// and 2) for AVX instructions to be executable, independent of the cpuid
+/// feature bit.
+uint64_t readXcr0() {
+  uint32_t Eax, Edx;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0" // xgetbv
+                   : "=a"(Eax), "=d"(Edx)
+                   : "c"(0));
+  return (static_cast<uint64_t>(Edx) << 32) | Eax;
+}
+
+CpuInfo detect() {
+  CpuInfo Info;
+  unsigned Eax, Ebx, Ecx, Edx;
+  if (!__get_cpuid(1, &Eax, &Ebx, &Ecx, &Edx))
+    return Info;
+  Info.HasSSSE3 = Ecx & bit_SSSE3;
+  Info.HasSSE41 = Ecx & bit_SSE4_1;
+  bool OsXsave = Ecx & bit_OSXSAVE;
+  bool AvxBit = Ecx & bit_AVX;
+  if (AvxBit && OsXsave)
+    Info.HasAVX = (readXcr0() & 0x6) == 0x6;
+  return Info;
+}
+
+#elif defined(__aarch64__)
+
+CpuInfo detect() {
+  CpuInfo Info;
+  Info.HasNEON = true; // Advanced SIMD is mandatory in AArch64.
+  return Info;
+}
+
+#elif defined(__arm__) && defined(__linux__)
+
+CpuInfo detect() {
+  CpuInfo Info;
+  Info.HasNEON = getauxval(AT_HWCAP) & HWCAP_NEON;
+  return Info;
+}
+
+#else
+
+CpuInfo detect() { return CpuInfo(); }
+
+#endif
+
+} // namespace
+
+bool CpuInfo::supports(isa::ISAKind Kind) const {
+  switch (Kind) {
+  case isa::ISAKind::Scalar:
+    return true;
+  case isa::ISAKind::SSSE3:
+    return HasSSSE3;
+  case isa::ISAKind::SSE41:
+    return HasSSE41;
+  case isa::ISAKind::AVX:
+    return HasAVX;
+  case isa::ISAKind::NEON:
+    return HasNEON;
+  }
+  LGEN_UNREACHABLE("unknown ISA kind");
+}
+
+std::string CpuInfo::str() const {
+  std::ostringstream OS;
+#if defined(__x86_64__)
+  OS << "x86-64:";
+#elif defined(__i386__)
+  OS << "x86:";
+#elif defined(__aarch64__)
+  OS << "aarch64:";
+#elif defined(__arm__)
+  OS << "arm:";
+#else
+  OS << "unknown-arch:";
+#endif
+  if (HasSSSE3)
+    OS << " ssse3";
+  if (HasSSE41)
+    OS << " sse4.1";
+  if (HasAVX)
+    OS << " avx";
+  if (HasNEON)
+    OS << " neon";
+  if (!HasSSSE3 && !HasSSE41 && !HasAVX && !HasNEON)
+    OS << " scalar-only";
+  return OS.str();
+}
+
+const CpuInfo &CpuInfo::host() {
+  static const CpuInfo Info = detect();
+  return Info;
+}

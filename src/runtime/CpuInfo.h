@@ -1,0 +1,53 @@
+//===- CpuInfo.h - Host CPU feature detection ------------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Detection of the SIMD extensions the *host* machine can actually
+/// execute. The compiler targets fixed virtual ISAs (SSSE3, SSE4.1, AVX,
+/// NEON, scalar); the native execution runtime must know which of those the
+/// current processor supports before it compiles and loads a kernel, so
+/// that targets the host lacks degrade to an explicit "unsupported" result
+/// rather than a SIGILL.
+///
+/// On x86-64 the answer comes from cpuid (including the OSXSAVE/XCR0 check
+/// AVX requires); on AArch64 Advanced SIMD is architecturally mandatory; on
+/// 32-bit ARM Linux it comes from the ELF hwcaps. Everywhere else every
+/// vector ISA reports unsupported and only scalar kernels run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_RUNTIME_CPUINFO_H
+#define LGEN_RUNTIME_CPUINFO_H
+
+#include "isa/ISA.h"
+
+#include <string>
+
+namespace lgen {
+namespace runtime {
+
+/// Host-processor capability summary, computed once per process.
+struct CpuInfo {
+  bool HasSSSE3 = false;
+  bool HasSSE41 = false;
+  bool HasAVX = false;  ///< cpuid AVX bit *and* OS ymm-state support.
+  bool HasNEON = false; ///< Advanced SIMD (mandatory on AArch64).
+
+  /// True when kernels emitted for \p Kind can execute on this host.
+  /// Scalar is always runnable.
+  bool supports(isa::ISAKind Kind) const;
+
+  /// Human-readable feature list, e.g. "x86-64: ssse3 sse4.1 avx".
+  std::string str() const;
+
+  /// The detected capabilities of the machine this process runs on.
+  static const CpuInfo &host();
+};
+
+} // namespace runtime
+} // namespace lgen
+
+#endif // LGEN_RUNTIME_CPUINFO_H

@@ -1,0 +1,317 @@
+//===- Measure.cpp - Native cycle measurement protocol --------------------===//
+
+#include "runtime/Measure.h"
+
+#include "compiler/Compiler.h"
+#include "ll/Parser.h"
+#include "runtime/CpuInfo.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+using namespace lgen;
+using namespace lgen::runtime;
+
+//===----------------------------------------------------------------------===//
+// Cycle counters
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class CycleCounter {
+public:
+  virtual ~CycleCounter() = default;
+  virtual uint64_t read() = 0;
+  virtual const char *name() const = 0;
+};
+
+class SteadyCounter : public CycleCounter {
+public:
+  uint64_t read() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  const char *name() const override { return "steady_clock_ns"; }
+};
+
+#if defined(__x86_64__)
+class TscCounter : public CycleCounter {
+public:
+  uint64_t read() override {
+    uint32_t Lo, Hi;
+    __asm__ volatile("rdtsc" : "=a"(Lo), "=d"(Hi));
+    return (static_cast<uint64_t>(Hi) << 32) | Lo;
+  }
+  const char *name() const override { return "rdtsc"; }
+};
+#endif
+
+#if defined(__linux__)
+/// The hardware cycle counter through perf_event_open. Construction probes
+/// whether the kernel grants access (containers and locked-down hosts
+/// commonly deny it); a failed probe leaves ok() false and the chain falls
+/// through to the next counter.
+class PerfCounter : public CycleCounter {
+public:
+  PerfCounter() {
+    struct perf_event_attr Attr;
+    std::memset(&Attr, 0, sizeof(Attr));
+    Attr.type = PERF_TYPE_HARDWARE;
+    Attr.size = sizeof(Attr);
+    Attr.config = PERF_COUNT_HW_CPU_CYCLES;
+    Attr.disabled = 0;
+    Attr.exclude_kernel = 1;
+    Attr.exclude_hv = 1;
+    Fd = static_cast<int>(
+        ::syscall(SYS_perf_event_open, &Attr, 0, -1, -1, 0));
+    if (Fd >= 0) {
+      // A counter that opens but cannot be read (or reads zero forever,
+      // as some paravirtualized PMUs do) is useless; verify one read.
+      uint64_t Probe = 0;
+      if (::read(Fd, &Probe, sizeof(Probe)) != sizeof(Probe)) {
+        ::close(Fd);
+        Fd = -1;
+      }
+    }
+  }
+  ~PerfCounter() override {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  bool ok() const { return Fd >= 0; }
+  uint64_t read() override {
+    uint64_t Value = 0;
+    if (::read(Fd, &Value, sizeof(Value)) != sizeof(Value))
+      return 0;
+    return Value;
+  }
+  const char *name() const override { return "perf_event"; }
+
+private:
+  int Fd = -1;
+};
+#endif
+
+/// Probes the counter chain once: perf_event -> rdtsc -> steady_clock.
+CycleCounter &hostCounter() {
+  static std::unique_ptr<CycleCounter> Counter = [] {
+    std::unique_ptr<CycleCounter> C;
+#if defined(__linux__)
+    auto Perf = std::make_unique<PerfCounter>();
+    if (Perf->ok())
+      C = std::move(Perf);
+#endif
+#if defined(__x86_64__)
+    if (!C)
+      C = std::make_unique<TscCounter>();
+#endif
+    if (!C)
+      C = std::make_unique<SteadyCounter>();
+    return C;
+  }();
+  return *Counter;
+}
+
+/// Timed runs never overlap, even when callers (the autotuner's pool
+/// workers) issue them from several threads.
+std::mutex &measureMutex() {
+  static std::mutex M;
+  return M;
+}
+
+/// Pushes the marshaled parameter data out of the cache hierarchy for the
+/// cold-cache variant: clflush on x86, a large streaming write elsewhere.
+void evictWorkingSet(const NativeKernel &NK, const ArgPack &Args) {
+#if defined(__x86_64__)
+  for (size_t I = 0; I != NK.params().size(); ++I) {
+    const char *P = reinterpret_cast<const char *>(Args.argv()[I]);
+    size_t Bytes =
+        static_cast<size_t>(NK.params()[I].NumElements) * sizeof(float);
+    for (size_t Off = 0; Off < Bytes; Off += 64)
+      __asm__ volatile("clflush (%0)" ::"r"(P + Off) : "memory");
+  }
+  __asm__ volatile("mfence" ::: "memory");
+#else
+  (void)NK;
+  (void)Args;
+  static std::vector<char> Evictor(16 * 1024 * 1024);
+  for (size_t I = 0; I < Evictor.size(); I += 64)
+    Evictor[I] = static_cast<char>(I);
+#endif
+}
+
+double median(std::vector<double> Samples) {
+  std::sort(Samples.begin(), Samples.end());
+  size_t N = Samples.size();
+  return N % 2 ? Samples[N / 2]
+               : (Samples[N / 2 - 1] + Samples[N / 2]) / 2.0;
+}
+
+} // namespace
+
+const char *runtime::cycleCounterName() { return hostCounter().name(); }
+
+//===----------------------------------------------------------------------===//
+// measure
+//===----------------------------------------------------------------------===//
+
+MeasureResult runtime::measure(const NativeKernel &NK,
+                               const std::vector<machine::Buffer *> &Params,
+                               const MeasureOptions &Opts) {
+  std::lock_guard<std::mutex> Lock(measureMutex());
+  support::TraceSpan Span("runtime.measure");
+
+  ArgPack Args(NK, Params);
+  CycleCounter &Counter = hostCounter();
+  NativeKernel::EntryFn Entry = NK.entry();
+
+  MeasureResult Result;
+  Result.Counter = Counter.name();
+
+  for (unsigned I = 0; I != Opts.Warmup; ++I)
+    Entry(Args.argv());
+
+  unsigned Inner = 1;
+  if (!Opts.ColdCache) {
+    // Double the inner repetition count until one sample spans enough
+    // ticks that counter granularity and read overhead are noise.
+    for (;;) {
+      uint64_t T0 = Counter.read();
+      for (unsigned I = 0; I != Inner; ++I)
+        Entry(Args.argv());
+      uint64_t Elapsed = Counter.read() - T0;
+      if (Elapsed >= Opts.MinSampleTicks || Inner >= (1u << 20))
+        break;
+      Inner *= 2;
+    }
+  }
+  Result.InnerIters = Inner;
+
+  unsigned Reps = std::max(1u, Opts.Reps);
+  Result.Samples.reserve(Reps);
+  for (unsigned R = 0; R != Reps; ++R) {
+    Args.reset();
+    if (Opts.ColdCache)
+      evictWorkingSet(NK, Args);
+    uint64_t T0 = Counter.read();
+    for (unsigned I = 0; I != Inner; ++I)
+      Entry(Args.argv());
+    uint64_t Elapsed = Counter.read() - T0;
+    Result.Samples.push_back(static_cast<double>(Elapsed) / Inner);
+  }
+  support::traceCounter("runtime.measure.samples", Reps);
+
+  Result.MedianCycles = median(Result.Samples);
+  Result.MinCycles =
+      *std::min_element(Result.Samples.begin(), Result.Samples.end());
+  Result.MaxCycles =
+      *std::max_element(Result.Samples.begin(), Result.Samples.end());
+
+  // Leave the caller's buffers holding the result of exactly one
+  // invocation over the original inputs.
+  Args.reset();
+  Entry(Args.argv());
+  Args.copyBack();
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Mediator device executor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+machine::UArch uarchFromName(const std::string &Name) {
+  if (Name == "atom" || Name.empty())
+    return machine::UArch::Atom;
+  if (Name == "a8")
+    return machine::UArch::CortexA8;
+  if (Name == "a9")
+    return machine::UArch::CortexA9;
+  if (Name == "arm1176")
+    return machine::UArch::ARM1176;
+  if (Name == "sandybridge")
+    return machine::UArch::SandyBridge;
+  throw std::runtime_error("unknown target '" + Name + "'");
+}
+
+json::Value unsupported(const std::string &Reason) {
+  json::Object R;
+  R["supported"] = false;
+  R["reason"] = Reason;
+  return json::Value(std::move(R));
+}
+
+} // namespace
+
+mediator::DeviceExecutor runtime::nativeDeviceExecutor() {
+  return [](const json::Value &Exp, unsigned /*Core*/) -> json::Value {
+    std::string Source = Exp.getString("source");
+    if (Source.empty())
+      throw std::runtime_error("experiment has no 'source' property");
+
+    machine::UArch Target = uarchFromName(Exp.getString("target"));
+    std::string Config = Exp.getString("config", "LGen-Full");
+    Expected<compiler::Options> Opts = compiler::Options::named(Config, Target);
+    if (!Opts)
+      throw std::runtime_error(Opts.error());
+    Opts->SearchSamples =
+        static_cast<unsigned>(Exp.getNumber("searchSamples", 0));
+
+    compiler::Compiler C(*Opts);
+    Expected<compiler::CompiledKernel> CK = C.compile(Source);
+    if (!CK)
+      throw std::runtime_error(CK.error());
+
+    if (!ToolchainDriver::host().available())
+      return unsupported(ToolchainDriver::host().error());
+    Expected<NativeKernel> NK = NativeKernel::load(*CK);
+    if (!NK) {
+      isa::ISAKind ISA = CK->Opts.effectiveNu() == 1 ? isa::ISAKind::Scalar
+                                                     : CK->Opts.ISA;
+      if (!CpuInfo::host().supports(ISA))
+        return unsupported(NK.error()); // missing ISA: clean skip
+      throw std::runtime_error(NK.error());
+    }
+
+    ll::Program P = ll::parseProgramOrDie(Source);
+    std::vector<machine::Buffer> Storage;
+    std::vector<machine::Buffer *> Buffers;
+    Storage.reserve(P.Operands.size());
+    Rng R(0x5eed);
+    for (const ll::Operand &O : P.Operands) {
+      Storage.emplace_back(O.numElements(), 0.0f, 0);
+      for (float &V : Storage.back().Data)
+        V = static_cast<float>(R.next() % 1000) / 250.0f - 2.0f;
+    }
+    for (machine::Buffer &B : Storage)
+      Buffers.push_back(&B);
+
+    MeasureOptions MO;
+    MO.Reps = static_cast<unsigned>(Exp.getNumber("reps", MO.Reps));
+    MO.Warmup = static_cast<unsigned>(Exp.getNumber("warmup", MO.Warmup));
+    MeasureResult M = measure(*NK, Buffers, MO);
+
+    json::Object Res;
+    Res["supported"] = true;
+    Res["cycles"] = M.MedianCycles;
+    Res["flops"] = CK->Flops;
+    Res["flopsPerCycle"] =
+        M.MedianCycles > 0 ? CK->Flops / M.MedianCycles : 0.0;
+    Res["counter"] = M.Counter;
+    Res["innerIters"] = static_cast<int64_t>(M.InnerIters);
+    return json::Value(std::move(Res));
+  };
+}

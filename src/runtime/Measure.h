@@ -1,0 +1,98 @@
+//===- Measure.h - Native cycle measurement protocol -----------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measuring loaded kernels the way the thesis measures on real boards
+/// (§5.1.5): a few warm-up invocations, k timed repetitions, and the median
+/// as the reported value. Warm-cache measurements auto-scale an inner
+/// repetition loop until one sample spans enough counter ticks to be
+/// meaningful; cold-cache measurements evict the parameter working set
+/// between repetitions and time single invocations.
+///
+/// Cycle counts come from the best counter the host offers, probed once in
+/// order: the perf_event hardware cycle counter (often unavailable inside
+/// containers), the x86 time-stamp counter, and finally the steady clock
+/// (nanoseconds standing in for cycles). The chosen source is named in
+/// every result so reports never silently mix units.
+///
+/// Measurements are serialized process-wide: the autotuner may *compile*
+/// candidate plans in parallel, but timed runs take a global lock so they
+/// never contend with each other for the core.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_RUNTIME_MEASURE_H
+#define LGEN_RUNTIME_MEASURE_H
+
+#include "mediator/Mediator.h"
+#include "runtime/NativeKernel.h"
+
+#include <string>
+#include <vector>
+
+namespace lgen {
+namespace runtime {
+
+struct MeasureOptions {
+  /// Untimed invocations before sampling (warms caches, branch predictors,
+  /// and the lazily-bound PLT entry of the shim).
+  unsigned Warmup = 2;
+  /// Timed repetitions; the median is the reported value (§5.1.5).
+  unsigned Reps = 7;
+  /// Evict the parameter working set between repetitions and time single
+  /// invocations (the §5.1.4 cold-cache variant); default measures warm.
+  bool ColdCache = false;
+  /// Warm-cache only: the inner repetition count doubles until one sample
+  /// spans at least this many counter ticks.
+  uint64_t MinSampleTicks = 10000;
+};
+
+struct MeasureResult {
+  /// Median cycles per single kernel invocation.
+  double MedianCycles = 0.0;
+  double MinCycles = 0.0;
+  double MaxCycles = 0.0;
+  /// Invocations per timed sample (1 for cold-cache runs).
+  unsigned InnerIters = 1;
+  /// Per-repetition cycles-per-invocation, in measurement order.
+  std::vector<double> Samples;
+  /// Which counter produced the numbers: "perf_event", "rdtsc", or
+  /// "steady_clock_ns".
+  std::string Counter;
+};
+
+/// Runs the §5.1.5 protocol over \p NK with \p Params (the
+/// CompiledKernel::execute buffer contract). On return \p Params holds the
+/// result of exactly one kernel invocation over the original inputs, so a
+/// measured run is also a valid execution.
+MeasureResult measure(const NativeKernel &NK,
+                      const std::vector<machine::Buffer *> &Params,
+                      const MeasureOptions &Opts = MeasureOptions());
+
+/// The cycle counter measure() would use on this host (probed once).
+const char *cycleCounterName();
+
+/// A Mediator device executor backed by real native measurement, making
+/// Mediator's measure endpoint return host cycles instead of model
+/// estimates. The experiment object names the BLAC and configuration:
+///
+///   { "source": "<LL program>",          (required)
+///     "target": "atom|a8|a9|arm1176|sandybridge",  (default "atom")
+///     "config": "LGen|LGen-Align|LGen-MVM|LGen-Full", (default "LGen-Full")
+///     "searchSamples": N,                (default 0)
+///     "reps": k, "warmup": w }           (default the MeasureOptions ones)
+///
+/// The result object carries {supported:true, cycles, flops,
+/// flopsPerCycle, counter} — or {supported:false, reason} when the host
+/// lacks the ISA or a toolchain, which is a clean skip, not an error.
+/// Malformed experiments (missing/unparsable source) throw, which Mediator
+/// reports as an InstructionExecutionError.
+mediator::DeviceExecutor nativeDeviceExecutor();
+
+} // namespace runtime
+} // namespace lgen
+
+#endif // LGEN_RUNTIME_MEASURE_H

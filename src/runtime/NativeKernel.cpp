@@ -1,0 +1,168 @@
+//===- NativeKernel.cpp - Compile-and-load kernel execution ---------------===//
+
+#include "runtime/NativeKernel.h"
+
+#include "codegen/CUnparser.h"
+#include "ll/Reference.h"
+#include "runtime/CpuInfo.h"
+#include "support/Trace.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::runtime;
+
+namespace {
+
+/// The dispatch function of the compiled artifact: the plain kernel, or the
+/// versioned family's runtime-dispatch entry (which unparseCompiled emits
+/// under the fallback kernel's original name).
+const cir::Kernel &dispatchKernel(const compiler::CompiledKernel &CK) {
+  return CK.HasVersions ? CK.Versioned.Fallback : CK.Plain;
+}
+
+/// The exported C shim: the kernel functions themselves are emitted static
+/// (they are an implementation detail of the translation unit), so the shim
+/// is the shared object's only visible symbol. It unpacks an argv-style
+/// float* array into the kernel's typed parameter list.
+std::string shimSource(const cir::Kernel &K) {
+  std::ostringstream OS;
+  OS << "\n__attribute__((visibility(\"default\"))) void "
+     << "lgen_native_entry(float *const *lgen_args) {\n  " << K.getName()
+     << "(";
+  bool First = true;
+  unsigned Idx = 0;
+  for (cir::ArrayId Id = 0; Id != K.getNumArrays(); ++Id) {
+    const cir::ArrayInfo &A = K.getArray(Id);
+    if (!A.isParam())
+      continue;
+    if (!First)
+      OS << ", ";
+    First = false;
+    if (A.Kind == cir::ArrayKind::Input)
+      OS << "(const float *)lgen_args[" << Idx << "]";
+    else
+      OS << "lgen_args[" << Idx << "]";
+    ++Idx;
+  }
+  OS << ");\n}\n";
+  return OS.str();
+}
+
+/// Rounds \p Bytes up to a multiple of 64 (the allocation alignment).
+size_t roundUp64(size_t Bytes) { return (Bytes + 63) & ~size_t(63); }
+
+} // namespace
+
+Expected<NativeKernel>
+NativeKernel::load(const compiler::CompiledKernel &CK) {
+  return load(CK, ToolchainDriver::host());
+}
+
+Expected<NativeKernel> NativeKernel::load(const compiler::CompiledKernel &CK,
+                                          ToolchainDriver &TD) {
+  isa::ISAKind ISA = CK.Opts.effectiveNu() == 1 ? isa::ISAKind::Scalar
+                                                : CK.Opts.ISA;
+  if (!CpuInfo::host().supports(ISA))
+    return Err("target ISA " + std::string(isa::isaName(ISA)) +
+               " is not supported on this host (" + CpuInfo::host().str() +
+               ")");
+
+  NativeKernel NK;
+  const cir::Kernel &Dispatch = dispatchKernel(CK);
+  for (cir::ArrayId Id = 0; Id != Dispatch.getNumArrays(); ++Id) {
+    const cir::ArrayInfo &A = Dispatch.getArray(Id);
+    if (!A.isParam())
+      continue;
+    NativeParam P;
+    P.Name = A.Name;
+    P.NumElements = A.NumElements;
+    P.Writable = A.Kind != cir::ArrayKind::Input;
+    NK.Params.push_back(std::move(P));
+  }
+  NK.Nu = CK.Opts.effectiveNu();
+  NK.Flops = CK.Flops;
+  NK.Source = codegen::unparseCompiled(CK) + shimSource(Dispatch);
+
+  Expected<std::string> So = TD.compileSharedObject(NK.Source, ISA);
+  if (!So)
+    return Err(So.error());
+  Expected<SharedLibrary> Lib = SharedLibrary::open(*So);
+  if (!Lib)
+    return Err(Lib.error());
+  NK.Library = std::move(*Lib);
+  NK.Entry = reinterpret_cast<EntryFn>(
+      NK.Library.symbol("lgen_native_entry"));
+  if (!NK.Entry)
+    return Err("shared object " + *So +
+               " does not export lgen_native_entry");
+  return NK;
+}
+
+void NativeKernel::execute(
+    const std::vector<machine::Buffer *> &Params) const {
+  ArgPack Args(*this, Params);
+  support::traceCounter("runtime.native.executions");
+  Entry(Args.argv());
+  Args.copyBack();
+}
+
+//===----------------------------------------------------------------------===//
+// ArgPack
+//===----------------------------------------------------------------------===//
+
+ArgPack::ArgPack(const NativeKernel &NK,
+                 const std::vector<machine::Buffer *> &Params)
+    : NK(NK), Buffers(Params) {
+  assert(Params.size() == NK.params().size() &&
+         "parameter count mismatch (one buffer per LL operand)");
+  Allocations.reserve(Params.size());
+  Argv.reserve(Params.size());
+  for (size_t I = 0; I != Params.size(); ++I) {
+    const NativeParam &P = NK.params()[I];
+    unsigned Offset = Params[I]->AlignOffset;
+    // Base allocation is 64-byte aligned; the parameter pointer sits Offset
+    // elements past it, giving the same address-mod-ν the simulated Buffer
+    // advertises (and the versioned dispatch checks at runtime). A ν-element
+    // tail pad absorbs aligned full-vector accesses to partially-used
+    // trailing tiles.
+    size_t Elems = static_cast<size_t>(P.NumElements) + Offset + NK.nu();
+    void *Mem = std::aligned_alloc(64, roundUp64(Elems * sizeof(float)));
+    if (!Mem)
+      reportFatalError("out of memory marshaling native kernel arguments");
+    std::memset(Mem, 0, roundUp64(Elems * sizeof(float)));
+    Allocations.push_back(Mem);
+    Argv.push_back(static_cast<float *>(Mem) + Offset);
+  }
+  reset();
+}
+
+ArgPack::~ArgPack() {
+  for (void *Mem : Allocations)
+    std::free(Mem);
+}
+
+void ArgPack::reset() {
+  for (size_t I = 0; I != Buffers.size(); ++I) {
+    size_t N = std::min(Buffers[I]->Data.size(),
+                        static_cast<size_t>(NK.params()[I].NumElements));
+    std::memcpy(Argv[I], Buffers[I]->Data.data(), N * sizeof(float));
+  }
+}
+
+void ArgPack::copyBack() {
+  for (size_t I = 0; I != Buffers.size(); ++I) {
+    size_t N = std::min(Buffers[I]->Data.size(),
+                        static_cast<size_t>(NK.params()[I].NumElements));
+    std::memcpy(Buffers[I]->Data.data(), Argv[I], N * sizeof(float));
+  }
+}
+
+size_t ArgPack::footprintBytes() const {
+  size_t Total = 0;
+  for (size_t I = 0; I != Buffers.size(); ++I)
+    Total += static_cast<size_t>(NK.params()[I].NumElements) * sizeof(float);
+  return Total;
+}

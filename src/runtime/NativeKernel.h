@@ -1,0 +1,117 @@
+//===- NativeKernel.h - Compile-and-load kernel execution ------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executing emitted kernels on the host for real: a \c NativeKernel takes
+/// a \c CompiledKernel, unparses it to C (including the §3.2.4 alignment
+/// dispatch for versioned kernels), appends an exported shim entry point,
+/// compiles the translation unit into a shared object through
+/// \c ToolchainDriver, and dlopens it. Execution marshals arguments exactly
+/// like \c CompiledKernel::execute over the simulated interpreter: one
+/// buffer per LL operand in declaration order, with each parameter pointer
+/// placed \c AlignOffset elements past a ν-aligned base so misaligned-base
+/// experiments (§5.2.4) and the runtime alignment dispatch behave as on
+/// real silicon.
+///
+/// Loading fails — with an \c Expected error, never a crash — when the
+/// host CPU lacks the target ISA (\c CpuInfo), the toolchain is missing or
+/// rejects the kernel, or the produced object cannot be loaded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_RUNTIME_NATIVEKERNEL_H
+#define LGEN_RUNTIME_NATIVEKERNEL_H
+
+#include "compiler/Compiler.h"
+#include "machine/Executor.h"
+#include "runtime/ToolchainDriver.h"
+
+#include <string>
+#include <vector>
+
+namespace lgen {
+namespace runtime {
+
+/// One kernel parameter as seen by the native entry point.
+struct NativeParam {
+  std::string Name;
+  int64_t NumElements = 0;
+  bool Writable = false; ///< Output or InOut (float*), else const float*.
+};
+
+class NativeKernel {
+public:
+  /// The exported shim signature: one float* per parameter, in declaration
+  /// order, packed into an argv-style array.
+  using EntryFn = void (*)(float *const *);
+
+  /// Unparses, compiles, and loads \p CK. \p TD defaults to the shared
+  /// host driver (which caches shared objects by kernel fingerprint).
+  static Expected<NativeKernel> load(const compiler::CompiledKernel &CK);
+  static Expected<NativeKernel> load(const compiler::CompiledKernel &CK,
+                                     ToolchainDriver &TD);
+
+  /// Runs the kernel over \p Params (one buffer per LL operand, in
+  /// declaration order — the \c CompiledKernel::execute contract). Buffer
+  /// contents are copied into freshly allocated storage whose base honors
+  /// each buffer's AlignOffset, the kernel runs once, and every parameter
+  /// is copied back.
+  void execute(const std::vector<machine::Buffer *> &Params) const;
+
+  const std::vector<NativeParam> &params() const { return Params; }
+  EntryFn entry() const { return Entry; }
+  unsigned nu() const { return Nu; }
+  double flops() const { return Flops; }
+  const std::string &soPath() const { return Library.path(); }
+
+  /// The generated C translation unit (kernel + shim) — what the toolchain
+  /// actually compiled; exposed for diagnostics and tests.
+  const std::string &source() const { return Source; }
+
+private:
+  SharedLibrary Library;
+  EntryFn Entry = nullptr;
+  std::vector<NativeParam> Params;
+  unsigned Nu = 1;
+  double Flops = 0.0;
+  std::string Source;
+};
+
+/// Argument pack for repeated native invocations (the measurement loop):
+/// marshals a parameter set once, hands out the argv array, and copies
+/// results back on request. Allocation bases are 64-byte aligned, so an
+/// element offset of 0 is aligned for every ν and an offset of k places the
+/// pointer exactly k*sizeof(float) past a ν-aligned boundary.
+class ArgPack {
+public:
+  ArgPack(const NativeKernel &NK,
+          const std::vector<machine::Buffer *> &Params);
+  ~ArgPack();
+  ArgPack(const ArgPack &) = delete;
+  ArgPack &operator=(const ArgPack &) = delete;
+
+  float *const *argv() const { return Argv.data(); }
+
+  /// Re-copies the original buffer contents into the marshaled storage
+  /// (repeated measurement over identical inputs).
+  void reset();
+  /// Copies every parameter back into the buffers given at construction.
+  void copyBack();
+
+  /// Total bytes of marshaled parameter data (cold-cache eviction sizing).
+  size_t footprintBytes() const;
+
+private:
+  const NativeKernel &NK;
+  std::vector<machine::Buffer *> Buffers;
+  std::vector<void *> Allocations;
+  std::vector<float *> Argv;
+};
+
+} // namespace runtime
+} // namespace lgen
+
+#endif // LGEN_RUNTIME_NATIVEKERNEL_H

@@ -1,0 +1,353 @@
+//===- ToolchainDriver.cpp - Host C toolchain driver ----------------------===//
+
+#include "runtime/ToolchainDriver.h"
+
+#include "support/Trace.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#if !defined(_WIN32)
+#include <dlfcn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+using namespace lgen;
+using namespace lgen::runtime;
+
+namespace fs = std::filesystem;
+
+//===----------------------------------------------------------------------===//
+// Scratch directory
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Owns the per-process scratch directory; the destructor of the
+/// function-local static removes it on normal exit. A stale directory left
+/// by a crashed process that happened to have the same pid is reclaimed
+/// (pids are unique among live processes, so it cannot belong to a running
+/// instance).
+struct ScratchDirHolder {
+  std::string Path;
+  std::string Error;
+
+  ScratchDirHolder() {
+    const char *Tmp = std::getenv("TMPDIR");
+    fs::path Base = Tmp && *Tmp ? fs::path(Tmp) : fs::temp_directory_path();
+#if defined(_WIN32)
+    unsigned long Pid = 0;
+#else
+    unsigned long Pid = static_cast<unsigned long>(::getpid());
+#endif
+    fs::path Dir = Base / ("lgen-runtime-" + std::to_string(Pid));
+    std::error_code EC;
+    fs::remove_all(Dir, EC); // reclaim a stale same-pid leftover
+    if (!fs::create_directories(Dir, EC) && EC) {
+      Error = "cannot create runtime scratch directory " + Dir.string() +
+              ": " + EC.message();
+      return;
+    }
+    Path = Dir.string();
+  }
+
+  ~ScratchDirHolder() {
+    if (Path.empty())
+      return;
+    std::error_code EC;
+    fs::remove_all(Path, EC); // best effort; never throw during teardown
+  }
+};
+
+ScratchDirHolder &scratchHolder() {
+  static ScratchDirHolder Holder;
+  return Holder;
+}
+
+constexpr uint64_t FnvOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+uint64_t fnv1a(const std::string &S, uint64_t H = FnvOffsetBasis) {
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+std::string hexKey(uint64_t Key) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)Key);
+  return Buf;
+}
+
+/// Shell-quotes \p S with single quotes (POSIX-safe for any content).
+std::string shellQuote(const std::string &S) {
+  std::string Out = "'";
+  for (char C : S) {
+    if (C == '\'')
+      Out += "'\\''";
+    else
+      Out += C;
+  }
+  Out += "'";
+  return Out;
+}
+
+std::string readFileOr(const std::string &Path, const std::string &Fallback) {
+  std::ifstream In(Path);
+  if (!In)
+    return Fallback;
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  std::string Text = OS.str();
+  return Text.empty() ? Fallback : Text;
+}
+
+/// Searches $PATH for an executable named \p Name.
+std::string findOnPath(const std::string &Name) {
+#if defined(_WIN32)
+  return "";
+#else
+  if (Name.find('/') != std::string::npos)
+    return ::access(Name.c_str(), X_OK) == 0 ? Name : "";
+  const char *PathEnv = std::getenv("PATH");
+  if (!PathEnv)
+    return "";
+  std::string Paths = PathEnv;
+  size_t Pos = 0;
+  while (Pos <= Paths.size()) {
+    size_t Colon = Paths.find(':', Pos);
+    std::string Dir = Paths.substr(
+        Pos, Colon == std::string::npos ? std::string::npos : Colon - Pos);
+    if (!Dir.empty()) {
+      std::string Candidate = Dir + "/" + Name;
+      if (::access(Candidate.c_str(), X_OK) == 0)
+        return Candidate;
+    }
+    if (Colon == std::string::npos)
+      break;
+    Pos = Colon + 1;
+  }
+  return "";
+#endif
+}
+
+} // namespace
+
+Expected<std::string> runtime::scratchDir() {
+  ScratchDirHolder &H = scratchHolder();
+  if (H.Path.empty())
+    return Err(H.Error.empty() ? "runtime scratch directory unavailable"
+                               : H.Error);
+  return H.Path;
+}
+
+//===----------------------------------------------------------------------===//
+// SharedLibrary
+//===----------------------------------------------------------------------===//
+
+SharedLibrary::~SharedLibrary() {
+#if !defined(_WIN32)
+  if (Handle)
+    ::dlclose(Handle);
+#endif
+}
+
+SharedLibrary::SharedLibrary(SharedLibrary &&Other) noexcept
+    : Handle(Other.Handle), Path(std::move(Other.Path)) {
+  Other.Handle = nullptr;
+}
+
+SharedLibrary &SharedLibrary::operator=(SharedLibrary &&Other) noexcept {
+  if (this != &Other) {
+#if !defined(_WIN32)
+    if (Handle)
+      ::dlclose(Handle);
+#endif
+    Handle = Other.Handle;
+    Path = std::move(Other.Path);
+    Other.Handle = nullptr;
+  }
+  return *this;
+}
+
+Expected<SharedLibrary> SharedLibrary::open(const std::string &Path) {
+#if defined(_WIN32)
+  return Err("native kernel loading is not supported on this platform");
+#else
+  support::TraceSpan Span("runtime.dlopen");
+  void *Handle = ::dlopen(Path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    const char *Reason = ::dlerror();
+    return Err("dlopen(" + Path + ") failed: " +
+               (Reason ? Reason : "unknown error"));
+  }
+  SharedLibrary Lib;
+  Lib.Handle = Handle;
+  Lib.Path = Path;
+  return Lib;
+#endif
+}
+
+void *SharedLibrary::symbol(const char *Name) const {
+#if defined(_WIN32)
+  (void)Name;
+  return nullptr;
+#else
+  return Handle ? ::dlsym(Handle, Name) : nullptr;
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// ToolchainDriver
+//===----------------------------------------------------------------------===//
+
+ToolchainDriver::ToolchainDriver(std::string CompilerPath) {
+  if (!CompilerPath.empty()) {
+    Compiler = std::move(CompilerPath);
+    return;
+  }
+  std::vector<std::string> Candidates;
+  if (const char *Env = std::getenv("LGEN_CC"))
+    if (*Env)
+      Candidates.push_back(Env);
+  Candidates.insert(Candidates.end(), {"cc", "gcc", "clang"});
+  for (const std::string &Name : Candidates) {
+    std::string Found = findOnPath(Name);
+    if (!Found.empty()) {
+      Compiler = Found;
+      return;
+    }
+  }
+  DiscoveryError = "no C compiler found (tried $LGEN_CC, cc, gcc, clang on "
+                   "$PATH); native execution is unavailable";
+}
+
+std::string ToolchainDriver::isaFlags(isa::ISAKind ISA) {
+  switch (ISA) {
+  case isa::ISAKind::Scalar:
+    return "";
+  case isa::ISAKind::SSSE3:
+    return "-mssse3";
+  case isa::ISAKind::SSE41:
+    return "-msse4.1";
+  case isa::ISAKind::AVX:
+    return "-mavx";
+  case isa::ISAKind::NEON:
+#if defined(__aarch64__)
+    return ""; // Advanced SIMD is in the AArch64 baseline.
+#else
+    return "-mfpu=neon";
+#endif
+  }
+  LGEN_UNREACHABLE("unknown ISA kind");
+}
+
+Expected<std::string>
+ToolchainDriver::compileSharedObject(const std::string &CSource,
+                                     isa::ISAKind ISA) {
+#if defined(_WIN32)
+  (void)CSource;
+  (void)ISA;
+  return Err("native kernel compilation is not supported on this platform");
+#else
+  if (!available())
+    return Err(DiscoveryError);
+
+  Expected<std::string> Scratch = scratchDir();
+  if (!Scratch)
+    return Err(Scratch.error());
+
+  // -ffp-contract=off keeps scalar a*b+c sequences double-rounded, matching
+  // the functional interpreter's unfused FMA semantics, so native results
+  // stay within the documented ULP model of the simulated ones.
+  std::string Flags = "-O2 -fPIC -shared -ffp-contract=off";
+  std::string Isa = isaFlags(ISA);
+  if (!Isa.empty())
+    Flags += " " + Isa;
+
+  uint64_t Key = fnv1a(Flags, fnv1a(CSource));
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = SoCache.find(Key);
+    if (It != SoCache.end()) {
+      support::traceCounter("runtime.socache.hit");
+      return It->second;
+    }
+  }
+  support::traceCounter("runtime.socache.miss");
+
+  std::string Stem = *Scratch + "/k" + hexKey(Key);
+  std::string SoPath = Stem + ".so";
+  std::error_code EC;
+  if (fs::exists(SoPath, EC)) {
+    // Another thread (or an earlier driver instance in this process)
+    // already published it; adopt without recompiling.
+    std::lock_guard<std::mutex> Lock(Mutex);
+    SoCache.emplace(Key, SoPath);
+    return SoPath;
+  }
+
+  // Unique inputs/outputs per attempt so concurrent compilations of the
+  // same kernel never collide; the finished .so is published atomically.
+  std::string Tag;
+  {
+    static std::atomic<uint64_t> Counter{0};
+    Tag = "." + std::to_string(Counter.fetch_add(1));
+  }
+  std::string CPath = Stem + Tag + ".c";
+  std::string TmpSo = Stem + Tag + ".so.tmp";
+  std::string LogPath = Stem + Tag + ".log";
+  {
+    std::ofstream Out(CPath, std::ios::trunc);
+    if (!Out)
+      return Err("cannot write kernel source to " + CPath);
+    Out << CSource;
+  }
+
+  std::string Cmd = shellQuote(Compiler) + " " + Flags + " -x c " +
+                    shellQuote(CPath) + " -o " + shellQuote(TmpSo) + " 2> " +
+                    shellQuote(LogPath);
+  int Rc;
+  {
+    support::TraceSpan Span("runtime.toolchain.compile");
+    support::traceCounter("runtime.toolchain.invocations");
+    Rc = std::system(Cmd.c_str());
+  }
+  bool Ok = Rc != -1 && WIFEXITED(Rc) && WEXITSTATUS(Rc) == 0;
+  if (!Ok || !fs::exists(TmpSo, EC)) {
+    std::string Diag = readFileOr(LogPath, "(no diagnostics captured)");
+    fs::remove(CPath, EC);
+    fs::remove(TmpSo, EC);
+    fs::remove(LogPath, EC);
+    support::traceCounter("runtime.toolchain.failures");
+    return Err("toolchain failure: '" + Compiler + "' " +
+               (Ok ? "reported success but produced no output"
+                   : "exited with status " +
+                         std::to_string(Rc == -1 || !WIFEXITED(Rc)
+                                            ? Rc
+                                            : WEXITSTATUS(Rc))) +
+               " for " + CPath + ":\n" + Diag);
+  }
+
+  // Crash-safe publish (the KernelCache pattern): the complete .so appears
+  // under its final name in one atomic rename.
+  fs::rename(TmpSo, SoPath, EC);
+  if (EC)
+    return Err("cannot publish " + SoPath + ": " + EC.message());
+  fs::remove(LogPath, EC);
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  SoCache.emplace(Key, SoPath);
+  return SoPath;
+#endif
+}
+
+ToolchainDriver &ToolchainDriver::host() {
+  static ToolchainDriver Driver;
+  return Driver;
+}

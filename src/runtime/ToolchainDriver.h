@@ -1,0 +1,107 @@
+//===- ToolchainDriver.h - Host C toolchain driver -------------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiling emitted kernels on the host: discovers a C compiler
+/// ($LGEN_CC, then cc/gcc/clang on $PATH), turns a generated C translation
+/// unit into a shared object inside the per-process scratch directory, and
+/// loads it with dlopen behind a RAII handle.
+///
+/// Artifact hygiene (see DESIGN.md "Runtime scratch artifacts"): every
+/// .c/.so/.log this subsystem writes lives under one per-process unique
+/// directory beneath $TMPDIR, created lazily and removed on normal process
+/// exit. Shared objects are cached by an FNV-1a fingerprint of
+/// (source, compile flags) and published with the same write-to-temp +
+/// atomic-rename pattern the KernelCache uses, so concurrent compilations
+/// of the same kernel — and concurrent lgen processes, which each own a
+/// distinct scratch directory — never observe half-written files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_RUNTIME_TOOLCHAINDRIVER_H
+#define LGEN_RUNTIME_TOOLCHAINDRIVER_H
+
+#include "isa/ISA.h"
+#include "support/Expected.h"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace lgen {
+namespace runtime {
+
+/// The per-process scratch directory for runtime artifacts:
+/// $TMPDIR/lgen-runtime-<pid>. Created on first use, removed (recursively)
+/// on normal exit. The error state reports an unwritable $TMPDIR.
+Expected<std::string> scratchDir();
+
+/// A dlopen'ed shared object with RAII unloading. Move-only; the handle is
+/// closed when the last owner goes away.
+class SharedLibrary {
+public:
+  SharedLibrary() = default;
+  ~SharedLibrary();
+  SharedLibrary(SharedLibrary &&Other) noexcept;
+  SharedLibrary &operator=(SharedLibrary &&Other) noexcept;
+  SharedLibrary(const SharedLibrary &) = delete;
+  SharedLibrary &operator=(const SharedLibrary &) = delete;
+
+  /// dlopen(\p Path, RTLD_NOW | RTLD_LOCAL); the error state carries the
+  /// dlerror() text.
+  static Expected<SharedLibrary> open(const std::string &Path);
+
+  /// dlsym, or null when the symbol is absent.
+  void *symbol(const char *Name) const;
+
+  bool loaded() const { return Handle != nullptr; }
+  const std::string &path() const { return Path; }
+
+private:
+  void *Handle = nullptr;
+  std::string Path;
+};
+
+/// Discovers and drives the host C compiler. All methods are thread-safe;
+/// the autotuner's parallel plan compilation shares one instance.
+class ToolchainDriver {
+public:
+  /// Uses \p CompilerPath verbatim (tests point this at fake or broken
+  /// compilers); empty discovers one.
+  explicit ToolchainDriver(std::string CompilerPath = "");
+
+  /// True when a compiler was found; error() explains a failed discovery.
+  bool available() const { return !Compiler.empty(); }
+  const std::string &error() const { return DiscoveryError; }
+  const std::string &compilerPath() const { return Compiler; }
+
+  /// Compiles \p CSource into a shared object for \p ISA and returns its
+  /// path inside the scratch directory. Results are cached by an FNV-1a
+  /// fingerprint of (source, flags): recompiling the same kernel is a file
+  /// reuse, counted under the runtime.socache.hit trace counter. On
+  /// toolchain failure the error carries the compiler's diagnostics.
+  Expected<std::string> compileSharedObject(const std::string &CSource,
+                                            isa::ISAKind ISA);
+
+  /// The -m feature flags \p ISA needs (empty for scalar, or on targets
+  /// where the baseline already includes it).
+  static std::string isaFlags(isa::ISAKind ISA);
+
+  /// The process-wide driver instance (discovered once, shared .so cache).
+  static ToolchainDriver &host();
+
+private:
+  std::string Compiler;
+  std::string DiscoveryError;
+
+  std::mutex Mutex;
+  std::unordered_map<uint64_t, std::string> SoCache; // fingerprint -> path
+};
+
+} // namespace runtime
+} // namespace lgen
+
+#endif // LGEN_RUNTIME_TOOLCHAINDRIVER_H

@@ -16,6 +16,11 @@
 ///   --search-seed=N        autotuning RNG seed
 ///   --guided-search        hill-climb instead of random sampling
 ///   --objective=cycles|energy|edp
+///   --tune-backend=model|native
+///                          score candidate plans with the timing model
+///                          (default) or with real measured cycles on the
+///                          host (falls back to the model when the host
+///                          cannot run the target ISA)
 ///   --tuner-threads=N      parallel search lanes (0 = all cores)
 ///   --cache-dir=PATH       persistent kernel cache ($LGEN_CACHE_DIR too)
 ///   --cache-stats          print cache hit/miss/eviction counters
@@ -26,6 +31,17 @@
 ///                          stays pure JSON.
 ///   --dump-ir=STAGE        print IR at a stage boundary: ll, sll,
 ///                          sll-opt, cir, cir-final, or all
+///   --run[=N]              compile the emitted C with the host toolchain,
+///                          execute it natively N times (default 1) over
+///                          deterministic random inputs, and print an
+///                          output checksum. Exits 1 on toolchain or load
+///                          failure; a target ISA the host cannot run is
+///                          an explicit skip, not an error.
+///   --bench                like --run, but measure: print median cycles
+///                          per invocation, flops/cycle, and the cycle
+///                          counter used (§5.1.5 protocol)
+///   --measure-reps=N       timed repetitions for --bench and native
+///                          tuning (default 7)
 ///
 /// Flag names follow the Options::Builder methods one-to-one. Several
 /// BLACs compile as one batch over the shared pool and cache.
@@ -60,9 +76,11 @@ int usage(const char *Argv0) {
       "          [--config=LGen|LGen-Align|LGen-MVM|LGen-Full] [--full]\n"
       "          [--search-samples=N] [--search-seed=N] [--guided-search]\n"
       "          [--objective=cycles|energy|edp] [--tuner-threads=N]\n"
-      "          [--cache-dir=PATH] [--cache-stats]\n"
+      "          [--tune-backend=model|native] [--cache-dir=PATH]\n"
+      "          [--cache-stats]\n"
       "          [--emit=c|ir|stats|time|all|none] [--trace[=FILE]]\n"
       "          [--dump-ir=ll|sll|sll-opt|cir|cir-final|all]\n"
+      "          [--run[=N]] [--bench] [--measure-reps=N]\n"
       "          \"<BLAC>\" [\"<BLAC>\" ...]\n",
       Argv0);
   return 2;
@@ -71,6 +89,84 @@ int usage(const char *Argv0) {
 bool validStage(const std::string &S) {
   return S == "ll" || S == "sll" || S == "sll-opt" || S == "cir" ||
          S == "cir-final" || S == "all";
+}
+
+/// FNV-1a over the output buffer's bytes: a stable one-line fingerprint of
+/// a native run's result (bitwise-deterministic for a fixed host/target).
+uint64_t checksum(const std::vector<float> &Data) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (float V : Data) {
+    unsigned char Bytes[sizeof(float)];
+    std::memcpy(Bytes, &V, sizeof(float));
+    for (unsigned char B : Bytes) {
+      H ^= B;
+      H *= 0x100000001b3ULL;
+    }
+  }
+  return H;
+}
+
+/// Executes (and with \p Bench, measures) \p CK natively. Returns 0 on
+/// success, 1 on toolchain/load failure, and 0 with a printed skip note
+/// when the host cannot run the target ISA.
+int runNative(const compiler::CompiledKernel &CK, unsigned Runs, bool Bench,
+              unsigned MeasureReps) {
+  Expected<runtime::NativeKernel> NK = runtime::NativeKernel::load(CK);
+  if (!NK) {
+    isa::ISAKind ISA = CK.Opts.effectiveNu() == 1 ? isa::ISAKind::Scalar
+                                                  : CK.Opts.ISA;
+    if (!runtime::CpuInfo::host().supports(ISA)) {
+      std::printf("// --- native run skipped ---\n%s\n", NK.error().c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "error: native execution failed: %s\n",
+                 NK.error().c_str());
+    return 1;
+  }
+
+  const ll::Program &P = CK.Blac;
+  std::vector<machine::Buffer> Storage;
+  std::vector<machine::Buffer *> Params;
+  size_t OutIdx = 0;
+  Rng R(0x5eed);
+  for (size_t I = 0; I != P.Operands.size(); ++I) {
+    const ll::Operand &Op = P.Operands[I];
+    Storage.emplace_back(Op.numElements(), 0.0f, 0);
+    for (float &V : Storage.back().Data)
+      V = static_cast<float>(R.next() % 1000) / 250.0f - 2.0f;
+    if (Op.Name == P.OutputName)
+      OutIdx = I;
+  }
+  for (machine::Buffer &B : Storage)
+    Params.push_back(&B);
+
+  if (Bench) {
+    runtime::MeasureOptions MO;
+    MO.Reps = MeasureReps;
+    runtime::MeasureResult M = runtime::measure(*NK, Params, MO);
+    std::printf("// --- native bench ---\n"
+                "cycles=%.1f (median of %u, x%u inner) perf=%.3f f/c "
+                "counter=%s checksum=%016llx\n",
+                M.MedianCycles, MO.Reps, M.InnerIters,
+                M.MedianCycles > 0 ? CK.Flops / M.MedianCycles : 0.0,
+                M.Counter.c_str(),
+                (unsigned long long)checksum(Storage[OutIdx].Data));
+    return 0;
+  }
+
+  // --run=N: N independent executions over the same inputs (each run
+  // re-marshals, so an InOut output does not accumulate across runs).
+  std::vector<std::vector<float>> Pristine;
+  for (const machine::Buffer &B : Storage)
+    Pristine.push_back(B.Data);
+  for (unsigned I = 0; I != Runs; ++I) {
+    for (size_t J = 0; J != Storage.size(); ++J)
+      Storage[J].Data = Pristine[J];
+    NK->execute(Params);
+  }
+  std::printf("// --- native run (x%u) ---\nchecksum=%016llx\n", Runs,
+              (unsigned long long)checksum(Storage[OutIdx].Data));
+  return 0;
 }
 
 void printKernel(const compiler::CompiledKernel &CK,
@@ -118,6 +214,10 @@ int main(int Argc, char **Argv) {
   bool TraceOn = false;
   std::string TraceFile;
   std::string DumpIr;
+  compiler::TuneBackend Backend = compiler::TuneBackend::Model;
+  unsigned Runs = 0;
+  bool Bench = false;
+  unsigned MeasureReps = 7;
   std::vector<std::string> Sources;
 
   for (int I = 1; I < Argc; ++I) {
@@ -156,6 +256,28 @@ int main(int Argc, char **Argv) {
         Objective = compiler::TuneObjective::EDP;
       else
         return usage(Argv[0]);
+    } else if (Arg.rfind("--tune-backend=", 0) == 0) {
+      std::string B = Arg.substr(15);
+      if (B == "model")
+        Backend = compiler::TuneBackend::Model;
+      else if (B == "native")
+        Backend = compiler::TuneBackend::Native;
+      else
+        return usage(Argv[0]);
+    } else if (Arg == "--run") {
+      Runs = 1;
+    } else if (Arg.rfind("--run=", 0) == 0) {
+      int N = std::atoi(Arg.c_str() + 6);
+      if (N < 1)
+        return usage(Argv[0]);
+      Runs = static_cast<unsigned>(N);
+    } else if (Arg == "--bench") {
+      Bench = true;
+    } else if (Arg.rfind("--measure-reps=", 0) == 0) {
+      int N = std::atoi(Arg.c_str() + 15);
+      if (N < 1)
+        return usage(Argv[0]);
+      MeasureReps = static_cast<unsigned>(N);
     } else if (Arg.rfind("--tuner-threads=", 0) == 0) {
       TunerThreads = static_cast<unsigned>(std::atoi(Arg.c_str() + 16));
     } else if (Arg.rfind("--cache-dir=", 0) == 0) {
@@ -202,6 +324,8 @@ int main(int Argc, char **Argv) {
   O.SearchSeed = SearchSeed;
   O.GuidedSearch = GuidedSearch;
   O.Objective = Objective;
+  O.Backend = Backend;
+  O.MeasureReps = MeasureReps;
   O.TunerThreads = TunerThreads;
   O.CacheDir = CacheDir;
 
@@ -240,6 +364,9 @@ int main(int Argc, char **Argv) {
       continue;
     }
     printKernel(*Kernels[I], M, Emit);
+    if (Runs || Bench)
+      if (runNative(*Kernels[I], Runs ? Runs : 1, Bench, MeasureReps))
+        Rc = 1;
   }
 
   if (!DumpIr.empty())

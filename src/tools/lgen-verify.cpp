@@ -24,6 +24,14 @@
 ///   --inject=MODE       inject a fault (flip-add, drop-store) into every
 ///                       compile — the tool must then FAIL; verifies the
 ///                       verifier
+///   --exec=sim|native|both
+///                       execution backend(s): sim (default) runs the
+///                       machine::Executor only; native/both additionally
+///                       compile every variant with the host toolchain and
+///                       cross-check the real run against both the
+///                       reference and the simulated result. Targets the
+///                       host cannot run (e.g. NEON on x86) are skipped
+///                       cleanly and reported as such.
 ///   --reduce            on failure, shrink the BLAC to a minimal failing
 ///                       reproducer before exiting
 ///   --no-misaligned     skip the misaligned-base executions
@@ -58,7 +66,8 @@ int usage(const char *Argv0) {
                "          [--seed N] [--targets atom,a8,a9,arm1176,"
                "sandybridge]\n"
                "          [--samples N] [--input-sets N] [--inject=MODE]\n"
-               "          [--reduce] [--no-misaligned] [--no-verify-ir]\n"
+               "          [--exec=sim|native|both] [--reduce]\n"
+               "          [--no-misaligned] [--no-verify-ir]\n"
                "          [--no-opt-sweep] [\"<BLAC>\" ...]\n",
                Argv0);
   return 2;
@@ -144,6 +153,15 @@ int main(int Argc, char **Argv) {
       if (Val != "flip-add" && Val != "drop-store")
         return usage(Argv[0]);
       Plan.Inject = Val;
+    } else if (valueOf(Arg, "--exec", I, Val)) {
+      if (Val == "sim")
+        Plan.Exec = verify::ExecBackend::Simulated;
+      else if (Val == "native")
+        Plan.Exec = verify::ExecBackend::Native;
+      else if (Val == "both")
+        Plan.Exec = verify::ExecBackend::Both;
+      else
+        return usage(Argv[0]);
     } else if (Arg == "--reduce") {
       Reduce = true;
     } else if (Arg == "--no-misaligned") {
@@ -188,6 +206,8 @@ int main(int Argc, char **Argv) {
   }
 
   unsigned Configs = 0, Plans = 0, Execs = 0;
+  unsigned NativeExecs = 0, NativeSkips = 0;
+  std::string NativeSkipReason;
   for (size_t T = 0; T != Work.size(); ++T) {
     std::fprintf(stderr, "[%zu/%zu] %s\n", T + 1, Work.size(),
                  Work[T].Source.c_str());
@@ -195,6 +215,10 @@ int main(int Argc, char **Argv) {
     Configs += D.ConfigsChecked;
     Plans += D.PlansChecked;
     Execs += D.ExecutionsChecked;
+    NativeExecs += D.NativeChecked;
+    NativeSkips += D.NativeSkips;
+    if (NativeSkipReason.empty())
+      NativeSkipReason = D.NativeSkipReason;
     if (D.ok())
       continue;
 
@@ -228,5 +252,14 @@ int main(int Argc, char **Argv) {
               Plan.Targets.size() == 1 ? "" : "s", Configs,
               Configs == 1 ? "" : "s", Plans, Plans == 1 ? "" : "s", Execs,
               Execs == 1 ? "" : "s");
+  if (Plan.Exec != verify::ExecBackend::Simulated) {
+    std::printf("native: %u run%s cross-checked against the reference and "
+                "the simulated executor",
+                NativeExecs, NativeExecs == 1 ? "" : "s");
+    if (NativeSkips)
+      std::printf("; %u variant%s skipped (%s)", NativeSkips,
+                  NativeSkips == 1 ? "" : "s", NativeSkipReason.c_str());
+    std::printf("\n");
+  }
   return 0;
 }

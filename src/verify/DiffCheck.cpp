@@ -4,7 +4,10 @@
 
 #include "ll/Parser.h"
 #include "machine/Executor.h"
+#include "runtime/CpuInfo.h"
+#include "runtime/NativeKernel.h"
 
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -87,6 +90,41 @@ ll::MatrixValue runKernel(const compiler::CompiledKernel &CK,
   return Out;
 }
 
+/// The native twin of runKernel: identical buffer marshaling, but the
+/// kernel runs as host machine code through the loaded shared object.
+ll::MatrixValue runNative(const runtime::NativeKernel &NK,
+                          const compiler::CompiledKernel &CK,
+                          const ll::Bindings &Inputs, unsigned AlignOffset) {
+  const ll::Program &P = CK.Blac;
+  std::vector<machine::Buffer> Storage(P.Operands.size());
+  std::vector<machine::Buffer *> Params;
+  size_t OutIdx = 0;
+  for (size_t I = 0; I != P.Operands.size(); ++I) {
+    const ll::Operand &O = P.Operands[I];
+    unsigned Offset = O.numElements() > 1 ? AlignOffset : 0;
+    Storage[I] = machine::Buffer(O.numElements(), 0.0f, Offset);
+    auto BIt = Inputs.find(O.Name);
+    if (BIt != Inputs.end())
+      Storage[I].Data = BIt->second.Data;
+    if (O.Name == P.OutputName)
+      OutIdx = I;
+    Params.push_back(&Storage[I]);
+  }
+  NK.execute(Params);
+  ll::MatrixValue Out(P.Operands[OutIdx].Rows, P.Operands[OutIdx].Cols);
+  Out.Data = Storage[OutIdx].Data;
+  return Out;
+}
+
+/// True when a native load failure means "this host cannot run the target"
+/// (missing ISA or missing toolchain) rather than a genuine defect.
+bool isCleanNativeSkip(const compiler::CompiledKernel &CK) {
+  isa::ISAKind ISA = CK.Opts.effectiveNu() == 1 ? isa::ISAKind::Scalar
+                                                : CK.Opts.ISA;
+  return !runtime::CpuInfo::host().supports(ISA) ||
+         !runtime::ToolchainDriver::host().available();
+}
+
 } // namespace
 
 std::string DiffResult::str() const {
@@ -100,8 +138,8 @@ std::string DiffResult::str() const {
     const Mismatch &M = Mismatches[I];
     OS << "mismatch on " << M.Target << " [" << M.Config << "] plan "
        << M.Plan << " inputs #" << M.InputSet
-       << (M.Misaligned ? " (misaligned bases)" : "") << ": " << M.Detail
-       << "\n";
+       << (M.Misaligned ? " (misaligned bases)" : "") << " <" << M.Backend
+       << ">: " << M.Detail << "\n";
   }
   if (Mismatches.size() > MaxShown)
     OS << "... and " << (Mismatches.size() - MaxShown)
@@ -175,28 +213,68 @@ DiffResult verify::checkProgram(const ll::Program &P,
           continue;
         }
 
-        for (unsigned S = 0; S != InputSets.size(); ++S) {
-          for (unsigned Mis = 0; Mis != (Opts.Misaligned ? 2u : 1u); ++Mis) {
-            ll::MatrixValue Actual = runKernel(CK, InputSets[S], Mis);
-            UlpReport Rep = compareValues(Expected[S], Actual);
-            ++Result.ExecutionsChecked;
-            if (Tol.accepts(Rep))
-              continue;
+        // One native load per compiled variant (the .so is cached by
+        // fingerprint, so repeated input sets reuse it). A host that
+        // cannot run the target records a clean skip; a toolchain or
+        // loader rejection of generated code is a finding.
+        std::unique_ptr<runtime::NativeKernel> NK;
+        if (Opts.Exec != ExecBackend::Simulated) {
+          lgen::Expected<runtime::NativeKernel> Loaded =
+              runtime::NativeKernel::load(CK);
+          if (Loaded) {
+            NK = std::make_unique<runtime::NativeKernel>(std::move(*Loaded));
+          } else if (isCleanNativeSkip(CK)) {
+            ++Result.NativeSkips;
+            if (Result.NativeSkipReason.empty())
+              Result.NativeSkipReason = Loaded.error();
+          } else {
             Mismatch M;
             M.Target = machine::uarchName(Target);
             M.Config = Cfg.Name;
             M.Plan = Plan.str();
-            M.InputSet = S;
-            M.Misaligned = Mis != 0;
-            M.Report = Rep;
-            std::ostringstream OS;
-            OS << "element " << Rep.WorstIndex << ": expected "
-               << Rep.Expected << ", got " << Rep.Actual << " ("
-               << Rep.MaxUlps << " ulps, |diff| " << Rep.MaxAbsDiff
-               << ", tolerance " << Tol.MaxUlps << " ulps / "
-               << Tol.AbsFloor << " abs)";
-            M.Detail = OS.str();
+            M.Backend = "native";
+            M.Detail = Loaded.error();
             Result.Mismatches.push_back(std::move(M));
+          }
+        }
+
+        auto Report = [&](const UlpReport &Rep, const char *Backend,
+                          unsigned S, bool Mis) {
+          if (Tol.accepts(Rep))
+            return;
+          Mismatch M;
+          M.Target = machine::uarchName(Target);
+          M.Config = Cfg.Name;
+          M.Plan = Plan.str();
+          M.InputSet = S;
+          M.Misaligned = Mis;
+          M.Backend = Backend;
+          M.Report = Rep;
+          std::ostringstream OS;
+          OS << "element " << Rep.WorstIndex << ": expected " << Rep.Expected
+             << ", got " << Rep.Actual << " (" << Rep.MaxUlps
+             << " ulps, |diff| " << Rep.MaxAbsDiff << ", tolerance "
+             << Tol.MaxUlps << " ulps / " << Tol.AbsFloor << " abs)";
+          M.Detail = OS.str();
+          Result.Mismatches.push_back(std::move(M));
+        };
+
+        for (unsigned S = 0; S != InputSets.size(); ++S) {
+          for (unsigned Mis = 0; Mis != (Opts.Misaligned ? 2u : 1u); ++Mis) {
+            ll::MatrixValue Actual = runKernel(CK, InputSets[S], Mis);
+            ++Result.ExecutionsChecked;
+            Report(compareValues(Expected[S], Actual), "sim", S, Mis != 0);
+            if (!NK)
+              continue;
+            ll::MatrixValue Native = runNative(*NK, CK, InputSets[S], Mis);
+            ++Result.NativeChecked;
+            Report(compareValues(Expected[S], Native), "native", S,
+                   Mis != 0);
+            // The two backends must also agree with *each other* within
+            // the same tolerance (they may legally round differently, but
+            // not diverge further than two tolerable results can).
+            Report(compareValues(Actual, Native), "native-vs-sim", S,
+                   Mis != 0);
           }
         }
       }

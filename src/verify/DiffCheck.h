@@ -33,6 +33,15 @@
 namespace lgen {
 namespace verify {
 
+/// Which execution backends the checker runs each compiled variant on.
+/// Simulated is the deterministic default. Native additionally compiles
+/// every variant with the host toolchain and runs it for real, comparing
+/// native output against the reference *and* against the simulated output
+/// (the cross-check needs both backends, so Native implies Simulated; Both
+/// is the explicit spelling of the same sweep). Hosts that cannot run a
+/// target ISA, or lack a C compiler, record clean skips — never failures.
+enum class ExecBackend { Simulated, Native, Both };
+
 struct PlanSpaceOptions {
   /// Targets to sweep; the default covers an SSE-style (Atom/SSSE3) and a
   /// NEON-style (Cortex-A8) machine.
@@ -59,6 +68,8 @@ struct PlanSpaceOptions {
   bool VerifyIR = true;
   /// Fault-injection mode forwarded to the compiler (testing the tester).
   std::string Inject;
+  /// Execution backend(s); see ExecBackend.
+  ExecBackend Exec = ExecBackend::Simulated;
 };
 
 /// One detected divergence between a compiled variant and the reference.
@@ -68,6 +79,10 @@ struct Mismatch {
   std::string Plan;    ///< TilingPlan::str() of the failing plan.
   unsigned InputSet = 0;
   bool Misaligned = false;
+  /// Which comparison diverged: "sim" (executor vs reference), "native"
+  /// (host run vs reference), or "native-vs-sim" (the two backends
+  /// disagreeing with each other).
+  std::string Backend = "sim";
   UlpReport Report;    ///< Worst deviation observed.
   std::string Detail;  ///< Human-readable one-line description.
 };
@@ -76,6 +91,14 @@ struct DiffResult {
   unsigned ConfigsChecked = 0;
   unsigned PlansChecked = 0;
   unsigned ExecutionsChecked = 0;
+  /// Native runs actually compared (each counts one native-vs-reference
+  /// plus one native-vs-sim comparison).
+  unsigned NativeChecked = 0;
+  /// Compiled variants whose native run was skipped because the host
+  /// cannot run them (missing ISA or toolchain) — a clean skip, not a
+  /// failure; NativeSkipReason keeps the first explanation for reporting.
+  unsigned NativeSkips = 0;
+  std::string NativeSkipReason;
   std::vector<Mismatch> Mismatches;
 
   bool ok() const { return Mismatches.empty(); }

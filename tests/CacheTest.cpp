@@ -103,6 +103,19 @@ TEST(Fingerprint, InsensitiveToTuningInfrastructure) {
       KernelCache::fingerprint(
           GemvSrc, Options::builder(machine::UArch::Atom).verifyIR().build()),
       H0);
+  // The tuning measurement backend and its protocol steer how candidate
+  // plans are *scored*, never how any plan compiles.
+  EXPECT_EQ(KernelCache::fingerprint(
+                GemvSrc, Options::builder(machine::UArch::Atom)
+                             .tuneBackend(TuneBackend::Native)
+                             .build()),
+            H0);
+  EXPECT_EQ(KernelCache::fingerprint(GemvSrc,
+                                     Options::builder(machine::UArch::Atom)
+                                         .measureReps(31)
+                                         .measureWarmup(9)
+                                         .build()),
+            H0);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,438 @@
+//===- RuntimeTest.cpp - Native execution & measurement tests --*- C++ -*-===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native runtime against the §5.1.4 methodology: kernels compiled by
+/// the host toolchain and executed as real machine code must agree with
+/// the ll::Reference evaluation (and hence with the simulated executor)
+/// within the documented ULP tolerance — on every target ISA this host can
+/// run, including with misaligned parameter bases. ISAs the host lacks
+/// SKIP cleanly; broken toolchains and unloadable objects come back as
+/// errors, never crashes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "mediator/Json.h"
+#include "runtime/CpuInfo.h"
+#include "runtime/Measure.h"
+#include "runtime/NativeKernel.h"
+#include "verify/Ulp.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace lgen;
+using namespace lgen::compiler;
+using namespace lgen::testutil;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Native twin of testutil::runCompiled: same marshaling contract, but the
+/// kernel executes as loaded host machine code.
+ll::MatrixValue
+runNative(const runtime::NativeKernel &NK, const compiler::CompiledKernel &CK,
+          const ll::Bindings &Inputs,
+          const std::map<std::string, unsigned> &AlignOffsets = {}) {
+  const ll::Program &P = CK.Blac;
+  std::vector<machine::Buffer> Storage(P.Operands.size());
+  std::vector<machine::Buffer *> Params;
+  size_t OutIdx = 0;
+  for (size_t I = 0; I != P.Operands.size(); ++I) {
+    const ll::Operand &O = P.Operands[I];
+    auto AIt = AlignOffsets.find(O.Name);
+    unsigned Offset = AIt == AlignOffsets.end() ? 0 : AIt->second;
+    Storage[I] = machine::Buffer(O.numElements(), 0.0f, Offset);
+    auto BIt = Inputs.find(O.Name);
+    if (BIt != Inputs.end())
+      Storage[I].Data = BIt->second.Data;
+    if (O.Name == P.OutputName)
+      OutIdx = I;
+    Params.push_back(&Storage[I]);
+  }
+  NK.execute(Params);
+  ll::MatrixValue Out(P.Operands[OutIdx].Rows, P.Operands[OutIdx].Cols);
+  Out.Data = Storage[OutIdx].Data;
+  return Out;
+}
+
+/// Loads \p CK natively, skipping the calling test when this host cannot
+/// run it (missing ISA or toolchain) and failing it on any other error.
+/// Returns nullptr after recording the skip.
+std::unique_ptr<runtime::NativeKernel>
+loadOrSkip(const compiler::CompiledKernel &CK) {
+  Expected<runtime::NativeKernel> NK = runtime::NativeKernel::load(CK);
+  if (NK)
+    return std::make_unique<runtime::NativeKernel>(std::move(*NK));
+  isa::ISAKind ISA =
+      CK.Opts.effectiveNu() == 1 ? isa::ISAKind::Scalar : CK.Opts.ISA;
+  if (!runtime::CpuInfo::host().supports(ISA) ||
+      !runtime::ToolchainDriver::host().available())
+    return nullptr;
+  ADD_FAILURE() << "native load failed on a runnable target: " << NK.error();
+  return nullptr;
+}
+
+struct TargetCase {
+  const char *Name;
+  machine::UArch U;
+  isa::ISAKind ISA;
+};
+
+const TargetCase Targets[] = {
+    {"atom_ssse3", machine::UArch::Atom, isa::ISAKind::SSSE3},
+    {"atom_sse41", machine::UArch::Atom, isa::ISAKind::SSE41},
+    {"sandybridge_avx", machine::UArch::SandyBridge, isa::ISAKind::AVX},
+    {"a8_neon", machine::UArch::CortexA8, isa::ISAKind::NEON},
+    {"arm1176_scalar", machine::UArch::ARM1176, isa::ISAKind::Scalar},
+};
+
+class NativeTargetTest : public ::testing::TestWithParam<TargetCase> {
+protected:
+  Options optionsFor() const {
+    const TargetCase &TC = GetParam();
+    return Options::builder(TC.U).full().isa(TC.ISA).build();
+  }
+
+  // A skip from SetUp prevents the test body from running at all, so
+  // host-unrunnable targets report SKIPPED, never FAILED.
+  void SetUp() override {
+    const TargetCase &TC = GetParam();
+    if (!runtime::ToolchainDriver::host().available())
+      GTEST_SKIP() << runtime::ToolchainDriver::host().error();
+    if (!runtime::CpuInfo::host().supports(TC.ISA))
+      GTEST_SKIP() << "host (" << runtime::CpuInfo::host().str()
+                   << ") cannot run " << isa::isaName(TC.ISA);
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CpuInfo
+//===----------------------------------------------------------------------===//
+
+TEST(CpuInfoTest, ScalarAlwaysRunnable) {
+  EXPECT_TRUE(runtime::CpuInfo::host().supports(isa::ISAKind::Scalar));
+  EXPECT_FALSE(runtime::CpuInfo::host().str().empty());
+}
+
+TEST(CpuInfoTest, ExclusiveIsaFamilies) {
+  // No real CPU implements both SSE and NEON; the probe must never claim
+  // an ISA from the other architecture's family.
+  const runtime::CpuInfo &I = runtime::CpuInfo::host();
+  if (I.HasNEON) {
+    EXPECT_FALSE(I.HasSSSE3 || I.HasSSE41 || I.HasAVX);
+  }
+  if (I.HasSSSE3 || I.HasSSE41 || I.HasAVX) {
+    EXPECT_FALSE(I.HasNEON);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ToolchainDriver and SharedLibrary error paths
+//===----------------------------------------------------------------------===//
+
+TEST(ToolchainTest, ScratchDirIsPerProcess) {
+  Expected<std::string> Dir = runtime::scratchDir();
+  ASSERT_TRUE(bool(Dir)) << Dir.error();
+  EXPECT_NE(Dir->find("lgen-runtime-"), std::string::npos);
+  EXPECT_TRUE(fs::exists(*Dir));
+}
+
+TEST(ToolchainTest, BrokenCompilerReportsErrorNotCrash) {
+  Expected<std::string> Scratch = runtime::scratchDir();
+  ASSERT_TRUE(bool(Scratch)) << Scratch.error();
+  std::string Fake = *Scratch + "/fake-cc.sh";
+  {
+    std::ofstream Out(Fake);
+    Out << "#!/bin/sh\necho 'fake-cc: deliberate failure' >&2\nexit 1\n";
+  }
+  fs::permissions(Fake, fs::perms::owner_all);
+
+  runtime::ToolchainDriver TD(Fake);
+  ASSERT_TRUE(TD.available());
+  Expected<std::string> So =
+      TD.compileSharedObject("void f(void) {}\n", isa::ISAKind::Scalar);
+  ASSERT_FALSE(bool(So));
+  EXPECT_NE(So.error().find("toolchain failure"), std::string::npos);
+  EXPECT_NE(So.error().find("deliberate failure"), std::string::npos);
+}
+
+TEST(ToolchainTest, GarbageSharedObjectFailsToLoad) {
+  Expected<std::string> Scratch = runtime::scratchDir();
+  ASSERT_TRUE(bool(Scratch)) << Scratch.error();
+  std::string Garbage = *Scratch + "/garbage.so";
+  {
+    std::ofstream Out(Garbage, std::ios::binary);
+    Out << "this is not an ELF shared object";
+  }
+  Expected<runtime::SharedLibrary> Lib = runtime::SharedLibrary::open(Garbage);
+  ASSERT_FALSE(bool(Lib));
+  EXPECT_NE(Lib.error().find("dlopen"), std::string::npos);
+}
+
+TEST(ToolchainTest, MissingSymbolReturnsNull) {
+  if (!runtime::ToolchainDriver::host().available())
+    GTEST_SKIP() << runtime::ToolchainDriver::host().error();
+  Expected<std::string> So = runtime::ToolchainDriver::host().compileSharedObject(
+      "void lgen_test_present(void) {}\n", isa::ISAKind::Scalar);
+  ASSERT_TRUE(bool(So)) << So.error();
+  Expected<runtime::SharedLibrary> Lib = runtime::SharedLibrary::open(*So);
+  ASSERT_TRUE(bool(Lib)) << Lib.error();
+  EXPECT_NE(Lib->symbol("lgen_test_present"), nullptr);
+  EXPECT_EQ(Lib->symbol("lgen_test_absent"), nullptr);
+}
+
+TEST(ToolchainTest, SharedObjectCacheHitsOnRecompile) {
+  if (!runtime::ToolchainDriver::host().available())
+    GTEST_SKIP() << runtime::ToolchainDriver::host().error();
+  runtime::ToolchainDriver &TD = runtime::ToolchainDriver::host();
+  std::string Src = "void lgen_cache_probe(void) {}\n";
+  Expected<std::string> A = TD.compileSharedObject(Src, isa::ISAKind::Scalar);
+  Expected<std::string> B = TD.compileSharedObject(Src, isa::ISAKind::Scalar);
+  ASSERT_TRUE(bool(A)) << A.error();
+  ASSERT_TRUE(bool(B)) << B.error();
+  EXPECT_EQ(*A, *B);
+}
+
+//===----------------------------------------------------------------------===//
+// Native execution vs. the reference, across host-runnable targets
+//===----------------------------------------------------------------------===//
+
+TEST_P(NativeTargetTest, MatchesReference) {
+  const char *Blacs[] = {
+      "Scalar a; Vector x(9); Vector y(9); y = a*x + y;",
+      "Vector x(8); Vector y(8); Scalar a; a = x' * y;",
+      "Matrix A(4, 10); Vector x(10); Vector y(4); y = A*x;",
+      "Matrix A(6, 5); Matrix B(5, 6); Matrix C(6, 6); Scalar alpha; "
+      "Scalar beta; C = alpha*(A*B) + beta*C;",
+  };
+  Compiler C(optionsFor());
+  for (const char *Src : Blacs) {
+    SCOPED_TRACE(Src);
+    ll::Program P = ll::parseProgramOrDie(Src);
+    CompiledKernel CK = C.compile(P);
+    std::unique_ptr<runtime::NativeKernel> NK = loadOrSkip(CK);
+    ASSERT_NE(NK, nullptr); // SetUp skipped unrunnable hosts, so failure-to-load is a FAIL
+
+    Rng R(42);
+    ll::Bindings In = randomBindings(P, R);
+    ll::MatrixValue Want = ll::evaluate(P, In);
+    ll::MatrixValue Sim = runCompiled(CK, In);
+    ll::MatrixValue Nat = runNative(*NK, CK, In);
+
+    verify::Tolerance Tol = verify::toleranceFor(P);
+    EXPECT_TRUE(Tol.accepts(verify::compareValues(Want, Nat)))
+        << "native diverges from reference";
+    EXPECT_TRUE(Tol.accepts(verify::compareValues(Sim, Nat)))
+        << "native diverges from the simulated executor";
+  }
+}
+
+TEST_P(NativeTargetTest, MisalignedBasesMatchReference) {
+  Options O = Options::builder(GetParam().U)
+                  .full()
+                  .isa(GetParam().ISA)
+                  .alignmentDetection()
+                  .build();
+  Compiler C(O);
+  std::string Src = "Vector x(12); Vector y(12); Scalar a; y = a*x + y;";
+  ll::Program P = ll::parseProgramOrDie(Src);
+  CompiledKernel CK = C.compile(P);
+  std::unique_ptr<runtime::NativeKernel> NK = loadOrSkip(CK);
+  ASSERT_NE(NK, nullptr);
+
+  Rng R(7);
+  ll::Bindings In = randomBindings(P, R);
+  ll::MatrixValue Want = ll::evaluate(P, In);
+  verify::Tolerance Tol = verify::toleranceFor(P);
+  // Offset 1 exercises the unaligned fallback (and, for versioned
+  // kernels, the runtime dispatch on real pointer bits).
+  for (unsigned Offset : {0u, 1u}) {
+    SCOPED_TRACE("offset " + std::to_string(Offset));
+    std::map<std::string, unsigned> Offsets{{"x", Offset}, {"y", Offset}};
+    ll::MatrixValue Nat = runNative(*NK, CK, In, Offsets);
+    EXPECT_TRUE(Tol.accepts(verify::compareValues(Want, Nat)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, NativeTargetTest,
+                         ::testing::ValuesIn(Targets),
+                         [](const ::testing::TestParamInfo<TargetCase> &I) {
+                           return std::string(I.param.Name);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Measurement protocol
+//===----------------------------------------------------------------------===//
+
+TEST(MeasureTest, ProtocolShapeAndMonotonicity) {
+  if (!runtime::ToolchainDriver::host().available())
+    GTEST_SKIP() << runtime::ToolchainDriver::host().error();
+  Options O = Options::builder(machine::UArch::ARM1176).full().build();
+  Compiler C(O);
+  ll::Program P = ll::parseProgramOrDie(
+      "Matrix A(8, 8); Vector x(8); Vector y(8); y = A*x;");
+  CompiledKernel CK = C.compile(P);
+  std::unique_ptr<runtime::NativeKernel> NK = loadOrSkip(CK);
+  ASSERT_NE(NK, nullptr);
+
+  std::vector<machine::Buffer> Storage;
+  std::vector<machine::Buffer *> Params;
+  for (const ll::Operand &Op : P.Operands)
+    Storage.emplace_back(Op.numElements(), 1.0f, 0);
+  for (machine::Buffer &B : Storage)
+    Params.push_back(&B);
+
+  runtime::MeasureOptions MO;
+  MO.Reps = 5;
+  runtime::MeasureResult M = runtime::measure(*NK, Params, MO);
+  EXPECT_EQ(M.Samples.size(), 5u);
+  EXPECT_GT(M.MedianCycles, 0.0);
+  EXPECT_LE(M.MinCycles, M.MedianCycles);
+  EXPECT_LE(M.MedianCycles, M.MaxCycles);
+  EXPECT_GE(M.InnerIters, 1u);
+  EXPECT_FALSE(M.Counter.empty());
+  EXPECT_STREQ(M.Counter.c_str(), runtime::cycleCounterName());
+}
+
+TEST(MeasureTest, MeasuredRunIsAValidExecution) {
+  if (!runtime::ToolchainDriver::host().available())
+    GTEST_SKIP() << runtime::ToolchainDriver::host().error();
+  Options O = Options::builder(machine::UArch::ARM1176).full().build();
+  Compiler C(O);
+  std::string Src = "Scalar a; Vector x(6); Vector y(6); y = a*x + y;";
+  ll::Program P = ll::parseProgramOrDie(Src);
+  CompiledKernel CK = C.compile(P);
+  std::unique_ptr<runtime::NativeKernel> NK = loadOrSkip(CK);
+  ASSERT_NE(NK, nullptr);
+
+  Rng R(3);
+  ll::Bindings In = randomBindings(P, R);
+  ll::MatrixValue Want = ll::evaluate(P, In);
+
+  std::vector<machine::Buffer> Storage(P.Operands.size());
+  std::vector<machine::Buffer *> Params;
+  size_t OutIdx = 0;
+  for (size_t I = 0; I != P.Operands.size(); ++I) {
+    Storage[I] = machine::Buffer(P.Operands[I].numElements(), 0.0f, 0);
+    Storage[I].Data = In[P.Operands[I].Name].Data;
+    if (P.Operands[I].Name == P.OutputName)
+      OutIdx = I;
+    Params.push_back(&Storage[I]);
+  }
+  // The InOut output must hold exactly ONE application of the kernel even
+  // though the measurement loop invoked it warmup+reps*inner times.
+  runtime::measure(*NK, Params);
+  ll::MatrixValue Got(Want.Rows, Want.Cols);
+  Got.Data = Storage[OutIdx].Data;
+  EXPECT_TRUE(verify::toleranceFor(P).accepts(
+      verify::compareValues(Want, Got)));
+}
+
+//===----------------------------------------------------------------------===//
+// Autotuning on measured cycles
+//===----------------------------------------------------------------------===//
+
+TEST(NativeTuneTest, NativeAndModelBackendsBothProduceValidKernels) {
+  std::string Src = "Matrix A(8, 8); Matrix B(8, 8); Matrix C(8, 8); "
+                    "C = A*B;";
+  ll::Program P = ll::parseProgramOrDie(Src);
+  Rng R(11);
+  ll::Bindings In = randomBindings(P, R);
+  ll::MatrixValue Want = ll::evaluate(P, In);
+  verify::Tolerance Tol = verify::toleranceFor(P);
+
+  for (TuneBackend B : {TuneBackend::Model, TuneBackend::Native}) {
+    SCOPED_TRACE(B == TuneBackend::Model ? "model" : "native");
+    Options O = Options::builder(machine::UArch::Atom)
+                    .full()
+                    .searchSamples(4)
+                    .tunerThreads(2)
+                    .tuneBackend(B)
+                    .measureReps(3)
+                    .build();
+    // The native backend degrades to the model on hosts that cannot run
+    // the target, so this passes (without skipping) everywhere.
+    Compiler C(O);
+    CompiledKernel CK = C.compile(P);
+    EXPECT_GT(CK.Flops, 0.0);
+    EXPECT_TRUE(Tol.accepts(verify::compareValues(Want, runCompiled(CK, In))));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Mediator measure endpoint
+//===----------------------------------------------------------------------===//
+
+TEST(NativeDeviceTest, ExecutorMeasuresOrSkipsCleanly) {
+  mediator::DeviceExecutor Exec = runtime::nativeDeviceExecutor();
+
+  json::Object Exp;
+  Exp["source"] = "Matrix A(4, 8); Vector x(8); Vector y(4); y = A*x;";
+  Exp["target"] = "arm1176"; // scalar: host-runnable wherever cc exists
+  Exp["reps"] = 3;
+  json::Value R = Exec(json::Value(Exp), 0);
+  ASSERT_TRUE(R.isObject());
+  if (!runtime::ToolchainDriver::host().available()) {
+    EXPECT_FALSE(R.getBool("supported"));
+    return;
+  }
+  EXPECT_TRUE(R.getBool("supported"));
+  EXPECT_GT(R.getNumber("cycles"), 0.0);
+  EXPECT_GT(R.getNumber("flops"), 0.0);
+  EXPECT_FALSE(R["counter"].asString().empty());
+
+  // An ISA the host lacks is a clean {supported: false}, not a throw.
+  const runtime::CpuInfo &Host = runtime::CpuInfo::host();
+  json::Object Other = Exp;
+  Other["target"] = Host.HasNEON ? "atom" : "a8";
+  if (!Host.supports(Host.HasNEON ? isa::ISAKind::SSSE3
+                                  : isa::ISAKind::NEON)) {
+    json::Value S = Exec(json::Value(Other), 0);
+    EXPECT_FALSE(S.getBool("supported"));
+    EXPECT_FALSE(S["reason"].asString().empty());
+  }
+}
+
+TEST(NativeDeviceTest, MalformedExperimentThrows) {
+  mediator::DeviceExecutor Exec = runtime::nativeDeviceExecutor();
+  json::Object Empty;
+  EXPECT_THROW(Exec(json::Value(Empty), 0), std::runtime_error);
+}
+
+//===----------------------------------------------------------------------===//
+// Argument marshaling
+//===----------------------------------------------------------------------===//
+
+TEST(ArgPackTest, HonorsAlignOffsets) {
+  if (!runtime::ToolchainDriver::host().available())
+    GTEST_SKIP() << runtime::ToolchainDriver::host().error();
+  Options O = Options::builder(machine::UArch::ARM1176).full().build();
+  Compiler C(O);
+  ll::Program P =
+      ll::parseProgramOrDie("Vector x(8); Vector y(8); y = x + y;");
+  CompiledKernel CK = C.compile(P);
+  std::unique_ptr<runtime::NativeKernel> NK = loadOrSkip(CK);
+  ASSERT_NE(NK, nullptr);
+
+  machine::Buffer X(8, 1.0f, 1), Y(8, 2.0f, 3);
+  std::vector<machine::Buffer *> Params{&X, &Y};
+  runtime::ArgPack Args(*NK, Params);
+  // Base allocations are 64-byte aligned; the handed-out pointer sits
+  // exactly AlignOffset floats past that boundary.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Args.argv()[0]) % 64,
+            1 * sizeof(float));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Args.argv()[1]) % 64,
+            3 * sizeof(float));
+  EXPECT_EQ(Args.footprintBytes(), 2 * 8 * sizeof(float));
+}
