@@ -394,6 +394,24 @@ std::string codegen::unparseCompiled(const compiler::CompiledKernel &CK) {
   OS << unparseKernel(Fallback, ISA) << "\n";
 
   OS << signature(V.Fallback, V.Fallback.getName()) << " {\n";
+  if (V.VersionedArrays.empty()) {
+    // No array participates in versioning (e.g. every parameter is a
+    // scalar), so there is exactly one combination and select() always
+    // picks version 0: call it unconditionally — an empty check chain
+    // would unparse as `if ()`.
+    OS << "  " << V.Versions[0].getName() << "_v0(";
+    bool First = true;
+    for (ArrayId Id = 0; Id != V.Fallback.getNumArrays(); ++Id) {
+      if (!V.Fallback.getArray(Id).isParam())
+        continue;
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << V.Fallback.getArray(Id).Name;
+    }
+    OS << ");\n}\n";
+    return OS.str();
+  }
   for (size_t I = 0; I != V.Versions.size(); ++I) {
     OS << (I == 0 ? "  if (" : "  else if (");
     for (size_t J = 0; J != V.VersionedArrays.size(); ++J) {

@@ -91,13 +91,15 @@ struct Options {
   /// the number of evaluations.
   bool GuidedSearch = false;
   TuneObjective Objective = TuneObjective::Cycles;
-  /// Measurement backend for the plan search. Tuner-only: it changes which
-  /// plan wins, never how a given plan compiles, and — like TunerThreads —
-  /// is excluded from cache fingerprints.
+  /// Measurement backend for the plan search. It changes which plan wins
+  /// (never how a given plan compiles), and since the persistent cache
+  /// stores winning plans it participates in cache fingerprints — exactly
+  /// like Objective and the search knobs.
   TuneBackend Backend = TuneBackend::Model;
   /// Native-backend measurement protocol (§5.1.5): timed repetitions per
-  /// plan (median reported) and untimed warm-up runs. Tuner-only, excluded
-  /// from fingerprints.
+  /// plan (median reported) and untimed warm-up runs. Protocol-only
+  /// tweaks to an inherently nondeterministic measurement, excluded from
+  /// fingerprints.
   unsigned MeasureReps = 7;
   unsigned MeasureWarmup = 2;
   /// Lanes of parallelism for the autotuning search and compileBatch

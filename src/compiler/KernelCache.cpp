@@ -111,11 +111,16 @@ uint64_t KernelCache::fingerprint(const std::string &Source,
   // InjectFault mutates the generated code, so a cached clean kernel must
   // not satisfy an injected compile (or vice versa). VerifyIR is excluded
   // like TunerThreads: checking never changes what is generated.
-  // Backend, MeasureReps, and MeasureWarmup are likewise excluded: they
-  // steer how the tuner *scores* candidate plans, never how any plan
-  // compiles, and hashing a nondeterministic measurement setup would
-  // fragment the cache across hosts for identical generated code.
   fnv1a(H, O.InjectFault);
+  // Backend participates for the same reason Objective and the search
+  // knobs do: the cache stores the *winning plan*, and model-scored and
+  // natively-measured searches pick different winners — a plan cached
+  // under one backend must not silently satisfy a compile under the
+  // other. MeasureReps and MeasureWarmup stay excluded: they tweak the
+  // (inherently nondeterministic) measurement protocol without defining a
+  // different search, and hashing them would fragment the cache for
+  // identical generated code.
+  fnv1a(H, static_cast<uint64_t>(O.Backend));
   return H;
 }
 

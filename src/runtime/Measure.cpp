@@ -104,9 +104,14 @@ private:
 };
 #endif
 
-/// Probes the counter chain once: perf_event -> rdtsc -> steady_clock.
+/// Probes the counter chain per thread: perf_event -> rdtsc -> steady_clock.
+/// perf_event fds opened with pid=0 count only the thread that opened them,
+/// and measure() runs on whichever thread calls it (the autotuner's pool
+/// workers, Mediator's device-executor workers, the main thread) — a
+/// process-global counter opened on one thread would read as frozen from
+/// every other, so each measuring thread opens its own.
 CycleCounter &hostCounter() {
-  static std::unique_ptr<CycleCounter> Counter = [] {
+  thread_local std::unique_ptr<CycleCounter> Counter = [] {
     std::unique_ptr<CycleCounter> C;
 #if defined(__linux__)
     auto Perf = std::make_unique<PerfCounter>();
@@ -133,18 +138,20 @@ std::mutex &measureMutex() {
 
 /// Pushes the marshaled parameter data out of the cache hierarchy for the
 /// cold-cache variant: clflush on x86, a large streaming write elsewhere.
-void evictWorkingSet(const NativeKernel &NK, const ArgPack &Args) {
+/// Flushes each backing allocation in full — base through padded size —
+/// because the kernel also touches the ν-element tail pad and the
+/// versioned dispatch reads near the aligned base, not just the
+/// NumElements window behind the parameter pointer.
+void evictWorkingSet(const ArgPack &Args) {
 #if defined(__x86_64__)
-  for (size_t I = 0; I != NK.params().size(); ++I) {
-    const char *P = reinterpret_cast<const char *>(Args.argv()[I]);
-    size_t Bytes =
-        static_cast<size_t>(NK.params()[I].NumElements) * sizeof(float);
+  for (size_t I = 0; I != Args.numAllocations(); ++I) {
+    const char *P = static_cast<const char *>(Args.allocationBase(I));
+    size_t Bytes = Args.allocationBytes(I);
     for (size_t Off = 0; Off < Bytes; Off += 64)
       __asm__ volatile("clflush (%0)" ::"r"(P + Off) : "memory");
   }
   __asm__ volatile("mfence" ::: "memory");
 #else
-  (void)NK;
   (void)Args;
   static std::vector<char> Evictor(16 * 1024 * 1024);
   for (size_t I = 0; I < Evictor.size(); I += 64)
@@ -204,7 +211,7 @@ MeasureResult runtime::measure(const NativeKernel &NK,
   for (unsigned R = 0; R != Reps; ++R) {
     Args.reset();
     if (Opts.ColdCache)
-      evictWorkingSet(NK, Args);
+      evictWorkingSet(Args);
     uint64_t T0 = Counter.read();
     for (unsigned I = 0; I != Inner; ++I)
       Entry(Args.argv());

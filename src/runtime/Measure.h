@@ -12,11 +12,13 @@
 /// meaningful; cold-cache measurements evict the parameter working set
 /// between repetitions and time single invocations.
 ///
-/// Cycle counts come from the best counter the host offers, probed once in
-/// order: the perf_event hardware cycle counter (often unavailable inside
-/// containers), the x86 time-stamp counter, and finally the steady clock
-/// (nanoseconds standing in for cycles). The chosen source is named in
-/// every result so reports never silently mix units.
+/// Cycle counts come from the best counter the host offers, probed once
+/// per measuring thread in order: the perf_event hardware cycle counter
+/// (often unavailable inside containers; opened per thread because a
+/// pid=0 perf fd counts only its opener thread), the x86 time-stamp
+/// counter, and finally the steady clock (nanoseconds standing in for
+/// cycles). The chosen source is named in every result so reports never
+/// silently mix units.
 ///
 /// Measurements are serialized process-wide: the autotuner may *compile*
 /// candidate plans in parallel, but timed runs take a global lock so they
@@ -72,7 +74,8 @@ MeasureResult measure(const NativeKernel &NK,
                       const std::vector<machine::Buffer *> &Params,
                       const MeasureOptions &Opts = MeasureOptions());
 
-/// The cycle counter measure() would use on this host (probed once).
+/// The cycle counter measure() would use on the calling thread (probed
+/// once per thread).
 const char *cycleCounterName();
 
 /// A Mediator device executor backed by real native measurement, making

@@ -11,6 +11,10 @@
 #include <cstring>
 #include <sstream>
 
+#if defined(_WIN32)
+#include <malloc.h>
+#endif
+
 using namespace lgen;
 using namespace lgen::runtime;
 
@@ -53,6 +57,25 @@ std::string shimSource(const cir::Kernel &K) {
 
 /// Rounds \p Bytes up to a multiple of 64 (the allocation alignment).
 size_t roundUp64(size_t Bytes) { return (Bytes + 63) & ~size_t(63); }
+
+/// 64-byte-aligned allocation through the platform allocator; MSVC has no
+/// std::aligned_alloc, so Windows gets the same gate as the rest of the
+/// runtime (ToolchainDriver, SharedLibrary).
+void *alignedAlloc(size_t Bytes) {
+#if defined(_WIN32)
+  return ::_aligned_malloc(Bytes, 64);
+#else
+  return std::aligned_alloc(64, Bytes);
+#endif
+}
+
+void alignedFree(void *Mem) {
+#if defined(_WIN32)
+  ::_aligned_free(Mem);
+#else
+  std::free(Mem);
+#endif
+}
 
 } // namespace
 
@@ -129,11 +152,13 @@ ArgPack::ArgPack(const NativeKernel &NK,
     // tail pad absorbs aligned full-vector accesses to partially-used
     // trailing tiles.
     size_t Elems = static_cast<size_t>(P.NumElements) + Offset + NK.nu();
-    void *Mem = std::aligned_alloc(64, roundUp64(Elems * sizeof(float)));
+    size_t Bytes = roundUp64(Elems * sizeof(float));
+    void *Mem = alignedAlloc(Bytes);
     if (!Mem)
       reportFatalError("out of memory marshaling native kernel arguments");
-    std::memset(Mem, 0, roundUp64(Elems * sizeof(float)));
+    std::memset(Mem, 0, Bytes);
     Allocations.push_back(Mem);
+    AllocBytes.push_back(Bytes);
     Argv.push_back(static_cast<float *>(Mem) + Offset);
   }
   reset();
@@ -141,7 +166,7 @@ ArgPack::ArgPack(const NativeKernel &NK,
 
 ArgPack::~ArgPack() {
   for (void *Mem : Allocations)
-    std::free(Mem);
+    alignedFree(Mem);
 }
 
 void ArgPack::reset() {

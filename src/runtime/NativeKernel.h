@@ -104,10 +104,20 @@ public:
   /// Total bytes of marshaled parameter data (cold-cache eviction sizing).
   size_t footprintBytes() const;
 
+  /// The backing allocations themselves (base pointer and full padded
+  /// size). The cold-cache evictor must flush entire allocations — the
+  /// kernel's aligned full-vector accesses touch the ν-element tail pad,
+  /// and the versioned dispatch reads near the aligned base — not just the
+  /// NumElements window behind each parameter pointer.
+  size_t numAllocations() const { return Allocations.size(); }
+  const void *allocationBase(size_t I) const { return Allocations[I]; }
+  size_t allocationBytes(size_t I) const { return AllocBytes[I]; }
+
 private:
   const NativeKernel &NK;
   std::vector<machine::Buffer *> Buffers;
   std::vector<void *> Allocations;
+  std::vector<size_t> AllocBytes;
   std::vector<float *> Argv;
 };
 

@@ -147,7 +147,8 @@ int runNative(const compiler::CompiledKernel &CK, unsigned Runs, bool Bench,
     std::printf("// --- native bench ---\n"
                 "cycles=%.1f (median of %u, x%u inner) perf=%.3f f/c "
                 "counter=%s checksum=%016llx\n",
-                M.MedianCycles, MO.Reps, M.InnerIters,
+                M.MedianCycles,
+                static_cast<unsigned>(M.Samples.size()), M.InnerIters,
                 M.MedianCycles > 0 ? CK.Flops / M.MedianCycles : 0.0,
                 M.Counter.c_str(),
                 (unsigned long long)checksum(Storage[OutIdx].Data));

@@ -17,6 +17,7 @@
 
 #include "TestUtil.h"
 
+#include "codegen/CUnparser.h"
 #include "mediator/Json.h"
 #include "runtime/CpuInfo.h"
 #include "runtime/Measure.h"
@@ -265,6 +266,32 @@ TEST_P(NativeTargetTest, MisalignedBasesMatchReference) {
   }
 }
 
+TEST_P(NativeTargetTest, ScalarOnlyBlacWithAlignmentVersioningCompiles) {
+  // Every parameter is a scalar, so alignment versioning has no arrays to
+  // dispatch on: VersionedArrays is empty and there is exactly one
+  // version. The emitted C must call it unconditionally — an empty check
+  // chain once unparsed as `if ()`, which no toolchain accepts.
+  Options O = Options::builder(GetParam().U)
+                  .full()
+                  .isa(GetParam().ISA)
+                  .alignmentDetection()
+                  .build();
+  Compiler C(O);
+  std::string Src = "Scalar m0; Scalar m1; Scalar out; out = (m1 * m0)';";
+  ll::Program P = ll::parseProgramOrDie(Src);
+  CompiledKernel CK = C.compile(P);
+  EXPECT_EQ(codegen::unparseCompiled(CK).find("if ()"), std::string::npos);
+
+  std::unique_ptr<runtime::NativeKernel> NK = loadOrSkip(CK);
+  ASSERT_NE(NK, nullptr);
+  Rng R(3);
+  ll::Bindings In = randomBindings(P, R);
+  ll::MatrixValue Want = ll::evaluate(P, In);
+  ll::MatrixValue Nat = runNative(*NK, CK, In);
+  EXPECT_TRUE(verify::toleranceFor(P).accepts(
+      verify::compareValues(Want, Nat)));
+}
+
 INSTANTIATE_TEST_SUITE_P(Targets, NativeTargetTest,
                          ::testing::ValuesIn(Targets),
                          [](const ::testing::TestParamInfo<TargetCase> &I) {
@@ -303,6 +330,35 @@ TEST(MeasureTest, ProtocolShapeAndMonotonicity) {
   EXPECT_GE(M.InnerIters, 1u);
   EXPECT_FALSE(M.Counter.empty());
   EXPECT_STREQ(M.Counter.c_str(), runtime::cycleCounterName());
+}
+
+TEST(MeasureTest, ColdCacheVariantTimesSingleInvocations) {
+  if (!runtime::ToolchainDriver::host().available())
+    GTEST_SKIP() << runtime::ToolchainDriver::host().error();
+  Options O = Options::builder(machine::UArch::ARM1176).full().build();
+  Compiler C(O);
+  ll::Program P = ll::parseProgramOrDie(
+      "Matrix A(8, 8); Vector x(8); Vector y(8); y = A*x;");
+  CompiledKernel CK = C.compile(P);
+  std::unique_ptr<runtime::NativeKernel> NK = loadOrSkip(CK);
+  ASSERT_NE(NK, nullptr);
+
+  std::vector<machine::Buffer> Storage;
+  std::vector<machine::Buffer *> Params;
+  for (const ll::Operand &Op : P.Operands)
+    // Offset 1 gives each allocation a head pad, so the eviction pass
+    // covers base + offset window + tail pad, not just NumElements.
+    Storage.emplace_back(Op.numElements(), 1.0f, 1);
+  for (machine::Buffer &B : Storage)
+    Params.push_back(&B);
+
+  runtime::MeasureOptions MO;
+  MO.Reps = 3;
+  MO.ColdCache = true;
+  runtime::MeasureResult M = runtime::measure(*NK, Params, MO);
+  EXPECT_EQ(M.Samples.size(), 3u);
+  EXPECT_EQ(M.InnerIters, 1u); // cold-cache never batches invocations
+  EXPECT_GT(M.MedianCycles, 0.0);
 }
 
 TEST(MeasureTest, MeasuredRunIsAValidExecution) {
