@@ -1,0 +1,154 @@
+//===- BenchJson.cpp - Standardized BENCH_*.json result schema ------------===//
+
+#include "BenchJson.h"
+
+#include "mediator/Json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace lgen;
+using namespace lgen::bench;
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+json::Value BenchReport::toJson() const {
+  json::Array Res;
+  for (const BenchResult &R : Results) {
+    json::Object E;
+    E["kernel"] = R.Kernel;
+    E["size"] = R.Size;
+    E["supported"] = R.Supported;
+    if (!R.Reason.empty())
+      E["reason"] = R.Reason;
+    json::Object Cycles;
+    Cycles["median"] = R.CyclesMedian;
+    Cycles["q1"] = R.CyclesQ1;
+    Cycles["q3"] = R.CyclesQ3;
+    E["cycles"] = json::Value(std::move(Cycles));
+    E["flops"] = R.Flops;
+    E["flopsPerCycle"] = R.FlopsPerCycle;
+    if (!R.Counters.empty()) {
+      json::Object C;
+      for (const auto &KV : R.Counters)
+        C[KV.first] = KV.second;
+      E["counters"] = json::Value(std::move(C));
+    }
+    Res.push_back(json::Value(std::move(E)));
+  }
+  json::Object O;
+  O["version"] = 1;
+  O["bench"] = Bench;
+  O["target"] = Target;
+  O["host"] = Host;
+  O["counter"] = Counter;
+  O["unit"] = Unit;
+  O["gitSha"] = GitSha;
+  O["results"] = json::Value(std::move(Res));
+  return json::Value(std::move(O));
+}
+
+bool BenchReport::fromJson(const json::Value &V, BenchReport &Out,
+                           std::string &Err) {
+  Out = BenchReport();
+  if (!V.isObject()) {
+    Err = "bench report must be an object";
+    return false;
+  }
+  if (V.getNumber("version") != 1) {
+    Err = "unsupported bench schema version";
+    return false;
+  }
+  Out.Bench = V.getString("bench");
+  Out.Target = V.getString("target");
+  Out.Host = V.getString("host");
+  Out.Counter = V.getString("counter");
+  Out.Unit = V.getString("unit");
+  Out.GitSha = V.getString("gitSha", "unknown");
+  const json::Value &Res = V["results"];
+  if (!Res.isArray()) {
+    Err = "'results' must be an array";
+    return false;
+  }
+  for (const json::Value &E : Res.asArray()) {
+    if (!E.isObject()) {
+      Err = "result entries must be objects";
+      return false;
+    }
+    BenchResult R;
+    R.Kernel = E.getString("kernel");
+    if (R.Kernel.empty()) {
+      Err = "result entry missing 'kernel'";
+      return false;
+    }
+    R.Size = static_cast<int64_t>(E.getNumber("size"));
+    R.Supported = E.getBool("supported", true);
+    R.Reason = E.getString("reason");
+    const json::Value &C = E["cycles"];
+    if (R.Supported && !C.isObject()) {
+      Err = "supported result entry missing 'cycles' object";
+      return false;
+    }
+    R.CyclesMedian = C.getNumber("median");
+    R.CyclesQ1 = C.getNumber("q1", R.CyclesMedian);
+    R.CyclesQ3 = C.getNumber("q3", R.CyclesMedian);
+    R.Flops = E.getNumber("flops");
+    R.FlopsPerCycle = E.getNumber("flopsPerCycle");
+    const json::Value &Ctr = E["counters"];
+    if (Ctr.isObject())
+      for (const auto &KV : Ctr.asObject()) {
+        if (!KV.second.isNumber()) {
+          Err = "counter '" + KV.first + "' must be a number";
+          return false;
+        }
+        R.Counters[KV.first] = KV.second.asNumber();
+      }
+    Out.Results.push_back(std::move(R));
+  }
+  return true;
+}
+
+bool BenchReport::writeFile(const std::string &Path, std::string &Err) const {
+  std::ofstream F(Path);
+  if (!F) {
+    Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  F << toJson().serialize() << "\n";
+  if (!F.good()) {
+    Err = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Environment probes
+//===----------------------------------------------------------------------===//
+
+std::string bench::currentGitSha() {
+  if (const char *Sha = std::getenv("LGEN_GIT_SHA"))
+    if (*Sha)
+      return Sha;
+#if !defined(_WIN32)
+  if (FILE *P = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char Buf[64] = {};
+    size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, P);
+    int Rc = ::pclose(P);
+    std::string Sha(Buf, N);
+    while (!Sha.empty() && (Sha.back() == '\n' || Sha.back() == '\r'))
+      Sha.pop_back();
+    if (Rc == 0 && Sha.size() == 40)
+      return Sha;
+  }
+#endif
+  return "unknown";
+}
+
+std::string bench::benchJsonDir() {
+  const char *Dir = std::getenv("LGEN_BENCH_JSON_DIR");
+  return Dir ? Dir : "";
+}

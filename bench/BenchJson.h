@@ -1,0 +1,102 @@
+//===- BenchJson.h - Standardized BENCH_*.json result schema ---*- C++ -*-===//
+//
+// Part of the LGen reproduction benchmark suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one schema every bench artifact uses, so tools/bench_compare.py can
+/// diff any two runs without knowing which binary produced them. Version 1:
+///
+/// \code{.json}
+/// {
+///   "version": 1,
+///   "bench":   "fig5_08",                 // bench/sweep id
+///   "target":  "atom",                    // uarch the kernels target
+///   "host":    "...",                     // runtime::CpuInfo::host().str()
+///   "counter": "timing-model",            // what produced the tick values
+///   "unit":    "model-cycles",            // model-cycles | cycles | ns
+///   "gitSha":  "abc123... | unknown",
+///   "results": [
+///     {"kernel": "LGen-Full", "size": 16,
+///      "supported": true, "reason": "",
+///      "cycles": {"median": 410.0, "q1": 410.0, "q3": 410.0},
+///      "flops": 512.0, "flopsPerCycle": 1.25,
+///      "counters": {"instructions": 230.0, ...}}, ...]
+/// }
+/// \endcode
+///
+/// "cycles" always names the tick triple whatever the unit — the field is
+/// positional, the "unit" header says what it denominates. Comparators must
+/// refuse (or warn-only) when the units or hosts of two files differ:
+/// model cycles vs. perf_event cycles vs. steady-clock ns are not one axis.
+///
+/// The git sha comes from $LGEN_GIT_SHA when set (CI exports it), else from
+/// `git rev-parse HEAD`, else "unknown" — bench binaries run from build
+/// trees, tarballs, and containers, and a missing sha must not fail a run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_BENCH_BENCHJSON_H
+#define LGEN_BENCH_BENCHJSON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lgen {
+
+namespace json {
+class Value;
+} // namespace json
+
+namespace bench {
+
+/// One measured (kernel, size) point.
+struct BenchResult {
+  std::string Kernel; ///< Series / kernel id ("LGen-Full", "mvm_16x16").
+  int64_t Size = 0;   ///< Sweep parameter (problem size).
+  bool Supported = true;
+  std::string Reason; ///< Skip explanation when !Supported.
+  double CyclesMedian = 0.0;
+  double CyclesQ1 = 0.0;
+  double CyclesQ3 = 0.0;
+  double Flops = 0.0;
+  double FlopsPerCycle = 0.0;
+  /// Per-invocation hardware counter readings; empty for model-based
+  /// benches and perf-restricted hosts (absent, never zero).
+  std::map<std::string, double> Counters;
+};
+
+/// One bench run: header + results, serializable to/from schema v1.
+struct BenchReport {
+  std::string Bench;
+  std::string Target;
+  std::string Host;
+  std::string Counter;
+  std::string Unit;
+  std::string GitSha;
+  std::vector<BenchResult> Results;
+
+  json::Value toJson() const;
+  /// Validates schema v1; returns false and sets \p Err on violations.
+  static bool fromJson(const json::Value &V, BenchReport &Out,
+                       std::string &Err);
+
+  /// Serializes to \p Path. Returns false (and sets \p Err) when the file
+  /// cannot be written.
+  bool writeFile(const std::string &Path, std::string &Err) const;
+};
+
+/// $LGEN_GIT_SHA, else `git rev-parse HEAD`, else "unknown".
+std::string currentGitSha();
+
+/// $LGEN_BENCH_JSON_DIR — when non-empty, harness sweeps auto-write
+/// BENCH_<id>.json files there.
+std::string benchJsonDir();
+
+} // namespace bench
+} // namespace lgen
+
+#endif // LGEN_BENCH_BENCHJSON_H

@@ -83,6 +83,45 @@ double Sweep::speedup(const std::string &A, const std::string &B) const {
   return Count ? std::exp(LogSum / Count) : 0.0;
 }
 
+BenchReport Sweep::toBenchReport() const {
+  BenchReport B;
+  B.Bench = Id;
+  B.Target = machine::uarchName(Target);
+  // Model cycles come from the port-throughput model, not the machine the
+  // harness happens to run on; a host-independent tag keeps baselines
+  // portable (bench_compare gates strictly only when "host" matches).
+  B.Host = "timing-model";
+  B.Counter = "timing-model";
+  B.Unit = "model-cycles";
+  B.GitSha = currentGitSha();
+  for (const Series &S : SeriesList)
+    for (size_t I = 0; I != Xs.size(); ++I) {
+      BenchResult R;
+      R.Kernel = S.Name;
+      R.Size = Xs[I];
+      R.FlopsPerCycle = I < S.Values.size() ? S.Values[I] : 0.0;
+      if (I < S.Cycles.size()) {
+        R.CyclesMedian = S.Cycles[I].Median;
+        R.CyclesQ1 = S.Cycles[I].Q1;
+        R.CyclesQ3 = S.Cycles[I].Q3;
+      }
+      if (I < S.Flops.size())
+        R.Flops = S.Flops[I];
+      B.Results.push_back(std::move(R));
+    }
+  return B;
+}
+
+bool Sweep::writeJson(const std::string &Path) const {
+  std::string Err;
+  if (toBenchReport().writeFile(Path, Err)) {
+    std::cerr << "wrote " << Path << "\n";
+    return true;
+  }
+  std::cerr << "warning: " << Err << "\n";
+  return false;
+}
+
 std::string Sweep::bestCompetitor() const {
   std::string Best;
   double BestScore = -1.0;
@@ -181,8 +220,9 @@ void Runner::addCompetitors() {
         SG.Baseline = baselines::makeEigenLike(Target, Offsets);
 }
 
-double Runner::evalPoint(const std::string &SeriesName,
-                         const std::string &Source, unsigned Reps) const {
+Runner::PointResult Runner::evalPoint(const std::string &SeriesName,
+                                      const std::string &Source,
+                                      unsigned Reps) const {
   const SeriesGen *Gen = nullptr;
   for (const SeriesGen &G : Gens)
     if (G.Name == SeriesName)
@@ -239,9 +279,11 @@ double Runner::evalPoint(const std::string &SeriesName,
                        "' on BLAC: " + Source);
   }
 
-  Measurement M = measure(
-      [&] { return CK.time(Arch, IdOffsets).Cycles; }, Reps);
-  return M.Median > 0 ? CK.Flops / M.Median : 0.0;
+  PointResult PR;
+  PR.Cycles = measure([&] { return CK.time(Arch, IdOffsets).Cycles; }, Reps);
+  PR.Flops = CK.Flops;
+  PR.FlopsPerCycle = PR.Cycles.Median > 0 ? CK.Flops / PR.Cycles.Median : 0.0;
+  return PR;
 }
 
 Sweep Runner::run(const std::string &Id, const std::string &Title,
@@ -251,8 +293,14 @@ Sweep Runner::run(const std::string &Id, const std::string &Title,
   S.Title = Title;
   S.Target = Target;
   S.Xs = Xs;
-  for (const SeriesGen &G : Gens)
-    S.SeriesList.push_back({G.Name, std::vector<double>(Xs.size(), 0.0)});
+  for (const SeriesGen &G : Gens) {
+    Series Ser;
+    Ser.Name = G.Name;
+    Ser.Values.assign(Xs.size(), 0.0);
+    Ser.Cycles.assign(Xs.size(), Measurement());
+    Ser.Flops.assign(Xs.size(), 0.0);
+    S.SeriesList.push_back(std::move(Ser));
+  }
 
   // Run every (series, x) point as one Mediator experiment over a
   // simulated device farm (the thesis' §5.1.4 setup, minus the SSH).
@@ -271,11 +319,15 @@ Sweep Runner::run(const std::string &Id, const std::string &Title,
       "simfarm", Cores, [&](const json::Value &Exp, unsigned) {
         size_t Idx = static_cast<size_t>(Exp.getNumber("pointIndex"));
         const Point &Pt = Points[Idx];
-        double FPC =
+        PointResult PR =
             evalPoint(Gens[Pt.SeriesIdx].Name, Src(Xs[Pt.XIdx]), Reps);
         json::Object R;
         R["pointIndex"] = static_cast<int64_t>(Idx);
-        R["flopsPerCycle"] = FPC;
+        R["flopsPerCycle"] = PR.FlopsPerCycle;
+        R["cyclesMedian"] = PR.Cycles.Median;
+        R["cyclesQ1"] = PR.Cycles.Q1;
+        R["cyclesQ3"] = PR.Cycles.Q3;
+        R["flops"] = PR.Flops;
         return json::Value(std::move(R));
       });
 
@@ -308,7 +360,17 @@ Sweep Runner::run(const std::string &Id, const std::string &Title,
   for (const json::Value &R : Resp["data"].asArray()) {
     size_t Idx = static_cast<size_t>(R.getNumber("pointIndex"));
     const Point &Pt = Points[Idx];
-    S.SeriesList[Pt.SeriesIdx].Values[Pt.XIdx] = R.getNumber("flopsPerCycle");
+    Series &Ser = S.SeriesList[Pt.SeriesIdx];
+    Ser.Values[Pt.XIdx] = R.getNumber("flopsPerCycle");
+    Ser.Cycles[Pt.XIdx] = {R.getNumber("cyclesMedian"),
+                           R.getNumber("cyclesQ1"), R.getNumber("cyclesQ3")};
+    Ser.Flops[Pt.XIdx] = R.getNumber("flops");
   }
+
+  // CI's perf lane sets LGEN_BENCH_JSON_DIR to collect every sweep it runs
+  // as a schema-v1 artifact without touching the bench binaries.
+  std::string Dir = benchJsonDir();
+  if (!Dir.empty())
+    S.writeJson(Dir + "/BENCH_" + Id + ".json");
   return S;
 }

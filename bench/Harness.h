@@ -24,6 +24,7 @@
 #ifndef LGEN_BENCH_HARNESS_H
 #define LGEN_BENCH_HARNESS_H
 
+#include "BenchJson.h"
 #include "baselines/Baselines.h"
 #include "compiler/Compiler.h"
 
@@ -37,9 +38,25 @@
 namespace lgen {
 namespace bench {
 
+/// Median/quartile measurement of §5.1.4. The timing model is
+/// deterministic, so by default one repetition suffices; the machinery is
+/// exercised with injected jitter in the tests.
+struct Measurement {
+  double Median = 0;
+  double Q1 = 0;
+  double Q3 = 0;
+};
+Measurement measure(const std::function<double()> &Once, unsigned Reps = 1);
+
 struct Series {
   std::string Name;
+  /// Headline flops/cycle per sweep point (the thesis plots' y-axis).
   std::vector<double> Values;
+  /// Raw model cycles behind each Values entry (median + quartiles) and
+  /// the BLAC's useful flop count — what BENCH_*.json archives so
+  /// bench_compare.py can diff cycles, not just the derived ratio.
+  std::vector<Measurement> Cycles;
+  std::vector<double> Flops;
 };
 
 struct Sweep {
@@ -52,6 +69,14 @@ struct Sweep {
 
   void print(std::ostream &OS) const;
 
+  /// The sweep as a schema-v1 BenchReport (unit "model-cycles": these are
+  /// timing-model estimates, not host measurements — comparators must not
+  /// mix them with perf_event numbers).
+  BenchReport toBenchReport() const;
+  /// Serializes toBenchReport() to \p Path; returns false on I/O failure
+  /// with a note on stderr.
+  bool writeJson(const std::string &Path) const;
+
   /// Value of a named series at index \p XIdx (tests/summaries).
   double valueOf(const std::string &Name, size_t XIdx) const;
   /// Geometric-mean speedup of series \p A over series \p B across the
@@ -60,16 +85,6 @@ struct Sweep {
   /// Name of the best non-LGen series by geometric mean.
   std::string bestCompetitor() const;
 };
-
-/// Median/quartile measurement of §5.1.4. The timing model is
-/// deterministic, so by default one repetition suffices; the machinery is
-/// exercised with injected jitter in the tests.
-struct Measurement {
-  double Median = 0;
-  double Q1 = 0;
-  double Q3 = 0;
-};
-Measurement measure(const std::function<double()> &Once, unsigned Reps = 1);
 
 /// {Start, Start+Step, ...} up to and including at most End.
 std::vector<int64_t> sweepRange(int64_t Start, int64_t End, int64_t Step);
@@ -92,7 +107,8 @@ public:
   /// Adds the §5.1.2 competitor set for the target.
   void addCompetitors();
 
-  /// Runs the sweep, dispatching points through Mediator.
+  /// Runs the sweep, dispatching points through Mediator. When
+  /// $LGEN_BENCH_JSON_DIR is set, also writes BENCH_<Id>.json there.
   Sweep run(const std::string &Id, const std::string &Title, SourceFn Src,
             std::vector<int64_t> Xs, unsigned Reps = 1);
 
@@ -100,8 +116,15 @@ public:
   void setValidate(bool V) { Validate = V; }
 
 private:
-  double evalPoint(const std::string &SeriesName, const std::string &Source,
-                   unsigned Reps) const;
+  /// One measured point: the raw tick statistics plus the derived ratio
+  /// that feeds the plots.
+  struct PointResult {
+    Measurement Cycles;
+    double Flops = 0.0;
+    double FlopsPerCycle = 0.0;
+  };
+  PointResult evalPoint(const std::string &SeriesName,
+                        const std::string &Source, unsigned Reps) const;
 
   machine::UArch Target;
   machine::Microarch Arch;

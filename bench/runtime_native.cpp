@@ -6,17 +6,19 @@
 // real measured cycles instead of model estimates. Targets the host cannot
 // run come back as clean skips.
 //
-// Results are printed as a table and written to BENCH_runtime.json so CI
-// can archive the numbers alongside the model-based benches.
+// Results are printed as a table and written as a schema-v1 BENCH_*.json
+// (see BenchJson.h) — to $LGEN_BENCH_JSON_DIR when set, the working
+// directory otherwise — so CI can archive and diff the numbers alongside
+// the model-based benches.
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "mediator/Mediator.h"
 #include "runtime/CpuInfo.h"
 #include "runtime/Measure.h"
 
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -28,21 +30,22 @@ namespace {
 struct Case {
   const char *Name;
   const char *Target;
+  int64_t Size;
   const char *Source;
 };
 
 const Case Cases[] = {
-    {"axpy_32", "atom",
+    {"axpy", "atom", 32,
      "Scalar a; Vector x(32); Vector y(32); y = a*x + y;"},
-    {"mvm_16x16", "atom",
+    {"mvm", "atom", 16,
      "Matrix A(16, 16); Vector x(16); Vector y(16); y = A*x;"},
-    {"mmm_8x8", "atom",
+    {"mmm", "atom", 8,
      "Matrix A(8, 8); Matrix B(8, 8); Matrix C(8, 8); C = A*B;"},
-    {"mvm_16x16_avx", "sandybridge",
+    {"mvm_avx", "sandybridge", 16,
      "Matrix A(16, 16); Vector x(16); Vector y(16); y = A*x;"},
-    {"mvm_16x16_neon", "a8",
+    {"mvm_neon", "a8", 16,
      "Matrix A(16, 16); Vector x(16); Vector y(16); y = A*x;"},
-    {"mvm_16x16_scalar", "arm1176",
+    {"mvm_scalar", "arm1176", 16,
      "Matrix A(16, 16); Vector x(16); Vector y(16); y = A*x;"},
 };
 
@@ -88,41 +91,56 @@ int main() {
     return 1;
   }
 
-  std::printf("%-20s %-14s %-12s %-10s %-8s\n", "kernel", "target", "cycles",
+  // All measured cases share one host counter; the report header carries
+  // the first measured case's counter/unit labels (they cannot differ
+  // within a process).
+  bench::BenchReport Report;
+  Report.Bench = "runtime_native";
+  Report.Target = "host";
+  Report.Host = runtime::CpuInfo::host().str();
+  Report.Counter = runtime::cycleCounterName();
+  Report.Unit = runtime::cycleCounterUnit();
+  Report.GitSha = bench::currentGitSha();
+
+  std::printf("%-14s %-14s %-12s %-10s %-8s\n", "kernel", "target", "cycles",
               "f/c", "status");
-  Array Results;
   for (size_t I = 0; I != Data.asArray().size(); ++I) {
     const Case &C = Cases[I];
     const Value &R = Data.asArray()[I];
-    Object Entry;
-    Entry["name"] = C.Name;
-    Entry["target"] = C.Target;
+    bench::BenchResult Res;
+    Res.Kernel = std::string(C.Name) + "_" + C.Target;
+    Res.Size = C.Size;
     if (R.getBool("supported")) {
-      std::printf("%-20s %-14s %-12.1f %-10.3f measured\n", C.Name, C.Target,
+      std::printf("%-14s %-14s %-12.1f %-10.3f measured\n", C.Name, C.Target,
                   R.getNumber("cycles"), R.getNumber("flopsPerCycle"));
-      Entry["supported"] = true;
-      Entry["cycles"] = R.getNumber("cycles");
-      Entry["flops"] = R.getNumber("flops");
-      Entry["flopsPerCycle"] = R.getNumber("flopsPerCycle");
+      Res.CyclesMedian = R.getNumber("cycles");
+      Res.CyclesQ1 = R.getNumber("minCycles", Res.CyclesMedian);
+      Res.CyclesQ3 = R.getNumber("maxCycles", Res.CyclesMedian);
+      Res.Flops = R.getNumber("flops");
+      Res.FlopsPerCycle = R.getNumber("flopsPerCycle");
+      const Value &Counters = R["counters"];
+      if (Counters.isObject())
+        for (const auto &KV : Counters.asObject())
+          if (KV.second.isNumber())
+            Res.Counters[KV.first] = KV.second.asNumber();
     } else {
-      std::printf("%-20s %-14s %-12s %-10s skipped\n", C.Name, C.Target, "-",
+      std::printf("%-14s %-14s %-12s %-10s skipped\n", C.Name, C.Target, "-",
                   "-");
-      Entry["supported"] = false;
-      Entry["reason"] = R.getString("reason");
+      Res.Supported = false;
+      Res.Reason = R.getString("reason");
     }
-    Results.push_back(Value(std::move(Entry)));
+    Report.Results.push_back(std::move(Res));
   }
 
-  Object Out;
-  Out["bench"] = "runtime";
-  Out["host"] = runtime::CpuInfo::host().str();
-  Out["counter"] = runtime::cycleCounterName();
-  Out["results"] = Value(std::move(Results));
-  {
-    std::ofstream F("BENCH_runtime.json");
-    F << Value(std::move(Out)).serialize() << "\n";
+  std::string Dir = bench::benchJsonDir();
+  std::string Path =
+      (Dir.empty() ? std::string() : Dir + "/") + "BENCH_runtime_native.json";
+  if (!Report.writeFile(Path, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
   }
   std::printf("shape: host-runnable targets report real cycles; foreign ISAs "
-              "skip cleanly\nwrote BENCH_runtime.json\n\n");
+              "skip cleanly\nwrote %s\n\n",
+              Path.c_str());
   return 0;
 }

@@ -23,6 +23,7 @@
 #include "runtime/Measure.h"
 #include "runtime/NativeKernel.h"
 #include "support/ThreadPool.h"
+#include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <functional>
@@ -147,6 +148,7 @@ double evaluatePlanNative(const Compiler &C, const ll::Program &P,
   Expected<runtime::NativeKernel> NK = loadPlanNative(C, P, Plan);
   if (!NK) {
     support::traceCounter("autotuner.native.plan-failures");
+    support::metricCounter("autotuner.native.plan-failures").add();
     return std::numeric_limits<double>::infinity();
   }
   In.restore();
@@ -206,6 +208,7 @@ guidedSearch(const Compiler &C, const std::vector<tiling::LoopDesc> &Loops,
     T->addCounter("autotuner.plans.evaluated", NumEvals);
     T->addCounter("autotuner.plans.pruned", NumEvals - 1);
   }
+  support::metricCounter("autotuner.plans.evaluated").add(NumEvals);
   return Best;
 }
 
@@ -286,6 +289,7 @@ tiling::TilingPlan compiler::choosePlan(const Compiler &C,
   std::string NativeReason;
   if (Native && !nativeBackendUsable(C, NativeReason)) {
     support::traceCounter("autotuner.native.fallback");
+    support::metricCounter("autotuner.native.fallback").add();
     Native = false;
   }
 
@@ -331,6 +335,7 @@ tiling::TilingPlan compiler::choosePlan(const Compiler &C,
     for (size_t I = 0; I != Plans.size(); ++I) {
       if (!Kernels[I]) {
         support::traceCounter("autotuner.native.plan-failures");
+        support::metricCounter("autotuner.native.plan-failures").add();
         continue; // stays at infinity: the plan just loses
       }
       In.restore();
@@ -358,5 +363,6 @@ tiling::TilingPlan compiler::choosePlan(const Compiler &C,
     T->addCounter("autotuner.plans.evaluated", Plans.size());
     T->addCounter("autotuner.plans.pruned", Plans.size() - 1);
   }
+  support::metricCounter("autotuner.plans.evaluated").add(Plans.size());
   return Plans[BestIdx];
 }

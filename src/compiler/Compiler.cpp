@@ -10,6 +10,7 @@
 #include "machine/Scheduler.h"
 #include "sll/Lowering.h"
 #include "sll/Translate.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 #include "verify/Invariants.h"
@@ -513,21 +514,23 @@ CompiledKernel Compiler::buildKernel(const ll::Program &P,
 
 CompiledKernel Compiler::compile(const ll::Program &P) const {
   support::TraceSpan CompileSpan("compile");
+  // Cache hit/miss accounting lives inside KernelCache itself (the
+  // `kernelcache.*` Metrics counters); only the no-cache bypass is counted
+  // here, since the cache never sees those compiles.
   if (!Cache) {
+    static support::Metrics::Counter &Bypassed =
+        support::Metrics::global().counter("kernelcache.bypassed");
     CompiledKernel CK = buildKernel(P, choosePlan(*this, P));
-    support::traceCounter("cache.bypassed");
+    Bypassed.add();
     return CK;
   }
 
   uint64_t Key = KernelCache::fingerprint(P.str(), Opts);
-  if (std::shared_ptr<const CompiledKernel> Hit = Cache->lookupKernel(Key)) {
-    support::traceCounter("cache.hit.kernel");
+  if (std::shared_ptr<const CompiledKernel> Hit = Cache->lookupKernel(Key))
     return Hit->clone();
-  }
 
   tiling::TilingPlan Plan;
   bool PlanHit = Cache->lookupPlan(Key, Plan);
-  support::traceCounter(PlanHit ? "cache.hit.plan" : "cache.miss");
   if (!PlanHit)
     Plan = choosePlan(*this, P);
 

@@ -3,6 +3,7 @@
 #include "compiler/KernelCache.h"
 
 #include "mediator/Json.h"
+#include "support/Metrics.h"
 
 #include <cctype>
 #include <cstdlib>
@@ -270,24 +271,30 @@ void KernelCache::flush() {
 //===----------------------------------------------------------------------===//
 
 std::shared_ptr<const CompiledKernel> KernelCache::lookupKernel(uint64_t Key) {
+  static support::Metrics::Counter &MemoryHits =
+      support::Metrics::global().counter("kernelcache.hit.memory");
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = LruIndex.find(Key);
   if (It == LruIndex.end())
     return nullptr;
   Lru.splice(Lru.begin(), Lru, It->second); // move to front
-  ++Stats.MemoryHits;
+  MemoryHits.add();
   return It->second->Kernel;
 }
 
 bool KernelCache::lookupPlan(uint64_t Key, tiling::TilingPlan &PlanOut) {
+  static support::Metrics::Counter &PlanHits =
+      support::Metrics::global().counter("kernelcache.hit.plan");
+  static support::Metrics::Counter &Misses =
+      support::Metrics::global().counter("kernelcache.miss");
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Plans.find(Key);
   if (It == Plans.end()) {
-    ++Stats.Misses;
+    Misses.add();
     return false;
   }
   PlanOut = It->second.Plan;
-  ++Stats.PlanHits;
+  PlanHits.add();
   return true;
 }
 
@@ -301,20 +308,24 @@ void KernelCache::storeKernelLocked(
     Lru.splice(Lru.begin(), Lru, It->second);
     return;
   }
+  static support::Metrics::Counter &Evictions =
+      support::Metrics::global().counter("kernelcache.eviction");
   Lru.push_front(LruEntry{Key, std::move(Kernel)});
   LruIndex[Key] = Lru.begin();
   while (Lru.size() > MaxKernels) {
     LruIndex.erase(Lru.back().Key);
     Lru.pop_back();
-    ++Stats.Evictions;
+    Evictions.add();
   }
 }
 
 void KernelCache::store(uint64_t Key, const tiling::TilingPlan &Plan,
                         const std::string &Source, const Options &O,
                         std::shared_ptr<const CompiledKernel> Kernel) {
+  static support::Metrics::Counter &Stores =
+      support::Metrics::global().counter("kernelcache.store");
   std::lock_guard<std::mutex> Lock(Mutex);
-  ++Stats.Stores;
+  Stores.add();
 
   PlanEntry PE;
   PE.Plan = Plan;
@@ -334,9 +345,15 @@ void KernelCache::storeKernel(uint64_t Key,
   storeKernelLocked(Key, std::move(Kernel));
 }
 
-CacheStats KernelCache::stats() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Stats;
+CacheStats KernelCache::stats() {
+  support::Metrics::Snapshot S = support::Metrics::global().snapshot();
+  CacheStats St;
+  St.MemoryHits = S.counter("kernelcache.hit.memory");
+  St.PlanHits = S.counter("kernelcache.hit.plan");
+  St.Misses = S.counter("kernelcache.miss");
+  St.Evictions = S.counter("kernelcache.eviction");
+  St.Stores = S.counter("kernelcache.store");
+  return St;
 }
 
 size_t KernelCache::numKernels() const {

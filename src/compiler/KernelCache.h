@@ -18,8 +18,9 @@
 /// Tuning knobs that cannot change the generated code (thread count, cache
 /// location) are deliberately excluded from the fingerprint, so a kernel
 /// tuned with 8 worker threads is a hit for a serial compile of the same
-/// BLAC. Hit/miss/eviction counters are exposed through \c stats() and
-/// surfaced by `lgen-cli --cache-stats`.
+/// BLAC. Hit/miss/eviction activity is reported into the process-wide
+/// \c support::Metrics registry (`kernelcache.*`) — the single source of
+/// truth behind \c stats() and `lgen-cli --cache-stats`.
 ///
 /// All methods are thread-safe; `Compiler::compileBatch` workers share one
 /// instance.
@@ -41,7 +42,10 @@
 namespace lgen {
 namespace compiler {
 
-/// Cache activity counters (cumulative over the cache's lifetime).
+/// Cache activity counters. Since PR 5 these are process-cumulative —
+/// every KernelCache instance reports into the same `kernelcache.*`
+/// counters in \c support::Metrics::global(), and \c KernelCache::stats()
+/// reads them back from a snapshot.
 struct CacheStats {
   /// Full-kernel hits served from the in-memory LRU.
   uint64_t MemoryHits = 0;
@@ -89,7 +93,9 @@ public:
   /// persisted tier is already up to date.
   void storeKernel(uint64_t Key, std::shared_ptr<const CompiledKernel> Kernel);
 
-  CacheStats stats() const;
+  /// Process-wide cache activity, read from the Metrics registry (all
+  /// instances share the counters).
+  static CacheStats stats();
   size_t numKernels() const;
   size_t numPlans() const;
   const std::string &directory() const { return Dir; }
@@ -130,7 +136,6 @@ private:
   std::list<LruEntry> Lru; // front = most recently used
   std::map<uint64_t, std::list<LruEntry>::iterator> LruIndex;
   std::map<uint64_t, PlanEntry> Plans;
-  CacheStats Stats;
   bool Dirty = false;
 };
 

@@ -34,6 +34,8 @@ public:
   virtual ~CycleCounter() = default;
   virtual uint64_t read() = 0;
   virtual const char *name() const = 0;
+  /// What a tick is: "cycles" unless the counter is a wall clock.
+  virtual const char *unit() const { return "cycles"; }
 };
 
 class SteadyCounter : public CycleCounter {
@@ -44,6 +46,7 @@ public:
         .count();
   }
   const char *name() const override { return "steady_clock_ns"; }
+  const char *unit() const override { return "ns"; }
 };
 
 #if defined(__x86_64__)
@@ -170,6 +173,8 @@ double median(std::vector<double> Samples) {
 
 const char *runtime::cycleCounterName() { return hostCounter().name(); }
 
+const char *runtime::cycleCounterUnit() { return hostCounter().unit(); }
+
 //===----------------------------------------------------------------------===//
 // measure
 //===----------------------------------------------------------------------===//
@@ -186,6 +191,7 @@ MeasureResult runtime::measure(const NativeKernel &NK,
 
   MeasureResult Result;
   Result.Counter = Counter.name();
+  Result.Unit = Counter.unit();
 
   for (unsigned I = 0; I != Opts.Warmup; ++I)
     Entry(Args.argv());
@@ -225,6 +231,28 @@ MeasureResult runtime::measure(const NativeKernel &NK,
       *std::min_element(Result.Samples.begin(), Result.Samples.end());
   Result.MaxCycles =
       *std::max_element(Result.Samples.begin(), Result.Samples.end());
+
+  // Hardware counters come from one separate instrumented pass *after* the
+  // timed repetitions: enabling the group costs ioctls per event, which
+  // must never land inside a timed window. Thread-affine for the same
+  // reason as the cycle counter — the fds count only their opener.
+  PerfCounterGroup &Group = PerfCounterGroup::forThread();
+  if (Group.any()) {
+    Args.reset();
+    if (Opts.ColdCache)
+      evictWorkingSet(Args);
+    Group.start();
+    for (unsigned I = 0; I != Inner; ++I)
+      Entry(Args.argv());
+    Group.stop();
+    for (HwCounterReading R : Group.read()) {
+      R.Value /= Inner;
+      Result.HwCounters.push_back(std::move(R));
+    }
+  }
+  if (!Result.HwCounters.empty())
+    support::traceCounter("runtime.measure.hwcounters",
+                          Result.HwCounters.size());
 
   // Leave the caller's buffers holding the result of exactly one
   // invocation over the original inputs.
@@ -314,11 +342,20 @@ mediator::DeviceExecutor runtime::nativeDeviceExecutor() {
     json::Object Res;
     Res["supported"] = true;
     Res["cycles"] = M.MedianCycles;
+    Res["minCycles"] = M.MinCycles;
+    Res["maxCycles"] = M.MaxCycles;
     Res["flops"] = CK->Flops;
     Res["flopsPerCycle"] =
         M.MedianCycles > 0 ? CK->Flops / M.MedianCycles : 0.0;
     Res["counter"] = M.Counter;
+    Res["unit"] = M.Unit;
     Res["innerIters"] = static_cast<int64_t>(M.InnerIters);
+    if (!M.HwCounters.empty()) {
+      json::Object Counters;
+      for (const HwCounterReading &R : M.HwCounters)
+        Counters[R.Name] = R.Value;
+      Res["counters"] = std::move(Counters);
+    }
     return json::Value(std::move(Res));
   };
 }

@@ -31,6 +31,7 @@
 
 #include "mediator/Mediator.h"
 #include "runtime/NativeKernel.h"
+#include "runtime/PerfCounters.h"
 
 #include <string>
 #include <vector>
@@ -53,17 +54,26 @@ struct MeasureOptions {
 };
 
 struct MeasureResult {
-  /// Median cycles per single kernel invocation.
+  /// Median ticks per single kernel invocation, in \c Unit units.
   double MedianCycles = 0.0;
   double MinCycles = 0.0;
   double MaxCycles = 0.0;
   /// Invocations per timed sample (1 for cold-cache runs).
   unsigned InnerIters = 1;
-  /// Per-repetition cycles-per-invocation, in measurement order.
+  /// Per-repetition ticks-per-invocation, in measurement order.
   std::vector<double> Samples;
   /// Which counter produced the numbers: "perf_event", "rdtsc", or
   /// "steady_clock_ns".
   std::string Counter;
+  /// What the numbers count: "cycles" for perf_event/rdtsc, "ns" for the
+  /// steady-clock fallback. Reports must carry this through instead of
+  /// labeling everything "cycles".
+  std::string Unit = "cycles";
+  /// Per-invocation hardware counter readings (instructions, cache misses,
+  /// ...) from a separate instrumented pass after the timed repetitions —
+  /// counting never perturbs the timed samples. Empty when the host grants
+  /// no perf_event access; an unsupported event is absent, never zero.
+  std::vector<HwCounterReading> HwCounters;
 };
 
 /// Runs the §5.1.5 protocol over \p NK with \p Params (the
@@ -77,6 +87,10 @@ MeasureResult measure(const NativeKernel &NK,
 /// The cycle counter measure() would use on the calling thread (probed
 /// once per thread).
 const char *cycleCounterName();
+
+/// The unit of that counter's ticks: "cycles" (perf_event, rdtsc) or "ns"
+/// (steady-clock fallback).
+const char *cycleCounterUnit();
 
 /// A Mediator device executor backed by real native measurement, making
 /// Mediator's measure endpoint return host cycles instead of model

@@ -1,0 +1,140 @@
+//===- PerfCounters.cpp - Hardware performance-counter groups -------------===//
+
+#include "runtime/PerfCounters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+using namespace lgen;
+using namespace lgen::runtime;
+
+#if defined(__linux__)
+
+namespace {
+
+/// The events a group tries to open, in reporting order. L1d misses need
+/// the HW_CACHE config encoding (cache-id | op << 8 | result << 16).
+struct EventSpec {
+  const char *Name;
+  uint32_t Type;
+  uint64_t Config;
+};
+
+const EventSpec Specs[] = {
+    {"instructions", PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {"l1d-read-misses", PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {"llc-misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {"branch-misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {"task-clock-ns", PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+};
+
+/// read() layout with PERF_FORMAT_TOTAL_TIME_ENABLED|RUNNING on a single
+/// (ungrouped) fd.
+struct ReadFormat {
+  uint64_t Value;
+  uint64_t Enabled;
+  uint64_t Running;
+};
+
+int openEvent(const EventSpec &S) {
+  struct perf_event_attr Attr;
+  std::memset(&Attr, 0, sizeof(Attr));
+  Attr.type = S.Type;
+  Attr.size = sizeof(Attr);
+  Attr.config = S.Config;
+  Attr.disabled = 1;
+  Attr.exclude_kernel = 1;
+  Attr.exclude_hv = 1;
+  Attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  int Fd =
+      static_cast<int>(::syscall(SYS_perf_event_open, &Attr, 0, -1, -1, 0));
+  if (Fd < 0)
+    return -1;
+  // Same probe discipline as the cycle counter: an event that opens but
+  // cannot be read is dropped here, not discovered mid-measurement.
+  ReadFormat Probe;
+  if (::read(Fd, &Probe, sizeof(Probe)) != sizeof(Probe)) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+} // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  for (const EventSpec &S : Specs) {
+    int Fd = openEvent(S);
+    if (Fd >= 0)
+      Events.push_back({S.Name, Fd});
+  }
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (Event &E : Events)
+    ::close(E.Fd);
+}
+
+void PerfCounterGroup::start() {
+  for (Event &E : Events) {
+    ::ioctl(E.Fd, PERF_EVENT_IOC_RESET, 0);
+    ::ioctl(E.Fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void PerfCounterGroup::stop() {
+  for (Event &E : Events)
+    ::ioctl(E.Fd, PERF_EVENT_IOC_DISABLE, 0);
+}
+
+std::vector<HwCounterReading> PerfCounterGroup::read() const {
+  std::vector<HwCounterReading> Out;
+  Out.reserve(Events.size());
+  for (const Event &E : Events) {
+    ReadFormat R;
+    if (::read(E.Fd, &R, sizeof(R)) != sizeof(R))
+      continue; // absent, never zero
+    if (R.Running == 0)
+      continue; // multiplexed out for the whole window: no estimate
+    HwCounterReading Reading;
+    Reading.Name = E.Name;
+    Reading.RunningRatio =
+        R.Enabled ? static_cast<double>(R.Running) / R.Enabled : 1.0;
+    Reading.Value = static_cast<double>(R.Value) *
+                    (static_cast<double>(R.Enabled) / R.Running);
+    Out.push_back(std::move(Reading));
+  }
+  return Out;
+}
+
+#else // !__linux__
+
+PerfCounterGroup::PerfCounterGroup() = default;
+PerfCounterGroup::~PerfCounterGroup() = default;
+void PerfCounterGroup::start() {}
+void PerfCounterGroup::stop() {}
+std::vector<HwCounterReading> PerfCounterGroup::read() const { return {}; }
+
+#endif
+
+std::vector<std::string> PerfCounterGroup::names() const {
+  std::vector<std::string> N;
+  N.reserve(Events.size());
+  for (const Event &E : Events)
+    N.push_back(E.Name);
+  return N;
+}
+
+PerfCounterGroup &PerfCounterGroup::forThread() {
+  thread_local PerfCounterGroup G;
+  return G;
+}

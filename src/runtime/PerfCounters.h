@@ -1,0 +1,97 @@
+//===- PerfCounters.h - Hardware performance-counter groups ----*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hardware event counting for measured kernels, on top of Linux
+/// perf_event_open: instructions retired, L1d read misses, last-level
+/// cache misses, branch misses, and task-clock. Together with the cycle
+/// counter in Measure.cpp these are the inputs to \c runtime::PerfReport.
+///
+/// Each event is opened as its own fd (not a kernel counter group): the
+/// PMU on any given host exposes an arbitrary subset of these events, and
+/// a grouped open is all-or-nothing. An event that cannot be opened — or
+/// opens but fails a probe read, as paravirtualized PMUs do — is simply
+/// *absent* from every reading, never reported as zero.
+///
+/// When more events are requested than the PMU has counters, the kernel
+/// time-multiplexes them. Every fd is opened with
+/// PERF_FORMAT_TOTAL_TIME_ENABLED|RUNNING and readings are scaled by
+/// enabled/running, the standard estimate for the full-window count; the
+/// achieved ratio is reported alongside so callers can judge the
+/// extrapolation.
+///
+/// Groups are thread-affine, like the cycle counter (PR 4 discipline): a
+/// perf fd opened with pid=0 counts only the thread that opened it, and
+/// measure() runs on autotuner pool workers and Mediator device threads,
+/// so each measuring thread probes and owns its own group via
+/// \c forThread().
+///
+/// On non-Linux builds (and Linux hosts with perf_event_paranoid locked
+/// down) the group opens no events: any() is false and readings are
+/// empty, which callers must treat as "no counter data", not zeros.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_RUNTIME_PERFCOUNTERS_H
+#define LGEN_RUNTIME_PERFCOUNTERS_H
+
+#include <string>
+#include <vector>
+
+namespace lgen {
+namespace runtime {
+
+/// One scaled counter reading from a start()/stop() window.
+struct HwCounterReading {
+  /// Event name: "instructions", "l1d-read-misses", "llc-misses",
+  /// "branch-misses", "task-clock-ns".
+  std::string Name;
+  /// Count over the window, scaled by Enabled/Running when the kernel
+  /// multiplexed the event ("task-clock-ns" is nanoseconds, not a count).
+  double Value = 0.0;
+  /// Fraction of the window the event was actually counting (1.0 = never
+  /// multiplexed out). Values well below 1 mean Value is an extrapolation.
+  double RunningRatio = 1.0;
+};
+
+class PerfCounterGroup {
+public:
+  /// Probes and opens every supported event for the calling thread.
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup &) = delete;
+  PerfCounterGroup &operator=(const PerfCounterGroup &) = delete;
+
+  /// True when at least one event opened.
+  bool any() const { return !Events.empty(); }
+  /// Names of the events that opened, in reading order.
+  std::vector<std::string> names() const;
+
+  /// Resets and enables every event. Must be called (and the subsequent
+  /// read()) from the owning thread.
+  void start();
+  /// Disables every event, freezing the counts for read().
+  void stop();
+  /// Scaled counts for the last start()/stop() window. Events whose read
+  /// failed or that never ran during the window are omitted.
+  std::vector<HwCounterReading> read() const;
+
+  /// The group owned by the calling thread, probed on first use.
+  static PerfCounterGroup &forThread();
+
+private:
+  struct Event {
+    std::string Name;
+    int Fd = -1;
+  };
+  std::vector<Event> Events;
+};
+
+} // namespace runtime
+} // namespace lgen
+
+#endif // LGEN_RUNTIME_PERFCOUNTERS_H

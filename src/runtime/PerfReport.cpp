@@ -1,0 +1,240 @@
+//===- PerfReport.cpp - Per-kernel performance reports --------------------===//
+
+#include "runtime/PerfReport.h"
+
+#include "compiler/Compiler.h"
+#include "machine/Microarch.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::runtime;
+
+//===----------------------------------------------------------------------===//
+// Static operation counting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Flops one execution of \p I issues. Lane counts come from the register
+/// file: a 4-lane Add is 4 additions whether or not every lane carries
+/// useful data.
+uint64_t flopsOf(const cir::Kernel &K, const cir::Inst &I) {
+  using cir::Opcode;
+  auto Lanes = [&](cir::RegId R) -> uint64_t { return K.lanesOf(R); };
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Neg:
+  case Opcode::MulLane:
+    return Lanes(I.Dest);
+  case Opcode::FMA:
+  case Opcode::FMALane:
+    return 2 * Lanes(I.Dest); // one mul + one add per lane
+  case Opcode::HAdd:
+    return Lanes(I.Dest); // one addition per output lane
+  case Opcode::DotPS:
+    // L multiplies + (L-1) adds for the horizontal reduction.
+    return 2 * Lanes(I.A) - 1;
+  default:
+    return 0;
+  }
+}
+
+bool isArith(cir::Opcode Op) {
+  using cir::Opcode;
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Neg:
+  case Opcode::FMA:
+  case Opcode::HAdd:
+  case Opcode::DotPS:
+  case Opcode::MulLane:
+  case Opcode::FMALane:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isShuffleLike(cir::Opcode Op) {
+  using cir::Opcode;
+  switch (Op) {
+  case Opcode::Mov:
+  case Opcode::Broadcast:
+  case Opcode::Shuffle:
+  case Opcode::Insert:
+  case Opcode::Extract:
+  case Opcode::GetLow:
+  case Opcode::GetHigh:
+  case Opcode::Combine:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Bytes a load/store actively touches: lanes that reach memory × 4.
+uint64_t bytesOf(const cir::Kernel &K, const cir::Inst &I) {
+  using cir::Opcode;
+  switch (I.Op) {
+  case Opcode::Load:
+    return 4ull * K.lanesOf(I.Dest);
+  case Opcode::Store:
+    return 4ull * K.lanesOf(I.A);
+  case Opcode::LoadBroadcast: // reads one element, fills every lane
+  case Opcode::LoadLane:
+  case Opcode::StoreLane:
+    return 4;
+  case Opcode::GLoad:
+  case Opcode::GStore:
+    return 4ull * I.Map.numActiveLanes();
+  default:
+    return 0;
+  }
+}
+
+void countIn(const cir::Kernel &K, const std::vector<cir::Node> &Body,
+             uint64_t Mult, StaticOpCounts &C) {
+  for (const cir::Node &N : Body) {
+    if (N.isLoop()) {
+      const cir::Loop &L = N.loop();
+      countIn(K, L.Body, Mult * static_cast<uint64_t>(L.tripCount()), C);
+      continue;
+    }
+    const cir::Inst &I = N.inst();
+    if (isArith(I.Op)) {
+      uint64_t Lanes = K.lanesOf(I.Dest);
+      if (Lanes > 1) {
+        C.VectorArithInsts += Mult;
+        C.VectorFlops += Mult * flopsOf(K, I);
+      } else {
+        C.ScalarArithInsts += Mult;
+        C.ScalarFlops += Mult * flopsOf(K, I);
+      }
+    } else if (isShuffleLike(I.Op)) {
+      C.ShuffleInsts += Mult;
+    } else if (I.isLoad()) {
+      C.Loads += Mult;
+      C.LoadedBytes += Mult * bytesOf(K, I);
+    } else if (I.isStore()) {
+      C.Stores += Mult;
+      C.StoredBytes += Mult * bytesOf(K, I);
+    }
+  }
+}
+
+} // namespace
+
+StaticOpCounts runtime::countOps(const cir::Kernel &K) {
+  StaticOpCounts C;
+  countIn(K, K.getBody(), 1, C);
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Report construction
+//===----------------------------------------------------------------------===//
+
+PerfReport runtime::makeReport(const compiler::CompiledKernel &CK,
+                               const MeasureResult &M) {
+  PerfReport R;
+  const cir::Kernel &K = CK.kernelFor({});
+  R.KernelName = K.getName();
+  R.Target = machine::uarchName(CK.Opts.Target);
+  R.Static = countOps(K);
+  R.UsefulFlops = CK.Flops;
+  if (R.Static.totalBytes() > 0)
+    R.OperationalIntensity = R.UsefulFlops / R.Static.totalBytes();
+
+  R.MedianTicks = M.MedianCycles;
+  R.Counter = M.Counter;
+  R.Unit = M.Unit;
+  R.HwCounters = M.HwCounters;
+  R.PeakFlopsPerCycle =
+      machine::Microarch::get(CK.Opts.Target).PeakFlopsPerCycle;
+
+  bool HaveCycles = M.Unit == "cycles" && M.MedianCycles > 0;
+  if (HaveCycles)
+    R.AchievedFlopsPerCycle = R.UsefulFlops / M.MedianCycles;
+
+  // The documented triage heuristic (see the file comment / DESIGN.md):
+  // ≥ 50% of peak is compute-bound by any reading; below that, blame
+  // memory when under a flop per byte, the pipeline otherwise.
+  if (!HaveCycles)
+    R.Boundedness = "unclassified (no cycle counter)";
+  else if (R.PeakFlopsPerCycle > 0 &&
+           R.AchievedFlopsPerCycle >= 0.5 * R.PeakFlopsPerCycle)
+    R.Boundedness = "compute-bound";
+  else if (R.OperationalIntensity < 1.0)
+    R.Boundedness = "memory-bound";
+  else
+    R.Boundedness = "compute-bound (under-utilized)";
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+std::string PerfReport::str() const {
+  std::ostringstream OS;
+  char Buf[256];
+  OS << "== perf report: " << KernelName << " (" << Target << ") ==\n";
+
+  std::snprintf(Buf, sizeof(Buf),
+                "static:   %llu useful flops; executed %llu (%llu vector + "
+                "%llu scalar)\n",
+                (unsigned long long)UsefulFlops,
+                (unsigned long long)Static.totalFlops(),
+                (unsigned long long)Static.VectorFlops,
+                (unsigned long long)Static.ScalarFlops);
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "memory:   %llu loads / %llu stores, %llu bytes touched "
+                "(%.3f useful f/B)\n",
+                (unsigned long long)Static.Loads,
+                (unsigned long long)Static.Stores,
+                (unsigned long long)Static.totalBytes(),
+                OperationalIntensity);
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf), "measured: %.1f %s/invocation (%s)\n",
+                MedianTicks, Unit.c_str(), Counter.c_str());
+  OS << Buf;
+  if (!HwCounters.empty()) {
+    OS << "counters:";
+    for (const HwCounterReading &C : HwCounters) {
+      std::snprintf(Buf, sizeof(Buf), " %s=%.1f", C.Name.c_str(), C.Value);
+      OS << Buf;
+      if (C.RunningRatio < 0.999) {
+        std::snprintf(Buf, sizeof(Buf), " (~%.0f%% sampled)",
+                      100.0 * C.RunningRatio);
+        OS << Buf;
+      }
+    }
+    OS << "\n";
+  } else {
+    OS << "counters: none (perf_event unavailable; " << Counter
+       << " fallback)\n";
+  }
+  if (Unit == "cycles" && MedianTicks > 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "achieved: %.3f f/c of %.2f f/c peak (%.1f%%)\n",
+                  AchievedFlopsPerCycle, PeakFlopsPerCycle,
+                  PeakFlopsPerCycle > 0
+                      ? 100.0 * AchievedFlopsPerCycle / PeakFlopsPerCycle
+                      : 0.0);
+    OS << Buf;
+  } else {
+    OS << "achieved: n/a (" << Unit << "-based measurement; peak is "
+       << PeakFlopsPerCycle << " f/c)\n";
+  }
+  OS << "verdict:  " << Boundedness << "\n";
+  return OS.str();
+}

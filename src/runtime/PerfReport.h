@@ -1,0 +1,123 @@
+//===- PerfReport.h - Per-kernel performance reports -----------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Combines the two sides of kernel performance into one report, the way
+/// Chapter 5's plots do: a *static* side counted from the C-IR (how many
+/// floating-point operations, vector vs. scalar, how many bytes move) and
+/// a *measured* side from measure() (cycles plus the hardware counters of
+/// PerfCounters.h). The headline number is achieved flops/cycle against
+/// the target's ν-peak — the y-axis of every thesis plot.
+///
+/// Two FLOP notions appear and must not be confused:
+///
+///  * *useful* flops — the mathematical operation count of the BLAC
+///    (ll::flopCount, stored as CompiledKernel::Flops). This is the
+///    numerator of achieved f/c, as in the thesis.
+///  * *executed* flops — what the generated code actually issues, counted
+///    from the C-IR with loop trip-count weighting. Padding lanes,
+///    horizontal reductions, and dot-product microcode make this larger;
+///    the gap is the vectorization overhead.
+///
+/// The memory- vs. compute-bound verdict is a deliberately simple
+/// documented heuristic (DESIGN.md "Perf reports"): utilization ≥ 50% of
+/// peak ⇒ compute-bound; otherwise operational intensity below 1 flop/byte
+/// ⇒ memory-bound, else compute-bound (under-utilized). It is a triage
+/// label, not a roofline analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_RUNTIME_PERFREPORT_H
+#define LGEN_RUNTIME_PERFREPORT_H
+
+#include "runtime/Measure.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lgen {
+
+namespace cir {
+class Kernel;
+} // namespace cir
+namespace compiler {
+class CompiledKernel;
+} // namespace compiler
+
+namespace runtime {
+
+/// Trip-count-weighted operation counts of one C-IR kernel: what one
+/// invocation executes, statically. (cir::computeStats counts syntactic
+/// instructions; this multiplies through the loop nest.)
+struct StaticOpCounts {
+  /// Flops issued by multi-lane arithmetic (each lane counts, including
+  /// padding lanes — this is *executed*, not useful, work).
+  uint64_t VectorFlops = 0;
+  /// Flops issued by scalar (1-lane) arithmetic.
+  uint64_t ScalarFlops = 0;
+  /// Multi-lane / scalar arithmetic instructions executed.
+  uint64_t VectorArithInsts = 0;
+  uint64_t ScalarArithInsts = 0;
+  /// Data-movement instructions executed (shuffles, broadcasts, lane
+  /// inserts/extracts, half extraction/combination).
+  uint64_t ShuffleInsts = 0;
+  /// Memory instructions executed and bytes they actively touch
+  /// (active lanes × sizeof(float); masked-out lanes don't count).
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t LoadedBytes = 0;
+  uint64_t StoredBytes = 0;
+
+  uint64_t totalFlops() const { return VectorFlops + ScalarFlops; }
+  uint64_t totalBytes() const { return LoadedBytes + StoredBytes; }
+};
+
+/// Counts what one invocation of \p K executes. Walks the loop tree
+/// multiplying by trip counts — forEachInst would count a loop body once
+/// regardless of its trip count.
+StaticOpCounts countOps(const cir::Kernel &K);
+
+/// One kernel's static + measured performance picture.
+struct PerfReport {
+  std::string KernelName;
+  std::string Target;
+  StaticOpCounts Static;
+  /// The BLAC's mathematical operation count (CompiledKernel::Flops).
+  double UsefulFlops = 0.0;
+  /// Useful flops per byte moved, from the static counts.
+  double OperationalIntensity = 0.0;
+
+  /// Median ticks per invocation and what produced/denominates them.
+  double MedianTicks = 0.0;
+  std::string Counter;
+  std::string Unit;
+  std::vector<HwCounterReading> HwCounters;
+
+  /// UsefulFlops / MedianTicks — only meaningful (non-zero) when Unit is
+  /// "cycles"; a steady-clock fallback measures ns, and f/ns is not f/c.
+  double AchievedFlopsPerCycle = 0.0;
+  /// ν-peak of the target microarchitecture (Tables 2.2–2.5).
+  double PeakFlopsPerCycle = 0.0;
+
+  /// "compute-bound", "memory-bound", "compute-bound (under-utilized)",
+  /// or "unclassified (no cycle counter)".
+  std::string Boundedness;
+
+  /// Multi-line human-readable report for --profile output.
+  std::string str() const;
+};
+
+/// Builds the report for \p CK from measurement \p M. Static counts come
+/// from the all-aligned code version (the version a zero-offset invocation
+/// dispatches to).
+PerfReport makeReport(const compiler::CompiledKernel &CK,
+                      const MeasureResult &M);
+
+} // namespace runtime
+} // namespace lgen
+
+#endif // LGEN_RUNTIME_PERFREPORT_H

@@ -2,6 +2,7 @@
 
 #include "runtime/ToolchainDriver.h"
 
+#include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <cstdlib>
@@ -276,10 +277,12 @@ ToolchainDriver::compileSharedObject(const std::string &CSource,
     auto It = SoCache.find(Key);
     if (It != SoCache.end()) {
       support::traceCounter("runtime.socache.hit");
+      support::metricCounter("runtime.socache.hit").add();
       return It->second;
     }
   }
   support::traceCounter("runtime.socache.miss");
+  support::metricCounter("runtime.socache.miss").add();
 
   std::string Stem = *Scratch + "/k" + hexKey(Key);
   std::string SoPath = Stem + ".so";
@@ -316,6 +319,7 @@ ToolchainDriver::compileSharedObject(const std::string &CSource,
   {
     support::TraceSpan Span("runtime.toolchain.compile");
     support::traceCounter("runtime.toolchain.invocations");
+    support::metricCounter("runtime.toolchain.invocations").add();
     Rc = std::system(Cmd.c_str());
   }
   bool Ok = Rc != -1 && WIFEXITED(Rc) && WEXITSTATUS(Rc) == 0;
@@ -325,6 +329,7 @@ ToolchainDriver::compileSharedObject(const std::string &CSource,
     fs::remove(TmpSo, EC);
     fs::remove(LogPath, EC);
     support::traceCounter("runtime.toolchain.failures");
+    support::metricCounter("runtime.toolchain.failures").add();
     return Err("toolchain failure: '" + Compiler + "' " +
                (Ok ? "reported success but produced no output"
                    : "exited with status " +

@@ -1,0 +1,243 @@
+//===- Metrics.cpp - Process-wide performance-metrics registry ------------===//
+
+#include "support/Metrics.h"
+
+#include "mediator/Json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::support;
+
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+[[noreturn]] void kindClash(const std::string &Name, const char *Wanted) {
+  std::fprintf(stderr,
+               "lgen: metric \"%s\" already registered as a different "
+               "instrument kind (wanted %s)\n",
+               Name.c_str(), Wanted);
+  std::abort();
+}
+
+} // namespace
+
+Metrics::Counter &Metrics::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Counters.find(Name);
+  if (It != Counters.end())
+    return *It->second;
+  if (Gauges.count(Name) || Histograms.count(Name))
+    kindClash(Name, "counter");
+  return *Counters.emplace(Name, std::unique_ptr<Counter>(new Counter()))
+              .first->second;
+}
+
+Metrics::Gauge &Metrics::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Gauges.find(Name);
+  if (It != Gauges.end())
+    return *It->second;
+  if (Counters.count(Name) || Histograms.count(Name))
+    kindClash(Name, "gauge");
+  return *Gauges.emplace(Name, std::unique_ptr<Gauge>(new Gauge()))
+              .first->second;
+}
+
+Metrics::Histogram &Metrics::histogram(const std::string &Name,
+                                       std::vector<uint64_t> BucketBounds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Histograms.find(Name);
+  if (It != Histograms.end()) {
+    if (It->second->Bounds != BucketBounds) {
+      std::fprintf(stderr,
+                   "lgen: histogram \"%s\" re-registered with different "
+                   "bucket bounds\n",
+                   Name.c_str());
+      std::abort();
+    }
+    return *It->second;
+  }
+  if (Counters.count(Name) || Gauges.count(Name))
+    kindClash(Name, "histogram");
+  return *Histograms
+              .emplace(Name, std::unique_ptr<Histogram>(
+                                 new Histogram(std::move(BucketBounds))))
+              .first->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot / reset / global
+//===----------------------------------------------------------------------===//
+
+Metrics::Snapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Snapshot S;
+  for (const auto &[Name, C] : Counters)
+    S.Counters[Name] = C->value();
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges[Name] = G->value();
+  for (const auto &[Name, H] : Histograms) {
+    HistogramSnapshot HS;
+    HS.Bounds = H->Bounds;
+    HS.Counts.reserve(H->Bounds.size() + 1);
+    for (size_t I = 0; I != H->Bounds.size() + 1; ++I)
+      HS.Counts.push_back(H->bucketCount(I));
+    HS.Sum = H->sum();
+    HS.Count = H->count();
+    S.Histograms[Name] = std::move(HS);
+  }
+  return S;
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Name, C] : Counters)
+    C->V.store(0, std::memory_order_relaxed);
+  for (auto &[Name, G] : Gauges)
+    G->V.store(0, std::memory_order_relaxed);
+  for (auto &[Name, H] : Histograms) {
+    for (size_t I = 0; I != H->Bounds.size() + 1; ++I)
+      H->Buckets[I].store(0, std::memory_order_relaxed);
+    H->Sum.store(0, std::memory_order_relaxed);
+    H->Count.store(0, std::memory_order_relaxed);
+  }
+}
+
+Metrics &Metrics::global() {
+  // Leaked intentionally: instrumentation sites hold references into the
+  // registry from static destructors and detached threads.
+  static Metrics *G = new Metrics();
+  return *G;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON export / import
+//===----------------------------------------------------------------------===//
+
+json::Value Metrics::Snapshot::toJson() const {
+  json::Object CounterObj;
+  for (const auto &[Name, V] : Counters)
+    CounterObj[Name] = static_cast<int64_t>(V);
+
+  json::Object GaugeObj;
+  for (const auto &[Name, V] : Gauges)
+    GaugeObj[Name] = V;
+
+  json::Object HistObj;
+  for (const auto &[Name, H] : Histograms) {
+    json::Array Bounds, Cnts;
+    for (uint64_t B : H.Bounds)
+      Bounds.push_back(static_cast<int64_t>(B));
+    for (uint64_t C : H.Counts)
+      Cnts.push_back(static_cast<int64_t>(C));
+    HistObj[Name] = json::Object{{"bounds", std::move(Bounds)},
+                                 {"counts", std::move(Cnts)},
+                                 {"sum", static_cast<int64_t>(H.Sum)},
+                                 {"count", static_cast<int64_t>(H.Count)}};
+  }
+
+  return json::Object{{"version", 1},
+                      {"counters", std::move(CounterObj)},
+                      {"gauges", std::move(GaugeObj)},
+                      {"histograms", std::move(HistObj)}};
+}
+
+bool Metrics::Snapshot::fromJson(const json::Value &V, Snapshot &Out,
+                                 std::string &Err) {
+  if (!V.isObject()) {
+    Err = "metrics snapshot must be a JSON object";
+    return false;
+  }
+  if (V.getNumber("version", 0) != 1) {
+    Err = "unsupported metrics snapshot version";
+    return false;
+  }
+  const json::Value &CounterObj = V["counters"];
+  const json::Value &GaugeObj = V["gauges"];
+  const json::Value &HistObj = V["histograms"];
+  if (!CounterObj.isObject() || !GaugeObj.isObject() || !HistObj.isObject()) {
+    Err = "metrics snapshot is missing counters/gauges/histograms";
+    return false;
+  }
+
+  Out.Counters.clear();
+  Out.Gauges.clear();
+  Out.Histograms.clear();
+
+  for (const auto &[Name, C] : CounterObj.asObject()) {
+    if (!C.isNumber()) {
+      Err = "counter \"" + Name + "\" is not a number";
+      return false;
+    }
+    Out.Counters[Name] = static_cast<uint64_t>(C.asNumber());
+  }
+  for (const auto &[Name, G] : GaugeObj.asObject()) {
+    if (!G.isNumber()) {
+      Err = "gauge \"" + Name + "\" is not a number";
+      return false;
+    }
+    Out.Gauges[Name] = static_cast<int64_t>(G.asNumber());
+  }
+  for (const auto &[Name, H] : HistObj.asObject()) {
+    if (!H.isObject() || !H["bounds"].isArray() || !H["counts"].isArray()) {
+      Err = "histogram \"" + Name + "\" is malformed";
+      return false;
+    }
+    HistogramSnapshot HS;
+    for (const json::Value &B : H["bounds"].asArray()) {
+      if (!B.isNumber()) {
+        Err = "histogram \"" + Name + "\" has a non-numeric bound";
+        return false;
+      }
+      HS.Bounds.push_back(static_cast<uint64_t>(B.asNumber()));
+    }
+    for (const json::Value &C : H["counts"].asArray()) {
+      if (!C.isNumber()) {
+        Err = "histogram \"" + Name + "\" has a non-numeric bucket count";
+        return false;
+      }
+      HS.Counts.push_back(static_cast<uint64_t>(C.asNumber()));
+    }
+    if (HS.Counts.size() != HS.Bounds.size() + 1) {
+      Err = "histogram \"" + Name + "\" needs bounds+1 bucket counts";
+      return false;
+    }
+    HS.Sum = static_cast<uint64_t>(H.getNumber("sum"));
+    HS.Count = static_cast<uint64_t>(H.getNumber("count"));
+    Out.Histograms[Name] = std::move(HS);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Human-readable listing
+//===----------------------------------------------------------------------===//
+
+std::string Metrics::Snapshot::str(const std::string &Prefix) const {
+  auto Matches = [&](const std::string &Name) {
+    return Prefix.empty() || Name.rfind(Prefix, 0) == 0;
+  };
+  std::ostringstream OS;
+  OS << "== metrics ==\n";
+  for (const auto &[Name, V] : Counters)
+    if (Matches(Name))
+      OS << "  " << Name << " = " << V << "\n";
+  for (const auto &[Name, V] : Gauges)
+    if (Matches(Name))
+      OS << "  " << Name << " = " << V << " (gauge)\n";
+  for (const auto &[Name, H] : Histograms) {
+    if (!Matches(Name))
+      continue;
+    OS << "  " << Name << ": count=" << H.Count << " sum=" << H.Sum;
+    if (H.Count)
+      OS << " mean=" << static_cast<double>(H.Sum) / H.Count;
+    OS << "\n";
+  }
+  return OS.str();
+}

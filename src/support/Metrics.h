@@ -1,0 +1,214 @@
+//===- Metrics.h - Process-wide performance-metrics registry ---*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One registry for the runtime statistics every subsystem used to keep in
+/// its own ad-hoc struct: kernel-cache hits and evictions, thread-pool
+/// occupancy, autotuner plans evaluated, toolchain invocations, native
+/// measurements. Three instrument kinds:
+///
+///  * *counters* — monotonically increasing uint64 (cache hits, plans
+///    evaluated);
+///  * *gauges* — instantaneous int64 values (active pool workers);
+///  * *histograms* — fixed-bucket distributions with sum and count
+///    (parallelFor sizes, measured cycles).
+///
+/// Instruments are registered once by name and the returned reference stays
+/// valid for the process lifetime, so hot paths cache it in a function-local
+/// static and pay exactly one relaxed atomic RMW per event — no lock, no
+/// string hashing. Registration and snapshotting take a mutex; they are
+/// cold.
+///
+/// \c snapshot() captures every instrument into plain maps, and the
+/// snapshot exports to JSON (schema below) for `lgen-cli --metrics[=FILE]`
+/// and the Mediator. Unlike \c support::Trace — which records *one traced
+/// compilation* behind an opt-in sink — Metrics is always on and
+/// process-cumulative; the two deliberately answer different questions
+/// ("where did this compile spend its time" vs "what has this process done
+/// so far").
+///
+/// Snapshot JSON schema (version 1, validated by MetricsTest round-trip):
+///
+/// \code{.json}
+/// {
+///   "version": 1,
+///   "counters":   {"kernelcache.hit.memory": 3, ...},
+///   "gauges":     {"threadpool.workers.active": 0, ...},
+///   "histograms": {"threadpool.parallelfor.size":
+///                    {"bounds": [1, 2, 4], "counts": [0, 1, 2, 0],
+///                     "sum": 11, "count": 3}, ...}
+/// }
+/// \endcode
+///
+/// counts has one more entry than bounds: the final bucket holds
+/// observations above the last bound. An observation lands in the first
+/// bucket whose bound is >= the value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_SUPPORT_METRICS_H
+#define LGEN_SUPPORT_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lgen {
+
+namespace json {
+class Value;
+} // namespace json
+
+namespace support {
+
+class Metrics {
+public:
+  /// Monotonic event counter. add() is one relaxed fetch_add.
+  class Counter {
+  public:
+    void add(uint64_t Delta = 1) {
+      V.fetch_add(Delta, std::memory_order_relaxed);
+    }
+    uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+  private:
+    friend class Metrics;
+    std::atomic<uint64_t> V{0};
+  };
+
+  /// Instantaneous value; set() and add() are single relaxed operations.
+  class Gauge {
+  public:
+    void set(int64_t X) { V.store(X, std::memory_order_relaxed); }
+    void add(int64_t Delta) { V.fetch_add(Delta, std::memory_order_relaxed); }
+    int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+  private:
+    friend class Metrics;
+    std::atomic<int64_t> V{0};
+  };
+
+  /// Fixed-bucket histogram. observe() is two relaxed RMWs plus one on the
+  /// matched bucket; bucket bounds are fixed at registration so the hot
+  /// path never allocates. A value lands in the first bucket whose upper
+  /// bound is >= the value; values above the last bound land in the
+  /// overflow bucket.
+  class Histogram {
+  public:
+    void observe(uint64_t X) {
+      size_t B = 0;
+      while (B != Bounds.size() && X > Bounds[B])
+        ++B;
+      Buckets[B].fetch_add(1, std::memory_order_relaxed);
+      Sum.fetch_add(X, std::memory_order_relaxed);
+      Count.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    const std::vector<uint64_t> &bounds() const { return Bounds; }
+    uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+    uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+    uint64_t bucketCount(size_t I) const {
+      return Buckets[I].load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Metrics;
+    explicit Histogram(std::vector<uint64_t> BucketBounds)
+        : Bounds(std::move(BucketBounds)),
+          Buckets(new std::atomic<uint64_t>[Bounds.size() + 1]) {
+      for (size_t I = 0; I != Bounds.size() + 1; ++I)
+        Buckets[I].store(0, std::memory_order_relaxed);
+    }
+
+    std::vector<uint64_t> Bounds; // ascending upper bounds
+    std::unique_ptr<std::atomic<uint64_t>[]> Buckets; // Bounds.size() + 1
+    std::atomic<uint64_t> Sum{0};
+    std::atomic<uint64_t> Count{0};
+  };
+
+  struct HistogramSnapshot {
+    std::vector<uint64_t> Bounds;
+    std::vector<uint64_t> Counts; // Bounds.size() + 1 entries
+    uint64_t Sum = 0;
+    uint64_t Count = 0;
+
+    bool operator==(const HistogramSnapshot &O) const {
+      return Bounds == O.Bounds && Counts == O.Counts && Sum == O.Sum &&
+             Count == O.Count;
+    }
+  };
+
+  /// Point-in-time copy of every registered instrument.
+  struct Snapshot {
+    std::map<std::string, uint64_t> Counters;
+    std::map<std::string, int64_t> Gauges;
+    std::map<std::string, HistogramSnapshot> Histograms;
+
+    json::Value toJson() const;
+    /// Rebuilds a snapshot from its JSON form; false + \p Err on schema
+    /// violations. toJson(fromJson(x)) == x.
+    static bool fromJson(const json::Value &V, Snapshot &Out,
+                         std::string &Err);
+    /// Human-readable listing (counters, gauges, histogram summaries),
+    /// optionally restricted to names starting with \p Prefix.
+    std::string str(const std::string &Prefix = "") const;
+
+    uint64_t counter(const std::string &Name) const {
+      auto It = Counters.find(Name);
+      return It == Counters.end() ? 0 : It->second;
+    }
+  };
+
+  Metrics() = default;
+  Metrics(const Metrics &) = delete;
+  Metrics &operator=(const Metrics &) = delete;
+
+  /// Registers (or finds) an instrument by name. The reference stays valid
+  /// forever — cache it in a function-local static on hot paths. Asking
+  /// for an existing name with a different instrument kind aborts, as does
+  /// re-registering a histogram with different bounds: silent aliasing
+  /// would corrupt both users' numbers.
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name,
+                       std::vector<uint64_t> BucketBounds);
+
+  Snapshot snapshot() const;
+
+  /// Zeroes every instrument, keeping registrations (and thus every cached
+  /// reference) valid. Tests use this for isolation; production code never
+  /// should — counters are defined to be process-cumulative.
+  void reset();
+
+  /// The process-wide registry every subsystem reports into.
+  static Metrics &global();
+
+private:
+  mutable std::mutex Mutex; // registration and snapshot only
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+/// Shorthands for instrumentation sites:
+///   metricCounter("kernelcache.hit.memory").add();
+/// Each call site resolves the name once (function-local static in the
+/// caller is even cheaper, but these keep one-off sites readable).
+inline Metrics::Counter &metricCounter(const std::string &Name) {
+  return Metrics::global().counter(Name);
+}
+inline Metrics::Gauge &metricGauge(const std::string &Name) {
+  return Metrics::global().gauge(Name);
+}
+
+} // namespace support
+} // namespace lgen
+
+#endif // LGEN_SUPPORT_METRICS_H

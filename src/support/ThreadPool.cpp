@@ -2,11 +2,22 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Metrics.h"
+
 namespace lgen {
 namespace support {
 
 namespace {
 thread_local bool InParallelRegion = false;
+
+/// The pool has no queue — parallelFor hands every attached thread a share
+/// of one index range — so "occupancy" is the number of threads currently
+/// claiming indices, and "depth" is the size of the range being drained.
+Metrics::Gauge &activeWorkersGauge() {
+  static Metrics::Gauge &G =
+      Metrics::global().gauge("threadpool.workers.active");
+  return G;
+}
 } // namespace
 
 bool ThreadPool::insideParallelRegion() { return InParallelRegion; }
@@ -35,6 +46,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::runShare(Job &J) {
   InParallelRegion = true;
+  activeWorkersGauge().add(1);
   for (;;) {
     size_t I = J.Next.fetch_add(1, std::memory_order_relaxed);
     if (I >= J.N)
@@ -47,6 +59,7 @@ void ThreadPool::runShare(Job &J) {
         J.Error = std::current_exception();
     }
   }
+  activeWorkersGauge().add(-1);
   InParallelRegion = false;
 }
 
@@ -80,10 +93,22 @@ void ThreadPool::workerLoop() {
 void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
   if (N == 0)
     return;
+  static Metrics::Counter &Invocations =
+      Metrics::global().counter("threadpool.parallelfor.invocations");
+  static Metrics::Counter &Tasks =
+      Metrics::global().counter("threadpool.parallelfor.tasks");
+  static Metrics::Histogram &SizeHist = Metrics::global().histogram(
+      "threadpool.parallelfor.size", {1, 2, 4, 8, 16, 32, 64, 128});
+  Invocations.add();
+  Tasks.add(N);
+  SizeHist.observe(N);
   // Serial paths: no workers, a single element, or a nested region (a
   // parallelFor from inside a worker would wait on threads that are all
   // busy running *this* loop).
   if (NumWorkers == 0 || N == 1 || InParallelRegion) {
+    static Metrics::Counter &Serial =
+        Metrics::global().counter("threadpool.parallelfor.serial");
+    Serial.add();
     bool WasInside = InParallelRegion;
     InParallelRegion = true;
     std::exception_ptr Error;

@@ -195,6 +195,39 @@ json::Value Trace::toJson() const {
                       {"snapshots", std::move(SnapArr)}};
 }
 
+json::Value Trace::toChromeJson() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+
+  json::Array Events;
+  double EndUs = 0.0;
+  for (const TraceSpanRecord &R : Spans) {
+    // Chrome "X" (complete) events; still-open spans get zero duration
+    // rather than being dropped, so a crash mid-pipeline stays visible.
+    double Dur = R.DurUs >= 0 ? R.DurUs : 0.0;
+    Events.push_back(json::Object{{"ph", "X"},
+                                  {"name", R.Name},
+                                  {"cat", "lgen"},
+                                  {"pid", 1},
+                                  {"tid", static_cast<int64_t>(R.Thread)},
+                                  {"ts", R.StartUs},
+                                  {"dur", Dur}});
+    EndUs = std::max(EndUs, R.StartUs + Dur);
+  }
+  // Counters are cumulative totals, not a time series; one "C" sample at
+  // the end of the timeline shows the final value per counter track.
+  for (const auto &[Name, V] : Counters)
+    Events.push_back(json::Object{
+        {"ph", "C"},
+        {"name", Name},
+        {"cat", "lgen"},
+        {"pid", 1},
+        {"ts", EndUs},
+        {"args", json::Object{{"value", static_cast<int64_t>(V)}}}});
+
+  return json::Object{{"traceEvents", std::move(Events)},
+                      {"displayTimeUnit", "ms"}};
+}
+
 bool Trace::fromJson(const json::Value &V, Trace &Out, std::string &Err) {
   if (!V.isObject()) {
     Err = "trace must be a JSON object";

@@ -159,6 +159,13 @@ public:
   /// the schema a stable interchange format for external tooling.
   static bool fromJson(const json::Value &V, Trace &Out, std::string &Err);
 
+  /// The trace in the Chrome trace-event format, loadable directly by
+  /// Perfetto / chrome://tracing: {"traceEvents": [...]} with spans as
+  /// complete ("X") events and counters as counter ("C") events stamped at
+  /// the end of the timeline. Lossy relative to toJson() — parent links,
+  /// plan evaluations, and IR snapshots have no Chrome representation.
+  json::Value toChromeJson() const;
+
   /// Human-readable summary: spans aggregated by name, counters, and the
   /// plan search outcome.
   std::string summary() const;

@@ -37,11 +37,25 @@
 ///                          output checksum. Exits 1 on toolchain or load
 ///                          failure; a target ISA the host cannot run is
 ///                          an explicit skip, not an error.
-///   --bench                like --run, but measure: print median cycles
-///                          per invocation, flops/cycle, and the cycle
-///                          counter used (§5.1.5 protocol)
-///   --measure-reps=N       timed repetitions for --bench and native
-///                          tuning (default 7)
+///   --bench                like --run, but measure: print median ticks
+///                          per invocation, flops/cycle, and the counter
+///                          and unit used (§5.1.5 protocol)
+///   --profile              like --bench, plus a full per-kernel perf
+///                          report: static FLOP counts from the C-IR,
+///                          hardware counters (instructions, cache and
+///                          branch misses — absent, clearly labeled, on
+///                          counter-restricted hosts), achieved f/c
+///                          against the target's ν-peak, and a memory- vs.
+///                          compute-bound verdict
+///   --measure-reps=N       timed repetitions for --bench/--profile and
+///                          native tuning (default 7)
+///   --metrics[=FILE]       after the run, export the process-wide
+///                          support::Metrics snapshot as JSON to FILE (or
+///                          stdout) and a human summary to stderr
+///   --trace-format=json|chrome
+///                          trace serialization: the native schema
+///                          (default) or Chrome trace events for
+///                          Perfetto / chrome://tracing
 ///
 /// Flag names follow the Options::Builder methods one-to-one. Several
 /// BLACs compile as one batch over the shared pool and cache.
@@ -56,6 +70,8 @@
 
 #include "cir/Passes.h"
 #include "mediator/Json.h"
+#include "runtime/PerfReport.h"
+#include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <cstdio>
@@ -79,8 +95,9 @@ int usage(const char *Argv0) {
       "          [--tune-backend=model|native] [--cache-dir=PATH]\n"
       "          [--cache-stats]\n"
       "          [--emit=c|ir|stats|time|all|none] [--trace[=FILE]]\n"
+      "          [--trace-format=json|chrome] [--metrics[=FILE]]\n"
       "          [--dump-ir=ll|sll|sll-opt|cir|cir-final|all]\n"
-      "          [--run[=N]] [--bench] [--measure-reps=N]\n"
+      "          [--run[=N]] [--bench] [--profile] [--measure-reps=N]\n"
       "          \"<BLAC>\" [\"<BLAC>\" ...]\n",
       Argv0);
   return 2;
@@ -110,7 +127,7 @@ uint64_t checksum(const std::vector<float> &Data) {
 /// success, 1 on toolchain/load failure, and 0 with a printed skip note
 /// when the host cannot run the target ISA.
 int runNative(const compiler::CompiledKernel &CK, unsigned Runs, bool Bench,
-              unsigned MeasureReps) {
+              bool Profile, unsigned MeasureReps) {
   Expected<runtime::NativeKernel> NK = runtime::NativeKernel::load(CK);
   if (!NK) {
     isa::ISAKind ISA = CK.Opts.effectiveNu() == 1 ? isa::ISAKind::Scalar
@@ -140,18 +157,22 @@ int runNative(const compiler::CompiledKernel &CK, unsigned Runs, bool Bench,
   for (machine::Buffer &B : Storage)
     Params.push_back(&B);
 
-  if (Bench) {
+  if (Bench || Profile) {
     runtime::MeasureOptions MO;
     MO.Reps = MeasureReps;
     runtime::MeasureResult M = runtime::measure(*NK, Params, MO);
-    std::printf("// --- native bench ---\n"
-                "cycles=%.1f (median of %u, x%u inner) perf=%.3f f/c "
-                "counter=%s checksum=%016llx\n",
-                M.MedianCycles,
-                static_cast<unsigned>(M.Samples.size()), M.InnerIters,
-                M.MedianCycles > 0 ? CK.Flops / M.MedianCycles : 0.0,
-                M.Counter.c_str(),
-                (unsigned long long)checksum(Storage[OutIdx].Data));
+    if (Bench)
+      std::printf("// --- native bench ---\n"
+                  "%s=%.1f (median of %u, x%u inner) perf=%.3f f/%s "
+                  "counter=%s checksum=%016llx\n",
+                  M.Unit.c_str(), M.MedianCycles,
+                  static_cast<unsigned>(M.Samples.size()), M.InnerIters,
+                  M.MedianCycles > 0 ? CK.Flops / M.MedianCycles : 0.0,
+                  M.Unit == "cycles" ? "c" : M.Unit.c_str(),
+                  M.Counter.c_str(),
+                  (unsigned long long)checksum(Storage[OutIdx].Data));
+    if (Profile)
+      std::printf("%s", runtime::makeReport(CK, M).str().c_str());
     return 0;
   }
 
@@ -218,7 +239,11 @@ int main(int Argc, char **Argv) {
   compiler::TuneBackend Backend = compiler::TuneBackend::Model;
   unsigned Runs = 0;
   bool Bench = false;
+  bool Profile = false;
   unsigned MeasureReps = 7;
+  bool MetricsOn = false;
+  std::string MetricsFile;
+  std::string TraceFormat = "json";
   std::vector<std::string> Sources;
 
   for (int I = 1; I < Argc; ++I) {
@@ -274,6 +299,8 @@ int main(int Argc, char **Argv) {
       Runs = static_cast<unsigned>(N);
     } else if (Arg == "--bench") {
       Bench = true;
+    } else if (Arg == "--profile") {
+      Profile = true;
     } else if (Arg.rfind("--measure-reps=", 0) == 0) {
       int N = std::atoi(Arg.c_str() + 15);
       if (N < 1)
@@ -298,6 +325,17 @@ int main(int Argc, char **Argv) {
       TraceFile = Arg.substr(8);
       if (TraceFile.empty())
         return usage(Argv[0]);
+    } else if (Arg.rfind("--trace-format=", 0) == 0) {
+      TraceFormat = Arg.substr(15);
+      if (TraceFormat != "json" && TraceFormat != "chrome")
+        return usage(Argv[0]);
+    } else if (Arg == "--metrics") {
+      MetricsOn = true;
+    } else if (Arg.rfind("--metrics=", 0) == 0) {
+      MetricsOn = true;
+      MetricsFile = Arg.substr(10);
+      if (MetricsFile.empty())
+        return usage(Argv[0]);
     } else if (Arg.rfind("--dump-ir=", 0) == 0) {
       DumpIr = Arg.substr(10);
       if (!validStage(DumpIr))
@@ -310,9 +348,11 @@ int main(int Argc, char **Argv) {
   }
   if (Sources.empty())
     return usage(Argv[0]);
-  // Bare --trace streams JSON to stdout; suppress kernel output there so
-  // the result stays machine-parseable unless the user asked for both.
-  if (TraceOn && TraceFile.empty() && !EmitSet)
+  // Bare --trace / --metrics stream JSON to stdout; suppress kernel output
+  // there so the result stays machine-parseable unless the user asked for
+  // both.
+  if (((TraceOn && TraceFile.empty()) || (MetricsOn && MetricsFile.empty())) &&
+      !EmitSet)
     Emit = "none";
 
   Expected<compiler::Options> Named = compiler::Options::named(Config, Target);
@@ -365,8 +405,9 @@ int main(int Argc, char **Argv) {
       continue;
     }
     printKernel(*Kernels[I], M, Emit);
-    if (Runs || Bench)
-      if (runNative(*Kernels[I], Runs ? Runs : 1, Bench, MeasureReps))
+    if (Runs || Bench || Profile)
+      if (runNative(*Kernels[I], Runs ? Runs : 1, Bench, Profile,
+                    MeasureReps))
         Rc = 1;
   }
 
@@ -376,7 +417,9 @@ int main(int Argc, char **Argv) {
                   S.Kernel.c_str(), S.Text.c_str());
 
   if (TraceOn) {
-    std::string Json = Trace.toJson().serialize();
+    std::string Json = (TraceFormat == "chrome" ? Trace.toChromeJson()
+                                                : Trace.toJson())
+                           .serialize();
     if (TraceFile.empty()) {
       std::printf("%s\n", Json.c_str());
     } else {
@@ -390,6 +433,31 @@ int main(int Argc, char **Argv) {
       }
     }
     std::fprintf(stderr, "%s", Trace.summary().c_str());
+    // Cache activity belongs in the trace-side summary too, but the single
+    // source of truth for it is the Metrics registry, not trace counters.
+    std::fprintf(stderr, "%s",
+                 support::Metrics::global()
+                     .snapshot()
+                     .str("kernelcache.")
+                     .c_str());
+  }
+
+  if (MetricsOn) {
+    support::Metrics::Snapshot Snap = support::Metrics::global().snapshot();
+    std::string Json = Snap.toJson().serialize();
+    if (MetricsFile.empty()) {
+      std::printf("%s\n", Json.c_str());
+    } else {
+      std::ofstream Out(MetricsFile, std::ios::trunc);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                     MetricsFile.c_str());
+        Rc = 1;
+      } else {
+        Out << Json << "\n";
+      }
+    }
+    std::fprintf(stderr, "%s", Snap.str().c_str());
   }
 
   if (CacheStats && C.kernelCache()) {

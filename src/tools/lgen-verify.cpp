@@ -34,6 +34,13 @@
 ///                       cleanly and reported as such.
 ///   --reduce            on failure, shrink the BLAC to a minimal failing
 ///                       reproducer before exiting
+///   --profile           after each BLAC verifies, compile it once for the
+///                       first target, run it natively under measure(), and
+///                       print a runtime::PerfReport (static FLOPs, measured
+///                       cycles + hw counters, achieved f/c vs. ν-peak).
+///                       Hosts that cannot run the target ISA (or have no
+///                       toolchain) skip the profile cleanly; verification
+///                       still counts.
 ///   --no-misaligned     skip the misaligned-base executions
 ///   --no-verify-ir      skip the Σ-LL/C-IR invariant checkers
 ///   --no-opt-sweep      check only base and full optimization configs
@@ -49,10 +56,17 @@
 #include "verify/RandomBlac.h"
 #include "verify/Reduce.h"
 
+#include "compiler/Compiler.h"
 #include "ll/Parser.h"
+#include "machine/Executor.h"
+#include "runtime/CpuInfo.h"
+#include "runtime/Measure.h"
+#include "runtime/NativeKernel.h"
+#include "runtime/PerfReport.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -66,7 +80,7 @@ int usage(const char *Argv0) {
                "          [--seed N] [--targets atom,a8,a9,arm1176,"
                "sandybridge]\n"
                "          [--samples N] [--input-sets N] [--inject=MODE]\n"
-               "          [--exec=sim|native|both] [--reduce]\n"
+               "          [--exec=sim|native|both] [--reduce] [--profile]\n"
                "          [--no-misaligned] [--no-verify-ir]\n"
                "          [--no-opt-sweep] [\"<BLAC>\" ...]\n",
                Argv0);
@@ -100,6 +114,55 @@ bool parseTargets(const std::string &List,
   return !Targets.empty();
 }
 
+/// Profiles one verified BLAC: compiles it once (autotuner winner) for
+/// \p Target, runs it natively under measure(), and prints the PerfReport.
+/// Every failure mode short of a crash degrades to a printed skip note —
+/// profiling is a bonus on top of verification, never a verdict on it.
+void profileBlac(const std::string &Source, machine::UArch Target,
+                 uint64_t Seed) {
+  std::unique_ptr<compiler::CompiledKernel> CK;
+  try {
+    compiler::Compiler C(
+        compiler::Options::builder(Target).searchSeed(Seed).build());
+    Expected<compiler::CompiledKernel> R = C.compile(Source);
+    if (!R) {
+      std::fprintf(stderr, "  profile skipped: %s\n", R.error().c_str());
+      return;
+    }
+    CK = std::make_unique<compiler::CompiledKernel>(std::move(*R));
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "  profile skipped: %s\n", E.what());
+    return;
+  }
+
+  Expected<runtime::NativeKernel> NK = runtime::NativeKernel::load(*CK);
+  if (!NK) {
+    isa::ISAKind ISA =
+        CK->Opts.effectiveNu() == 1 ? isa::ISAKind::Scalar : CK->Opts.ISA;
+    std::fprintf(stderr, "  profile skipped (%s): %s\n",
+                 runtime::CpuInfo::host().supports(ISA)
+                     ? "native load failed"
+                     : "host cannot run target ISA",
+                 NK.error().c_str());
+    return;
+  }
+
+  const ll::Program &P = CK->Blac;
+  std::vector<machine::Buffer> Storage;
+  std::vector<machine::Buffer *> Params;
+  Rng R(Seed ^ 0x70f11eULL);
+  for (const ll::Operand &Op : P.Operands) {
+    Storage.emplace_back(Op.numElements(), 0.0f, 0);
+    for (float &V : Storage.back().Data)
+      V = static_cast<float>(R.next() % 1000) / 250.0f - 2.0f;
+  }
+  for (machine::Buffer &B : Storage)
+    Params.push_back(&B);
+
+  runtime::MeasureResult M = runtime::measure(*NK, Params, {});
+  std::printf("%s", runtime::makeReport(*CK, M).str().c_str());
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -109,6 +172,7 @@ int main(int Argc, char **Argv) {
   unsigned Trials = 20;
   uint64_t Seed = 1;
   bool Reduce = false;
+  bool Profile = false;
   std::vector<std::string> Sources;
 
   // Value flags accept both "--flag=value" and "--flag value".
@@ -164,6 +228,8 @@ int main(int Argc, char **Argv) {
         return usage(Argv[0]);
     } else if (Arg == "--reduce") {
       Reduce = true;
+    } else if (Arg == "--profile") {
+      Profile = true;
     } else if (Arg == "--no-misaligned") {
       Plan.Misaligned = false;
     } else if (Arg == "--no-verify-ir") {
@@ -219,8 +285,11 @@ int main(int Argc, char **Argv) {
     NativeSkips += D.NativeSkips;
     if (NativeSkipReason.empty())
       NativeSkipReason = D.NativeSkipReason;
-    if (D.ok())
+    if (D.ok()) {
+      if (Profile)
+        profileBlac(Work[T].Source, Plan.Targets.front(), Work[T].Seed);
       continue;
+    }
 
     std::printf("FAIL: BLAC diverges from reference\n"
                 "  source: %s\n"

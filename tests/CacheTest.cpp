@@ -42,6 +42,27 @@ std::string kernelText(const CompiledKernel &CK) {
   return CK.kernelFor({}).str();
 }
 
+/// Cache stats are process-cumulative (all instances report into the
+/// kernelcache.* Metrics counters), so tests assert *deltas*: record the
+/// counters at construction, compare against them later. gtest runs the
+/// tests in this binary sequentially, so nothing else moves the counters
+/// in between.
+struct StatsDelta {
+  CacheStats Before = KernelCache::stats();
+
+  CacheStats delta() const {
+    CacheStats Now = KernelCache::stats();
+    CacheStats D;
+    D.MemoryHits = Now.MemoryHits - Before.MemoryHits;
+    D.PlanHits = Now.PlanHits - Before.PlanHits;
+    D.Misses = Now.Misses - Before.Misses;
+    D.Evictions = Now.Evictions - Before.Evictions;
+    D.Stores = Now.Stores - Before.Stores;
+    return D;
+  }
+  void rebase() { Before = KernelCache::stats(); }
+};
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -126,14 +147,15 @@ TEST(KernelCacheTest, SecondCompileIsMemoryHit) {
   Compiler C(Options::builder(machine::UArch::Atom).searchSamples(4).build());
   C.setKernelCache(std::make_shared<KernelCache>(""));
 
+  StatsDelta SD;
   CompiledKernel K1 = C.compile(GemvSrc).valueOrDie();
-  CacheStats S = C.kernelCache()->stats();
+  CacheStats S = SD.delta();
   EXPECT_EQ(S.Misses, 1u);
   EXPECT_EQ(S.hits(), 0u);
   EXPECT_EQ(S.Stores, 1u);
 
   CompiledKernel K2 = C.compile(GemvSrc).valueOrDie();
-  S = C.kernelCache()->stats();
+  S = SD.delta();
   EXPECT_EQ(S.MemoryHits, 1u);
   EXPECT_EQ(S.Misses, 1u);
   EXPECT_EQ(kernelText(K1), kernelText(K2));
@@ -146,12 +168,13 @@ TEST(KernelCacheTest, DiskRoundTrip) {
                   .cacheDir(Dir)
                   .build();
 
+  StatsDelta SD;
   std::string FirstText;
   {
     Compiler C(O);
     ASSERT_NE(C.kernelCache(), nullptr);
     FirstText = kernelText(C.compile(GemvSrc).valueOrDie());
-    EXPECT_EQ(C.kernelCache()->stats().Misses, 1u);
+    EXPECT_EQ(SD.delta().Misses, 1u);
     EXPECT_EQ(C.kernelCache()->numPlans(), 1u);
   } // destructor flushes <Dir>/lgen-cache.json
   ASSERT_TRUE(std::filesystem::exists(Dir + "/lgen-cache.json"));
@@ -161,8 +184,9 @@ TEST(KernelCacheTest, DiskRoundTrip) {
   Compiler C2(O);
   ASSERT_NE(C2.kernelCache(), nullptr);
   EXPECT_EQ(C2.kernelCache()->numPlans(), 1u);
+  SD.rebase();
   CompiledKernel K = C2.compile(GemvSrc).valueOrDie();
-  CacheStats S = C2.kernelCache()->stats();
+  CacheStats S = SD.delta();
   EXPECT_EQ(S.PlanHits, 1u);
   EXPECT_EQ(S.Misses, 0u);
   EXPECT_EQ(kernelText(K), FirstText);
@@ -180,8 +204,9 @@ TEST(KernelCacheTest, CorruptDiskFileIsIgnored) {
                   .build();
   Compiler C(O);
   EXPECT_EQ(C.kernelCache()->numPlans(), 0u);
+  StatsDelta SD;
   CompiledKernel K = C.compile(GemvSrc).valueOrDie(); // must not crash
-  EXPECT_EQ(C.kernelCache()->stats().Misses, 1u);
+  EXPECT_EQ(SD.delta().Misses, 1u);
 }
 
 TEST(KernelCacheTest, TruncatedDiskFileIsAMiss) {
@@ -204,8 +229,9 @@ TEST(KernelCacheTest, TruncatedDiskFileIsAMiss) {
 
   Compiler C2(O);
   EXPECT_EQ(C2.kernelCache()->numPlans(), 0u) << "torn file must be a miss";
+  StatsDelta SD;
   (void)C2.compile(GemvSrc).valueOrDie();
-  EXPECT_EQ(C2.kernelCache()->stats().Misses, 1u);
+  EXPECT_EQ(SD.delta().Misses, 1u);
 }
 
 TEST(KernelCacheTest, MalformedEntriesAreSkippedNotFatal) {
@@ -251,9 +277,10 @@ TEST(KernelCacheTest, InstancesSharingADirMergeTheirPlans) {
 
   Compiler C2(O);
   EXPECT_EQ(C2.kernelCache()->numPlans(), 2u);
+  StatsDelta SD;
   (void)C2.compile(GemvSrc).valueOrDie();
   (void)C2.compile(GemmSrc).valueOrDie();
-  CacheStats S = C2.kernelCache()->stats();
+  CacheStats S = SD.delta();
   EXPECT_EQ(S.PlanHits, 2u) << "both tuned plans must survive the merge";
   EXPECT_EQ(S.Misses, 0u);
 }
@@ -295,10 +322,11 @@ TEST(KernelCacheTest, ConcurrentBatchesLeaveNoTornStateOrTempFiles) {
   // The file must parse and hold all 8 tuned plans.
   Compiler C2(O);
   EXPECT_EQ(C2.kernelCache()->numPlans(), 8u);
+  StatsDelta SD;
   auto Results = C2.compileBatch(Sources);
   for (const auto &R : Results)
     EXPECT_TRUE(R.hasValue());
-  EXPECT_EQ(C2.kernelCache()->stats().Misses, 0u)
+  EXPECT_EQ(SD.delta().Misses, 0u)
       << "every plan must be served from the reloaded tier";
 }
 
@@ -306,10 +334,11 @@ TEST(KernelCacheTest, LruEvictsAndCounts) {
   KernelCache Cache("", /*MaxKernels=*/2);
   tiling::TilingPlan Plan;
   Options O = Options::builder(machine::UArch::Atom).build();
+  StatsDelta SD;
   for (uint64_t Key : {1u, 2u, 3u})
     Cache.store(Key, Plan, "src", O,
                 std::make_shared<CompiledKernel>());
-  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_EQ(SD.delta().Evictions, 1u);
   EXPECT_EQ(Cache.numKernels(), 2u);
   EXPECT_EQ(Cache.lookupKernel(1), nullptr); // 1 was least recently used
   EXPECT_NE(Cache.lookupKernel(3), nullptr);
@@ -370,6 +399,7 @@ TEST(CompileBatch, PositionalResultsWithErrors) {
       GemmSrc,
       GemvSrc, // duplicate: same fingerprint as [0]
   };
+  StatsDelta SD;
   auto Results = C.compileBatch(Sources);
   ASSERT_EQ(Results.size(), 4u);
   EXPECT_TRUE(Results[0].hasValue());
@@ -382,7 +412,7 @@ TEST(CompileBatch, PositionalResultsWithErrors) {
   // Three cacheable compiles for two distinct fingerprints. Whether the
   // duplicate hits depends on scheduling (both copies may race past the
   // lookup before either stores), but every lookup is accounted for.
-  CacheStats S = C.kernelCache()->stats();
+  CacheStats S = SD.delta();
   EXPECT_EQ(S.hits() + S.Misses, 3u);
   EXPECT_GE(S.Misses, 2u) << "two distinct fingerprints must miss once each";
 

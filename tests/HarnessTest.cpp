@@ -15,6 +15,8 @@
 #include "../bench/Blacs.h"
 #include "../bench/Harness.h"
 
+#include "mediator/Json.h"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -67,12 +69,71 @@ TEST(RunnerEndToEnd, MiniSweepThroughMediator) {
     ASSERT_EQ(Ser.Values.size(), 2u) << Ser.Name;
     for (double V : Ser.Values)
       EXPECT_GT(V, 0.0) << Ser.Name;
+    // The raw measurements behind each ratio ride along for BENCH_*.json.
+    ASSERT_EQ(Ser.Cycles.size(), 2u) << Ser.Name;
+    ASSERT_EQ(Ser.Flops.size(), 2u) << Ser.Name;
+    for (size_t I = 0; I != 2; ++I) {
+      EXPECT_GT(Ser.Cycles[I].Median, 0.0) << Ser.Name;
+      EXPECT_GT(Ser.Flops[I], 0.0) << Ser.Name;
+      // The ratio round-trips through the Mediator's JSON (6 significant
+      // digits), so compare at that precision.
+      EXPECT_NEAR(Ser.Values[I], Ser.Flops[I] / Ser.Cycles[I].Median, 1e-5)
+          << Ser.Name;
+    }
   }
   // LGen must beat every competitor on this NEON-friendly shape.
   double LGen = S.valueOf("LGen", 1);
   for (const Series &Ser : S.SeriesList)
     if (Ser.Name != "LGen")
       EXPECT_GT(LGen, Ser.Values[1]) << Ser.Name;
+}
+
+TEST(BenchJsonSchema, SweepRoundTripsThroughSchemaV1) {
+  Runner R(machine::UArch::Atom);
+  R.addLGen("LGen", compiler::Options::lgenBase(machine::UArch::Atom));
+  Sweep S = R.run("schema_check", "y = A*x",
+                  [](int64_t N) { return blacs::mvm(4, N); }, {8});
+
+  BenchReport B = S.toBenchReport();
+  EXPECT_EQ(B.Bench, "schema_check");
+  EXPECT_EQ(B.Target, machine::uarchName(machine::UArch::Atom));
+  EXPECT_EQ(B.Unit, "model-cycles");
+  EXPECT_EQ(B.Counter, "timing-model");
+  // Host-independent tag: model-cycle baselines gate strictly everywhere.
+  EXPECT_EQ(B.Host, "timing-model");
+  EXPECT_FALSE(B.GitSha.empty());
+  ASSERT_EQ(B.Results.size(), 1u);
+  EXPECT_EQ(B.Results[0].Kernel, "LGen");
+  EXPECT_EQ(B.Results[0].Size, 8);
+  EXPECT_GT(B.Results[0].CyclesMedian, 0.0);
+  EXPECT_GT(B.Results[0].FlopsPerCycle, 0.0);
+
+  // Serialize, reparse, rebuild: the schema is a stable interchange format.
+  std::string Text = B.toJson().serialize();
+  json::Value Parsed;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Text, Parsed, Err)) << Err;
+  EXPECT_EQ(Parsed.getNumber("version"), 1);
+  BenchReport Rebuilt;
+  ASSERT_TRUE(BenchReport::fromJson(Parsed, Rebuilt, Err)) << Err;
+  EXPECT_EQ(Rebuilt.toJson().serialize(), Text);
+  ASSERT_EQ(Rebuilt.Results.size(), 1u);
+  EXPECT_EQ(Rebuilt.Results[0].CyclesMedian, B.Results[0].CyclesMedian);
+}
+
+TEST(BenchJsonSchema, FromJsonRejectsMalformedReports) {
+  auto Refused = [](const char *Text) {
+    json::Value V;
+    std::string Err;
+    EXPECT_TRUE(json::parse(Text, V, Err)) << Err;
+    BenchReport B;
+    return !BenchReport::fromJson(V, B, Err) && !Err.empty();
+  };
+  EXPECT_TRUE(Refused("[]"));
+  EXPECT_TRUE(Refused("{\"version\": 2, \"results\": []}"));
+  EXPECT_TRUE(Refused("{\"version\": 1, \"results\": {}}"));
+  EXPECT_TRUE(Refused(
+      "{\"version\": 1, \"results\": [{\"size\": 4}]}")); // missing kernel
 }
 
 TEST(RunnerEndToEnd, MisalignedSweepValidates) {

@@ -1,0 +1,199 @@
+//===- MetricsTest.cpp - Process-wide metrics registry --------------------===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coverage for support::Metrics: instrument registration semantics,
+/// concurrent hot-path increments, histogram bucket-edge placement, the
+/// snapshot JSON round-trip through the mediator JSON implementation, and
+/// the wiring that makes compiles report into the global registry.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "mediator/Json.h"
+#include "support/Metrics.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+#include <vector>
+
+using namespace lgen;
+using namespace lgen::support;
+
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  Metrics M;
+  Metrics::Counter &A = M.counter("a");
+  Metrics::Counter &B = M.counter("a");
+  EXPECT_EQ(&A, &B);
+  A.add(2);
+  B.add(3);
+  EXPECT_EQ(A.value(), 5u);
+
+  Metrics::Gauge &G = M.gauge("g");
+  G.set(-7);
+  EXPECT_EQ(M.gauge("g").value(), -7);
+}
+
+TEST(MetricsRegistry, ResetKeepsRegistrationsValid) {
+  Metrics M;
+  Metrics::Counter &C = M.counter("c");
+  Metrics::Histogram &H = M.histogram("h", {10, 20});
+  C.add(4);
+  H.observe(15);
+  M.reset();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+  // The same references keep working after reset.
+  C.add(1);
+  EXPECT_EQ(M.snapshot().counter("c"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: the hot path is lock-free and loses no increments
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsConcurrency, ParallelIncrementsAllLand) {
+  Metrics M;
+  Metrics::Counter &C = M.counter("hits");
+  Metrics::Gauge &G = M.gauge("level");
+  Metrics::Histogram &H = M.histogram("sizes", {4, 16, 64});
+
+  const unsigned Threads = 8, PerThread = 10000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&, T] {
+      for (unsigned I = 0; I != PerThread; ++I) {
+        C.add();
+        G.add(1);
+        H.observe((T * PerThread + I) % 100);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  EXPECT_EQ(C.value(), uint64_t(Threads) * PerThread);
+  EXPECT_EQ(G.value(), int64_t(Threads) * PerThread);
+  EXPECT_EQ(H.count(), uint64_t(Threads) * PerThread);
+  uint64_t BucketTotal = 0;
+  for (size_t I = 0; I != H.bounds().size() + 1; ++I)
+    BucketTotal += H.bucketCount(I);
+  EXPECT_EQ(BucketTotal, H.count());
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram bucket edges
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsHistogram, EdgeValuesLandInTheBoundedBucket) {
+  Metrics M;
+  // A value lands in the first bucket whose bound is >= the value.
+  Metrics::Histogram &H = M.histogram("h", {1, 2, 4});
+  H.observe(0); // <= 1
+  H.observe(1); // <= 1 (edge: bound is inclusive)
+  H.observe(2); // <= 2
+  H.observe(3); // <= 4
+  H.observe(4); // <= 4
+  H.observe(5); // overflow
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(2), 2u);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_EQ(H.sum(), 15u);
+  EXPECT_EQ(H.count(), 6u);
+
+  Metrics::Snapshot S = M.snapshot();
+  ASSERT_EQ(S.Histograms.count("h"), 1u);
+  const Metrics::HistogramSnapshot &HS = S.Histograms.at("h");
+  EXPECT_EQ(HS.Bounds, (std::vector<uint64_t>{1, 2, 4}));
+  EXPECT_EQ(HS.Counts, (std::vector<uint64_t>{2, 1, 2, 1}));
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot JSON round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsJson, RoundTripsThroughMediatorJson) {
+  Metrics M;
+  M.counter("cache.hits").add(3);
+  M.counter("cache.misses").add(1);
+  M.gauge("workers").set(-2);
+  Metrics::Histogram &H = M.histogram("sizes", {2, 8});
+  H.observe(1);
+  H.observe(8);
+  H.observe(100);
+
+  Metrics::Snapshot S = M.snapshot();
+  std::string Text = S.toJson().serialize();
+  json::Value Parsed;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Text, Parsed, Err)) << Err;
+  EXPECT_EQ(Parsed.getNumber("version"), 1);
+
+  Metrics::Snapshot Rebuilt;
+  ASSERT_TRUE(Metrics::Snapshot::fromJson(Parsed, Rebuilt, Err)) << Err;
+  EXPECT_EQ(Rebuilt.toJson().serialize(), Text)
+      << "toJson(fromJson(x)) must equal x";
+  EXPECT_EQ(Rebuilt.Counters, S.Counters);
+  EXPECT_EQ(Rebuilt.Gauges, S.Gauges);
+  EXPECT_EQ(Rebuilt.Histograms.at("sizes"), S.Histograms.at("sizes"));
+}
+
+TEST(MetricsJson, RejectsMalformedSnapshots) {
+  auto Refused = [](const char *Text) {
+    json::Value V;
+    std::string Err;
+    EXPECT_TRUE(json::parse(Text, V, Err)) << Err;
+    Metrics::Snapshot S;
+    return !Metrics::Snapshot::fromJson(V, S, Err) && !Err.empty();
+  };
+  EXPECT_TRUE(Refused("[]"));
+  EXPECT_TRUE(Refused("{\"version\": 2}"));
+  EXPECT_TRUE(Refused(
+      "{\"version\": 1, \"counters\": 5, \"gauges\": {}, "
+      "\"histograms\": {}}"));
+  EXPECT_TRUE(Refused(
+      "{\"version\": 1, \"counters\": {\"c\": \"x\"}, \"gauges\": {}, "
+      "\"histograms\": {}}"));
+  // counts must have bounds.size() + 1 entries.
+  EXPECT_TRUE(Refused(
+      "{\"version\": 1, \"counters\": {}, \"gauges\": {}, \"histograms\": "
+      "{\"h\": {\"bounds\": [1, 2], \"counts\": [1, 2], \"sum\": 3, "
+      "\"count\": 2}}}"));
+}
+
+//===----------------------------------------------------------------------===//
+// Global wiring: compiles report into the process registry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsGlobal, CompileReportsCacheTraffic) {
+  Metrics::Snapshot Before = Metrics::global().snapshot();
+  std::string Dir = ::testing::TempDir() + "lgen_metrics_global";
+  compiler::Compiler C(compiler::Options::builder(machine::UArch::Atom)
+                           .searchSamples(2)
+                           .searchSeed(3)
+                           .cacheDir(Dir)
+                           .build());
+  const char *Src = "Vector x(8); Vector y(8); y = x + y;";
+  (void)C.compile(Src).valueOrDie();
+  (void)C.compile(Src).valueOrDie(); // second compile hits the memory cache
+  Metrics::Snapshot After = Metrics::global().snapshot();
+  // The first compile either misses outright or (when a previous run left
+  // a disk cache behind) hits a persisted plan; both are cache traffic.
+  EXPECT_GE(After.counter("kernelcache.miss") +
+                After.counter("kernelcache.hit.plan"),
+            Before.counter("kernelcache.miss") +
+                Before.counter("kernelcache.hit.plan") + 1);
+  EXPECT_GE(After.counter("kernelcache.hit.memory"),
+            Before.counter("kernelcache.hit.memory") + 1);
+  EXPECT_GE(After.counter("autotuner.plans.evaluated"),
+            Before.counter("autotuner.plans.evaluated"));
+}

@@ -1,0 +1,189 @@
+//===- PerfReportTest.cpp - Static op counting and perf reports -----------===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coverage for runtime::countOps and runtime::makeReport: exact
+/// hand-counted operation totals on hand-built C-IR (where every
+/// instruction and trip count is known), cross-checks of compiled
+/// mvm/mmm/axpy kernels against the BLACs' mathematical flop counts, and
+/// the report's unit discipline (f/c only from cycle-denominated
+/// measurements).
+///
+//===----------------------------------------------------------------------===//
+
+#include "cir/Builder.h"
+#include "compiler/Compiler.h"
+#include "ll/Parser.h"
+#include "runtime/PerfReport.h"
+
+#include <gtest/gtest.h>
+
+using namespace lgen;
+using namespace lgen::cir;
+using namespace lgen::runtime;
+
+//===----------------------------------------------------------------------===//
+// Hand-built kernels: every count is known exactly
+//===----------------------------------------------------------------------===//
+
+TEST(CountOps, HandBuiltLoopNestCountsTripWeighted) {
+  // for i in 0..8 step 4:        (2 iterations)
+  //   v   = load  A[i]           (4 lanes)
+  //   w   = v + v                (4 flops)
+  //   f   = fma(v, v, w)         (8 flops)
+  //   store f -> A[i]
+  //   for j in 0..12 step 4:     (3 iterations, nested: x6 total)
+  //     s = extract(v, 0)        (shuffle-like)
+  //     t = s * s                (1 scalar flop)
+  //     storeLane t -> A[j]
+  Kernel K("hand");
+  Builder B(K);
+  ArrayId A = K.addArray("A", 16, ArrayKind::InOut);
+  B.forLoop(0, 8, 4, [&](LoopId I) {
+    RegId V = B.load(4, Addr{A, AffineExpr::loopIndex(I)});
+    RegId W = B.add(V, V);
+    RegId F = B.fma(V, V, W);
+    B.store(F, Addr{A, AffineExpr::loopIndex(I)});
+    B.forLoop(0, 12, 4, [&](LoopId J) {
+      RegId S = B.extract(V, 0);
+      RegId T = B.mul(S, S);
+      B.storeLane(T, 0, Addr{A, AffineExpr::loopIndex(J)});
+    });
+  });
+
+  StaticOpCounts C = countOps(K);
+  EXPECT_EQ(C.VectorArithInsts, 4u);        // (add + fma) x2
+  EXPECT_EQ(C.VectorFlops, 24u);            // (4 + 8) x2
+  EXPECT_EQ(C.ScalarArithInsts, 6u);        // mul x2x3
+  EXPECT_EQ(C.ScalarFlops, 6u);
+  EXPECT_EQ(C.ShuffleInsts, 6u);            // extract x2x3
+  EXPECT_EQ(C.Loads, 2u);
+  EXPECT_EQ(C.Stores, 8u);                  // store x2 + storeLane x2x3
+  EXPECT_EQ(C.LoadedBytes, 2u * 16u);       // 4-lane loads
+  EXPECT_EQ(C.StoredBytes, 2u * 16u + 6u * 4u);
+  EXPECT_EQ(C.totalFlops(), 30u);
+  EXPECT_EQ(C.totalBytes(), 88u);
+}
+
+TEST(CountOps, ReductionOpsUseTheirLaneSemantics) {
+  Kernel K("reduce");
+  Builder B(K);
+  ArrayId A = K.addArray("A", 8, ArrayKind::Input);
+  ArrayId Y = K.addArray("y", 1, ArrayKind::Output);
+  RegId V = B.load(4, Addr{A, AffineExpr(0)});
+  RegId W = B.load(4, Addr{A, AffineExpr(4)});
+  RegId D = B.dotps(V, W);   // 4 muls + 3 adds = 7 flops
+  RegId H = B.hadd(V, W);    // lanes(dest) flops
+  RegId S = B.extract(H, 0); // shuffle-like, 0 flops
+  (void)S;
+  RegId F = B.fma(D, D, H);  // 2 * lanes(dest) flops
+  (void)F;
+  B.storeLane(D, 0, Addr{Y, AffineExpr(0)});
+
+  StaticOpCounts C = countOps(K);
+  // DotPS contributes 2*lanes(A)-1 = 7; HAdd contributes lanes(dest).
+  EXPECT_EQ(C.totalFlops(),
+            7u + K.lanesOf(H) + 2u * K.lanesOf(F));
+  EXPECT_EQ(C.Loads, 2u);
+  EXPECT_EQ(C.Stores, 1u);
+  EXPECT_EQ(C.StoredBytes, 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Compiled kernels vs. the BLACs' mathematical counts
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+compiler::CompiledKernel compileFor(machine::UArch Target, const char *Src) {
+  compiler::Compiler C(compiler::Options::builder(Target)
+                           .searchSamples(2)
+                           .searchSeed(9)
+                           .build());
+  return C.compile(Src).valueOrDie();
+}
+
+} // namespace
+
+TEST(CountOps, ScalarTargetIssuesNoVectorFlops) {
+  // ARM1176 has no SIMD: everything the compiler emits must be scalar.
+  compiler::CompiledKernel CK = compileFor(
+      machine::UArch::ARM1176,
+      "Matrix A(4, 4); Vector x(4); Vector y(4); y = A*x;");
+  StaticOpCounts C = countOps(CK.kernelFor({}));
+  EXPECT_EQ(C.VectorFlops, 0u);
+  EXPECT_EQ(C.VectorArithInsts, 0u);
+  EXPECT_GT(C.ScalarFlops, 0u);
+  // Hand count: y = A*x as 16 multiplies and 12 or 16 adds, depending on
+  // whether the accumulator starts from the first product or from zero
+  // (FMA-from-zero). The mathematical count (2mn = 32) bounds it above.
+  EXPECT_GE(C.ScalarFlops, 28u);
+  EXPECT_LE(C.ScalarFlops, 32u);
+  EXPECT_EQ(CK.Flops, 32.0);
+}
+
+TEST(CountOps, ExecutedCoversUsefulForCoreBlacs) {
+  struct CaseSpec {
+    const char *Src;
+    double Useful; // 2mnk products, mn additions/scalings
+  };
+  const CaseSpec Cases[] = {
+      // axpy: 8 muls (a*x) + 8 adds.
+      {"Scalar a; Vector x(8); Vector y(8); y = a*x + y;", 16.0},
+      // mvm 8x8: 2*8*8.
+      {"Matrix A(8, 8); Vector x(8); Vector y(8); y = A*x;", 128.0},
+      // mmm 4x4x4: 2*4*4*4.
+      {"Matrix A(4, 4); Matrix B(4, 4); Matrix C(4, 4); C = A*B;", 128.0},
+  };
+  for (const CaseSpec &TC : Cases) {
+    compiler::CompiledKernel CK = compileFor(machine::UArch::Atom, TC.Src);
+    EXPECT_EQ(CK.Flops, TC.Useful) << TC.Src;
+    StaticOpCounts C = countOps(CK.kernelFor({}));
+    // Vectorized code may execute more (padding lanes, horizontal
+    // reductions) but can never do less arithmetic than the math demands
+    // minus the first-accumulation ambiguity (one add per output).
+    EXPECT_GE(C.totalFlops() + 16, static_cast<uint64_t>(TC.Useful))
+        << TC.Src;
+    EXPECT_GT(C.Loads, 0u) << TC.Src;
+    EXPECT_GT(C.Stores, 0u) << TC.Src;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Report construction
+//===----------------------------------------------------------------------===//
+
+TEST(PerfReportTest, CycleMeasurementsYieldAchievedFlopsPerCycle) {
+  compiler::CompiledKernel CK = compileFor(
+      machine::UArch::Atom,
+      "Matrix A(8, 8); Vector x(8); Vector y(8); y = A*x;");
+  MeasureResult M;
+  M.MedianCycles = 64.0;
+  M.Counter = "rdtsc";
+  M.Unit = "cycles";
+  PerfReport R = makeReport(CK, M);
+  EXPECT_EQ(R.UsefulFlops, 128.0);
+  EXPECT_DOUBLE_EQ(R.AchievedFlopsPerCycle, 2.0);
+  EXPECT_GT(R.PeakFlopsPerCycle, 0.0);
+  EXPECT_NE(R.Boundedness, "unclassified (no cycle counter)");
+  std::string Text = R.str();
+  EXPECT_NE(Text.find("useful flops"), std::string::npos);
+  EXPECT_NE(Text.find("achieved:"), std::string::npos);
+  EXPECT_NE(Text.find("f/c peak"), std::string::npos);
+}
+
+TEST(PerfReportTest, NsMeasurementsRefuseToFakeFlopsPerCycle) {
+  compiler::CompiledKernel CK = compileFor(
+      machine::UArch::Atom, "Vector x(8); Vector y(8); y = x + y;");
+  MeasureResult M;
+  M.MedianCycles = 100.0; // these are nanoseconds, not cycles
+  M.Counter = "steady_clock_ns";
+  M.Unit = "ns";
+  PerfReport R = makeReport(CK, M);
+  EXPECT_EQ(R.AchievedFlopsPerCycle, 0.0);
+  EXPECT_EQ(R.Boundedness, "unclassified (no cycle counter)");
+  EXPECT_NE(R.str().find("n/a (ns-based measurement"), std::string::npos);
+}

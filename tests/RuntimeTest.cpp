@@ -330,6 +330,32 @@ TEST(MeasureTest, ProtocolShapeAndMonotonicity) {
   EXPECT_GE(M.InnerIters, 1u);
   EXPECT_FALSE(M.Counter.empty());
   EXPECT_STREQ(M.Counter.c_str(), runtime::cycleCounterName());
+
+  // The unit label must match what the counter actually produces: "cycles"
+  // for perf_event/rdtsc, "ns" for the steady-clock fallback — never a
+  // bare mislabeled number.
+  EXPECT_STREQ(M.Unit.c_str(), runtime::cycleCounterUnit());
+  EXPECT_TRUE(M.Unit == "cycles" || M.Unit == "ns") << M.Unit;
+
+  // Hardware counters degrade gracefully: on a host without perf_event
+  // access the vector is empty; when present, every reading is a real
+  // (named, non-zero-defaulted) event. An unsupported event must be
+  // absent, not reported as zero.
+  runtime::PerfCounterGroup &G = runtime::PerfCounterGroup::forThread();
+  if (!G.any()) {
+    EXPECT_TRUE(M.HwCounters.empty())
+        << "no perf_event access, yet counters were reported";
+  } else {
+    for (const runtime::HwCounterReading &R : M.HwCounters) {
+      EXPECT_FALSE(R.Name.empty());
+      EXPECT_GT(R.RunningRatio, 0.0);
+      EXPECT_LE(R.RunningRatio, 1.0 + 1e-9);
+    }
+    // The instruction counter, when the kernel really ran, cannot be zero.
+    for (const runtime::HwCounterReading &R : M.HwCounters)
+      if (R.Name == "instructions")
+        EXPECT_GT(R.Value, 0.0);
+  }
 }
 
 TEST(MeasureTest, ColdCacheVariantTimesSingleInvocations) {
@@ -447,6 +473,11 @@ TEST(NativeDeviceTest, ExecutorMeasuresOrSkipsCleanly) {
   EXPECT_GT(R.getNumber("cycles"), 0.0);
   EXPECT_GT(R.getNumber("flops"), 0.0);
   EXPECT_FALSE(R["counter"].asString().empty());
+  // Result JSON labels its unit (measure() labeling satellite) and
+  // reports the min/max spread alongside the median.
+  EXPECT_STREQ(R.getString("unit").c_str(), runtime::cycleCounterUnit());
+  EXPECT_LE(R.getNumber("minCycles"), R.getNumber("cycles"));
+  EXPECT_LE(R.getNumber("cycles"), R.getNumber("maxCycles"));
 
   // An ISA the host lacks is a clean {supported: false}, not a throw.
   const runtime::CpuInfo &Host = runtime::CpuInfo::host();

@@ -16,6 +16,7 @@
 #include "lgen/LGen.h"
 
 #include "mediator/Json.h"
+#include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include "gtest/gtest.h"
@@ -272,6 +273,35 @@ TEST(TraceJson, RoundTripsThroughMediatorJson) {
   EXPECT_EQ(Rebuilt.snapshots()[0].Text, S.T.snapshots()[0].Text);
 }
 
+TEST(TraceJson, ChromeExportCarriesEverySpanAndCounter) {
+  ScopedTrace S;
+  Compiler C(Options::builder(machine::UArch::Atom)
+                 .searchSamples(2)
+                 .searchSeed(5)
+                 .build());
+  (void)C.compile(Mmm4Src).valueOrDie();
+  Trace::setActive(nullptr);
+
+  json::Value V = S.T.toChromeJson();
+  ASSERT_TRUE(V["traceEvents"].isArray());
+  size_t SpanEvents = 0, CounterEvents = 0;
+  for (const json::Value &Ev : V["traceEvents"].asArray()) {
+    std::string Ph = Ev.getString("ph");
+    ASSERT_TRUE(Ph == "X" || Ph == "C") << Ph;
+    EXPECT_FALSE(Ev.getString("name").empty());
+    if (Ph == "X") {
+      ++SpanEvents;
+      EXPECT_GE(Ev.getNumber("dur", -1.0), 0.0);
+    } else {
+      ++CounterEvents;
+      EXPECT_TRUE(Ev["args"].isObject());
+    }
+  }
+  EXPECT_EQ(SpanEvents, S.T.spans().size());
+  EXPECT_EQ(CounterEvents, S.T.counters().size());
+  EXPECT_EQ(V.getString("displayTimeUnit"), "ms");
+}
+
 TEST(TraceJson, RejectsMalformedTraces) {
   auto Refused = [](const char *Text) {
     json::Value V;
@@ -314,4 +344,38 @@ TEST(TraceZeroCost, TracedCompileIsByteIdentical) {
   }
   EXPECT_EQ(TracedText, kernelText(Plain));
   EXPECT_EQ(TracedC, codegen::unparseCompiled(Plain));
+}
+
+TEST(TraceZeroCost, MetricsAndChromeExportLeaveCodegenByteIdentical) {
+  Options O = Options::builder(machine::UArch::Atom)
+                  .full()
+                  .searchSamples(4)
+                  .searchSeed(7)
+                  .build();
+  ASSERT_EQ(Trace::active(), nullptr);
+  Compiler Untraced(O);
+  CompiledKernel Plain = Untraced.compile(GemvSrc).valueOrDie();
+
+  // Compile again with tracing active, the Metrics registry counting, and
+  // the Chrome exporter running mid-flight: none of it may perturb the
+  // generated code.
+  // These Compilers run cache-less, so the bypass counter is the Metrics
+  // signal their compiles leave behind.
+  uint64_t BypassedBefore =
+      Metrics::global().snapshot().counter("kernelcache.bypassed");
+  std::string TracedText, TracedC, Chrome;
+  {
+    ScopedTrace S;
+    Compiler Traced(O);
+    CompiledKernel CK = Traced.compile(GemvSrc).valueOrDie();
+    TracedText = kernelText(CK);
+    TracedC = codegen::unparseCompiled(CK);
+    Chrome = S.T.toChromeJson().serialize();
+  }
+  EXPECT_EQ(TracedText, kernelText(Plain));
+  EXPECT_EQ(TracedC, codegen::unparseCompiled(Plain));
+  EXPECT_NE(Chrome.find("\"traceEvents\""), std::string::npos);
+  // The instrumented compile really did report into the global registry.
+  EXPECT_GT(Metrics::global().snapshot().counter("kernelcache.bypassed"),
+            BypassedBefore);
 }

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Diff two schema-v1 BENCH_*.json files and gate on cycle regressions.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--threshold 0.10] [--noise 0.02]
+                     [--warn-only] [--update-baseline]
+
+Both files must follow the schema of bench/BenchJson.h (version 1). Results
+are matched by (kernel, size); the gated quantity is the median tick count
+("cycles.median" — model cycles, perf_event cycles, or ns, per the file's
+"unit" header).
+
+Policy:
+  * a matched entry whose median grew by more than --threshold (default
+    10%) is a REGRESSION and fails the gate;
+  * changes within +/- --noise (default 2%) are noise and not reported;
+  * growth between the noise floor and the threshold is printed as a
+    warning but passes;
+  * entries present on only one side are informational.
+
+The gate automatically degrades to warn-only when the two files are not
+comparable: different "unit" (model cycles vs. real cycles vs. ns),
+different "counter", or different "host" strings. Counter-restricted CI
+runners (perf_event unavailable, steady-clock ns fallback) therefore never
+fail the lane against a cycle-based baseline; they report instead.
+
+--update-baseline copies CURRENT over BASELINE (the documented refresh
+procedure after an intentional performance change) and exits 0.
+
+Exit status: 0 pass (or warn-only), 1 regression, 2 usage/schema error.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit("error: cannot read %s: %s" % (path, e))
+    if not isinstance(data, dict) or data.get("version") != 1:
+        sys.exit("error: %s is not a version-1 bench report" % path)
+    if not isinstance(data.get("results"), list):
+        sys.exit("error: %s carries no results array" % path)
+    return data
+
+
+def keyed_results(report):
+    out = {}
+    for entry in report["results"]:
+        if not entry.get("supported", True):
+            continue
+        key = (entry.get("kernel", ""), entry.get("size", 0))
+        out[key] = entry
+    return out
+
+
+def median_of(entry):
+    cycles = entry.get("cycles", {})
+    if isinstance(cycles, dict):
+        return float(cycles.get("median", 0.0))
+    return 0.0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two BENCH_*.json files, gate on cycle regressions")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative median growth that fails (default 0.10)")
+    ap.add_argument("--noise", type=float, default=0.02,
+                    help="relative change treated as noise (default 0.02)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report but never fail")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="copy CURRENT over BASELINE and exit")
+    args = ap.parse_args()
+
+    if args.update_baseline:
+        load_report(args.current)  # refuse to install a malformed baseline
+        shutil.copyfile(args.current, args.baseline)
+        print("baseline updated: %s <- %s" % (args.baseline, args.current))
+        return 0
+
+    base = load_report(args.baseline)
+    cur = load_report(args.current)
+
+    warn_only = args.warn_only
+    for field in ("unit", "counter", "host"):
+        if base.get(field) != cur.get(field):
+            print("note: %s differs (baseline %r, current %r); "
+                  "gate degrades to warn-only"
+                  % (field, base.get(field), cur.get(field)))
+            warn_only = True
+
+    base_results = keyed_results(base)
+    cur_results = keyed_results(cur)
+
+    regressions = []
+    warnings = []
+    improvements = []
+    compared = 0
+    for key in sorted(base_results):
+        if key not in cur_results:
+            print("only in baseline: %s size=%s" % key)
+            continue
+        b = median_of(base_results[key])
+        c = median_of(cur_results[key])
+        if b <= 0 or c <= 0:
+            continue
+        compared += 1
+        change = (c - b) / b
+        line = "%s size=%s: %.1f -> %.1f (%+.1f%%)" % (
+            key[0], key[1], b, c, 100.0 * change)
+        if change > args.threshold:
+            regressions.append(line)
+        elif change > args.noise:
+            warnings.append(line)
+        elif change < -args.noise:
+            improvements.append(line)
+    for key in sorted(cur_results):
+        if key not in base_results:
+            print("only in current: %s size=%s" % key)
+
+    for line in improvements:
+        print("improved:  " + line)
+    for line in warnings:
+        print("warning:   " + line)
+    for line in regressions:
+        print("REGRESSED: " + line)
+    print("compared %d entr%s: %d regression%s, %d warning%s, "
+          "%d improvement%s"
+          % (compared, "y" if compared == 1 else "ies",
+             len(regressions), "" if len(regressions) == 1 else "s",
+             len(warnings), "" if len(warnings) == 1 else "s",
+             len(improvements), "" if len(improvements) == 1 else "s"))
+
+    if regressions and warn_only:
+        print("warn-only mode: not failing the gate")
+        return 0
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
 """Schema validator for lgen-cli --trace output.
 
-Usage:  validate_trace.py [FILE]        (reads stdin when FILE is omitted)
+Usage:  validate_trace.py [--chrome] [FILE]   (reads stdin when FILE omitted)
 
-Checks the trace against schema version 1 (documented in
+Default mode checks the trace against schema version 1 (documented in
 src/support/Trace.h) and exits nonzero with a diagnostic on the first
 violation, so CI can pipe `lgen-cli --trace` straight through it.
+
+--chrome validates the Chrome trace-event export of
+`lgen-cli --trace --trace-format=chrome` instead: a {"traceEvents": [...]}
+object whose events are complete spans ("ph": "X", with name/ts/dur) or
+counter samples ("ph": "C", with an args.value number), loadable by
+Perfetto / chrome://tracing.
 """
 
 import json
@@ -87,12 +93,48 @@ def validate(trace):
                 f"snapshots[{i}].text must be a non-empty string")
 
 
+def validate_chrome(trace):
+    require(isinstance(trace, dict), "top level must be an object")
+    require(isinstance(trace.get("traceEvents"), list),
+            "'traceEvents' must be an array")
+    spans = counters = 0
+    for i, ev in enumerate(trace["traceEvents"]):
+        require(isinstance(ev, dict), f"traceEvents[{i}] must be an object")
+        ph = ev.get("ph")
+        require(ph in ("X", "C"),
+                f"traceEvents[{i}].ph {ph!r} is not 'X' or 'C'")
+        require(isinstance(ev.get("name"), str) and ev["name"],
+                f"traceEvents[{i}].name must be a non-empty string")
+        require(is_num(ev.get("ts")), f"traceEvents[{i}].ts must be a number")
+        require(is_num(ev.get("pid")), f"traceEvents[{i}].pid must be a number")
+        if ph == "X":
+            spans += 1
+            require(is_num(ev.get("dur")) and ev["dur"] >= 0,
+                    f"traceEvents[{i}].dur must be a non-negative number")
+            require(is_num(ev.get("tid")),
+                    f"traceEvents[{i}].tid must be a number")
+        else:
+            counters += 1
+            args = ev.get("args")
+            require(isinstance(args, dict) and is_num(args.get("value")),
+                    f"traceEvents[{i}].args.value must be a number")
+    return spans, counters
+
+
 def main():
-    source = sys.stdin if len(sys.argv) < 2 else open(sys.argv[1])
+    argv = sys.argv[1:]
+    chrome = "--chrome" in argv
+    argv = [a for a in argv if a != "--chrome"]
+    source = sys.stdin if not argv else open(argv[0])
     try:
         trace = json.load(source)
     except json.JSONDecodeError as e:
         fail(f"not valid JSON: {e}")
+    if chrome:
+        spans, counters = validate_chrome(trace)
+        print(f"validate_trace: OK (chrome format, {spans} span events, "
+              f"{counters} counter events)")
+        return
     validate(trace)
     spans = len(trace["spans"])
     counters = len(trace["counters"])
