@@ -2,7 +2,7 @@
 
 #include "BenchJson.h"
 
-#include "mediator/Json.h"
+#include "support/Json.h"
 
 #include <cstdio>
 #include <cstdlib>

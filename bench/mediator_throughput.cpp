@@ -1,22 +1,54 @@
-//===- mediator_throughput.cpp - Mediator scheduling bench -----*- C++ -*-===//
+//===- mediator_throughput.cpp - Mediator + compile service load ---------===//
 //
-// Chapter 4 evaluation: Mediator's scheduling throughput and scaling. A
-// batch of simulated experiments with a fixed busy-work payload runs on
-// simulated devices with 1, 2, 4, ... cores; per-core mutual exclusion
-// bounds single-core throughput, while multi-core devices scale.
+// Chapter 4 evaluation, service era. Two sections:
+//
+//  1. Scheduling throughput: a batch of simulated experiments runs on
+//     simulated devices with 1, 2, 4, ... cores; per-core mutual exclusion
+//     bounds single-core throughput, multi-core devices scale.
+//
+//  2. Service load generator: an in-process compile service is driven over
+//     real loopback HTTP by N keep-alive clients submitting thousands of
+//     compile+run requests (small BLACs, rotated so the kernel cache is
+//     exercised like a real farm), then polling every job to completion.
+//     Reports p50/p99 HTTP latency and aggregate req/s, asserts that at
+//     least --min-inflight requests were simultaneously in flight inside
+//     the queue and that not a single accepted request was lost, and emits
+//     a BENCH v1 report (--json PATH) for tools/bench_compare.py.
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "mediator/Mediator.h"
+#include "service/Http.h"
+#include "service/Service.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
 #include <thread>
+#include <vector>
 
 using namespace lgen;
 using namespace lgen::json;
 
-int main() {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double nsSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - T0).count();
+}
+
+//===----------------------------------------------------------------------===//
+// Section 1: Mediator scheduling sweep (the historical bench)
+//===----------------------------------------------------------------------===//
+
+void runSchedulingSweep() {
   std::printf("== mediator: job throughput vs device cores ==\n");
   std::printf("%-8s %-12s %-14s\n", "cores", "batch [ms]", "exps/second");
   const unsigned NumExps = 64;
@@ -42,14 +74,354 @@ int main() {
     Req["apiVersion"] = "1.0";
     Req["async"] = false;
     Req["experiments"] = Value(std::move(Exps));
-    auto T0 = std::chrono::steady_clock::now();
+    auto T0 = Clock::now();
     M.handleNewJobRequest(Value(std::move(Req)).serialize());
-    double Ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - T0)
-                    .count();
+    double Ms = nsSince(T0) / 1e6;
     std::printf("%-8u %-12.1f %-14.0f\n", Cores, Ms, NumExps / (Ms / 1000.0));
   }
   std::printf("shape: throughput scales with cores while each core stays "
               "mutually exclusive\n\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Section 2: compile service load generator
+//===----------------------------------------------------------------------===//
+
+/// Rotating set of small BLACs — distinct enough to exercise compiles and
+/// the shared kernel cache, small enough that compile+run stays cheap.
+std::string sourceFor(unsigned I) {
+  switch (I % 3) {
+  case 0: {
+    unsigned N = 4 + 4 * (I / 3 % 4);
+    return "Vector x(" + std::to_string(N) + "); Vector y(" +
+           std::to_string(N) + "); Scalar a; y = a*x + y;";
+  }
+  case 1: {
+    unsigned R = 4 + 4 * (I / 3 % 2), C = 4 + 4 * (I / 6 % 2);
+    return "Matrix A(" + std::to_string(R) + ", " + std::to_string(C) +
+           "); Vector x(" + std::to_string(C) + "); Vector y(" +
+           std::to_string(R) + "); y = A*x;";
+  }
+  default: {
+    unsigned N = 4 + 4 * (I / 3 % 2);
+    std::string S = std::to_string(N);
+    return "Matrix A(" + S + ", " + S + "); Matrix B(" + S + ", " + S +
+           "); Matrix C(" + S + ", " + S + "); C = A*B;";
+  }
+  }
+}
+
+Value envelope(const std::string &Method, Value Params,
+               const std::string &Session) {
+  Object E;
+  E["v"] = static_cast<int64_t>(1);
+  E["method"] = Method;
+  E["session"] = Session;
+  E["params"] = std::move(Params);
+  return Value(std::move(E));
+}
+
+struct ClientResult {
+  std::vector<double> SubmitNs; ///< Per-submit HTTP round-trip latency.
+  std::vector<double> PollNs;   ///< Per-poll HTTP round-trip latency.
+  std::vector<std::string> JobIds;
+  uint64_t Rejected = 0; ///< 429s absorbed by backoff-and-retry.
+  uint64_t Lost = 0;     ///< Jobs that never reached FINISHED.
+  uint64_t Errors = 0;   ///< Transport or non-retryable protocol errors.
+};
+
+double percentile(std::vector<double> &V, double P) {
+  if (V.empty())
+    return 0.0;
+  std::sort(V.begin(), V.end());
+  double Idx = P / 100.0 * static_cast<double>(V.size() - 1);
+  size_t Lo = static_cast<size_t>(Idx);
+  size_t Hi = std::min(Lo + 1, V.size() - 1);
+  double Frac = Idx - static_cast<double>(Lo);
+  return V[Lo] + (V[Hi] - V[Lo]) * Frac;
+}
+
+int runServiceLoad(unsigned Requests, unsigned Clients, unsigned MinInFlight,
+                   const std::string &JsonPath) {
+  std::printf("== compile service: loopback HTTP load ==\n");
+  service::ServiceConfig Cfg;
+  Cfg.ConnWorkers = std::min(Clients, 16u);
+  Cfg.Queue.Workers = 2;
+  Cfg.Queue.BatchMax = 32;
+  // High water above the burst: this run measures sustained throughput;
+  // the saturation path is covered by ServiceTest and the CI burst.
+  Cfg.Queue.HighWater = Requests + 256;
+  service::Service Svc(Cfg);
+  std::string Err;
+  if (!Svc.start(Err)) {
+    std::fprintf(stderr, "cannot start service: %s\n", Err.c_str());
+    return 1;
+  }
+
+  // Sample queue occupancy while the burst is in flight.
+  std::atomic<bool> SamplerStop{false};
+  std::atomic<size_t> PeakInFlight{0};
+  std::thread Sampler([&] {
+    while (!SamplerStop) {
+      service::CompileQueue::Stats S = Svc.queue().stats();
+      size_t InFlight = S.Queued + S.Compiling;
+      size_t Peak = PeakInFlight.load();
+      while (InFlight > Peak &&
+             !PeakInFlight.compare_exchange_weak(Peak, InFlight))
+        ;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::vector<ClientResult> Results(Clients);
+  auto WallT0 = Clock::now();
+
+  // Phase 1: every client submits its share as fast as the wire allows,
+  // backing off on 429 — the whole burst lands in the queue before any
+  // poll, so Requests jobs are concurrently in flight.
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C != Clients; ++C)
+      Threads.emplace_back([&, C] {
+        ClientResult &R = Results[C];
+        service::HttpClient Client;
+        std::string CErr;
+        if (!Client.connect("127.0.0.1", Svc.port(), CErr)) {
+          R.Errors += Requests / Clients;
+          return;
+        }
+        std::string Session = "load" + std::to_string(C);
+        unsigned Share = Requests / Clients +
+                         (C < Requests % Clients ? 1 : 0);
+        for (unsigned I = 0; I != Share; ++I) {
+          Object P;
+          P["source"] = sourceFor(C * 131 + I);
+          P["target"] = "atom";
+          P["config"] = "LGen";
+          P["run"] = true;
+          std::string Body =
+              envelope("compile.submit", Value(std::move(P)), Session)
+                  .serialize();
+          for (int Attempt = 0;; ++Attempt) {
+            service::HttpResponse Resp;
+            auto T0 = Clock::now();
+            if (!Client.request("POST", "/rpc", Body, Resp, CErr)) {
+              if (!Client.connect("127.0.0.1", Svc.port(), CErr)) {
+                ++R.Errors;
+                break;
+              }
+              continue;
+            }
+            R.SubmitNs.push_back(nsSince(T0));
+            if (Resp.Status == 429) {
+              ++R.Rejected;
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+              continue;
+            }
+            if (Resp.Status != 200) {
+              ++R.Errors;
+              break;
+            }
+            Value V;
+            std::string PErr;
+            if (!json::parse(Resp.Body, V, PErr)) {
+              ++R.Errors;
+              break;
+            }
+            R.JobIds.push_back(V["result"].getString("jobID"));
+            break;
+          }
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  double SubmitWallNs = nsSince(WallT0);
+
+  // Phase 2: poll every job to completion (request-loss check).
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C != Clients; ++C)
+      Threads.emplace_back([&, C] {
+        ClientResult &R = Results[C];
+        service::HttpClient Client;
+        std::string CErr;
+        if (!Client.connect("127.0.0.1", Svc.port(), CErr)) {
+          R.Lost += R.JobIds.size();
+          return;
+        }
+        std::string Session = "load" + std::to_string(C);
+        for (const std::string &JobId : R.JobIds) {
+          bool Finished = false;
+          for (int Attempt = 0; Attempt != 20000 && !Finished; ++Attempt) {
+            Object P;
+            P["jobID"] = JobId;
+            service::HttpResponse Resp;
+            auto T0 = Clock::now();
+            if (!Client.request(
+                    "POST", "/rpc",
+                    envelope("compile.result", Value(std::move(P)), Session)
+                        .serialize(),
+                    Resp, CErr)) {
+              if (!Client.connect("127.0.0.1", Svc.port(), CErr))
+                break;
+              continue;
+            }
+            R.PollNs.push_back(nsSince(T0));
+            Value V;
+            std::string PErr;
+            if (Resp.Status != 200 || !json::parse(Resp.Body, V, PErr))
+              break;
+            std::string State = V["result"].getString("jobState");
+            if (State == "FINISHED") {
+              Finished = true;
+            } else if (State == "NOT_FOUND") {
+              break; // lost — counted below
+            } else {
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+          }
+          if (!Finished)
+            ++R.Lost;
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  double TotalWallNs = nsSince(WallT0);
+  SamplerStop = true;
+  Sampler.join();
+  Svc.stop();
+
+  // Aggregate.
+  std::vector<double> SubmitNs, PollNs;
+  uint64_t Submitted = 0, Rejected = 0, Lost = 0, Errors = 0;
+  for (ClientResult &R : Results) {
+    SubmitNs.insert(SubmitNs.end(), R.SubmitNs.begin(), R.SubmitNs.end());
+    PollNs.insert(PollNs.end(), R.PollNs.begin(), R.PollNs.end());
+    Submitted += R.JobIds.size();
+    Rejected += R.Rejected;
+    Lost += R.Lost;
+    Errors += R.Errors;
+  }
+  double HttpCalls = static_cast<double>(SubmitNs.size() + PollNs.size());
+  double ReqPerSec = HttpCalls / (TotalWallNs / 1e9);
+  double SubmitP50 = percentile(SubmitNs, 50), SubmitP99 = percentile(SubmitNs, 99);
+  double PollP50 = percentile(PollNs, 50), PollP99 = percentile(PollNs, 99);
+
+  std::printf("clients            %u\n", Clients);
+  std::printf("requests submitted %llu (rejected+retried %llu)\n",
+              static_cast<unsigned long long>(Submitted),
+              static_cast<unsigned long long>(Rejected));
+  std::printf("peak in flight     %zu\n", PeakInFlight.load());
+  std::printf("submit latency     p50 %.0f us   p99 %.0f us\n",
+              SubmitP50 / 1e3, SubmitP99 / 1e3);
+  std::printf("poll latency       p50 %.0f us   p99 %.0f us\n",
+              PollP50 / 1e3, PollP99 / 1e3);
+  std::printf("http throughput    %.0f req/s (%0.f calls over %.2f s)\n",
+              ReqPerSec, HttpCalls, TotalWallNs / 1e9);
+  std::printf("submit burst wall  %.2f s\n", SubmitWallNs / 1e9);
+  std::printf("lost jobs          %llu, transport errors %llu\n\n",
+              static_cast<unsigned long long>(Lost),
+              static_cast<unsigned long long>(Errors));
+
+  if (!JsonPath.empty()) {
+    bench::BenchReport Report;
+    Report.Bench = "service_throughput";
+    Report.Target = "atom";
+    Report.Host = "loopback"; // latency depends on the whole host, not the
+                              // modeled uarch; keep comparisons warn-only
+                              // across machines
+    Report.Counter = "steady-clock";
+    Report.Unit = "ns";
+    Report.GitSha = bench::currentGitSha();
+    auto Row = [&](const std::string &Kernel, double Ns) {
+      bench::BenchResult R;
+      R.Kernel = Kernel;
+      R.Size = static_cast<int64_t>(Requests);
+      R.CyclesMedian = Ns;
+      R.CyclesQ1 = Ns;
+      R.CyclesQ3 = Ns;
+      R.Counters["reqPerSec"] = ReqPerSec;
+      R.Counters["peakInFlight"] =
+          static_cast<double>(PeakInFlight.load());
+      R.Counters["rejected"] = static_cast<double>(Rejected);
+      R.Counters["lost"] = static_cast<double>(Lost);
+      Report.Results.push_back(std::move(R));
+    };
+    // All rows are "lower is better" nanoseconds so bench_compare's
+    // median-growth gate points the right way (req/s rides in counters).
+    Row("submit.latency.p50", SubmitP50);
+    Row("submit.latency.p99", SubmitP99);
+    Row("poll.latency.p50", PollP50);
+    Row("poll.latency.p99", PollP99);
+    Row("ns_per_request", HttpCalls > 0 ? TotalWallNs / HttpCalls : 0);
+    std::string WErr;
+    if (!Report.writeFile(JsonPath, WErr)) {
+      std::fprintf(stderr, "cannot write %s: %s\n", JsonPath.c_str(),
+                   WErr.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", JsonPath.c_str());
+  }
+
+  if (Lost != 0 || Errors != 0) {
+    std::fprintf(stderr, "FAIL: %llu lost jobs, %llu errors\n",
+                 static_cast<unsigned long long>(Lost),
+                 static_cast<unsigned long long>(Errors));
+    return 1;
+  }
+  if (Submitted != Requests) {
+    std::fprintf(stderr, "FAIL: submitted %llu of %u requests\n",
+                 static_cast<unsigned long long>(Submitted), Requests);
+    return 1;
+  }
+  if (PeakInFlight.load() < MinInFlight) {
+    std::fprintf(stderr,
+                 "FAIL: peak in-flight %zu below the %u floor — burst did "
+                 "not saturate the queue\n",
+                 PeakInFlight.load(), MinInFlight);
+    return 1;
+  }
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Requests = 2000;
+  unsigned Clients = 16;
+  unsigned MinInFlight = 1000;
+  std::string JsonPath;
+  bool Sweep = true;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--requests")
+      Requests = static_cast<unsigned>(std::atoi(next()));
+    else if (Arg == "--clients")
+      Clients = std::max(1, std::atoi(next()));
+    else if (Arg == "--min-inflight")
+      MinInFlight = static_cast<unsigned>(std::atoi(next()));
+    else if (Arg == "--json")
+      JsonPath = next();
+    else if (Arg == "--no-sweep")
+      Sweep = false;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--requests N] [--clients N] "
+                   "[--min-inflight N] [--json PATH] [--no-sweep]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+  if (Sweep)
+    runSchedulingSweep();
+  return runServiceLoad(Requests, Clients, MinInFlight, JsonPath);
 }

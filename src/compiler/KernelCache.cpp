@@ -2,7 +2,7 @@
 
 #include "compiler/KernelCache.h"
 
-#include "mediator/Json.h"
+#include "support/Json.h"
 #include "support/Metrics.h"
 
 #include <cctype>

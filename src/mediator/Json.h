@@ -1,91 +1,21 @@
-//===- Json.h - Minimal JSON value, parser, serializer ---------*- C++ -*-===//
+//===- Json.h - Compatibility forward to support/Json.h --------*- C++ -*-===//
 //
 // Part of the LGen reproduction library.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small JSON implementation backing Mediator's RESTful interface
-/// (thesis §4.4, Appendix A): values, a recursive-descent parser, and a
-/// serializer. Supports the JSON subset the Mediator API uses (objects,
-/// arrays, strings with standard escapes, numbers, booleans, null).
+/// Deprecated location. The JSON layer started life inside Mediator and
+/// was promoted to support/Json.h when BenchJson, Trace export, Metrics
+/// snapshots, KernelCache persistence, and the compile service all grew
+/// their own users. Include "support/Json.h" directly in new code; this
+/// header stays so existing includes keep compiling.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LGEN_MEDIATOR_JSON_H
 #define LGEN_MEDIATOR_JSON_H
 
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <string>
-#include <vector>
-
-namespace lgen {
-namespace json {
-
-class Value;
-using Array = std::vector<Value>;
-using Object = std::map<std::string, Value>;
-
-enum class Kind { Null, Bool, Number, String, Array, Object };
-
-class Value {
-public:
-  Value() : K(Kind::Null) {}
-  /*implicit*/ Value(bool B) : K(Kind::Bool), BoolVal(B) {}
-  /*implicit*/ Value(double N) : K(Kind::Number), NumVal(N) {}
-  /*implicit*/ Value(int N) : K(Kind::Number), NumVal(N) {}
-  /*implicit*/ Value(int64_t N)
-      : K(Kind::Number), NumVal(static_cast<double>(N)) {}
-  /*implicit*/ Value(const char *S) : K(Kind::String), StrVal(S) {}
-  /*implicit*/ Value(std::string S) : K(Kind::String), StrVal(std::move(S)) {}
-  /*implicit*/ Value(Array A)
-      : K(Kind::Array), ArrVal(std::make_shared<Array>(std::move(A))) {}
-  /*implicit*/ Value(Object O)
-      : K(Kind::Object), ObjVal(std::make_shared<Object>(std::move(O))) {}
-
-  Kind kind() const { return K; }
-  bool isNull() const { return K == Kind::Null; }
-  bool isBool() const { return K == Kind::Bool; }
-  bool isNumber() const { return K == Kind::Number; }
-  bool isString() const { return K == Kind::String; }
-  bool isArray() const { return K == Kind::Array; }
-  bool isObject() const { return K == Kind::Object; }
-
-  bool asBool() const;
-  double asNumber() const;
-  const std::string &asString() const;
-  const Array &asArray() const;
-  Array &asArray();
-  const Object &asObject() const;
-  Object &asObject();
-
-  /// Object member access; returns a shared null for missing keys.
-  const Value &operator[](const std::string &Key) const;
-
-  /// Convenience getters with defaults, in the style Mediator's request
-  /// parsing needs (Appendix A's optional properties).
-  std::string getString(const std::string &Key,
-                        const std::string &Default = "") const;
-  double getNumber(const std::string &Key, double Default = 0) const;
-  bool getBool(const std::string &Key, bool Default = false) const;
-
-  std::string serialize() const;
-
-private:
-  Kind K;
-  bool BoolVal = false;
-  double NumVal = 0;
-  std::string StrVal;
-  std::shared_ptr<Array> ArrVal;
-  std::shared_ptr<Object> ObjVal;
-};
-
-/// Parses \p Text; returns false and sets \p Err on malformed input.
-bool parse(const std::string &Text, Value &Out, std::string &Err);
-
-} // namespace json
-} // namespace lgen
+#include "support/Json.h"
 
 #endif // LGEN_MEDIATOR_JSON_H

@@ -12,32 +12,6 @@ using json::Array;
 using json::Object;
 using json::Value;
 
-const char *mediator::errorReason(ErrorCode Code) {
-  switch (Code) {
-  case ErrorCode::BadRequest:
-    return "BadRequest";
-  case ErrorCode::SSHAuthenticationError:
-    return "SSHAuthenticationError";
-  case ErrorCode::InstructionExecutionError:
-    return "InstructionExecutionError";
-  case ErrorCode::SSHError:
-    return "SSHError";
-  case ErrorCode::InstructionTimeoutError:
-    return "InstructionTimeoutError";
-  case ErrorCode::InternalError:
-    return "InternalError";
-  }
-  LGEN_UNREACHABLE("unknown error code");
-}
-
-Value mediator::makeError(ErrorCode Code, const std::string &Message) {
-  Object E;
-  E["code"] = static_cast<int64_t>(Code);
-  E["reason"] = errorReason(Code);
-  E["message"] = Message;
-  return Value(std::move(E));
-}
-
 //===----------------------------------------------------------------------===//
 // Internal state
 //===----------------------------------------------------------------------===//
@@ -54,6 +28,7 @@ struct Task {
 
 struct Mediator::JobRecord {
   std::string Id;
+  std::string Session; ///< Only this session's job.results sees the job.
   size_t Total = 0;
   size_t Done = 0;
   std::vector<Value> Results;
@@ -157,42 +132,52 @@ void Mediator::registerDevice(const std::string &Hostname, unsigned NumCores,
 }
 
 //===----------------------------------------------------------------------===//
-// Request handling
+// Routed dispatch (protocol v1)
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-std::string errorResponse(ErrorCode Code, const std::string &Message) {
-  Object R;
-  R["apiVersion"] = "1.0";
-  R["error"] = makeError(Code, Message);
-  return Value(std::move(R)).serialize();
-}
-
-std::string statusResponse(const std::string &JobId, const char *State,
-                           const Value *Data = nullptr) {
-  Object R;
-  R["apiVersion"] = "1.0";
-  R["jobID"] = JobId;
-  R["jobState"] = State;
-  if (Data)
-    R["data"] = *Data;
-  return Value(std::move(R)).serialize();
-}
-
-} // namespace
-
-std::string Mediator::handleNewJobRequest(const std::string &RequestJson) {
+std::string Mediator::handle(const std::string &RequestJson) {
   Value Request;
   std::string Err;
-  if (!json::parse(RequestJson, Request, Err) || !Request.isObject())
-    return errorResponse(ErrorCode::BadRequest,
-                         "malformed JSON request: " + Err);
-  const Value &Experiments = Request["experiments"];
+  if (!json::parse(RequestJson, Request, Err))
+    return makeErrorResponse(nullptr, ErrorCode::BadRequest,
+                             "malformed JSON request: " + Err)
+        .serialize();
+  return handle(Request).serialize();
+}
+
+Value Mediator::handle(const Value &Request) {
+  Envelope E;
+  ErrorCode Code;
+  std::string Message;
+  if (!parseEnvelope(Request, E, Code, Message))
+    return makeErrorResponse(&E, Code, Message);
+  try {
+    return makeResultResponse(E, route(E));
+  } catch (const ApiError &AE) {
+    return makeErrorResponse(&E, AE.code(), AE.what());
+  } catch (const std::exception &Ex) {
+    return makeErrorResponse(&E, ErrorCode::InternalError, Ex.what());
+  }
+}
+
+Value Mediator::route(const Envelope &E) {
+  if (E.Method == "job.submit")
+    return jobSubmit(E);
+  if (E.Method == "job.results")
+    return jobResults(E);
+  throw ApiError(ErrorCode::MethodNotFound,
+                 "unknown method '" + E.Method + "'");
+}
+
+Value Mediator::jobSubmit(const Envelope &E) {
+  const Value &Params = E.Params;
+  if (!Params.isObject())
+    throw ApiError(ErrorCode::BadRequest,
+                   "job.submit params must be an object");
+  const Value &Experiments = Params["experiments"];
   if (!Experiments.isArray() || Experiments.asArray().empty())
-    return errorResponse(ErrorCode::BadRequest,
-                         "request must contain a non-empty 'experiments' "
-                         "array");
+    throw ApiError(ErrorCode::BadRequest,
+                   "request must contain a non-empty 'experiments' array");
   // Preliminary checks (Fig. 4.3): device names and affinities.
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -200,25 +185,23 @@ std::string Mediator::handleNewJobRequest(const std::string &RequestJson) {
       std::string Host = Exp["device"].getString("hostname");
       auto It = Devices.find(Host);
       if (It == Devices.end())
-        return errorResponse(ErrorCode::SSHError,
-                             "unknown device '" + Host + "'");
+        throw ApiError(ErrorCode::SSHError, "unknown device '" + Host + "'");
       const Value &Affinity = Exp["device"]["affinity"];
       if (Affinity.isArray())
         for (const Value &A : Affinity.asArray())
-          if (!A.isNumber() ||
-              A.asNumber() < 0 ||
+          if (!A.isNumber() || A.asNumber() < 0 ||
               A.asNumber() >= It->second->Cores.size())
-            return errorResponse(ErrorCode::BadRequest,
-                                 "invalid cpu affinity for device '" + Host +
-                                     "'");
+            throw ApiError(ErrorCode::BadRequest,
+                           "invalid cpu affinity for device '" + Host + "'");
     }
   }
   // Table A.1: async defaults to "True".
-  bool Async = Request.getBool("async", true);
-  return submitJob(Request, Async);
+  bool Async = Params.getBool("async", true);
+  return submitJob(Params, Async, E.Session);
 }
 
-std::string Mediator::submitJob(const Value &Request, bool Async) {
+Value Mediator::submitJob(const Value &Request, bool Async,
+                          const std::string &Session) {
   const Array &Experiments = Request["experiments"].asArray();
   std::shared_ptr<JobRecord> Job;
   std::string JobId;
@@ -232,6 +215,7 @@ std::string Mediator::submitJob(const Value &Request, bool Async) {
     JobId = IdStream.str();
     Job = std::make_shared<JobRecord>();
     Job->Id = JobId;
+    Job->Session = Session;
     Job->Total = Experiments.size();
     Job->Results.resize(Experiments.size());
     Jobs[JobId] = Job;
@@ -263,17 +247,90 @@ std::string Mediator::submitJob(const Value &Request, bool Async) {
       Dev.Cores[Best]->WakeUp.notify_one();
     }
 
-    if (Async)
-      return statusResponse(JobId, "SUBMITTED");
+    if (Async) {
+      Object R;
+      R["jobID"] = JobId;
+      R["jobState"] = "SUBMITTED";
+      return Value(std::move(R));
+    }
 
     // Synchronous processing (Fig. 4.2): keep the "connection" open until
     // the job finishes.
     JobDone.wait(Lock, [&] { return Job->Finished; });
     Object R;
-    R["apiVersion"] = "1.0";
     R["data"] = Value(Array(Job->Results.begin(), Job->Results.end()));
     Jobs.erase(JobId);
-    return Value(std::move(R)).serialize();
+    return Value(std::move(R));
+  }
+}
+
+Value Mediator::jobResults(const Envelope &E) {
+  if (!E.Params.isObject())
+    throw ApiError(ErrorCode::BadRequest,
+                   "job.results params must be an object");
+  std::string JobId = E.Params.getString("jobID");
+  if (JobId.empty())
+    throw ApiError(ErrorCode::BadRequest, "missing 'jobID'");
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  purgeExpired();
+  Object R;
+  R["jobID"] = JobId;
+  auto It = Jobs.find(JobId);
+  // A job belonging to another session is indistinguishable from a
+  // nonexistent one — session isolation must not leak job existence.
+  if (It == Jobs.end() || It->second->Session != E.Session) {
+    R["jobState"] = "NOT_FOUND";
+    return Value(std::move(R));
+  }
+  JobRecord &J = *It->second;
+  if (!J.Finished) {
+    R["jobState"] = "PENDING";
+    return Value(std::move(R));
+  }
+  R["jobState"] = "FINISHED";
+  R["data"] = Value(Array(J.Results.begin(), J.Results.end()));
+  return Value(std::move(R));
+}
+
+//===----------------------------------------------------------------------===//
+// Deprecated per-endpoint shims
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The historical response body: the routed handler's result object with
+/// the pre-v1 "apiVersion" stamp re-added.
+std::string legacyBody(Value Result) {
+  Result.asObject()["apiVersion"] = "1.0";
+  return Result.serialize();
+}
+
+std::string legacyError(ErrorCode Code, const std::string &Message) {
+  Object R;
+  R["apiVersion"] = "1.0";
+  R["error"] = makeError(Code, Message);
+  return Value(std::move(R)).serialize();
+}
+
+} // namespace
+
+std::string Mediator::handleNewJobRequest(const std::string &RequestJson) {
+  Value Request;
+  std::string Err;
+  if (!json::parse(RequestJson, Request, Err) || !Request.isObject())
+    return legacyError(ErrorCode::BadRequest,
+                       "malformed JSON request: " + Err);
+  Envelope E;
+  E.V = ProtocolVersion;
+  E.Method = "job.submit";
+  E.Params = Request;
+  try {
+    return legacyBody(route(E));
+  } catch (const ApiError &AE) {
+    return legacyError(AE.code(), AE.what());
+  } catch (const std::exception &Ex) {
+    return legacyError(ErrorCode::InternalError, Ex.what());
   }
 }
 
@@ -282,23 +339,24 @@ Mediator::handleJobResultsRequest(const std::string &RequestJson) {
   Value Request;
   std::string Err;
   if (!json::parse(RequestJson, Request, Err) || !Request.isObject())
-    return errorResponse(ErrorCode::BadRequest,
-                         "malformed JSON request: " + Err);
-  std::string JobId = Request.getString("jobID");
-  if (JobId.empty())
-    return errorResponse(ErrorCode::BadRequest, "missing 'jobID'");
-
-  std::lock_guard<std::mutex> Lock(Mutex);
-  purgeExpired();
-  auto It = Jobs.find(JobId);
-  if (It == Jobs.end())
-    return statusResponse(JobId, "NOT_FOUND");
-  JobRecord &J = *It->second;
-  if (!J.Finished)
-    return statusResponse(JobId, "PENDING");
-  Value Data = Value(Array(J.Results.begin(), J.Results.end()));
-  return statusResponse(JobId, "FINISHED", &Data);
+    return legacyError(ErrorCode::BadRequest,
+                       "malformed JSON request: " + Err);
+  Envelope E;
+  E.V = ProtocolVersion;
+  E.Method = "job.results";
+  E.Params = Request;
+  try {
+    return legacyBody(route(E));
+  } catch (const ApiError &AE) {
+    return legacyError(AE.code(), AE.what());
+  } catch (const std::exception &Ex) {
+    return legacyError(ErrorCode::InternalError, Ex.what());
+  }
 }
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
 
 size_t Mediator::coreLoad(const std::string &Hostname, unsigned Core) const {
   std::lock_guard<std::mutex> Lock(Mutex);
@@ -323,7 +381,8 @@ void Mediator::drain() {
 void Mediator::purgeExpired() {
   auto Now = std::chrono::steady_clock::now();
   for (auto It = Jobs.begin(); It != Jobs.end();) {
-    if (It->second->Finished && Now - It->second->FinishTime > Config.ResultsExpiry)
+    if (It->second->Finished &&
+        Now - It->second->FinishTime > Config.ResultsExpiry)
       It = Jobs.erase(It);
     else
       ++It;

@@ -10,9 +10,18 @@
 /// reimplementation keeps the architecture of Fig. 4.1 — a listener entry
 /// point, one FIFO queue plus one worker thread per (device, core), a
 /// results cache with expiry — and the JSON request/response contract of
-/// Appendix A, with two substitutions: requests arrive as strings through a
-/// function call rather than HTTP, and "devices" are in-process simulated
-/// targets reached through a registered executor rather than SSH.
+/// Appendix A. "Devices" are in-process targets reached through a
+/// registered executor rather than SSH; requests arrive either through
+/// \c handle() (in-process) or over HTTP through the compile service
+/// (`src/service/`), which fronts the same dispatch.
+///
+/// Since protocol v1 the entry point is *routed*: \c handle() takes a
+/// versioned envelope `{"v":1, "method":..., "params":...}` (see
+/// Protocol.h) and routes internally to the job.submit / job.results
+/// handlers. The historical per-endpoint string methods
+/// \c handleNewJobRequest / \c handleJobResultsRequest survive as thin
+/// deprecated shims over the router, byte-compatible with their old
+/// responses.
 ///
 /// Guarantees preserved from the thesis (§4.2–§4.3):
 ///  * at most one experiment runs at any moment per core per device;
@@ -22,12 +31,18 @@
 ///    requests return a job id that clients poll (Figs. 4.2/4.3);
 ///  * cached results expire after a configurable time.
 ///
+/// Service-era addition: jobs are scoped to the envelope's session — a
+/// job.results request only sees jobs its own session submitted. The shims
+/// run in the "" session, so legacy callers share one namespace exactly as
+/// before.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LGEN_MEDIATOR_MEDIATOR_H
 #define LGEN_MEDIATOR_MEDIATOR_H
 
-#include "mediator/Json.h"
+#include "mediator/Protocol.h"
+#include "support/Json.h"
 #include "support/Support.h"
 
 #include <chrono>
@@ -43,21 +58,6 @@
 
 namespace lgen {
 namespace mediator {
-
-/// Mediator API error codes (Table A.5).
-enum class ErrorCode {
-  BadRequest = 400,
-  SSHAuthenticationError = 401,
-  InstructionExecutionError = 405,
-  SSHError = 406,
-  InstructionTimeoutError = 408,
-  InternalError = 500,
-};
-
-const char *errorReason(ErrorCode Code);
-
-/// Builds the error object of Table A.2/A.5.
-json::Value makeError(ErrorCode Code, const std::string &Message);
 
 /// Executes one experiment on a simulated device core and returns the
 /// per-experiment results object (the "results" property of Table A.2).
@@ -83,15 +83,28 @@ public:
   void registerDevice(const std::string &Hostname, unsigned NumCores,
                       DeviceExecutor Exec);
 
-  /// Entry point for a *new job request* (Table A.1). Returns the HTTP
-  /// body Mediator would send: a job-results response for synchronous
-  /// requests, a job-status response (SUBMITTED) for asynchronous ones,
-  /// or an error response for malformed input.
+  /// The routed protocol-v1 entry point: parses the envelope, routes on
+  /// its method, and returns the response envelope. Never throws — every
+  /// failure becomes an error response.
+  ///
+  /// Methods served: "job.submit" (params = {experiments, async?}) and
+  /// "job.results" (params = {jobID}); anything else answers
+  /// MethodNotFound.
+  std::string handle(const std::string &RequestJson);
+
+  /// Same, over parsed values — the service front end calls this to avoid
+  /// a re-serialize round trip.
+  json::Value handle(const json::Value &Request);
+
+  /// Deprecated pre-v1 entry point for a *new job request* (Table A.1):
+  /// a thin shim over handle(job.submit) that unwraps the envelope back
+  /// into the historical response bodies ({"apiVersion":"1.0", ...}).
+  /// New code should send a job.submit envelope through handle().
   std::string handleNewJobRequest(const std::string &RequestJson);
 
-  /// Entry point for a *job results request* (Table A.3); returns a
-  /// job-status response (Table A.4) with jobState PENDING/FINISHED/
-  /// NOT_FOUND.
+  /// Deprecated pre-v1 entry point for a *job results request*
+  /// (Table A.3); shim over handle(job.results). New code should send a
+  /// job.results envelope through handle().
   std::string handleJobResultsRequest(const std::string &RequestJson);
 
   /// Current number of queued-or-running experiments on a core (tests).
@@ -105,7 +118,13 @@ private:
   struct DeviceState;
   struct JobRecord;
 
-  std::string submitJob(const json::Value &Request, bool Async);
+  /// Routes a parsed envelope to its handler; throws ApiError on any
+  /// rejection (unknown method, bad params, unknown device, ...).
+  json::Value route(const Envelope &E);
+  json::Value jobSubmit(const Envelope &E);
+  json::Value jobResults(const Envelope &E);
+  json::Value submitJob(const json::Value &Request, bool Async,
+                        const std::string &Session);
   void purgeExpired();
 
   MediatorConfig Config;

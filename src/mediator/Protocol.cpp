@@ -1,0 +1,135 @@
+//===- Protocol.cpp - Mediator protocol v1: envelope + errors -------------===//
+
+#include "mediator/Protocol.h"
+
+#include "support/Support.h"
+
+using namespace lgen;
+using namespace lgen::mediator;
+using json::Object;
+using json::Value;
+
+//===----------------------------------------------------------------------===//
+// Error table
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// The single source of truth for every error consumer: wire name, HTTP
+// status answered by the service, and whether the client should retry.
+const ErrorInfo ErrorTable[] = {
+    {ErrorCode::BadRequest, "BadRequest", 400, false},
+    {ErrorCode::SSHAuthenticationError, "SSHAuthenticationError", 401, false},
+    {ErrorCode::MethodNotFound, "MethodNotFound", 404, false},
+    {ErrorCode::InstructionExecutionError, "InstructionExecutionError", 405,
+     false},
+    {ErrorCode::SSHError, "SSHError", 406, false},
+    {ErrorCode::InstructionTimeoutError, "InstructionTimeoutError", 408, true},
+    {ErrorCode::TooManyRequests, "TooManyRequests", 429, true},
+    {ErrorCode::InternalError, "InternalError", 500, false},
+    {ErrorCode::UnsupportedVersion, "UnsupportedVersion", 505, false},
+};
+
+} // namespace
+
+const ErrorInfo &mediator::errorInfo(ErrorCode Code) {
+  for (const ErrorInfo &I : ErrorTable)
+    if (I.Code == Code)
+      return I;
+  LGEN_UNREACHABLE("unknown error code");
+}
+
+const char *mediator::errorName(ErrorCode Code) {
+  return errorInfo(Code).Name;
+}
+
+const char *mediator::errorReason(ErrorCode Code) {
+  return errorInfo(Code).Name;
+}
+
+int mediator::errorHttpStatus(ErrorCode Code) {
+  return errorInfo(Code).HttpStatus;
+}
+
+bool mediator::errorRetryable(ErrorCode Code) {
+  return errorInfo(Code).Retryable;
+}
+
+bool mediator::errorFromCode(int64_t Code, ErrorCode &Out) {
+  for (const ErrorInfo &I : ErrorTable)
+    if (static_cast<int64_t>(I.Code) == Code) {
+      Out = I.Code;
+      return true;
+    }
+  return false;
+}
+
+Value mediator::makeError(ErrorCode Code, const std::string &Message) {
+  const ErrorInfo &I = errorInfo(Code);
+  Object E;
+  E["code"] = static_cast<int64_t>(Code);
+  E["name"] = I.Name;
+  E["reason"] = I.Name; // deprecated alias, pre-v1 clients read this
+  E["message"] = Message;
+  E["retryable"] = I.Retryable;
+  return Value(std::move(E));
+}
+
+//===----------------------------------------------------------------------===//
+// Envelope
+//===----------------------------------------------------------------------===//
+
+bool mediator::parseEnvelope(const Value &Request, Envelope &Out,
+                             ErrorCode &Code, std::string &Message) {
+  Out = Envelope();
+  if (!Request.isObject()) {
+    Code = ErrorCode::BadRequest;
+    Message = "request must be a JSON object envelope";
+    return false;
+  }
+  // Recover the id first so even rejections can echo it.
+  Out.Id = Request.getString("id");
+  Out.Session = Request.getString("session");
+
+  const Value &V = Request["v"];
+  if (!V.isNumber()) {
+    Code = ErrorCode::BadRequest;
+    Message = "envelope is missing the numeric protocol version 'v'";
+    return false;
+  }
+  Out.V = static_cast<int64_t>(V.asNumber());
+  if (Out.V != ProtocolVersion) {
+    Code = ErrorCode::UnsupportedVersion;
+    Message = "protocol version " + std::to_string(Out.V) +
+              " is not supported (this server speaks v" +
+              std::to_string(ProtocolVersion) + ")";
+    return false;
+  }
+  Out.Method = Request.getString("method");
+  if (Out.Method.empty()) {
+    Code = ErrorCode::BadRequest;
+    Message = "envelope is missing 'method'";
+    return false;
+  }
+  Out.Params = Request["params"];
+  return true;
+}
+
+Value mediator::makeResultResponse(const Envelope &E, Value Result) {
+  Object R;
+  R["v"] = ProtocolVersion;
+  if (!E.Id.empty())
+    R["id"] = E.Id;
+  R["result"] = std::move(Result);
+  return Value(std::move(R));
+}
+
+Value mediator::makeErrorResponse(const Envelope *E, ErrorCode Code,
+                                  const std::string &Message) {
+  Object R;
+  R["v"] = ProtocolVersion;
+  if (E && !E->Id.empty())
+    R["id"] = E->Id;
+  R["error"] = makeError(Code, Message);
+  return Value(std::move(R));
+}

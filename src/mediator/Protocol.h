@@ -1,0 +1,148 @@
+//===- Protocol.h - Mediator protocol v1: envelope + errors ----*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The versioned request/response protocol shared by the in-process
+/// Mediator API and the compile service's HTTP front end. Every request is
+/// a JSON *envelope*:
+///
+/// \code{.json}
+/// {"v": 1, "method": "job.submit", "id": "c-42", "session": "alice",
+///  "params": { ... }}
+/// \endcode
+///
+///  * \c v        — protocol version; this library speaks exactly 1.
+///  * \c method   — dotted method name routed by the receiver
+///                  (job.submit, job.results, compile.submit, ...).
+///  * \c id       — optional client correlation id, echoed verbatim.
+///  * \c session  — optional session scope; jobs are visible only to the
+///                  session that submitted them ("" is the shared legacy
+///                  session the deprecated per-endpoint shims use).
+///  * \c params   — method parameters (object; may be absent).
+///
+/// Responses mirror the envelope:
+///
+/// \code{.json}
+/// {"v": 1, "id": "c-42", "result": { ... }}
+/// {"v": 1, "id": "c-42",
+///  "error": {"code": 429, "name": "TooManyRequests",
+///            "message": "...", "retryable": true}}
+/// \endcode
+///
+/// The error model is one table (\c errorInfo): every \c ErrorCode maps to
+/// a stable name, an HTTP status (what the service front end answers), and
+/// a retryable bit (true when the client should back off and resend —
+/// admission-control rejections and timeouts; false for malformed input
+/// and execution failures). \c makeError is the only constructor of error
+/// objects anywhere in the code base.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_MEDIATOR_PROTOCOL_H
+#define LGEN_MEDIATOR_PROTOCOL_H
+
+#include "support/Json.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace lgen {
+namespace mediator {
+
+/// The protocol version this library implements.
+constexpr int64_t ProtocolVersion = 1;
+
+/// Mediator API error codes. The thesis codes (Table A.5) plus the
+/// service-era additions; values double as the HTTP status the compile
+/// service maps each error to (see errorInfo).
+enum class ErrorCode {
+  BadRequest = 400,
+  SSHAuthenticationError = 401,
+  MethodNotFound = 404,
+  InstructionExecutionError = 405,
+  SSHError = 406,
+  InstructionTimeoutError = 408,
+  TooManyRequests = 429,
+  InternalError = 500,
+  UnsupportedVersion = 505,
+};
+
+/// One row of the error table: everything every consumer needs, in one
+/// place — the envelope emitter, the deprecated shims, and the HTTP status
+/// mapping all read this.
+struct ErrorInfo {
+  ErrorCode Code;
+  const char *Name; ///< Stable wire name ("TooManyRequests").
+  int HttpStatus;   ///< Status the service front end answers with.
+  bool Retryable;   ///< Client should back off and resend.
+};
+
+/// The table row for \p Code.
+const ErrorInfo &errorInfo(ErrorCode Code);
+
+/// Stable wire name of \p Code ("BadRequest", "TooManyRequests", ...).
+const char *errorName(ErrorCode Code);
+
+/// Deprecated alias of errorName — the pre-protocol-v1 field was called
+/// "reason"; emitted alongside "name" for old clients.
+const char *errorReason(ErrorCode Code);
+
+/// HTTP status the service answers for \p Code.
+int errorHttpStatus(ErrorCode Code);
+
+/// True when a client should back off and retry the identical request.
+bool errorRetryable(ErrorCode Code);
+
+/// Reverse lookup from a numeric wire code; false when \p Code is not in
+/// the table.
+bool errorFromCode(int64_t Code, ErrorCode &Out);
+
+/// Builds the one error object of the protocol:
+/// {code, name, reason (deprecated alias), message, retryable}.
+json::Value makeError(ErrorCode Code, const std::string &Message);
+
+/// Thrown by request handlers; the envelope layer turns it into an error
+/// response. Carrying the code in an exception keeps handler signatures
+/// returning plain result values.
+class ApiError : public std::runtime_error {
+public:
+  ApiError(ErrorCode Code, const std::string &Message)
+      : std::runtime_error(Message), Code(Code) {}
+  ErrorCode code() const { return Code; }
+
+private:
+  ErrorCode Code;
+};
+
+/// A parsed request envelope.
+struct Envelope {
+  int64_t V = 0;
+  std::string Method;
+  std::string Id;      ///< "" when the client sent none.
+  std::string Session; ///< "" = legacy shared session.
+  json::Value Params;  ///< Null when absent.
+};
+
+/// Parses \p Request into \p Out. On failure returns false with \p Code /
+/// \p Message describing the rejection (BadRequest for structural
+/// problems, UnsupportedVersion for a v this library does not speak); Out
+/// still carries whatever id could be recovered, so the error response can
+/// echo it.
+bool parseEnvelope(const json::Value &Request, Envelope &Out, ErrorCode &Code,
+                   std::string &Message);
+
+/// Builds {"v":1, "id":..., "result": Result}; id omitted when empty.
+json::Value makeResultResponse(const Envelope &E, json::Value Result);
+
+/// Builds {"v":1, "id":..., "error": makeError(Code, Message)}. \p E may
+/// be null when not even an envelope could be parsed.
+json::Value makeErrorResponse(const Envelope *E, ErrorCode Code,
+                              const std::string &Message);
+
+} // namespace mediator
+} // namespace lgen
+
+#endif // LGEN_MEDIATOR_PROTOCOL_H

@@ -1,0 +1,417 @@
+//===- CompileQueue.cpp - Async compile queue with batching ---------------===//
+
+#include "service/CompileQueue.h"
+
+#include "compiler/Compiler.h"
+#include "compiler/KernelCache.h"
+#include "machine/Executor.h"
+#include "machine/Microarch.h"
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace lgen;
+using namespace lgen::service;
+using mediator::ApiError;
+using mediator::ErrorCode;
+using json::Object;
+using json::Value;
+
+namespace {
+
+machine::UArch uarchFromString(const std::string &Name) {
+  if (Name == "atom")
+    return machine::UArch::Atom;
+  if (Name == "a8")
+    return machine::UArch::CortexA8;
+  if (Name == "a9")
+    return machine::UArch::CortexA9;
+  if (Name == "arm1176")
+    return machine::UArch::ARM1176;
+  if (Name == "sandybridge")
+    return machine::UArch::SandyBridge;
+  throw ApiError(ErrorCode::BadRequest,
+                 "unknown target '" + Name +
+                     "' (expected atom|a8|a9|arm1176|sandybridge)");
+}
+
+support::Metrics::Counter &submittedCounter() {
+  static support::Metrics::Counter &C =
+      support::Metrics::global().counter("service.queue.submitted");
+  return C;
+}
+support::Metrics::Counter &rejectedCounter() {
+  static support::Metrics::Counter &C =
+      support::Metrics::global().counter("service.queue.rejected");
+  return C;
+}
+support::Metrics::Counter &completedCounter() {
+  static support::Metrics::Counter &C =
+      support::Metrics::global().counter("service.queue.completed");
+  return C;
+}
+support::Metrics::Gauge &depthGauge() {
+  static support::Metrics::Gauge &G =
+      support::Metrics::global().gauge("service.queue.depth");
+  return G;
+}
+support::Metrics::Histogram &batchSizeHist() {
+  static support::Metrics::Histogram &H = support::Metrics::global().histogram(
+      "service.compile.batch.size", {1, 2, 4, 8, 16, 32, 64});
+  return H;
+}
+support::Metrics::Histogram &latencyHist() {
+  static support::Metrics::Histogram &H = support::Metrics::global().histogram(
+      "service.compile.latency.us",
+      {100, 1000, 10000, 100000, 1000000, 10000000});
+  return H;
+}
+
+} // namespace
+
+struct CompileQueue::Job {
+  enum class State { Queued, Compiling, Finished };
+  std::string Id;
+  std::string Session;
+  State St = State::Queued;
+  Value Result;
+  std::chrono::steady_clock::time_point SubmitTime;
+  std::chrono::steady_clock::time_point FinishTime;
+};
+
+struct CompileQueue::PendingItem {
+  std::string JobId;
+  BatchKey Key;
+  std::string Source;
+};
+
+CompileQueue::CompileQueue(CompileQueueConfig C)
+    : Config(std::move(C)), IdRng(0xc0117eceb10b5ULL) {
+  if (Config.Workers == 0)
+    Config.Workers = 1;
+  if (Config.BatchMax == 0)
+    Config.BatchMax = 1;
+  SharedCache =
+      std::make_shared<compiler::KernelCache>(Config.CacheDir,
+                                              /*MaxKernels=*/256);
+  // Register every instrument up front so a /metrics scrape sees the full
+  // set (zeros included) even before the first submit or rejection.
+  submittedCounter();
+  rejectedCounter();
+  completedCounter();
+  depthGauge().set(0);
+  batchSizeHist();
+  latencyHist();
+  Workers.reserve(Config.Workers);
+  for (unsigned I = 0; I != Config.Workers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+CompileQueue::~CompileQueue() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  QueueReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Submission and results
+//===----------------------------------------------------------------------===//
+
+Value CompileQueue::submit(const std::string &Session, const Value &Params) {
+  if (!Params.isObject())
+    throw ApiError(ErrorCode::BadRequest,
+                   "compile.submit params must be an object");
+  std::string Source = Params.getString("source");
+  if (Source.empty())
+    throw ApiError(ErrorCode::BadRequest,
+                   "compile.submit needs a non-empty 'source'");
+  BatchKey Key;
+  Key.Target = Params.getString("target", "atom");
+  Key.Config = Params.getString("config", "LGen-Full");
+  Key.SearchSamples =
+      static_cast<unsigned>(Params.getNumber("searchSamples", 0));
+  Key.Run = Params.getBool("run", false);
+
+  // Validate target and config eagerly so the client gets a BadRequest at
+  // submit time, not an execution error out of the queue.
+  machine::UArch U = uarchFromString(Key.Target);
+  Expected<compiler::Options> Opts = compiler::Options::named(Key.Config, U);
+  if (!Opts)
+    throw ApiError(ErrorCode::BadRequest, Opts.error());
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (ShuttingDown)
+    throw ApiError(ErrorCode::InternalError, "service is shutting down");
+  purgeExpiredLocked();
+  // Admission control: shed load once the queue crosses the high-water
+  // mark. The error is retryable — clients back off and resend.
+  if (Pending.size() >= Config.HighWater) {
+    ++RejectedCount;
+    rejectedCounter().add();
+    throw ApiError(ErrorCode::TooManyRequests,
+                   "compile queue at high-water mark (" +
+                       std::to_string(Pending.size()) +
+                       " queued); retry later");
+  }
+  std::ostringstream IdStream;
+  IdStream << std::hex << ++IdCounter << "-" << IdRng.next();
+  auto J = std::make_shared<Job>();
+  J->Id = IdStream.str();
+  J->Session = Session;
+  J->SubmitTime = std::chrono::steady_clock::now();
+  Jobs[J->Id] = J;
+  Pending.push_back(PendingItem{J->Id, Key, std::move(Source)});
+  ++SubmittedCount;
+  submittedCounter().add();
+  depthGauge().set(static_cast<int64_t>(Pending.size()));
+  QueueReady.notify_one();
+
+  Object R;
+  R["jobID"] = J->Id;
+  R["jobState"] = "QUEUED";
+  return Value(std::move(R));
+}
+
+Value CompileQueue::result(const std::string &Session, const Value &Params) {
+  if (!Params.isObject())
+    throw ApiError(ErrorCode::BadRequest,
+                   "compile.result params must be an object");
+  std::string JobId = Params.getString("jobID");
+  if (JobId.empty())
+    throw ApiError(ErrorCode::BadRequest, "missing 'jobID'");
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  purgeExpiredLocked();
+  Object R;
+  R["jobID"] = JobId;
+  auto It = Jobs.find(JobId);
+  // Session isolation: other sessions' jobs are indistinguishable from
+  // nonexistent ones.
+  if (It == Jobs.end() || It->second->Session != Session) {
+    R["jobState"] = "NOT_FOUND";
+    return Value(std::move(R));
+  }
+  switch (It->second->St) {
+  case Job::State::Queued:
+    R["jobState"] = "QUEUED";
+    break;
+  case Job::State::Compiling:
+    R["jobState"] = "COMPILING";
+    break;
+  case Job::State::Finished:
+    R["jobState"] = "FINISHED";
+    R["result"] = It->second->Result;
+    break;
+  }
+  return Value(std::move(R));
+}
+
+Value CompileQueue::jobs(const std::string &Session) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  json::Array List;
+  for (const auto &[Id, J] : Jobs) {
+    if (J->Session != Session)
+      continue;
+    Object E;
+    E["jobID"] = Id;
+    E["jobState"] = J->St == Job::State::Queued      ? "QUEUED"
+                    : J->St == Job::State::Compiling ? "COMPILING"
+                                                     : "FINISHED";
+    List.push_back(Value(std::move(E)));
+  }
+  Object R;
+  R["jobs"] = Value(std::move(List));
+  return Value(std::move(R));
+}
+
+CompileQueue::Stats CompileQueue::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stats S;
+  S.Queued = Pending.size();
+  S.Compiling = CompilingCount;
+  for (const auto &[Id, J] : Jobs)
+    if (J->St == Job::State::Finished)
+      ++S.Finished;
+  S.HighWater = Config.HighWater;
+  S.Workers = Config.Workers;
+  S.WorkersBusy = BusyWorkers;
+  S.Submitted = SubmittedCount;
+  S.Rejected = RejectedCount;
+  return S;
+}
+
+void CompileQueue::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  JobDone.wait(Lock,
+               [&] { return Pending.empty() && CompilingCount == 0; });
+}
+
+void CompileQueue::purgeExpiredLocked() {
+  auto Now = std::chrono::steady_clock::now();
+  for (auto It = Jobs.begin(); It != Jobs.end();) {
+    if (It->second->St == Job::State::Finished &&
+        Now - It->second->FinishTime > Config.ResultsExpiry)
+      It = Jobs.erase(It);
+    else
+      ++It;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Workers
+//===----------------------------------------------------------------------===//
+
+void CompileQueue::workerLoop() {
+  for (;;) {
+    std::vector<PendingItem> Batch;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      QueueReady.wait(Lock,
+                      [&] { return ShuttingDown || !Pending.empty(); });
+      if (ShuttingDown)
+        return;
+      // Coalesce: the front request plus every queued request sharing its
+      // batch key, up to BatchMax. Reordering across keys is fine — jobs
+      // are independent — and bounded by BatchMax so no key starves.
+      Batch.push_back(std::move(Pending.front()));
+      Pending.pop_front();
+      const BatchKey &Key = Batch.front().Key;
+      for (auto It = Pending.begin();
+           It != Pending.end() && Batch.size() < Config.BatchMax;) {
+        if (It->Key == Key) {
+          Batch.push_back(std::move(*It));
+          It = Pending.erase(It);
+        } else {
+          ++It;
+        }
+      }
+      for (const PendingItem &P : Batch)
+        Jobs.at(P.JobId)->St = Job::State::Compiling;
+      CompilingCount += Batch.size();
+      ++BusyWorkers;
+      depthGauge().set(static_cast<int64_t>(Pending.size()));
+    }
+    batchSizeHist().observe(Batch.size());
+
+    std::vector<std::string> Sources;
+    Sources.reserve(Batch.size());
+    for (const PendingItem &P : Batch)
+      Sources.push_back(P.Source);
+
+    std::vector<Value> Results;
+    try {
+      Results = Config.CompileFn
+                    ? Config.CompileFn(Batch.front().Key, Sources)
+                    : compileBatch(Batch.front().Key, Sources);
+    } catch (const std::exception &Ex) {
+      Object E;
+      E["error"] = mediator::makeError(ErrorCode::InternalError, Ex.what());
+      Results.assign(Sources.size(), Value(std::move(E)));
+    }
+    if (Results.size() != Sources.size()) {
+      Object E;
+      E["error"] = mediator::makeError(
+          ErrorCode::InternalError,
+          "compile step returned " + std::to_string(Results.size()) +
+              " results for " + std::to_string(Sources.size()) + " sources");
+      Results.assign(Sources.size(), Value(std::move(E)));
+    }
+
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      auto Now = std::chrono::steady_clock::now();
+      for (size_t I = 0; I != Batch.size(); ++I) {
+        auto It = Jobs.find(Batch[I].JobId);
+        if (It == Jobs.end())
+          continue; // expired mid-compile
+        It->second->Result = std::move(Results[I]);
+        It->second->St = Job::State::Finished;
+        It->second->FinishTime = Now;
+        latencyHist().observe(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Now - It->second->SubmitTime)
+                .count()));
+      }
+      completedCounter().add(Batch.size());
+      CompilingCount -= Batch.size();
+      --BusyWorkers;
+    }
+    JobDone.notify_all();
+  }
+}
+
+std::vector<Value>
+CompileQueue::compileBatch(const BatchKey &Key,
+                           const std::vector<std::string> &Sources) {
+  std::shared_ptr<compiler::Compiler> C;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Compilers.find(Key);
+    if (It != Compilers.end()) {
+      C = It->second;
+    } else {
+      machine::UArch U = uarchFromString(Key.Target);
+      compiler::Options Opts =
+          compiler::Options::named(Key.Config, U).valueOrDie();
+      Opts.SearchSamples = Key.SearchSamples;
+      Opts.TunerThreads = 1; // parallelism comes from queue workers
+      C = std::make_shared<compiler::Compiler>(Opts);
+      C->setKernelCache(SharedCache);
+      Compilers[Key] = C;
+    }
+  }
+
+  machine::UArch U = uarchFromString(Key.Target);
+  const machine::Microarch &M = machine::Microarch::get(U);
+  std::vector<Expected<compiler::CompiledKernel>> Compiled =
+      C->compileBatch(Sources);
+
+  std::vector<Value> Out;
+  Out.reserve(Compiled.size());
+  for (Expected<compiler::CompiledKernel> &CK : Compiled) {
+    Object R;
+    if (!CK) {
+      R["error"] = mediator::makeError(ErrorCode::InstructionExecutionError,
+                                       CK.error());
+      Out.push_back(Value(std::move(R)));
+      continue;
+    }
+    machine::TimingResult T = CK->time(M);
+    R["supported"] = true;
+    R["target"] = Key.Target;
+    R["config"] = Key.Config;
+    R["flops"] = CK->Flops;
+    R["cycles"] = T.Cycles;
+    R["flopsPerCycle"] = T.Cycles > 0 ? CK->Flops / T.Cycles : 0.0;
+    R["unit"] = "model-cycles";
+    if (Key.Run) {
+      // Execute on the simulated machine over deterministic inputs — one
+      // request is a full compile+run round trip.
+      std::vector<machine::Buffer> Storage;
+      std::vector<machine::Buffer *> Buffers;
+      Storage.reserve(CK->Blac.Operands.size());
+      Rng InputRng(0x5eed);
+      for (const ll::Operand &O : CK->Blac.Operands) {
+        Storage.emplace_back(static_cast<size_t>(O.numElements()), 0.0f, 0);
+        for (float &V : Storage.back().Data)
+          V = static_cast<float>(InputRng.next() % 1000) / 250.0f - 2.0f;
+      }
+      for (machine::Buffer &B : Storage)
+        Buffers.push_back(&B);
+      CK->execute(Buffers);
+      double Checksum = 0.0;
+      for (const machine::Buffer &B : Storage)
+        for (float V : B.Data)
+          Checksum += V;
+      R["ran"] = true;
+      R["checksum"] = Checksum;
+    }
+    Out.push_back(Value(std::move(R)));
+  }
+  return Out;
+}

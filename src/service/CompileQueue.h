@@ -1,0 +1,166 @@
+//===- CompileQueue.h - Async compile queue with batching ------*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The asynchronous heart of the compile service: compile requests enter a
+/// FIFO queue, worker threads drain it in *batches* — consecutive requests
+/// that share a compiler configuration (target, named config, search
+/// samples, run flag) coalesce into one \c Compiler::compileBatch call, so
+/// a burst of requests for the same target amortizes pool fan-out and hits
+/// one shared kernel cache. Per-session state tracks every submitted job;
+/// a session only sees its own jobs.
+///
+/// Admission control: once the number of *queued* (not yet compiling)
+/// requests crosses \c HighWater, submits are rejected with
+/// \c ErrorCode::TooManyRequests — a structured, retryable:true error the
+/// protocol's error table maps to HTTP 429. Load is shed at the door
+/// instead of letting the queue grow without bound; clients back off and
+/// resend (the load generator demonstrates the retry loop).
+///
+/// Compile results are JSON objects (protocol v1, method compile.result):
+/// flops, model-timed cycles, flops/cycle — and, for run:true requests,
+/// the kernel is also *executed* on the simulated machine over
+/// deterministic inputs with an output checksum in the result, making one
+/// request a full compile+run round trip.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_SERVICE_COMPILEQUEUE_H
+#define LGEN_SERVICE_COMPILEQUEUE_H
+
+#include "mediator/Protocol.h"
+#include "support/Json.h"
+#include "support/Support.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+namespace lgen {
+
+namespace compiler {
+class Compiler;
+class KernelCache;
+} // namespace compiler
+
+namespace service {
+
+/// What one batch shares: requests coalesce only when every field that
+/// feeds Options construction matches.
+struct BatchKey {
+  std::string Target;      ///< "atom", "a8", ... (uarch name).
+  std::string Config;      ///< "LGen", "LGen-Full", ... (named config).
+  unsigned SearchSamples = 0;
+  bool Run = false;
+
+  bool operator==(const BatchKey &O) const {
+    return Target == O.Target && Config == O.Config &&
+           SearchSamples == O.SearchSamples && Run == O.Run;
+  }
+  bool operator<(const BatchKey &O) const {
+    return std::tie(Target, Config, SearchSamples, Run) <
+           std::tie(O.Target, O.Config, O.SearchSamples, O.Run);
+  }
+};
+
+struct CompileQueueConfig {
+  /// Compile worker threads draining the queue.
+  unsigned Workers = 2;
+  /// Maximum requests coalesced into one compileBatch call.
+  unsigned BatchMax = 32;
+  /// Admission-control high-water mark on *queued* requests; submits
+  /// beyond it are rejected with TooManyRequests (retryable).
+  size_t HighWater = 4096;
+  /// Finished results older than this are purged.
+  std::chrono::milliseconds ResultsExpiry = std::chrono::minutes(10);
+  /// Directory for the shared persistent kernel cache ("" = in-memory).
+  std::string CacheDir;
+  /// Test hook: replaces the real compile step. Receives the batch key
+  /// and sources; must return one result object per source. Production
+  /// leaves it null.
+  std::function<std::vector<json::Value>(const BatchKey &,
+                                         const std::vector<std::string> &)>
+      CompileFn;
+};
+
+class CompileQueue {
+public:
+  explicit CompileQueue(CompileQueueConfig Config = CompileQueueConfig());
+  ~CompileQueue();
+
+  CompileQueue(const CompileQueue &) = delete;
+  CompileQueue &operator=(const CompileQueue &) = delete;
+
+  /// compile.submit: params = {source, target?, config?, searchSamples?,
+  /// run?}. Returns {jobID, jobState:"QUEUED"}; throws ApiError on
+  /// malformed params (BadRequest), unknown target/config (BadRequest),
+  /// or a saturated queue (TooManyRequests, retryable).
+  json::Value submit(const std::string &Session, const json::Value &Params);
+
+  /// compile.result: params = {jobID}. Returns {jobID, jobState} with
+  /// jobState QUEUED/COMPILING/FINISHED/NOT_FOUND and, when finished, the
+  /// per-request "result" object. Jobs of other sessions read NOT_FOUND.
+  json::Value result(const std::string &Session, const json::Value &Params);
+
+  /// compile.jobs: every job the session submitted (id + state), newest
+  /// last.
+  json::Value jobs(const std::string &Session) const;
+
+  /// Point-in-time occupancy for /healthz and admission decisions.
+  struct Stats {
+    size_t Queued = 0;    ///< Waiting in the queue.
+    size_t Compiling = 0; ///< Popped by a worker, still compiling.
+    size_t Finished = 0;  ///< Results held (not yet expired).
+    size_t HighWater = 0;
+    unsigned Workers = 0;
+    unsigned WorkersBusy = 0;
+    uint64_t Submitted = 0; ///< Accepted since start.
+    uint64_t Rejected = 0;  ///< Shed by admission control since start.
+  };
+  Stats stats() const;
+
+  /// Blocks until every queued request finished (tests / bench epilogue).
+  void drain();
+
+private:
+  struct Job;
+  struct PendingItem;
+
+  void workerLoop();
+  std::vector<json::Value> compileBatch(const BatchKey &Key,
+                                        const std::vector<std::string> &Srcs);
+  void purgeExpiredLocked();
+
+  CompileQueueConfig Config;
+  mutable std::mutex Mutex;
+  std::condition_variable QueueReady; ///< Work arrived (workers wait).
+  std::condition_variable JobDone;    ///< Results landed (drain waits).
+  std::deque<PendingItem> Pending;
+  std::map<std::string, std::shared_ptr<Job>> Jobs;
+  std::map<BatchKey, std::shared_ptr<compiler::Compiler>> Compilers;
+  std::shared_ptr<compiler::KernelCache> SharedCache;
+  std::vector<std::thread> Workers;
+  Rng IdRng;
+  uint64_t IdCounter = 0;
+  uint64_t SubmittedCount = 0;
+  uint64_t RejectedCount = 0;
+  unsigned BusyWorkers = 0;
+  size_t CompilingCount = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace service
+} // namespace lgen
+
+#endif // LGEN_SERVICE_COMPILEQUEUE_H

@@ -1,0 +1,357 @@
+//===- Http.cpp - Minimal HTTP/1.1 transport for the service --------------===//
+
+#include "service/Http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace lgen;
+using namespace lgen::service;
+
+namespace {
+
+std::string toLower(std::string S) {
+  std::transform(S.begin(), S.end(), S.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  return S;
+}
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r");
+  return S.substr(B, E - B + 1);
+}
+
+/// recv() mapped onto the HttpRead states; appends to \p Buf.
+HttpRead recvSome(int Fd, std::string &Buf) {
+  char Chunk[16 * 1024];
+  ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+  if (N > 0) {
+    Buf.append(Chunk, static_cast<size_t>(N));
+    return HttpRead::Ok;
+  }
+  if (N == 0)
+    return HttpRead::Closed;
+  if (errno == EAGAIN || errno == EWOULDBLOCK)
+    return HttpRead::Timeout;
+  if (errno == EINTR)
+    return HttpRead::Ok; // retry on the next loop iteration
+  return HttpRead::Closed;
+}
+
+bool sendAll(int Fd, const char *Data, size_t Len) {
+  size_t Off = 0;
+  while (Off != Len) {
+#ifdef MSG_NOSIGNAL
+    ssize_t N = ::send(Fd, Data + Off, Len - Off, MSG_NOSIGNAL);
+#else
+    ssize_t N = ::send(Fd, Data + Off, Len - Off, 0);
+#endif
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Parses the head (request line + headers) in [0, HeadEnd) of \p Buf.
+bool parseHead(const std::string &Head, HttpRequest &Out) {
+  size_t LineEnd = Head.find("\r\n");
+  if (LineEnd == std::string::npos)
+    return false;
+  const std::string RequestLine = Head.substr(0, LineEnd);
+  size_t Sp1 = RequestLine.find(' ');
+  size_t Sp2 = RequestLine.rfind(' ');
+  if (Sp1 == std::string::npos || Sp2 == Sp1)
+    return false;
+  Out.Method = RequestLine.substr(0, Sp1);
+  Out.Path = trim(RequestLine.substr(Sp1 + 1, Sp2 - Sp1 - 1));
+  Out.Version = RequestLine.substr(Sp2 + 1);
+  if (Out.Method.empty() || Out.Path.empty() ||
+      Out.Version.compare(0, 5, "HTTP/") != 0)
+    return false;
+
+  size_t Pos = LineEnd + 2;
+  while (Pos < Head.size()) {
+    size_t End = Head.find("\r\n", Pos);
+    if (End == std::string::npos)
+      End = Head.size();
+    const std::string Line = Head.substr(Pos, End - Pos);
+    Pos = End + 2;
+    if (Line.empty())
+      break;
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      return false;
+    Out.Headers[toLower(trim(Line.substr(0, Colon)))] =
+        trim(Line.substr(Colon + 1));
+  }
+
+  // Keep-alive: HTTP/1.1 default on, HTTP/1.0 default off.
+  std::string Conn = toLower(Out.Headers.count("connection")
+                                 ? Out.Headers.at("connection")
+                                 : "");
+  if (Out.Version == "HTTP/1.0")
+    Out.KeepAlive = Conn == "keep-alive";
+  else
+    Out.KeepAlive = Conn != "close";
+  return true;
+}
+
+/// Parses a client-side response head.
+bool parseResponseHead(const std::string &Head, HttpResponse &Out) {
+  size_t LineEnd = Head.find("\r\n");
+  if (LineEnd == std::string::npos)
+    return false;
+  const std::string StatusLine = Head.substr(0, LineEnd);
+  size_t Sp1 = StatusLine.find(' ');
+  if (Sp1 == std::string::npos ||
+      StatusLine.compare(0, 5, "HTTP/") != 0)
+    return false;
+  Out.Status = std::atoi(StatusLine.c_str() + Sp1 + 1);
+  if (Out.Status < 100 || Out.Status > 999)
+    return false;
+  size_t Pos = LineEnd + 2;
+  while (Pos < Head.size()) {
+    size_t End = Head.find("\r\n", Pos);
+    if (End == std::string::npos)
+      End = Head.size();
+    const std::string Line = Head.substr(Pos, End - Pos);
+    Pos = End + 2;
+    if (Line.empty())
+      break;
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      return false;
+    Out.Headers[toLower(trim(Line.substr(0, Colon)))] =
+        trim(Line.substr(Colon + 1));
+  }
+  return true;
+}
+
+bool contentLengthOf(const std::map<std::string, std::string> &Headers,
+                     size_t &Out) {
+  auto It = Headers.find("content-length");
+  if (It == Headers.end()) {
+    Out = 0;
+    return true;
+  }
+  const std::string &S = It->second;
+  if (S.empty() ||
+      !std::all_of(S.begin(), S.end(),
+                   [](unsigned char C) { return std::isdigit(C); }))
+    return false;
+  Out = static_cast<size_t>(std::strtoull(S.c_str(), nullptr, 10));
+  return true;
+}
+
+} // namespace
+
+HttpRead service::readHttpRequest(int Fd, HttpRequest &Out, std::string &Carry,
+                                  size_t MaxHeaderBytes,
+                                  size_t MaxBodyBytes) {
+  Out = HttpRequest();
+  std::string &Buf = Carry;
+  // Accumulate until the blank line ending the head.
+  size_t HeadEnd;
+  while ((HeadEnd = Buf.find("\r\n\r\n")) == std::string::npos) {
+    if (Buf.size() > MaxHeaderBytes)
+      return HttpRead::TooLarge;
+    // A clean close *between* requests is Closed, not Malformed.
+    HttpRead R = recvSome(Fd, Buf);
+    if (R == HttpRead::Closed)
+      return Buf.empty() ? HttpRead::Closed : HttpRead::Malformed;
+    if (R != HttpRead::Ok)
+      return R;
+  }
+  if (HeadEnd > MaxHeaderBytes)
+    return HttpRead::TooLarge;
+  if (!parseHead(Buf.substr(0, HeadEnd + 2), Out))
+    return HttpRead::Malformed;
+
+  size_t BodyLen;
+  if (!contentLengthOf(Out.Headers, BodyLen))
+    return HttpRead::Malformed;
+  if (BodyLen > MaxBodyBytes)
+    return HttpRead::TooLarge;
+  size_t BodyStart = HeadEnd + 4;
+  while (Buf.size() - BodyStart < BodyLen) {
+    HttpRead R = recvSome(Fd, Buf);
+    if (R == HttpRead::Closed)
+      return HttpRead::Malformed; // died mid-body
+    if (R != HttpRead::Ok)
+      return R;
+  }
+  Out.Body = Buf.substr(BodyStart, BodyLen);
+  // Keep any pipelined bytes for the next request on this connection.
+  Buf.erase(0, BodyStart + BodyLen);
+  return HttpRead::Ok;
+}
+
+const char *service::httpStatusText(int Status) {
+  switch (Status) {
+  case 200:
+    return "OK";
+  case 400:
+    return "Bad Request";
+  case 401:
+    return "Unauthorized";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  case 406:
+    return "Not Acceptable";
+  case 408:
+    return "Request Timeout";
+  case 413:
+    return "Payload Too Large";
+  case 429:
+    return "Too Many Requests";
+  case 500:
+    return "Internal Server Error";
+  case 503:
+    return "Service Unavailable";
+  case 505:
+    return "HTTP Version Not Supported";
+  default:
+    return "Unknown";
+  }
+}
+
+bool service::writeHttpResponse(int Fd, int Status, const std::string &Body,
+                                const std::string &ContentType,
+                                bool KeepAlive) {
+  std::string Head = "HTTP/1.1 " + std::to_string(Status) + " " +
+                     httpStatusText(Status) + "\r\n";
+  Head += "Content-Type: " + ContentType + "\r\n";
+  Head += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  Head += KeepAlive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  Head += "\r\n";
+  return sendAll(Fd, Head.data(), Head.size()) &&
+         sendAll(Fd, Body.data(), Body.size());
+}
+
+//===----------------------------------------------------------------------===//
+// HttpClient
+//===----------------------------------------------------------------------===//
+
+HttpClient::~HttpClient() { close(); }
+
+void HttpClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Carry.clear();
+}
+
+bool HttpClient::connect(const std::string &NewHost, uint16_t NewPort,
+                         std::string &Err) {
+  close();
+  Host = NewHost;
+  Port = NewPort;
+
+  addrinfo Hints{};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  int RC = ::getaddrinfo(Host.c_str(), std::to_string(Port).c_str(), &Hints,
+                         &Res);
+  if (RC != 0) {
+    Err = "cannot resolve " + Host + ": " + gai_strerror(RC);
+    return false;
+  }
+  for (addrinfo *AI = Res; AI; AI = AI->ai_next) {
+    int S = ::socket(AI->ai_family, AI->ai_socktype, AI->ai_protocol);
+    if (S < 0)
+      continue;
+    if (::connect(S, AI->ai_addr, AI->ai_addrlen) == 0) {
+      Fd = S;
+      break;
+    }
+    ::close(S);
+  }
+  ::freeaddrinfo(Res);
+  if (Fd < 0) {
+    Err = "cannot connect to " + Host + ":" + std::to_string(Port) + ": " +
+          std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return true;
+}
+
+bool HttpClient::request(const std::string &Method, const std::string &Path,
+                         const std::string &Body, HttpResponse &Out,
+                         std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  std::string Head = Method + " " + Path + " HTTP/1.1\r\n";
+  Head += "Host: " + Host + ":" + std::to_string(Port) + "\r\n";
+  if (!Body.empty() || Method == "POST")
+    Head += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  Head += "Content-Type: application/json\r\n\r\n";
+  if (!sendAll(Fd, Head.data(), Head.size()) ||
+      !sendAll(Fd, Body.data(), Body.size())) {
+    Err = "send failed: " + std::string(std::strerror(errno));
+    close();
+    return false;
+  }
+
+  Out = HttpResponse();
+  std::string &Buf = Carry;
+  size_t HeadEnd;
+  while ((HeadEnd = Buf.find("\r\n\r\n")) == std::string::npos) {
+    HttpRead R = recvSome(Fd, Buf);
+    if (R != HttpRead::Ok) {
+      Err = "connection lost while reading response head";
+      close();
+      return false;
+    }
+  }
+  if (!parseResponseHead(Buf.substr(0, HeadEnd + 2), Out)) {
+    Err = "malformed response head";
+    close();
+    return false;
+  }
+  size_t BodyLen;
+  if (!contentLengthOf(Out.Headers, BodyLen)) {
+    Err = "malformed Content-Length";
+    close();
+    return false;
+  }
+  size_t BodyStart = HeadEnd + 4;
+  while (Buf.size() - BodyStart < BodyLen) {
+    HttpRead R = recvSome(Fd, Buf);
+    if (R != HttpRead::Ok) {
+      Err = "connection lost while reading response body";
+      close();
+      return false;
+    }
+  }
+  Out.Body = Buf.substr(BodyStart, BodyLen);
+  Buf.erase(0, BodyStart + BodyLen);
+
+  auto Conn = Out.Headers.find("connection");
+  if (Conn != Out.Headers.end() && toLower(Conn->second) == "close")
+    close();
+  return true;
+}

@@ -1,0 +1,109 @@
+//===- Http.h - Minimal HTTP/1.1 transport for the service -----*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The socket-level half of the compile service: a blocking HTTP/1.1
+/// request reader / response writer used by the server's connection
+/// workers, and a small keep-alive client used by the load-generator bench
+/// and the tests. Only the subset the service protocol needs is
+/// implemented — request line, headers, Content-Length bodies, keep-alive
+/// — with hard caps on header and body size so a misbehaving peer cannot
+/// balloon a worker's memory.
+///
+/// Everything operates on plain file descriptors; ownership stays with the
+/// caller except in \c HttpClient, which closes its socket on destruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_SERVICE_HTTP_H
+#define LGEN_SERVICE_HTTP_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lgen {
+namespace service {
+
+/// One parsed request. Header names are lower-cased on parse; values keep
+/// their bytes (leading/trailing blanks trimmed).
+struct HttpRequest {
+  std::string Method;  ///< "GET", "POST", ...
+  std::string Path;    ///< Request target, e.g. "/rpc".
+  std::string Version; ///< "HTTP/1.1".
+  std::map<std::string, std::string> Headers;
+  std::string Body;
+  /// False when the client asked for Connection: close (or spoke
+  /// HTTP/1.0 without keep-alive).
+  bool KeepAlive = true;
+};
+
+enum class HttpRead {
+  Ok,        ///< A full request was parsed.
+  Closed,    ///< Peer closed (or had closed) the connection cleanly.
+  Timeout,   ///< The socket's receive timeout expired mid-request.
+  TooLarge,  ///< Header or body exceeded its cap.
+  Malformed, ///< Unparseable request.
+};
+
+/// Reads one request from \p Fd. \p Carry holds bytes read beyond the
+/// previous request on a keep-alive connection; pass the same string for
+/// every read on one connection. Caps: \p MaxHeaderBytes on the head,
+/// \p MaxBodyBytes on Content-Length.
+HttpRead readHttpRequest(int Fd, HttpRequest &Out, std::string &Carry,
+                         size_t MaxHeaderBytes = 64 * 1024,
+                         size_t MaxBodyBytes = 8 * 1024 * 1024);
+
+/// Writes a complete response with Content-Length framing. Returns false
+/// when the peer went away mid-write.
+bool writeHttpResponse(int Fd, int Status, const std::string &Body,
+                       const std::string &ContentType = "application/json",
+                       bool KeepAlive = true);
+
+/// Reason phrase for the statuses the service emits; "Unknown" otherwise.
+const char *httpStatusText(int Status);
+
+/// A parsed client-side response.
+struct HttpResponse {
+  int Status = 0;
+  std::map<std::string, std::string> Headers;
+  std::string Body;
+};
+
+/// Blocking keep-alive client for driving the service: the load generator
+/// opens one per client thread and reuses the connection across thousands
+/// of requests. Not thread-safe; one connection per thread.
+class HttpClient {
+public:
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(const HttpClient &) = delete;
+  HttpClient &operator=(const HttpClient &) = delete;
+
+  /// Connects to \p Host:\p Port (numeric or resolvable name). Returns
+  /// false and sets \p Err on failure. Reconnecting an open client closes
+  /// the old connection first.
+  bool connect(const std::string &Host, uint16_t Port, std::string &Err);
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Sends one request and reads the response. On transport failure
+  /// (server closed the keep-alive connection, timeout) returns false and
+  /// closes; callers retry by reconnecting.
+  bool request(const std::string &Method, const std::string &Path,
+               const std::string &Body, HttpResponse &Out, std::string &Err);
+
+private:
+  int Fd = -1;
+  std::string Host;
+  uint16_t Port = 0;
+  std::string Carry;
+};
+
+} // namespace service
+} // namespace lgen
+
+#endif // LGEN_SERVICE_HTTP_H

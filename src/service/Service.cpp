@@ -1,0 +1,404 @@
+//===- Service.cpp - Threaded HTTP front end for the Mediator -------------===//
+
+#include "service/Service.h"
+
+#include "mediator/Mediator.h"
+#include "service/Http.h"
+#include "support/Metrics.h"
+#include "support/ThreadPool.h"
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+using namespace lgen;
+using namespace lgen::service;
+using mediator::ApiError;
+using mediator::Envelope;
+using mediator::ErrorCode;
+using json::Object;
+using json::Value;
+
+namespace {
+
+support::Metrics::Counter &acceptedCounter() {
+  static support::Metrics::Counter &C =
+      support::Metrics::global().counter("service.conn.accepted");
+  return C;
+}
+support::Metrics::Counter &shedCounter() {
+  static support::Metrics::Counter &C =
+      support::Metrics::global().counter("service.conn.shed");
+  return C;
+}
+support::Metrics::Counter &requestCounter() {
+  static support::Metrics::Counter &C =
+      support::Metrics::global().counter("service.http.requests");
+  return C;
+}
+support::Metrics::Gauge &activeGauge() {
+  static support::Metrics::Gauge &G =
+      support::Metrics::global().gauge("service.conn.active");
+  return G;
+}
+
+/// Serialized error body for responses produced outside the envelope layer
+/// (transport-level failures, sheds, unknown paths).
+std::string plainErrorBody(ErrorCode Code, const std::string &Message) {
+  Object O;
+  O["error"] = mediator::makeError(Code, Message);
+  return Value(std::move(O)).serialize();
+}
+
+/// The HTTP status a protocol response maps to: 200 for results, the error
+/// table's status for errors.
+int statusOfResponse(const Value &Response) {
+  if (!Response.isObject())
+    return 200;
+  const Value &Err = Response["error"];
+  if (!Err.isObject())
+    return 200;
+  ErrorCode Code;
+  if (!mediator::errorFromCode(
+          static_cast<int64_t>(Err.getNumber("code", 500)), Code))
+    return 500;
+  return mediator::errorHttpStatus(Code);
+}
+
+} // namespace
+
+Service::Service(ServiceConfig C, mediator::Mediator *M)
+    : Config(std::move(C)), Med(M), Queue(Config.Queue) {
+  if (Config.ConnWorkers == 0) {
+    unsigned HW = std::thread::hardware_concurrency();
+    Config.ConnWorkers = HW ? HW : 4;
+  }
+  // Pre-register the connection instruments so /metrics always carries
+  // them, even before any traffic.
+  acceptedCounter();
+  shedCounter();
+  requestCounter();
+  activeGauge().set(0);
+}
+
+Service::~Service() { stop(); }
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+bool Service::start(std::string &Err) {
+  if (Running) {
+    Err = "service already running";
+    return false;
+  }
+  Stopping = false;
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Config.Port);
+  if (::inet_pton(AF_INET, Config.Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = "cannot parse host address '" + Config.Host + "' (IPv4 only)";
+    ::close(Fd);
+    return false;
+  }
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "bind " + Config.Host + ":" + std::to_string(Config.Port) + ": " +
+          std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  if (::listen(Fd, 512) != 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  sockaddr_in Bound{};
+  socklen_t BoundLen = sizeof(Bound);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &BoundLen) ==
+      0)
+    BoundPort = ntohs(Bound.sin_port);
+
+  ListenFd = Fd;
+  Pool = std::make_unique<support::ThreadPool>(Config.ConnWorkers);
+  Running = true;
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  // Every pool lane (workers + the runner itself) becomes a connection
+  // worker; parallelFor returns only at shutdown, when all lanes exit.
+  RunnerThread = std::thread([this] {
+    Pool->parallelFor(Pool->concurrency(),
+                      [this](size_t) { connectionLoop(); });
+  });
+  return true;
+}
+
+void Service::stop() {
+  if (!Running)
+    return;
+  Stopping = true;
+  // Unblock accept().
+  ::shutdown(ListenFd, SHUT_RDWR);
+  ::close(ListenFd);
+  ListenFd = -1;
+  ConnReady.notify_all();
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  if (RunnerThread.joinable())
+    RunnerThread.join();
+  Pool.reset();
+  // Connections still queued never reached a worker; close them.
+  std::lock_guard<std::mutex> Lock(ConnMutex);
+  for (int Fd : ConnQueue)
+    ::close(Fd);
+  ConnQueue.clear();
+  Running = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Accept + connection workers
+//===----------------------------------------------------------------------===//
+
+void Service::acceptLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // listener closed (shutdown) or fatal
+    }
+    if (Stopping) {
+      ::close(Fd);
+      return;
+    }
+    timeval TV{};
+    TV.tv_sec = Config.RecvTimeoutMs / 1000;
+    TV.tv_usec = (Config.RecvTimeoutMs % 1000) * 1000;
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV));
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+
+    bool Shed = false;
+    {
+      std::lock_guard<std::mutex> Lock(ConnMutex);
+      if (ConnQueue.size() >= Config.ConnQueueMax) {
+        Shed = true;
+        ++ShedCount;
+      } else {
+        ConnQueue.push_back(Fd);
+        ++AcceptedCount;
+      }
+    }
+    if (Shed) {
+      // Accept-side backpressure: answer 429 immediately and close rather
+      // than letting the connection wait unbounded for a worker.
+      shedCounter().add();
+      writeHttpResponse(Fd, 429,
+                        plainErrorBody(ErrorCode::TooManyRequests,
+                                       "connection queue full; retry later"),
+                        "application/json", /*KeepAlive=*/false);
+      ::close(Fd);
+    } else {
+      acceptedCounter().add();
+      ConnReady.notify_one();
+    }
+  }
+}
+
+void Service::connectionLoop() {
+  for (;;) {
+    int Fd = -1;
+    {
+      std::unique_lock<std::mutex> Lock(ConnMutex);
+      ConnReady.wait(Lock,
+                     [&] { return Stopping || !ConnQueue.empty(); });
+      if (ConnQueue.empty())
+        return; // Stopping and drained
+      Fd = ConnQueue.front();
+      ConnQueue.pop_front();
+      ++ActiveConns;
+      activeGauge().set(static_cast<int64_t>(ActiveConns));
+    }
+    serveConnection(Fd);
+    ::close(Fd);
+    {
+      std::lock_guard<std::mutex> Lock(ConnMutex);
+      --ActiveConns;
+      activeGauge().set(static_cast<int64_t>(ActiveConns));
+    }
+  }
+}
+
+void Service::serveConnection(int Fd) {
+  std::string Carry;
+  while (!Stopping) {
+    HttpRequest Req;
+    HttpRead R = readHttpRequest(Fd, Req, Carry);
+    if (R == HttpRead::Closed)
+      return;
+    if (R == HttpRead::Timeout) {
+      // Idle keep-alive connections just go away; a stalled mid-request
+      // read already consumed bytes, so answer 408 first.
+      if (!Carry.empty())
+        writeHttpResponse(Fd, 408,
+                          plainErrorBody(ErrorCode::InstructionTimeoutError,
+                                         "timed out reading request"),
+                          "application/json", false);
+      return;
+    }
+    if (R == HttpRead::TooLarge) {
+      writeHttpResponse(Fd, 413,
+                        plainErrorBody(ErrorCode::BadRequest,
+                                       "request exceeds size limits"),
+                        "application/json", false);
+      return;
+    }
+    if (R != HttpRead::Ok) {
+      writeHttpResponse(Fd, 400,
+                        plainErrorBody(ErrorCode::BadRequest,
+                                       "malformed HTTP request"),
+                        "application/json", false);
+      return;
+    }
+
+    requestCounter().add();
+    int Status = 200;
+    std::string Body;
+    if (Req.Path == "/rpc") {
+      if (Req.Method != "POST") {
+        Status = 405;
+        Body = plainErrorBody(ErrorCode::InstructionExecutionError,
+                              "/rpc takes POST");
+      } else {
+        Value Request;
+        std::string ParseErr;
+        if (!json::parse(Req.Body, Request, ParseErr)) {
+          Status = 400;
+          Body = mediator::makeErrorResponse(nullptr, ErrorCode::BadRequest,
+                                             "malformed JSON: " + ParseErr)
+                     .serialize();
+        } else {
+          Body = handleRpc(Request, &Status).serialize();
+        }
+      }
+    } else if (Req.Path == "/healthz") {
+      if (Req.Method != "GET") {
+        Status = 405;
+        Body = plainErrorBody(ErrorCode::InstructionExecutionError,
+                              "/healthz takes GET");
+      } else {
+        Body = health().serialize();
+      }
+    } else if (Req.Path == "/metrics") {
+      if (Req.Method != "GET") {
+        Status = 405;
+        Body = plainErrorBody(ErrorCode::InstructionExecutionError,
+                              "/metrics takes GET");
+      } else {
+        Body = support::Metrics::global().snapshot().toJson().serialize();
+      }
+    } else {
+      Status = 404;
+      Body = plainErrorBody(ErrorCode::MethodNotFound,
+                            "no route '" + Req.Path + "'");
+    }
+
+    if (!writeHttpResponse(Fd, Status, Body, "application/json",
+                           Req.KeepAlive))
+      return;
+    if (!Req.KeepAlive)
+      return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol dispatch
+//===----------------------------------------------------------------------===//
+
+Value Service::handleRpc(const Value &Request, int *HttpStatus) {
+  Envelope E;
+  ErrorCode Code;
+  std::string Message;
+  Value Response;
+  if (!mediator::parseEnvelope(Request, E, Code, Message)) {
+    Response = mediator::makeErrorResponse(&E, Code, Message);
+  } else if (E.Method.compare(0, 4, "job.") == 0) {
+    // The Mediator speaks the same envelope; forward verbatim.
+    if (Med)
+      Response = Med->handle(Request);
+    else
+      Response = mediator::makeErrorResponse(
+          &E, ErrorCode::MethodNotFound,
+          "no mediator attached; job.* methods unavailable");
+  } else {
+    try {
+      Response = mediator::makeResultResponse(E, dispatch(E));
+    } catch (const ApiError &Ex) {
+      Response = mediator::makeErrorResponse(&E, Ex.code(), Ex.what());
+    } catch (const std::exception &Ex) {
+      Response = mediator::makeErrorResponse(&E, ErrorCode::InternalError,
+                                             Ex.what());
+    }
+  }
+  if (HttpStatus)
+    *HttpStatus = statusOfResponse(Response);
+  return Response;
+}
+
+Value Service::dispatch(const Envelope &E) {
+  if (E.Method == "compile.submit")
+    return Queue.submit(E.Session, E.Params);
+  if (E.Method == "compile.result")
+    return Queue.result(E.Session, E.Params);
+  if (E.Method == "compile.jobs")
+    return Queue.jobs(E.Session);
+  if (E.Method == "service.health")
+    return health();
+  if (E.Method == "service.metrics")
+    return support::Metrics::global().snapshot().toJson();
+  throw ApiError(ErrorCode::MethodNotFound,
+                 "unknown method '" + E.Method + "'");
+}
+
+Value Service::health() const {
+  CompileQueue::Stats S = Queue.stats();
+  Object Q;
+  Q["queued"] = static_cast<double>(S.Queued);
+  Q["compiling"] = static_cast<double>(S.Compiling);
+  Q["finished"] = static_cast<double>(S.Finished);
+  Q["highWater"] = static_cast<double>(S.HighWater);
+  Q["workers"] = static_cast<double>(S.Workers);
+  Q["workersBusy"] = static_cast<double>(S.WorkersBusy);
+  Q["submitted"] = static_cast<double>(S.Submitted);
+  Q["rejected"] = static_cast<double>(S.Rejected);
+
+  Object Conns;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    Conns["active"] = static_cast<double>(ActiveConns);
+    Conns["queued"] = static_cast<double>(ConnQueue.size());
+    Conns["accepted"] = static_cast<double>(AcceptedCount);
+    Conns["shed"] = static_cast<double>(ShedCount);
+  }
+  Conns["workers"] = static_cast<double>(Config.ConnWorkers);
+
+  Object H;
+  H["status"] = Stopping            ? "stopping"
+                : S.Queued >= S.HighWater ? "saturated"
+                                          : "ok";
+  H["queue"] = Value(std::move(Q));
+  H["connections"] = Value(std::move(Conns));
+  return Value(std::move(H));
+}

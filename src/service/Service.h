@@ -1,0 +1,141 @@
+//===- Service.h - Threaded HTTP front end for the Mediator ----*- C++ -*-===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile service: a multi-threaded TCP/HTTP front end over the
+/// Mediator protocol v1. One blocking-accept listener thread hands
+/// accepted connections to a bounded queue; connection workers — lanes of
+/// a \c support::ThreadPool — pop connections and speak keep-alive
+/// HTTP/1.1 over them. Three routes:
+///
+///   POST /rpc      protocol-v1 envelope (job.*, compile.*, service.*)
+///   GET  /healthz  queue depth, worker occupancy, admission state
+///   GET  /metrics  support::Metrics snapshot of the whole process
+///
+/// compile.* methods run through the \c CompileQueue (async, batched,
+/// admission-controlled); job.* methods are forwarded to an attached
+/// \c mediator::Mediator; service.* methods answer from in-process
+/// snapshots. HTTP status codes come from the protocol's single error
+/// table (errorHttpStatus) — a saturated queue answers 429 with
+/// retryable:true, a request that times out on the wire answers 408.
+///
+/// Backpressure exists at two doors: the connection queue (accept-side; a
+/// full queue sheds the connection with an immediate 429 and close) and
+/// the compile queue's high-water mark (request-side; the envelope carries
+/// the structured retryable error).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LGEN_SERVICE_SERVICE_H
+#define LGEN_SERVICE_SERVICE_H
+
+#include "service/CompileQueue.h"
+#include "support/Json.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace lgen {
+
+namespace support {
+class ThreadPool;
+}
+namespace mediator {
+class Mediator;
+}
+
+namespace service {
+
+struct ServiceConfig {
+  /// Address to bind; the default only accepts local connections.
+  std::string Host = "127.0.0.1";
+  /// 0 binds an ephemeral port — read the real one back via port().
+  uint16_t Port = 0;
+  /// Connection-worker lanes (a ThreadPool; each lane serves one
+  /// connection at a time). 0 = hardware concurrency.
+  unsigned ConnWorkers = 8;
+  /// Accepted connections waiting for a worker beyond this are shed with
+  /// an immediate 429 and close.
+  size_t ConnQueueMax = 1024;
+  /// Per-socket receive timeout; an idle keep-alive connection is closed,
+  /// a connection that stalls mid-request gets a 408.
+  int RecvTimeoutMs = 10000;
+  /// The async compile queue behind compile.*.
+  CompileQueueConfig Queue;
+};
+
+class Service {
+public:
+  /// \p Med (optional, unowned, must outlive the service) serves the
+  /// job.* methods; without one they answer MethodNotFound.
+  explicit Service(ServiceConfig Config = ServiceConfig(),
+                   mediator::Mediator *Med = nullptr);
+  ~Service();
+
+  Service(const Service &) = delete;
+  Service &operator=(const Service &) = delete;
+
+  /// Binds, listens, and starts the accept + worker threads. False with
+  /// \p Err when the address cannot be bound.
+  bool start(std::string &Err);
+
+  /// Stops accepting, closes queued and in-flight connections, joins all
+  /// threads. Idempotent; the destructor calls it.
+  void stop();
+
+  bool running() const { return Running; }
+
+  /// The bound port (useful with Port = 0).
+  uint16_t port() const { return BoundPort; }
+
+  CompileQueue &queue() { return Queue; }
+
+  /// Dispatches one protocol-v1 request exactly as POST /rpc would,
+  /// without sockets — the unit tests drive this. \p HttpStatus (optional)
+  /// receives the status the HTTP layer would answer.
+  json::Value handleRpc(const json::Value &Request,
+                        int *HttpStatus = nullptr);
+
+  /// The /healthz document.
+  json::Value health() const;
+
+private:
+  void acceptLoop();
+  void connectionLoop();
+  void serveConnection(int Fd);
+  json::Value dispatch(const mediator::Envelope &E);
+
+  ServiceConfig Config;
+  mediator::Mediator *Med;
+  CompileQueue Queue;
+
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> Stopping{false};
+
+  std::unique_ptr<support::ThreadPool> Pool;
+  std::thread AcceptThread;
+  std::thread RunnerThread; ///< Hosts Pool->parallelFor over the lanes.
+
+  mutable std::mutex ConnMutex;
+  std::condition_variable ConnReady;
+  std::deque<int> ConnQueue;
+  size_t ActiveConns = 0;
+  uint64_t AcceptedCount = 0;
+  uint64_t ShedCount = 0;
+};
+
+} // namespace service
+} // namespace lgen
+
+#endif // LGEN_SERVICE_SERVICE_H

@@ -1,6 +1,6 @@
 //===- Json.cpp - Minimal JSON value, parser, serializer -------*- C++ -*-===//
 
-#include "mediator/Json.h"
+#include "support/Json.h"
 
 #include "support/Support.h"
 

@@ -2,7 +2,7 @@
 
 #include "support/Metrics.h"
 
-#include "mediator/Json.h"
+#include "support/Json.h"
 
 #include <cstdio>
 #include <cstdlib>

@@ -2,7 +2,7 @@
 
 #include "support/Trace.h"
 
-#include "mediator/Json.h"
+#include "support/Json.h"
 #include "support/Support.h"
 
 #include <algorithm>

@@ -69,7 +69,7 @@
 #include "lgen/LGen.h"
 
 #include "cir/Passes.h"
-#include "mediator/Json.h"
+#include "support/Json.h"
 #include "runtime/PerfReport.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"

@@ -1,0 +1,174 @@
+//===- lgen-serve.cpp - The LGen compile service daemon -------------------===//
+//
+// Part of the LGen reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standalone daemon hosting the compile service (src/service/): binds an
+/// HTTP port and serves the Mediator protocol v1 — POST /rpc for job.*,
+/// compile.* and service.* methods, GET /healthz and GET /metrics for
+/// operational snapshots. A simulated device ("local") is registered with
+/// the embedded Mediator so job.* requests work out of the box; compile.*
+/// requests run through the async, batched, admission-controlled queue.
+///
+/// Prints "listening on HOST:PORT" once ready (CI and scripts wait for
+/// that line), then runs until SIGINT/SIGTERM.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "machine/Microarch.h"
+#include "mediator/Mediator.h"
+#include "service/Service.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+using namespace lgen;
+
+namespace {
+
+std::atomic<bool> StopRequested{false};
+
+void onSignal(int) { StopRequested = true; }
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --host ADDR          bind address (default 127.0.0.1)\n"
+      "  --port N             port; 0 picks an ephemeral one (default 8790)\n"
+      "  --conn-workers N     connection worker lanes (default 8)\n"
+      "  --conn-queue N       accepted-connection queue cap (default 1024)\n"
+      "  --queue-workers N    compile worker threads (default 2)\n"
+      "  --batch-max N        max requests coalesced per batch (default 32)\n"
+      "  --high-water N       queued-request admission cap (default 4096)\n"
+      "  --cache-dir DIR      persistent kernel cache ('' = in-memory)\n"
+      "  --recv-timeout-ms N  per-socket receive timeout (default 10000)\n"
+      "  --device-cores N     cores of the simulated 'local' device "
+      "(default 2)\n",
+      Argv0);
+}
+
+bool parseUnsigned(const char *S, long &Out) {
+  char *End = nullptr;
+  Out = std::strtol(S, &End, 10);
+  return End && *End == '\0' && Out >= 0;
+}
+
+/// The simulated device backing job.* requests: compiles each experiment's
+/// BLAC for the Atom model and reports model-timed cycles (the same shape
+/// the examples and tests use).
+json::Value runExperiment(const json::Value &Exp, unsigned /*Core*/) {
+  const json::Value &Cmds = Exp["execCommands"];
+  if (!Cmds.isArray() || Cmds.asArray().empty())
+    throw std::runtime_error("experiment has no execCommands");
+  compiler::Compiler C(
+      compiler::Options::builder(machine::UArch::Atom).full().build());
+  auto Compiled = C.compile(Cmds.asArray()[0].asString());
+  if (!Compiled)
+    throw std::runtime_error(Compiled.error());
+  auto CK = std::move(*Compiled);
+  auto T = CK.time(machine::Microarch::get(machine::UArch::Atom));
+  json::Object R;
+  R["cycles"] = T.Cycles;
+  R["flops"] = CK.Flops;
+  R["flopsPerCycle"] = T.Cycles > 0 ? CK.Flops / T.Cycles : 0.0;
+  return json::Value(std::move(R));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  service::ServiceConfig Config;
+  Config.Port = 8790;
+  long DeviceCores = 2;
+
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto needValue = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    long N = 0;
+    if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else if (Arg == "--host") {
+      Config.Host = needValue();
+    } else if (Arg == "--port") {
+      if (!parseUnsigned(needValue(), N) || N > 65535) {
+        std::fprintf(stderr, "bad --port\n");
+        return 2;
+      }
+      Config.Port = static_cast<uint16_t>(N);
+    } else if (Arg == "--conn-workers") {
+      if (!parseUnsigned(needValue(), N))
+        return 2;
+      Config.ConnWorkers = static_cast<unsigned>(N);
+    } else if (Arg == "--conn-queue") {
+      if (!parseUnsigned(needValue(), N))
+        return 2;
+      Config.ConnQueueMax = static_cast<size_t>(N);
+    } else if (Arg == "--queue-workers") {
+      if (!parseUnsigned(needValue(), N))
+        return 2;
+      Config.Queue.Workers = static_cast<unsigned>(N);
+    } else if (Arg == "--batch-max") {
+      if (!parseUnsigned(needValue(), N))
+        return 2;
+      Config.Queue.BatchMax = static_cast<unsigned>(N);
+    } else if (Arg == "--high-water") {
+      if (!parseUnsigned(needValue(), N))
+        return 2;
+      Config.Queue.HighWater = static_cast<size_t>(N);
+    } else if (Arg == "--cache-dir") {
+      Config.Queue.CacheDir = needValue();
+    } else if (Arg == "--recv-timeout-ms") {
+      if (!parseUnsigned(needValue(), N))
+        return 2;
+      Config.RecvTimeoutMs = static_cast<int>(N);
+    } else if (Arg == "--device-cores") {
+      if (!parseUnsigned(needValue(), N) || N < 1)
+        return 2;
+      DeviceCores = N;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+
+  mediator::Mediator Med;
+  Med.registerDevice("local", static_cast<unsigned>(DeviceCores),
+                     runExperiment);
+
+  service::Service Svc(Config, &Med);
+  std::string Err;
+  if (!Svc.start(Err)) {
+    std::fprintf(stderr, "lgen-serve: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", Config.Host.c_str(),
+              static_cast<unsigned>(Svc.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  while (!StopRequested)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::printf("shutting down\n");
+  Svc.stop();
+  return 0;
+}

@@ -15,7 +15,7 @@
 #include "../bench/Blacs.h"
 #include "../bench/Harness.h"
 
-#include "mediator/Json.h"
+#include "support/Json.h"
 
 #include <gtest/gtest.h>
 

@@ -12,8 +12,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "mediator/Json.h"
+#include "support/Json.h"
 #include "mediator/Mediator.h"
+#include "mediator/Protocol.h"
 
 #include <gtest/gtest.h>
 
@@ -274,4 +275,224 @@ TEST(Mediator, ResultsExpireFromCache) {
   Poll["jobID"] = JobId;
   Value After = parseOrDie(M.handleJobResultsRequest(Value(Poll).serialize()));
   EXPECT_EQ(After.getString("jobState"), "NOT_FOUND");
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol v1: envelope, error table, routed dispatch
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Value envelope(const std::string &Method, Value Params,
+               const std::string &Id = "", const std::string &Session = "") {
+  Object E;
+  E["v"] = static_cast<int64_t>(1);
+  E["method"] = Method;
+  if (!Id.empty())
+    E["id"] = Id;
+  if (!Session.empty())
+    E["session"] = Session;
+  if (!Params.isNull())
+    E["params"] = std::move(Params);
+  return Value(std::move(E));
+}
+
+Value submitParams(const std::string &Host, unsigned NumExps, bool Async) {
+  Value Req = parseOrDie(makeJobRequest(Host, NumExps, Async));
+  Object P;
+  P["async"] = Async;
+  P["experiments"] = Req["experiments"];
+  return Value(std::move(P));
+}
+
+} // namespace
+
+TEST(Protocol, ErrorTableIsTheSingleSource) {
+  using mediator::ErrorCode;
+  // Codes double as HTTP statuses; names are the stable wire identifiers.
+  const std::pair<ErrorCode, const char *> Expect[] = {
+      {ErrorCode::BadRequest, "BadRequest"},
+      {ErrorCode::SSHAuthenticationError, "SSHAuthenticationError"},
+      {ErrorCode::MethodNotFound, "MethodNotFound"},
+      {ErrorCode::InstructionExecutionError, "InstructionExecutionError"},
+      {ErrorCode::SSHError, "SSHError"},
+      {ErrorCode::InstructionTimeoutError, "InstructionTimeoutError"},
+      {ErrorCode::TooManyRequests, "TooManyRequests"},
+      {ErrorCode::InternalError, "InternalError"},
+      {ErrorCode::UnsupportedVersion, "UnsupportedVersion"},
+  };
+  for (const auto &[Code, Name] : Expect) {
+    EXPECT_STREQ(mediator::errorName(Code), Name);
+    EXPECT_STREQ(mediator::errorReason(Code), Name); // deprecated alias
+    EXPECT_EQ(mediator::errorHttpStatus(Code), static_cast<int>(Code));
+    ErrorCode Back;
+    ASSERT_TRUE(mediator::errorFromCode(static_cast<int64_t>(Code), Back));
+    EXPECT_EQ(Back, Code);
+  }
+  // Retryable: exactly the back-off-and-resend cases.
+  EXPECT_TRUE(mediator::errorRetryable(ErrorCode::TooManyRequests));
+  EXPECT_TRUE(mediator::errorRetryable(ErrorCode::InstructionTimeoutError));
+  EXPECT_FALSE(mediator::errorRetryable(ErrorCode::BadRequest));
+  EXPECT_FALSE(mediator::errorRetryable(ErrorCode::InternalError));
+  ErrorCode Unused;
+  EXPECT_FALSE(mediator::errorFromCode(418, Unused));
+
+  Value E = mediator::makeError(ErrorCode::TooManyRequests, "busy");
+  EXPECT_EQ(E.getNumber("code"), 429);
+  EXPECT_EQ(E.getString("name"), "TooManyRequests");
+  EXPECT_EQ(E.getString("reason"), "TooManyRequests");
+  EXPECT_EQ(E.getString("message"), "busy");
+  EXPECT_TRUE(E.getBool("retryable"));
+}
+
+TEST(Protocol, EnvelopeRoundTrip) {
+  Value Req = envelope("job.results", Value(Object{{"jobID", Value("j1")}}),
+                       "corr-7", "alice");
+  mediator::Envelope E;
+  mediator::ErrorCode Code;
+  std::string Message;
+  ASSERT_TRUE(mediator::parseEnvelope(Req, E, Code, Message)) << Message;
+  EXPECT_EQ(E.V, 1);
+  EXPECT_EQ(E.Method, "job.results");
+  EXPECT_EQ(E.Id, "corr-7");
+  EXPECT_EQ(E.Session, "alice");
+  EXPECT_EQ(E.Params.getString("jobID"), "j1");
+
+  Value Resp = mediator::makeResultResponse(E, Value(Object{}));
+  EXPECT_EQ(Resp.getNumber("v"), 1);
+  EXPECT_EQ(Resp.getString("id"), "corr-7"); // correlation id echoed
+  EXPECT_TRUE(Resp["result"].isObject());
+
+  Value ErrResp = mediator::makeErrorResponse(
+      &E, mediator::ErrorCode::MethodNotFound, "nope");
+  EXPECT_EQ(ErrResp.getString("id"), "corr-7");
+  EXPECT_EQ(ErrResp["error"].getNumber("code"), 404);
+}
+
+TEST(Protocol, RejectsBadVersionAndShape) {
+  mediator::Envelope E;
+  mediator::ErrorCode Code;
+  std::string Message;
+  // Missing v.
+  EXPECT_FALSE(mediator::parseEnvelope(
+      Value(Object{{"method", Value("x")}}), E, Code, Message));
+  EXPECT_EQ(Code, mediator::ErrorCode::BadRequest);
+  // Wrong v.
+  Object Bad;
+  Bad["v"] = static_cast<int64_t>(2);
+  Bad["method"] = "x";
+  Bad["id"] = "i-9";
+  EXPECT_FALSE(mediator::parseEnvelope(Value(Bad), E, Code, Message));
+  EXPECT_EQ(Code, mediator::ErrorCode::UnsupportedVersion);
+  EXPECT_EQ(E.Id, "i-9") << "id must be recovered even on rejection";
+  // Missing method.
+  EXPECT_FALSE(mediator::parseEnvelope(
+      Value(Object{{"v", Value(static_cast<int64_t>(1))}}), E, Code,
+      Message));
+  EXPECT_EQ(Code, mediator::ErrorCode::BadRequest);
+  // Non-object request.
+  EXPECT_FALSE(mediator::parseEnvelope(Value("hi"), E, Code, Message));
+  EXPECT_EQ(Code, mediator::ErrorCode::BadRequest);
+}
+
+TEST(MediatorProtocol, RoutedSubmitAndPoll) {
+  Mediator M;
+  M.registerDevice("dev", 1, [](const Value &Exp, unsigned) {
+    Object R;
+    R["output"] = Exp["execCommands"].asArray()[0].asString();
+    return Value(std::move(R));
+  });
+  Value Submitted = M.handle(
+      envelope("job.submit", submitParams("dev", 2, true), "c-1", "s1"));
+  EXPECT_EQ(Submitted.getNumber("v"), 1);
+  EXPECT_EQ(Submitted.getString("id"), "c-1");
+  ASSERT_TRUE(Submitted["result"].isObject());
+  EXPECT_EQ(Submitted["result"].getString("jobState"), "SUBMITTED");
+  std::string JobId = Submitted["result"].getString("jobID");
+  ASSERT_FALSE(JobId.empty());
+
+  M.drain();
+  Value Finished = M.handle(envelope(
+      "job.results", Value(Object{{"jobID", Value(JobId)}}), "c-2", "s1"));
+  ASSERT_TRUE(Finished["result"].isObject());
+  EXPECT_EQ(Finished["result"].getString("jobState"), "FINISHED");
+  EXPECT_EQ(Finished["result"]["data"].asArray().size(), 2u);
+}
+
+TEST(MediatorProtocol, UnknownMethodAndMalformedJson) {
+  Mediator M;
+  Value R1 = M.handle(envelope("job.destroy", Value(Object{}), "c-3"));
+  EXPECT_EQ(R1["error"].getNumber("code"), 404);
+  EXPECT_EQ(R1["error"].getString("name"), "MethodNotFound");
+  EXPECT_EQ(R1.getString("id"), "c-3");
+
+  Value R2 = parseOrDie(M.handle(std::string("{nope")));
+  EXPECT_EQ(R2["error"].getNumber("code"), 400);
+
+  Value R3 = M.handle(Value(Object{{"v", Value(static_cast<int64_t>(9))},
+                                   {"method", Value("job.submit")}}));
+  EXPECT_EQ(R3["error"].getNumber("code"), 505);
+  EXPECT_EQ(R3["error"].getString("name"), "UnsupportedVersion");
+}
+
+TEST(MediatorProtocol, DeprecatedShimsMatchRoutedDispatch) {
+  // The same sync job through the old per-endpoint shim and the routed
+  // envelope must produce the same result bodies (the shim adds only the
+  // legacy apiVersion wrapper).
+  Mediator M;
+  M.registerDevice("dev", 1, [](const Value &Exp, unsigned) {
+    Object R;
+    R["output"] = Exp["execCommands"].asArray()[0].asString();
+    return Value(std::move(R));
+  });
+  Value Shim =
+      parseOrDie(M.handleNewJobRequest(makeJobRequest("dev", 2, false)));
+  Value Routed =
+      M.handle(envelope("job.submit", submitParams("dev", 2, false)));
+  EXPECT_EQ(Shim.getString("apiVersion"), "1.0");
+  ASSERT_TRUE(Routed["result"]["data"].isArray());
+  EXPECT_EQ(Shim["data"].serialize(), Routed["result"]["data"].serialize());
+
+  // Error equivalence: same code and reason on both paths.
+  Value ShimErr = parseOrDie(M.handleNewJobRequest(R"({"apiVersion":"1.0"})"));
+  Value RoutedErr = M.handle(envelope("job.submit", Value(Object{})));
+  EXPECT_EQ(ShimErr["error"].getNumber("code"),
+            RoutedErr["error"].getNumber("code"));
+  EXPECT_EQ(ShimErr["error"].getString("reason"),
+            RoutedErr["error"].getString("name"));
+}
+
+TEST(MediatorProtocol, ConcurrentSessionIsolation) {
+  Mediator M;
+  M.registerDevice("dev", 2,
+                   [](const Value &, unsigned) { return Value(Object{}); });
+  constexpr int NumSessions = 6;
+  std::vector<std::string> JobIds(NumSessions);
+  std::vector<std::thread> Clients;
+  for (int I = 0; I != NumSessions; ++I)
+    Clients.emplace_back([&, I] {
+      std::string Session = "s" + std::to_string(I);
+      Value R = M.handle(
+          envelope("job.submit", submitParams("dev", 1, true), "", Session));
+      JobIds[I] = R["result"].getString("jobID");
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  M.drain();
+  for (int I = 0; I != NumSessions; ++I) {
+    ASSERT_FALSE(JobIds[I].empty());
+    Value Params(Object{{"jobID", Value(JobIds[I])}});
+    // The owner sees the finished job ...
+    Value Own = M.handle(envelope("job.results", Params, "",
+                                  "s" + std::to_string(I)));
+    EXPECT_EQ(Own["result"].getString("jobState"), "FINISHED");
+    // ... every other session (and the legacy shared session) sees nothing.
+    Value Other = M.handle(envelope(
+        "job.results", Params, "", "s" + std::to_string((I + 1) % NumSessions)));
+    EXPECT_EQ(Other["result"].getString("jobState"), "NOT_FOUND");
+    Value Legacy = parseOrDie(M.handleJobResultsRequest(
+        Value(Object{{"apiVersion", Value("1.0")}, {"jobID", Value(JobIds[I])}})
+            .serialize()));
+    EXPECT_EQ(Legacy.getString("jobState"), "NOT_FOUND");
+  }
 }

@@ -13,7 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "compiler/Compiler.h"
-#include "mediator/Json.h"
+#include "support/Json.h"
 #include "support/Metrics.h"
 
 #include "gtest/gtest.h"

@@ -18,7 +18,7 @@
 #include "TestUtil.h"
 
 #include "codegen/CUnparser.h"
-#include "mediator/Json.h"
+#include "support/Json.h"
 #include "runtime/CpuInfo.h"
 #include "runtime/Measure.h"
 #include "runtime/NativeKernel.h"

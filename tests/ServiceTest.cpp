@@ -1,0 +1,489 @@
+//===- ServiceTest.cpp - Compile service tests -----------------*- C++ -*-===//
+//
+// Part of the LGen reproduction test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the compile service (src/service/): HTTP transport, protocol
+/// routing, the async compile queue (batching, session isolation), and —
+/// the one that matters operationally — admission control: a saturated
+/// queue must answer structured retryable errors, never deadlock, and lose
+/// no accepted request.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mediator/Mediator.h"
+#include "service/Http.h"
+#include "service/Service.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+
+using namespace lgen;
+using namespace lgen::json;
+using namespace lgen::service;
+
+namespace {
+
+Value envelope(const std::string &Method, Value Params,
+               const std::string &Id = "", const std::string &Session = "") {
+  Object E;
+  E["v"] = static_cast<int64_t>(1);
+  E["method"] = Method;
+  if (!Id.empty())
+    E["id"] = Id;
+  if (!Session.empty())
+    E["session"] = Session;
+  if (!Params.isNull())
+    E["params"] = std::move(Params);
+  return Value(std::move(E));
+}
+
+Value compileParams(const std::string &Source,
+                    const std::string &Config = "LGen",
+                    bool Run = false) {
+  Object P;
+  P["source"] = Source;
+  P["target"] = "atom";
+  P["config"] = Config;
+  if (Run)
+    P["run"] = true;
+  return Value(std::move(P));
+}
+
+Value parseOrDie(const std::string &Text) {
+  Value V;
+  std::string Err;
+  if (!parse(Text, V, Err))
+    reportFatalError("bad JSON in test: " + Err + " -- " + Text);
+  return V;
+}
+
+/// A CompileFn that answers instantly with one stub result per source.
+std::vector<Value> instantCompile(const BatchKey &,
+                                  const std::vector<std::string> &Sources) {
+  std::vector<Value> Out;
+  for (const std::string &S : Sources) {
+    Object R;
+    R["supported"] = true;
+    R["echo"] = S;
+    Out.push_back(Value(std::move(R)));
+  }
+  return Out;
+}
+
+/// Starts \p Svc on an ephemeral port or fails the test.
+void startOrDie(Service &Svc) {
+  std::string Err;
+  ASSERT_TRUE(Svc.start(Err)) << Err;
+  ASSERT_NE(Svc.port(), 0);
+}
+
+/// POSTs one envelope over \p Client; fails the test on transport errors.
+HttpResponse rpc(HttpClient &Client, const Value &Request) {
+  HttpResponse Resp;
+  std::string Err;
+  if (!Client.request("POST", "/rpc", Request.serialize(), Resp, Err))
+    ADD_FAILURE() << "rpc transport failure: " << Err;
+  return Resp;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// HTTP routes
+//===----------------------------------------------------------------------===//
+
+TEST(Service, HealthMetricsAndRouting) {
+  ServiceConfig Cfg;
+  Cfg.ConnWorkers = 2;
+  Cfg.Queue.Workers = 1;
+  Cfg.Queue.CompileFn = instantCompile;
+  Service Svc(Cfg);
+  startOrDie(Svc);
+
+  HttpClient Client;
+  std::string Err;
+  ASSERT_TRUE(Client.connect("127.0.0.1", Svc.port(), Err)) << Err;
+
+  HttpResponse Resp;
+  ASSERT_TRUE(Client.request("GET", "/healthz", "", Resp, Err)) << Err;
+  EXPECT_EQ(Resp.Status, 200);
+  Value Health = parseOrDie(Resp.Body);
+  EXPECT_EQ(Health.getString("status"), "ok");
+  EXPECT_EQ(Health["queue"].getNumber("workers"), 1);
+  EXPECT_EQ(Health["queue"].getNumber("queued"), 0);
+
+  ASSERT_TRUE(Client.request("GET", "/metrics", "", Resp, Err)) << Err;
+  EXPECT_EQ(Resp.Status, 200);
+  Value Metrics = parseOrDie(Resp.Body);
+  EXPECT_TRUE(Metrics.isObject());
+
+  // Unknown path and wrong verb map through the shared error table.
+  ASSERT_TRUE(Client.request("GET", "/nope", "", Resp, Err)) << Err;
+  EXPECT_EQ(Resp.Status, 404);
+  EXPECT_EQ(parseOrDie(Resp.Body)["error"].getString("name"),
+            "MethodNotFound");
+  ASSERT_TRUE(Client.request("POST", "/healthz", "{}", Resp, Err)) << Err;
+  EXPECT_EQ(Resp.Status, 405);
+  ASSERT_TRUE(Client.request("GET", "/rpc", "", Resp, Err)) << Err;
+  EXPECT_EQ(Resp.Status, 405);
+}
+
+TEST(Service, RpcEnvelopeErrorsCarryHttpStatus) {
+  ServiceConfig Cfg;
+  Cfg.ConnWorkers = 1;
+  Cfg.Queue.Workers = 1;
+  Cfg.Queue.CompileFn = instantCompile;
+  Service Svc(Cfg);
+  startOrDie(Svc);
+
+  HttpClient Client;
+  std::string Err;
+  ASSERT_TRUE(Client.connect("127.0.0.1", Svc.port(), Err)) << Err;
+
+  HttpResponse Resp;
+  ASSERT_TRUE(Client.request("POST", "/rpc", "{not json", Resp, Err)) << Err;
+  EXPECT_EQ(Resp.Status, 400);
+  EXPECT_EQ(parseOrDie(Resp.Body)["error"].getNumber("code"), 400);
+
+  Resp = rpc(Client, Value(Object{{"v", Value(static_cast<int64_t>(3))},
+                                  {"method", Value("compile.submit")},
+                                  {"id", Value("x-1")}}));
+  EXPECT_EQ(Resp.Status, 505);
+  Value Body = parseOrDie(Resp.Body);
+  EXPECT_EQ(Body["error"].getString("name"), "UnsupportedVersion");
+  EXPECT_EQ(Body.getString("id"), "x-1");
+
+  Resp = rpc(Client, envelope("compile.destroy", Value(Object{})));
+  EXPECT_EQ(Resp.Status, 404);
+  EXPECT_EQ(parseOrDie(Resp.Body)["error"].getString("name"),
+            "MethodNotFound");
+
+  // job.* without a mediator attached.
+  Resp = rpc(Client, envelope("job.submit", Value(Object{})));
+  EXPECT_EQ(Resp.Status, 404);
+
+  // Malformed params.
+  Resp = rpc(Client, envelope("compile.submit", Value(Object{})));
+  EXPECT_EQ(Resp.Status, 400);
+  EXPECT_EQ(parseOrDie(Resp.Body)["error"].getString("name"), "BadRequest");
+  Resp = rpc(Client,
+             envelope("compile.submit", compileParams("Vector x(4);", "???")));
+  EXPECT_EQ(Resp.Status, 400);
+}
+
+TEST(Service, JobMethodsForwardToMediator) {
+  mediator::Mediator Med;
+  Med.registerDevice("sim", 1, [](const Value &Exp, unsigned) {
+    Object R;
+    R["output"] = Exp["execCommands"].asArray()[0].asString();
+    return Value(std::move(R));
+  });
+  ServiceConfig Cfg;
+  Cfg.ConnWorkers = 1;
+  Cfg.Queue.Workers = 1;
+  Cfg.Queue.CompileFn = instantCompile;
+  Service Svc(Cfg, &Med);
+  startOrDie(Svc);
+
+  HttpClient Client;
+  std::string Err;
+  ASSERT_TRUE(Client.connect("127.0.0.1", Svc.port(), Err)) << Err;
+
+  Object Dev;
+  Dev["hostname"] = "sim";
+  Object Exp;
+  Exp["device"] = Value(std::move(Dev));
+  Exp["execCommands"] = Value(Array{Value("./run")});
+  Object P;
+  P["async"] = false;
+  P["experiments"] = Value(Array{Value(std::move(Exp))});
+  HttpResponse Resp =
+      rpc(Client, envelope("job.submit", Value(std::move(P)), "j-1"));
+  EXPECT_EQ(Resp.Status, 200);
+  Value Body = parseOrDie(Resp.Body);
+  EXPECT_EQ(Body.getString("id"), "j-1");
+  ASSERT_TRUE(Body["result"]["data"].isArray());
+  EXPECT_EQ(Body["result"]["data"].asArray()[0].getString("output"), "./run");
+}
+
+//===----------------------------------------------------------------------===//
+// Compile queue behaviour over the wire
+//===----------------------------------------------------------------------===//
+
+TEST(Service, CompileSubmitPollRunRealKernel) {
+  ServiceConfig Cfg;
+  Cfg.ConnWorkers = 2;
+  Cfg.Queue.Workers = 1;
+  Service Svc(Cfg);
+  startOrDie(Svc);
+
+  HttpClient Client;
+  std::string Err;
+  ASSERT_TRUE(Client.connect("127.0.0.1", Svc.port(), Err)) << Err;
+
+  HttpResponse Resp = rpc(
+      Client,
+      envelope("compile.submit",
+               compileParams(
+                   "Vector x(8); Vector y(8); Scalar a; y = a*x + y;", "LGen",
+                   /*Run=*/true),
+               "r-1", "tester"));
+  ASSERT_EQ(Resp.Status, 200) << Resp.Body;
+  Value Submitted = parseOrDie(Resp.Body);
+  std::string JobId = Submitted["result"].getString("jobID");
+  ASSERT_FALSE(JobId.empty());
+  EXPECT_EQ(Submitted["result"].getString("jobState"), "QUEUED");
+
+  Svc.queue().drain();
+  Resp = rpc(Client,
+             envelope("compile.result",
+                      Value(Object{{"jobID", Value(JobId)}}), "r-2",
+                      "tester"));
+  ASSERT_EQ(Resp.Status, 200) << Resp.Body;
+  Value Finished = parseOrDie(Resp.Body);
+  ASSERT_EQ(Finished["result"].getString("jobState"), "FINISHED")
+      << Resp.Body;
+  const Value &R = Finished["result"]["result"];
+  EXPECT_TRUE(R.getBool("supported"));
+  EXPECT_GT(R.getNumber("flops"), 0.0);
+  EXPECT_GT(R.getNumber("cycles"), 0.0);
+  EXPECT_TRUE(R.getBool("ran"));
+  EXPECT_TRUE(R["checksum"].isNumber());
+}
+
+TEST(Service, SessionIsolationAcrossCompileJobs) {
+  ServiceConfig Cfg;
+  Cfg.Queue.Workers = 1;
+  Cfg.Queue.CompileFn = instantCompile;
+  Service Svc(Cfg);
+  // No sockets needed: handleRpc is the exact /rpc dispatch.
+  Value A = Svc.handleRpc(
+      envelope("compile.submit", compileParams("src-a"), "", "alice"));
+  Value B = Svc.handleRpc(
+      envelope("compile.submit", compileParams("src-b"), "", "bob"));
+  std::string JobA = A["result"].getString("jobID");
+  std::string JobB = B["result"].getString("jobID");
+  ASSERT_FALSE(JobA.empty());
+  ASSERT_FALSE(JobB.empty());
+  Svc.queue().drain();
+
+  Value Own = Svc.handleRpc(envelope(
+      "compile.result", Value(Object{{"jobID", Value(JobA)}}), "", "alice"));
+  EXPECT_EQ(Own["result"].getString("jobState"), "FINISHED");
+  EXPECT_EQ(Own["result"]["result"].getString("echo"), "src-a");
+
+  int Status = 0;
+  Value Cross = Svc.handleRpc(
+      envelope("compile.result", Value(Object{{"jobID", Value(JobA)}}), "",
+               "bob"),
+      &Status);
+  EXPECT_EQ(Status, 200);
+  EXPECT_EQ(Cross["result"].getString("jobState"), "NOT_FOUND");
+
+  Value Jobs =
+      Svc.handleRpc(envelope("compile.jobs", Value(Object{}), "", "bob"));
+  const Array &List = Jobs["result"]["jobs"].asArray();
+  ASSERT_EQ(List.size(), 1u);
+  EXPECT_EQ(List[0].getString("jobID"), JobB);
+}
+
+TEST(Service, BatchingCoalescesSameKeyRequests) {
+  std::mutex GateMutex;
+  std::condition_variable GateCv;
+  bool GateOpen = false;
+  std::vector<size_t> BatchSizes;
+
+  ServiceConfig Cfg;
+  Cfg.Queue.Workers = 1;
+  Cfg.Queue.BatchMax = 16;
+  Cfg.Queue.CompileFn = [&](const BatchKey &K,
+                            const std::vector<std::string> &Sources) {
+    {
+      std::unique_lock<std::mutex> Lock(GateMutex);
+      GateCv.wait(Lock, [&] { return GateOpen; });
+      BatchSizes.push_back(Sources.size());
+    }
+    return instantCompile(K, Sources);
+  };
+  Service Svc(Cfg);
+
+  // First submit occupies the single worker (blocked on the gate); the
+  // next nine coalesce into one batch once it frees up.
+  for (int I = 0; I != 10; ++I)
+    Svc.handleRpc(envelope("compile.submit",
+                           compileParams("src" + std::to_string(I)), "", "s"));
+  {
+    std::lock_guard<std::mutex> Lock(GateMutex);
+    GateOpen = true;
+  }
+  GateCv.notify_all();
+  Svc.queue().drain();
+
+  size_t Total = 0;
+  size_t Largest = 0;
+  {
+    std::lock_guard<std::mutex> Lock(GateMutex);
+    for (size_t S : BatchSizes) {
+      Total += S;
+      Largest = std::max(Largest, S);
+    }
+  }
+  EXPECT_EQ(Total, 10u) << "requests lost or duplicated";
+  EXPECT_GT(Largest, 1u) << "no coalescing happened";
+}
+
+//===----------------------------------------------------------------------===//
+// Saturation: the acceptance-criteria test
+//===----------------------------------------------------------------------===//
+
+TEST(Service, SaturatedQueueRejectsRetryableWithoutDeadlock) {
+  std::mutex GateMutex;
+  std::condition_variable GateCv;
+  bool GateOpen = false;
+
+  ServiceConfig Cfg;
+  Cfg.ConnWorkers = 2;
+  Cfg.Queue.Workers = 1;
+  Cfg.Queue.BatchMax = 1; // one job per batch so the worker stays busy
+  Cfg.Queue.HighWater = 4;
+  Cfg.Queue.CompileFn = [&](const BatchKey &K,
+                            const std::vector<std::string> &Sources) {
+    std::unique_lock<std::mutex> Lock(GateMutex);
+    GateCv.wait(Lock, [&] { return GateOpen; });
+    return instantCompile(K, Sources);
+  };
+  Service Svc(Cfg);
+  startOrDie(Svc);
+
+  HttpClient Client;
+  std::string Err;
+  ASSERT_TRUE(Client.connect("127.0.0.1", Svc.port(), Err)) << Err;
+
+  // One job occupies the worker (blocked on the gate) ...
+  HttpResponse Resp =
+      rpc(Client, envelope("compile.submit", compileParams("busy"), "", "s"));
+  ASSERT_EQ(Resp.Status, 200) << Resp.Body;
+  for (int Spin = 0; Svc.queue().stats().Compiling == 0 && Spin < 500; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(Svc.queue().stats().Compiling, 1u);
+
+  // ... HighWater more fill the queue ...
+  std::vector<std::string> Accepted;
+  for (size_t I = 0; I != Cfg.Queue.HighWater; ++I) {
+    Resp = rpc(Client, envelope("compile.submit",
+                                compileParams("q" + std::to_string(I)), "",
+                                "s"));
+    ASSERT_EQ(Resp.Status, 200) << Resp.Body;
+    Accepted.push_back(
+        parseOrDie(Resp.Body)["result"].getString("jobID"));
+  }
+
+  // ... and the next submit is shed: HTTP 429, structured, retryable.
+  Resp = rpc(Client, envelope("compile.submit", compileParams("overflow"),
+                              "over-1", "s"));
+  EXPECT_EQ(Resp.Status, 429);
+  Value Rejected = parseOrDie(Resp.Body);
+  EXPECT_EQ(Rejected.getString("id"), "over-1");
+  EXPECT_EQ(Rejected["error"].getNumber("code"), 429);
+  EXPECT_EQ(Rejected["error"].getString("name"), "TooManyRequests");
+  EXPECT_TRUE(Rejected["error"].getBool("retryable"));
+
+  // Health reflects saturation; reads still answer while the queue is full
+  // (no deadlock between admission control and the connection workers).
+  ASSERT_TRUE(Client.request("GET", "/healthz", "", Resp, Err)) << Err;
+  EXPECT_EQ(Resp.Status, 200);
+  Value Health = parseOrDie(Resp.Body);
+  EXPECT_EQ(Health.getString("status"), "saturated");
+  EXPECT_GE(Health["queue"].getNumber("rejected"), 1);
+
+  // Release the gate: every accepted job must finish — no request loss.
+  {
+    std::lock_guard<std::mutex> Lock(GateMutex);
+    GateOpen = true;
+  }
+  GateCv.notify_all();
+  Svc.queue().drain();
+  for (const std::string &JobId : Accepted) {
+    Resp = rpc(Client,
+               envelope("compile.result",
+                        Value(Object{{"jobID", Value(JobId)}}), "", "s"));
+    ASSERT_EQ(Resp.Status, 200);
+    EXPECT_EQ(parseOrDie(Resp.Body)["result"].getString("jobState"),
+              "FINISHED");
+  }
+
+  // And the queue accepts new work again.
+  Resp = rpc(Client,
+             envelope("compile.submit", compileParams("after"), "", "s"));
+  EXPECT_EQ(Resp.Status, 200) << Resp.Body;
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency over keep-alive connections
+//===----------------------------------------------------------------------===//
+
+TEST(Service, ConcurrentKeepAliveClients) {
+  ServiceConfig Cfg;
+  Cfg.ConnWorkers = 4;
+  Cfg.Queue.Workers = 2;
+  Cfg.Queue.CompileFn = instantCompile;
+  Service Svc(Cfg);
+  startOrDie(Svc);
+
+  constexpr int NumClients = 8;
+  constexpr int PerClient = 25;
+  std::atomic<int> Failures{0};
+  std::mutex IdsMutex;
+  std::set<std::string> JobIds;
+
+  std::vector<std::thread> Clients;
+  for (int C = 0; C != NumClients; ++C)
+    Clients.emplace_back([&, C] {
+      HttpClient Client;
+      std::string Err;
+      if (!Client.connect("127.0.0.1", Svc.port(), Err)) {
+        ++Failures;
+        return;
+      }
+      std::string Session = "client" + std::to_string(C);
+      for (int I = 0; I != PerClient; ++I) {
+        HttpResponse Resp;
+        if (!Client.request(
+                "POST", "/rpc",
+                envelope("compile.submit",
+                         compileParams("src" + std::to_string(I)), "",
+                         Session)
+                    .serialize(),
+                Resp, Err) ||
+            Resp.Status != 200) {
+          ++Failures;
+          return;
+        }
+        std::string JobId =
+            parseOrDie(Resp.Body)["result"].getString("jobID");
+        std::lock_guard<std::mutex> Lock(IdsMutex);
+        JobIds.insert(JobId);
+      }
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  ASSERT_EQ(Failures.load(), 0);
+  EXPECT_EQ(JobIds.size(), static_cast<size_t>(NumClients * PerClient))
+      << "job ids must be unique across sessions";
+
+  Svc.queue().drain();
+  CompileQueue::Stats S = Svc.queue().stats();
+  EXPECT_EQ(S.Submitted, static_cast<uint64_t>(NumClients * PerClient));
+  EXPECT_EQ(S.Finished, static_cast<size_t>(NumClients * PerClient));
+  EXPECT_EQ(S.Rejected, 0u);
+}

@@ -15,7 +15,7 @@
 
 #include "lgen/LGen.h"
 
-#include "mediator/Json.h"
+#include "support/Json.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Bounded load burst against a running lgen-serve instance.
+
+Usage:
+    service_burst.py --url http://127.0.0.1:8790 [--requests 40] [--run]
+
+Submits --requests compile.submit envelopes (protocol v1) over a rotating
+set of small BLACs, then polls every job to FINISHED and checks the result
+object. Session-scoped ("ci-burst"), so a shared server is not polluted.
+Also exercises /healthz and one job.* request when --mediator is passed.
+
+This is the CI smoke driver — deliberately plain urllib, no concurrency:
+the throughput numbers come from bench/mediator_throughput, this script
+only proves the daemon serves the protocol end to end without losing
+requests.
+
+Exit status: 0 all jobs finished, 1 loss/protocol violation, 2 usage/fetch.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+
+SESSION = "ci-burst"
+
+SOURCES = [
+    "Vector x(8); Vector y(8); Scalar a; y = a*x + y;",
+    "Matrix A(4, 8); Vector x(8); Vector y(4); y = A*x;",
+    "Matrix A(4, 4); Matrix B(4, 4); Matrix C(4, 4); C = A*B;",
+    "Vector x(12); Vector y(12); y = x + y;",
+]
+
+
+def rpc(url, method, params, timeout):
+    req = {"v": 1, "method": method, "session": SESSION, "params": params}
+    data = json.dumps(req).encode()
+    try:
+        r = urllib.request.urlopen(
+            urllib.request.Request(url + "/rpc", data=data,
+                                   headers={"Content-Type":
+                                            "application/json"}),
+            timeout=timeout)
+        return r.status, json.load(r)
+    except urllib.error.HTTPError as e:
+        return e.code, json.load(e)
+    except Exception as e:  # noqa: BLE001
+        sys.exit("error: %s %s failed: %s" % (method, url, e))
+
+
+def fail(msg):
+    print("FAIL: " + msg)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description="bounded compile-service burst")
+    ap.add_argument("--url", required=True, help="http://host:port")
+    ap.add_argument("--requests", type=int, default=40)
+    ap.add_argument("--run", action="store_true",
+                    help="request simulated execution (compile+run)")
+    ap.add_argument("--mediator", action="store_true",
+                    help="also drive one job.submit on the 'local' device")
+    ap.add_argument("--timeout", type=float, default=30.0)
+    ap.add_argument("--poll-timeout", type=float, default=120.0,
+                    help="seconds to wait for all jobs to finish")
+    args = ap.parse_args()
+
+    try:
+        health = json.load(urllib.request.urlopen(args.url + "/healthz",
+                                                  timeout=args.timeout))
+    except Exception as e:  # noqa: BLE001
+        sys.exit("error: cannot fetch /healthz: %s" % e)
+    if health.get("status") not in ("ok", "saturated"):
+        fail("unexpected /healthz status %r" % health.get("status"))
+
+    jobs = []
+    for i in range(args.requests):
+        params = {"source": SOURCES[i % len(SOURCES)], "target": "atom",
+                  "config": "LGen"}
+        if args.run:
+            params["run"] = True
+        status, resp = rpc(args.url, "compile.submit", params, args.timeout)
+        if status == 429:
+            if not resp["error"].get("retryable"):
+                fail("429 without retryable:true")
+            time.sleep(0.05)
+            continue
+        if status != 200:
+            fail("submit %d answered %d: %s" % (i, status, resp))
+        job = resp.get("result", {})
+        if job.get("jobState") != "QUEUED" or not job.get("jobID"):
+            fail("bad submit result: %s" % job)
+        jobs.append(job["jobID"])
+
+    deadline = time.monotonic() + args.poll_timeout
+    finished = 0
+    for job_id in jobs:
+        while True:
+            status, resp = rpc(args.url, "compile.result",
+                               {"jobID": job_id}, args.timeout)
+            if status != 200:
+                fail("poll %s answered %d: %s" % (job_id, status, resp))
+            state = resp["result"].get("jobState")
+            if state == "FINISHED":
+                result = resp["result"].get("result", {})
+                if "error" in result:
+                    fail("job %s failed: %s" % (job_id, result["error"]))
+                if not result.get("supported"):
+                    fail("job %s not supported: %s" % (job_id, result))
+                if args.run and "checksum" not in result:
+                    fail("job %s ran without a checksum" % job_id)
+                finished += 1
+                break
+            if state == "NOT_FOUND":
+                fail("job %s vanished (request loss)" % job_id)
+            if time.monotonic() > deadline:
+                fail("timed out with job %s in state %s" % (job_id, state))
+            time.sleep(0.02)
+
+    if args.mediator:
+        status, resp = rpc(args.url, "job.submit", {
+            "async": False,
+            "experiments": [{"device": {"hostname": "local"},
+                             "execCommands": [SOURCES[0]]}],
+        }, args.timeout)
+        if status != 200 or "data" not in resp.get("result", {}):
+            fail("job.submit through the service failed: %d %s"
+                 % (status, resp))
+
+    print("burst ok: %d submitted, %d finished, 0 lost"
+          % (len(jobs), finished))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

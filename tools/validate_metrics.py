@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Validate a support::Metrics snapshot (GET /metrics of the compile service).
+
+Usage:
+    validate_metrics.py --url http://127.0.0.1:8790/metrics [options]
+    validate_metrics.py --file metrics.json [options]
+
+Checks, in order:
+  * schema: version 1 with "counters"/"gauges"/"histograms" objects;
+    counters are non-negative integers, gauges integers, every histogram
+    carries len(bounds)+1 buckets whose counts sum to its "count";
+  * service invariants (--require-service): the compile-service counters
+    exist and are coherent after a load burst — requests were served,
+    accepted submits were all completed (no request loss), rejections only
+    ever happen alongside a configured queue, and the compile-latency
+    histogram observed every completed job.
+
+Pass --min-requests / --min-submitted to assert the burst actually hit the
+server (defaults 1, i.e. "anything arrived").
+
+Exit status: 0 valid, 1 violation, 2 usage/fetch error.
+"""
+
+import argparse
+import json
+import sys
+import urllib.request
+
+
+def fail(msg):
+    print("INVALID: " + msg)
+    sys.exit(1)
+
+
+def load(args):
+    if args.url:
+        try:
+            with urllib.request.urlopen(args.url, timeout=args.timeout) as r:
+                return json.load(r)
+        except Exception as e:  # noqa: BLE001 - report any fetch failure
+            sys.exit("error: cannot fetch %s: %s" % (args.url, e))
+    try:
+        with open(args.file) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit("error: cannot read %s: %s" % (args.file, e))
+
+
+def check_schema(snap):
+    if not isinstance(snap, dict):
+        fail("snapshot is not an object")
+    if snap.get("version") != 1:
+        fail("version must be 1, got %r" % snap.get("version"))
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(snap.get(section), dict):
+            fail("missing or non-object %r section" % section)
+    for name, v in snap["counters"].items():
+        if not isinstance(v, (int, float)) or v < 0 or int(v) != v:
+            fail("counter %r is not a non-negative integer: %r" % (name, v))
+    for name, v in snap["gauges"].items():
+        if not isinstance(v, (int, float)) or int(v) != v:
+            fail("gauge %r is not an integer: %r" % (name, v))
+    for name, h in snap["histograms"].items():
+        if not isinstance(h, dict):
+            fail("histogram %r is not an object" % name)
+        bounds = h.get("bounds")
+        counts = h.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            fail("histogram %r lacks bounds/counts arrays" % name)
+        if len(counts) != len(bounds) + 1:
+            fail("histogram %r has %d buckets for %d bounds "
+                 "(want bounds+1)" % (name, len(counts), len(bounds)))
+        if sorted(bounds) != bounds:
+            fail("histogram %r bounds are not sorted" % name)
+        if sum(counts) != h.get("count"):
+            fail("histogram %r bucket counts sum to %d but count says %r"
+                 % (name, sum(counts), h.get("count")))
+
+
+def check_service(snap, args):
+    counters = snap["counters"]
+    gauges = snap["gauges"]
+    hists = snap["histograms"]
+
+    def counter(name):
+        if name not in counters:
+            fail("service counter %r missing" % name)
+        return counters[name]
+
+    requests = counter("service.http.requests")
+    accepted = counter("service.conn.accepted")
+    submitted = counter("service.queue.submitted")
+    completed = counter("service.queue.completed")
+    rejected = counter("service.queue.rejected")
+
+    if requests < args.min_requests:
+        fail("service.http.requests = %d below floor %d"
+             % (requests, args.min_requests))
+    if submitted < args.min_submitted:
+        fail("service.queue.submitted = %d below floor %d"
+             % (submitted, args.min_submitted))
+    if accepted < 1:
+        fail("no connection was ever accepted")
+
+    # No request loss: with the queue drained (the CI lane polls every job
+    # to FINISHED before scraping), every accepted submit completed.
+    depth = gauges.get("service.queue.depth", 0)
+    if args.drained:
+        if completed != submitted:
+            fail("queue drained but completed (%d) != submitted (%d) — "
+                 "requests were lost" % (completed, submitted))
+        if depth != 0:
+            fail("queue drained but service.queue.depth = %d" % depth)
+    elif completed > submitted:
+        fail("completed (%d) exceeds submitted (%d)" % (completed, submitted))
+
+    lat = hists.get("service.compile.latency.us")
+    if lat is None:
+        fail("service.compile.latency.us histogram missing")
+    if args.drained and lat["count"] != completed:
+        fail("latency histogram observed %d jobs but %d completed"
+             % (lat["count"], completed))
+
+    batch = hists.get("service.compile.batch.size")
+    if batch is None:
+        fail("service.compile.batch.size histogram missing")
+
+    if rejected and not args.allow_rejections:
+        fail("service.queue.rejected = %d but the lane expected none "
+             "(pass --allow-rejections for saturation bursts)" % rejected)
+
+    print("service metrics ok: %d http requests, %d submitted, "
+          "%d completed, %d rejected, depth %d"
+          % (requests, submitted, completed, rejected, depth))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="validate a support::Metrics snapshot")
+    src = ap.add_mutually_exclusive_group(required=True)
+    src.add_argument("--url", help="GET this /metrics endpoint")
+    src.add_argument("--file", help="read the snapshot from a file")
+    ap.add_argument("--timeout", type=float, default=10.0,
+                    help="fetch timeout in seconds (default 10)")
+    ap.add_argument("--require-service", action="store_true",
+                    help="also check the compile-service invariants")
+    ap.add_argument("--min-requests", type=int, default=1,
+                    help="floor on service.http.requests (default 1)")
+    ap.add_argument("--min-submitted", type=int, default=1,
+                    help="floor on service.queue.submitted (default 1)")
+    ap.add_argument("--drained", action="store_true",
+                    help="the queue was drained before scraping: assert "
+                         "completed == submitted and depth == 0")
+    ap.add_argument("--allow-rejections", action="store_true",
+                    help="tolerate non-zero service.queue.rejected")
+    args = ap.parse_args()
+
+    snap = load(args)
+    check_schema(snap)
+    if args.require_service:
+        check_service(snap, args)
+    else:
+        print("metrics snapshot ok: %d counters, %d gauges, %d histograms"
+              % (len(snap["counters"]), len(snap["gauges"]),
+                 len(snap["histograms"])))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
