@@ -1,0 +1,281 @@
+//===- dispatch_hot.cpp - Warm-cache dispatch overhead microbench ---------===//
+//
+// The steady state of the compile service is cache-hit → execute: the
+// kernel was compiled long ago, its .so is dlopen'd with lgen_native_entry
+// pre-resolved in the cache entry, and all a request has to do is find it
+// and call it. This bench measures exactly that request→kernel-entry
+// overhead on a warm sharded KernelCache, for three nested slices:
+//
+//   lookup.kernel    fingerprint + in-memory LRU hit (shared, no clone)
+//   dispatch.native  fingerprint + pre-resolved native handle + zero-copy
+//                    argv construction — everything *up to* the entry call
+//   dispatch.execute the same, plus the entry call itself (the kernel runs)
+//
+// Reported medians are ns per dispatch over repeated timing windows and
+// exported as BENCH_dispatch.json under the schema-v1 regression gate. The
+// bench also self-gates: dispatch.native must stay under a budget
+// (LGEN_DISPATCH_BUDGET_NS, default 1000 ns = the sub-microsecond target;
+// 0 disables). Hosts without the target ISA or a toolchain emit
+// supported:false rows and pass vacuously — the lookup rows still run,
+// they need neither.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+#include "compiler/Compiler.h"
+#include "compiler/KernelCache.h"
+#include "ll/Parser.h"
+#include "machine/Executor.h"
+#include "runtime/CpuInfo.h"
+#include "runtime/NativeKernel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace lgen;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double nsSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - T0).count();
+}
+
+struct Case {
+  const char *Name;
+  const char *Source;
+};
+
+const Case Cases[] = {
+    {"axpy8", "Vector x(8); Vector y(8); Scalar a; y = a*x + y;"},
+    {"mvm4x4", "Matrix A(4, 4); Vector x(4); Vector y(4); y = A*x;"},
+    {"mmm4x4",
+     "Matrix A(4, 4); Matrix B(4, 4); Matrix C(4, 4); C = A*B;"},
+};
+
+/// Median/quartiles over per-window averages: \p WindowNs[i] is the total
+/// ns of one window of \p Iters dispatches.
+struct Stat {
+  double Median, Q1, Q3;
+};
+
+Stat stat(std::vector<double> WindowNs, unsigned Iters) {
+  for (double &W : WindowNs)
+    W /= Iters;
+  std::sort(WindowNs.begin(), WindowNs.end());
+  size_t N = WindowNs.size();
+  return {WindowNs[N / 2], WindowNs[N / 4], WindowNs[(3 * N) / 4]};
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  unsigned Windows = 15, Iters = 4000;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--json")
+      JsonPath = next();
+    else if (Arg == "--windows")
+      Windows = std::max(3, std::atoi(next()));
+    else if (Arg == "--iters")
+      Iters = std::max(100, std::atoi(next()));
+    else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--windows N] "
+                           "[--iters N]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+  if (JsonPath.empty()) {
+    std::string Dir = bench::benchJsonDir();
+    if (!Dir.empty())
+      JsonPath = Dir + "/BENCH_dispatch.json";
+  }
+
+  double BudgetNs = 1000.0;
+  if (const char *Env = std::getenv("LGEN_DISPATCH_BUDGET_NS"))
+    BudgetNs = std::atof(Env);
+
+  compiler::Options Opts =
+      compiler::Options::builder(machine::UArch::Atom).full().build();
+  Opts.SearchSamples = 2; // warm-up compiles should be quick
+  compiler::Compiler C(Opts);
+  auto Cache = std::make_shared<compiler::KernelCache>("", /*MaxKernels=*/64,
+                                                       /*Shards=*/4);
+  C.setKernelCache(Cache);
+
+  bench::BenchReport Report;
+  Report.Bench = "dispatch_hot";
+  Report.Target = "atom";
+  Report.Host = runtime::CpuInfo::host().str();
+  Report.Counter = "steady-clock";
+  Report.Unit = "ns";
+  Report.GitSha = bench::currentGitSha();
+
+  std::printf("== warm-cache dispatch overhead (ns per dispatch) ==\n");
+  std::printf("%-10s %-18s %10s %10s %10s\n", "kernel", "slice", "median",
+              "q1", "q3");
+
+  bool BudgetBlown = false;
+  for (const Case &K : Cases) {
+    // Warm the cache: one full compile populates the kernel + plan tiers.
+    ll::Program P = ll::parseProgramOrDie(K.Source);
+    const std::string Canonical = P.str();
+    compiler::CompiledKernel CK = C.compile(P);
+    uint64_t Key = compiler::KernelCache::fingerprint(Canonical, Opts);
+    std::shared_ptr<const compiler::CompiledKernel> Hit =
+        Cache->lookupKernel(Key);
+    if (!Hit) {
+      std::fprintf(stderr, "FAIL: %s did not land in the cache\n", K.Name);
+      return 1;
+    }
+
+    auto Row = [&](const std::string &Slice, Stat S, double Flops) {
+      bench::BenchResult R;
+      R.Kernel = std::string(K.Name) + "." + Slice;
+      R.Size = static_cast<int64_t>(Iters);
+      R.CyclesMedian = S.Median;
+      R.CyclesQ1 = S.Q1;
+      R.CyclesQ3 = S.Q3;
+      R.Flops = Flops;
+      Report.Results.push_back(std::move(R));
+      std::printf("%-10s %-18s %10.1f %10.1f %10.1f\n", K.Name,
+                  Slice.c_str(), S.Median, S.Q1, S.Q3);
+    };
+
+    // Slice 1: fingerprint + sharded LRU hit. The volatile sink keeps the
+    // loop from folding away.
+    {
+      std::vector<double> W(Windows);
+      const void *volatile Sink = nullptr;
+      for (unsigned R = 0; R != Windows; ++R) {
+        auto T0 = Clock::now();
+        for (unsigned I = 0; I != Iters; ++I) {
+          uint64_t FP =
+              compiler::KernelCache::fingerprint(Canonical, Opts);
+          Sink = Cache->lookupKernel(FP).get();
+        }
+        W[R] = nsSince(T0);
+      }
+      (void)Sink;
+      Row("lookup.kernel", stat(W, Iters), CK.Flops);
+    }
+
+    // Slices 2+3 need the pre-resolved native handle.
+    auto Native = runtime::NativeKernel::acquire(Cache.get(), Key, *Hit);
+    if (!Native) {
+      bench::BenchResult R;
+      R.Kernel = std::string(K.Name) + ".dispatch.native";
+      R.Size = static_cast<int64_t>(Iters);
+      R.Supported = false;
+      R.Reason = Native.error();
+      Report.Results.push_back(R);
+      R.Kernel = std::string(K.Name) + ".dispatch.execute";
+      Report.Results.push_back(std::move(R));
+      std::printf("%-10s %-18s skipped: %s\n", K.Name, "dispatch.*",
+                  Native.error().c_str());
+      continue;
+    }
+    const runtime::NativeKernel &NK = **Native;
+
+    // Parameter buffers sized for zero-copy eligibility: aligned bases
+    // (malloc is 16-byte aligned, enough for SSSE3's ν=4) plus ν elements
+    // of tail headroom.
+    std::vector<machine::Buffer> Store;
+    std::vector<machine::Buffer *> Params;
+    for (const runtime::NativeParam &NP : NK.params()) {
+      Store.emplace_back(static_cast<size_t>(NP.NumElements) + NK.nu(),
+                        1.0f);
+      }
+    for (machine::Buffer &B : Store)
+      Params.push_back(&B);
+
+    // Slice 2: everything up to the entry call — fingerprint, native
+    // handle hit, zero-copy argv. This is the "request→kernel-entry
+    // overhead" the sub-microsecond target gates.
+    Stat NativeStat;
+    {
+      std::vector<double> W(Windows);
+      const void *volatile Sink = nullptr;
+      for (unsigned R = 0; R != Windows; ++R) {
+        auto T0 = Clock::now();
+        for (unsigned I = 0; I != Iters; ++I) {
+          uint64_t FP =
+              compiler::KernelCache::fingerprint(Canonical, Opts);
+          std::shared_ptr<const void> H = Cache->lookupNative(FP);
+          const auto *NKHit =
+              static_cast<const runtime::NativeKernel *>(H.get());
+          runtime::ArgPack Args(*NKHit, Params,
+                                runtime::Marshal::ZeroCopy);
+          Sink = Args.argv();
+        }
+        W[R] = nsSince(T0);
+      }
+      (void)Sink;
+      NativeStat = stat(W, Iters);
+      Row("dispatch.native", NativeStat, CK.Flops);
+    }
+
+    // Slice 3: the full warm dispatch, entry call included.
+    {
+      std::vector<double> W(Windows);
+      for (unsigned R = 0; R != Windows; ++R) {
+        auto T0 = Clock::now();
+        for (unsigned I = 0; I != Iters; ++I) {
+          uint64_t FP =
+              compiler::KernelCache::fingerprint(Canonical, Opts);
+          std::shared_ptr<const void> H = Cache->lookupNative(FP);
+          const auto *NKHit =
+              static_cast<const runtime::NativeKernel *>(H.get());
+          runtime::ArgPack Args(*NKHit, Params,
+                                runtime::Marshal::ZeroCopy);
+          NKHit->entry()(Args.argv());
+          Args.copyBack();
+        }
+        W[R] = nsSince(T0);
+      }
+      Row("dispatch.execute", stat(W, Iters), CK.Flops);
+    }
+
+    // Sanity: the fast path really was zero-copy for these buffers.
+    runtime::ArgPack Probe(NK, Params, runtime::Marshal::ZeroCopy);
+    if (Probe.numDirect() != Params.size())
+      std::printf("note: %s marshaled %zu of %zu params by copy "
+                  "(allocator alignment)\n",
+                  K.Name, Params.size() - Probe.numDirect(), Params.size());
+
+    if (BudgetNs > 0 && NativeStat.Median >= BudgetNs) {
+      std::fprintf(stderr,
+                   "FAIL: %s dispatch.native median %.1f ns breaches the "
+                   "%.0f ns budget\n",
+                   K.Name, NativeStat.Median, BudgetNs);
+      BudgetBlown = true;
+    }
+  }
+
+  if (!JsonPath.empty()) {
+    std::string WErr;
+    if (!Report.writeFile(JsonPath, WErr)) {
+      std::fprintf(stderr, "cannot write %s: %s\n", JsonPath.c_str(),
+                   WErr.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", JsonPath.c_str());
+  }
+  return BudgetBlown ? 1 : 0;
+}

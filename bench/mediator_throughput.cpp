@@ -124,6 +124,7 @@ Value envelope(const std::string &Method, Value Params,
 struct ClientResult {
   std::vector<double> SubmitNs; ///< Per-submit HTTP round-trip latency.
   std::vector<double> PollNs;   ///< Per-poll HTTP round-trip latency.
+  std::vector<double> WarmNs;   ///< Warm-cache submit→FINISHED latency.
   std::vector<std::string> JobIds;
   uint64_t Rejected = 0; ///< 429s absorbed by backoff-and-retry.
   uint64_t Lost = 0;     ///< Jobs that never reached FINISHED.
@@ -289,16 +290,91 @@ int runServiceLoad(unsigned Requests, unsigned Clients, unsigned MinInFlight,
       T.join();
   }
   double TotalWallNs = nsSince(WallT0);
+
+  // Phase 3: warm-cache round trips. Phases 1+2 compiled every rotated
+  // BLAC, so the shared kernel cache now holds them all; resubmitting the
+  // same sources measures the dispatch path the sharded cache serves —
+  // submit→FINISHED with no autotuning search in the way. A bounded share
+  // keeps the phase cheap relative to the burst.
+  {
+    unsigned WarmPerClient =
+        std::max(1u, Requests / 4 / std::max(1u, Clients));
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C != Clients; ++C)
+      Threads.emplace_back([&, C, WarmPerClient] {
+        ClientResult &R = Results[C];
+        service::HttpClient Client;
+        std::string CErr;
+        if (!Client.connect("127.0.0.1", Svc.port(), CErr))
+          return;
+        std::string Session = "warm" + std::to_string(C);
+        for (unsigned I = 0; I != WarmPerClient; ++I) {
+          Object P;
+          P["source"] = sourceFor(C * 131 + I); // same keys as phase 1
+          P["target"] = "atom";
+          P["config"] = "LGen";
+          P["run"] = true;
+          service::HttpResponse Resp;
+          auto T0 = Clock::now();
+          if (!Client.request("POST", "/rpc",
+                              envelope("compile.submit", Value(std::move(P)),
+                                       Session)
+                                  .serialize(),
+                              Resp, CErr) ||
+              Resp.Status != 200) {
+            ++R.Errors;
+            continue;
+          }
+          Value V;
+          std::string PErr;
+          if (!json::parse(Resp.Body, V, PErr)) {
+            ++R.Errors;
+            continue;
+          }
+          std::string JobId = V["result"].getString("jobID");
+          bool Finished = false;
+          for (int Attempt = 0; Attempt != 20000 && !Finished; ++Attempt) {
+            Object Q;
+            Q["jobID"] = JobId;
+            service::HttpResponse PollResp;
+            if (!Client.request(
+                    "POST", "/rpc",
+                    envelope("compile.result", Value(std::move(Q)), Session)
+                        .serialize(),
+                    PollResp, CErr))
+              break;
+            Value PV;
+            if (PollResp.Status != 200 ||
+                !json::parse(PollResp.Body, PV, PErr))
+              break;
+            std::string State = PV["result"].getString("jobState");
+            if (State == "FINISHED")
+              Finished = true;
+            else if (State == "NOT_FOUND")
+              break;
+            // Warm jobs finish in microseconds; spin without sleeping so
+            // the measured latency is the service's, not the poller's.
+          }
+          if (Finished)
+            R.WarmNs.push_back(nsSince(T0));
+          else
+            ++R.Lost;
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
   SamplerStop = true;
   Sampler.join();
   Svc.stop();
 
   // Aggregate.
-  std::vector<double> SubmitNs, PollNs;
+  std::vector<double> SubmitNs, PollNs, WarmNs;
   uint64_t Submitted = 0, Rejected = 0, Lost = 0, Errors = 0;
   for (ClientResult &R : Results) {
     SubmitNs.insert(SubmitNs.end(), R.SubmitNs.begin(), R.SubmitNs.end());
     PollNs.insert(PollNs.end(), R.PollNs.begin(), R.PollNs.end());
+    WarmNs.insert(WarmNs.end(), R.WarmNs.begin(), R.WarmNs.end());
     Submitted += R.JobIds.size();
     Rejected += R.Rejected;
     Lost += R.Lost;
@@ -308,6 +384,7 @@ int runServiceLoad(unsigned Requests, unsigned Clients, unsigned MinInFlight,
   double ReqPerSec = HttpCalls / (TotalWallNs / 1e9);
   double SubmitP50 = percentile(SubmitNs, 50), SubmitP99 = percentile(SubmitNs, 99);
   double PollP50 = percentile(PollNs, 50), PollP99 = percentile(PollNs, 99);
+  double WarmP50 = percentile(WarmNs, 50), WarmP99 = percentile(WarmNs, 99);
 
   std::printf("clients            %u\n", Clients);
   std::printf("requests submitted %llu (rejected+retried %llu)\n",
@@ -318,6 +395,8 @@ int runServiceLoad(unsigned Requests, unsigned Clients, unsigned MinInFlight,
               SubmitP50 / 1e3, SubmitP99 / 1e3);
   std::printf("poll latency       p50 %.0f us   p99 %.0f us\n",
               PollP50 / 1e3, PollP99 / 1e3);
+  std::printf("warm round trip    p50 %.0f us   p99 %.0f us (%zu jobs)\n",
+              WarmP50 / 1e3, WarmP99 / 1e3, WarmNs.size());
   std::printf("http throughput    %.0f req/s (%0.f calls over %.2f s)\n",
               ReqPerSec, HttpCalls, TotalWallNs / 1e9);
   std::printf("submit burst wall  %.2f s\n", SubmitWallNs / 1e9);
@@ -355,6 +434,8 @@ int runServiceLoad(unsigned Requests, unsigned Clients, unsigned MinInFlight,
     Row("submit.latency.p99", SubmitP99);
     Row("poll.latency.p50", PollP50);
     Row("poll.latency.p99", PollP99);
+    Row("warm.roundtrip.p50", WarmP50);
+    Row("warm.roundtrip.p99", WarmP99);
     Row("ns_per_request", HttpCalls > 0 ? TotalWallNs / HttpCalls : 0);
     std::string WErr;
     if (!Report.writeFile(JsonPath, WErr)) {

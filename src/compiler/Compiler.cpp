@@ -543,6 +543,13 @@ CompiledKernel Compiler::compile(const ll::Program &P) const {
   return CK;
 }
 
+std::shared_ptr<const CompiledKernel>
+Compiler::lookupCached(const ll::Program &P) const {
+  if (!Cache)
+    return nullptr;
+  return Cache->lookupKernel(KernelCache::fingerprint(P.str(), Opts));
+}
+
 Expected<CompiledKernel> Compiler::compile(const std::string &Source) const {
   ll::Program P;
   std::string Err;

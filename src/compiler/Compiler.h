@@ -242,6 +242,12 @@ public:
   std::vector<Expected<CompiledKernel>>
   compileBatch(const std::vector<std::string> &Sources) const;
 
+  /// The no-clone warm path: the cached kernel for \p P, shared, or null
+  /// on a cache miss (or when no cache is attached). Unlike compile(),
+  /// a hit allocates nothing and never copies the kernel — dispatch-layer
+  /// callers that only execute (and must not mutate) use this.
+  std::shared_ptr<const CompiledKernel> lookupCached(const ll::Program &P) const;
+
   /// The pool the autotuner and compileBatch fan out on. Owned by default
   /// (sized by Options::TunerThreads); setThreadPool shares one across
   /// compilers.

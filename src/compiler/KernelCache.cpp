@@ -12,6 +12,8 @@
 #include <sstream>
 
 #if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 #endif
 
@@ -76,6 +78,20 @@ int64_t clampFactor(double V) {
   return F > MaxSaneFactor ? MaxSaneFactor : F;
 }
 
+unsigned roundUpPow2(unsigned V) {
+  unsigned P = 1;
+  while (P < V)
+    P <<= 1;
+  return P;
+}
+
+unsigned log2Pow2(unsigned V) {
+  unsigned L = 0;
+  while ((1u << L) < V)
+    ++L;
+  return L;
+}
+
 } // namespace
 
 uint64_t KernelCache::fingerprint(const std::string &Source,
@@ -126,6 +142,79 @@ uint64_t KernelCache::fingerprint(const std::string &Source,
 }
 
 //===----------------------------------------------------------------------===//
+// Fingerprint index
+//===----------------------------------------------------------------------===//
+
+uint32_t KernelCache::FpIndex::find(uint64_t Key) const {
+  size_t Mask = Cells.size() - 1;
+  for (size_t I = probeStart(Key);; I = (I + 1) & Mask) {
+    const Cell &C = Cells[I];
+    if (C.State == Empty)
+      return NoSlot;
+    if (C.State == Full && C.Key == Key)
+      return C.Slot;
+  }
+}
+
+void KernelCache::FpIndex::set(uint64_t Key, uint32_t Slot) {
+  // Keep the load factor (including tombstones, which lengthen probe
+  // chains just like live cells) under 3/4.
+  if ((Occupied + 1) * 4 >= Cells.size() * 3)
+    grow();
+  size_t Mask = Cells.size() - 1;
+  size_t FirstTomb = size_t(-1);
+  for (size_t I = probeStart(Key);; I = (I + 1) & Mask) {
+    Cell &C = Cells[I];
+    if (C.State == Full && C.Key == Key) {
+      C.Slot = Slot;
+      return;
+    }
+    if (C.State == Tombstone && FirstTomb == size_t(-1))
+      FirstTomb = I;
+    if (C.State == Empty) {
+      size_t Dst = FirstTomb != size_t(-1) ? FirstTomb : I;
+      if (Dst == I)
+        ++Occupied;
+      Cells[Dst] = Cell{Key, Slot, Full};
+      ++Live;
+      return;
+    }
+  }
+}
+
+void KernelCache::FpIndex::erase(uint64_t Key) {
+  size_t Mask = Cells.size() - 1;
+  for (size_t I = probeStart(Key);; I = (I + 1) & Mask) {
+    Cell &C = Cells[I];
+    if (C.State == Empty)
+      return;
+    if (C.State == Full && C.Key == Key) {
+      C.State = Tombstone;
+      --Live;
+      return;
+    }
+  }
+}
+
+void KernelCache::FpIndex::grow() {
+  std::vector<Cell> Old = std::move(Cells);
+  ++LogCap;
+  Cells.assign(size_t(1) << LogCap, Cell{});
+  Occupied = Live; // tombstones are dropped by the rebuild
+  size_t Mask = Cells.size() - 1;
+  for (const Cell &C : Old) {
+    if (C.State != Full)
+      continue;
+    for (size_t I = probeStart(C.Key);; I = (I + 1) & Mask) {
+      if (Cells[I].State == Empty) {
+        Cells[I] = C;
+        break;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Construction and persistence
 //===----------------------------------------------------------------------===//
 
@@ -134,8 +223,21 @@ std::string KernelCache::defaultDir() {
   return Env ? Env : "";
 }
 
-KernelCache::KernelCache(std::string Dir, size_t MaxKernels)
-    : Dir(std::move(Dir)), MaxKernels(MaxKernels) {
+KernelCache::KernelCache(std::string Dir, size_t MaxKernels, unsigned Shards)
+    : Dir(std::move(Dir)), MaxTotalKernels(MaxKernels) {
+  if (Shards == 0) {
+    // One stripe per ~16 kernels of capacity: a MaxKernels=2 test cache
+    // stays single-shard (strict global LRU, exact eviction order), the
+    // service's 256-kernel cache gets 16 stripes.
+    size_t Auto = MaxKernels / 16;
+    Shards = Auto < 1 ? 1 : (Auto > 16 ? 16 : unsigned(Auto));
+  }
+  NumShards = roundUpPow2(Shards > 64 ? 64 : Shards);
+  ShardBits = log2Pow2(NumShards);
+  ShardCap = MaxKernels == 0
+                 ? 0
+                 : (MaxKernels + NumShards - 1) / NumShards; // >= 1
+  this->Shards = std::vector<Shard>(NumShards);
   loadDisk();
 }
 
@@ -189,16 +291,65 @@ void KernelCache::loadDisk() {
     return;
   std::stringstream Buf;
   Buf << In.rdbuf();
-  parsePlanFile(Buf.str(), Plans);
+  std::map<uint64_t, PlanEntry> OnDisk;
+  if (!parsePlanFile(Buf.str(), OnDisk))
+    return;
+  // Construction-time only: no other thread can see the shards yet.
+  for (auto &[Key, PE] : OnDisk) {
+    Shard &S = shardFor(Key);
+    S.PlanIndex.set(Key, uint32_t(S.PlanSlots.size()));
+    S.PlanKeys.push_back(Key);
+    S.PlanSlots.push_back(std::move(PE));
+  }
 }
 
-void KernelCache::saveDiskLocked() {
-  if (Dir.empty() || !Dirty)
+void KernelCache::persist() {
+  if (Dir.empty())
     return;
+  // Claim the dirty flag before snapshotting: a store that lands after the
+  // snapshot re-raises it and the next persist picks that plan up.
+  if (!Dirty.exchange(false))
+    return;
+
+  // Snapshot the plan tier one shard at a time — no shard lock is ever
+  // held together with another, with PersistMutex, or across file I/O.
+  std::map<uint64_t, PlanEntry> Ours;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    for (size_t I = 0; I != S.PlanKeys.size(); ++I)
+      Ours.insert_or_assign(S.PlanKeys[I], S.PlanSlots[I]);
+  }
+
+  std::lock_guard<std::mutex> PersistLock(PersistMutex);
   std::error_code EC;
   std::filesystem::create_directories(Dir, EC);
 
-  // Merge-on-save: another process (or another Compiler instance in this
+  // The read-merge-write below must be atomic against OTHER writers too —
+  // PersistMutex only serializes this instance. Without the advisory file
+  // lock, two instances (or processes) can both read the file, each merge
+  // only its own plans, and the second rename silently drops the first
+  // writer's new entries (a lost update the CacheStressTest disk test
+  // catches). flock on a sidecar .lock file serializes the critical
+  // section; the data file itself is still replaced by atomic rename, so
+  // lock-less readers keep working and a crashed holder auto-releases.
+#if !defined(_WIN32)
+  struct FileLock {
+    int Fd;
+    explicit FileLock(const std::string &Path)
+        : Fd(::open(Path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644)) {
+      if (Fd >= 0)
+        ::flock(Fd, LOCK_EX);
+    }
+    ~FileLock() {
+      if (Fd >= 0) {
+        ::flock(Fd, LOCK_UN);
+        ::close(Fd);
+      }
+    }
+  } DiskLock(diskPath() + ".lock");
+#endif
+
+  // Merge-on-save: another process (or another cache instance in this
   // one) may have persisted plans since we loaded. Re-read the file and
   // fold in entries we do not have, so concurrent writers union their
   // plans instead of the last one clobbering the rest. Our own entries
@@ -211,12 +362,12 @@ void KernelCache::saveDiskLocked() {
       std::map<uint64_t, PlanEntry> OnDisk;
       if (parsePlanFile(Buf.str(), OnDisk))
         for (auto &[Key, PE] : OnDisk)
-          Plans.emplace(Key, std::move(PE)); // no overwrite of our entries
+          Ours.emplace(Key, std::move(PE)); // no overwrite of our entries
     }
   }
 
   json::Array Entries;
-  for (const auto &[Key, PE] : Plans) {
+  for (const auto &[Key, PE] : Ours) {
     json::Array Unroll;
     for (int64_t F : PE.Plan.UnrollFactors)
       Unroll.push_back(F);
@@ -246,24 +397,95 @@ void KernelCache::saveDiskLocked() {
                     hexKey(reinterpret_cast<uintptr_t>(this));
   {
     std::ofstream Out(Tmp, std::ios::trunc);
-    if (!Out)
+    if (!Out) {
+      Dirty = true; // retry on the next flush
       return;
+    }
     Out << Root.serialize();
     Out.flush();
-    if (!Out)
+    if (!Out) {
+      Dirty = true;
       return;
+    }
   }
   std::filesystem::rename(Tmp, diskPath(), EC);
   if (EC) {
     std::filesystem::remove(Tmp, EC);
+    Dirty = true;
     return;
   }
-  Dirty = false;
 }
 
-void KernelCache::flush() {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  saveDiskLocked();
+void KernelCache::flush() { persist(); }
+
+//===----------------------------------------------------------------------===//
+// LRU maintenance
+//===----------------------------------------------------------------------===//
+
+void KernelCache::lruUnlink(Shard &S, uint32_t I) {
+  KernelSlot &E = S.Slots[I];
+  if (E.Prev != NoSlot)
+    S.Slots[E.Prev].Next = E.Next;
+  else
+    S.LruHead = E.Next;
+  if (E.Next != NoSlot)
+    S.Slots[E.Next].Prev = E.Prev;
+  else
+    S.LruTail = E.Prev;
+  E.Prev = E.Next = NoSlot;
+}
+
+void KernelCache::lruPushFront(Shard &S, uint32_t I) {
+  KernelSlot &E = S.Slots[I];
+  E.Prev = NoSlot;
+  E.Next = S.LruHead;
+  if (S.LruHead != NoSlot)
+    S.Slots[S.LruHead].Prev = I;
+  S.LruHead = I;
+  if (S.LruTail == NoSlot)
+    S.LruTail = I;
+}
+
+uint32_t KernelCache::upsertSlotLocked(Shard &S, uint64_t Key) {
+  if (ShardCap == 0)
+    return NoSlot;
+  uint32_t I = S.KernelIndex.find(Key);
+  if (I != NoSlot) {
+    lruUnlink(S, I);
+    lruPushFront(S, I);
+    return I;
+  }
+  if (!S.FreeSlots.empty()) {
+    I = S.FreeSlots.back();
+    S.FreeSlots.pop_back();
+  } else {
+    I = uint32_t(S.Slots.size());
+    S.Slots.emplace_back();
+  }
+  S.Slots[I].Key = Key;
+  S.KernelIndex.set(Key, I);
+  lruPushFront(S, I);
+  ++S.NumKernels;
+
+  static support::Metrics::Counter &Evictions =
+      support::Metrics::global().counter("kernelcache.eviction");
+  while (S.NumKernels > ShardCap) {
+    uint32_t Victim = S.LruTail;
+    lruUnlink(S, Victim);
+    KernelSlot &V = S.Slots[Victim];
+    S.KernelIndex.erase(V.Key);
+    // Dropping the refs here only *releases* the kernel and its dlopen'd
+    // native handle; an in-flight execution still owns its shared_ptr, so
+    // the .so is not unloaded under running code.
+    V.Kernel.reset();
+    V.Native.reset();
+    V.Key = 0;
+    S.FreeSlots.push_back(Victim);
+    --S.NumKernels;
+    Evictions.add();
+    IEvictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return I;
 }
 
 //===----------------------------------------------------------------------===//
@@ -273,13 +495,16 @@ void KernelCache::flush() {
 std::shared_ptr<const CompiledKernel> KernelCache::lookupKernel(uint64_t Key) {
   static support::Metrics::Counter &MemoryHits =
       support::Metrics::global().counter("kernelcache.hit.memory");
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = LruIndex.find(Key);
-  if (It == LruIndex.end())
-    return nullptr;
-  Lru.splice(Lru.begin(), Lru, It->second); // move to front
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  uint32_t I = S.KernelIndex.find(Key);
+  if (I == NoSlot || !S.Slots[I].Kernel)
+    return nullptr; // includes native-handle-only slots
+  lruUnlink(S, I);
+  lruPushFront(S, I);
   MemoryHits.add();
-  return It->second->Kernel;
+  IMemoryHits.fetch_add(1, std::memory_order_relaxed);
+  return S.Slots[I].Kernel;
 }
 
 bool KernelCache::lookupPlan(uint64_t Key, tiling::TilingPlan &PlanOut) {
@@ -287,36 +512,44 @@ bool KernelCache::lookupPlan(uint64_t Key, tiling::TilingPlan &PlanOut) {
       support::Metrics::global().counter("kernelcache.hit.plan");
   static support::Metrics::Counter &Misses =
       support::Metrics::global().counter("kernelcache.miss");
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Plans.find(Key);
-  if (It == Plans.end()) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  uint32_t I = S.PlanIndex.find(Key);
+  if (I == NoSlot) {
     Misses.add();
+    IMisses.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  PlanOut = It->second.Plan;
+  PlanOut = S.PlanSlots[I].Plan;
   PlanHits.add();
+  IPlanHits.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-void KernelCache::storeKernelLocked(
-    uint64_t Key, std::shared_ptr<const CompiledKernel> Kernel) {
-  if (!Kernel || MaxKernels == 0)
+std::shared_ptr<const void> KernelCache::lookupNative(uint64_t Key) {
+  static support::Metrics::Counter &NativeHits =
+      support::Metrics::global().counter("kernelcache.hit.native");
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  uint32_t I = S.KernelIndex.find(Key);
+  if (I == NoSlot || !S.Slots[I].Native)
+    return nullptr;
+  lruUnlink(S, I);
+  lruPushFront(S, I);
+  NativeHits.add();
+  INativeHits.fetch_add(1, std::memory_order_relaxed);
+  return S.Slots[I].Native;
+}
+
+void KernelCache::storeNative(uint64_t Key,
+                              std::shared_ptr<const void> Handle) {
+  if (!Handle || MaxTotalKernels == 0)
     return;
-  auto It = LruIndex.find(Key);
-  if (It != LruIndex.end()) {
-    It->second->Kernel = std::move(Kernel);
-    Lru.splice(Lru.begin(), Lru, It->second);
-    return;
-  }
-  static support::Metrics::Counter &Evictions =
-      support::Metrics::global().counter("kernelcache.eviction");
-  Lru.push_front(LruEntry{Key, std::move(Kernel)});
-  LruIndex[Key] = Lru.begin();
-  while (Lru.size() > MaxKernels) {
-    LruIndex.erase(Lru.back().Key);
-    Lru.pop_back();
-    Evictions.add();
-  }
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  uint32_t I = upsertSlotLocked(S, Key);
+  if (I != NoSlot)
+    S.Slots[I].Native = std::move(Handle);
 }
 
 void KernelCache::store(uint64_t Key, const tiling::TilingPlan &Plan,
@@ -324,44 +557,94 @@ void KernelCache::store(uint64_t Key, const tiling::TilingPlan &Plan,
                         std::shared_ptr<const CompiledKernel> Kernel) {
   static support::Metrics::Counter &Stores =
       support::Metrics::global().counter("kernelcache.store");
-  std::lock_guard<std::mutex> Lock(Mutex);
   Stores.add();
+  IStores.fetch_add(1, std::memory_order_relaxed);
 
-  PlanEntry PE;
-  PE.Plan = Plan;
-  PE.Source = Source;
-  PE.Target = machine::uarchName(O.Target);
-  PE.ISA = isa::isaName(O.ISA);
-  Plans[Key] = std::move(PE);
-  Dirty = true;
+  Shard &S = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    uint32_t I = S.PlanIndex.find(Key);
+    if (I != NoSlot) {
+      PlanEntry &PE = S.PlanSlots[I];
+      PE.Plan = Plan;
+      PE.Source = Source;
+      PE.Target = machine::uarchName(O.Target);
+      PE.ISA = isa::isaName(O.ISA);
+    } else {
+      PlanEntry PE;
+      PE.Plan = Plan;
+      PE.Source = Source;
+      PE.Target = machine::uarchName(O.Target);
+      PE.ISA = isa::isaName(O.ISA);
+      S.PlanIndex.set(Key, uint32_t(S.PlanSlots.size()));
+      S.PlanKeys.push_back(Key);
+      S.PlanSlots.push_back(std::move(PE));
+    }
+    Dirty = true;
 
-  storeKernelLocked(Key, std::move(Kernel));
-  saveDiskLocked();
+    if (Kernel) {
+      uint32_t KI = upsertSlotLocked(S, Key);
+      if (KI != NoSlot)
+        S.Slots[KI].Kernel = std::move(Kernel);
+    }
+  }
+  // Persist outside the shard lock: durability on every store, like the
+  // pre-sharding cache, but lookups on this shard proceed during the I/O.
+  persist();
 }
 
 void KernelCache::storeKernel(uint64_t Key,
                               std::shared_ptr<const CompiledKernel> Kernel) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  storeKernelLocked(Key, std::move(Kernel));
+  if (!Kernel || MaxTotalKernels == 0)
+    return;
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  uint32_t I = upsertSlotLocked(S, Key);
+  if (I != NoSlot)
+    S.Slots[I].Kernel = std::move(Kernel);
 }
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
 
 CacheStats KernelCache::stats() {
   support::Metrics::Snapshot S = support::Metrics::global().snapshot();
   CacheStats St;
   St.MemoryHits = S.counter("kernelcache.hit.memory");
   St.PlanHits = S.counter("kernelcache.hit.plan");
+  St.NativeHits = S.counter("kernelcache.hit.native");
   St.Misses = S.counter("kernelcache.miss");
   St.Evictions = S.counter("kernelcache.eviction");
   St.Stores = S.counter("kernelcache.store");
   return St;
 }
 
+CacheStats KernelCache::instanceStats() const {
+  CacheStats St;
+  St.MemoryHits = IMemoryHits.load(std::memory_order_relaxed);
+  St.PlanHits = IPlanHits.load(std::memory_order_relaxed);
+  St.NativeHits = INativeHits.load(std::memory_order_relaxed);
+  St.Misses = IMisses.load(std::memory_order_relaxed);
+  St.Evictions = IEvictions.load(std::memory_order_relaxed);
+  St.Stores = IStores.load(std::memory_order_relaxed);
+  return St;
+}
+
 size_t KernelCache::numKernels() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Lru.size();
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    N += S.NumKernels;
+  }
+  return N;
 }
 
 size_t KernelCache::numPlans() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Plans.size();
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    N += S.PlanKeys.size();
+  }
+  return N;
 }

@@ -15,15 +15,35 @@
 ///    the dominant compile cost, and regenerates the kernel
 ///    deterministically from the stored plan.
 ///
+/// The in-memory tiers are lock-striped: the key space is split across N
+/// shards (N chosen from the LRU capacity, or explicit), each with its own
+/// mutex, open-addressed fingerprint→slot index, intrusive LRU list and
+/// plan table. Service workers hitting distinct kernels therefore never
+/// contend on a shared lock, and a warm lookup is a hash probe plus two
+/// link swaps — no \c std::map walk, no allocation. The persisted tier is
+/// unchanged on disk (one merged lgen-cache.json) and is serialized by a
+/// dedicated persistence mutex so no shard lock is ever held across I/O.
+///
+/// Kernel slots can additionally carry a *pre-resolved native handle*: a
+/// type-erased shared_ptr to the loaded runtime::NativeKernel whose .so is
+/// already dlopen'd and whose `lgen_native_entry` is already resolved. A
+/// warm dispatch therefore never touches the toolchain or dlsym. The
+/// handle is type-erased (shared_ptr<const void>) so the compiler library
+/// does not depend on the runtime library; eviction drops the handle
+/// together with the kernel, and in-flight executions stay safe because
+/// they hold their own shared_ptr reference.
+///
 /// Tuning knobs that cannot change the generated code (thread count, cache
 /// location) are deliberately excluded from the fingerprint, so a kernel
 /// tuned with 8 worker threads is a hit for a serial compile of the same
-/// BLAC. Hit/miss/eviction activity is reported into the process-wide
-/// \c support::Metrics registry (`kernelcache.*`) — the single source of
-/// truth behind \c stats() and `lgen-cli --cache-stats`.
+/// BLAC. Hit/miss/eviction activity is reported twice: into the
+/// process-wide \c support::Metrics registry (`kernelcache.*`, behind the
+/// static \c stats()) and into per-instance counters (behind
+/// \c instanceStats()), so a tool that constructs several caches can still
+/// attribute activity to one of them.
 ///
-/// All methods are thread-safe; `Compiler::compileBatch` workers share one
-/// instance.
+/// All methods are thread-safe; `Compiler::compileBatch` workers and the
+/// compile service's connection workers share one instance.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,25 +52,29 @@
 
 #include "compiler/Compiler.h"
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace lgen {
 namespace compiler {
 
-/// Cache activity counters. Since PR 5 these are process-cumulative —
-/// every KernelCache instance reports into the same `kernelcache.*`
-/// counters in \c support::Metrics::global(), and \c KernelCache::stats()
-/// reads them back from a snapshot.
+/// Cache activity counters. Available at two scopes: \c KernelCache::stats()
+/// reads the process-cumulative `kernelcache.*` counters from
+/// \c support::Metrics::global() (every instance reports into them), while
+/// \c KernelCache::instanceStats() reads counters owned by one instance.
 struct CacheStats {
   /// Full-kernel hits served from the in-memory LRU.
   uint64_t MemoryHits = 0;
   /// Tuned-plan hits served from the persisted tier.
   uint64_t PlanHits = 0;
+  /// Pre-resolved native-handle hits (subset of warm dispatches; a native
+  /// hit does not imply a MemoryHit — the tiers are queried independently).
+  uint64_t NativeHits = 0;
   uint64_t Misses = 0;
   /// Kernels dropped from the LRU because the capacity was reached.
   uint64_t Evictions = 0;
@@ -63,9 +87,13 @@ struct CacheStats {
 class KernelCache {
 public:
   /// \p Dir is where the plan tier persists (empty = in-memory only);
-  /// \p MaxKernels bounds the in-memory LRU.
-  explicit KernelCache(std::string Dir = defaultDir(),
-                       size_t MaxKernels = 64);
+  /// \p MaxKernels bounds the in-memory LRU across all shards. \p Shards
+  /// picks the stripe count (rounded up to a power of two, capped at 64);
+  /// 0 selects automatically: one stripe per ~16 kernels of capacity,
+  /// between 1 and 16, so small caches keep strict global LRU order and
+  /// big service caches spread contention.
+  explicit KernelCache(std::string Dir = defaultDir(), size_t MaxKernels = 64,
+                       unsigned Shards = 0);
   ~KernelCache();
 
   KernelCache(const KernelCache &) = delete;
@@ -93,11 +121,25 @@ public:
   /// persisted tier is already up to date.
   void storeKernel(uint64_t Key, std::shared_ptr<const CompiledKernel> Kernel);
 
+  /// Pre-resolved native handle for \p Key: a type-erased
+  /// runtime::NativeKernel whose .so stays dlopen'd with lgen_native_entry
+  /// resolved. Null on miss. A hit refreshes the slot's LRU position.
+  std::shared_ptr<const void> lookupNative(uint64_t Key);
+
+  /// Attaches \p Handle to \p Key's kernel slot (creating the slot if the
+  /// kernel was never stored — the handle alone serves dispatch). Counts
+  /// against MaxKernels like any other slot.
+  void storeNative(uint64_t Key, std::shared_ptr<const void> Handle);
+
   /// Process-wide cache activity, read from the Metrics registry (all
-  /// instances share the counters).
+  /// instances merge into the same counters).
   static CacheStats stats();
+  /// This instance's activity only.
+  CacheStats instanceStats() const;
   size_t numKernels() const;
   size_t numPlans() const;
+  unsigned numShards() const { return NumShards; }
+  size_t maxKernels() const { return MaxTotalKernels; }
   const std::string &directory() const { return Dir; }
 
   /// Writes the plan tier to <Dir>/lgen-cache.json if dirty.
@@ -107,10 +149,6 @@ public:
   static std::string defaultDir();
 
 private:
-  struct LruEntry {
-    uint64_t Key;
-    std::shared_ptr<const CompiledKernel> Kernel;
-  };
   struct PlanEntry {
     tiling::TilingPlan Plan;
     std::string Source;
@@ -118,25 +156,111 @@ private:
     std::string ISA;
   };
 
+  static constexpr uint32_t NoSlot = 0xffffffffu;
+
+  /// Open-addressed linear-probe map from 64-bit fingerprint to a slot
+  /// number. Fibonacci hashing spreads the FNV keys (and the small integer
+  /// keys tests use) across the table; erase leaves a tombstone so probe
+  /// chains stay intact, and growth rebuilds without them.
+  class FpIndex {
+  public:
+    FpIndex() { Cells.resize(size_t(1) << LogCap); }
+
+    uint32_t find(uint64_t Key) const;
+    void set(uint64_t Key, uint32_t Slot);
+    void erase(uint64_t Key);
+    size_t size() const { return Live; }
+
+  private:
+    enum : uint8_t { Empty = 0, Full = 1, Tombstone = 2 };
+    struct Cell {
+      uint64_t Key = 0;
+      uint32_t Slot = 0;
+      uint8_t State = Empty;
+    };
+
+    size_t probeStart(uint64_t Key) const {
+      // Fibonacci hashing: the top LogCap bits of Key * φ⁻¹·2⁶⁴.
+      return size_t((Key * 0x9e3779b97f4a7c15ULL) >> (64 - LogCap));
+    }
+    void grow();
+
+    std::vector<Cell> Cells;
+    unsigned LogCap = 4;
+    size_t Live = 0;     // Full cells
+    size_t Occupied = 0; // Full + tombstone cells
+  };
+
+  /// One kernel-tier entry. Slots are recycled through a free list; LRU
+  /// order is kept by intrusive Prev/Next links (indices into Slots).
+  struct KernelSlot {
+    uint64_t Key = 0;
+    std::shared_ptr<const CompiledKernel> Kernel;
+    std::shared_ptr<const void> Native;
+    uint32_t Prev = NoSlot;
+    uint32_t Next = NoSlot;
+  };
+
+  struct Shard {
+    mutable std::mutex Mutex;
+
+    FpIndex KernelIndex;
+    std::vector<KernelSlot> Slots;
+    std::vector<uint32_t> FreeSlots;
+    uint32_t LruHead = NoSlot;
+    uint32_t LruTail = NoSlot;
+    size_t NumKernels = 0;
+
+    FpIndex PlanIndex;
+    std::vector<PlanEntry> PlanSlots; // append-only; index I keyed by PlanKeys
+    std::vector<uint64_t> PlanKeys;   // parallel to PlanSlots
+  };
+
+  Shard &shardFor(uint64_t Key) {
+    return Shards[NumShards == 1
+                      ? 0
+                      : size_t((Key * 0x9e3779b97f4a7c15ULL) >>
+                               (64 - ShardBits))];
+  }
+
+  // LRU helpers; the shard's mutex must be held.
+  static void lruUnlink(Shard &S, uint32_t I);
+  static void lruPushFront(Shard &S, uint32_t I);
+  /// Finds or creates \p Key's slot, refreshes its LRU position and evicts
+  /// past the per-shard cap. Returns NoSlot when the kernel tier is
+  /// disabled (MaxKernels == 0).
+  uint32_t upsertSlotLocked(Shard &S, uint64_t Key);
+
   void loadDisk();
-  void saveDiskLocked();
+  /// Snapshots the plan tier shard by shard (never holding more than one
+  /// shard lock, never across I/O) and writes the merged JSON file.
+  void persist();
   /// Parses a persisted plan file into \p Out, skipping malformed entries
   /// (bad hex keys, missing plans, insane factors). Returns false when
   /// \p Text is not a plan file at all (unparseable / wrong shape).
   static bool parsePlanFile(const std::string &Text,
                             std::map<uint64_t, PlanEntry> &Out);
-  void storeKernelLocked(uint64_t Key,
-                         std::shared_ptr<const CompiledKernel> Kernel);
   std::string diskPath() const;
 
   std::string Dir;
-  size_t MaxKernels;
+  size_t MaxTotalKernels;
+  size_t ShardCap; // per-shard kernel bound
+  unsigned NumShards;
+  unsigned ShardBits;
+  std::vector<Shard> Shards;
 
-  mutable std::mutex Mutex;
-  std::list<LruEntry> Lru; // front = most recently used
-  std::map<uint64_t, std::list<LruEntry>::iterator> LruIndex;
-  std::map<uint64_t, PlanEntry> Plans;
-  bool Dirty = false;
+  /// Serializes disk writes; shard locks are never held while this is.
+  std::mutex PersistMutex;
+  std::atomic<bool> Dirty{false};
+
+  // Per-instance mirrors of the kernelcache.* metrics (relaxed: these are
+  // statistics, not synchronization).
+  std::atomic<uint64_t> IMemoryHits{0};
+  std::atomic<uint64_t> IPlanHits{0};
+  std::atomic<uint64_t> INativeHits{0};
+  std::atomic<uint64_t> IMisses{0};
+  std::atomic<uint64_t> IEvictions{0};
+  std::atomic<uint64_t> IStores{0};
 };
 
 } // namespace compiler

@@ -3,8 +3,10 @@
 #include "runtime/NativeKernel.h"
 
 #include "codegen/CUnparser.h"
+#include "compiler/KernelCache.h"
 #include "ll/Reference.h"
 #include "runtime/CpuInfo.h"
+#include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <cstdlib>
@@ -124,10 +126,31 @@ Expected<NativeKernel> NativeKernel::load(const compiler::CompiledKernel &CK,
   return NK;
 }
 
+Expected<std::shared_ptr<const NativeKernel>>
+NativeKernel::acquire(compiler::KernelCache *Cache, uint64_t Key,
+                      const compiler::CompiledKernel &CK) {
+  if (Cache)
+    if (std::shared_ptr<const void> Handle = Cache->lookupNative(Key))
+      return std::static_pointer_cast<const NativeKernel>(Handle);
+  Expected<NativeKernel> NK = load(CK);
+  if (!NK)
+    return Err(NK.error());
+  auto Handle = std::make_shared<const NativeKernel>(std::move(*NK));
+  if (Cache)
+    Cache->storeNative(Key, Handle);
+  return Handle;
+}
+
 void NativeKernel::execute(
     const std::vector<machine::Buffer *> &Params) const {
-  ArgPack Args(*this, Params);
+  static support::Metrics::Counter &ZeroCopyParams =
+      support::Metrics::global().counter("runtime.native.zerocopy.params");
+  static support::Metrics::Counter &CopiedParams =
+      support::Metrics::global().counter("runtime.native.copied.params");
+  ArgPack Args(*this, Params, Marshal::ZeroCopy);
   support::traceCounter("runtime.native.executions");
+  ZeroCopyParams.add(Args.numDirect());
+  CopiedParams.add(Params.size() - Args.numDirect());
   Entry(Args.argv());
   Args.copyBack();
 }
@@ -136,15 +159,46 @@ void NativeKernel::execute(
 // ArgPack
 //===----------------------------------------------------------------------===//
 
+bool ArgPack::directEligible(const NativeParam &P, unsigned Nu,
+                             const machine::Buffer &B) {
+  // Only aligned-base buffers qualify: a versioned kernel resolves its
+  // alignment dispatch from the pointer value, and a buffer advertising
+  // AlignOffset k expects k elements of valid storage *before* the
+  // pointer — headroom only the copy path provides.
+  if (B.AlignOffset != 0)
+    return false;
+  uintptr_t Addr = reinterpret_cast<uintptr_t>(B.Data.data());
+  if (Addr == 0 || Addr % sizeof(float) != 0)
+    return false;
+  // The storage must really be ν-aligned so the dispatch selects the
+  // aligned version the buffer advertises.
+  if ((Addr / sizeof(float)) % Nu != 0)
+    return false;
+  // ν elements of tail headroom: aligned full-vector stores to a partial
+  // trailing tile must stay inside the caller's allocation (the copy path
+  // gets this from its own tail pad). Scalar kernels touch exactly
+  // NumElements.
+  size_t Need = static_cast<size_t>(P.NumElements) + (Nu > 1 ? Nu : 0);
+  return B.Data.size() >= Need;
+}
+
 ArgPack::ArgPack(const NativeKernel &NK,
-                 const std::vector<machine::Buffer *> &Params)
+                 const std::vector<machine::Buffer *> &Params, Marshal Mode)
     : NK(NK), Buffers(Params) {
   assert(Params.size() == NK.params().size() &&
          "parameter count mismatch (one buffer per LL operand)");
   Allocations.reserve(Params.size());
   Argv.reserve(Params.size());
+  Direct.assign(Params.size(), false);
   for (size_t I = 0; I != Params.size(); ++I) {
     const NativeParam &P = NK.params()[I];
+    if (Mode == Marshal::ZeroCopy &&
+        directEligible(P, NK.nu(), *Params[I])) {
+      Direct[I] = true;
+      ++NumDirect;
+      Argv.push_back(Params[I]->Data.data());
+      continue;
+    }
     unsigned Offset = Params[I]->AlignOffset;
     // Base allocation is 64-byte aligned; the parameter pointer sits Offset
     // elements past it, giving the same address-mod-ν the simulated Buffer
@@ -171,6 +225,8 @@ ArgPack::~ArgPack() {
 
 void ArgPack::reset() {
   for (size_t I = 0; I != Buffers.size(); ++I) {
+    if (Direct[I])
+      continue; // the kernel works in the user's storage
     size_t N = std::min(Buffers[I]->Data.size(),
                         static_cast<size_t>(NK.params()[I].NumElements));
     std::memcpy(Argv[I], Buffers[I]->Data.data(), N * sizeof(float));
@@ -179,6 +235,8 @@ void ArgPack::reset() {
 
 void ArgPack::copyBack() {
   for (size_t I = 0; I != Buffers.size(); ++I) {
+    if (Direct[I])
+      continue; // results are already in place
     size_t N = std::min(Buffers[I]->Data.size(),
                         static_cast<size_t>(NK.params()[I].NumElements));
     std::memcpy(Buffers[I]->Data.data(), Argv[I], N * sizeof(float));

@@ -29,10 +29,14 @@
 #include "machine/Executor.h"
 #include "runtime/ToolchainDriver.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace lgen {
+namespace compiler {
+class KernelCache;
+} // namespace compiler
 namespace runtime {
 
 /// One kernel parameter as seen by the native entry point.
@@ -54,11 +58,22 @@ public:
   static Expected<NativeKernel> load(const compiler::CompiledKernel &CK,
                                      ToolchainDriver &TD);
 
+  /// The warm-dispatch path: returns \p Key's pre-resolved handle from
+  /// \p Cache (the .so already dlopen'd, lgen_native_entry already
+  /// resolved — no toolchain, no dlsym), or loads \p CK and registers the
+  /// handle for the next dispatch. \p Cache may be null (always loads).
+  /// The returned shared_ptr keeps the .so mapped even if the cache entry
+  /// is evicted mid-execution.
+  static Expected<std::shared_ptr<const NativeKernel>>
+  acquire(compiler::KernelCache *Cache, uint64_t Key,
+          const compiler::CompiledKernel &CK);
+
   /// Runs the kernel over \p Params (one buffer per LL operand, in
-  /// declaration order — the \c CompiledKernel::execute contract). Buffer
-  /// contents are copied into freshly allocated storage whose base honors
-  /// each buffer's AlignOffset, the kernel runs once, and every parameter
-  /// is copied back.
+  /// declaration order — the \c CompiledKernel::execute contract).
+  /// Buffers whose storage already satisfies the kernel's selected
+  /// alignment version are passed to the entry point directly (zero-copy);
+  /// the rest are copied into freshly allocated storage whose base honors
+  /// the buffer's AlignOffset, and copied back after the run.
   void execute(const std::vector<machine::Buffer *> &Params) const;
 
   const std::vector<NativeParam> &params() const { return Params; }
@@ -80,25 +95,53 @@ private:
   std::string Source;
 };
 
-/// Argument pack for repeated native invocations (the measurement loop):
-/// marshals a parameter set once, hands out the argv array, and copies
-/// results back on request. Allocation bases are 64-byte aligned, so an
-/// element offset of 0 is aligned for every ν and an offset of k places the
-/// pointer exactly k*sizeof(float) past a ν-aligned boundary.
+/// Marshaling policy for ArgPack. Copy always stages parameters in owned
+/// allocations (the measurement loop needs that: reset() must restore
+/// pristine inputs between reps, and the cold-cache evictor needs owned
+/// allocations to flush). ZeroCopy passes a buffer's own storage when it
+/// already satisfies the selected alignment version — see
+/// ArgPack::directEligible for the exact rules.
+enum class Marshal { Copy, ZeroCopy };
+
+/// Argument pack for repeated native invocations (the measurement loop)
+/// and for the dispatch fast path: marshals a parameter set once, hands
+/// out the argv array, and copies results back on request. Allocation
+/// bases are 64-byte aligned, so an element offset of 0 is aligned for
+/// every ν and an offset of k places the pointer exactly k*sizeof(float)
+/// past a ν-aligned boundary. Under Marshal::ZeroCopy, eligible buffers
+/// skip the allocation entirely and reset()/copyBack() leave them alone —
+/// the kernel already wrote through the user's storage.
 class ArgPack {
 public:
   ArgPack(const NativeKernel &NK,
-          const std::vector<machine::Buffer *> &Params);
+          const std::vector<machine::Buffer *> &Params,
+          Marshal Mode = Marshal::Copy);
   ~ArgPack();
   ArgPack(const ArgPack &) = delete;
   ArgPack &operator=(const ArgPack &) = delete;
 
   float *const *argv() const { return Argv.data(); }
 
+  /// True when \p B's own storage can be handed to the kernel directly:
+  /// the buffer advertises an aligned base (AlignOffset 0), its storage
+  /// really is ν-aligned (so the runtime alignment dispatch selects the
+  /// aligned version it advertises), and it carries ν elements of tail
+  /// headroom so the kernel's aligned full-vector stores to a partial
+  /// trailing tile stay inside the allocation. Misaligned-base buffers
+  /// are never eligible: versioned kernels may round down to the aligned
+  /// base, and only the copy path allocates headroom before the pointer.
+  static bool directEligible(const NativeParam &P, unsigned Nu,
+                             const machine::Buffer &B);
+
+  /// Parameters passed through without a staging copy.
+  size_t numDirect() const { return NumDirect; }
+
   /// Re-copies the original buffer contents into the marshaled storage
-  /// (repeated measurement over identical inputs).
+  /// (repeated measurement over identical inputs). Direct parameters are
+  /// untouched — the kernel reads and writes the user's storage.
   void reset();
-  /// Copies every parameter back into the buffers given at construction.
+  /// Copies every staged parameter back into the buffers given at
+  /// construction; direct parameters already hold the results.
   void copyBack();
 
   /// Total bytes of marshaled parameter data (cold-cache eviction sizing).
@@ -119,6 +162,8 @@ private:
   std::vector<void *> Allocations;
   std::vector<size_t> AllocBytes;
   std::vector<float *> Argv;
+  std::vector<bool> Direct; // per parameter: true = zero-copy pass-through
+  size_t NumDirect = 0;
 };
 
 } // namespace runtime

@@ -251,6 +251,11 @@ void CompileQueue::drain() {
                [&] { return Pending.empty() && CompilingCount == 0; });
 }
 
+void CompileQueue::flushCache() {
+  if (SharedCache)
+    SharedCache->flush();
+}
+
 void CompileQueue::purgeExpiredLocked() {
   auto Now = std::chrono::steady_clock::now();
   for (auto It = Jobs.begin(); It != Jobs.end();) {
@@ -280,7 +285,10 @@ void CompileQueue::workerLoop() {
       // are independent — and bounded by BatchMax so no key starves.
       Batch.push_back(std::move(Pending.front()));
       Pending.pop_front();
-      const BatchKey &Key = Batch.front().Key;
+      // By value: the push_backs below reallocate Batch, and a reference
+      // into it would dangle mid-comparison (caught by TSan as a
+      // use-after-free under the coalescing load test).
+      const BatchKey Key = Batch.front().Key;
       for (auto It = Pending.begin();
            It != Pending.end() && Batch.size() < Config.BatchMax;) {
         if (It->Key == Key) {

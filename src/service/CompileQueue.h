@@ -133,6 +133,17 @@ public:
   /// Blocks until every queued request finished (tests / bench epilogue).
   void drain();
 
+  /// Persists the shared kernel cache's tuned plans (no-op for an
+  /// in-memory cache). The daemon's shutdown path pairs this with drain()
+  /// so a SIGINT mid-batch does not discard plans tuned on real measured
+  /// cycles.
+  void flushCache();
+
+  /// The kernel cache every batch compiler shares.
+  const std::shared_ptr<compiler::KernelCache> &sharedCache() const {
+    return SharedCache;
+  }
+
 private:
   struct Job;
   struct PendingItem;

@@ -166,6 +166,21 @@ HttpRead service::readHttpRequest(int Fd, HttpRequest &Out, std::string &Carry,
                                   size_t MaxBodyBytes) {
   Out = HttpRequest();
   std::string &Buf = Carry;
+  // Slow-client allowance: SO_RCVTIMEO fires per recv() call, so a request
+  // split across many TCP segments with pauses between them used to get a
+  // spurious 408 on the first pause that crossed the window — even though
+  // the client was still making forward progress. Forgive a timeout
+  // whenever bytes arrived since the *previous* timeout; only a connection
+  // that delivered nothing for a full consecutive window times out. Idle
+  // keep-alive connections (empty buffer, no request in flight) still time
+  // out on the first silent window.
+  size_t SizeAtLastTimeout = std::string::npos;
+  auto TimedOutForGood = [&](void) -> bool {
+    if (Buf.empty() || Buf.size() == SizeAtLastTimeout)
+      return true;
+    SizeAtLastTimeout = Buf.size();
+    return false;
+  };
   // Accumulate until the blank line ending the head.
   size_t HeadEnd;
   while ((HeadEnd = Buf.find("\r\n\r\n")) == std::string::npos) {
@@ -175,6 +190,8 @@ HttpRead service::readHttpRequest(int Fd, HttpRequest &Out, std::string &Carry,
     HttpRead R = recvSome(Fd, Buf);
     if (R == HttpRead::Closed)
       return Buf.empty() ? HttpRead::Closed : HttpRead::Malformed;
+    if (R == HttpRead::Timeout && !TimedOutForGood())
+      continue;
     if (R != HttpRead::Ok)
       return R;
   }
@@ -193,6 +210,8 @@ HttpRead service::readHttpRequest(int Fd, HttpRequest &Out, std::string &Carry,
     HttpRead R = recvSome(Fd, Buf);
     if (R == HttpRead::Closed)
       return HttpRead::Malformed; // died mid-body
+    if (R == HttpRead::Timeout && !TimedOutForGood())
+      continue;
     if (R != HttpRead::Ok)
       return R;
   }

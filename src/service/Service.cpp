@@ -149,10 +149,13 @@ void Service::stop() {
   if (!Running)
     return;
   Stopping = true;
-  // Unblock accept().
-  ::shutdown(ListenFd, SHUT_RDWR);
-  ::close(ListenFd);
-  ListenFd = -1;
+  // Unblock accept(). Claim the fd atomically so the accept loop never
+  // sees a half-closed descriptor number.
+  int Fd = ListenFd.exchange(-1);
+  if (Fd >= 0) {
+    ::shutdown(Fd, SHUT_RDWR);
+    ::close(Fd);
+  }
   ConnReady.notify_all();
   if (AcceptThread.joinable())
     AcceptThread.join();
@@ -167,13 +170,21 @@ void Service::stop() {
   Running = false;
 }
 
+void Service::drain() {
+  Queue.drain();
+  Queue.flushCache();
+}
+
 //===----------------------------------------------------------------------===//
 // Accept + connection workers
 //===----------------------------------------------------------------------===//
 
 void Service::acceptLoop() {
   for (;;) {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    int LFd = ListenFd.load();
+    if (LFd < 0)
+      return; // stop() already claimed the listener
+    int Fd = ::accept(LFd, nullptr, nullptr);
     if (Fd < 0) {
       if (errno == EINTR)
         continue;

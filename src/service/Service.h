@@ -92,6 +92,12 @@ public:
   /// threads. Idempotent; the destructor calls it.
   void stop();
 
+  /// Orderly-shutdown epilogue: waits for every queued compile to finish,
+  /// then persists the shared kernel cache. Call after stop() (no new
+  /// submits can arrive) so a SIGINT mid-batch does not discard tuned
+  /// plans.
+  void drain();
+
   bool running() const { return Running; }
 
   /// The bound port (useful with Port = 0).
@@ -118,7 +124,9 @@ private:
   mediator::Mediator *Med;
   CompileQueue Queue;
 
-  int ListenFd = -1;
+  /// Atomic: stop() clears it from another thread while acceptLoop is
+  /// blocked in (or about to call) accept() on it.
+  std::atomic<int> ListenFd{-1};
   uint16_t BoundPort = 0;
   std::atomic<bool> Running{false};
   std::atomic<bool> Stopping{false};

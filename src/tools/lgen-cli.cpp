@@ -461,19 +461,30 @@ int main(int Argc, char **Argv) {
   }
 
   if (CacheStats && C.kernelCache()) {
-    compiler::CacheStats S = C.kernelCache()->stats();
-    std::printf("// --- cache (%s) ---\n"
-                "hits=%llu (memory=%llu plan=%llu) misses=%llu "
-                "evictions=%llu stores=%llu entries=%zu\n",
-                C.kernelCache()->directory().empty()
-                    ? "in-memory"
-                    : C.kernelCache()->directory().c_str(),
-                (unsigned long long)S.hits(),
+    // Two scopes, labeled: the first line is *this instance's* activity
+    // (what this compile did), the second the process-cumulative
+    // kernelcache.* metrics — they differ whenever a process holds more
+    // than one cache (the service does), which used to double-count.
+    const compiler::KernelCache &KC = *C.kernelCache();
+    compiler::CacheStats S = KC.instanceStats();
+    compiler::CacheStats G = compiler::KernelCache::stats();
+    std::printf("// --- cache (%s, %u shards, this instance) ---\n"
+                "hits=%llu (memory=%llu plan=%llu native=%llu) misses=%llu "
+                "evictions=%llu stores=%llu entries=%zu\n"
+                "// process-cumulative (all caches): hits=%llu misses=%llu "
+                "evictions=%llu stores=%llu\n",
+                KC.directory().empty() ? "in-memory"
+                                       : KC.directory().c_str(),
+                KC.numShards(), (unsigned long long)S.hits(),
                 (unsigned long long)S.MemoryHits,
                 (unsigned long long)S.PlanHits,
+                (unsigned long long)S.NativeHits,
                 (unsigned long long)S.Misses,
                 (unsigned long long)S.Evictions,
-                (unsigned long long)S.Stores, C.kernelCache()->numPlans());
+                (unsigned long long)S.Stores, KC.numPlans(),
+                (unsigned long long)G.hits(), (unsigned long long)G.Misses,
+                (unsigned long long)G.Evictions,
+                (unsigned long long)G.Stores);
   }
   return Rc;
 }

@@ -168,7 +168,13 @@ int main(int Argc, char **Argv) {
   while (!StopRequested)
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
-  std::printf("shutting down\n");
+  // Orderly shutdown: stop the HTTP front end first (no new submits),
+  // then let queued compiles finish and persist the shared cache — a kill
+  // mid-batch must not discard plans tuned on real measured cycles.
+  std::printf("shutting down: draining compile queue\n");
+  std::fflush(stdout);
   Svc.stop();
+  Svc.drain();
+  std::printf("shutdown complete\n");
   return 0;
 }

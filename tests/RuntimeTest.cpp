@@ -18,6 +18,7 @@
 #include "TestUtil.h"
 
 #include "codegen/CUnparser.h"
+#include "compiler/KernelCache.h"
 #include "support/Json.h"
 #include "runtime/CpuInfo.h"
 #include "runtime/Measure.h"
@@ -522,4 +523,147 @@ TEST(ArgPackTest, HonorsAlignOffsets) {
   EXPECT_EQ(reinterpret_cast<uintptr_t>(Args.argv()[1]) % 64,
             3 * sizeof(float));
   EXPECT_EQ(Args.footprintBytes(), 2 * 8 * sizeof(float));
+}
+
+TEST(ArgPackTest, DirectEligibilityRules) {
+  // Pure predicate, no kernel needed. The vectorized rules: aligned base
+  // advertised AND actually ν-aligned AND ν elements of tail headroom.
+  runtime::NativeParam P;
+  P.NumElements = 8;
+
+  machine::Buffer Padded(8 + 4, 0.0f);   // headroom for ν=4
+  machine::Buffer Exact(8, 0.0f);        // no headroom
+  machine::Buffer Misaligned(8 + 4, 0.0f, /*AlignOffset=*/2);
+
+  // A buffer that advertises a misaligned base is never eligible: the
+  // versioned kernel may round down to the aligned base, and only the
+  // copy path allocates storage before the pointer.
+  EXPECT_FALSE(runtime::ArgPack::directEligible(P, 4, Misaligned));
+  EXPECT_FALSE(runtime::ArgPack::directEligible(P, 1, Misaligned));
+
+  // Vector kernels need ν elements of tail headroom for their aligned
+  // full-vector stores to a partial trailing tile.
+  EXPECT_FALSE(runtime::ArgPack::directEligible(P, 4, Exact));
+
+  // Scalar kernels need no headroom and no base alignment beyond the
+  // element size: an exact-size buffer passes straight through.
+  EXPECT_TRUE(runtime::ArgPack::directEligible(P, 1, Exact));
+
+  // With headroom the ν=4 case hinges on the actual storage alignment
+  // (operator new aligns to 16 on this ABI, enough for 4 floats).
+  bool Aligned16 =
+      reinterpret_cast<uintptr_t>(Padded.Data.data()) % 16 == 0;
+  EXPECT_EQ(runtime::ArgPack::directEligible(P, 4, Padded), Aligned16);
+
+  // An undersized buffer can never be handed to the kernel.
+  machine::Buffer Short(4, 0.0f);
+  EXPECT_FALSE(runtime::ArgPack::directEligible(P, 1, Short));
+}
+
+TEST(ArgPackTest, ZeroCopyPassesUserStorageAndComputesTheSameResult) {
+  if (!runtime::ToolchainDriver::host().available())
+    GTEST_SKIP() << runtime::ToolchainDriver::host().error();
+  // Scalar target: every aligned exact-size buffer is direct-eligible, so
+  // the test is deterministic on any host with a toolchain.
+  Options O = Options::builder(machine::UArch::ARM1176).full().build();
+  Compiler C(O);
+  ll::Program P =
+      ll::parseProgramOrDie("Vector x(8); Vector y(8); Scalar a; y = a*x + y;");
+  CompiledKernel CK = C.compile(P);
+  std::unique_ptr<runtime::NativeKernel> NK = loadOrSkip(CK);
+  ASSERT_NE(NK, nullptr);
+
+  auto fill = [](machine::Buffer &B, float Seed) {
+    for (size_t I = 0; I != B.Data.size(); ++I)
+      B.Data[I] = Seed + 0.25f * static_cast<float>(I);
+  };
+
+  // Copy-path reference run.
+  std::vector<machine::Buffer> Ref;
+  std::vector<machine::Buffer> Zc;
+  for (const runtime::NativeParam &NP : NK->params()) {
+    Ref.emplace_back(static_cast<size_t>(NP.NumElements), 0.0f);
+    Zc.emplace_back(static_cast<size_t>(NP.NumElements), 0.0f);
+    fill(Ref.back(), static_cast<float>(Ref.size()));
+    fill(Zc.back(), static_cast<float>(Zc.size()));
+  }
+  std::vector<machine::Buffer *> RefP, ZcP;
+  for (auto &B : Ref)
+    RefP.push_back(&B);
+  for (auto &B : Zc)
+    ZcP.push_back(&B);
+
+  {
+    runtime::ArgPack Copy(*NK, RefP, runtime::Marshal::Copy);
+    EXPECT_EQ(Copy.numDirect(), 0u);
+    NK->entry()(Copy.argv());
+    Copy.copyBack();
+  }
+  {
+    runtime::ArgPack Direct(*NK, ZcP, runtime::Marshal::ZeroCopy);
+    // Scalar ν=1: every parameter rides the fast path, argv IS the user
+    // storage, and there is nothing to allocate or copy back.
+    EXPECT_EQ(Direct.numDirect(), ZcP.size());
+    EXPECT_EQ(Direct.numAllocations(), 0u);
+    for (size_t I = 0; I != ZcP.size(); ++I)
+      EXPECT_EQ(Direct.argv()[I], ZcP[I]->Data.data());
+    NK->entry()(Direct.argv());
+    Direct.copyBack(); // must be a no-op for direct params
+  }
+  for (size_t I = 0; I != Ref.size(); ++I)
+    EXPECT_EQ(Ref[I].Data, Zc[I].Data) << "param " << I;
+}
+
+TEST(ArgPackTest, ZeroCopyFallsBackForMisalignedBuffers) {
+  if (!runtime::ToolchainDriver::host().available())
+    GTEST_SKIP() << runtime::ToolchainDriver::host().error();
+  Options O = Options::builder(machine::UArch::ARM1176).full().build();
+  Compiler C(O);
+  ll::Program P =
+      ll::parseProgramOrDie("Vector x(8); Vector y(8); y = x + y;");
+  CompiledKernel CK = C.compile(P);
+  std::unique_ptr<runtime::NativeKernel> NK = loadOrSkip(CK);
+  ASSERT_NE(NK, nullptr);
+
+  // Even under ZeroCopy, a misaligned-base buffer takes the staging path
+  // (AlignOffset honored via a fresh allocation) — mixed packs work.
+  machine::Buffer X(8, 1.0f, /*AlignOffset=*/3), Y(8, 2.0f);
+  std::vector<machine::Buffer *> Params{&X, &Y};
+  runtime::ArgPack Args(*NK, Params, runtime::Marshal::ZeroCopy);
+  EXPECT_EQ(Args.numDirect(), 1u);
+  EXPECT_NE(Args.argv()[0], X.Data.data());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Args.argv()[0]) % 64,
+            3 * sizeof(float));
+  EXPECT_EQ(Args.argv()[1], Y.Data.data());
+
+  NK->entry()(Args.argv());
+  Args.copyBack();
+  for (size_t I = 0; I != 8; ++I)
+    EXPECT_FLOAT_EQ(Y.Data[I], 3.0f) << "element " << I;
+}
+
+TEST(NativeKernelTest, AcquireServesPreResolvedHandles) {
+  if (!runtime::ToolchainDriver::host().available())
+    GTEST_SKIP() << runtime::ToolchainDriver::host().error();
+  Options O = Options::builder(machine::UArch::ARM1176).full().build();
+  Compiler C(O);
+  ll::Program P =
+      ll::parseProgramOrDie("Vector x(4); Vector y(4); y = x + y;");
+  CompiledKernel CK = C.compile(P);
+  uint64_t Key = compiler::KernelCache::fingerprint(P.str(), O);
+  compiler::KernelCache Cache("", /*MaxKernels=*/8);
+
+  // First acquire loads and registers; the second must return the very
+  // same object out of the cache (pointer identity — no reload, no dlsym).
+  auto First = runtime::NativeKernel::acquire(&Cache, Key, CK);
+  ASSERT_TRUE(First) << First.error();
+  auto Second = runtime::NativeKernel::acquire(&Cache, Key, CK);
+  ASSERT_TRUE(Second) << Second.error();
+  EXPECT_EQ(First->get(), Second->get());
+  EXPECT_EQ(Cache.instanceStats().NativeHits, 1u);
+
+  // Null cache degrades to a plain load.
+  auto Uncached = runtime::NativeKernel::acquire(nullptr, Key, CK);
+  ASSERT_TRUE(Uncached) << Uncached.error();
+  EXPECT_NE(Uncached->get(), First->get());
 }

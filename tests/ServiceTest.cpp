@@ -27,6 +27,11 @@
 #include <set>
 #include <thread>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 using namespace lgen;
 using namespace lgen::json;
 using namespace lgen::service;
@@ -431,6 +436,80 @@ TEST(Service, SaturatedQueueRejectsRetryableWithoutDeadlock) {
 //===----------------------------------------------------------------------===//
 // Concurrency over keep-alive connections
 //===----------------------------------------------------------------------===//
+
+TEST(Service, SlowClientWithProgressIsNotTimedOut) {
+  // Regression: SO_RCVTIMEO fires per recv(), so a request dribbled
+  // across many TCP segments used to draw a spurious 408 on the first
+  // pause that crossed the window, even though the client kept making
+  // forward progress. Only a connection with NO progress for a full
+  // window may time out.
+  ServiceConfig Cfg;
+  Cfg.ConnWorkers = 2;
+  Cfg.RecvTimeoutMs = 250;
+  Cfg.Queue.Workers = 1;
+  Cfg.Queue.CompileFn = instantCompile;
+  Service Svc(Cfg);
+  startOrDie(Svc);
+
+  auto dial = [&]() -> int {
+    int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(Fd, 0);
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(Svc.port());
+    ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)), 0);
+    return Fd;
+  };
+  auto drainToClose = [](int Fd) {
+    std::string All;
+    char Buf[4096];
+    ssize_t N;
+    while ((N = ::recv(Fd, Buf, sizeof(Buf), 0)) > 0)
+      All.append(Buf, static_cast<size_t>(N));
+    ::close(Fd);
+    return All;
+  };
+
+  // Dribble a request in small segments, pausing longer than one receive
+  // window between each (but well under two): every timeout finds new
+  // bytes, so the request must complete with 200.
+  {
+    int Fd = dial();
+    const std::string Req =
+        "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+    for (size_t I = 0; I < Req.size(); I += 12) {
+      size_t Len = std::min<size_t>(12, Req.size() - I);
+      ASSERT_EQ(::send(Fd, Req.data() + I, Len, 0),
+                static_cast<ssize_t>(Len));
+      if (I + Len < Req.size())
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    }
+    std::string Resp = drainToClose(Fd);
+    EXPECT_NE(Resp.find("HTTP/1.1 200"), std::string::npos) << Resp;
+    EXPECT_EQ(Resp.find("408"), std::string::npos) << Resp;
+  }
+
+  // A connection stalled mid-request (bytes consumed, then silence for a
+  // full window) still answers 408.
+  {
+    int Fd = dial();
+    const std::string Partial = "POST /rpc HTTP/1.1\r\nHost";
+    ASSERT_EQ(::send(Fd, Partial.data(), Partial.size(), 0),
+              static_cast<ssize_t>(Partial.size()));
+    std::string Resp = drainToClose(Fd);
+    EXPECT_NE(Resp.find("HTTP/1.1 408"), std::string::npos) << Resp;
+  }
+
+  // An idle keep-alive connection (nothing in flight) is closed silently
+  // on its first quiet window — no 408 body.
+  {
+    int Fd = dial();
+    std::string Resp = drainToClose(Fd);
+    EXPECT_TRUE(Resp.empty()) << Resp;
+  }
+}
 
 TEST(Service, ConcurrentKeepAliveClients) {
   ServiceConfig Cfg;

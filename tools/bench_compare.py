@@ -112,6 +112,13 @@ def main():
         b = median_of(base_results[key])
         c = median_of(cur_results[key])
         if b <= 0 or c <= 0:
+            # A zero/negative median is a degenerate entry (e.g. a
+            # model-sweep row that measured nothing): the relative-change
+            # math below would divide by zero. Say so instead of silently
+            # pretending the pair was compared.
+            print("warning:   %s size=%s: non-positive median "
+                  "(baseline %.1f, current %.1f); skipping this pair"
+                  % (key[0], key[1], b, c))
             continue
         compared += 1
         change = (c - b) / b
